@@ -1,0 +1,181 @@
+package prorp
+
+// Benchmark harness: one testing.B benchmark per table/figure of the ProRP
+// paper's evaluation (Section 9), each regenerating its experiment at a
+// CI-friendly scale and reporting the headline KPI values as custom
+// metrics. The full-scale runs (paper-shaped numbers, recorded in
+// EXPERIMENTS.md) are produced by `go run ./cmd/prorp-bench`.
+
+import (
+	"testing"
+	"time"
+
+	"prorp/internal/experiments"
+	"prorp/internal/historystore"
+	"prorp/internal/predictor"
+)
+
+func benchScale() experiments.Scale {
+	s := experiments.Quick()
+	s.Databases = 80
+	return s
+}
+
+// BenchmarkTable1DefaultConfig exercises the production default knobs of
+// Table 1 end to end on one region.
+func BenchmarkTable1DefaultConfig(b *testing.B) {
+	opts := DefaultOptions()
+	opts.History = 7 * 24 * time.Hour
+	for i := 0; i < b.N; i++ {
+		rep, err := Simulate(SimulationConfig{
+			Region: "EU1", Databases: 80, EvalDays: 2, Seed: 42, Options: &opts,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rep.QoSPercent, "qos%")
+		b.ReportMetric(rep.IdlePercent, "idle%")
+	}
+}
+
+// BenchmarkFig03IdleFragmentation regenerates the idle-interval CDFs.
+func BenchmarkFig03IdleFragmentation(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig3(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.ShortCountFrac, "short-count%")
+		b.ReportMetric(100*res.ShortDurationFrac, "short-duration%")
+	}
+}
+
+// BenchmarkFig06Regions regenerates the cross-region policy comparison.
+func BenchmarkFig06Regions(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6(s, []string{"EU1", "US1"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[0].Reactive.QoSPercent(), "reactive-qos%")
+		b.ReportMetric(res.Rows[0].Proactive.QoSPercent(), "proactive-qos%")
+	}
+}
+
+// BenchmarkFig07Days regenerates the per-day validation.
+func BenchmarkFig07Days(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7(s, "EU1", 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[0].Proactive.QoSPercent(), "day1-proactive-qos%")
+	}
+}
+
+// BenchmarkFig08WindowSweep regenerates the window-size sweep endpoints.
+// Note: at the quick scale's 7-day history a single matching day already
+// clears c = 0.1 (ceil(0.1*7) = 1), so window width barely moves QoS and
+// the qos-gain metric can read 0; the full-scale sweep (28-day history,
+// `prorp-bench -fig 8`) shows the paper's rising shape.
+func BenchmarkFig08WindowSweep(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig8Windows(s, "EU1", []int{1, 7})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Points[1].Report.QoSPercent()-res.Points[0].Report.QoSPercent(), "qos-gain-pts")
+	}
+}
+
+// BenchmarkFig09ConfidenceSweep regenerates the threshold sweep endpoints.
+func BenchmarkFig09ConfidenceSweep(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig9Confidences(s, "EU1", []float64{0.1, 0.8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Points[0].Report.QoSPercent()-res.Points[1].Report.QoSPercent(), "qos-drop-pts")
+	}
+}
+
+// BenchmarkFig10HistorySize regenerates the storage-overhead CDFs.
+func BenchmarkFig10HistorySize(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig10(s, "EU1")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.SizeKB.Mean, "history-kb-mean")
+		b.ReportMetric(res.SizeKB.Max, "history-kb-max")
+	}
+}
+
+// BenchmarkFig10PredictionLatency measures Algorithm 4 wall-clock latency
+// on a paper-shaped history (Figure 10(c)): the paper's claim is that it
+// stays sub-second even in the worst case.
+func BenchmarkFig10PredictionLatency(b *testing.B) {
+	st := historystore.New()
+	base := int64(1000) * 86400
+	// A worst-case history: >4K tuples over 28 days (Figure 10(a) tail).
+	for i := int64(0); i < 4200; i++ {
+		st.Insert(base-i*576, byte(i%2))
+	}
+	params := predictor.Default()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		predictor.Predict(st, params, base)
+	}
+}
+
+// BenchmarkFig11ResumeWorkflows regenerates the allocation-workflow boxes.
+func BenchmarkFig11ResumeWorkflows(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig11(s, "EU1", []int{1, 15})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[1].Proactive.Max, "max-prewarms-15min")
+	}
+}
+
+// BenchmarkFig12PauseWorkflows regenerates the reclamation-workflow boxes.
+func BenchmarkFig12PauseWorkflows(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig12(s, "EU1", []int{1, 15})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[1].Proactive.Max, "max-pauses-15min")
+	}
+}
+
+// BenchmarkFleetResumeOp measures one control-plane iteration (Algorithm 5)
+// over a fleet with many paused databases.
+func BenchmarkFleetResumeOp(b *testing.B) {
+	opts := DefaultOptions()
+	opts.Mode = Reactive // machines not needed; measure the metadata scan
+	fleet, err := NewFleet(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	t0 := time.Unix(1_700_000_000, 0)
+	for i := 0; i < 10_000; i++ {
+		if _, err := fleet.Create(i, t0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fleet.RunResumeOp(t0.Add(time.Duration(i) * time.Minute))
+	}
+}

@@ -1,0 +1,154 @@
+// Command prorp-bench regenerates every table and figure of the ProRP
+// paper's evaluation (Section 9) from the simulated region workloads.
+//
+// Usage:
+//
+//	prorp-bench                  # all figures at full scale
+//	prorp-bench -fig 3,6,10      # a subset
+//	prorp-bench -scale quick     # CI-sized run
+//	prorp-bench -ablations       # the un-charted ablations as well
+//	prorp-bench -dbs 1000        # override fleet size
+//
+// Output is the same rows/series the paper plots; EXPERIMENTS.md records
+// the paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"prorp/internal/experiments"
+)
+
+func main() {
+	var (
+		figs      = flag.String("fig", "all", "comma-separated figure numbers (3,6,7,8,9,10,11,12) or 'all'")
+		scaleName = flag.String("scale", "full", "experiment scale: full or quick")
+		region    = flag.String("region", "EU1", "region profile for single-region figures")
+		dbs       = flag.Int("dbs", 0, "override the number of databases")
+		seed      = flag.Int64("seed", 0, "override the workload seed")
+		ablations = flag.Bool("ablations", false, "also run the un-charted ablations")
+		future    = flag.Bool("future", false, "also run the Section 11 future-work extensions")
+		plot      = flag.Bool("plot", false, "append ASCII charts to figures that have them")
+		csvDir    = flag.String("csv", "", "also write per-figure CSV files into this directory")
+	)
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "full":
+		scale = experiments.Full()
+	case "quick":
+		scale = experiments.Quick()
+	default:
+		fatalf("unknown scale %q (want full or quick)", *scaleName)
+	}
+	if *dbs > 0 {
+		scale.Databases = *dbs
+	}
+	if *seed != 0 {
+		scale.Seed = *seed
+	}
+
+	want := map[string]bool{}
+	if *figs == "all" {
+		for _, f := range []string{"3", "6", "7", "8", "9", "10", "11", "12"} {
+			want[f] = true
+		}
+	} else {
+		for _, f := range strings.Split(*figs, ",") {
+			want[strings.TrimSpace(f)] = true
+		}
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatalf("%v", err)
+		}
+	}
+
+	type renderer interface{ Render() string }
+	type plotter interface{ Plot() string }
+	type csver interface{ CSV() string }
+	csvSeq := 0
+	show := func(r renderer, err error) {
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Println(r.Render())
+		if *plot {
+			if p, ok := r.(plotter); ok {
+				fmt.Println(p.Plot())
+			}
+		}
+		if *csvDir != "" {
+			if c, ok := r.(csver); ok {
+				csvSeq++
+				typ := strings.NewReplacer("*", "", ".", "-").Replace(fmt.Sprintf("%T", r))
+				name := fmt.Sprintf("%s/%02d-%s.csv", *csvDir, csvSeq, typ)
+				if err := os.WriteFile(name, []byte(c.CSV()), 0o644); err != nil {
+					fatalf("%v", err)
+				}
+			}
+		}
+	}
+
+	if want["3"] {
+		show(must(experiments.Fig3(scale)))
+	}
+	if want["6"] {
+		show(must(experiments.Fig6(scale, []string{"EU1", "EU2", "US1", "US2"})))
+	}
+	if want["7"] {
+		days := 4
+		if scale.EvalDays < days {
+			days = scale.EvalDays
+		}
+		show(must(experiments.Fig7(scale, *region, days)))
+	}
+	if want["8"] {
+		show(must(experiments.Fig8(scale, *region)))
+	}
+	if want["9"] {
+		show(must(experiments.Fig9(scale, *region)))
+	}
+	if want["10"] {
+		show(must(experiments.Fig10(scale, *region)))
+	}
+	if want["11"] {
+		show(must(experiments.Fig11(scale, *region, []int{1, 5, 10, 15})))
+	}
+	if want["12"] {
+		show(must(experiments.Fig12(scale, *region, []int{1, 5, 10, 15})))
+	}
+
+	if *ablations {
+		histories := []int{7, 14, 21, 28}
+		if scale.WarmupDays <= 28 {
+			histories = []int{3, 5, 7}
+		}
+		show(must(experiments.AblationHistoryLength(scale, *region, histories)))
+		show(must(experiments.AblationSeasonality(scale, *region)))
+		show(must(experiments.AblationPolicyLadder(scale, *region)))
+		show(must(experiments.Variance(scale, *region, []int64{1, 2, 3, 4, 5})))
+	}
+
+	if *future {
+		show(must(experiments.FutureAutoscale(scale, *region)))
+		show(must(experiments.FutureMaintenance(scale, *region)))
+		histories := []int{7, 14, 28}
+		if scale.WarmupDays <= 28 {
+			histories = []int{3, 7}
+		}
+		show(must(experiments.Drift(scale, *region, 4, histories)))
+	}
+}
+
+func must[T any](v T, err error) (T, error) { return v, err }
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "prorp-bench: "+format+"\n", args...)
+	os.Exit(1)
+}

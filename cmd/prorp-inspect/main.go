@@ -1,0 +1,53 @@
+// Command prorp-inspect evaluates the KPI metrics of Section 8 offline,
+// from an exported telemetry log — the Cosmos-side analysis path of the
+// paper. Logs are produced by `prorp-sim -telemetry <file>` or by
+// prorp.SimulateWithTelemetry (and in a real deployment, by the online
+// components themselves).
+//
+// Usage:
+//
+//	prorp-sim -telemetry run.csv -policy proactive -days 4
+//	prorp-inspect -in run.csv -from-day 15 -days 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"prorp"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "-", "telemetry log file ('-' = stdin)")
+		fromDay = flag.Int("from-day", 0, "evaluation window start, in days since the log epoch")
+		days    = flag.Int("days", 365, "evaluation window length in days")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		r = f
+	}
+
+	evalFrom := time.Unix(int64(*fromDay)*86400, 0)
+	evalTo := evalFrom.Add(time.Duration(*days) * 24 * time.Hour)
+	rep, err := prorp.EvaluateTelemetry(r, evalFrom, evalTo)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Print(rep)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "prorp-inspect: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,119 @@
+// Command prorp-sim runs one region-scale simulation of serverless
+// databases under the reactive baseline and the ProRP proactive policy and
+// prints the KPI report of each (Section 8 of the paper).
+//
+// Usage:
+//
+//	prorp-sim -region EU1 -dbs 400 -days 6
+//	prorp-sim -policy proactive -confidence 0.3 -window 4h
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"prorp"
+)
+
+func main() {
+	var (
+		region     = flag.String("region", "EU1", "region workload profile (EU1, EU2, US1, US2)")
+		dbs        = flag.Int("dbs", 400, "number of databases")
+		days       = flag.Int("days", 6, "evaluation days (after the history warm-up)")
+		history    = flag.Int("history", 28, "history length h in days")
+		seed       = flag.Int64("seed", 42, "workload seed")
+		policyName = flag.String("policy", "both", "policy to run: reactive, proactive, or both")
+		confidence = flag.Float64("confidence", 0.1, "confidence threshold c")
+		window     = flag.Duration("window", 7*time.Hour, "window size w")
+		slide      = flag.Duration("slide", 5*time.Minute, "window slide s")
+		pause      = flag.Duration("pause", 7*time.Hour, "logical pause duration l")
+		lead       = flag.Duration("lead", 5*time.Minute, "pre-warm lead k")
+		weekly     = flag.Bool("weekly", false, "use weekly instead of daily seasonality")
+		telemetry  = flag.String("telemetry", "", "export the run's telemetry log to this file (single-policy runs)")
+		configPath = flag.String("config", "", "JSON options file (flags below still override its knobs)")
+	)
+	flag.Parse()
+
+	baseOpts := prorp.DefaultOptions()
+	if *configPath != "" {
+		data, err := os.ReadFile(*configPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prorp-sim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := json.Unmarshal(data, &baseOpts); err != nil {
+			fmt.Fprintf(os.Stderr, "prorp-sim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	// Flags override config-file knobs only when explicitly set.
+	setFlags := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
+
+	run := func(mode prorp.Mode) {
+		opts := baseOpts
+		opts.Mode = mode
+		if setFlags["confidence"] || *configPath == "" {
+			opts.Confidence = *confidence
+		}
+		if setFlags["window"] || *configPath == "" {
+			opts.Window = *window
+		}
+		if setFlags["slide"] || *configPath == "" {
+			opts.Slide = *slide
+		}
+		if setFlags["pause"] || *configPath == "" {
+			opts.LogicalPause = *pause
+		}
+		if setFlags["lead"] || *configPath == "" {
+			opts.PrewarmLead = *lead
+		}
+		if *weekly {
+			opts.Seasonality = prorp.Weekly
+		}
+		cfg := prorp.SimulationConfig{
+			Region:      *region,
+			Databases:   *dbs,
+			HistoryDays: *history,
+			EvalDays:    *days,
+			Seed:        *seed,
+			Options:     &opts,
+		}
+		var rep prorp.Report
+		var err error
+		if *telemetry != "" {
+			var f *os.File
+			f, err = os.Create(*telemetry)
+			if err == nil {
+				rep, err = prorp.SimulateWithTelemetry(cfg, f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+		} else {
+			rep, err = prorp.Simulate(cfg)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prorp-sim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep)
+	}
+
+	switch *policyName {
+	case "reactive":
+		run(prorp.Reactive)
+	case "proactive":
+		run(prorp.Proactive)
+	case "both":
+		run(prorp.Reactive)
+		run(prorp.Proactive)
+	default:
+		fmt.Fprintf(os.Stderr, "prorp-sim: unknown policy %q\n", *policyName)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,163 @@
+// Command prorp-train runs the offline training pipeline of Section 8 of
+// the ProRP paper: it sweeps the prediction knobs (window size x confidence
+// threshold) over a region workload, evaluates the KPI metrics of every
+// configuration, and prints the grid plus the selected best middle ground
+// between quality of service and operational cost efficiency.
+//
+// Usage:
+//
+//	prorp-train -region EU1 -dbs 200
+//	prorp-train -windows 2,4,7 -confidences 0.1,0.3 -idle-weight 1.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"prorp/internal/cluster"
+	"prorp/internal/controlplane"
+	"prorp/internal/engine"
+	"prorp/internal/policy"
+	"prorp/internal/training"
+	"prorp/internal/workload"
+)
+
+const day = int64(86400)
+
+func main() {
+	var (
+		region      = flag.String("region", "EU1", "region workload profile")
+		dbs         = flag.Int("dbs", 200, "number of databases")
+		history     = flag.Int("history", 14, "history length h in days")
+		evalDays    = flag.Int("days", 4, "evaluation days")
+		seed        = flag.Int64("seed", 42, "workload seed")
+		windowsCSV  = flag.String("windows", "1,2,4,7,8", "window sizes to sweep (hours)")
+		confCSV     = flag.String("confidences", "0.1,0.2,0.4,0.6,0.8", "confidence thresholds to sweep")
+		idleWeight  = flag.Float64("idle-weight", 1.0, "idle penalty weight of the score")
+		quiet       = flag.Bool("best-only", false, "print only the selected configuration")
+		sensitivity = flag.Bool("sensitivity", false, "run the knob-importance analysis instead of the grid")
+		monthly     = flag.Int("monthly", 0, "run the deploy-measure-retrain loop for N periods instead of a single grid")
+		driftAt     = flag.Int("drift-at", 0, "with -monthly: shift workload phases at the start of this period")
+		driftHours  = flag.Int("drift-hours", 3, "with -monthly and -drift-at: phase shift in hours")
+	)
+	flag.Parse()
+
+	windows, err := parseInts(*windowsCSV)
+	if err != nil {
+		fatalf("bad -windows: %v", err)
+	}
+	confidences, err := parseFloats(*confCSV)
+	if err != nil {
+		fatalf("bad -confidences: %v", err)
+	}
+
+	if *monthly > 0 {
+		results, err := training.MonthlyLoop(training.MonthlyConfig{
+			Region:        *region,
+			Databases:     *dbs,
+			PeriodDays:    *evalDays,
+			Periods:       *monthly,
+			HistoryDays:   *history,
+			Seed:          *seed,
+			DriftAtPeriod: *driftAt,
+			DriftHours:    *driftHours,
+			WindowHours:   windows,
+			Confidences:   confidences,
+			IdleWeight:    *idleWeight,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Print(training.RenderMonthly(results))
+		return
+	}
+
+	prof, err := workload.Region(*region)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	gen, err := workload.NewGenerator(*seed, prof)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	warmup := int64(*history + 1)
+	to := (warmup + int64(*evalDays)) * day
+	traces := gen.Generate(*dbs, 0, to)
+
+	pol := policy.DefaultConfig()
+	pol.Predictor.HistoryDays = *history
+	base := engine.Config{
+		Policy:       pol,
+		ControlPlane: controlplane.DefaultConfig(),
+		Cluster:      cluster.DefaultConfig(*dbs),
+		From:         0,
+		EvalFrom:     warmup * day,
+		To:           to,
+		Seed:         *seed,
+	}
+	pipe, err := training.New(base, traces)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	pipe.IdleWeight = *idleWeight
+
+	if *sensitivity {
+		impacts, err := pipe.Sensitivity(training.SensitivityRange{})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Print(training.RenderSensitivity(impacts))
+		return
+	}
+
+	points, err := pipe.Grid(windows, confidences)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if !*quiet {
+		fmt.Printf("training grid (%s, %d databases, %d eval days, idle weight %.2f)\n",
+			*region, *dbs, *evalDays, *idleWeight)
+		fmt.Printf("%10s %12s %10s %10s %10s\n", "window(h)", "confidence", "QoS", "idle", "score")
+		for _, p := range points {
+			fmt.Printf("%10d %12.2f %9.1f%% %9.2f%% %10.2f\n",
+				p.WindowSec/3600, p.Confidence,
+				p.Report.QoSPercent(), p.Report.IdlePercent(), p.Score(*idleWeight))
+		}
+	}
+	best := pipe.Best(points)
+	fmt.Printf("selected: window=%dh confidence=%.2f (QoS %.1f%%, idle %.2f%%, score %.2f)\n",
+		best.WindowSec/3600, best.Confidence,
+		best.Report.QoSPercent(), best.Report.IdlePercent(), best.Score(*idleWeight))
+}
+
+func parseInts(csv string) ([]int, error) {
+	var out []int
+	for _, s := range strings.Split(csv, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(csv string) ([]float64, error) {
+	var out []float64
+	for _, s := range strings.Split(csv, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "prorp-train: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+package prorp_test
+
+import (
+	"fmt"
+	"time"
+
+	"prorp"
+)
+
+// The core integration loop: create a fleet, feed activity events, honor
+// wake-ups, and run the control plane's proactive resume operation.
+func ExampleFleet() {
+	opts := prorp.DefaultOptions()
+	opts.History = 7 * 24 * time.Hour
+
+	fleet, _ := prorp.NewFleet(opts)
+	start := time.Date(2023, 9, 4, 9, 0, 0, 0, time.UTC)
+	fleet.Create(1, start)
+
+	// A week of a daily routine teaches the policy the 9:00 login.
+	for d := 0; d < 8; d++ {
+		base := start.Add(time.Duration(d) * 24 * time.Hour)
+		if d > 0 {
+			fleet.Login(1, base)
+		}
+		fleet.Idle(1, base.Add(8*time.Hour))
+	}
+
+	// Overnight, the control plane pre-warms ahead of the prediction.
+	prewarmAt := start.Add(8*24*time.Hour - 5*time.Minute)
+	for _, pw := range fleet.RunResumeOp(prewarmAt) {
+		fmt.Printf("pre-warmed database %d (allocate=%v)\n", pw.ID, pw.Decision.Allocate)
+	}
+	d, _ := fleet.Login(1, start.Add(8*24*time.Hour))
+	fmt.Printf("login: %s (from prewarm: %v)\n", d.Event, d.FromPrewarm)
+	// Output:
+	// pre-warmed database 1 (allocate=true)
+	// login: resume-warm (from prewarm: true)
+}
+
+// A database defaults to reactive behaviour while it has no history.
+func ExampleNewDatabase() {
+	db, _ := prorp.NewDatabase(prorp.DefaultOptions(), 1,
+		time.Date(2023, 9, 4, 10, 0, 0, 0, time.UTC))
+	d := db.Idle(time.Date(2023, 9, 4, 11, 0, 0, 0, time.UTC))
+	fmt.Println(d.Event, d.WakeAt.Format("15:04"))
+	// Output: logical-pause 18:00
+}
+
+// Simulate replays a synthetic region through the full stack.
+func ExampleSimulate() {
+	opts := prorp.DefaultOptions()
+	opts.History = 7 * 24 * time.Hour
+	rep, _ := prorp.Simulate(prorp.SimulationConfig{
+		Region:    "EU1",
+		Databases: 50,
+		EvalDays:  2,
+		Seed:      42,
+		Options:   &opts,
+	})
+	fmt.Printf("proactive beats reactive when QoS > 80%%: %v\n", rep.QoSPercent > 80)
+	// Output: proactive beats reactive when QoS > 80%: true
+}
+
+// PlanMaintenance schedules system operations into predicted-online
+// windows (the paper's fourth future-work direction).
+func ExampleDatabase_PlanMaintenance() {
+	opts := prorp.DefaultOptions()
+	opts.History = 7 * 24 * time.Hour
+	start := time.Date(2023, 9, 4, 9, 0, 0, 0, time.UTC)
+	db, _ := prorp.NewDatabase(opts, 1, start)
+	for d := 0; d < 8; d++ {
+		base := start.Add(time.Duration(d) * 24 * time.Hour)
+		if d > 0 {
+			db.Login(base)
+		}
+		db.Idle(base.Add(8 * time.Hour))
+	}
+	now := start.Add(7*24*time.Hour + 13*time.Hour) // 22:00, paused
+	plan, _ := db.PlanMaintenance(now, 15*time.Minute, now.Add(24*time.Hour))
+	fmt.Println(plan.Strategy, plan.Start.Format("Mon 15:04"))
+	// Output: during-predicted-activity Tue 09:00
+}

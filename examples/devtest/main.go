@@ -1,0 +1,104 @@
+// Dev/test databases: the hard case for any predictor. A developer's
+// database sees unpredictable sessions at odd hours, plus a brand-new
+// database with no history at all.
+//
+// This example drives the per-database API directly to show two design
+// points of the paper:
+//
+//  1. New databases "default to reactive" (Section 4): with no reliable
+//     history, the policy logically pauses for the full l = 7 h and only
+//     then reclaims resources.
+//  2. Unpredictable old databases are physically paused immediately once
+//     no activity is predicted — the proactive policy's cost saving — at
+//     the price of cold logins when the developer does come back.
+//
+// Run: go run ./examples/devtest
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"prorp"
+)
+
+func main() {
+	// Paper defaults: 28-day history. A lone login then counts 1/28 < 0.1
+	// toward any window's confidence, so a fresh database really has no
+	// usable prediction.
+	opts := prorp.DefaultOptions()
+
+	start := time.Date(2023, 10, 2, 10, 0, 0, 0, time.UTC)
+
+	fmt.Println("--- a brand-new database (no history) ---")
+	fresh, err := prorp.NewDatabase(opts, 1, start)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := fresh.Idle(start.Add(30 * time.Minute))
+	fmt.Printf("10:30 idle -> %s (new database defaults to reactive behaviour)\n", d.Event)
+	fmt.Printf("      wake scheduled at %s (= idle + 7h logical pause)\n", d.WakeAt.Format("15:04"))
+	wokeAt := d.WakeAt
+	d = fresh.Wake(wokeAt)
+	fmt.Printf("%s wake -> %s (resources reclaimed only after the full pause)\n",
+		wokeAt.Format("15:04"), d.Event)
+
+	fmt.Println()
+	fmt.Println("--- a seasoned dev/test database (random sessions) ---")
+	birth := start.Add(-60 * 24 * time.Hour)
+	dev, err := prorp.NewDatabase(opts, 2, birth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Two months of memoryless sessions: exponential gaps, mean 4.5 days —
+	// too scattered for any 7-hour window to accumulate confidence.
+	rng := rand.New(rand.NewSource(11))
+	t := birth
+	sessions := 1 // the birth session is running
+	var lastEnd time.Time
+	for {
+		end := t.Add(time.Duration(20+rng.Intn(90)) * time.Minute)
+		wake := dev.Idle(end).WakeAt
+		lastEnd = end
+		gap := time.Duration(float64(4.5*24) * rng.ExpFloat64() * float64(time.Hour))
+		if gap < 2*time.Hour {
+			gap = 2 * time.Hour
+		}
+		t = end.Add(gap)
+		// Honor the policy's wake-up timers that fire before the next
+		// login, exactly as a production timer service would.
+		for !wake.IsZero() && wake.Before(t) {
+			wake = dev.Wake(wake).WakeAt
+		}
+		if !t.Before(start) {
+			break
+		}
+		dev.Login(t)
+		sessions++
+	}
+	fmt.Printf("replayed %d random sessions over 60 days (history kept compact: %d tuples, %d bytes)\n",
+		sessions, dev.HistoryTuples(), dev.HistoryBytes())
+
+	if s, _, ok := dev.NextPredictedActivity(); ok {
+		fmt.Printf("last session ended %s; next activity predicted %s\n",
+			lastEnd.Format("Jan 2 15:04"), s.Format("Jan 2 15:04"))
+	} else {
+		fmt.Printf("last session ended %s; NO activity predicted\n", lastEnd.Format("Jan 2 15:04"))
+	}
+	fmt.Printf("state after last session: %s", dev.State())
+	if dev.State() == prorp.PhysicallyPaused {
+		fmt.Printf(" — reclaimed immediately, no 7h logical-pause wait: the cost saving\n")
+	} else {
+		fmt.Println()
+	}
+
+	// The next login is cold: the price of unpredictability.
+	d = dev.Login(t)
+	fmt.Printf("surprise login at %s -> %s (allocate=%v: the customer waits for the resume workflow)\n",
+		t.Format("Jan 2 15:04"), d.Event, d.Allocate)
+
+	fmt.Println()
+	fmt.Println("Compare with examples/saasfleet, where predictable databases get warm logins instead.")
+}

@@ -1,0 +1,79 @@
+// Maintenance scheduling: the paper's fourth future-work direction
+// (Section 11). System operations — backups, software updates, stats
+// refresh — should run when the database is predicted to be online, so the
+// backend never resumes resources just for maintenance.
+//
+// Two databases, one nightly backup each:
+//   - a patterned database whose backup rides along with the predicted
+//     9:00 activity window;
+//   - an unpredictable database whose backup must force a resume — but as
+//     late as its deadline allows, giving a late prediction every chance
+//     to land first.
+//
+// Run: go run ./examples/maintenance
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"prorp"
+)
+
+func main() {
+	opts := prorp.DefaultOptions()
+	opts.History = 7 * 24 * time.Hour
+
+	start := time.Date(2023, 9, 4, 9, 0, 0, 0, time.UTC)
+
+	// Database 1: a clean daily pattern (9:00-12:00, 15:00-17:00).
+	patterned, err := prorp.NewDatabase(opts, 1, start)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for d := 0; d < 10; d++ {
+		base := start.Add(time.Duration(d) * 24 * time.Hour).Truncate(24 * time.Hour)
+		if d > 0 {
+			patterned.Login(base.Add(9 * time.Hour))
+		}
+		patterned.Idle(base.Add(12 * time.Hour))
+		patterned.Login(base.Add(15 * time.Hour))
+		patterned.Idle(base.Add(17 * time.Hour))
+	}
+
+	// Database 2: idle for so long that no activity is predicted (with the
+	// default 28-day history, its single long-ago login never clears the
+	// confidence threshold).
+	dormant, err := prorp.NewDatabase(prorp.DefaultOptions(), 2, start.Add(-40*24*time.Hour))
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := dormant.Idle(start.Add(-40*24*time.Hour + time.Hour))
+	if !d.WakeAt.IsZero() {
+		dormant.Wake(d.WakeAt)
+	}
+
+	// It is 22:00; nightly backups (15 min) must finish within 24 h.
+	now := start.Add(9*24*time.Hour + 13*time.Hour)
+	deadline := now.Add(24 * time.Hour)
+	fmt.Printf("planning nightly backups at %s (deadline %s)\n\n",
+		now.Format("Mon 15:04"), deadline.Format("Mon 15:04"))
+
+	for _, db := range []*prorp.Database{patterned, dormant} {
+		plan, err := db.PlanMaintenance(now, 15*time.Minute, deadline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("database %d (state %s):\n", db.ID(), db.State())
+		if s, _, ok := db.NextPredictedActivity(); ok {
+			fmt.Printf("  next activity predicted %s\n", s.Format("Mon 15:04"))
+		} else {
+			fmt.Printf("  no activity predicted\n")
+		}
+		fmt.Printf("  backup scheduled %s via %s (avoids dedicated resume: %v)\n\n",
+			plan.Start.Format("Mon 15:04"), plan.Strategy, plan.AvoidsResume)
+	}
+
+	fmt.Println("Fleet-scale version: go run ./cmd/prorp-bench -future")
+}

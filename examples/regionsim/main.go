@@ -1,0 +1,67 @@
+// Region simulation: the full ProRP stack — per-database policy machines,
+// region control plane with the proactive resume operation, node cluster
+// with allocation workflows — across all four region workload profiles,
+// plus a knob experiment showing the Figure 8/9 trade-off on one region.
+//
+// Run: go run ./examples/regionsim [-dbs 300]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"prorp"
+)
+
+func main() {
+	dbs := flag.Int("dbs", 300, "databases per region")
+	flag.Parse()
+
+	fmt.Println("=== reactive vs proactive across all regions (cf. paper Figure 6) ===")
+	fmt.Printf("%8s %18s %18s %14s %14s\n", "region", "reactive QoS", "proactive QoS", "reactive idle", "proactive idle")
+	for _, region := range prorp.Regions() {
+		var qos, idle [2]float64
+		for i, mode := range []prorp.Mode{prorp.Reactive, prorp.Proactive} {
+			opts := prorp.DefaultOptions()
+			opts.Mode = mode
+			opts.History = 14 * 24 * time.Hour
+			rep, err := prorp.Simulate(prorp.SimulationConfig{
+				Region:    region,
+				Databases: *dbs,
+				EvalDays:  4,
+				Seed:      42,
+				Options:   &opts,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			qos[i], idle[i] = rep.QoSPercent, rep.IdlePercent
+		}
+		fmt.Printf("%8s %17.1f%% %17.1f%% %13.2f%% %13.2f%%\n",
+			region, qos[0], qos[1], idle[0], idle[1])
+	}
+
+	fmt.Println()
+	fmt.Println("=== confidence threshold trade-off on EU1 (cf. paper Figure 9) ===")
+	fmt.Printf("%12s %10s %10s\n", "confidence", "QoS", "idle")
+	for _, c := range []float64{0.1, 0.3, 0.5, 0.8} {
+		opts := prorp.DefaultOptions()
+		opts.Confidence = c
+		opts.History = 14 * 24 * time.Hour
+		rep, err := prorp.Simulate(prorp.SimulationConfig{
+			Region:    "EU1",
+			Databases: *dbs,
+			EvalDays:  4,
+			Seed:      42,
+			Options:   &opts,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%12.1f %9.1f%% %9.2f%%\n", c, rep.QoSPercent, rep.IdlePercent)
+	}
+	fmt.Println("\nRaising the threshold trades quality of service for lower idle cost,")
+	fmt.Println("exactly the direction of the paper's Figure 9.")
+}

@@ -1,0 +1,107 @@
+package prorp
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestFleetArchiveRoundTrip(t *testing.T) {
+	// Default 28-day history: database 2's lone login stays below the
+	// confidence threshold (logical pause), while database 3's ten-day
+	// pattern still clears it (9/28 > 0.1).
+	opts := DefaultOptions()
+	fleet, _ := NewFleet(opts)
+
+	// Three databases in three different states.
+	fleet.Create(1, t0.Add(9*time.Hour)) // stays resumed/active
+	fleet.Create(2, t0)                  // logically paused
+	fleet.Idle(2, t0.Add(time.Hour))
+	fleet.Create(3, t0.Add(9*time.Hour)) // patterned, physically paused
+	for d := 0; d < 10; d++ {
+		base := t0.Add(time.Duration(d) * 24 * time.Hour)
+		if d > 0 {
+			fleet.Login(3, base.Add(9*time.Hour))
+		}
+		fleet.Idle(3, base.Add(12*time.Hour))
+		fleet.Login(3, base.Add(15*time.Hour))
+		fleet.Idle(3, base.Add(17*time.Hour))
+	}
+
+	var buf bytes.Buffer
+	if _, err := fleet.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, wakes, err := RestoreFleet(opts, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Size() != 3 {
+		t.Fatalf("restored %d databases, want 3", restored.Size())
+	}
+	for id, wantState := range map[int]State{
+		1: Resumed, 2: LogicallyPaused, 3: PhysicallyPaused,
+	} {
+		db, ok := restored.Database(id)
+		if !ok {
+			t.Fatalf("database %d missing", id)
+		}
+		if db.State() != wantState {
+			t.Fatalf("database %d state %v, want %v", id, db.State(), wantState)
+		}
+	}
+	// Exactly the logically paused database needs a wake.
+	if len(wakes) != 1 || wakes[0].ID != 2 {
+		t.Fatalf("wakes = %+v, want database 2 only", wakes)
+	}
+	// The physically paused database's metadata survived: the control
+	// plane prewarms it on schedule.
+	if restored.PausedCount() != 1 {
+		t.Fatalf("PausedCount = %d", restored.PausedCount())
+	}
+	due := t0.Add(10*24*time.Hour + 8*time.Hour + 55*time.Minute)
+	got := restored.RunResumeOp(due)
+	if len(got) != 1 || got[0].ID != 3 {
+		t.Fatalf("restored RunResumeOp = %+v", got)
+	}
+}
+
+func TestFleetArchiveEmpty(t *testing.T) {
+	fleet, _ := NewFleet(DefaultOptions())
+	var buf bytes.Buffer
+	if _, err := fleet.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, wakes, err := RestoreFleet(DefaultOptions(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Size() != 0 || len(wakes) != 0 {
+		t.Fatal("empty archive restored content")
+	}
+}
+
+func TestRestoreFleetRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": make([]byte, 8),
+		"truncated": func() []byte {
+			fleet, _ := NewFleet(DefaultOptions())
+			fleet.Create(1, t0)
+			var buf bytes.Buffer
+			fleet.WriteTo(&buf)
+			return buf.Bytes()[:buf.Len()-3]
+		}(),
+	}
+	for name, data := range cases {
+		if _, _, err := RestoreFleet(DefaultOptions(), bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	bad := DefaultOptions()
+	bad.Confidence = -1
+	if _, _, err := RestoreFleet(bad, bytes.NewReader(nil)); err == nil {
+		t.Error("invalid options accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module prorp
+
+go 1.22

@@ -1,0 +1,403 @@
+// Package autoscale implements the first future-work direction of the
+// ProRP paper (Section 11): moving from the binary allocate/reclaim
+// problem to proactive auto-scale of resources in small increments of
+// capacity.
+//
+// Demand is a step function over discrete capacity levels (think vCores).
+// Three scalers are compared, mirroring the paper's policy ladder:
+//
+//   - Reactive: allocation follows demand, but upward steps take effect
+//     only after the scale-up latency (the customer is throttled during
+//     the ramp), and downward steps wait out a cool-down (capacity idles).
+//   - Proactive: a per-slot seasonal profile (the natural generalization
+//     of Algorithm 4: the same time window on the previous h days, with a
+//     confidence threshold) pre-scales capacity ahead of predicted demand,
+//     absorbing the scale-up latency.
+//   - Oracle: allocation equals demand exactly (Figure 2(c) generalized).
+//
+// The evaluation metrics generalize Definition 2.2 to levels: throttled
+// core-seconds (demand above allocation), idle core-seconds (allocation
+// above demand), and used core-seconds.
+package autoscale
+
+import (
+	"fmt"
+	"math"
+)
+
+// SlotSec is the profile resolution: 5 minutes, matching the window slide
+// s of Table 1.
+const SlotSec = 300
+
+const daySec = 86400
+
+// slotsPerDay is the number of profile slots in one seasonal period.
+const slotsPerDay = daySec / SlotSec
+
+// LevelInterval is a span of constant demand at Level capacity units.
+type LevelInterval struct {
+	Start, End int64
+	Level      int
+}
+
+// Trace is the demand curve of one database: non-overlapping ascending
+// intervals; demand is zero between them.
+type Trace struct {
+	DB        int
+	Intervals []LevelInterval
+}
+
+// Validate checks trace invariants.
+func (t Trace) Validate() error {
+	for i, iv := range t.Intervals {
+		if iv.End <= iv.Start {
+			return fmt.Errorf("autoscale: trace %d interval %d empty", t.DB, i)
+		}
+		if iv.Level <= 0 {
+			return fmt.Errorf("autoscale: trace %d interval %d level %d", t.DB, i, iv.Level)
+		}
+		if i > 0 && iv.Start < t.Intervals[i-1].End {
+			return fmt.Errorf("autoscale: trace %d interval %d overlaps", t.DB, i)
+		}
+	}
+	return nil
+}
+
+// DemandAt returns the demand level at time t.
+func (t Trace) DemandAt(ts int64) int {
+	for _, iv := range t.Intervals {
+		if ts >= iv.Start && ts < iv.End {
+			return iv.Level
+		}
+		if iv.Start > ts {
+			break
+		}
+	}
+	return 0
+}
+
+// Config tunes the scalers.
+type Config struct {
+	// ScaleUpLatencySec is how long an upward capacity step takes to
+	// become effective; demand above allocation is throttled meanwhile.
+	ScaleUpLatencySec int64
+	// CooldownSec is how long allocation stays above demand before each
+	// one-level downward step (the level-world analogue of the logical
+	// pause, applied per increment).
+	CooldownSec int64
+	// HistoryDays is h: the seasonal lookback of the proactive profile.
+	HistoryDays int
+	// Confidence is c: a level is predicted for a slot only if demand
+	// reached it on at least ceil(c*h) of the previous h days.
+	Confidence float64
+	// LeadSec is k: how far ahead of predicted demand the proactive
+	// scaler raises capacity.
+	LeadSec int64
+}
+
+// DefaultConfig mirrors the paper's knob defaults where they carry over.
+func DefaultConfig() Config {
+	return Config{
+		ScaleUpLatencySec: 120,
+		CooldownSec:       3600,
+		HistoryDays:       14,
+		Confidence:        0.1,
+		LeadSec:           300,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.ScaleUpLatencySec < 0 || c.CooldownSec <= 0 || c.LeadSec < 0 {
+		return fmt.Errorf("autoscale: negative timing knob")
+	}
+	if c.HistoryDays <= 0 {
+		return fmt.Errorf("autoscale: history %d days", c.HistoryDays)
+	}
+	if c.Confidence <= 0 || c.Confidence > 1 {
+		return fmt.Errorf("autoscale: confidence %v", c.Confidence)
+	}
+	return nil
+}
+
+// Profile is the online seasonal demand profile of one database: for each
+// 5-minute slot of the day, the demand levels observed on each of the last
+// HistoryDays days.
+type Profile struct {
+	days     int
+	levels   [][slotsPerDay]uint8 // ring buffer over days
+	curDay   int64
+	haveDays int
+}
+
+// NewProfile returns an empty profile with an h-day lookback.
+func NewProfile(historyDays int) *Profile {
+	return &Profile{
+		days:   historyDays,
+		levels: make([][slotsPerDay]uint8, historyDays),
+		curDay: math.MinInt64,
+	}
+}
+
+// Observe records the demand level at time ts. Observations must arrive in
+// non-decreasing time order.
+func (p *Profile) Observe(ts int64, level int) {
+	day := ts / daySec
+	if p.curDay == math.MinInt64 {
+		p.curDay = day
+	}
+	for p.curDay < day {
+		// Roll into the next day: clear its ring slot.
+		p.curDay++
+		p.levels[int(p.curDay)%p.days] = [slotsPerDay]uint8{}
+		if p.haveDays < p.days {
+			p.haveDays++
+		}
+	}
+	slot := (ts % daySec) / SlotSec
+	ring := &p.levels[int(day)%p.days]
+	if l := clampLevel(level); l > ring[slot] {
+		ring[slot] = l
+	}
+}
+
+func clampLevel(level int) uint8 {
+	if level < 0 {
+		return 0
+	}
+	if level > 255 {
+		return 255
+	}
+	return uint8(level)
+}
+
+// PredictSlot returns the highest level that was demanded in the slot
+// containing ts on at least ceil(confidence*h) of the remembered days.
+func (p *Profile) PredictSlot(ts int64, confidence float64) int {
+	if p.haveDays == 0 {
+		return 0
+	}
+	need := int(math.Ceil(confidence * float64(p.days)))
+	if need < 1 {
+		need = 1
+	}
+	slot := (ts % daySec) / SlotSec
+	day := ts / daySec
+	// Count, per level, how many past days reached it in this slot.
+	var counts [256]int
+	for d := int64(1); d <= int64(p.days); d++ {
+		prev := day - d
+		if prev < 0 {
+			continue
+		}
+		lv := p.levels[int(prev)%p.days][slot]
+		counts[lv]++
+	}
+	// Walk from the top: a day that reached level L also reached all
+	// levels below it.
+	cum := 0
+	for lv := 255; lv >= 1; lv-- {
+		cum += counts[lv]
+		if cum >= need {
+			return lv
+		}
+	}
+	return 0
+}
+
+// PredictMax returns the highest confident prediction over [from, to).
+func (p *Profile) PredictMax(from, to int64, confidence float64) int {
+	best := 0
+	for ts := from; ts < to; ts += SlotSec {
+		if lv := p.PredictSlot(ts, confidence); lv > best {
+			best = lv
+		}
+	}
+	return best
+}
+
+// Result aggregates the generalized Definition 2.2 metrics in
+// core-seconds.
+type Result struct {
+	Name string
+	// Used: capacity serving demand (min(demand, alloc)).
+	Used int64
+	// Throttled: demand above allocation.
+	Throttled int64
+	// Idle: allocation above demand.
+	Idle int64
+	// Steps: number of allocation changes (workflow overhead).
+	Steps int
+}
+
+// ThrottledPercent is throttled demand as a share of total demand.
+func (r Result) ThrottledPercent() float64 {
+	total := r.Used + r.Throttled
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(r.Throttled) / float64(total)
+}
+
+// IdlePercent is idle capacity as a share of total allocation.
+func (r Result) IdlePercent() float64 {
+	total := r.Used + r.Idle
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(r.Idle) / float64(total)
+}
+
+// scaler is the per-database allocation strategy evaluated by Run.
+type scaler interface {
+	// target returns the desired allocation at time ts given current
+	// demand; Run applies scale-up latency and counts steps.
+	target(ts int64, demand int) int
+	// name labels the result.
+	name() string
+}
+
+type reactiveScaler struct {
+	cfg       Config
+	lastAbove int64 // last time demand reached the current allocation
+	alloc     int
+}
+
+func (s *reactiveScaler) name() string { return "reactive" }
+
+func (s *reactiveScaler) target(ts int64, demand int) int {
+	if demand >= s.alloc {
+		s.lastAbove = ts
+		s.alloc = demand
+		return demand
+	}
+	// Scale down one step at a time after the cool-down.
+	if ts-s.lastAbove >= s.cfg.CooldownSec && s.alloc > demand {
+		s.alloc--
+		s.lastAbove = ts
+	}
+	return s.alloc
+}
+
+type proactiveScaler struct {
+	cfg       Config
+	profile   *Profile
+	lastAbove int64
+	alloc     int
+}
+
+func (s *proactiveScaler) name() string { return "proactive" }
+
+func (s *proactiveScaler) target(ts int64, demand int) int {
+	s.profile.Observe(ts, demand)
+	predicted := s.profile.PredictMax(ts, ts+s.cfg.LeadSec+s.cfg.ScaleUpLatencySec, s.cfg.Confidence)
+	want := demand
+	if predicted > want {
+		want = predicted
+	}
+	if want >= s.alloc {
+		if want > s.alloc {
+			s.alloc = want
+		}
+		s.lastAbove = ts
+		return s.alloc
+	}
+	// Predicted and current demand both below allocation: step down after
+	// the cool-down, but never below the prediction.
+	if ts-s.lastAbove >= s.cfg.CooldownSec && s.alloc > want {
+		s.alloc--
+		s.lastAbove = ts
+	}
+	return s.alloc
+}
+
+type oracleScaler struct{}
+
+func (oracleScaler) name() string                   { return "oracle" }
+func (oracleScaler) target(_ int64, demand int) int { return demand }
+
+// Run evaluates one scaler over the trace between from and evalTo,
+// measuring only after evalFrom (the warm-up builds the profile). The
+// scale-up latency is applied outside the scaler: an upward step requested
+// at t becomes effective at t+latency, except for the oracle.
+func Run(cfg Config, tr Trace, s scaler, from, evalFrom, evalTo int64) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := tr.Validate(); err != nil {
+		return Result{}, err
+	}
+	if !(from <= evalFrom && evalFrom < evalTo) {
+		return Result{}, fmt.Errorf("autoscale: bad horizon %d/%d/%d", from, evalFrom, evalTo)
+	}
+
+	res := Result{Name: s.name()}
+	_, isOracle := s.(oracleScaler)
+
+	effective := 0        // capacity actually available
+	pendingLevel := 0     // requested upward step…
+	pendingAt := int64(0) // …and when it lands
+	for ts := from; ts < evalTo; ts += SlotSec {
+		demand := tr.DemandAt(ts)
+		want := s.target(ts, demand)
+
+		if isOracle {
+			effective = want
+		} else {
+			// Apply the pending step if its latency elapsed.
+			if pendingLevel > effective && ts >= pendingAt {
+				effective = pendingLevel
+				res.Steps++
+			}
+			switch {
+			case want > effective && pendingLevel != want:
+				pendingLevel = want
+				pendingAt = ts + cfg.ScaleUpLatencySec
+			case want < effective:
+				effective = want // downward steps are immediate
+				pendingLevel = want
+				res.Steps++
+			}
+		}
+
+		if ts < evalFrom {
+			continue
+		}
+		served := demand
+		if effective < served {
+			served = effective
+		}
+		res.Used += int64(served) * SlotSec
+		if demand > effective {
+			res.Throttled += int64(demand-effective) * SlotSec
+		}
+		if effective > demand {
+			res.Idle += int64(effective-demand) * SlotSec
+		}
+	}
+	return res, nil
+}
+
+// Compare evaluates the three scalers over a trace set and returns the
+// aggregated results in ladder order: reactive, proactive, oracle.
+func Compare(cfg Config, traces []Trace, from, evalFrom, evalTo int64) ([3]Result, error) {
+	var out [3]Result
+	for i, mk := range []func() scaler{
+		func() scaler { return &reactiveScaler{cfg: cfg} },
+		func() scaler { return &proactiveScaler{cfg: cfg, profile: NewProfile(cfg.HistoryDays)} },
+		func() scaler { return oracleScaler{} },
+	} {
+		for _, tr := range traces {
+			r, err := Run(cfg, tr, mk(), from, evalFrom, evalTo)
+			if err != nil {
+				return out, err
+			}
+			out[i].Name = r.Name
+			out[i].Used += r.Used
+			out[i].Throttled += r.Throttled
+			out[i].Idle += r.Idle
+			out[i].Steps += r.Steps
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,258 @@
+package autoscale
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const (
+	day  = int64(86400)
+	hour = int64(3600)
+)
+
+// dailyLevelTrace builds a demand curve repeating daily: level 2 during
+// 9:00-12:00 ramping to 4 during 12:00-14:00, back to 1 until 17:00.
+func dailyLevelTrace(days int) Trace {
+	var tr Trace
+	for d := 0; d < days; d++ {
+		base := int64(d) * day
+		tr.Intervals = append(tr.Intervals,
+			LevelInterval{Start: base + 9*hour, End: base + 12*hour, Level: 2},
+			LevelInterval{Start: base + 12*hour, End: base + 14*hour, Level: 4},
+			LevelInterval{Start: base + 14*hour, End: base + 17*hour, Level: 1},
+		)
+	}
+	return tr
+}
+
+func TestTraceValidate(t *testing.T) {
+	if err := dailyLevelTrace(3).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Trace{
+		{Intervals: []LevelInterval{{Start: 10, End: 10, Level: 1}}},
+		{Intervals: []LevelInterval{{Start: 10, End: 20, Level: 0}}},
+		{Intervals: []LevelInterval{{Start: 10, End: 20, Level: 1}, {Start: 15, End: 30, Level: 1}}},
+	}
+	for i, tr := range bad {
+		if err := tr.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestDemandAt(t *testing.T) {
+	tr := dailyLevelTrace(1)
+	cases := []struct {
+		ts   int64
+		want int
+	}{
+		{0, 0}, {9 * hour, 2}, {11 * hour, 2}, {12 * hour, 4},
+		{13 * hour, 4}, {14 * hour, 1}, {17 * hour, 0}, {20 * hour, 0},
+	}
+	for _, c := range cases {
+		if got := tr.DemandAt(c.ts); got != c.want {
+			t.Errorf("DemandAt(%dh) = %d, want %d", c.ts/hour, got, c.want)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{ScaleUpLatencySec: -1, CooldownSec: 1, HistoryDays: 1, Confidence: 0.1},
+		{CooldownSec: 0, HistoryDays: 1, Confidence: 0.1},
+		{CooldownSec: 1, HistoryDays: 0, Confidence: 0.1},
+		{CooldownSec: 1, HistoryDays: 1, Confidence: 0},
+		{CooldownSec: 1, HistoryDays: 1, Confidence: 1.5},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestProfilePredictsDailyPeak(t *testing.T) {
+	p := NewProfile(7)
+	tr := dailyLevelTrace(8)
+	for ts := int64(0); ts < 8*day; ts += SlotSec {
+		p.Observe(ts, tr.DemandAt(ts))
+	}
+	// On day 8, the 13:00 slot must predict level 4 and the 10:00 slot
+	// level 2 at low confidence.
+	if got := p.PredictSlot(8*day+13*hour, 0.1); got != 4 {
+		t.Errorf("13:00 prediction = %d, want 4", got)
+	}
+	if got := p.PredictSlot(8*day+10*hour, 0.1); got != 2 {
+		t.Errorf("10:00 prediction = %d, want 2", got)
+	}
+	if got := p.PredictSlot(8*day+3*hour, 0.1); got != 0 {
+		t.Errorf("03:00 prediction = %d, want 0", got)
+	}
+	// PredictMax over the midday span sees the peak.
+	if got := p.PredictMax(8*day+9*hour, 8*day+15*hour, 0.1); got != 4 {
+		t.Errorf("PredictMax = %d, want 4", got)
+	}
+}
+
+func TestProfileConfidenceFilters(t *testing.T) {
+	p := NewProfile(10)
+	// Level 3 on only 2 of 10 days at 09:00; level 1 every day.
+	for d := int64(0); d < 10; d++ {
+		lv := 1
+		if d < 2 {
+			lv = 3
+		}
+		p.Observe(d*day+9*hour, lv)
+	}
+	now := 10*day + 9*hour
+	if got := p.PredictSlot(now, 0.1); got != 3 {
+		t.Errorf("c=0.1 prediction = %d, want 3 (1 day suffices)", got)
+	}
+	if got := p.PredictSlot(now, 0.2); got != 3 {
+		t.Errorf("c=0.2 prediction = %d, want 3 (2 days suffice)", got)
+	}
+	if got := p.PredictSlot(now, 0.3); got != 1 {
+		t.Errorf("c=0.3 prediction = %d, want 1 (3 days needed for level 3)", got)
+	}
+}
+
+func TestProfileEmpty(t *testing.T) {
+	p := NewProfile(7)
+	if got := p.PredictSlot(123456, 0.1); got != 0 {
+		t.Errorf("empty profile predicted %d", got)
+	}
+}
+
+func TestOracleIsPerfect(t *testing.T) {
+	cfg := DefaultConfig()
+	tr := dailyLevelTrace(20)
+	res, err := Run(cfg, tr, oracleScaler{}, 0, 15*day, 20*day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throttled != 0 || res.Idle != 0 {
+		t.Fatalf("oracle throttled=%d idle=%d", res.Throttled, res.Idle)
+	}
+	if res.Used == 0 {
+		t.Fatal("oracle served nothing")
+	}
+}
+
+func TestReactiveThrottlesDuringRamp(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ScaleUpLatencySec = 600
+	tr := dailyLevelTrace(20)
+	res, err := Run(cfg, tr, &reactiveScaler{cfg: cfg}, 0, 15*day, 20*day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throttled == 0 {
+		t.Fatal("reactive scaler never throttled despite scale-up latency")
+	}
+	if res.Idle == 0 {
+		t.Fatal("reactive scaler never idled despite cool-down")
+	}
+}
+
+func TestCompareLadder(t *testing.T) {
+	// The paper's expectation generalized: proactive throttles less than
+	// reactive on seasonal demand, and the oracle is perfect.
+	cfg := DefaultConfig()
+	cfg.ScaleUpLatencySec = 600
+	traces := []Trace{dailyLevelTrace(20), dailyLevelTrace(20)}
+	out, err := Compare(cfg, traces, 0, 15*day, 20*day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rea, pro, ora := out[0], out[1], out[2]
+	if rea.Name != "reactive" || pro.Name != "proactive" || ora.Name != "oracle" {
+		t.Fatalf("ladder order broken: %s/%s/%s", rea.Name, pro.Name, ora.Name)
+	}
+	if pro.Throttled >= rea.Throttled {
+		t.Errorf("proactive throttled %d >= reactive %d", pro.Throttled, rea.Throttled)
+	}
+	if ora.Throttled != 0 || ora.Idle != 0 {
+		t.Errorf("oracle imperfect: %+v", ora)
+	}
+	if pro.ThrottledPercent() < 0 || pro.IdlePercent() < 0 {
+		t.Error("negative percentages")
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	cfg := DefaultConfig()
+	tr := dailyLevelTrace(5)
+	if _, err := Run(cfg, tr, oracleScaler{}, 10, 5, 20); err == nil {
+		t.Error("evalFrom before from accepted")
+	}
+	bad := cfg
+	bad.HistoryDays = 0
+	if _, err := Run(bad, tr, oracleScaler{}, 0, 1, 2); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := Run(cfg, Trace{Intervals: []LevelInterval{{0, 0, 1}}}, oracleScaler{}, 0, 1, 2); err == nil {
+		t.Error("invalid trace accepted")
+	}
+}
+
+func TestResultPercentDegenerate(t *testing.T) {
+	var r Result
+	if r.ThrottledPercent() != 0 || r.IdlePercent() != 0 {
+		t.Error("zero result has nonzero percentages")
+	}
+}
+
+// Property: for any demand trace, used + throttled core-seconds equals
+// total demand core-seconds, under every scaler.
+func TestQuickDemandConservation(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var tr Trace
+		ts := int64(0)
+		for i := 0; i < 30; i++ {
+			ts += int64(rng.Intn(int(12 * hour)))
+			end := ts + SlotSec + int64(rng.Intn(int(6*hour)))
+			tr.Intervals = append(tr.Intervals, LevelInterval{Start: ts, End: end, Level: 1 + rng.Intn(5)})
+			ts = end
+		}
+		var demand int64
+		for t := int64(0); t < 10*day; t += SlotSec {
+			demand += int64(tr.DemandAt(t)) * SlotSec
+		}
+		for _, s := range []scaler{
+			&reactiveScaler{cfg: cfg},
+			&proactiveScaler{cfg: cfg, profile: NewProfile(cfg.HistoryDays)},
+			oracleScaler{},
+		} {
+			r, err := Run(cfg, tr, s, 0, 0, 10*day)
+			if err != nil {
+				return false
+			}
+			if r.Used+r.Throttled != demand {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkProactiveScalerDay(b *testing.B) {
+	cfg := DefaultConfig()
+	tr := dailyLevelTrace(30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := &proactiveScaler{cfg: cfg, profile: NewProfile(cfg.HistoryDays)}
+		if _, err := Run(cfg, tr, s, 0, 29*day, 30*day); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+// Package cluster simulates the physical substrate of an Azure SQL region:
+// a fleet of nodes with finite capacity, and the resource allocation and
+// reclamation workflows whose latency and volume motivate ProRP.
+//
+// Two production effects from the paper are modelled:
+//
+//   - Delayed resource availability (Section 1, limitation 1): allocating
+//     resources takes ResumeLatencySec; if the database's home node has no
+//     free capacity it must move to another node, which costs extra
+//     (König et al., cited as [42] in the paper).
+//   - Workflow overhead and reliability (Sections 1 and 7): each workflow
+//     is counted, and a configurable fraction gets "stuck" and needs the
+//     diagnostics-and-mitigation runner to complete.
+//
+// Capacity is counted in abstract units; the binary problem of the paper
+// means one database consumes one unit while resumed or logically paused
+// and zero while physically paused.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Config sizes the simulated region.
+type Config struct {
+	// Nodes is the number of physical machines.
+	Nodes int
+	// NodeCapacity is how many allocated databases fit on one node.
+	NodeCapacity int
+	// ResumeLatencySec is the base latency of a resource allocation
+	// workflow (demand signal to usable resources).
+	ResumeLatencySec int64
+	// MoveLatencySec is the extra latency when the database must move to
+	// another node because its home node is full.
+	MoveLatencySec int64
+	// StuckProb is the probability that a workflow gets stuck and needs
+	// mitigation by the diagnostics runner.
+	StuckProb float64
+	// StuckExtraSec is the extra delay a stuck workflow suffers until the
+	// mitigation completes it.
+	StuckExtraSec int64
+}
+
+// DefaultConfig returns a small but contended region: enough capacity for
+// the fleet only because idle databases release their units.
+func DefaultConfig(databases int) Config {
+	nodes := databases/20 + 1
+	return Config{
+		Nodes:            nodes,
+		NodeCapacity:     16,
+		ResumeLatencySec: 45,
+		MoveLatencySec:   120,
+		StuckProb:        0.002,
+		StuckExtraSec:    600,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("cluster: %d nodes, want > 0", c.Nodes)
+	}
+	if c.NodeCapacity <= 0 {
+		return fmt.Errorf("cluster: node capacity %d, want > 0", c.NodeCapacity)
+	}
+	if c.ResumeLatencySec < 0 || c.MoveLatencySec < 0 || c.StuckExtraSec < 0 {
+		return fmt.Errorf("cluster: negative latency")
+	}
+	if c.StuckProb < 0 || c.StuckProb > 1 {
+		return fmt.Errorf("cluster: stuck probability %v outside [0,1]", c.StuckProb)
+	}
+	return nil
+}
+
+// AllocResult describes one allocation workflow.
+type AllocResult struct {
+	// LatencySec is the total delay until resources are usable.
+	LatencySec int64
+	// Moved reports that the database changed nodes.
+	Moved bool
+	// Stuck reports that the workflow needed mitigation.
+	Stuck bool
+}
+
+// Stats are cumulative workflow counters.
+type Stats struct {
+	Allocations int
+	Reclaims    int
+	Moves       int
+	Stuck       int
+	// PeakAllocated is the high-water mark of simultaneously allocated
+	// databases.
+	PeakAllocated int
+}
+
+// Cluster tracks node occupancy. Not safe for concurrent use.
+type Cluster struct {
+	cfg       Config
+	rng       *rand.Rand
+	free      []int       // free capacity per node
+	home      map[int]int // database -> home node
+	allocated map[int]bool
+	stats     Stats
+}
+
+// New builds a cluster.
+func New(cfg Config, seed int64) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	free := make([]int, cfg.Nodes)
+	for i := range free {
+		free[i] = cfg.NodeCapacity
+	}
+	return &Cluster{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(seed)),
+		free:      free,
+		home:      make(map[int]int),
+		allocated: make(map[int]bool),
+	}, nil
+}
+
+// Allocated reports whether db currently holds resources.
+func (c *Cluster) Allocated(db int) bool { return c.allocated[db] }
+
+// AllocatedCount reports how many databases currently hold resources.
+func (c *Cluster) AllocatedCount() int { return len(c.allocated) }
+
+// Capacity reports the total capacity of the region.
+func (c *Cluster) Capacity() int { return c.cfg.Nodes * c.cfg.NodeCapacity }
+
+// Stats returns cumulative workflow counters.
+func (c *Cluster) Stats() Stats { return c.stats }
+
+// Allocate runs a resource allocation workflow for db. It prefers the
+// database's home node, falls back to the least-loaded node (a move), and
+// fails when the region is out of capacity. Allocating an already-allocated
+// database is a no-op with zero latency (logical pauses keep resources).
+func (c *Cluster) Allocate(db int) (AllocResult, error) {
+	if c.allocated[db] {
+		return AllocResult{}, nil
+	}
+	var res AllocResult
+	res.LatencySec = c.cfg.ResumeLatencySec
+
+	node, hasHome := c.home[db]
+	if !hasHome || c.free[node] == 0 {
+		best := -1
+		for i, f := range c.free {
+			if f > 0 && (best == -1 || f > c.free[best]) {
+				best = i
+			}
+		}
+		if best == -1 {
+			return AllocResult{}, fmt.Errorf("cluster: no capacity for database %d", db)
+		}
+		if hasHome {
+			// Home node full: tenant must move (paper Section 1).
+			res.Moved = true
+			res.LatencySec += c.cfg.MoveLatencySec
+			c.stats.Moves++
+		}
+		node = best
+		c.home[db] = node
+	}
+
+	c.free[node]--
+	c.allocated[db] = true
+	c.stats.Allocations++
+	if len(c.allocated) > c.stats.PeakAllocated {
+		c.stats.PeakAllocated = len(c.allocated)
+	}
+
+	if c.cfg.StuckProb > 0 && c.rng.Float64() < c.cfg.StuckProb {
+		res.Stuck = true
+		res.LatencySec += c.cfg.StuckExtraSec
+		c.stats.Stuck++
+	}
+	return res, nil
+}
+
+// Release runs a resource reclamation workflow for db (physical pause).
+// Releasing an unallocated database is a no-op.
+func (c *Cluster) Release(db int) {
+	if !c.allocated[db] {
+		return
+	}
+	delete(c.allocated, db)
+	c.free[c.home[db]]++
+	c.stats.Reclaims++
+}
+
+// FreeCapacity reports the total free units across the region.
+func (c *Cluster) FreeCapacity() int {
+	total := 0
+	for _, f := range c.free {
+		total += f
+	}
+	return total
+}

@@ -1,0 +1,227 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func small(t *testing.T) *Cluster {
+	t.Helper()
+	c, err := New(Config{
+		Nodes:            2,
+		NodeCapacity:     2,
+		ResumeLatencySec: 45,
+		MoveLatencySec:   120,
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Nodes: 0, NodeCapacity: 1},
+		{Nodes: 1, NodeCapacity: 0},
+		{Nodes: 1, NodeCapacity: 1, ResumeLatencySec: -1},
+		{Nodes: 1, NodeCapacity: 1, StuckProb: 1.5},
+		{Nodes: 1, NodeCapacity: 1, StuckProb: -0.5},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, cfg)
+		}
+	}
+	if err := DefaultConfig(100).Validate(); err != nil {
+		t.Errorf("DefaultConfig invalid: %v", err)
+	}
+}
+
+func TestAllocateRelease(t *testing.T) {
+	c := small(t)
+	res, err := c.Allocate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LatencySec != 45 || res.Moved || res.Stuck {
+		t.Fatalf("first allocation = %+v", res)
+	}
+	if !c.Allocated(1) || c.AllocatedCount() != 1 {
+		t.Fatal("allocation not tracked")
+	}
+	if c.FreeCapacity() != 3 {
+		t.Fatalf("FreeCapacity = %d, want 3", c.FreeCapacity())
+	}
+	c.Release(1)
+	if c.Allocated(1) || c.FreeCapacity() != 4 {
+		t.Fatal("release not tracked")
+	}
+	st := c.Stats()
+	if st.Allocations != 1 || st.Reclaims != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDoubleAllocateIsNoop(t *testing.T) {
+	c := small(t)
+	c.Allocate(1)
+	res, err := c.Allocate(1)
+	if err != nil || res.LatencySec != 0 {
+		t.Fatalf("double allocate = %+v, %v", res, err)
+	}
+	if c.Stats().Allocations != 1 {
+		t.Fatal("double allocate counted twice")
+	}
+}
+
+func TestDoubleReleaseIsNoop(t *testing.T) {
+	c := small(t)
+	c.Allocate(1)
+	c.Release(1)
+	c.Release(1)
+	if c.Stats().Reclaims != 1 {
+		t.Fatal("double release counted twice")
+	}
+	if c.FreeCapacity() != 4 {
+		t.Fatalf("FreeCapacity = %d after double release", c.FreeCapacity())
+	}
+}
+
+func TestHomeNodeAffinity(t *testing.T) {
+	c := small(t)
+	c.Allocate(1)
+	c.Release(1)
+	res, _ := c.Allocate(1)
+	if res.Moved {
+		t.Fatal("re-allocation on a free home node reported a move")
+	}
+}
+
+func TestMoveWhenHomeNodeFull(t *testing.T) {
+	c := small(t)
+	// Fill db 1's home node with other tenants.
+	c.Allocate(1)
+	home := c.home[1]
+	c.Release(1)
+	filler := 100
+	for c.free[home] > 0 {
+		c.home[filler] = home
+		c.Allocate(filler)
+		filler++
+	}
+	res, err := c.Allocate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Moved {
+		t.Fatal("full home node did not force a move")
+	}
+	if res.LatencySec != 45+120 {
+		t.Fatalf("move latency = %d, want 165", res.LatencySec)
+	}
+	if c.home[1] == home {
+		t.Fatal("home node not updated after move")
+	}
+	if c.Stats().Moves != 1 {
+		t.Fatal("move not counted")
+	}
+}
+
+func TestOutOfCapacity(t *testing.T) {
+	c := small(t)
+	for i := 0; i < 4; i++ {
+		if _, err := c.Allocate(i); err != nil {
+			t.Fatalf("allocation %d failed: %v", i, err)
+		}
+	}
+	if _, err := c.Allocate(99); err == nil {
+		t.Fatal("allocation beyond capacity succeeded")
+	}
+	// Releasing frees a slot again.
+	c.Release(0)
+	if _, err := c.Allocate(99); err != nil {
+		t.Fatalf("allocation after release failed: %v", err)
+	}
+}
+
+func TestStuckWorkflows(t *testing.T) {
+	c, err := New(Config{
+		Nodes: 10, NodeCapacity: 100,
+		ResumeLatencySec: 45, StuckProb: 0.5, StuckExtraSec: 600,
+	}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stuck := 0
+	for i := 0; i < 500; i++ {
+		res, err := c.Allocate(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stuck {
+			stuck++
+			if res.LatencySec != 645 {
+				t.Fatalf("stuck latency = %d, want 645", res.LatencySec)
+			}
+		}
+	}
+	if stuck < 180 || stuck > 320 {
+		t.Fatalf("stuck count = %d of 500 at p=0.5", stuck)
+	}
+	if c.Stats().Stuck != stuck {
+		t.Fatal("stuck counter mismatch")
+	}
+}
+
+func TestPeakAllocated(t *testing.T) {
+	c := small(t)
+	c.Allocate(1)
+	c.Allocate(2)
+	c.Allocate(3)
+	c.Release(1)
+	c.Release(2)
+	if got := c.Stats().PeakAllocated; got != 3 {
+		t.Fatalf("PeakAllocated = %d, want 3", got)
+	}
+}
+
+// Property: free capacity plus allocated count is invariant and per-node
+// free capacity never goes negative, under arbitrary operation sequences.
+func TestQuickCapacityConservation(t *testing.T) {
+	f := func(ops []uint16) bool {
+		c, err := New(Config{Nodes: 3, NodeCapacity: 4, ResumeLatencySec: 1}, 9)
+		if err != nil {
+			return false
+		}
+		for _, op := range ops {
+			db := int(op % 20)
+			if op%2 == 0 {
+				c.Allocate(db) // may fail when full; fine
+			} else {
+				c.Release(db)
+			}
+			if c.FreeCapacity()+c.AllocatedCount() != c.Capacity() {
+				return false
+			}
+			for _, f := range c.free {
+				if f < 0 || f > 4 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAllocateReleaseCycle(b *testing.B) {
+	c, _ := New(DefaultConfig(1000), 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		db := i % 500
+		c.Allocate(db)
+		c.Release(db)
+	}
+}

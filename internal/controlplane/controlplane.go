@@ -1,0 +1,204 @@
+// Package controlplane implements the region-level components of ProRP
+// (Section 7 of the paper): the metadata store over physically paused
+// databases (the paper's sys.databases view), the periodic proactive-resume
+// operation of Algorithm 5, and the diagnostics-and-mitigation runner that
+// watches the resume and pause queues.
+package controlplane
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MetadataStore is the per-region record of physically paused databases and
+// the start of their next predicted activity (Algorithm 1 line 31 writes
+// it; Algorithm 5 reads it). A predicted start of 0 means "no prediction" —
+// such databases are never proactively resumed.
+type MetadataStore struct {
+	predStart map[int]int64
+}
+
+// NewMetadataStore returns an empty store.
+func NewMetadataStore() *MetadataStore {
+	return &MetadataStore{predStart: make(map[int]int64)}
+}
+
+// SetPaused records that db physically paused with the given predicted
+// next activity start (0 = none).
+func (s *MetadataStore) SetPaused(db int, predStart int64) {
+	s.predStart[db] = predStart
+}
+
+// ClearPaused removes db from the paused set (it resumed by any means).
+func (s *MetadataStore) ClearPaused(db int) {
+	delete(s.predStart, db)
+}
+
+// PausedCount reports how many databases are physically paused.
+func (s *MetadataStore) PausedCount() int { return len(s.predStart) }
+
+// PredictedStart returns the recorded prediction for db.
+func (s *MetadataStore) PredictedStart(db int) (int64, bool) {
+	v, ok := s.predStart[db]
+	return v, ok
+}
+
+// SelectDue implements the SELECT of Algorithm 5: physically paused
+// databases whose predicted activity starts within the k-th interval from
+// now — concretely, 0 < start <= now + k + period, where period is the
+// cadence of the proactive resume operation. Including already-due entries
+// (start < now+k) catches predictions that became due between iterations,
+// which the paper's one-minute cadence makes negligible but a slower
+// cadence would miss. Results are sorted by database id for determinism.
+func (s *MetadataStore) SelectDue(now, prewarmLeadSec, periodSec int64) []int {
+	var due []int
+	cutoff := now + prewarmLeadSec + periodSec
+	for db, start := range s.predStart {
+		if start > 0 && start <= cutoff {
+			due = append(due, db)
+		}
+	}
+	sort.Ints(due)
+	return due
+}
+
+// Config tunes the region control plane.
+type Config struct {
+	// OpPeriodSec is the cadence of the proactive resume operation. The
+	// paper evaluates 1-15 minutes (Figure 11) and deploys 1 minute.
+	OpPeriodSec int64
+	// PrewarmLeadSec is k: resources are resumed this long before the
+	// predicted activity (Table 1 default: 5 minutes).
+	PrewarmLeadSec int64
+	// MaxPrewarmsPerOp caps how many databases one iteration resumes, the
+	// scaling guardrail discussed with Figure 11 (about one hundred in
+	// production). 0 means unlimited.
+	MaxPrewarmsPerOp int
+}
+
+// DefaultConfig returns the production settings: 1-minute cadence, 5-minute
+// pre-warm lead, 100 pre-warms per iteration.
+func DefaultConfig() Config {
+	return Config{OpPeriodSec: 60, PrewarmLeadSec: 300, MaxPrewarmsPerOp: 100}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.OpPeriodSec <= 0 {
+		return fmt.Errorf("controlplane: op period %d s, want > 0", c.OpPeriodSec)
+	}
+	if c.PrewarmLeadSec < 0 {
+		return fmt.Errorf("controlplane: negative prewarm lead")
+	}
+	if c.MaxPrewarmsPerOp < 0 {
+		return fmt.Errorf("controlplane: negative prewarm cap")
+	}
+	return nil
+}
+
+// ResumeOp is one iteration of the proactive resume operation. It selects
+// the due databases (respecting the per-iteration cap; the overflow stays
+// in the store for the next iteration) and removes them from the metadata
+// store. The caller pre-warms each returned database.
+func (s *MetadataStore) ResumeOp(cfg Config, now int64) []int {
+	due := s.SelectDue(now, cfg.PrewarmLeadSec, cfg.OpPeriodSec)
+	if cfg.MaxPrewarmsPerOp > 0 && len(due) > cfg.MaxPrewarmsPerOp {
+		due = due[:cfg.MaxPrewarmsPerOp]
+	}
+	for _, db := range due {
+		delete(s.predStart, db)
+	}
+	return due
+}
+
+// Runner is the diagnostics-and-mitigation runner of Section 7: it watches
+// the volume of in-flight resume and pause workflows and mitigates the ones
+// that exceed the stuck threshold. "In rare cases, this automatic
+// mitigation process times out or fails, incidents are triggered and
+// resolved by an on-call engineer" — modelled by MitigationFailureProb and
+// the Incidents counter.
+type Runner struct {
+	// StuckThresholdSec is how long a workflow may stay in flight before
+	// the runner mitigates it.
+	StuckThresholdSec int64
+	// MitigationFailureProb is the probability a mitigation attempt fails
+	// and escalates to an incident instead (0 in the default runner).
+	MitigationFailureProb float64
+
+	inflight map[int]workflow
+	// Mitigations counts completed mitigations.
+	Mitigations int
+	// Incidents counts failed mitigations escalated to an on-call
+	// engineer; the workflow is resolved manually (removed from the
+	// queue) but counted separately.
+	Incidents int
+	// peak tracks the largest in-flight queue observed.
+	peak int
+
+	// failureSeq drives the deterministic failure injection.
+	failureSeq uint64
+}
+
+type workflow struct {
+	startedAt int64
+	kind      string
+}
+
+// NewRunner returns a runner with the given stuck threshold.
+func NewRunner(stuckThresholdSec int64) *Runner {
+	return &Runner{
+		StuckThresholdSec: stuckThresholdSec,
+		inflight:          make(map[int]workflow),
+	}
+}
+
+// WorkflowStarted records that a resume or pause workflow began for db.
+func (r *Runner) WorkflowStarted(db int, now int64, kind string) {
+	r.inflight[db] = workflow{startedAt: now, kind: kind}
+	if len(r.inflight) > r.peak {
+		r.peak = len(r.inflight)
+	}
+}
+
+// WorkflowFinished records normal completion.
+func (r *Runner) WorkflowFinished(db int) {
+	delete(r.inflight, db)
+}
+
+// InFlight reports the current workflow queue length.
+func (r *Runner) InFlight() int { return len(r.inflight) }
+
+// PeakInFlight reports the largest queue observed.
+func (r *Runner) PeakInFlight() int { return r.peak }
+
+// Sweep mitigates every workflow in flight longer than the threshold and
+// returns the mitigated database ids (sorted). With a non-zero
+// MitigationFailureProb some mitigations fail and escalate to incidents
+// (deterministically, via a seeded pseudo-random sequence); both paths
+// drain the stuck workflow.
+func (r *Runner) Sweep(now int64) []int {
+	var stuck []int
+	for db, wf := range r.inflight {
+		if now-wf.startedAt >= r.StuckThresholdSec {
+			stuck = append(stuck, db)
+		}
+	}
+	sort.Ints(stuck)
+	mitigated := stuck[:0]
+	for _, db := range stuck {
+		delete(r.inflight, db)
+		if r.MitigationFailureProb > 0 && r.nextFloat() < r.MitigationFailureProb {
+			r.Incidents++
+			continue
+		}
+		r.Mitigations++
+		mitigated = append(mitigated, db)
+	}
+	return mitigated
+}
+
+// nextFloat is a deterministic xorshift-based uniform draw in [0, 1).
+func (r *Runner) nextFloat() float64 {
+	r.failureSeq = r.failureSeq*6364136223846793005 + 1442695040888963407
+	return float64(r.failureSeq>>11) / float64(1<<53)
+}

@@ -1,0 +1,220 @@
+package controlplane
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMetadataStoreBasics(t *testing.T) {
+	s := NewMetadataStore()
+	if s.PausedCount() != 0 {
+		t.Fatal("fresh store not empty")
+	}
+	s.SetPaused(1, 1000)
+	s.SetPaused(2, 0)
+	if s.PausedCount() != 2 {
+		t.Fatalf("PausedCount = %d", s.PausedCount())
+	}
+	if v, ok := s.PredictedStart(1); !ok || v != 1000 {
+		t.Fatalf("PredictedStart(1) = %d,%v", v, ok)
+	}
+	s.ClearPaused(1)
+	if _, ok := s.PredictedStart(1); ok {
+		t.Fatal("ClearPaused did not remove the entry")
+	}
+	s.ClearPaused(99) // no-op
+}
+
+func TestSelectDue(t *testing.T) {
+	s := NewMetadataStore()
+	s.SetPaused(1, 1000) // already due
+	s.SetPaused(2, 1360) // due within now+k+period (1000+300+60)
+	s.SetPaused(3, 1361) // just beyond the cutoff
+	s.SetPaused(4, 0)    // no prediction: never prewarm
+	s.SetPaused(5, 1200)
+
+	got := s.SelectDue(1000, 300, 60)
+	want := []int{1, 2, 5}
+	if len(got) != len(want) {
+		t.Fatalf("SelectDue = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SelectDue = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestResumeOpRemovesSelected(t *testing.T) {
+	s := NewMetadataStore()
+	s.SetPaused(1, 500)
+	s.SetPaused(2, 99999)
+	cfg := DefaultConfig()
+	got := s.ResumeOp(cfg, 400)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("ResumeOp = %v, want [1]", got)
+	}
+	if _, ok := s.PredictedStart(1); ok {
+		t.Fatal("selected entry not removed")
+	}
+	if _, ok := s.PredictedStart(2); !ok {
+		t.Fatal("unselected entry removed")
+	}
+	// A second iteration selects nothing new.
+	if got := s.ResumeOp(cfg, 460); len(got) != 0 {
+		t.Fatalf("second ResumeOp = %v, want empty", got)
+	}
+}
+
+func TestResumeOpRespectsCap(t *testing.T) {
+	s := NewMetadataStore()
+	for i := 0; i < 250; i++ {
+		s.SetPaused(i, 500)
+	}
+	cfg := Config{OpPeriodSec: 60, PrewarmLeadSec: 300, MaxPrewarmsPerOp: 100}
+	first := s.ResumeOp(cfg, 400)
+	if len(first) != 100 {
+		t.Fatalf("first op resumed %d, want 100", len(first))
+	}
+	// Overflow remains queued for the next iterations.
+	second := s.ResumeOp(cfg, 460)
+	third := s.ResumeOp(cfg, 520)
+	if len(second) != 100 || len(third) != 50 {
+		t.Fatalf("drain = %d,%d, want 100,50", len(second), len(third))
+	}
+	if s.PausedCount() != 0 {
+		t.Fatalf("%d entries left after drain", s.PausedCount())
+	}
+}
+
+func TestResumeOpUnlimitedCap(t *testing.T) {
+	s := NewMetadataStore()
+	for i := 0; i < 250; i++ {
+		s.SetPaused(i, 500)
+	}
+	cfg := Config{OpPeriodSec: 60, PrewarmLeadSec: 300, MaxPrewarmsPerOp: 0}
+	if got := s.ResumeOp(cfg, 400); len(got) != 250 {
+		t.Fatalf("unlimited op resumed %d, want 250", len(got))
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{OpPeriodSec: 0, PrewarmLeadSec: 300},
+		{OpPeriodSec: 60, PrewarmLeadSec: -1},
+		{OpPeriodSec: 60, PrewarmLeadSec: 0, MaxPrewarmsPerOp: -1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestRunnerLifecycle(t *testing.T) {
+	r := NewRunner(600)
+	r.WorkflowStarted(1, 100, "resume")
+	r.WorkflowStarted(2, 100, "pause")
+	r.WorkflowStarted(3, 400, "resume")
+	if r.InFlight() != 3 || r.PeakInFlight() != 3 {
+		t.Fatalf("InFlight = %d, Peak = %d", r.InFlight(), r.PeakInFlight())
+	}
+	r.WorkflowFinished(2)
+	if r.InFlight() != 2 {
+		t.Fatal("finish not tracked")
+	}
+	// At t=700: workflow 1 is 600s old (stuck), workflow 3 is 300s old.
+	mitigated := r.Sweep(700)
+	if len(mitigated) != 1 || mitigated[0] != 1 {
+		t.Fatalf("Sweep = %v, want [1]", mitigated)
+	}
+	if r.Mitigations != 1 {
+		t.Fatalf("Mitigations = %d", r.Mitigations)
+	}
+	if r.InFlight() != 1 {
+		t.Fatal("mitigated workflow still in flight")
+	}
+	// Peak is a high-water mark and survives completion.
+	if r.PeakInFlight() != 3 {
+		t.Fatal("peak changed after completions")
+	}
+}
+
+func TestRunnerSweepEmptyAndIdempotent(t *testing.T) {
+	r := NewRunner(600)
+	if got := r.Sweep(1000); len(got) != 0 {
+		t.Fatalf("Sweep on empty runner = %v", got)
+	}
+	r.WorkflowStarted(1, 0, "resume")
+	r.Sweep(600)
+	if got := r.Sweep(601); len(got) != 0 {
+		t.Fatal("double mitigation")
+	}
+}
+
+// Property: entries selected by SelectDue always satisfy the due predicate
+// and unselected entries never do.
+func TestQuickSelectDueCorrect(t *testing.T) {
+	f := func(starts []uint32, now uint16, lead uint8, period uint8) bool {
+		s := NewMetadataStore()
+		for i, st := range starts {
+			s.SetPaused(i, int64(st%100000))
+		}
+		n, l, p := int64(now), int64(lead), int64(period)+1
+		due := s.SelectDue(n, l, p)
+		dueSet := map[int]bool{}
+		for _, db := range due {
+			dueSet[db] = true
+		}
+		for i := range starts {
+			start, _ := s.PredictedStart(i)
+			want := start > 0 && start <= n+l+p
+			if dueSet[i] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunnerIncidentEscalation(t *testing.T) {
+	r := NewRunner(600)
+	r.MitigationFailureProb = 0.5
+	for i := 0; i < 400; i++ {
+		r.WorkflowStarted(i, 0, "resume")
+	}
+	mitigated := r.Sweep(600)
+	if r.Mitigations+r.Incidents != 400 {
+		t.Fatalf("mitigations %d + incidents %d != 400", r.Mitigations, r.Incidents)
+	}
+	if r.Incidents < 120 || r.Incidents > 280 {
+		t.Fatalf("incidents = %d of 400 at p=0.5", r.Incidents)
+	}
+	if len(mitigated) != r.Mitigations {
+		t.Fatalf("returned %d mitigated, counter says %d", len(mitigated), r.Mitigations)
+	}
+	// Every stuck workflow drained, whichever path it took.
+	if r.InFlight() != 0 {
+		t.Fatalf("%d workflows still in flight", r.InFlight())
+	}
+}
+
+func TestRunnerNoIncidentsByDefault(t *testing.T) {
+	r := NewRunner(600)
+	for i := 0; i < 50; i++ {
+		r.WorkflowStarted(i, 0, "pause")
+	}
+	r.Sweep(600)
+	if r.Incidents != 0 {
+		t.Fatalf("default runner escalated %d incidents", r.Incidents)
+	}
+	if r.Mitigations != 50 {
+		t.Fatalf("mitigations = %d, want 50", r.Mitigations)
+	}
+}

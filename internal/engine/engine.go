@@ -1,0 +1,457 @@
+// Package engine runs the region-scale discrete-event simulation that
+// stands in for production: customer activity traces drive per-database
+// policy machines (Algorithm 1), which drive cluster allocation workflows
+// and the control plane (Algorithm 5), while telemetry and KPI metrics are
+// collected exactly as Section 8 of the ProRP paper defines them.
+//
+// The engine is deterministic: the same configuration and traces produce
+// the same result, byte for byte.
+package engine
+
+import (
+	"fmt"
+
+	"prorp/internal/cluster"
+	"prorp/internal/controlplane"
+	"prorp/internal/metrics"
+	"prorp/internal/policy"
+	"prorp/internal/simclock"
+	"prorp/internal/stats"
+	"prorp/internal/telemetry"
+	"prorp/internal/workload"
+)
+
+// Event ordering at equal timestamps: the control plane pre-warms first
+// (it runs k minutes ahead by design), then customer activity, then policy
+// timers.
+const (
+	prioControlPlane = -1
+	prioActivity     = 0
+	prioTimer        = 1
+	prioWorkflowDone = 2
+)
+
+// Config assembles one simulation run.
+type Config struct {
+	// Policy is the per-database policy (reactive baseline or proactive).
+	Policy policy.Config
+	// ControlPlane tunes Algorithm 5; ignored for the reactive policy.
+	ControlPlane controlplane.Config
+	// Cluster sizes the simulated region.
+	Cluster cluster.Config
+	// From/To bound the simulated horizon (epoch seconds).
+	From, To int64
+	// EvalFrom is where KPI measurement starts; the span before it is the
+	// warm-up that builds database history. Must be in [From, To).
+	EvalFrom int64
+	// EvalTo is where KPI measurement ends; 0 means the horizon end. Used
+	// by per-day evaluations (Figure 7).
+	EvalTo int64
+	// Seed feeds the cluster's stuck-workflow draws.
+	Seed int64
+	// DisablePrewarm turns off the proactive resume operation while
+	// keeping proactive pauses — the ablation isolating Algorithm 5's
+	// contribution.
+	DisablePrewarm bool
+	// StuckSweepThresholdSec is how old an in-flight workflow must be for
+	// the diagnostics runner to mitigate it (default 600 s).
+	StuckSweepThresholdSec int64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Policy.Validate(); err != nil {
+		return err
+	}
+	if err := c.Cluster.Validate(); err != nil {
+		return err
+	}
+	if c.Policy.Mode == policy.Proactive {
+		if err := c.ControlPlane.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.To <= c.From {
+		return fmt.Errorf("engine: horizon [%d,%d) empty", c.From, c.To)
+	}
+	if c.EvalFrom < c.From || c.EvalFrom >= c.To {
+		return fmt.Errorf("engine: eval start %d outside horizon [%d,%d)", c.EvalFrom, c.From, c.To)
+	}
+	if c.EvalTo != 0 && (c.EvalTo <= c.EvalFrom || c.EvalTo > c.To) {
+		return fmt.Errorf("engine: eval end %d outside (%d,%d]", c.EvalTo, c.EvalFrom, c.To)
+	}
+	return nil
+}
+
+// evalTo resolves the effective evaluation end.
+func (c Config) evalTo() int64 {
+	if c.EvalTo != 0 {
+		return c.EvalTo
+	}
+	return c.To
+}
+
+// Result is everything one run produces.
+type Result struct {
+	Report       metrics.Report
+	Telemetry    *telemetry.Log
+	ClusterStats cluster.Stats
+	Mitigations  int
+	// Machines are the per-database policy machines after the run; the
+	// Figure 10 harness inspects their history stores.
+	Machines []*policy.Machine
+	// Occupancy is the distribution of simultaneously allocated databases,
+	// sampled every 5 minutes over the evaluation window. Its mean and
+	// peak quantify the paper's capacity claim: fewer concurrently
+	// allocated databases means fewer physical machines provisioned.
+	Occupancy stats.Summary
+}
+
+// dbRuntime is the engine-side state of one database.
+type dbRuntime struct {
+	id      int
+	machine *policy.Machine
+	trace   workload.Trace
+	nextIvl int // index of the next interval to start
+
+	timer *simclock.Event
+
+	// Accounting: the open time segment since lastAccounted. When
+	// prewarmPending, the segment's category is decided at close time
+	// (correct vs wrong proactive resume).
+	cur            metrics.Category
+	prewarmPending bool
+	lastAccounted  int64
+}
+
+type sim struct {
+	cfg    Config
+	clock  simclock.Queue
+	dbs    []*dbRuntime
+	meta   *controlplane.MetadataStore
+	runner *controlplane.Runner
+	clus   *cluster.Cluster
+	tel    *telemetry.Log
+	coll   *metrics.Collector
+
+	occupancy []float64
+}
+
+// Run executes the simulation over the traces and returns the collected
+// result.
+func Run(cfg Config, traces []workload.Trace) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	for i := range traces {
+		if err := traces[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	clus, err := cluster.New(cfg.Cluster, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	coll, err := metrics.NewCollector(cfg.EvalFrom, cfg.evalTo())
+	if err != nil {
+		return nil, err
+	}
+	threshold := cfg.StuckSweepThresholdSec
+	if threshold == 0 {
+		threshold = 600
+	}
+	s := &sim{
+		cfg:    cfg,
+		meta:   controlplane.NewMetadataStore(),
+		runner: controlplane.NewRunner(threshold),
+		clus:   clus,
+		tel:    telemetry.New(),
+		coll:   coll,
+	}
+
+	for _, tr := range traces {
+		if tr.Birth < cfg.From || tr.Birth >= cfg.To {
+			return nil, fmt.Errorf("engine: trace %d born at %d outside horizon", tr.DB, tr.Birth)
+		}
+		rt := &dbRuntime{id: tr.DB, trace: tr}
+		s.dbs = append(s.dbs, rt)
+		birth := tr.Birth
+		s.clock.ScheduleWithPriority(birth, prioActivity, func(now int64) { s.onBirth(rt, now) })
+	}
+
+	if cfg.Policy.Mode == policy.Proactive && !cfg.DisablePrewarm {
+		s.clock.ScheduleWithPriority(cfg.From+cfg.ControlPlane.OpPeriodSec, prioControlPlane, s.onControlPlaneOp)
+	}
+	s.clock.ScheduleWithPriority(cfg.EvalFrom, prioControlPlane, s.onOccupancySample)
+
+	s.clock.RunUntil(cfg.To)
+
+	// Close every open segment at the horizon end.
+	for _, rt := range s.dbs {
+		if rt.machine != nil {
+			s.closeSegment(rt, cfg.To)
+		}
+	}
+
+	report := coll.Report()
+	machines := make([]*policy.Machine, 0, len(s.dbs))
+	for _, rt := range s.dbs {
+		if rt.machine != nil {
+			machines = append(machines, rt.machine)
+		}
+	}
+	return &Result{
+		Report:       report,
+		Telemetry:    s.tel,
+		ClusterStats: clus.Stats(),
+		Mitigations:  s.runner.Mitigations,
+		Machines:     machines,
+		Occupancy:    stats.Summarize(s.occupancy),
+	}, nil
+}
+
+// closeSegment accounts the open segment of rt up to `to`. For a pending
+// prewarm the category is still undecided; callers that know the outcome
+// use closePrewarmAs instead.
+func (s *sim) closeSegment(rt *dbRuntime, to int64) {
+	cat := rt.cur
+	if rt.prewarmPending {
+		// Horizon end or unexpected close: count an undecided prewarm as
+		// correct-idle (it was serving a prediction that may yet land).
+		cat = metrics.IdlePrewarmCorrect
+	}
+	if to > rt.lastAccounted {
+		s.coll.AddSegment(cat, rt.lastAccounted, to)
+		rt.lastAccounted = to
+	}
+}
+
+// closePrewarmAs closes a pending-prewarm segment with the decided outcome.
+func (s *sim) closePrewarmAs(rt *dbRuntime, cat metrics.Category, to int64) {
+	if to > rt.lastAccounted {
+		s.coll.AddSegment(cat, rt.lastAccounted, to)
+		rt.lastAccounted = to
+	}
+	rt.prewarmPending = false
+}
+
+func (s *sim) open(rt *dbRuntime, cat metrics.Category) {
+	rt.cur = cat
+	rt.prewarmPending = false
+}
+
+// onBirth creates the database: machine construction, first allocation,
+// and the end-of-first-activity event.
+func (s *sim) onBirth(rt *dbRuntime, now int64) {
+	m, err := policy.New(s.cfg.Policy, now)
+	if err != nil {
+		// Config was validated up front; a failure here is a bug.
+		panic(err)
+	}
+	rt.machine = m
+	rt.lastAccounted = now
+	s.open(rt, metrics.Used)
+	s.tel.Append(telemetry.Record{Time: now, DB: rt.id, Kind: telemetry.ActivityStart})
+	s.allocate(rt, now)
+
+	end := rt.trace.Intervals[0].End
+	rt.nextIvl = 1
+	s.clock.ScheduleWithPriority(end, prioActivity, func(t int64) { s.onActivityEnd(rt, t) })
+}
+
+// allocate runs a resource allocation workflow and returns its latency.
+// Allocation of an already-allocated database costs nothing (logical
+// pauses keep resources warm).
+func (s *sim) allocate(rt *dbRuntime, now int64) int64 {
+	res, err := s.clus.Allocate(rt.id)
+	if err != nil {
+		// Region out of capacity: the workflow queues and retries; the
+		// customer sees an extended delay. Modelled as a fixed penalty
+		// plus forced success after the penalty via a scheduled retry.
+		penalty := 4 * s.cfg.Cluster.ResumeLatencySec
+		s.clock.ScheduleWithPriority(now+penalty, prioWorkflowDone, func(t int64) {
+			if res2, err2 := s.clus.Allocate(rt.id); err2 == nil {
+				_ = res2
+				s.runner.WorkflowFinished(rt.id)
+			}
+		})
+		s.runner.WorkflowStarted(rt.id, now, "resume")
+		return penalty
+	}
+	if res.LatencySec == 0 {
+		return 0 // already allocated
+	}
+	s.tel.Append(telemetry.Record{Time: now, DB: rt.id, Kind: telemetry.WorkflowAllocate})
+	if res.Moved {
+		s.tel.Append(telemetry.Record{Time: now, DB: rt.id, Kind: telemetry.DatabaseMoved})
+	}
+	s.runner.WorkflowStarted(rt.id, now, "resume")
+	done := now + res.LatencySec
+	s.clock.ScheduleWithPriority(done, prioWorkflowDone, func(t int64) {
+		s.runner.WorkflowFinished(rt.id)
+	})
+	return res.LatencySec
+}
+
+// applyEffects performs the environment side of a policy decision.
+func (s *sim) applyEffects(rt *dbRuntime, eff policy.Effects, now int64) {
+	// Timer reconciliation: Effects carries the complete desired state.
+	if rt.timer != nil {
+		s.clock.Cancel(rt.timer)
+		rt.timer = nil
+	}
+	if eff.TimerAt > 0 {
+		at := eff.TimerAt
+		if at < now {
+			at = now
+		}
+		rt.timer = s.clock.ScheduleWithPriority(at, prioTimer, func(t int64) { s.onTimer(rt, t) })
+	}
+
+	if eff.Reclaim {
+		s.clus.Release(rt.id)
+		s.tel.Append(telemetry.Record{Time: now, DB: rt.id, Kind: telemetry.WorkflowReclaim})
+	}
+	if eff.MetadataSet {
+		s.meta.SetPaused(rt.id, eff.MetadataStart)
+	} else if eff.Transition == policy.TransPhysicalPause {
+		// Reactive physical pause: tracked with no prediction.
+		s.meta.SetPaused(rt.id, 0)
+	}
+}
+
+func (s *sim) onActivityStart(rt *dbRuntime, now int64) {
+	eff := rt.machine.OnActivityStart(now)
+	s.tel.Append(telemetry.Record{Time: now, DB: rt.id, Kind: telemetry.ActivityStart})
+
+	switch eff.Transition {
+	case policy.TransResumeWarm:
+		s.coll.LoginWarm(now)
+		s.tel.Append(telemetry.Record{Time: now, DB: rt.id, Kind: telemetry.ResumeWarm})
+		if eff.FromPrewarm {
+			s.coll.PrewarmUsed(now)
+			s.tel.Append(telemetry.Record{Time: now, DB: rt.id, Kind: telemetry.PrewarmUsed})
+			s.closePrewarmAs(rt, metrics.IdlePrewarmCorrect, now)
+		} else {
+			s.closeSegment(rt, now)
+		}
+		s.open(rt, metrics.Used)
+	case policy.TransResumeCold:
+		s.coll.LoginCold(now)
+		s.tel.Append(telemetry.Record{Time: now, DB: rt.id, Kind: telemetry.ResumeCold})
+		s.meta.ClearPaused(rt.id)
+		s.closeSegment(rt, now) // Saved until the demand arrived
+		lat := s.allocate(rt, now)
+		// The customer waits for the allocation workflow.
+		if lat > 0 {
+			s.coll.AddSegment(metrics.Unavailable, now, now+lat)
+			rt.lastAccounted = now + lat
+		}
+		s.open(rt, metrics.Used)
+	}
+	s.applyEffects(rt, eff, now)
+
+	// Schedule the end of this activity interval.
+	end := rt.trace.Intervals[rt.nextIvl-1].End
+	s.clock.ScheduleWithPriority(end, prioActivity, func(t int64) { s.onActivityEnd(rt, t) })
+}
+
+func (s *sim) onActivityEnd(rt *dbRuntime, now int64) {
+	eff := rt.machine.OnActivityEnd(now)
+	s.tel.Append(telemetry.Record{Time: now, DB: rt.id, Kind: telemetry.ActivityEnd})
+	s.closeSegment(rt, now) // Used until here
+	s.dispatchPause(rt, eff, now)
+	s.applyEffects(rt, eff, now)
+
+	// Schedule the next activity interval, if any.
+	if rt.nextIvl < len(rt.trace.Intervals) {
+		iv := rt.trace.Intervals[rt.nextIvl]
+		rt.nextIvl++
+		s.clock.ScheduleWithPriority(iv.Start, prioActivity, func(t int64) { s.onActivityStart(rt, t) })
+	}
+}
+
+// dispatchPause handles the shared bookkeeping of a pause decision.
+func (s *sim) dispatchPause(rt *dbRuntime, eff policy.Effects, now int64) {
+	switch eff.Transition {
+	case policy.TransLogicalPause:
+		s.coll.LogicalPause(now)
+		s.tel.Append(telemetry.Record{Time: now, DB: rt.id, Kind: telemetry.LogicalPause})
+		s.open(rt, metrics.IdleLogical)
+	case policy.TransPhysicalPause:
+		s.coll.PhysicalPause(now)
+		s.tel.Append(telemetry.Record{Time: now, DB: rt.id, Kind: telemetry.PhysicalPause})
+		if eff.FromPrewarm {
+			s.coll.PrewarmWasted(now)
+			s.tel.Append(telemetry.Record{Time: now, DB: rt.id, Kind: telemetry.PrewarmWasted})
+			s.closePrewarmAs(rt, metrics.IdlePrewarmWrong, now)
+		} else {
+			s.closeSegment(rt, now)
+		}
+		s.open(rt, metrics.Saved)
+	}
+}
+
+func (s *sim) onTimer(rt *dbRuntime, now int64) {
+	rt.timer = nil
+	eff := rt.machine.OnTimer(now)
+	s.dispatchPause(rt, eff, now)
+	s.applyEffects(rt, eff, now)
+}
+
+// onControlPlaneOp is one iteration of the proactive resume operation
+// (Algorithm 5) plus the diagnostics sweep.
+func (s *sim) onControlPlaneOp(now int64) {
+	due := s.meta.ResumeOp(s.cfg.ControlPlane, now)
+	for _, id := range due {
+		rt := s.findDB(id)
+		if rt == nil || rt.machine == nil {
+			continue
+		}
+		eff := rt.machine.OnPrewarm(now)
+		if eff.Transition != policy.TransPrewarm {
+			continue // stale entry; database already moved on
+		}
+		s.coll.Prewarm(now)
+		s.tel.Append(telemetry.Record{Time: now, DB: rt.id, Kind: telemetry.Prewarm})
+		s.closeSegment(rt, now) // Saved until the prewarm
+		s.allocate(rt, now)
+		s.open(rt, metrics.IdleLogical)
+		rt.prewarmPending = true
+		s.applyEffects(rt, eff, now)
+	}
+
+	for _, db := range s.runner.Sweep(now) {
+		s.tel.Append(telemetry.Record{Time: now, DB: db, Kind: telemetry.Mitigation})
+	}
+
+	next := now + s.cfg.ControlPlane.OpPeriodSec
+	if next < s.cfg.To {
+		s.clock.ScheduleWithPriority(next, prioControlPlane, s.onControlPlaneOp)
+	}
+}
+
+// onOccupancySample records how many databases hold resources right now;
+// it reschedules itself every 5 minutes through the evaluation window.
+func (s *sim) onOccupancySample(now int64) {
+	if now >= s.cfg.evalTo() {
+		return
+	}
+	s.occupancy = append(s.occupancy, float64(s.clus.AllocatedCount()))
+	if next := now + 300; next < s.cfg.evalTo() {
+		s.clock.ScheduleWithPriority(next, prioControlPlane, s.onOccupancySample)
+	}
+}
+
+func (s *sim) findDB(id int) *dbRuntime {
+	// Database ids are dense indexes assigned by the workload generator.
+	if id >= 0 && id < len(s.dbs) && s.dbs[id].id == id {
+		return s.dbs[id]
+	}
+	for _, rt := range s.dbs {
+		if rt.id == id {
+			return rt
+		}
+	}
+	return nil
+}

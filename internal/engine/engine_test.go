@@ -1,0 +1,522 @@
+package engine
+
+import (
+	"testing"
+
+	"prorp/internal/cluster"
+	"prorp/internal/controlplane"
+	"prorp/internal/metrics"
+	"prorp/internal/policy"
+	"prorp/internal/telemetry"
+	"prorp/internal/workload"
+)
+
+const (
+	day  = int64(86400)
+	hour = int64(3600)
+)
+
+// twoSessionTrace builds a perfect two-session daily pattern (9:00-12:00,
+// 15:00-17:00) over the horizon.
+func twoSessionTrace(db int, days int) workload.Trace {
+	var ivs []workload.Interval
+	for d := 0; d < days; d++ {
+		base := int64(d) * day
+		ivs = append(ivs,
+			workload.Interval{Start: base + 9*hour, End: base + 12*hour},
+			workload.Interval{Start: base + 15*hour, End: base + 17*hour},
+		)
+	}
+	return workload.Trace{DB: db, Birth: ivs[0].Start, Intervals: ivs}
+}
+
+func baseConfig(mode policy.Mode, days int) Config {
+	return Config{
+		Policy: func() policy.Config {
+			c := policy.DefaultConfig()
+			c.Mode = mode
+			return c
+		}(),
+		ControlPlane: controlplane.DefaultConfig(),
+		Cluster:      cluster.Config{Nodes: 4, NodeCapacity: 8, ResumeLatencySec: 45, MoveLatencySec: 120},
+		From:         0,
+		To:           int64(days) * day,
+		EvalFrom:     int64(days-6) * day,
+		Seed:         1,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := baseConfig(policy.Proactive, 35)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.To = bad.From
+	if err := bad.Validate(); err == nil {
+		t.Error("empty horizon accepted")
+	}
+	bad = good
+	bad.EvalFrom = bad.To
+	if err := bad.Validate(); err == nil {
+		t.Error("eval start at horizon end accepted")
+	}
+	bad = good
+	bad.Policy.LogicalPauseSec = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid policy accepted")
+	}
+	bad = good
+	bad.Cluster.Nodes = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid cluster accepted")
+	}
+}
+
+func TestRunRejectsBadTraces(t *testing.T) {
+	cfg := baseConfig(policy.Proactive, 35)
+	if _, err := Run(cfg, []workload.Trace{{DB: 0}}); err == nil {
+		t.Fatal("invalid trace accepted")
+	}
+	tr := twoSessionTrace(0, 35)
+	tr.Birth = -day
+	tr.Intervals[0].Start = -day
+	// Fix validity but put birth outside the horizon.
+	if _, err := Run(cfg, []workload.Trace{tr}); err == nil {
+		t.Fatal("trace born outside horizon accepted")
+	}
+}
+
+func TestPerfectDailyPatternProactive(t *testing.T) {
+	cfg := baseConfig(policy.Proactive, 35)
+	res, err := Run(cfg, []workload.Trace{twoSessionTrace(0, 35)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Report
+	// Evaluation covers 6 steady-state days x 2 first-logins each. The
+	// 9:00 login is served by a pre-warm, the 15:00 login by a logical
+	// pause: everything warm.
+	if r.WarmLogins != 12 || r.ColdLogins != 0 {
+		t.Fatalf("logins warm/cold = %d/%d, want 12/0\n%s", r.WarmLogins, r.ColdLogins, r)
+	}
+	if r.QoSPercent() != 100 {
+		t.Fatalf("QoS = %v, want 100", r.QoSPercent())
+	}
+	if r.Prewarms == 0 || r.PrewarmsUsed == 0 {
+		t.Fatalf("prewarms = %d used = %d, want > 0\n%s", r.Prewarms, r.PrewarmsUsed, r)
+	}
+	if r.PrewarmsWasted != 0 {
+		t.Fatalf("wasted prewarms = %d on a perfect pattern", r.PrewarmsWasted)
+	}
+	// The overnight span must be mostly saved.
+	if r.SavedPercent() < 50 {
+		t.Fatalf("saved = %.1f%%, want > 50%%\n%s", r.SavedPercent(), r)
+	}
+}
+
+func TestPerfectDailyPatternReactive(t *testing.T) {
+	cfg := baseConfig(policy.Reactive, 35)
+	res, err := Run(cfg, []workload.Trace{twoSessionTrace(0, 35)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Report
+	// The 15:00 login lands inside the 7 h logical pause (warm); the 9:00
+	// login comes 16 h after the 17:00 logout, past the pause (cold).
+	if r.WarmLogins != 6 || r.ColdLogins != 6 {
+		t.Fatalf("logins warm/cold = %d/%d, want 6/6\n%s", r.WarmLogins, r.ColdLogins, r)
+	}
+	if r.Prewarms != 0 {
+		t.Fatalf("reactive run produced %d prewarms", r.Prewarms)
+	}
+	// Logical-pause idle: 12:00-15:00 (3 h) and 17:00-24:00 (7 h) of every
+	// 24 h = 10/24 ~= 41.7%.
+	if got := r.IdleLogicalPercent(); got < 38 || got > 45 {
+		t.Fatalf("idle-logical = %.1f%%, want ~41.7%%\n%s", got, r)
+	}
+}
+
+func TestProactiveBeatsReactive(t *testing.T) {
+	// The paper's headline (Figure 6): proactive raises QoS while reducing
+	// logical-pause idleness, on a realistic mixed fleet.
+	prof, _ := workload.Region("EU1")
+	gen, _ := workload.NewGenerator(11, prof)
+	traces := gen.Generate(120, 0, 35*day)
+
+	pro, err := Run(baseConfig(policy.Proactive, 35), traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rea, err := Run(baseConfig(policy.Reactive, 35), traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pro.Report.QoSPercent() <= rea.Report.QoSPercent() {
+		t.Fatalf("proactive QoS %.1f%% <= reactive %.1f%%",
+			pro.Report.QoSPercent(), rea.Report.QoSPercent())
+	}
+	if pro.Report.IdleLogicalPercent() >= rea.Report.IdleLogicalPercent() {
+		t.Fatalf("proactive logical idle %.2f%% >= reactive %.2f%%",
+			pro.Report.IdleLogicalPercent(), rea.Report.IdleLogicalPercent())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	prof, _ := workload.Region("US1")
+	gen1, _ := workload.NewGenerator(5, prof)
+	gen2, _ := workload.NewGenerator(5, prof)
+	traces1 := gen1.Generate(40, 0, 20*day)
+	traces2 := gen2.Generate(40, 0, 20*day)
+
+	cfg := baseConfig(policy.Proactive, 20)
+	cfg.Policy.Predictor.HistoryDays = 7
+	a, err := Run(cfg, traces1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, traces2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Report != b.Report {
+		t.Fatalf("reports differ:\n%s\n%s", a.Report, b.Report)
+	}
+	if a.Telemetry.Len() != b.Telemetry.Len() {
+		t.Fatalf("telemetry lengths differ: %d vs %d", a.Telemetry.Len(), b.Telemetry.Len())
+	}
+}
+
+func TestTotalTimeInvariant(t *testing.T) {
+	// Accounted time must cover exactly the evaluation window for every
+	// database alive through it: no gaps, no double counting.
+	prof, _ := workload.Region("EU2")
+	gen, _ := workload.NewGenerator(3, prof)
+	cfg := baseConfig(policy.Proactive, 20)
+	cfg.Policy.Predictor.HistoryDays = 7
+	traces := gen.Generate(60, 0, 20*day)
+
+	res, err := Run(cfg, traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for _, tr := range traces {
+		aliveFrom := tr.Birth
+		if aliveFrom < cfg.EvalFrom {
+			aliveFrom = cfg.EvalFrom
+		}
+		want += cfg.To - aliveFrom
+	}
+	got := res.Report.TotalTime()
+	if got != want {
+		t.Fatalf("TotalTime = %d, want %d (diff %d)", got, want, got-want)
+	}
+}
+
+func TestTelemetryConsistency(t *testing.T) {
+	prof, _ := workload.Region("EU1")
+	gen, _ := workload.NewGenerator(9, prof)
+	cfg := baseConfig(policy.Proactive, 20)
+	cfg.Policy.Predictor.HistoryDays = 7
+	traces := gen.Generate(50, 0, 20*day)
+	res, err := Run(cfg, traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := res.Telemetry
+	r := res.Report
+
+	// Collector counters must match telemetry restricted to the window.
+	if got := tel.CountRange(telemetry.ResumeWarm, cfg.EvalFrom, cfg.To-1); got != r.WarmLogins {
+		t.Errorf("warm logins: telemetry %d vs report %d", got, r.WarmLogins)
+	}
+	if got := tel.CountRange(telemetry.ResumeCold, cfg.EvalFrom, cfg.To-1); got != r.ColdLogins {
+		t.Errorf("cold logins: telemetry %d vs report %d", got, r.ColdLogins)
+	}
+	if got := tel.CountRange(telemetry.Prewarm, cfg.EvalFrom, cfg.To-1); got != r.Prewarms {
+		t.Errorf("prewarms: telemetry %d vs report %d", got, r.Prewarms)
+	}
+	// Every prewarm eventually resolves used or wasted (or is pending at
+	// the horizon).
+	used := tel.Count(telemetry.PrewarmUsed)
+	wasted := tel.Count(telemetry.PrewarmWasted)
+	total := tel.Count(telemetry.Prewarm)
+	if used+wasted > total {
+		t.Errorf("prewarm outcomes %d+%d exceed prewarms %d", used, wasted, total)
+	}
+	// Activity starts equal activity ends or exceed them by at most the
+	// databases still active at the horizon.
+	starts := tel.Count(telemetry.ActivityStart)
+	ends := tel.Count(telemetry.ActivityEnd)
+	if starts < ends || starts-ends > len(traces) {
+		t.Errorf("activity starts %d vs ends %d", starts, ends)
+	}
+}
+
+func TestClusterConservationAfterRun(t *testing.T) {
+	prof, _ := workload.Region("US2")
+	gen, _ := workload.NewGenerator(4, prof)
+	cfg := baseConfig(policy.Proactive, 15)
+	cfg.Policy.Predictor.HistoryDays = 7
+	traces := gen.Generate(50, 0, 15*day)
+	res, err := Run(cfg, traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.ClusterStats
+	if st.Allocations == 0 || st.Reclaims == 0 {
+		t.Fatalf("no workflows ran: %+v", st)
+	}
+	if st.Allocations < st.Reclaims {
+		t.Fatalf("more reclaims than allocations: %+v", st)
+	}
+}
+
+func TestDisablePrewarm(t *testing.T) {
+	cfg := baseConfig(policy.Proactive, 35)
+	cfg.DisablePrewarm = true
+	res, err := Run(cfg, []workload.Trace{twoSessionTrace(0, 35)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Prewarms != 0 {
+		t.Fatalf("prewarms = %d with prewarm disabled", res.Report.Prewarms)
+	}
+	// Without Algorithm 5, the overnight 9:00 login goes cold.
+	if res.Report.ColdLogins == 0 {
+		t.Fatal("no cold logins despite disabled prewarm")
+	}
+}
+
+func TestStuckWorkflowsMitigated(t *testing.T) {
+	cfg := baseConfig(policy.Proactive, 20)
+	cfg.Policy.Predictor.HistoryDays = 7
+	cfg.Cluster.StuckProb = 0.3
+	cfg.Cluster.StuckExtraSec = 900
+	cfg.StuckSweepThresholdSec = 600
+	prof, _ := workload.Region("EU1")
+	gen, _ := workload.NewGenerator(2, prof)
+	traces := gen.Generate(40, 0, 20*day)
+	res, err := Run(cfg, traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mitigations == 0 {
+		t.Fatal("no mitigations despite 30% stuck workflows")
+	}
+	if res.Telemetry.Count(telemetry.Mitigation) != res.Mitigations {
+		t.Fatal("mitigation telemetry mismatch")
+	}
+}
+
+func TestMachinesExposed(t *testing.T) {
+	cfg := baseConfig(policy.Proactive, 35)
+	res, err := Run(cfg, []workload.Trace{twoSessionTrace(0, 35)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Machines) != 1 {
+		t.Fatalf("Machines = %d, want 1", len(res.Machines))
+	}
+	// 35 days of two sessions, trimmed to 28 days: ~112 tuples + marker.
+	n := res.Machines[0].History().Len()
+	if n < 100 || n > 130 {
+		t.Fatalf("history tuples = %d, want ~113", n)
+	}
+}
+
+func BenchmarkRegionDayProactive(b *testing.B) {
+	prof, _ := workload.Region("EU1")
+	cfg := baseConfig(policy.Proactive, 10)
+	cfg.Policy.Predictor.HistoryDays = 7
+	cfg.EvalFrom = 8 * day
+	cfg.To = 10 * day
+	for i := 0; i < b.N; i++ {
+		gen, _ := workload.NewGenerator(int64(i), prof)
+		traces := gen.Generate(50, 0, 10*day)
+		if _, err := Run(cfg, traces); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestOfflineReplayMatchesOnlineReport(t *testing.T) {
+	// The offline KPI path (metrics.ReplayTelemetry over the exported log)
+	// must agree with the online collector: identical login counts, pause
+	// counters, and idle decomposition. The only sanctioned difference is
+	// that the log carries no workflow latencies, so online Unavailable
+	// time shows up as Used offline.
+	prof, _ := workload.Region("EU1")
+	gen, _ := workload.NewGenerator(13, prof)
+	cfg := baseConfig(policy.Proactive, 16)
+	cfg.Policy.Predictor.HistoryDays = 7
+	cfg.EvalFrom = 10 * day
+	traces := gen.Generate(60, 0, 16*day)
+
+	res, err := Run(cfg, traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	online := res.Report
+	offline, err := metrics.ReplayTelemetry(res.Telemetry, cfg.EvalFrom, cfg.To)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if offline.WarmLogins != online.WarmLogins || offline.ColdLogins != online.ColdLogins {
+		t.Errorf("logins: offline %d/%d vs online %d/%d",
+			offline.WarmLogins, offline.ColdLogins, online.WarmLogins, online.ColdLogins)
+	}
+	if offline.Prewarms != online.Prewarms ||
+		offline.PrewarmsUsed != online.PrewarmsUsed ||
+		offline.PrewarmsWasted != online.PrewarmsWasted {
+		t.Errorf("prewarms: offline %d/%d/%d vs online %d/%d/%d",
+			offline.Prewarms, offline.PrewarmsUsed, offline.PrewarmsWasted,
+			online.Prewarms, online.PrewarmsUsed, online.PrewarmsWasted)
+	}
+	if offline.LogicalPauses != online.LogicalPauses ||
+		offline.PhysicalPauses != online.PhysicalPauses {
+		t.Errorf("pauses: offline %d/%d vs online %d/%d",
+			offline.LogicalPauses, offline.PhysicalPauses,
+			online.LogicalPauses, online.PhysicalPauses)
+	}
+	for _, cat := range []metrics.Category{
+		metrics.IdleLogical, metrics.IdlePrewarmCorrect, metrics.IdlePrewarmWrong, metrics.Saved,
+	} {
+		if offline.Durations[cat] != online.Durations[cat] {
+			t.Errorf("%v: offline %d vs online %d", cat, offline.Durations[cat], online.Durations[cat])
+		}
+	}
+	if got, want := offline.Durations[metrics.Used],
+		online.Durations[metrics.Used]+online.Durations[metrics.Unavailable]; got != want {
+		t.Errorf("used: offline %d vs online used+unavailable %d", got, want)
+	}
+	if offline.TotalTime() != online.TotalTime() {
+		t.Errorf("total: offline %d vs online %d", offline.TotalTime(), online.TotalTime())
+	}
+}
+
+func TestEvalToWindows(t *testing.T) {
+	// Per-day evaluation windows (the Figure 7 mechanism): the days must
+	// tile the full window exactly.
+	cfg := baseConfig(policy.Proactive, 35)
+	trace := []workload.Trace{twoSessionTrace(0, 35)}
+
+	full, err := Run(cfg, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var warmSum, coldSum int
+	var usedSum int64
+	for d := 0; d < 6; d++ {
+		c := cfg
+		c.EvalFrom = cfg.EvalFrom + int64(d)*day
+		c.EvalTo = c.EvalFrom + day
+		res, err := Run(c, trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warmSum += res.Report.WarmLogins
+		coldSum += res.Report.ColdLogins
+		usedSum += res.Report.Durations[metrics.Used]
+	}
+	if warmSum != full.Report.WarmLogins || coldSum != full.Report.ColdLogins {
+		t.Fatalf("per-day logins %d/%d != full-window %d/%d",
+			warmSum, coldSum, full.Report.WarmLogins, full.Report.ColdLogins)
+	}
+	if usedSum != full.Report.Durations[metrics.Used] {
+		t.Fatalf("per-day used %d != full-window %d", usedSum, full.Report.Durations[metrics.Used])
+	}
+}
+
+func TestCapacityExhaustionSurvives(t *testing.T) {
+	// A starved cluster (2 slots for 30 databases) forces allocation
+	// failures; the engine's retry path must keep the run alive and the
+	// invariants intact.
+	prof, _ := workload.Region("EU1")
+	gen, _ := workload.NewGenerator(8, prof)
+	traces := gen.Generate(30, 0, 12*day)
+	cfg := baseConfig(policy.Proactive, 12)
+	cfg.Policy.Predictor.HistoryDays = 7
+	cfg.EvalFrom = 8 * day
+	cfg.Cluster = cluster.Config{Nodes: 1, NodeCapacity: 2, ResumeLatencySec: 45, MoveLatencySec: 120}
+
+	res, err := Run(cfg, traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ClusterStats.PeakAllocated > 2 {
+		t.Fatalf("peak allocated %d exceeds capacity 2", res.ClusterStats.PeakAllocated)
+	}
+	if res.Report.TotalTime() == 0 {
+		t.Fatal("no time accounted")
+	}
+}
+
+func TestTelemetryProtocolOrdering(t *testing.T) {
+	// The offline replay relies on a per-database event protocol: the
+	// first record is an activity-start, a resume event follows every
+	// non-birth activity-start at the same timestamp, and pause decisions
+	// follow activity ends.
+	prof, _ := workload.Region("US2")
+	gen, _ := workload.NewGenerator(6, prof)
+	cfg := baseConfig(policy.Proactive, 14)
+	cfg.Policy.Predictor.HistoryDays = 7
+	cfg.EvalFrom = 8 * day
+	traces := gen.Generate(40, 0, 14*day)
+	res, err := Run(cfg, traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	born := map[int]bool{}
+	lastStart := map[int]int64{}
+	for _, r := range res.Telemetry.Records() {
+		switch r.Kind {
+		case telemetry.ActivityStart:
+			if !born[r.DB] {
+				born[r.DB] = true
+			} else {
+				lastStart[r.DB] = r.Time
+			}
+		case telemetry.ResumeWarm, telemetry.ResumeCold:
+			if ts, ok := lastStart[r.DB]; !ok || ts != r.Time {
+				t.Fatalf("resume for db %d at %d without matching activity-start", r.DB, r.Time)
+			}
+			delete(lastStart, r.DB)
+		}
+	}
+	if len(lastStart) != 0 {
+		t.Fatalf("%d activity-starts without resume events", len(lastStart))
+	}
+}
+
+func TestOccupancyTracksCapacitySaving(t *testing.T) {
+	// The paper's motivation: proactive pausing frees machines. The mean
+	// number of simultaneously allocated databases must be lower under the
+	// proactive policy than under the reactive baseline.
+	prof, _ := workload.Region("EU1")
+	gen, _ := workload.NewGenerator(14, prof)
+	traces := gen.Generate(100, 0, 16*day)
+	mk := func(mode policy.Mode) *Result {
+		cfg := baseConfig(mode, 16)
+		cfg.Policy.Predictor.HistoryDays = 7
+		cfg.EvalFrom = 10 * day
+		res, err := Run(cfg, traces)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	pro, rea := mk(policy.Proactive), mk(policy.Reactive)
+	if pro.Occupancy.Count == 0 || rea.Occupancy.Count == 0 {
+		t.Fatal("no occupancy samples")
+	}
+	if pro.Occupancy.Mean >= rea.Occupancy.Mean {
+		t.Errorf("proactive mean occupancy %.1f >= reactive %.1f",
+			pro.Occupancy.Mean, rea.Occupancy.Mean)
+	}
+	if pro.Occupancy.Max > float64(len(traces)) {
+		t.Errorf("occupancy max %.0f exceeds fleet size", pro.Occupancy.Max)
+	}
+}

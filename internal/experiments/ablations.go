@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"prorp/internal/engine"
+	"prorp/internal/metrics"
+	"prorp/internal/policy"
+	"prorp/internal/predictor"
+	"prorp/internal/workload"
+)
+
+// AblationHistoryLength re-evaluates the proactive policy under different
+// history lengths h. The paper reports (Section 9.2, uncharted) that the
+// QoS/COGS trade-off is relatively insensitive to h; 4 weeks balances
+// recency against multi-week periodicity. Days must not exceed
+// scale.WarmupDays-1 so databases still become old.
+func AblationHistoryLength(scale Scale, region string, days []int) (*SweepResult, error) {
+	for _, d := range days {
+		if d >= scale.WarmupDays {
+			return nil, fmt.Errorf("experiments: history %d days needs warmup > %d", d, d)
+		}
+	}
+	p, err := newPipeline(scale, region)
+	if err != nil {
+		return nil, err
+	}
+	pts, err := p.SweepHistory(days)
+	if err != nil {
+		return nil, err
+	}
+	res := &SweepResult{
+		Title:  fmt.Sprintf("Ablation: varying history length (%s)", region),
+		Knob:   "history (d)",
+		Points: pts,
+	}
+	for _, d := range days {
+		res.Labels = append(res.Labels, fmt.Sprintf("%d", d))
+	}
+	return res, nil
+}
+
+// AblationSeasonality compares daily against weekly pattern detection; the
+// paper reports the two achieve similar results.
+func AblationSeasonality(scale Scale, region string) (*SweepResult, error) {
+	if scale.HistoryDays < 7 {
+		return nil, fmt.Errorf("experiments: weekly seasonality needs >= 7 history days")
+	}
+	p, err := newPipeline(scale, region)
+	if err != nil {
+		return nil, err
+	}
+	pts, err := p.SweepSeasonality()
+	if err != nil {
+		return nil, err
+	}
+	return &SweepResult{
+		Title:  fmt.Sprintf("Ablation: seasonality (%s)", region),
+		Knob:   "seasonality",
+		Labels: []string{predictor.Daily.String(), predictor.Weekly.String()},
+		Points: pts,
+	}, nil
+}
+
+// AblationResult compares named policy variants on one region.
+type AblationResult struct {
+	Region  string
+	Reports []metrics.Report
+	// MeanOccupancy[i] is the mean number of simultaneously allocated
+	// databases under Reports[i] — the capacity the region must provision
+	// (Section 1: "the number of physical machines is reduced").
+	MeanOccupancy []float64
+}
+
+// AblationPolicyLadder evaluates the design ladder the paper's Figure 2
+// sketches: the reactive baseline, the proactive policy without the
+// control-plane pre-warm (Algorithm 1 alone), the full proactive policy,
+// and the clairvoyant optimum (resources allocated exactly when demanded).
+func AblationPolicyLadder(scale Scale, region string) (*AblationResult, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, err
+	}
+	traces, err := scale.traces(region)
+	if err != nil {
+		return nil, err
+	}
+	out := &AblationResult{Region: region}
+
+	rea, err := engine.Run(scale.engineConfig(policy.Reactive), traces)
+	if err != nil {
+		return nil, err
+	}
+	rea.Report.Name = "reactive"
+	out.Reports = append(out.Reports, rea.Report)
+	out.MeanOccupancy = append(out.MeanOccupancy, rea.Occupancy.Mean)
+
+	noPrewarm := scale.engineConfig(policy.Proactive)
+	noPrewarm.DisablePrewarm = true
+	np, err := engine.Run(noPrewarm, traces)
+	if err != nil {
+		return nil, err
+	}
+	np.Report.Name = "proactive-pause-only"
+	out.Reports = append(out.Reports, np.Report)
+	out.MeanOccupancy = append(out.MeanOccupancy, np.Occupancy.Mean)
+
+	pro, err := engine.Run(scale.engineConfig(policy.Proactive), traces)
+	if err != nil {
+		return nil, err
+	}
+	pro.Report.Name = "proactive"
+	out.Reports = append(out.Reports, pro.Report)
+	out.MeanOccupancy = append(out.MeanOccupancy, pro.Occupancy.Mean)
+
+	oracle := oracleReport(scale, traces)
+	out.Reports = append(out.Reports, oracle)
+	// The oracle holds exactly the demanded capacity on average.
+	total := oracle.TotalTime()
+	if total > 0 {
+		out.MeanOccupancy = append(out.MeanOccupancy,
+			float64(oracle.Durations[metrics.Used])/float64(total)*float64(scale.Databases))
+	} else {
+		out.MeanOccupancy = append(out.MeanOccupancy, 0)
+	}
+	return out, nil
+}
+
+// oracleReport computes the Figure 2(c) optimum analytically: with perfect
+// demand prediction, every first login is warm, resources are used exactly
+// while demanded and saved otherwise, and no time is idle.
+func oracleReport(scale Scale, traces []workload.Trace) metrics.Report {
+	_, evalFrom, to := scale.horizon()
+	var r metrics.Report
+	r.Name = "oracle (optimal)"
+	r.EvalFrom, r.EvalTo = evalFrom, to
+	for _, tr := range traces {
+		aliveFrom := tr.Birth
+		if aliveFrom < evalFrom {
+			aliveFrom = evalFrom
+		}
+		if aliveFrom >= to {
+			continue
+		}
+		var used int64
+		for _, iv := range tr.Intervals {
+			lo, hi := iv.Start, iv.End
+			if lo < evalFrom {
+				lo = evalFrom
+			}
+			if hi > to {
+				hi = to
+			}
+			if hi > lo {
+				used += hi - lo
+			}
+			if iv.Start >= evalFrom && iv.Start < to && iv.Start > tr.Birth {
+				r.WarmLogins++
+			}
+		}
+		r.Durations[metrics.Used] += used
+		r.Durations[metrics.Saved] += (to - aliveFrom) - used
+	}
+	return r
+}
+
+// Render prints the ladder.
+func (r *AblationResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: policy ladder (%s)\n", r.Region)
+	fmt.Fprintf(&b, "%-22s %10s %10s %10s %10s %14s\n", "policy", "QoS", "idle", "saved", "used", "mean-allocated")
+	for i, rep := range r.Reports {
+		fmt.Fprintf(&b, "%-22s %9.1f%% %9.2f%% %9.2f%% %9.2f%% %14.1f\n",
+			rep.Name, rep.QoSPercent(), rep.IdlePercent(), rep.SavedPercent(), rep.UsedPercent(),
+			r.MeanOccupancy[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CSV exports let external plotting tools regenerate the paper's figures
+// from the measured series. Each method returns a self-describing CSV
+// document (header row first).
+
+// CSV renders Figure 3's two series.
+func (r *Fig3Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("bound_hours,fraction_of_intervals,fraction_of_idle_time\n")
+	for i, bd := range r.BoundsHours {
+		fmt.Fprintf(&b, "%g,%.6f,%.6f\n", bd, r.CountCDF[i], r.DurationCDF[i])
+	}
+	return b.String()
+}
+
+// CSV renders the Figure 6 / 7 comparison rows.
+func comparisonsCSV(label string, rows []PolicyComparison) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s,reactive_qos,proactive_qos,reactive_idle,proactive_idle,pro_idle_logical,pro_idle_correct,pro_idle_wrong\n", label)
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%s,%.3f,%.3f,%.4f,%.4f,%.4f,%.4f,%.4f\n",
+			row.Label,
+			row.Reactive.QoSPercent(), row.Proactive.QoSPercent(),
+			row.Reactive.IdlePercent(), row.Proactive.IdlePercent(),
+			row.Proactive.IdleLogicalPercent(),
+			row.Proactive.IdlePrewarmCorrectPercent(),
+			row.Proactive.IdlePrewarmWrongPercent())
+	}
+	return b.String()
+}
+
+// CSV renders Figure 6.
+func (r *Fig6Result) CSV() string { return comparisonsCSV("region", r.Rows) }
+
+// CSV renders Figure 7.
+func (r *Fig7Result) CSV() string { return comparisonsCSV("day", r.Rows) }
+
+// CSV renders a knob sweep (Figures 8, 9, and the ablations).
+func (r *SweepResult) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s,qos,idle,idle_correct,idle_wrong\n", strings.ReplaceAll(r.Knob, " ", "_"))
+	for i, p := range r.Points {
+		fmt.Fprintf(&b, "%s,%.3f,%.4f,%.4f,%.4f\n",
+			r.Labels[i], p.Report.QoSPercent(), p.Report.IdlePercent(),
+			p.Report.IdlePrewarmCorrectPercent(), p.Report.IdlePrewarmWrongPercent())
+	}
+	return b.String()
+}
+
+// CSV renders the workflow-frequency boxes (Figures 11 and 12).
+func workflowCSV(rows []WorkflowFrequencyRow) string {
+	var b strings.Builder
+	b.WriteString("period_min,policy,min,q1,median,q3,max,mean\n")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%d,proactive,%g,%g,%g,%g,%g,%g\n",
+			row.PeriodMinutes, row.Proactive.Min, row.Proactive.Q1, row.Proactive.Median,
+			row.Proactive.Q3, row.Proactive.Max, row.Proactive.Mean)
+		fmt.Fprintf(&b, "%d,reactive,%g,%g,%g,%g,%g,%g\n",
+			row.PeriodMinutes, row.Reactive.Min, row.Reactive.Q1, row.Reactive.Median,
+			row.Reactive.Q3, row.Reactive.Max, row.Reactive.Mean)
+	}
+	return b.String()
+}
+
+// CSV renders Figure 11.
+func (r *Fig11Result) CSV() string { return workflowCSV(r.Rows) }
+
+// CSV renders Figure 12.
+func (r *Fig12Result) CSV() string { return workflowCSV(r.Rows) }

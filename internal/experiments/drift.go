@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"prorp/internal/engine"
+	"prorp/internal/policy"
+	"prorp/internal/telemetry"
+	"prorp/internal/workload"
+)
+
+// DriftResult quantifies data drift and recovery — the reason the paper's
+// training pipeline exists (Section 8: "To account for potential data
+// drifts over time and prevent accuracy drops"). At the drift day every
+// patterned database shifts its phase by ShiftHours; predictions keyed to
+// the old phase go stale and the QoS dips, then recovers as the rolling
+// history refills with post-drift activity. Shorter history lengths
+// recover faster — the recency/periodicity trade-off behind the paper's
+// choice of h = 4 weeks.
+type DriftResult struct {
+	Region     string
+	ShiftHours int
+	// Histories are the evaluated history lengths in days.
+	Histories []int
+	// QoSByDay[h][d] is the QoS on day d relative to the drift day (day 0
+	// is the first shifted day) under Histories[h].
+	QoSByDay [][]float64
+	// Baseline[d] is the pre-drift steady-state QoS under the first
+	// history length, for reference.
+	Baseline float64
+}
+
+// Drift runs the proactive policy through a mid-horizon phase shift for
+// each history length and reports the per-day QoS trajectory, computed
+// offline from the telemetry log.
+func Drift(scale Scale, region string, shiftHours int, histories []int) (*DriftResult, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, err
+	}
+	if shiftHours <= 0 {
+		return nil, fmt.Errorf("experiments: drift shift %d h", shiftHours)
+	}
+	prof, err := workload.Region(region)
+	if err != nil {
+		return nil, err
+	}
+	// Drift lands at the evaluation start; the window after it shows the
+	// dip and recovery.
+	prof.DriftDay = scale.WarmupDays
+	prof.DriftSec = int64(shiftHours) * hour
+
+	gen, err := workload.NewGenerator(scale.Seed, prof)
+	if err != nil {
+		return nil, err
+	}
+	from, evalFrom, to := scale.horizon()
+	traces := gen.Generate(scale.Databases, from, to)
+
+	res := &DriftResult{Region: region, ShiftHours: shiftHours, Histories: histories}
+	for hi, h := range histories {
+		if h >= scale.WarmupDays {
+			return nil, fmt.Errorf("experiments: history %d days needs warmup > %d", h, h)
+		}
+		cfg := scale.engineConfig(policy.Proactive)
+		cfg.Policy.Predictor.HistoryDays = h
+		out, err := engine.Run(cfg, traces)
+		if err != nil {
+			return nil, err
+		}
+		var days []float64
+		for d := 0; d < scale.EvalDays; d++ {
+			lo := evalFrom + int64(d)*day
+			hiT := lo + day - 1
+			warm := out.Telemetry.CountRange(telemetry.ResumeWarm, lo, hiT)
+			cold := out.Telemetry.CountRange(telemetry.ResumeCold, lo, hiT)
+			if warm+cold == 0 {
+				days = append(days, 0)
+				continue
+			}
+			days = append(days, 100*float64(warm)/float64(warm+cold))
+		}
+		res.QoSByDay = append(res.QoSByDay, days)
+		if hi == 0 {
+			// Pre-drift steady state: the last warm-up day.
+			lo := evalFrom - day
+			warm := out.Telemetry.CountRange(telemetry.ResumeWarm, lo, evalFrom-1)
+			cold := out.Telemetry.CountRange(telemetry.ResumeCold, lo, evalFrom-1)
+			if warm+cold > 0 {
+				res.Baseline = 100 * float64(warm) / float64(warm+cold)
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render prints the recovery trajectories.
+func (r *DriftResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Data drift: +%d h phase shift at day 0 (%s; pre-drift QoS %.1f%%)\n",
+		r.ShiftHours, r.Region, r.Baseline)
+	fmt.Fprintf(&b, "%12s", "history")
+	for d := range r.QoSByDay[0] {
+		fmt.Fprintf(&b, "   day %2d", d)
+	}
+	fmt.Fprintf(&b, "\n")
+	for i, h := range r.Histories {
+		fmt.Fprintf(&b, "%10d d", h)
+		for _, q := range r.QoSByDay[i] {
+			fmt.Fprintf(&b, " %7.1f%%", q)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	return b.String()
+}

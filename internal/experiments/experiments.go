@@ -1,0 +1,122 @@
+// Package experiments regenerates every table and figure of the ProRP
+// paper's evaluation (Section 9): Figure 3 (idle-time fragmentation),
+// Figures 6-7 (reactive vs proactive across regions and days), Figures 8-9
+// (knob sweeps), Figure 10 (overhead CDFs), Figures 11-12 (workflow
+// frequency box plots), plus the ablations the paper mentions without
+// charting (history length, seasonality, no-prewarm, oracle bound).
+//
+// Every experiment takes a Scale so the same harness runs at full
+// (paper-shaped, seconds to minutes) or quick (CI / testing.B) size, and a
+// fixed seed so output is reproducible. Results carry both structured data
+// (asserted by tests) and a Render method printing the same rows/series
+// the paper plots.
+package experiments
+
+import (
+	"fmt"
+
+	"prorp/internal/cluster"
+	"prorp/internal/controlplane"
+	"prorp/internal/engine"
+	"prorp/internal/policy"
+	"prorp/internal/workload"
+)
+
+const (
+	day  = int64(86400)
+	hour = int64(3600)
+)
+
+// Scale sizes an experiment run.
+type Scale struct {
+	// Databases per region.
+	Databases int
+	// HistoryDays is the predictor's h; the paper default is 28.
+	HistoryDays int
+	// WarmupDays precede the evaluation window (must exceed HistoryDays so
+	// databases become "old").
+	WarmupDays int
+	// EvalDays is the measured span.
+	EvalDays int
+	// Seed drives workload generation and the cluster.
+	Seed int64
+}
+
+// Full is the paper-shaped scale: 28-day history, four-week warm-up, six
+// evaluation days.
+func Full() Scale {
+	return Scale{Databases: 400, HistoryDays: 28, WarmupDays: 29, EvalDays: 6, Seed: 42}
+}
+
+// Quick is the CI/benchmark scale: one-week history, same structure.
+func Quick() Scale {
+	return Scale{Databases: 100, HistoryDays: 7, WarmupDays: 8, EvalDays: 3, Seed: 42}
+}
+
+// Validate checks the scale.
+func (s Scale) Validate() error {
+	if s.Databases <= 0 {
+		return fmt.Errorf("experiments: %d databases", s.Databases)
+	}
+	if s.HistoryDays <= 0 || s.WarmupDays <= s.HistoryDays {
+		return fmt.Errorf("experiments: warmup %d days must exceed history %d",
+			s.WarmupDays, s.HistoryDays)
+	}
+	if s.EvalDays <= 0 {
+		return fmt.Errorf("experiments: %d eval days", s.EvalDays)
+	}
+	return nil
+}
+
+// horizon returns the simulation bounds.
+func (s Scale) horizon() (from, evalFrom, to int64) {
+	return 0, int64(s.WarmupDays) * day, int64(s.WarmupDays+s.EvalDays) * day
+}
+
+// traces generates the region workload for this scale.
+func (s Scale) traces(region string) ([]workload.Trace, error) {
+	prof, err := workload.Region(region)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := workload.NewGenerator(s.Seed, prof)
+	if err != nil {
+		return nil, err
+	}
+	from, _, to := s.horizon()
+	return gen.Generate(s.Databases, from, to), nil
+}
+
+// engineConfig builds the engine configuration for the scale and mode.
+func (s Scale) engineConfig(mode policy.Mode) engine.Config {
+	pol := policy.DefaultConfig()
+	pol.Mode = mode
+	pol.Predictor.HistoryDays = s.HistoryDays
+	from, evalFrom, to := s.horizon()
+	return engine.Config{
+		Policy:       pol,
+		ControlPlane: controlplane.DefaultConfig(),
+		Cluster:      cluster.DefaultConfig(s.Databases),
+		From:         from,
+		EvalFrom:     evalFrom,
+		To:           to,
+		Seed:         s.Seed,
+	}
+}
+
+// run executes one region simulation under the given mode.
+func (s Scale) run(region string, mode policy.Mode) (*engine.Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	traces, err := s.traces(region)
+	if err != nil {
+		return nil, err
+	}
+	res, err := engine.Run(s.engineConfig(mode), traces)
+	if err != nil {
+		return nil, err
+	}
+	res.Report.Name = fmt.Sprintf("%s %s", region, mode)
+	return res, nil
+}

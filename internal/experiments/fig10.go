@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"prorp/internal/policy"
+	"prorp/internal/predictor"
+	"prorp/internal/stats"
+)
+
+// Fig10Result reproduces Figure 10: the overhead of the online components.
+// Paper shape: (a) history tuple counts average within ~500/week and peak
+// above 4 K; (b) history size within 7 KB on average, 74 KB worst case;
+// (c) prediction latency sub-second (their hardware: <=90 ms average,
+// <=700 ms max — absolute values differ on other hardware, the sub-second
+// shape is the claim).
+type Fig10Result struct {
+	Databases int
+
+	// Tuples is the distribution of history tuple counts per database.
+	Tuples stats.Summary
+	// SizeKB is the distribution of history store sizes in kilobytes.
+	SizeKB stats.Summary
+	// LatencyMs is the distribution of Algorithm 4 wall-clock latency in
+	// milliseconds, measured over every database's real history.
+	LatencyMs stats.Summary
+
+	// Quantiles of each CDF at the probe points (p50, p90, p99, max).
+	TupleQuantiles   [4]float64
+	SizeKBQuantiles  [4]float64
+	LatencyQuantiles [4]float64
+}
+
+// Fig10 runs a proactive region simulation, then measures every database's
+// history footprint and the wall-clock latency of one prediction over it.
+func Fig10(scale Scale, region string) (*Fig10Result, error) {
+	res, err := scale.run(region, policy.Proactive)
+	if err != nil {
+		return nil, err
+	}
+	_, _, to := scale.horizon()
+
+	var tuples, sizeKB, latencyMs []float64
+	params := predictor.Default()
+	params.HistoryDays = scale.HistoryDays
+	for _, m := range res.Machines {
+		st := m.History()
+		tuples = append(tuples, float64(st.Len()))
+		sizeKB = append(sizeKB, float64(st.SizeBytes())/1024)
+
+		start := time.Now()
+		predictor.Predict(st, params, to)
+		latencyMs = append(latencyMs, float64(time.Since(start).Nanoseconds())/1e6)
+	}
+
+	out := &Fig10Result{
+		Databases: len(res.Machines),
+		Tuples:    stats.Summarize(tuples),
+		SizeKB:    stats.Summarize(sizeKB),
+		LatencyMs: stats.Summarize(latencyMs),
+	}
+	qs := []float64{0.5, 0.9, 0.99, 1}
+	tc, sc, lc := stats.NewCDF(tuples), stats.NewCDF(sizeKB), stats.NewCDF(latencyMs)
+	for i, q := range qs {
+		out.TupleQuantiles[i] = tc.Quantile(q)
+		out.SizeKBQuantiles[i] = sc.Quantile(q)
+		out.LatencyQuantiles[i] = lc.Quantile(q)
+	}
+	return out, nil
+}
+
+// Render prints the three CDres panels of Figure 10.
+func (r *Fig10Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 10: overhead of the proactive policy (%d databases)\n", r.Databases)
+	row := func(name string, s stats.Summary, q [4]float64, unit string) {
+		fmt.Fprintf(&b, "(%s) mean=%.2f%s p50=%.2f p90=%.2f p99=%.2f max=%.2f%s\n",
+			name, s.Mean, unit, q[0], q[1], q[2], q[3], unit)
+	}
+	row("a: history tuples   ", r.Tuples, r.TupleQuantiles, "")
+	row("b: history size KB  ", r.SizeKB, r.SizeKBQuantiles, " KB")
+	row("c: predict latency  ", r.LatencyMs, r.LatencyQuantiles, " ms")
+	fmt.Fprintf(&b, "paper: <=500 tuples avg / >4K max; <=7 KB avg / 74 KB max; sub-second latency\n")
+	return b.String()
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"prorp/internal/engine"
+	"prorp/internal/policy"
+	"prorp/internal/stats"
+	"prorp/internal/telemetry"
+)
+
+// WorkflowFrequencyRow is one box of Figures 11 / 12: the distribution of
+// workflow counts per interval at one operation cadence.
+type WorkflowFrequencyRow struct {
+	PeriodMinutes int
+	// Proactive is the gray box (the proactive policy's workflows).
+	Proactive stats.Summary
+	// Reactive is the white box (the reactive baseline's workflows in the
+	// same interval grid).
+	Reactive stats.Summary
+}
+
+// Fig11Result reproduces Figure 11: the number of proactively resumed
+// databases per iteration of the proactive resume operation, as its period
+// grows from 1 to 15 minutes, against reactive resume workflows. Paper
+// shape: the maximum grows ~29 -> 406 with the period (absolute counts
+// scale with fleet size); production picks 1 minute to keep iterations
+// under about one hundred databases.
+type Fig11Result struct {
+	Region string
+	Rows   []WorkflowFrequencyRow
+}
+
+// Fig12Result reproduces Figure 12: physically paused databases per
+// interval, proactive vs reactive. Paper shape: max 31 -> 458 with the
+// interval, and the proactive policy pauses about twice as often as the
+// reactive one because predicted-idle databases skip the logical pause.
+type Fig12Result struct {
+	Region string
+	Rows   []WorkflowFrequencyRow
+}
+
+// workflowRuns runs the proactive policy once per operation period plus
+// one reactive baseline, returning bucketed event counts.
+func workflowRuns(scale Scale, region string, periodsMin []int, kind telemetry.Kind, reactiveKind telemetry.Kind) ([]WorkflowFrequencyRow, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, err
+	}
+	traces, err := scale.traces(region)
+	if err != nil {
+		return nil, err
+	}
+	_, evalFrom, to := scale.horizon()
+
+	reaCfg := scale.engineConfig(policy.Reactive)
+	rea, err := engine.Run(reaCfg, traces)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []WorkflowFrequencyRow
+	for _, pm := range periodsMin {
+		cfg := scale.engineConfig(policy.Proactive)
+		cfg.ControlPlane.OpPeriodSec = int64(pm) * 60
+		// Figure 11 measures the raw queue drain per iteration, so the
+		// per-iteration cap is lifted for the sweep.
+		cfg.ControlPlane.MaxPrewarmsPerOp = 0
+		pro, err := engine.Run(cfg, traces)
+		if err != nil {
+			return nil, err
+		}
+		interval := int64(pm) * 60
+		rows = append(rows, WorkflowFrequencyRow{
+			PeriodMinutes: pm,
+			Proactive:     bucketSummary(pro.Telemetry, kind, evalFrom, to, interval),
+			Reactive:      bucketSummary(rea.Telemetry, reactiveKind, evalFrom, to, interval),
+		})
+	}
+	return rows, nil
+}
+
+func bucketSummary(tel *telemetry.Log, kind telemetry.Kind, from, to, interval int64) stats.Summary {
+	counts := tel.Buckets(kind, from, to, interval)
+	xs := make([]float64, len(counts))
+	for i, c := range counts {
+		xs[i] = float64(c)
+	}
+	return stats.Summarize(xs)
+}
+
+// Fig11 counts proactive resumes (pre-warms) per operation iteration; the
+// reactive comparison counts that policy's reactive resume workflows on
+// the same interval grid.
+func Fig11(scale Scale, region string, periodsMin []int) (*Fig11Result, error) {
+	rows, err := workflowRuns(scale, region, periodsMin, telemetry.Prewarm, telemetry.ResumeCold)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig11Result{Region: region, Rows: rows}, nil
+}
+
+// Fig12 counts physical pauses per interval for both policies.
+func Fig12(scale Scale, region string, periodsMin []int) (*Fig12Result, error) {
+	rows, err := workflowRuns(scale, region, periodsMin, telemetry.PhysicalPause, telemetry.PhysicalPause)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig12Result{Region: region, Rows: rows}, nil
+}
+
+func renderWorkflowRows(title, grayLabel string, region string, rows []WorkflowFrequencyRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s)\n", title, region)
+	fmt.Fprintf(&b, "%12s | %-44s | %-44s\n", "period (min)", grayLabel+" (proactive)", "reactive baseline")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%12d | %-44s | %-44s\n",
+			row.PeriodMinutes, boxString(row.Proactive), boxString(row.Reactive))
+	}
+	return b.String()
+}
+
+func boxString(s stats.Summary) string {
+	return fmt.Sprintf("min=%.0f q1=%.0f med=%.0f q3=%.0f max=%.0f",
+		s.Min, s.Q1, s.Median, s.Q3, s.Max)
+}
+
+// Render prints the box-plot rows of Figure 11.
+func (r *Fig11Result) Render() string {
+	return renderWorkflowRows("Figure 11: frequency of resource allocation workflows",
+		"prewarms/iteration", r.Region, r.Rows)
+}
+
+// Render prints the box-plot rows of Figure 12.
+func (r *Fig12Result) Render() string {
+	return renderWorkflowRows("Figure 12: frequency of resource reclamation workflows",
+		"physical pauses/interval", r.Region, r.Rows)
+}
+
+// Plot renders Figure 11's proactive boxes as ASCII box plots.
+func (r *Fig11Result) Plot() string {
+	return plotWorkflowRows("prewarms per iteration", r.Rows)
+}
+
+// Plot renders Figure 12's proactive boxes as ASCII box plots.
+func (r *Fig12Result) Plot() string {
+	return plotWorkflowRows("physical pauses per interval", r.Rows)
+}
+
+func plotWorkflowRows(title string, rows []WorkflowFrequencyRow) string {
+	labels := make([]string, len(rows))
+	boxes := make([]stats.Summary, len(rows))
+	for i, row := range rows {
+		labels[i] = fmt.Sprintf("%d min", row.PeriodMinutes)
+		boxes[i] = row.Proactive
+	}
+	return title + " (proactive policy)\n" + stats.PlotBoxes(labels, boxes, 48)
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"prorp/internal/stats"
+	"prorp/internal/workload"
+)
+
+// Fig3Result reproduces Figure 3: the fragmentation of idle time. The
+// paper's headline numbers from two months of EU1 telemetry: 72 % of idle
+// intervals last at most one hour (a), yet those short intervals contribute
+// only about 5 % of the total idle duration (b).
+type Fig3Result struct {
+	Region string
+	Months int
+	// Gaps is the number of idle intervals observed.
+	Gaps int
+	// BoundsHours are the CDF evaluation points.
+	BoundsHours []float64
+	// CountCDF[i] is the fraction of idle intervals <= BoundsHours[i].
+	CountCDF []float64
+	// DurationCDF[i] is the fraction of total idle time contributed by
+	// intervals <= BoundsHours[i].
+	DurationCDF []float64
+	// ShortCountFrac and ShortDurationFrac are the <=1 h headline values.
+	ShortCountFrac    float64
+	ShortDurationFrac float64
+}
+
+// Fig3 analyzes two months of generated traces for one region, mirroring
+// the telemetry study of Section 2.2.
+func Fig3(scale Scale) (*Fig3Result, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, err
+	}
+	const region = "EU1"
+	const months = 2
+	span := int64(months) * 30 * day
+
+	prof, err := workload.Region(region)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := workload.NewGenerator(scale.Seed, prof)
+	if err != nil {
+		return nil, err
+	}
+	traces := gen.Generate(scale.Databases, 0, span)
+
+	var all []float64
+	var weighted stats.WeightedCDF
+	gaps := 0
+	for _, tr := range traces {
+		for _, g := range tr.IdleGaps() {
+			d := float64(g.Duration())
+			all = append(all, d)
+			weighted.Add(d, d)
+			gaps++
+		}
+	}
+	countCDF := stats.NewCDF(all)
+
+	bounds := []float64{0.25, 0.5, 1, 2, 4, 7, 12, 24, 72, 168, 720}
+	res := &Fig3Result{
+		Region:      region,
+		Months:      months,
+		Gaps:        gaps,
+		BoundsHours: bounds,
+	}
+	for _, b := range bounds {
+		sec := b * 3600
+		res.CountCDF = append(res.CountCDF, countCDF.At(sec))
+		res.DurationCDF = append(res.DurationCDF, weighted.At(sec))
+	}
+	res.ShortCountFrac = countCDF.At(3600)
+	res.ShortDurationFrac = weighted.At(3600)
+	return res, nil
+}
+
+// Render prints the two CDF series of Figure 3.
+func (r *Fig3Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3: fragmentation of idle time (%s, %d months, %d idle intervals)\n",
+		r.Region, r.Months, r.Gaps)
+	fmt.Fprintf(&b, "%10s %18s %21s\n", "<= hours", "(a) % of intervals", "(b) % of idle time")
+	for i, bd := range r.BoundsHours {
+		fmt.Fprintf(&b, "%10.2f %18.1f %21.1f\n", bd, 100*r.CountCDF[i], 100*r.DurationCDF[i])
+	}
+	fmt.Fprintf(&b, "headline: %.0f%% of idle intervals are within one hour (paper: 72%%), contributing %.1f%% of idle time (paper: ~5%%)\n",
+		100*r.ShortCountFrac, 100*r.ShortDurationFrac)
+	return b.String()
+}
+
+// Plot renders the two CDFs of Figure 3 as ASCII curves on a log-x axis
+// (the bounds span 15 minutes to 30 days).
+func (r *Fig3Result) Plot() string {
+	logX := make([]float64, len(r.BoundsHours))
+	for i, x := range r.BoundsHours {
+		logX[i] = math.Log10(x)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "(a) fraction of idle intervals <= duration\n")
+	b.WriteString(stats.PlotCDF(logX, r.CountCDF, 56, 10, "log10(idle interval duration, hours)"))
+	fmt.Fprintf(&b, "(b) fraction of total idle time contributed\n")
+	b.WriteString(stats.PlotCDF(logX, r.DurationCDF, 56, 10, "log10(idle interval duration, hours)"))
+	return b.String()
+}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"prorp/internal/engine"
+	"prorp/internal/metrics"
+	"prorp/internal/policy"
+)
+
+// PolicyComparison is one reactive-vs-proactive pair, the unit of Figures
+// 6 and 7.
+type PolicyComparison struct {
+	Label     string
+	Reactive  metrics.Report
+	Proactive metrics.Report
+}
+
+// Fig6Result reproduces Figure 6: validation of the proactive policy
+// across the four largest Azure regions. Paper shape: reactive QoS 60-68 %
+// and idle 5-12 %; proactive QoS 80-90 % with idle 7-14 % split into
+// logical 3-7 %, correct prewarm 1-5 %, wrong prewarm 1-4 %.
+type Fig6Result struct {
+	Rows []PolicyComparison
+}
+
+// Fig6 runs both policies over every region profile. The region x policy
+// matrix is embarrassingly parallel (each simulation owns all of its
+// state), so the runs fan out across CPUs.
+func Fig6(scale Scale, regions []string) (*Fig6Result, error) {
+	res := &Fig6Result{Rows: make([]PolicyComparison, len(regions))}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, region := range regions {
+		for _, mode := range []policy.Mode{policy.Reactive, policy.Proactive} {
+			i, region, mode := i, region, mode
+			wg.Add(1)
+			sem <- struct{}{}
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				out, err := scale.run(region, mode)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					return
+				}
+				res.Rows[i].Label = region
+				if mode == policy.Reactive {
+					res.Rows[i].Reactive = out.Report
+				} else {
+					res.Rows[i].Proactive = out.Report
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
+}
+
+// Render prints the two panels of Figure 6.
+func (r *Fig6Result) Render() string {
+	return renderComparisons("Figure 6: validation across Azure regions", "region", r.Rows)
+}
+
+// Fig7Result reproduces Figure 7: validation across four consecutive
+// evaluation days on one region.
+type Fig7Result struct {
+	Region string
+	Rows   []PolicyComparison
+}
+
+// Fig7 evaluates each of `days` consecutive days after the warm-up
+// separately (the paper uses September 1-4, 2023).
+func Fig7(scale Scale, region string, days int) (*Fig7Result, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, err
+	}
+	if days < 1 || days > scale.EvalDays {
+		return nil, fmt.Errorf("experiments: %d days outside 1..%d", days, scale.EvalDays)
+	}
+	traces, err := scale.traces(region)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig7Result{Region: region}
+	_, evalFrom, _ := scale.horizon()
+	for d := 0; d < days; d++ {
+		var pair [2]metrics.Report
+		for i, mode := range []policy.Mode{policy.Reactive, policy.Proactive} {
+			cfg := scale.engineConfig(mode)
+			cfg.EvalFrom = evalFrom + int64(d)*day
+			cfg.EvalTo = evalFrom + int64(d+1)*day
+			out, err := engine.Run(cfg, traces)
+			if err != nil {
+				return nil, err
+			}
+			pair[i] = out.Report
+		}
+		res.Rows = append(res.Rows, PolicyComparison{
+			Label:     fmt.Sprintf("day %d", d+1),
+			Reactive:  pair[0],
+			Proactive: pair[1],
+		})
+	}
+	return res, nil
+}
+
+// Render prints the two panels of Figure 7.
+func (r *Fig7Result) Render() string {
+	return renderComparisons(
+		fmt.Sprintf("Figure 7: validation across evaluation days (%s)", r.Region),
+		"day", r.Rows)
+}
+
+// renderComparisons prints the (a) QoS and (b) idle-time panels shared by
+// Figures 6 and 7.
+func renderComparisons(title, rowLabel string, rows []PolicyComparison) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "(a) %% of first logins with resources available (QoS)\n")
+	fmt.Fprintf(&b, "%10s %10s %10s\n", rowLabel, "reactive", "proactive")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%10s %9.1f%% %9.1f%%\n",
+			row.Label, row.Reactive.QoSPercent(), row.Proactive.QoSPercent())
+	}
+	fmt.Fprintf(&b, "(b) %% of time resources stay idle\n")
+	fmt.Fprintf(&b, "%10s %10s %10s %12s %14s %12s\n",
+		rowLabel, "reactive", "proactive", "pro-logical", "pro-correct", "pro-wrong")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%10s %9.2f%% %9.2f%% %11.2f%% %13.2f%% %11.2f%%\n",
+			row.Label,
+			row.Reactive.IdlePercent(),
+			row.Proactive.IdlePercent(),
+			row.Proactive.IdleLogicalPercent(),
+			row.Proactive.IdlePrewarmCorrectPercent(),
+			row.Proactive.IdlePrewarmWrongPercent())
+	}
+	return b.String()
+}

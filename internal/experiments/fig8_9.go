@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"prorp/internal/policy"
+	"prorp/internal/training"
+)
+
+// SweepResult captures a knob sweep (Figures 8 and 9 and the un-charted
+// ablations): one row per knob value with the QoS and idle outcome.
+type SweepResult struct {
+	Title  string
+	Knob   string
+	Labels []string
+	Points []training.Point
+}
+
+// Render prints the two panels of a sweep figure.
+func (r *SweepResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", r.Title)
+	fmt.Fprintf(&b, "%12s %14s %12s %14s %12s\n",
+		r.Knob, "(a) QoS warm%", "(b) idle%", "idle-correct%", "idle-wrong%")
+	for i, p := range r.Points {
+		fmt.Fprintf(&b, "%12s %13.1f%% %11.2f%% %13.2f%% %11.2f%%\n",
+			r.Labels[i], p.Report.QoSPercent(), p.Report.IdlePercent(),
+			p.Report.IdlePrewarmCorrectPercent(), p.Report.IdlePrewarmWrongPercent())
+	}
+	return b.String()
+}
+
+// newPipeline builds the training pipeline Figures 8-9 sweep on.
+func newPipeline(scale Scale, region string) (*training.Pipeline, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, err
+	}
+	traces, err := scale.traces(region)
+	if err != nil {
+		return nil, err
+	}
+	return training.New(scale.engineConfig(policy.Proactive), traces)
+}
+
+// Fig8 reproduces Figure 8 with the paper's full 1-8 hour window sweep.
+func Fig8(scale Scale, region string) (*SweepResult, error) {
+	return Fig8Windows(scale, region, []int{1, 2, 3, 4, 5, 6, 7, 8})
+}
+
+// Fig8Windows is Figure 8 over an explicit window list (hours). Paper
+// shape: QoS rises 67 -> 87 % while idle time grows 3 -> 8 %.
+func Fig8Windows(scale Scale, region string, hours []int) (*SweepResult, error) {
+	p, err := newPipeline(scale, region)
+	if err != nil {
+		return nil, err
+	}
+	pts, err := p.SweepWindow(hours)
+	if err != nil {
+		return nil, err
+	}
+	res := &SweepResult{
+		Title:  fmt.Sprintf("Figure 8: varying window size (%s)", region),
+		Knob:   "window (h)",
+		Points: pts,
+	}
+	for _, h := range hours {
+		res.Labels = append(res.Labels, fmt.Sprintf("%d", h))
+	}
+	return res, nil
+}
+
+// Fig9 reproduces Figure 9 with the paper's full 0.1-0.8 threshold sweep.
+func Fig9(scale Scale, region string) (*SweepResult, error) {
+	return Fig9Confidences(scale, region, []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8})
+}
+
+// Fig9Confidences is Figure 9 over an explicit threshold list. Paper
+// shape: QoS falls 86 -> 50 % while idle time drops 6 -> 2 %.
+func Fig9Confidences(scale Scale, region string, cs []float64) (*SweepResult, error) {
+	p, err := newPipeline(scale, region)
+	if err != nil {
+		return nil, err
+	}
+	pts, err := p.SweepConfidence(cs)
+	if err != nil {
+		return nil, err
+	}
+	res := &SweepResult{
+		Title:  fmt.Sprintf("Figure 9: varying confidence of prediction (%s)", region),
+		Knob:   "confidence",
+		Points: pts,
+	}
+	for _, c := range cs {
+		res.Labels = append(res.Labels, fmt.Sprintf("%.1f", c))
+	}
+	return res, nil
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"prorp/internal/autoscale"
+	"prorp/internal/maintenance"
+	"prorp/internal/policy"
+	"prorp/internal/workload"
+)
+
+// FutureAutoscaleResult quantifies the paper's first future-work direction
+// (Section 11): proactive auto-scale in small capacity increments.
+type FutureAutoscaleResult struct {
+	Region  string
+	Results [3]autoscale.Result // reactive, proactive, oracle
+}
+
+// levelFor maps a workload archetype to a demand profile in capacity
+// units: office databases ramp to a midday peak, night batches burst hard,
+// always-on services hold a steady medium, the rest run at the base level.
+func levelFor(p workload.Pattern, hourOfDay int64) int {
+	switch p {
+	case workload.Office:
+		if hourOfDay >= 11 && hourOfDay < 14 {
+			return 4
+		}
+		return 2
+	case workload.NightBatch:
+		return 4
+	case workload.AlwaysOn:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// FutureAutoscale derives per-level demand curves from the region workload
+// and compares the reactive, proactive, and oracle scalers.
+func FutureAutoscale(scale Scale, region string) (*FutureAutoscaleResult, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, err
+	}
+	traces, err := scale.traces(region)
+	if err != nil {
+		return nil, err
+	}
+	var levelTraces []autoscale.Trace
+	for _, tr := range traces {
+		var lt autoscale.Trace
+		lt.DB = tr.DB
+		for _, iv := range tr.Intervals {
+			// Split the interval at hour boundaries so office middays peak.
+			cur := iv.Start
+			for cur < iv.End {
+				hourEnd := (cur/3600 + 1) * 3600
+				if hourEnd > iv.End {
+					hourEnd = iv.End
+				}
+				lv := levelFor(tr.Pattern, (cur%86400)/3600)
+				n := len(lt.Intervals)
+				if n > 0 && lt.Intervals[n-1].End == cur && lt.Intervals[n-1].Level == lv {
+					lt.Intervals[n-1].End = hourEnd
+				} else {
+					lt.Intervals = append(lt.Intervals, autoscale.LevelInterval{
+						Start: cur, End: hourEnd, Level: lv,
+					})
+				}
+				cur = hourEnd
+			}
+		}
+		if len(lt.Intervals) > 0 {
+			levelTraces = append(levelTraces, lt)
+		}
+	}
+
+	cfg := autoscale.DefaultConfig()
+	cfg.HistoryDays = scale.HistoryDays
+	from, evalFrom, to := scale.horizon()
+	results, err := autoscale.Compare(cfg, levelTraces, from, evalFrom, to)
+	if err != nil {
+		return nil, err
+	}
+	return &FutureAutoscaleResult{Region: region, Results: results}, nil
+}
+
+// Render prints the generalized Definition 2.2 metrics per scaler.
+func (r *FutureAutoscaleResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Future work: proactive auto-scale in capacity increments (%s)\n", r.Region)
+	fmt.Fprintf(&b, "%-10s %14s %12s %10s\n", "scaler", "throttled", "idle-cores", "steps")
+	for _, res := range r.Results {
+		fmt.Fprintf(&b, "%-10s %13.2f%% %11.2f%% %10d\n",
+			res.Name, res.ThrottledPercent(), res.IdlePercent(), res.Steps)
+	}
+	return b.String()
+}
+
+// FutureMaintenanceResult quantifies the fourth future-work direction:
+// scheduling maintenance into predicted-online windows.
+type FutureMaintenanceResult struct {
+	Region string
+	// Naive runs every operation at its deadline regardless of state.
+	NaiveForcedPercent float64
+	// Predicted uses the per-database prediction.
+	PredictedForcedPercent float64
+	ByStrategy             map[maintenance.Strategy]int
+	Ops                    int
+}
+
+// FutureMaintenance runs a proactive region simulation, then plans one
+// nightly backup per database and measures how many forced resumes the
+// prediction-aware scheduler avoids compared to the naive
+// fixed-deadline plan.
+func FutureMaintenance(scale Scale, region string) (*FutureMaintenanceResult, error) {
+	res, err := scale.run(region, policy.Proactive)
+	if err != nil {
+		return nil, err
+	}
+	_, _, to := scale.horizon()
+	now := to
+
+	views := map[int]maintenance.DatabaseView{}
+	var ops []maintenance.Op
+	for i, m := range res.Machines {
+		views[i] = maintenance.DatabaseView{
+			ResourcesAvailable: m.ResourcesAvailable(),
+			Next:               m.NextActivity(),
+		}
+		ops = append(ops, maintenance.Op{
+			DB:          i,
+			DurationSec: 900,           // a 15-minute backup
+			DeadlineSec: now + 24*3600, // due within a day
+		})
+	}
+	batch, err := maintenance.ScheduleBatch(ops, now, views, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	// The naive baseline forces a resume for every database that is
+	// physically paused at its fixed slot.
+	naiveForced := 0
+	for i := range ops {
+		if !views[i].ResourcesAvailable {
+			naiveForced++
+		}
+	}
+
+	out := &FutureMaintenanceResult{
+		Region:                 region,
+		NaiveForcedPercent:     100 * float64(naiveForced) / float64(len(ops)),
+		PredictedForcedPercent: 100 - batch.AvoidedResumePercent(),
+		ByStrategy:             batch.ByStrategy,
+		Ops:                    len(ops),
+	}
+	return out, nil
+}
+
+// Render prints the comparison.
+func (r *FutureMaintenanceResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Future work: maintenance scheduling into predicted-online windows (%s, %d ops)\n",
+		r.Region, r.Ops)
+	fmt.Fprintf(&b, "forced resumes: naive fixed-slot %.1f%% -> prediction-aware %.1f%%\n",
+		r.NaiveForcedPercent, r.PredictedForcedPercent)
+	fmt.Fprintf(&b, "plans: run-now %d, during-predicted-activity %d, forced %d\n",
+		r.ByStrategy[maintenance.RunNow],
+		r.ByStrategy[maintenance.DuringPredictedActivity],
+		r.ByStrategy[maintenance.ForcedResume])
+	return b.String()
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFutureAutoscaleLadder(t *testing.T) {
+	s := Quick()
+	s.Databases = 80
+	res, err := FutureAutoscale(s, "EU1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rea, pro, ora := res.Results[0], res.Results[1], res.Results[2]
+	if rea.Name != "reactive" || pro.Name != "proactive" || ora.Name != "oracle" {
+		t.Fatalf("ladder order: %s/%s/%s", rea.Name, pro.Name, ora.Name)
+	}
+	// The extension's claim: proactive pre-scaling throttles less.
+	if pro.Throttled >= rea.Throttled {
+		t.Errorf("proactive throttled %d >= reactive %d", pro.Throttled, rea.Throttled)
+	}
+	if ora.Throttled != 0 || ora.Idle != 0 {
+		t.Errorf("oracle imperfect: %+v", ora)
+	}
+	if rea.Used == 0 {
+		t.Error("no demand served")
+	}
+	if !strings.Contains(res.Render(), "auto-scale") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFutureMaintenanceBeatNaive(t *testing.T) {
+	s := Quick()
+	s.Databases = 100
+	res, err := FutureMaintenance(s, "EU1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != s.Databases {
+		t.Fatalf("ops = %d, want %d", res.Ops, s.Databases)
+	}
+	// Prediction-aware scheduling must force strictly fewer resumes than
+	// the naive fixed-slot plan (most of the fleet is paused overnight,
+	// and the patterned databases carry predictions).
+	if res.PredictedForcedPercent >= res.NaiveForcedPercent {
+		t.Errorf("prediction-aware forced %.1f%% >= naive %.1f%%",
+			res.PredictedForcedPercent, res.NaiveForcedPercent)
+	}
+	total := 0
+	for _, n := range res.ByStrategy {
+		total += n
+	}
+	if total != res.Ops {
+		t.Errorf("strategy counts sum to %d, want %d", total, res.Ops)
+	}
+	if !strings.Contains(res.Render(), "maintenance") {
+		t.Error("render missing title")
+	}
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"prorp/internal/policy"
+)
+
+// VarianceResult quantifies how sensitive the headline comparison is to
+// the workload draw: the same experiment repeated over independent seeds.
+// The paper reports single production measurements; a synthetic
+// reproduction owes its readers the spread.
+type VarianceResult struct {
+	Region string
+	Seeds  []int64
+	// Per-seed series.
+	ReactiveQoS   []float64
+	ProactiveQoS  []float64
+	ReactiveIdle  []float64
+	ProactiveIdle []float64
+}
+
+// Variance runs the reactive/proactive comparison once per seed.
+func Variance(scale Scale, region string, seeds []int64) (*VarianceResult, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("experiments: no seeds")
+	}
+	res := &VarianceResult{Region: region, Seeds: seeds}
+	for _, seed := range seeds {
+		s := scale
+		s.Seed = seed
+		rea, err := s.run(region, policy.Reactive)
+		if err != nil {
+			return nil, err
+		}
+		pro, err := s.run(region, policy.Proactive)
+		if err != nil {
+			return nil, err
+		}
+		res.ReactiveQoS = append(res.ReactiveQoS, rea.Report.QoSPercent())
+		res.ProactiveQoS = append(res.ProactiveQoS, pro.Report.QoSPercent())
+		res.ReactiveIdle = append(res.ReactiveIdle, rea.Report.IdlePercent())
+		res.ProactiveIdle = append(res.ProactiveIdle, pro.Report.IdlePercent())
+	}
+	return res, nil
+}
+
+// meanStd returns the mean and sample standard deviation.
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(std / float64(len(xs)-1))
+}
+
+// MinGap is the smallest per-seed QoS advantage of the proactive policy.
+func (r *VarianceResult) MinGap() float64 {
+	gap := math.Inf(1)
+	for i := range r.Seeds {
+		if g := r.ProactiveQoS[i] - r.ReactiveQoS[i]; g < gap {
+			gap = g
+		}
+	}
+	return gap
+}
+
+// Render prints mean +/- stddev rows.
+func (r *VarianceResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Seed variance over %d workload draws (%s)\n", len(r.Seeds), r.Region)
+	fmt.Fprintf(&b, "%-14s %16s %16s\n", "metric", "reactive", "proactive")
+	rq, rs := meanStd(r.ReactiveQoS)
+	pq, ps := meanStd(r.ProactiveQoS)
+	fmt.Fprintf(&b, "%-14s %9.1f ± %3.1f%% %9.1f ± %3.1f%%\n", "QoS", rq, rs, pq, ps)
+	ri, rsi := meanStd(r.ReactiveIdle)
+	pi, psi := meanStd(r.ProactiveIdle)
+	fmt.Fprintf(&b, "%-14s %9.2f ± %3.2f%% %9.2f ± %3.2f%%\n", "idle", ri, rsi, pi, psi)
+	fmt.Fprintf(&b, "smallest per-seed proactive QoS advantage: %.1f points\n", r.MinGap())
+	return b.String()
+}

@@ -1,0 +1,151 @@
+package historystore
+
+// Ablation benchmark for the storage design choice called out in
+// DESIGN.md: the paper mandates a clustered B-tree index on time_snapshot
+// so that inserts are O(log n) and the range aggregations of Algorithm 4
+// are O(log n + m). This file pits the real store against a naive sorted
+// slice (O(n) insert via memmove, binary-searched reads) at the history
+// sizes Figure 10 reports. Run:
+//
+//	go test -bench 'Ablation' -benchmem ./internal/historystore
+//
+// At the ~500-tuple average the slice is competitive (memmove is cheap);
+// at the >4K worst case and under the mixed insert/trim/predict workload
+// the B-tree's asymptotics take over — which is the paper's operating
+// regime for the busiest databases.
+
+import (
+	"sort"
+	"testing"
+)
+
+// sliceStore is the naive baseline: tuples kept sorted in a slice.
+type sliceStore struct {
+	ts  []int64
+	typ []byte
+}
+
+func (s *sliceStore) insert(t int64, typ byte) bool {
+	i := sort.Search(len(s.ts), func(i int) bool { return s.ts[i] >= t })
+	if i < len(s.ts) && s.ts[i] == t {
+		return false
+	}
+	s.ts = append(s.ts, 0)
+	copy(s.ts[i+1:], s.ts[i:])
+	s.ts[i] = t
+	s.typ = append(s.typ, 0)
+	copy(s.typ[i+1:], s.typ[i:])
+	s.typ[i] = typ
+	return true
+}
+
+func (s *sliceStore) firstLastLogin(lo, hi int64) (int64, int64, bool) {
+	i := sort.Search(len(s.ts), func(i int) bool { return s.ts[i] >= lo })
+	var first, last int64
+	ok := false
+	for ; i < len(s.ts) && s.ts[i] <= hi; i++ {
+		if s.typ[i] != EventStart {
+			continue
+		}
+		if !ok {
+			first = s.ts[i]
+			ok = true
+		}
+		last = s.ts[i]
+	}
+	return first, last, ok
+}
+
+func (s *sliceStore) deleteRange(lo, hi int64) {
+	i := sort.Search(len(s.ts), func(i int) bool { return s.ts[i] >= lo })
+	j := sort.Search(len(s.ts), func(i int) bool { return s.ts[i] > hi })
+	s.ts = append(s.ts[:i], s.ts[j:]...)
+	s.typ = append(s.typ[:i], s.typ[j:]...)
+}
+
+// The mixed workload one database generates over a month: out-of-order
+// inserts (timers record tuples off the critical path), periodic trims,
+// and the range reads of Algorithm 4.
+func mixedOps(n int) []int64 {
+	ops := make([]int64, n)
+	seed := uint64(42)
+	for i := range ops {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		ops[i] = int64(seed>>20) % (28 * 86400)
+	}
+	return ops
+}
+
+func BenchmarkAblationBTreeMixed(b *testing.B) {
+	for _, size := range []int{500, 4000} {
+		b.Run(sizeName(size), func(b *testing.B) {
+			ops := mixedOps(size)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				st := New()
+				for j, t := range ops {
+					st.Insert(t, byte(j%2))
+					if j%64 == 63 {
+						st.FirstLastLogin(t-25200, t)
+					}
+					if j%256 == 255 {
+						st.DeleteOld(14, t+14*86400)
+					}
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblationSliceMixed(b *testing.B) {
+	for _, size := range []int{500, 4000} {
+		b.Run(sizeName(size), func(b *testing.B) {
+			ops := mixedOps(size)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				st := &sliceStore{}
+				for j, t := range ops {
+					st.insert(t, byte(j%2))
+					if j%64 == 63 {
+						st.firstLastLogin(t-25200, t)
+					}
+					if j%256 == 255 {
+						st.deleteRange(0, t-14*86400)
+					}
+				}
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	if n >= 1000 {
+		return "4k-tuples"
+	}
+	return "500-tuples"
+}
+
+// TestSliceStoreAgreesWithBTree keeps the ablation baseline honest.
+func TestSliceStoreAgreesWithBTree(t *testing.T) {
+	bt := New()
+	sl := &sliceStore{}
+	for j, ts := range mixedOps(2000) {
+		typ := byte(j % 2)
+		if bt.Insert(ts, typ) != sl.insert(ts, typ) {
+			t.Fatalf("insert(%d) disagrees", ts)
+		}
+	}
+	if bt.Len() != len(sl.ts) {
+		t.Fatalf("sizes diverge: %d vs %d", bt.Len(), len(sl.ts))
+	}
+	for _, probe := range []struct{ lo, hi int64 }{
+		{0, 86400}, {86400, 7 * 86400}, {0, 28 * 86400}, {100, 99},
+	} {
+		f1, l1, ok1 := bt.FirstLastLogin(probe.lo, probe.hi)
+		f2, l2, ok2 := sl.firstLastLogin(probe.lo, probe.hi)
+		if f1 != f2 || l1 != l2 || ok1 != ok2 {
+			t.Fatalf("FirstLastLogin(%d,%d): btree %d/%d/%v, slice %d/%d/%v",
+				probe.lo, probe.hi, f1, l1, ok1, f2, l2, ok2)
+		}
+	}
+}

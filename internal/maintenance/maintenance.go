@@ -1,0 +1,176 @@
+// Package maintenance implements the fourth future-work direction of the
+// ProRP paper (Section 11): scheduling system maintenance operations —
+// backups, software updates, stats refresh — when the database is
+// predicted to be online, so the backend does not resume resources just to
+// run maintenance (maintenance-triggered resumes are exactly the noise the
+// paper's activity tracking filters out in Section 3.3).
+package maintenance
+
+import (
+	"fmt"
+	"sort"
+
+	"prorp/internal/predictor"
+)
+
+// Strategy says how a maintenance window was chosen.
+type Strategy int
+
+const (
+	// RunNow: resources are currently allocated; run immediately and
+	// piggyback on them.
+	RunNow Strategy = iota
+	// DuringPredictedActivity: wait for the predicted next activity and
+	// run alongside the customer workload's resources.
+	DuringPredictedActivity
+	// ForcedResume: no usable prediction before the deadline; resources
+	// must be resumed solely for the maintenance operation.
+	ForcedResume
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case RunNow:
+		return "run-now"
+	case DuringPredictedActivity:
+		return "during-predicted-activity"
+	case ForcedResume:
+		return "forced-resume"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Plan is a scheduled maintenance window.
+type Plan struct {
+	// Start is when the operation should begin (epoch seconds).
+	Start int64
+	// Strategy records how the window was chosen.
+	Strategy Strategy
+	// AvoidsResume reports whether the plan avoids a dedicated resume.
+	AvoidsResume bool
+}
+
+// Op describes one pending maintenance operation.
+type Op struct {
+	// DB identifies the database.
+	DB int
+	// DurationSec is how long the operation runs.
+	DurationSec int64
+	// DeadlineSec is the latest allowed completion time (epoch seconds).
+	DeadlineSec int64
+}
+
+// Validate checks the operation.
+func (o Op) Validate(now int64) error {
+	if o.DurationSec <= 0 {
+		return fmt.Errorf("maintenance: op for db %d has duration %d", o.DB, o.DurationSec)
+	}
+	if o.DeadlineSec < now+o.DurationSec {
+		return fmt.Errorf("maintenance: op for db %d cannot finish by deadline %d", o.DB, o.DeadlineSec)
+	}
+	return nil
+}
+
+// Schedule picks the window for one operation given the database's current
+// resource availability and its next-activity prediction (zero when none).
+func Schedule(op Op, now int64, resourcesAvailable bool, next predictor.Activity) (Plan, error) {
+	if err := op.Validate(now); err != nil {
+		return Plan{}, err
+	}
+	// Resources already up: run immediately, no extra resume.
+	if resourcesAvailable {
+		return Plan{Start: now, Strategy: RunNow, AvoidsResume: true}, nil
+	}
+	// Predicted activity that leaves room before the deadline: run then.
+	if !next.IsZero() && next.Start >= now && next.Start+op.DurationSec <= op.DeadlineSec {
+		return Plan{Start: next.Start, Strategy: DuringPredictedActivity, AvoidsResume: true}, nil
+	}
+	// Otherwise resume just for the operation, as late as allowed (the
+	// prediction may still materialize before then and upgrade the plan).
+	return Plan{
+		Start:        op.DeadlineSec - op.DurationSec,
+		Strategy:     ForcedResume,
+		AvoidsResume: false,
+	}, nil
+}
+
+// DatabaseView is what the batch planner needs to know per database.
+type DatabaseView struct {
+	ResourcesAvailable bool
+	Next               predictor.Activity
+}
+
+// BatchResult summarizes a fleet-wide planning round.
+type BatchResult struct {
+	Plans []Plan
+	// ByStrategy counts plans per strategy.
+	ByStrategy map[Strategy]int
+}
+
+// AvoidedResumePercent is the share of operations that piggyback on
+// customer-driven resources instead of forcing a resume.
+func (b BatchResult) AvoidedResumePercent() float64 {
+	if len(b.Plans) == 0 {
+		return 0
+	}
+	avoided := 0
+	for _, p := range b.Plans {
+		if p.AvoidsResume {
+			avoided++
+		}
+	}
+	return 100 * float64(avoided) / float64(len(b.Plans))
+}
+
+// ScheduleBatch plans a set of operations against fleet state, spreading
+// forced resumes so that no more than maxForcedPerHour of them start in
+// any one hour — the same backend-load guardrail as Figure 11's
+// per-iteration cap. Plans keep the input order; forced starts may be
+// moved earlier (never later) to satisfy the cap.
+func ScheduleBatch(ops []Op, now int64, views map[int]DatabaseView, maxForcedPerHour int) (BatchResult, error) {
+	res := BatchResult{ByStrategy: make(map[Strategy]int)}
+	var forcedIdx []int
+
+	for _, op := range ops {
+		view, ok := views[op.DB]
+		if !ok {
+			return BatchResult{}, fmt.Errorf("maintenance: no view for database %d", op.DB)
+		}
+		plan, err := Schedule(op, now, view.ResourcesAvailable, view.Next)
+		if err != nil {
+			return BatchResult{}, err
+		}
+		res.Plans = append(res.Plans, plan)
+		if plan.Strategy == ForcedResume {
+			forcedIdx = append(forcedIdx, len(res.Plans)-1)
+		}
+	}
+	if maxForcedPerHour > 0 && len(forcedIdx) > 0 {
+		// Sort forced plans by start, then push overflowing ones into
+		// earlier hours (deadlines only bound the end).
+		sort.Slice(forcedIdx, func(i, j int) bool {
+			return res.Plans[forcedIdx[i]].Start < res.Plans[forcedIdx[j]].Start
+		})
+		perHour := map[int64]int{}
+		for _, idx := range forcedIdx {
+			p := &res.Plans[idx]
+			hour := p.Start / 3600
+			for perHour[hour] >= maxForcedPerHour && hour*3600 > now {
+				hour--
+			}
+			perHour[hour]++
+			if start := hour * 3600; start < p.Start {
+				if start < now {
+					start = now
+				}
+				p.Start = start
+			}
+		}
+	}
+
+	for _, p := range res.Plans {
+		res.ByStrategy[p.Strategy]++
+	}
+	return res, nil
+}

@@ -1,0 +1,203 @@
+package maintenance
+
+import (
+	"testing"
+	"testing/quick"
+
+	"prorp/internal/predictor"
+)
+
+const hour = int64(3600)
+
+func TestOpValidate(t *testing.T) {
+	now := int64(1000)
+	if err := (Op{DB: 1, DurationSec: 600, DeadlineSec: now + 700}).Validate(now); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Op{
+		{DB: 1, DurationSec: 0, DeadlineSec: now + 700},
+		{DB: 1, DurationSec: -5, DeadlineSec: now + 700},
+		{DB: 1, DurationSec: 600, DeadlineSec: now + 599},
+	}
+	for i, op := range bad {
+		if err := op.Validate(now); err == nil {
+			t.Errorf("case %d accepted: %+v", i, op)
+		}
+	}
+}
+
+func TestScheduleRunNowWhenResourcesUp(t *testing.T) {
+	now := int64(10_000)
+	op := Op{DB: 1, DurationSec: 1800, DeadlineSec: now + 24*hour}
+	p, err := Schedule(op, now, true, predictor.Activity{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Strategy != RunNow || p.Start != now || !p.AvoidsResume {
+		t.Fatalf("plan = %+v, want run-now at %d", p, now)
+	}
+}
+
+func TestScheduleDuringPredictedActivity(t *testing.T) {
+	now := int64(10_000)
+	next := predictor.Activity{Start: now + 6*hour, End: now + 8*hour}
+	op := Op{DB: 1, DurationSec: 1800, DeadlineSec: now + 24*hour}
+	p, err := Schedule(op, now, false, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Strategy != DuringPredictedActivity || p.Start != next.Start || !p.AvoidsResume {
+		t.Fatalf("plan = %+v, want during predicted activity at %d", p, next.Start)
+	}
+}
+
+func TestScheduleForcedResumeWhenNoPrediction(t *testing.T) {
+	now := int64(10_000)
+	op := Op{DB: 1, DurationSec: 1800, DeadlineSec: now + 24*hour}
+	p, err := Schedule(op, now, false, predictor.Activity{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Strategy != ForcedResume || p.AvoidsResume {
+		t.Fatalf("plan = %+v, want forced resume", p)
+	}
+	if p.Start != op.DeadlineSec-op.DurationSec {
+		t.Fatalf("forced start = %d, want as late as allowed %d", p.Start, op.DeadlineSec-op.DurationSec)
+	}
+}
+
+func TestScheduleForcedWhenPredictionMissesDeadline(t *testing.T) {
+	now := int64(10_000)
+	// Prediction exists but starts too late to finish by the deadline.
+	next := predictor.Activity{Start: now + 23*hour + 3000, End: now + 24*hour}
+	op := Op{DB: 1, DurationSec: 1800, DeadlineSec: now + 24*hour}
+	p, err := Schedule(op, now, false, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Strategy != ForcedResume {
+		t.Fatalf("plan = %+v, want forced resume (prediction misses deadline)", p)
+	}
+}
+
+func TestScheduleRejectsInvalidOp(t *testing.T) {
+	if _, err := Schedule(Op{DB: 1, DurationSec: 0, DeadlineSec: 10}, 0, true, predictor.Activity{}); err == nil {
+		t.Fatal("invalid op accepted")
+	}
+}
+
+func TestScheduleBatchMix(t *testing.T) {
+	now := int64(100_000)
+	views := map[int]DatabaseView{
+		1: {ResourcesAvailable: true},
+		2: {Next: predictor.Activity{Start: now + 4*hour, End: now + 5*hour}},
+		3: {}, // paused, unpredictable
+	}
+	ops := []Op{
+		{DB: 1, DurationSec: 600, DeadlineSec: now + 24*hour},
+		{DB: 2, DurationSec: 600, DeadlineSec: now + 24*hour},
+		{DB: 3, DurationSec: 600, DeadlineSec: now + 24*hour},
+	}
+	res, err := ScheduleBatch(ops, now, views, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ByStrategy[RunNow] != 1 || res.ByStrategy[DuringPredictedActivity] != 1 ||
+		res.ByStrategy[ForcedResume] != 1 {
+		t.Fatalf("strategies = %v", res.ByStrategy)
+	}
+	if got := res.AvoidedResumePercent(); got < 66 || got > 67 {
+		t.Fatalf("AvoidedResumePercent = %.1f, want ~66.7", got)
+	}
+}
+
+func TestScheduleBatchSpreadsForcedResumes(t *testing.T) {
+	now := int64(720_000) // hour-aligned
+	views := map[int]DatabaseView{}
+	var ops []Op
+	// Ten unpredictable databases, all with the same deadline: naive
+	// planning would start all ten in the same hour.
+	for i := 0; i < 10; i++ {
+		views[i] = DatabaseView{}
+		ops = append(ops, Op{DB: i, DurationSec: 600, DeadlineSec: now + 10*hour})
+	}
+	res, err := ScheduleBatch(ops, now, views, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perHour := map[int64]int{}
+	for _, p := range res.Plans {
+		if p.Strategy != ForcedResume {
+			t.Fatalf("unexpected strategy %v", p.Strategy)
+		}
+		if p.Start < now || p.Start+600 > now+10*hour {
+			t.Fatalf("plan start %d violates [now, deadline-duration]", p.Start)
+		}
+		perHour[p.Start/3600]++
+	}
+	for h, n := range perHour {
+		if n > 2 {
+			t.Fatalf("hour %d has %d forced resumes, cap 2", h, n)
+		}
+	}
+}
+
+func TestScheduleBatchUnknownDatabase(t *testing.T) {
+	_, err := ScheduleBatch(
+		[]Op{{DB: 9, DurationSec: 600, DeadlineSec: 100_000}},
+		0, map[int]DatabaseView{}, 0)
+	if err == nil {
+		t.Fatal("unknown database accepted")
+	}
+}
+
+func TestBatchResultEmpty(t *testing.T) {
+	if (BatchResult{}).AvoidedResumePercent() != 0 {
+		t.Fatal("empty batch has nonzero avoided percent")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	for s := RunNow; s <= ForcedResume; s++ {
+		if s.String() == "" {
+			t.Errorf("Strategy(%d) empty", int(s))
+		}
+	}
+	if Strategy(9).String() == "" {
+		t.Error("unknown strategy empty")
+	}
+}
+
+// Property: every plan finishes by its deadline and never starts in the
+// past, whatever the cap and deadlines.
+func TestQuickPlansRespectDeadlines(t *testing.T) {
+	f := func(seed int64, nOps uint8, cap uint8) bool {
+		now := int64(1_000_000)
+		views := map[int]DatabaseView{}
+		var ops []Op
+		rng := seed
+		next := func() int64 { rng = rng*6364136223846793005 + 1; return (rng >> 33) & 0xFFFF }
+		for i := 0; i < int(nOps%20)+1; i++ {
+			dur := next()%3600 + 60
+			deadline := now + dur + next()%(48*hour)
+			views[i] = DatabaseView{ResourcesAvailable: next()%2 == 0}
+			ops = append(ops, Op{DB: i, DurationSec: dur, DeadlineSec: deadline})
+		}
+		res, err := ScheduleBatch(ops, now, views, int(cap%5))
+		if err != nil {
+			return false
+		}
+		for i, p := range res.Plans {
+			if p.Start < now {
+				return false
+			}
+			if p.Start+ops[i].DurationSec > ops[i].DeadlineSec {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,270 @@
+// Package metrics computes the KPI metrics of Section 8 of the ProRP paper:
+//
+//   - Quality of service (QoS): the percentage of first logins after an
+//     idle interval that occur while resources are available (warm) versus
+//     unavailable (cold, triggering a reactive resume).
+//   - Operational costs (COGS): the percentage of database-time during
+//     which resources are allocated but idle, decomposed into logical-pause
+//     idle, correct-proactive-resume idle (resumed ahead of a login that
+//     did arrive), and wrong-proactive-resume idle (resumed for a login
+//     that never came).
+//   - Overhead: counters for the allocation/reclamation workflows.
+//
+// The engine pushes time segments and login events into a Collector, which
+// clips everything to the evaluation window and produces a Report.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Category classifies how a database spent a span of time, the exhaustive
+// split implied by Definition 2.2 of the paper plus the pre-warm
+// refinements of Section 8.
+type Category int
+
+const (
+	// Used: resources allocated and customer workload running (D=A=1).
+	Used Category = iota
+	// IdleLogical: logically paused after activity — allocated, unbilled,
+	// idle.
+	IdleLogical
+	// IdlePrewarmCorrect: proactively resumed ahead of a login that did
+	// arrive; idle until the customer logged in.
+	IdlePrewarmCorrect
+	// IdlePrewarmWrong: proactively resumed but the customer never came;
+	// idle until resources were reclaimed again.
+	IdlePrewarmWrong
+	// Saved: physically paused with no demand (D=A=0) — the win.
+	Saved
+	// Unavailable: demand present but resources not yet allocated (D=1,
+	// A=0): the visible delay of a reactive resume.
+	Unavailable
+	numCategories
+)
+
+func (c Category) String() string {
+	switch c {
+	case Used:
+		return "used"
+	case IdleLogical:
+		return "idle-logical"
+	case IdlePrewarmCorrect:
+		return "idle-prewarm-correct"
+	case IdlePrewarmWrong:
+		return "idle-prewarm-wrong"
+	case Saved:
+		return "saved"
+	case Unavailable:
+		return "unavailable"
+	default:
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+}
+
+// Collector accumulates KPI inputs over an evaluation window. Segments and
+// events outside [EvalFrom, EvalTo) are clipped or dropped, so a simulation
+// can warm up (building history) before measurement starts.
+type Collector struct {
+	evalFrom, evalTo int64
+
+	durations [numCategories]int64
+
+	warmLogins     int
+	coldLogins     int
+	prewarms       int
+	prewarmsUsed   int
+	prewarmsWasted int
+	logicalPauses  int
+	physicalPauses int
+}
+
+// NewCollector returns a collector measuring [evalFrom, evalTo).
+func NewCollector(evalFrom, evalTo int64) (*Collector, error) {
+	if evalTo <= evalFrom {
+		return nil, fmt.Errorf("metrics: evaluation window [%d,%d) empty", evalFrom, evalTo)
+	}
+	return &Collector{evalFrom: evalFrom, evalTo: evalTo}, nil
+}
+
+// AddSegment accounts [from, to) of one database's time to the category,
+// clipped to the evaluation window.
+func (c *Collector) AddSegment(cat Category, from, to int64) {
+	if cat < 0 || cat >= numCategories {
+		panic(fmt.Sprintf("metrics: unknown category %d", int(cat)))
+	}
+	if from < c.evalFrom {
+		from = c.evalFrom
+	}
+	if to > c.evalTo {
+		to = c.evalTo
+	}
+	if to > from {
+		c.durations[cat] += to - from
+	}
+}
+
+// inWindow reports whether an instantaneous event at t counts.
+func (c *Collector) inWindow(t int64) bool {
+	return t >= c.evalFrom && t < c.evalTo
+}
+
+// LoginWarm records a first login after idle with resources available.
+func (c *Collector) LoginWarm(t int64) {
+	if c.inWindow(t) {
+		c.warmLogins++
+	}
+}
+
+// LoginCold records a first login after idle triggering a reactive resume.
+func (c *Collector) LoginCold(t int64) {
+	if c.inWindow(t) {
+		c.coldLogins++
+	}
+}
+
+// Prewarm records a proactive resume by the control plane.
+func (c *Collector) Prewarm(t int64) {
+	if c.inWindow(t) {
+		c.prewarms++
+	}
+}
+
+// PrewarmUsed records that a prewarmed database was used by the customer.
+func (c *Collector) PrewarmUsed(t int64) {
+	if c.inWindow(t) {
+		c.prewarmsUsed++
+	}
+}
+
+// PrewarmWasted records that a prewarmed database physically paused again
+// without being used.
+func (c *Collector) PrewarmWasted(t int64) {
+	if c.inWindow(t) {
+		c.prewarmsWasted++
+	}
+}
+
+// LogicalPause records a logical pause transition.
+func (c *Collector) LogicalPause(t int64) {
+	if c.inWindow(t) {
+		c.logicalPauses++
+	}
+}
+
+// PhysicalPause records a resource reclamation.
+func (c *Collector) PhysicalPause(t int64) {
+	if c.inWindow(t) {
+		c.physicalPauses++
+	}
+}
+
+// Report finalizes the KPI metrics.
+func (c *Collector) Report() Report {
+	return Report{
+		EvalFrom:       c.evalFrom,
+		EvalTo:         c.evalTo,
+		Durations:      c.durations,
+		WarmLogins:     c.warmLogins,
+		ColdLogins:     c.coldLogins,
+		Prewarms:       c.prewarms,
+		PrewarmsUsed:   c.prewarmsUsed,
+		PrewarmsWasted: c.prewarmsWasted,
+		LogicalPauses:  c.logicalPauses,
+		PhysicalPauses: c.physicalPauses,
+	}
+}
+
+// Report is the evaluated KPI set for one simulation run.
+type Report struct {
+	Name     string // policy / region label, set by the caller
+	EvalFrom int64
+	EvalTo   int64
+
+	Durations [numCategories]int64
+
+	WarmLogins     int
+	ColdLogins     int
+	Prewarms       int
+	PrewarmsUsed   int
+	PrewarmsWasted int
+	LogicalPauses  int
+	PhysicalPauses int
+}
+
+// TotalTime is the accounted database-time in seconds.
+func (r Report) TotalTime() int64 {
+	var sum int64
+	for _, d := range r.Durations {
+		sum += d
+	}
+	return sum
+}
+
+// QoSPercent is the paper's headline QoS metric: the percentage of first
+// logins after idle that landed on available resources.
+func (r Report) QoSPercent() float64 {
+	total := r.WarmLogins + r.ColdLogins
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(r.WarmLogins) / float64(total)
+}
+
+// pct returns the share of total accounted time spent in the categories.
+func (r Report) pct(cats ...Category) float64 {
+	total := r.TotalTime()
+	if total == 0 {
+		return 0
+	}
+	var sum int64
+	for _, c := range cats {
+		sum += r.Durations[c]
+	}
+	return 100 * float64(sum) / float64(total)
+}
+
+// IdlePercent is the COGS metric: the percentage of time resources were
+// allocated but idle (logical pauses plus both kinds of pre-warm idle).
+func (r Report) IdlePercent() float64 {
+	return r.pct(IdleLogical, IdlePrewarmCorrect, IdlePrewarmWrong)
+}
+
+// IdleLogicalPercent is the logical-pause share of time.
+func (r Report) IdleLogicalPercent() float64 { return r.pct(IdleLogical) }
+
+// IdlePrewarmCorrectPercent is the correct-proactive-resume share of time.
+func (r Report) IdlePrewarmCorrectPercent() float64 { return r.pct(IdlePrewarmCorrect) }
+
+// IdlePrewarmWrongPercent is the wrong-proactive-resume share of time.
+func (r Report) IdlePrewarmWrongPercent() float64 { return r.pct(IdlePrewarmWrong) }
+
+// SavedPercent is the share of time resources were correctly reclaimed.
+func (r Report) SavedPercent() float64 { return r.pct(Saved) }
+
+// UsedPercent is the share of time resources were used by customers.
+func (r Report) UsedPercent() float64 { return r.pct(Used) }
+
+// UnavailablePercent is the share of time demand went unmet during
+// reactive resumes.
+func (r Report) UnavailablePercent() float64 { return r.pct(Unavailable) }
+
+// String renders the report as the two panels the paper's figures show:
+// QoS (first logins) and COGS (idle time decomposition).
+func (r Report) String() string {
+	var b strings.Builder
+	if r.Name != "" {
+		fmt.Fprintf(&b, "%s\n", r.Name)
+	}
+	fmt.Fprintf(&b, "  QoS: %5.1f%% of first logins warm (%d warm, %d cold)\n",
+		r.QoSPercent(), r.WarmLogins, r.ColdLogins)
+	fmt.Fprintf(&b, "  idle time: %5.2f%% total (logical %.2f%%, prewarm-correct %.2f%%, prewarm-wrong %.2f%%)\n",
+		r.IdlePercent(), r.IdleLogicalPercent(),
+		r.IdlePrewarmCorrectPercent(), r.IdlePrewarmWrongPercent())
+	fmt.Fprintf(&b, "  saved: %5.2f%%  used: %5.2f%%  unavailable: %5.3f%%\n",
+		r.SavedPercent(), r.UsedPercent(), r.UnavailablePercent())
+	fmt.Fprintf(&b, "  prewarms: %d (%d used, %d wasted)  pauses: %d logical, %d physical\n",
+		r.Prewarms, r.PrewarmsUsed, r.PrewarmsWasted, r.LogicalPauses, r.PhysicalPauses)
+	return b.String()
+}

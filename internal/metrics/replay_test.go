@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"testing"
+
+	"prorp/internal/telemetry"
+)
+
+func rec(t int64, db int, k telemetry.Kind) telemetry.Record {
+	return telemetry.Record{Time: t, DB: db, Kind: k}
+}
+
+func TestReplaySimpleLifecycle(t *testing.T) {
+	l := telemetry.New()
+	// Birth at 0, active until 100; logical pause 100-200; warm login at
+	// 200 until 300; logical pause at 300, physical pause at 400; cold
+	// login at 600.
+	l.Append(rec(0, 1, telemetry.ActivityStart))
+	l.Append(rec(100, 1, telemetry.ActivityEnd))
+	l.Append(rec(100, 1, telemetry.LogicalPause))
+	l.Append(rec(200, 1, telemetry.ActivityStart))
+	l.Append(rec(200, 1, telemetry.ResumeWarm))
+	l.Append(rec(300, 1, telemetry.ActivityEnd))
+	l.Append(rec(300, 1, telemetry.LogicalPause))
+	l.Append(rec(400, 1, telemetry.PhysicalPause))
+	l.Append(rec(600, 1, telemetry.ActivityStart))
+	l.Append(rec(600, 1, telemetry.ResumeCold))
+
+	r, err := ReplayTelemetry(l, 0, 700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WarmLogins != 1 || r.ColdLogins != 1 {
+		t.Fatalf("logins = %d/%d", r.WarmLogins, r.ColdLogins)
+	}
+	if r.Durations[Used] != 100+100+100 {
+		t.Fatalf("used = %d, want 300", r.Durations[Used])
+	}
+	if r.Durations[IdleLogical] != 100+100 {
+		t.Fatalf("idle-logical = %d, want 200", r.Durations[IdleLogical])
+	}
+	if r.Durations[Saved] != 200 {
+		t.Fatalf("saved = %d, want 200", r.Durations[Saved])
+	}
+	if r.LogicalPauses != 2 || r.PhysicalPauses != 1 {
+		t.Fatalf("pauses = %d/%d", r.LogicalPauses, r.PhysicalPauses)
+	}
+	if r.TotalTime() != 700 {
+		t.Fatalf("total = %d", r.TotalTime())
+	}
+}
+
+func TestReplayPrewarmOutcomes(t *testing.T) {
+	l := telemetry.New()
+	l.Append(rec(0, 1, telemetry.ActivityStart))
+	l.Append(rec(100, 1, telemetry.ActivityEnd))
+	l.Append(rec(100, 1, telemetry.PhysicalPause))
+	// Correct prewarm: resumed at 500, used at 600.
+	l.Append(rec(500, 1, telemetry.Prewarm))
+	l.Append(rec(600, 1, telemetry.ActivityStart))
+	l.Append(rec(600, 1, telemetry.ResumeWarm))
+	l.Append(rec(600, 1, telemetry.PrewarmUsed))
+	l.Append(rec(700, 1, telemetry.ActivityEnd))
+	l.Append(rec(700, 1, telemetry.PhysicalPause))
+	// Wasted prewarm: resumed at 900, re-paused at 1000.
+	l.Append(rec(900, 1, telemetry.Prewarm))
+	l.Append(rec(1000, 1, telemetry.PhysicalPause))
+	l.Append(rec(1000, 1, telemetry.PrewarmWasted))
+
+	r, err := ReplayTelemetry(l, 0, 1100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Durations[IdlePrewarmCorrect] != 100 {
+		t.Fatalf("correct prewarm idle = %d, want 100", r.Durations[IdlePrewarmCorrect])
+	}
+	if r.Durations[IdlePrewarmWrong] != 100 {
+		t.Fatalf("wrong prewarm idle = %d, want 100", r.Durations[IdlePrewarmWrong])
+	}
+	if r.Prewarms != 2 || r.PrewarmsUsed != 1 || r.PrewarmsWasted != 1 {
+		t.Fatalf("prewarm counters = %d/%d/%d", r.Prewarms, r.PrewarmsUsed, r.PrewarmsWasted)
+	}
+	if r.Durations[Saved] != 400+200+100 {
+		t.Fatalf("saved = %d, want 700", r.Durations[Saved])
+	}
+}
+
+func TestReplayPendingPrewarmAtHorizon(t *testing.T) {
+	l := telemetry.New()
+	l.Append(rec(0, 1, telemetry.ActivityStart))
+	l.Append(rec(100, 1, telemetry.ActivityEnd))
+	l.Append(rec(100, 1, telemetry.PhysicalPause))
+	l.Append(rec(500, 1, telemetry.Prewarm))
+	r, err := ReplayTelemetry(l, 0, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Durations[IdlePrewarmCorrect] != 100 {
+		t.Fatalf("pending prewarm = %d, want counted correct like online", r.Durations[IdlePrewarmCorrect])
+	}
+}
+
+func TestReplayRejectsOrphanEvents(t *testing.T) {
+	l := telemetry.New()
+	l.Append(rec(10, 1, telemetry.Prewarm)) // database never born
+	if _, err := ReplayTelemetry(l, 0, 100); err == nil {
+		t.Fatal("orphan event accepted")
+	}
+}
+
+func TestReplayRejectsBadWindow(t *testing.T) {
+	if _, err := ReplayTelemetry(telemetry.New(), 100, 100); err == nil {
+		t.Fatal("empty window accepted")
+	}
+}
+
+func TestReplayEmptyLog(t *testing.T) {
+	r, err := ReplayTelemetry(telemetry.New(), 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TotalTime() != 0 {
+		t.Fatal("empty log accounted time")
+	}
+}

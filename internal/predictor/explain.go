@@ -1,0 +1,110 @@
+package predictor
+
+import (
+	"fmt"
+	"strings"
+
+	"prorp/internal/historystore"
+)
+
+// WindowStat describes one candidate window of an Algorithm 4 scan: the
+// observability view behind "why did/didn't this database get a
+// prediction". Production debugging of the proactive policy needs exactly
+// this (the paper's diagnostics principle, Section 7).
+type WindowStat struct {
+	// WinStart is the window's start time.
+	WinStart int64
+	// Probability is windows-with-activity / lookbacks for this window.
+	Probability float64
+	// FirstLoginOffset / LastLoginOffset are the earliest and latest login
+	// offsets within the window across the lookbacks; valid when
+	// Probability > 0.
+	FirstLoginOffset int64
+	LastLoginOffset  int64
+	// Qualifies reports Probability >= confidence.
+	Qualifies bool
+	// Selected marks the window whose activity Predict returns.
+	Selected bool
+}
+
+// Explain scans every candidate window over the horizon (no early break,
+// unlike Predict) and reports per-window statistics plus the prediction
+// Predict would make. It costs a full horizon scan; use it for debugging
+// and tooling, not on the hot path.
+func Explain(st *historystore.Store, p Params, now int64) ([]WindowStat, Activity, bool) {
+	periodSec, lookbacks := p.period()
+	if lookbacks == 0 {
+		return nil, Activity{}, false
+	}
+	pred, ok := Predict(st, p, now)
+
+	var stats []WindowStat
+	winStart := now
+	predEnd := now + int64(p.HorizonHours)*3600
+	for winStart+p.WindowSec <= predEnd {
+		ws := WindowStat{WinStart: winStart, FirstLoginOffset: p.WindowSec}
+		hits := 0
+		for prevDay := 1; prevDay <= lookbacks; prevDay++ {
+			lo := winStart - int64(prevDay)*periodSec
+			hi := lo + p.WindowSec
+			first, last, any := st.FirstLastLogin(lo, hi)
+			if !any {
+				continue
+			}
+			if off := first - lo; off < ws.FirstLoginOffset {
+				ws.FirstLoginOffset = off
+			}
+			if off := last - lo; off > ws.LastLoginOffset {
+				ws.LastLoginOffset = off
+			}
+			hits++
+		}
+		ws.Probability = float64(hits) / float64(lookbacks)
+		ws.Qualifies = ws.Probability >= p.Confidence
+		if ok && winStart+ws.FirstLoginOffset == pred.Start && ws.Qualifies && !selectedMarked(stats) {
+			ws.Selected = true
+		}
+		if hits == 0 {
+			ws.FirstLoginOffset = 0
+		}
+		stats = append(stats, ws)
+		winStart += p.SlideSec
+	}
+	return stats, pred, ok
+}
+
+func selectedMarked(stats []WindowStat) bool {
+	for _, s := range stats {
+		if s.Selected {
+			return true
+		}
+	}
+	return false
+}
+
+// RenderExplain formats the qualifying windows of an Explain scan as a
+// table (non-qualifying windows are summarized, not listed).
+func RenderExplain(stats []WindowStat, pred Activity, ok bool) string {
+	var b strings.Builder
+	qualifying := 0
+	for _, s := range stats {
+		if s.Qualifies {
+			qualifying++
+		}
+	}
+	fmt.Fprintf(&b, "prediction scan: %d windows, %d qualifying\n", len(stats), qualifying)
+	if ok {
+		fmt.Fprintf(&b, "prediction: start=%d end=%d\n", pred.Start, pred.End)
+	} else {
+		fmt.Fprintf(&b, "prediction: none\n")
+	}
+	fmt.Fprintf(&b, "%12s %12s %10s %10s %9s\n", "win-start", "probability", "first-off", "last-off", "selected")
+	for _, s := range stats {
+		if !s.Qualifies {
+			continue
+		}
+		fmt.Fprintf(&b, "%12d %12.3f %10d %10d %9v\n",
+			s.WinStart, s.Probability, s.FirstLoginOffset, s.LastLoginOffset, s.Selected)
+	}
+	return b.String()
+}

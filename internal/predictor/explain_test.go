@@ -1,0 +1,91 @@
+package predictor
+
+import (
+	"strings"
+	"testing"
+
+	"prorp/internal/historystore"
+)
+
+func TestExplainMatchesPredict(t *testing.T) {
+	st := historystore.New()
+	now := 1000 * day
+	seedDaily(st, now, 28, 9*hour, 10*hour)
+	p := Default()
+
+	stats, pred, ok := Explain(st, p, now)
+	wantPred, wantOK := Predict(st, p, now)
+	if ok != wantOK || pred != wantPred {
+		t.Fatalf("Explain prediction %+v/%v, Predict %+v/%v", pred, ok, wantPred, wantOK)
+	}
+	if len(stats) != p.WindowCount() {
+		t.Fatalf("scanned %d windows, want %d", len(stats), p.WindowCount())
+	}
+	// Exactly one window is selected and it must qualify and reproduce the
+	// prediction start.
+	selected := 0
+	for _, s := range stats {
+		if s.Probability < 0 || s.Probability > 1 {
+			t.Fatalf("probability %v out of range", s.Probability)
+		}
+		if s.Qualifies != (s.Probability >= p.Confidence) {
+			t.Fatal("Qualifies inconsistent with Probability")
+		}
+		if s.Selected {
+			selected++
+			if !s.Qualifies {
+				t.Fatal("selected window does not qualify")
+			}
+			if s.WinStart+s.FirstLoginOffset != pred.Start {
+				t.Fatalf("selected window start %d + offset %d != prediction %d",
+					s.WinStart, s.FirstLoginOffset, pred.Start)
+			}
+		}
+	}
+	if selected != 1 {
+		t.Fatalf("selected windows = %d, want 1", selected)
+	}
+}
+
+func TestExplainNoPrediction(t *testing.T) {
+	st := historystore.New()
+	now := 1000 * day
+	st.Insert(now-3*day, historystore.EventStart) // one lonely login
+	p := Default()                                // needs 3 of 28 days
+	stats, pred, ok := Explain(st, p, now)
+	if ok || !pred.IsZero() {
+		t.Fatalf("unexpected prediction %+v", pred)
+	}
+	for _, s := range stats {
+		if s.Selected {
+			t.Fatal("selected window without a prediction")
+		}
+	}
+	out := RenderExplain(stats, pred, ok)
+	if !strings.Contains(out, "prediction: none") {
+		t.Errorf("render: %s", out)
+	}
+}
+
+func TestExplainRender(t *testing.T) {
+	st := historystore.New()
+	now := 1000 * day
+	seedDaily(st, now, 28, 9*hour, 10*hour)
+	stats, pred, ok := Explain(st, Default(), now)
+	out := RenderExplain(stats, pred, ok)
+	for _, want := range []string{"qualifying", "prediction: start=", "selected"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestExplainWeeklyEmptyLookbacks(t *testing.T) {
+	p := Default()
+	p.Seasonality = Weekly
+	p.HistoryDays = 6 // lookbacks = 0
+	stats, _, ok := Explain(historystore.New(), p, 1000*day)
+	if stats != nil || ok {
+		t.Fatal("zero-lookback explain returned data")
+	}
+}

@@ -1,0 +1,130 @@
+// Package simclock provides the virtual time base of the simulation: a
+// discrete-event queue over epoch-second timestamps.
+//
+// The ProRP algorithms all take `now` as an explicit parameter (they are SQL
+// procedures in the paper), so the whole system runs deterministically
+// against this clock, replaying months of production-scale traces in
+// seconds of wall time.
+package simclock
+
+import "container/heap"
+
+// Event is a scheduled callback. Events at the same timestamp fire in the
+// order defined by (Time, Priority, sequence), so simulation runs are fully
+// deterministic.
+type Event struct {
+	Time     int64
+	Priority int // lower fires first at equal Time
+	Fn       func(now int64)
+
+	seq   uint64
+	index int // heap index; -1 once popped or cancelled
+}
+
+// Queue is a discrete-event priority queue. The zero value is ready to use.
+type Queue struct {
+	h      eventHeap
+	now    int64
+	nextID uint64
+}
+
+// Now returns the current virtual time: the timestamp of the most recently
+// fired event.
+func (q *Queue) Now() int64 { return q.now }
+
+// Len reports the number of pending events.
+func (q *Queue) Len() int { return q.h.Len() }
+
+// Schedule enqueues fn to run at time t with priority 0 and returns a
+// handle that can cancel it. Scheduling in the past (t < Now) is a
+// programming error and panics: it would reorder history.
+func (q *Queue) Schedule(t int64, fn func(now int64)) *Event {
+	return q.ScheduleWithPriority(t, 0, fn)
+}
+
+// ScheduleWithPriority enqueues fn at time t; among events at the same
+// timestamp, lower priority fires first.
+func (q *Queue) ScheduleWithPriority(t int64, priority int, fn func(now int64)) *Event {
+	if t < q.now {
+		panic("simclock: scheduling event in the past")
+	}
+	ev := &Event{Time: t, Priority: priority, Fn: fn, seq: q.nextID}
+	q.nextID++
+	heap.Push(&q.h, ev)
+	return ev
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (q *Queue) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	heap.Remove(&q.h, ev.index)
+	ev.index = -1
+}
+
+// Step fires the next event and reports whether one was pending.
+func (q *Queue) Step() bool {
+	if q.h.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&q.h).(*Event)
+	q.now = ev.Time
+	ev.Fn(ev.Time)
+	return true
+}
+
+// RunUntil fires events in order until the queue is empty or the next event
+// is after deadline. Events exactly at the deadline still fire. The clock
+// is advanced to the deadline afterwards.
+func (q *Queue) RunUntil(deadline int64) {
+	for q.h.Len() > 0 && q.h[0].Time <= deadline {
+		q.Step()
+	}
+	if q.now < deadline {
+		q.now = deadline
+	}
+}
+
+// Run fires all pending events, including ones scheduled while running.
+func (q *Queue) Run() {
+	for q.Step() {
+	}
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].Time != h[j].Time {
+		return h[i].Time < h[j].Time
+	}
+	if h[i].Priority != h[j].Priority {
+		return h[i].Priority < h[j].Priority
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

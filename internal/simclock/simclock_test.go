@@ -1,0 +1,163 @@
+package simclock
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestFiresInTimeOrder(t *testing.T) {
+	var q Queue
+	var got []int64
+	times := []int64{50, 10, 30, 20, 40}
+	for _, ts := range times {
+		ts := ts
+		q.Schedule(ts, func(now int64) {
+			if now != ts {
+				t.Errorf("callback now = %d, want %d", now, ts)
+			}
+			got = append(got, now)
+		})
+	}
+	q.Run()
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("events fired out of order: %v", got)
+	}
+	if len(got) != 5 {
+		t.Fatalf("fired %d events, want 5", len(got))
+	}
+	if q.Now() != 50 {
+		t.Errorf("Now() = %d, want 50", q.Now())
+	}
+}
+
+func TestSameTimePriorityAndFIFO(t *testing.T) {
+	var q Queue
+	var got []string
+	q.ScheduleWithPriority(10, 1, func(int64) { got = append(got, "low") })
+	q.ScheduleWithPriority(10, 0, func(int64) { got = append(got, "hi-a") })
+	q.ScheduleWithPriority(10, 0, func(int64) { got = append(got, "hi-b") })
+	q.Run()
+	want := []string{"hi-a", "hi-b", "low"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var q Queue
+	fired := false
+	ev := q.Schedule(10, func(int64) { fired = true })
+	q.Cancel(ev)
+	q.Cancel(ev) // double-cancel is a no-op
+	q.Cancel(nil)
+	q.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelAfterFireIsNoop(t *testing.T) {
+	var q Queue
+	ev := q.Schedule(10, func(int64) {})
+	q.Run()
+	q.Cancel(ev) // must not panic or corrupt the heap
+	q.Schedule(20, func(int64) {})
+	q.Run()
+	if q.Now() != 20 {
+		t.Fatalf("Now() = %d, want 20", q.Now())
+	}
+}
+
+func TestScheduleDuringRun(t *testing.T) {
+	var q Queue
+	var got []int64
+	q.Schedule(10, func(now int64) {
+		q.Schedule(now+5, func(now int64) { got = append(got, now) })
+	})
+	q.Run()
+	if len(got) != 1 || got[0] != 15 {
+		t.Fatalf("nested event: got %v, want [15]", got)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	var q Queue
+	q.Schedule(100, func(int64) {})
+	q.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	q.Schedule(50, func(int64) {})
+}
+
+func TestRunUntil(t *testing.T) {
+	var q Queue
+	var got []int64
+	for _, ts := range []int64{10, 20, 30, 40} {
+		q.Schedule(ts, func(now int64) { got = append(got, now) })
+	}
+	q.RunUntil(20)
+	if len(got) != 2 {
+		t.Fatalf("RunUntil(20) fired %d events, want 2 (inclusive deadline)", len(got))
+	}
+	if q.Now() != 20 {
+		t.Fatalf("Now() = %d, want 20", q.Now())
+	}
+	q.RunUntil(25)
+	if q.Now() != 25 {
+		t.Fatalf("Now() advanced to %d, want 25 even with no events", q.Now())
+	}
+	q.RunUntil(100)
+	if len(got) != 4 {
+		t.Fatalf("fired %d events total, want 4", len(got))
+	}
+}
+
+func TestStepEmpty(t *testing.T) {
+	var q Queue
+	if q.Step() {
+		t.Fatal("Step() on empty queue returned true")
+	}
+}
+
+func TestRandomizedOrdering(t *testing.T) {
+	var q Queue
+	rng := rand.New(rand.NewSource(3))
+	const n = 10_000
+	var fired []int64
+	handles := make([]*Event, 0, n)
+	for i := 0; i < n; i++ {
+		ts := int64(rng.Intn(100_000))
+		handles = append(handles, q.Schedule(ts, func(now int64) { fired = append(fired, now) }))
+	}
+	// Cancel a random 20%.
+	cancelled := 0
+	for i := 0; i < n; i++ {
+		if rng.Intn(5) == 0 {
+			q.Cancel(handles[i])
+			cancelled++
+		}
+	}
+	q.Run()
+	if len(fired) != n-cancelled {
+		t.Fatalf("fired %d events, want %d", len(fired), n-cancelled)
+	}
+	if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+		t.Fatal("events fired out of order")
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var q Queue
+		for j := 0; j < 1000; j++ {
+			q.Schedule(int64(j%97), func(int64) {})
+		}
+		q.Run()
+	}
+}

@@ -1,0 +1,139 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ASCII rendering of the two figure shapes the paper's evaluation uses:
+// CDF curves (Figures 3 and 10) and box plots (Figures 11 and 12). The
+// bench harness prints these next to the numeric series so a terminal run
+// shows the same shapes the paper plots.
+
+// PlotCDF renders y = f(x) sample points as an ASCII curve on a
+// width x height grid. Points must be sorted by X; Y values are expected
+// in [0, 1].
+func PlotCDF(xs, ys []float64, width, height int, xLabel string) string {
+	if len(xs) == 0 || len(xs) != len(ys) || width < 8 || height < 3 {
+		return ""
+	}
+	minX, maxX := xs[0], xs[len(xs)-1]
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	// Interpolate the curve column by column.
+	for col := 0; col < width; col++ {
+		x := minX + (maxX-minX)*float64(col)/float64(width-1)
+		y := interp(xs, ys, x)
+		row := height - 1 - int(math.Round(y*float64(height-1)))
+		if row < 0 {
+			row = 0
+		}
+		if row >= height {
+			row = height - 1
+		}
+		grid[row][col] = '*'
+	}
+	var b strings.Builder
+	for i, line := range grid {
+		label := "    "
+		switch i {
+		case 0:
+			label = "100%"
+		case height - 1:
+			label = "  0%"
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, string(line))
+	}
+	fmt.Fprintf(&b, "      %-*s%*s\n", width/2, fmtFloat(minX), width-width/2, fmtFloat(maxX))
+	fmt.Fprintf(&b, "      %s\n", center(xLabel, width))
+	return b.String()
+}
+
+func interp(xs, ys []float64, x float64) float64 {
+	if x <= xs[0] {
+		return ys[0]
+	}
+	for i := 1; i < len(xs); i++ {
+		if x <= xs[i] {
+			span := xs[i] - xs[i-1]
+			if span == 0 {
+				return ys[i]
+			}
+			frac := (x - xs[i-1]) / span
+			return ys[i-1] + frac*(ys[i]-ys[i-1])
+		}
+	}
+	return ys[len(ys)-1]
+}
+
+func fmtFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e6 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.2g", v)
+}
+
+func center(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	left := (width - len(s)) / 2
+	return strings.Repeat(" ", left) + s
+}
+
+// PlotBoxes renders horizontal box-and-whisker rows over a shared axis:
+//
+//	label |----[==M==]--------|  (whiskers min..max, box q1..q3, M median)
+func PlotBoxes(labels []string, boxes []Summary, width int) string {
+	if len(labels) != len(boxes) || len(boxes) == 0 || width < 16 {
+		return ""
+	}
+	maxV := 0.0
+	for _, s := range boxes {
+		if s.Max > maxV {
+			maxV = s.Max
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	scale := func(v float64) int {
+		c := int(math.Round(v / maxV * float64(width-1)))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	var b strings.Builder
+	for i, s := range boxes {
+		line := []byte(strings.Repeat(" ", width))
+		lo, q1, med, q3, hi := scale(s.Min), scale(s.Q1), scale(s.Median), scale(s.Q3), scale(s.Max)
+		for c := lo; c <= hi; c++ {
+			line[c] = '-'
+		}
+		for c := q1; c <= q3; c++ {
+			line[c] = '='
+		}
+		line[lo] = '|'
+		line[hi] = '|'
+		line[med] = 'M'
+		fmt.Fprintf(&b, "%*s %s max=%s\n", labelW, labels[i], string(line), fmtFloat(s.Max))
+	}
+	fmt.Fprintf(&b, "%*s 0%s%s\n", labelW, "", strings.Repeat(" ", width-len(fmtFloat(maxV))-1), fmtFloat(maxV))
+	return b.String()
+}

@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotCDFShape(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{0, 0.25, 0.5, 0.75, 1}
+	out := PlotCDF(xs, ys, 40, 8, "hours")
+	if out == "" {
+		t.Fatal("empty plot")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// 8 grid rows + axis + label.
+	if len(lines) != 10 {
+		t.Fatalf("plot has %d lines, want 10", len(lines))
+	}
+	if !strings.Contains(lines[0], "100%") || !strings.Contains(lines[7], "0%") {
+		t.Error("y-axis labels missing")
+	}
+	if !strings.Contains(out, "hours") {
+		t.Error("x-axis label missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("no curve drawn")
+	}
+	// A rising CDF: the first grid row (top) must have its '*' to the
+	// right of the bottom row's.
+	top := strings.IndexByte(lines[0], '*')
+	bottom := strings.IndexByte(lines[7], '*')
+	if top <= bottom {
+		t.Errorf("curve not rising: top * at %d, bottom * at %d", top, bottom)
+	}
+}
+
+func TestPlotCDFDegenerate(t *testing.T) {
+	if PlotCDF(nil, nil, 40, 8, "x") != "" {
+		t.Error("empty input produced a plot")
+	}
+	if PlotCDF([]float64{1}, []float64{1, 2}, 40, 8, "x") != "" {
+		t.Error("mismatched input produced a plot")
+	}
+	if PlotCDF([]float64{1, 2}, []float64{0, 1}, 2, 8, "x") != "" {
+		t.Error("tiny width produced a plot")
+	}
+	// A single point (flat range) must not divide by zero.
+	if out := PlotCDF([]float64{5, 5}, []float64{1, 1}, 20, 4, "x"); out == "" {
+		t.Error("flat-range plot empty")
+	}
+}
+
+func TestPlotBoxes(t *testing.T) {
+	boxes := []Summary{
+		{Min: 0, Q1: 2, Median: 5, Q3: 8, Max: 10},
+		{Min: 1, Q1: 10, Median: 20, Q3: 30, Max: 40},
+	}
+	out := PlotBoxes([]string{"1 min", "15 min"}, boxes, 40)
+	if out == "" {
+		t.Fatal("empty plot")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("plot has %d lines, want 3", len(lines))
+	}
+	for i, line := range lines[:2] {
+		if !strings.Contains(line, "M") || !strings.Contains(line, "=") {
+			t.Errorf("row %d missing box glyphs: %q", i, line)
+		}
+	}
+	// The larger distribution's median must sit further right.
+	if strings.IndexByte(lines[1], 'M') <= strings.IndexByte(lines[0], 'M') {
+		t.Error("box scaling broken")
+	}
+}
+
+func TestPlotBoxesDegenerate(t *testing.T) {
+	if PlotBoxes([]string{"a"}, nil, 40) != "" {
+		t.Error("mismatched input produced a plot")
+	}
+	if PlotBoxes([]string{"a"}, []Summary{{}}, 4) != "" {
+		t.Error("tiny width produced a plot")
+	}
+	// All-zero boxes must not divide by zero.
+	if out := PlotBoxes([]string{"a"}, []Summary{{}}, 30); out == "" {
+		t.Error("zero boxes empty")
+	}
+}

@@ -1,0 +1,233 @@
+// Package stats provides the descriptive statistics the ProRP evaluation
+// reports: CDFs (Figures 3 and 10), box-plot five-number summaries
+// (Figures 11 and 12), and basic aggregates.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary is a box-plot five-number summary plus mean and count, the shape
+// of the gray/white boxes in Figures 11 and 12.
+type Summary struct {
+	Count  int
+	Min    float64
+	Q1     float64
+	Median float64
+	Q3     float64
+	Max    float64
+	Mean   float64
+}
+
+// Summarize computes a Summary of xs. An empty input yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	sum := 0.0
+	for _, x := range s {
+		sum += x
+	}
+	return Summary{
+		Count:  len(s),
+		Min:    s[0],
+		Q1:     quantileSorted(s, 0.25),
+		Median: quantileSorted(s, 0.5),
+		Q3:     quantileSorted(s, 0.75),
+		Max:    s[len(s)-1],
+		Mean:   sum / float64(len(s)),
+	}
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.1f q1=%.1f med=%.1f q3=%.1f max=%.1f mean=%.1f",
+		s.Count, s.Min, s.Q1, s.Median, s.Q3, s.Max, s.Mean)
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of xs using linear
+// interpolation between closest ranks. It panics on an empty input or a
+// quantile outside [0, 1].
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return quantileSorted(s, q)
+}
+
+func quantileSorted(s []float64, q float64) float64 {
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v outside [0,1]", q))
+	}
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs, 0 for an empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// CDF is an empirical cumulative distribution over float64 samples.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from the samples.
+func NewCDF(samples []float64) *CDF {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// Len reports the number of samples.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// At returns P(X <= x), the fraction of samples at or below x.
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	// First index with value > x.
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-th quantile of the samples.
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		panic("stats: Quantile of empty CDF")
+	}
+	return quantileSorted(c.sorted, q)
+}
+
+// Max returns the largest sample, 0 when empty.
+func (c *CDF) Max() float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	return c.sorted[len(c.sorted)-1]
+}
+
+// Mean returns the mean of the samples.
+func (c *CDF) Mean() float64 { return Mean(c.sorted) }
+
+// Table renders the CDF evaluated at the given points, one "x p" row per
+// point — the series the figure plots.
+func (c *CDF) Table(points []float64) string {
+	var b strings.Builder
+	for _, x := range points {
+		fmt.Fprintf(&b, "%12.2f %8.4f\n", x, c.At(x))
+	}
+	return b.String()
+}
+
+// WeightedCDF accumulates (value, weight) samples; At reports the fraction
+// of total *weight* at or below x. Figure 3(b) — the share of total idle
+// time contributed by intervals up to a given duration — is a weighted CDF
+// with weight = interval duration.
+type WeightedCDF struct {
+	vals    []float64
+	weights []float64
+	total   float64
+	sorted  bool
+}
+
+// Add records one sample with the given weight. Negative weights panic.
+func (w *WeightedCDF) Add(value, weight float64) {
+	if weight < 0 {
+		panic("stats: negative weight")
+	}
+	w.vals = append(w.vals, value)
+	w.weights = append(w.weights, weight)
+	w.total += weight
+	w.sorted = false
+}
+
+// Len reports the number of samples.
+func (w *WeightedCDF) Len() int { return len(w.vals) }
+
+type byVal struct{ w *WeightedCDF }
+
+func (b byVal) Len() int           { return len(b.w.vals) }
+func (b byVal) Less(i, j int) bool { return b.w.vals[i] < b.w.vals[j] }
+func (b byVal) Swap(i, j int) {
+	b.w.vals[i], b.w.vals[j] = b.w.vals[j], b.w.vals[i]
+	b.w.weights[i], b.w.weights[j] = b.w.weights[j], b.w.weights[i]
+}
+
+// At returns the fraction of total weight carried by samples <= x.
+func (w *WeightedCDF) At(x float64) float64 {
+	if w.total == 0 {
+		return 0
+	}
+	if !w.sorted {
+		sort.Sort(byVal{w})
+		w.sorted = true
+	}
+	acc := 0.0
+	for i, v := range w.vals {
+		if v > x {
+			break
+		}
+		acc += w.weights[i]
+	}
+	return acc / w.total
+}
+
+// Histogram counts samples into fixed bucket boundaries: bucket i counts
+// samples in (bounds[i-1], bounds[i]], bucket 0 is (-inf, bounds[0]], and a
+// final overflow bucket holds samples above the last bound.
+type Histogram struct {
+	Bounds []float64
+	Counts []int
+	N      int
+}
+
+// NewHistogram returns a histogram over the given ascending bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	if !sort.Float64sAreSorted(bounds) {
+		panic("stats: histogram bounds not ascending")
+	}
+	return &Histogram{
+		Bounds: append([]float64(nil), bounds...),
+		Counts: make([]int, len(bounds)+1),
+	}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	i := sort.SearchFloat64s(h.Bounds, x)
+	h.Counts[i]++
+	h.N++
+}
+
+// Fraction returns the share of samples in bucket i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.N)
+}

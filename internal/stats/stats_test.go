@@ -1,0 +1,257 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Count != 5 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if !almostEqual(s.Median, 3) || !almostEqual(s.Mean, 3) {
+		t.Fatalf("median/mean = %v/%v, want 3/3", s.Median, s.Mean)
+	}
+	if !almostEqual(s.Q1, 2) || !almostEqual(s.Q3, 4) {
+		t.Fatalf("q1/q3 = %v/%v, want 2/4", s.Q1, s.Q3)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Count != 0 || s.Min != 0 || s.Max != 0 {
+		t.Fatalf("empty Summary = %+v, want zero", s)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("input mutated: %v", in)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	if Summarize([]float64{1}).String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	cases := []struct{ q, want float64 }{
+		{0, 10}, {1, 40}, {0.5, 25}, {1.0 / 3.0, 20},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEqual(got, c.want) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := Quantile([]float64{7}, 0.99); got != 7 {
+		t.Errorf("single-element quantile = %v, want 7", got)
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Quantile(nil, 0.5) },
+		func() { Quantile([]float64{1}, -0.1) },
+		func() { Quantile([]float64{1}, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{2, 4, 9}); !almostEqual(got, 5) {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3, 10})
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {1, 0.2}, {2, 0.6}, {2.5, 0.6}, {3, 0.8}, {10, 1}, {100, 1},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); !almostEqual(got, tc.want) {
+			t.Errorf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+	if c.Len() != 5 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	if c.Max() != 10 {
+		t.Errorf("Max = %v", c.Max())
+	}
+	if !almostEqual(c.Mean(), 3.6) {
+		t.Errorf("Mean = %v", c.Mean())
+	}
+	if got := c.Quantile(0.5); !almostEqual(got, 2) {
+		t.Errorf("Quantile(0.5) = %v", got)
+	}
+	if c.Table([]float64{1, 2}) == "" {
+		t.Error("Table output empty")
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if c.At(5) != 0 || c.Max() != 0 || c.Len() != 0 {
+		t.Error("empty CDF misbehaves")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Quantile on empty CDF did not panic")
+		}
+	}()
+	c.Quantile(0.5)
+}
+
+func TestWeightedCDF(t *testing.T) {
+	var w WeightedCDF
+	// Two short intervals (weight 1 each) and one long (weight 8): the
+	// short ones are 2/3 of the count but only 20% of the weight — the
+	// Figure 3 contrast.
+	w.Add(1, 1)
+	w.Add(1, 1)
+	w.Add(100, 8)
+	if got := w.At(1); !almostEqual(got, 0.2) {
+		t.Errorf("At(1) = %v, want 0.2", got)
+	}
+	if got := w.At(100); !almostEqual(got, 1) {
+		t.Errorf("At(100) = %v, want 1", got)
+	}
+	if got := w.At(0.5); got != 0 {
+		t.Errorf("At(0.5) = %v, want 0", got)
+	}
+	if w.Len() != 3 {
+		t.Errorf("Len = %d", w.Len())
+	}
+}
+
+func TestWeightedCDFAddAfterQuery(t *testing.T) {
+	var w WeightedCDF
+	w.Add(5, 1)
+	_ = w.At(5)
+	w.Add(1, 3) // out of order after sorting
+	if got := w.At(1); !almostEqual(got, 0.75) {
+		t.Errorf("At(1) = %v, want 0.75", got)
+	}
+}
+
+func TestWeightedCDFNegativeWeightPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative weight did not panic")
+		}
+	}()
+	var w WeightedCDF
+	w.Add(1, -1)
+}
+
+func TestWeightedCDFEmpty(t *testing.T) {
+	var w WeightedCDF
+	if w.At(10) != 0 {
+		t.Error("empty WeightedCDF At != 0")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 30})
+	for _, x := range []float64{5, 10, 15, 25, 35, 40} {
+		h.Add(x)
+	}
+	// Buckets: (-inf,10] -> 5,10 ; (10,20] -> 15 ; (20,30] -> 25 ; >30 -> 35,40.
+	want := []int{2, 1, 1, 2}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, h.Counts[i], w)
+		}
+	}
+	if !almostEqual(h.Fraction(0), 2.0/6.0) {
+		t.Errorf("Fraction(0) = %v", h.Fraction(0))
+	}
+}
+
+func TestHistogramUnsortedBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsorted bounds did not panic")
+		}
+	}()
+	NewHistogram([]float64{3, 1})
+}
+
+func TestHistogramEmptyFraction(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	if h.Fraction(0) != 0 {
+		t.Error("Fraction on empty histogram != 0")
+	}
+}
+
+// Property: CDF.At is monotone nondecreasing and bounded by [0,1].
+func TestQuickCDFMonotone(t *testing.T) {
+	f := func(samples []float64, probes []float64) bool {
+		for _, s := range samples {
+			if math.IsNaN(s) {
+				return true
+			}
+		}
+		c := NewCDF(samples)
+		sort.Float64s(probes)
+		prev := -1.0
+		for _, x := range probes {
+			if math.IsNaN(x) {
+				continue
+			}
+			p := c.At(x)
+			if p < 0 || p > 1 || p < prev {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Summarize ordering Min <= Q1 <= Median <= Q3 <= Max and the
+// mean lies within [Min, Max].
+func TestQuickSummaryOrdering(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		if n == 0 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Q1 && s.Q1 <= s.Median && s.Median <= s.Q3 &&
+			s.Q3 <= s.Max && s.Mean >= s.Min && s.Mean <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,35 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadLog feeds arbitrary text to the log parser: no panics, and
+// accepted inputs must round-trip through WriteTo/ReadLog.
+func FuzzReadLog(f *testing.F) {
+	f.Add("42,7,resume-warm\n100,2,prewarm\n")
+	f.Add("")
+	f.Add("garbage")
+	f.Add("1,2,3\n")
+	f.Add("-5,-5,physical-pause\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		l, err := ReadLog(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if _, err := l.WriteTo(&buf); err != nil {
+			t.Fatalf("WriteTo after successful ReadLog: %v", err)
+		}
+		l2, err := ReadLog(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if l2.Len() != l.Len() {
+			t.Fatalf("round trip lost records: %d vs %d", l2.Len(), l.Len())
+		}
+	})
+}

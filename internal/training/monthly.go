@@ -1,0 +1,195 @@
+package training
+
+import (
+	"fmt"
+	"strings"
+
+	"prorp/internal/cluster"
+	"prorp/internal/controlplane"
+	"prorp/internal/engine"
+	"prorp/internal/metrics"
+	"prorp/internal/policy"
+	"prorp/internal/workload"
+)
+
+const daySec = int64(86400)
+
+// MonthlyConfig drives MonthlyLoop, the production cadence of Section 8:
+// one training run per region per period ("month"). Each period the fleet
+// runs under the currently deployed knobs; afterwards the pipeline
+// re-evaluates the grid over that period's workload and deploys the best
+// configuration for the next period. Data drift between periods is what
+// makes the loop earn its keep.
+type MonthlyConfig struct {
+	// Region selects the workload profile.
+	Region string
+	// Databases is the fleet size.
+	Databases int
+	// PeriodDays is the deployment/retraining period (a production month;
+	// shorter here keeps tests fast).
+	PeriodDays int
+	// Periods is how many periods to run.
+	Periods int
+	// HistoryDays is h; the warm-up before the first period covers it.
+	HistoryDays int
+	// Seed fixes the workload.
+	Seed int64
+	// DriftAtPeriod shifts workload phases by DriftHours at the start of
+	// the given period (1-based; 0 = no drift).
+	DriftAtPeriod int
+	DriftHours    int
+	// WindowHours and Confidences form the retraining grid.
+	WindowHours []int
+	Confidences []float64
+	// IdleWeight scores the grid (default 1 when zero).
+	IdleWeight float64
+}
+
+// Validate checks the loop configuration.
+func (c MonthlyConfig) Validate() error {
+	if c.Databases <= 0 || c.PeriodDays <= 0 || c.Periods <= 0 || c.HistoryDays <= 0 {
+		return fmt.Errorf("training: non-positive monthly-loop dimension")
+	}
+	if len(c.WindowHours) == 0 || len(c.Confidences) == 0 {
+		return fmt.Errorf("training: empty retraining grid")
+	}
+	if c.DriftAtPeriod < 0 || c.DriftAtPeriod > c.Periods {
+		return fmt.Errorf("training: drift period %d outside 0..%d", c.DriftAtPeriod, c.Periods)
+	}
+	return nil
+}
+
+// PeriodResult is one deployment period of the loop.
+type PeriodResult struct {
+	Period int
+	// Deployed knobs that served the period.
+	DeployedWindowSec  int64
+	DeployedConfidence float64
+	// Report is the period's measured KPI outcome under those knobs.
+	Report metrics.Report
+	// Retrained reports whether the pipeline changed the knobs for the
+	// next period.
+	Retrained bool
+}
+
+// MonthlyLoop runs the deploy-measure-retrain cycle and returns one result
+// per period.
+func MonthlyLoop(cfg MonthlyConfig) ([]PeriodResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	prof, err := workload.Region(cfg.Region)
+	if err != nil {
+		return nil, err
+	}
+	warmupDays := cfg.HistoryDays + 1
+	if cfg.DriftAtPeriod > 0 {
+		prof.DriftDay = warmupDays + (cfg.DriftAtPeriod-1)*cfg.PeriodDays
+		prof.DriftSec = int64(cfg.DriftHours) * 3600
+	}
+	gen, err := workload.NewGenerator(cfg.Seed, prof)
+	if err != nil {
+		return nil, err
+	}
+	to := int64(warmupDays+cfg.Periods*cfg.PeriodDays) * daySec
+	traces := gen.Generate(cfg.Databases, 0, to)
+
+	idleWeight := cfg.IdleWeight
+	if idleWeight == 0 {
+		idleWeight = 1
+	}
+
+	pol := policy.DefaultConfig()
+	pol.Predictor.HistoryDays = cfg.HistoryDays
+
+	var out []PeriodResult
+	for period := 1; period <= cfg.Periods; period++ {
+		evalFrom := int64(warmupDays+(period-1)*cfg.PeriodDays) * daySec
+		evalTo := evalFrom + int64(cfg.PeriodDays)*daySec
+
+		base := engine.Config{
+			Policy:       pol,
+			ControlPlane: controlplane.DefaultConfig(),
+			Cluster:      cluster.DefaultConfig(cfg.Databases),
+			From:         0,
+			EvalFrom:     evalFrom,
+			EvalTo:       evalTo,
+			To:           evalTo,
+			Seed:         cfg.Seed,
+		}
+
+		// Measure the period under the deployed knobs.
+		res, err := engine.Run(base, clipTraces(traces, evalTo))
+		if err != nil {
+			return nil, err
+		}
+		pr := PeriodResult{
+			Period:             period,
+			DeployedWindowSec:  pol.Predictor.WindowSec,
+			DeployedConfidence: pol.Predictor.Confidence,
+			Report:             res.Report,
+		}
+
+		// Retrain on the period just measured and deploy for the next.
+		if period < cfg.Periods {
+			pipe, err := New(base, clipTraces(traces, evalTo))
+			if err != nil {
+				return nil, err
+			}
+			pipe.IdleWeight = idleWeight
+			grid, err := pipe.Grid(cfg.WindowHours, cfg.Confidences)
+			if err != nil {
+				return nil, err
+			}
+			best := pipe.Best(grid)
+			if best.WindowSec != pol.Predictor.WindowSec || best.Confidence != pol.Predictor.Confidence {
+				pol.Predictor.WindowSec = best.WindowSec
+				pol.Predictor.Confidence = best.Confidence
+				pr.Retrained = true
+			}
+		}
+		out = append(out, pr)
+	}
+	return out, nil
+}
+
+// clipTraces bounds traces to [0, to) so each period's run does not
+// simulate beyond its horizon.
+func clipTraces(traces []workload.Trace, to int64) []workload.Trace {
+	out := make([]workload.Trace, 0, len(traces))
+	for _, tr := range traces {
+		if tr.Birth >= to {
+			continue
+		}
+		c := workload.Trace{DB: tr.DB, Pattern: tr.Pattern, Birth: tr.Birth}
+		for _, iv := range tr.Intervals {
+			if iv.Start >= to {
+				break
+			}
+			if iv.End > to {
+				iv.End = to
+			}
+			if iv.End > iv.Start {
+				c.Intervals = append(c.Intervals, iv)
+			}
+		}
+		if len(c.Intervals) > 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// RenderMonthly formats the loop outcome.
+func RenderMonthly(results []PeriodResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "monthly training loop\n")
+	fmt.Fprintf(&b, "%8s %10s %12s %10s %10s %10s\n",
+		"period", "window(h)", "confidence", "QoS", "idle", "retrained")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%8d %10d %12.2f %9.1f%% %9.2f%% %10v\n",
+			r.Period, r.DeployedWindowSec/3600, r.DeployedConfidence,
+			r.Report.QoSPercent(), r.Report.IdlePercent(), r.Retrained)
+	}
+	return b.String()
+}

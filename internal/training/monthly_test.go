@@ -1,0 +1,126 @@
+package training
+
+import (
+	"strings"
+	"testing"
+)
+
+func monthlyBase() MonthlyConfig {
+	return MonthlyConfig{
+		Region:      "EU1",
+		Databases:   60,
+		PeriodDays:  3,
+		Periods:     2,
+		HistoryDays: 5,
+		Seed:        31,
+		WindowHours: []int{4, 7},
+		Confidences: []float64{0.1, 0.4},
+	}
+}
+
+func TestMonthlyConfigValidate(t *testing.T) {
+	if err := monthlyBase().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := monthlyBase()
+	bad.Databases = 0
+	if bad.Validate() == nil {
+		t.Error("zero databases accepted")
+	}
+	bad = monthlyBase()
+	bad.WindowHours = nil
+	if bad.Validate() == nil {
+		t.Error("empty grid accepted")
+	}
+	bad = monthlyBase()
+	bad.DriftAtPeriod = 5
+	if bad.Validate() == nil {
+		t.Error("drift beyond periods accepted")
+	}
+}
+
+func TestMonthlyLoopRuns(t *testing.T) {
+	results, err := MonthlyLoop(monthlyBase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("periods = %d, want 2", len(results))
+	}
+	// The first period runs the Table 1 defaults.
+	if results[0].DeployedWindowSec != 7*3600 || results[0].DeployedConfidence != 0.1 {
+		t.Fatalf("period 1 deployed %d/%v, want defaults",
+			results[0].DeployedWindowSec, results[0].DeployedConfidence)
+	}
+	for _, r := range results {
+		if r.Report.WarmLogins+r.Report.ColdLogins == 0 {
+			t.Fatalf("period %d measured no logins", r.Period)
+		}
+	}
+	// The final period never retrains (nothing follows it).
+	if results[len(results)-1].Retrained {
+		t.Error("last period retrained")
+	}
+	if !strings.Contains(RenderMonthly(results), "period") {
+		t.Error("render broken")
+	}
+}
+
+func TestMonthlyLoopDeploysGridKnobs(t *testing.T) {
+	cfg := monthlyBase()
+	cfg.Periods = 3
+	results, err := MonthlyLoop(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// From period 2 on, the deployed knobs must come from the grid.
+	inGrid := func(w int64, c float64) bool {
+		okW, okC := false, false
+		for _, h := range cfg.WindowHours {
+			if int64(h)*3600 == w {
+				okW = true
+			}
+		}
+		for _, cc := range cfg.Confidences {
+			if cc == c {
+				okC = true
+			}
+		}
+		return okW && okC
+	}
+	for _, r := range results[1:] {
+		if !inGrid(r.DeployedWindowSec, r.DeployedConfidence) {
+			t.Fatalf("period %d deployed knobs %d/%v not from the grid",
+				r.Period, r.DeployedWindowSec/3600, r.DeployedConfidence)
+		}
+	}
+}
+
+func TestMonthlyLoopWithDrift(t *testing.T) {
+	cfg := monthlyBase()
+	cfg.Periods = 2
+	cfg.DriftAtPeriod = 2
+	cfg.DriftHours = 4
+	results, err := MonthlyLoop(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drift at period 2 must hurt: QoS in the drifted period falls below
+	// the pre-drift period.
+	if results[1].Report.QoSPercent() >= results[0].Report.QoSPercent() {
+		t.Errorf("drift did not dent QoS: %.1f -> %.1f",
+			results[0].Report.QoSPercent(), results[1].Report.QoSPercent())
+	}
+}
+
+func TestMonthlyLoopRejectsInvalidConfig(t *testing.T) {
+	results, err := MonthlyLoop(MonthlyConfig{})
+	if err == nil || results != nil {
+		t.Fatal("invalid config accepted")
+	}
+	bad := monthlyBase()
+	bad.Region = "NOPE"
+	if _, err := MonthlyLoop(bad); err == nil {
+		t.Fatal("unknown region accepted")
+	}
+}

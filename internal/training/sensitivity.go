@@ -1,0 +1,163 @@
+package training
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"prorp/internal/predictor"
+)
+
+// Knob-importance analysis: the second future-work direction of the paper
+// (Section 11). The paper selects the knobs to tune by domain knowledge;
+// this automates the selection with a one-at-a-time sensitivity sweep —
+// vary each knob across its plausible range with everything else at the
+// defaults, and rank knobs by how far the tuning objective moves. The
+// most impactful knobs are the ones worth the monthly re-training budget.
+
+// KnobImpact is the measured impact of one knob.
+type KnobImpact struct {
+	Knob string
+	// Spread is the max-min score difference across the knob's range: the
+	// leverage tuning this knob has.
+	Spread float64
+	// QoSSpread and IdleSpread decompose the leverage.
+	QoSSpread  float64
+	IdleSpread float64
+	// Points are the evaluated settings.
+	Points []Point
+	// Labels name each point.
+	Labels []string
+}
+
+// SensitivityRange bounds a one-at-a-time sweep. Zero-valued fields fall
+// back to DefaultSensitivityRanges.
+type SensitivityRange struct {
+	WindowHours []int
+	Confidences []float64
+	HistoryDays []int
+	// Seasonality is always swept over daily and weekly.
+}
+
+// DefaultSensitivityRanges covers the ranges the paper evaluates.
+func DefaultSensitivityRanges() SensitivityRange {
+	return SensitivityRange{
+		WindowHours: []int{1, 4, 8},
+		Confidences: []float64{0.1, 0.4, 0.8},
+		HistoryDays: []int{7, 14, 28},
+	}
+}
+
+// Sensitivity runs the one-at-a-time analysis and returns knobs ranked by
+// descending leverage. HistoryDays values exceeding the pipeline's warm-up
+// are skipped (the databases would never become "old").
+func (p *Pipeline) Sensitivity(ranges SensitivityRange) ([]KnobImpact, error) {
+	def := DefaultSensitivityRanges()
+	if len(ranges.WindowHours) == 0 {
+		ranges.WindowHours = def.WindowHours
+	}
+	if len(ranges.Confidences) == 0 {
+		ranges.Confidences = def.Confidences
+	}
+	if len(ranges.HistoryDays) == 0 {
+		ranges.HistoryDays = def.HistoryDays
+	}
+	maxHistory := int(p.Base.EvalFrom / 86400)
+	var histories []int
+	for _, d := range ranges.HistoryDays {
+		if d < maxHistory {
+			histories = append(histories, d)
+		}
+	}
+
+	var impacts []KnobImpact
+
+	winPts, err := p.SweepWindow(ranges.WindowHours)
+	if err != nil {
+		return nil, err
+	}
+	impacts = append(impacts, p.impact("window", winPts, intLabels(ranges.WindowHours, "%dh")))
+
+	confPts, err := p.SweepConfidence(ranges.Confidences)
+	if err != nil {
+		return nil, err
+	}
+	confLabels := make([]string, len(ranges.Confidences))
+	for i, c := range ranges.Confidences {
+		confLabels[i] = fmt.Sprintf("%.1f", c)
+	}
+	impacts = append(impacts, p.impact("confidence", confPts, confLabels))
+
+	if len(histories) >= 2 {
+		histPts, err := p.SweepHistory(histories)
+		if err != nil {
+			return nil, err
+		}
+		impacts = append(impacts, p.impact("history", histPts, intLabels(histories, "%dd")))
+	}
+
+	seasPts, err := p.SweepSeasonality()
+	if err != nil {
+		return nil, err
+	}
+	impacts = append(impacts, p.impact("seasonality", seasPts,
+		[]string{predictor.Daily.String(), predictor.Weekly.String()}))
+
+	sort.SliceStable(impacts, func(i, j int) bool { return impacts[i].Spread > impacts[j].Spread })
+	return impacts, nil
+}
+
+func intLabels(vals []int, format string) []string {
+	out := make([]string, len(vals))
+	for i, v := range vals {
+		out[i] = fmt.Sprintf(format, v)
+	}
+	return out
+}
+
+func (p *Pipeline) impact(knob string, pts []Point, labels []string) KnobImpact {
+	imp := KnobImpact{Knob: knob, Points: pts, Labels: labels}
+	if len(pts) == 0 {
+		return imp
+	}
+	minScore, maxScore := pts[0].Score(p.IdleWeight), pts[0].Score(p.IdleWeight)
+	minQoS, maxQoS := pts[0].Report.QoSPercent(), pts[0].Report.QoSPercent()
+	minIdle, maxIdle := pts[0].Report.IdlePercent(), pts[0].Report.IdlePercent()
+	for _, pt := range pts[1:] {
+		s, q, i := pt.Score(p.IdleWeight), pt.Report.QoSPercent(), pt.Report.IdlePercent()
+		if s < minScore {
+			minScore = s
+		}
+		if s > maxScore {
+			maxScore = s
+		}
+		if q < minQoS {
+			minQoS = q
+		}
+		if q > maxQoS {
+			maxQoS = q
+		}
+		if i < minIdle {
+			minIdle = i
+		}
+		if i > maxIdle {
+			maxIdle = i
+		}
+	}
+	imp.Spread = maxScore - minScore
+	imp.QoSSpread = maxQoS - minQoS
+	imp.IdleSpread = maxIdle - minIdle
+	return imp
+}
+
+// RenderSensitivity formats the ranking as a table.
+func RenderSensitivity(impacts []KnobImpact) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "knob sensitivity (one-at-a-time, score spread = tuning leverage)\n")
+	fmt.Fprintf(&b, "%-12s %12s %12s %12s\n", "knob", "score-spread", "QoS-spread", "idle-spread")
+	for _, imp := range impacts {
+		fmt.Fprintf(&b, "%-12s %12.2f %11.1f%% %11.2f%%\n",
+			imp.Knob, imp.Spread, imp.QoSSpread, imp.IdleSpread)
+	}
+	return b.String()
+}

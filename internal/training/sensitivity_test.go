@@ -1,0 +1,77 @@
+package training
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSensitivityRanksKnobs(t *testing.T) {
+	p := pipelineForTest(t, 50)
+	impacts, err := p.Sensitivity(SensitivityRange{
+		WindowHours: []int{1, 7},
+		Confidences: []float64{0.1, 0.8},
+		HistoryDays: []int{5, 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// window, confidence, history, seasonality.
+	if len(impacts) != 4 {
+		t.Fatalf("impacts = %d, want 4", len(impacts))
+	}
+	for i := 1; i < len(impacts); i++ {
+		if impacts[i].Spread > impacts[i-1].Spread {
+			t.Fatalf("not sorted by spread: %v", impacts)
+		}
+	}
+	// Figure 9 makes confidence the dominant knob; it must not rank last.
+	if impacts[len(impacts)-1].Knob == "confidence" {
+		t.Errorf("confidence ranked least impactful: %+v", impacts)
+	}
+	for _, imp := range impacts {
+		if imp.Spread < 0 || imp.QoSSpread < 0 || imp.IdleSpread < 0 {
+			t.Errorf("negative spread: %+v", imp)
+		}
+		if len(imp.Points) != len(imp.Labels) {
+			t.Errorf("%s: %d points, %d labels", imp.Knob, len(imp.Points), len(imp.Labels))
+		}
+	}
+	out := RenderSensitivity(impacts)
+	for _, want := range []string{"knob", "confidence", "window", "seasonality"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestSensitivitySkipsOversizedHistory(t *testing.T) {
+	p := pipelineForTest(t, 20) // warm-up is 9 days
+	impacts, err := p.Sensitivity(SensitivityRange{
+		WindowHours: []int{7},
+		Confidences: []float64{0.1},
+		HistoryDays: []int{60, 90}, // both exceed the warm-up: skipped
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, imp := range impacts {
+		if imp.Knob == "history" {
+			t.Fatal("oversized history sweep not skipped")
+		}
+	}
+}
+
+func TestSensitivityDefaultsApplied(t *testing.T) {
+	def := DefaultSensitivityRanges()
+	if len(def.WindowHours) == 0 || len(def.Confidences) == 0 || len(def.HistoryDays) == 0 {
+		t.Fatal("default ranges empty")
+	}
+}
+
+func TestImpactEmptyPoints(t *testing.T) {
+	p := pipelineForTest(t, 10)
+	imp := p.impact("x", nil, nil)
+	if imp.Spread != 0 {
+		t.Fatal("empty impact has spread")
+	}
+}

@@ -1,0 +1,188 @@
+// Package training implements the offline training pipeline of Section 8
+// of the ProRP paper: it re-evaluates the proactive policy over long-term
+// telemetry while varying the tunable knobs (window size, confidence
+// threshold, history length, seasonality), computes the KPI metrics for
+// each configuration, and selects the one with the best middle ground
+// between quality of service and operational cost efficiency.
+//
+// In production this runs on Azure ML over tens of terabytes of Cosmos
+// telemetry once per region per month; here it replays the same simulation
+// traces through the engine, which exercises the identical decision logic.
+package training
+
+import (
+	"fmt"
+	"sort"
+
+	"prorp/internal/engine"
+	"prorp/internal/metrics"
+	"prorp/internal/policy"
+	"prorp/internal/predictor"
+	"prorp/internal/workload"
+)
+
+// Point is one evaluated configuration.
+type Point struct {
+	WindowSec   int64
+	Confidence  float64
+	HistoryDays int
+	Seasonality predictor.Seasonality
+	Report      metrics.Report
+}
+
+// Score is the tuning objective: quality of service minus a weighted idle
+// penalty. The paper "prioritizes quality of service over operational
+// costs" (Section 9.2), which a small weight encodes.
+func (p Point) Score(idleWeight float64) float64 {
+	return p.Report.QoSPercent() - idleWeight*p.Report.IdlePercent()
+}
+
+// Pipeline evaluates knob settings against a fixed trace set.
+type Pipeline struct {
+	// Base is the engine configuration template; its policy must be
+	// proactive. Each evaluation clones it and overrides knobs.
+	Base engine.Config
+	// Traces is the training workload.
+	Traces []workload.Trace
+	// IdleWeight is the idle penalty of the score (default 1.0).
+	IdleWeight float64
+}
+
+// New returns a pipeline, validating the template.
+func New(base engine.Config, traces []workload.Trace) (*Pipeline, error) {
+	if base.Policy.Mode != policy.Proactive {
+		return nil, fmt.Errorf("training: pipeline needs a proactive base config")
+	}
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("training: no traces")
+	}
+	return &Pipeline{Base: base, Traces: traces, IdleWeight: 1.0}, nil
+}
+
+// Evaluate runs one configuration produced by mutating the base policy.
+func (p *Pipeline) Evaluate(mutate func(*policy.Config)) (Point, error) {
+	cfg := p.Base
+	mutate(&cfg.Policy)
+	if err := cfg.Policy.Validate(); err != nil {
+		return Point{}, err
+	}
+	res, err := engine.Run(cfg, p.Traces)
+	if err != nil {
+		return Point{}, err
+	}
+	return Point{
+		WindowSec:   cfg.Policy.Predictor.WindowSec,
+		Confidence:  cfg.Policy.Predictor.Confidence,
+		HistoryDays: cfg.Policy.Predictor.HistoryDays,
+		Seasonality: cfg.Policy.Predictor.Seasonality,
+		Report:      res.Report,
+	}, nil
+}
+
+// SweepWindow evaluates the window sizes (in hours): the Figure 8 sweep.
+func (p *Pipeline) SweepWindow(hours []int) ([]Point, error) {
+	var out []Point
+	for _, h := range hours {
+		h := h
+		pt, err := p.Evaluate(func(c *policy.Config) {
+			c.Predictor.WindowSec = int64(h) * 3600
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// SweepConfidence evaluates the thresholds: the Figure 9 sweep.
+func (p *Pipeline) SweepConfidence(cs []float64) ([]Point, error) {
+	var out []Point
+	for _, c := range cs {
+		c := c
+		pt, err := p.Evaluate(func(pc *policy.Config) {
+			pc.Predictor.Confidence = c
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// SweepHistory evaluates history lengths in days (the ablation the paper
+// describes but does not chart).
+func (p *Pipeline) SweepHistory(days []int) ([]Point, error) {
+	var out []Point
+	for _, d := range days {
+		d := d
+		pt, err := p.Evaluate(func(c *policy.Config) {
+			c.Predictor.HistoryDays = d
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// SweepSeasonality evaluates daily versus weekly pattern detection.
+func (p *Pipeline) SweepSeasonality() ([]Point, error) {
+	var out []Point
+	for _, s := range []predictor.Seasonality{predictor.Daily, predictor.Weekly} {
+		s := s
+		pt, err := p.Evaluate(func(c *policy.Config) {
+			c.Predictor.Seasonality = s
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// Grid evaluates the cross product of windows (hours) and confidences, the
+// monthly re-training job.
+func (p *Pipeline) Grid(windowHours []int, confidences []float64) ([]Point, error) {
+	var out []Point
+	for _, w := range windowHours {
+		for _, c := range confidences {
+			w, c := w, c
+			pt, err := p.Evaluate(func(pc *policy.Config) {
+				pc.Predictor.WindowSec = int64(w) * 3600
+				pc.Predictor.Confidence = c
+			})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}
+
+// Best returns the highest-scoring point; ties break toward lower idle
+// time, then lower window (cheaper predictions). It panics on empty input.
+func (p *Pipeline) Best(points []Point) Point {
+	if len(points) == 0 {
+		panic("training: Best of no points")
+	}
+	sorted := append([]Point(nil), points...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		si, sj := sorted[i].Score(p.IdleWeight), sorted[j].Score(p.IdleWeight)
+		if si != sj {
+			return si > sj
+		}
+		if ii, ij := sorted[i].Report.IdlePercent(), sorted[j].Report.IdlePercent(); ii != ij {
+			return ii < ij
+		}
+		return sorted[i].WindowSec < sorted[j].WindowSec
+	})
+	return sorted[0]
+}

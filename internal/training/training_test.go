@@ -1,0 +1,203 @@
+package training
+
+import (
+	"testing"
+
+	"prorp/internal/cluster"
+	"prorp/internal/controlplane"
+	"prorp/internal/engine"
+	"prorp/internal/metrics"
+	"prorp/internal/policy"
+	"prorp/internal/predictor"
+	"prorp/internal/workload"
+)
+
+const day = int64(86400)
+
+func pipelineForTest(t *testing.T, n int) *Pipeline {
+	t.Helper()
+	prof, err := workload.Region("EU1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(21, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := gen.Generate(n, 0, 12*day)
+	cfg := engine.Config{
+		Policy: func() policy.Config {
+			c := policy.DefaultConfig()
+			c.Predictor.HistoryDays = 7
+			return c
+		}(),
+		ControlPlane: controlplane.DefaultConfig(),
+		Cluster:      cluster.DefaultConfig(n),
+		From:         0, To: 12 * day, EvalFrom: 9 * day, Seed: 1,
+	}
+	p, err := New(cfg, traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewRejectsBadInput(t *testing.T) {
+	prof, _ := workload.Region("EU1")
+	gen, _ := workload.NewGenerator(1, prof)
+	traces := gen.Generate(5, 0, 10*day)
+	reactive := engine.Config{
+		Policy:  policy.Config{Mode: policy.Reactive, LogicalPauseSec: 3600},
+		Cluster: cluster.DefaultConfig(5),
+		From:    0, To: 10 * day, EvalFrom: 5 * day,
+	}
+	if _, err := New(reactive, traces); err == nil {
+		t.Error("reactive base accepted")
+	}
+	good := engine.Config{
+		Policy:       policy.DefaultConfig(),
+		ControlPlane: controlplane.DefaultConfig(),
+		Cluster:      cluster.DefaultConfig(5),
+		From:         0, To: 10 * day, EvalFrom: 5 * day,
+	}
+	if _, err := New(good, nil); err == nil {
+		t.Error("empty traces accepted")
+	}
+	bad := good
+	bad.To = 0
+	if _, err := New(bad, traces); err == nil {
+		t.Error("invalid engine config accepted")
+	}
+}
+
+func TestEvaluateRejectsInvalidMutation(t *testing.T) {
+	p := pipelineForTest(t, 10)
+	if _, err := p.Evaluate(func(c *policy.Config) { c.Predictor.Confidence = 7 }); err == nil {
+		t.Fatal("invalid mutation accepted")
+	}
+}
+
+func TestSweepWindowMonotoneDirection(t *testing.T) {
+	// Figure 8's mechanism: wider windows raise QoS and idle time. With a
+	// small sample we only require the endpoints to be ordered.
+	p := pipelineForTest(t, 60)
+	pts, err := p.SweepWindow([]int{1, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].WindowSec != 3600 || pts[1].WindowSec != 7*3600 {
+		t.Fatalf("window order wrong: %v", pts)
+	}
+	if pts[1].Report.QoSPercent() < pts[0].Report.QoSPercent() {
+		t.Errorf("QoS fell as window grew: %.1f -> %.1f",
+			pts[0].Report.QoSPercent(), pts[1].Report.QoSPercent())
+	}
+}
+
+func TestSweepConfidenceMonotoneDirection(t *testing.T) {
+	// Figure 9's mechanism: higher thresholds lower both QoS and idle.
+	p := pipelineForTest(t, 60)
+	pts, err := p.SweepConfidence([]float64{0.1, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[1].Report.QoSPercent() > pts[0].Report.QoSPercent() {
+		t.Errorf("QoS rose with confidence: %.1f -> %.1f",
+			pts[0].Report.QoSPercent(), pts[1].Report.QoSPercent())
+	}
+	if pts[1].Report.IdlePrewarmWrongPercent() > pts[0].Report.IdlePrewarmWrongPercent() {
+		t.Errorf("wrong-prewarm idle rose with confidence")
+	}
+}
+
+func TestSweepHistoryAndSeasonality(t *testing.T) {
+	p := pipelineForTest(t, 30)
+	hist, err := p.SweepHistory([]int{7, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 2 || hist[0].HistoryDays != 7 || hist[1].HistoryDays != 10 {
+		t.Fatalf("history sweep = %+v", hist)
+	}
+	seas, err := p.SweepSeasonality()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seas) != 2 || seas[0].Seasonality != predictor.Daily || seas[1].Seasonality != predictor.Weekly {
+		t.Fatalf("seasonality sweep = %+v", seas)
+	}
+}
+
+func TestGrid(t *testing.T) {
+	p := pipelineForTest(t, 20)
+	pts, err := p.Grid([]int{3, 7}, []float64{0.1, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("grid points = %d, want 4", len(pts))
+	}
+}
+
+func TestBestPrefersHighScore(t *testing.T) {
+	p := pipelineForTest(t, 10)
+	mk := func(qos, idle float64) metrics.Report {
+		var r metrics.Report
+		r.WarmLogins = int(qos * 10)
+		r.ColdLogins = 1000 - r.WarmLogins
+		r.Durations[metrics.IdleLogical] = int64(idle * 100)
+		r.Durations[metrics.Saved] = 10000 - r.Durations[metrics.IdleLogical]
+		return r
+	}
+	pts := []Point{
+		{WindowSec: 1 * 3600, Report: mk(70, 3)},
+		{WindowSec: 7 * 3600, Report: mk(88, 6)},
+		{WindowSec: 8 * 3600, Report: mk(87, 8)},
+	}
+	best := p.Best(pts)
+	if best.WindowSec != 7*3600 {
+		t.Fatalf("Best picked window %d h, want 7", best.WindowSec/3600)
+	}
+}
+
+func TestBestTieBreaksOnIdleThenWindow(t *testing.T) {
+	p := pipelineForTest(t, 10)
+	var same metrics.Report
+	same.WarmLogins = 10
+	pts := []Point{
+		{WindowSec: 8 * 3600, Report: same},
+		{WindowSec: 2 * 3600, Report: same},
+	}
+	if got := p.Best(pts); got.WindowSec != 2*3600 {
+		t.Fatalf("tie break picked %d h, want 2", got.WindowSec/3600)
+	}
+}
+
+func TestBestPanicsOnEmpty(t *testing.T) {
+	p := pipelineForTest(t, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Best of empty did not panic")
+		}
+	}()
+	p.Best(nil)
+}
+
+func TestScore(t *testing.T) {
+	var r metrics.Report
+	r.WarmLogins = 9
+	r.ColdLogins = 1
+	r.Durations[metrics.IdleLogical] = 10
+	r.Durations[metrics.Saved] = 90
+	pt := Point{Report: r}
+	// QoS 90%, idle 10%: score at weight 1 = 80, at weight 2 = 70.
+	if got := pt.Score(1); got != 80 {
+		t.Fatalf("Score(1) = %v", got)
+	}
+	if got := pt.Score(2); got != 70 {
+		t.Fatalf("Score(2) = %v", got)
+	}
+}

@@ -1,0 +1,371 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustGen(t *testing.T, seed int64, region string) *Generator {
+	t.Helper()
+	p, err := Region(region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(seed, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRegionProfilesValid(t *testing.T) {
+	for _, name := range RegionNames() {
+		p, err := Region(name)
+		if err != nil {
+			t.Fatalf("Region(%q): %v", name, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %s invalid: %v", name, err)
+		}
+	}
+	if _, err := Region("MARS1"); err == nil {
+		t.Error("unknown region accepted")
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	bad := Profile{Name: "x"}
+	bad.Mix[Office] = 0.5 // sums to 0.5
+	if err := bad.Validate(); err == nil {
+		t.Error("mix not summing to 1 accepted")
+	}
+	bad.Mix[Office] = -0.5
+	bad.Mix[Bursty] = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Error("negative mix entry accepted")
+	}
+	bad = Profile{Name: "x", NewDBFraction: 2}
+	bad.Mix[Office] = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("new-db fraction > 1 accepted")
+	}
+	bad = Profile{Name: "x", JitterSec: -1}
+	bad.Mix[Office] = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative jitter accepted")
+	}
+}
+
+func TestGeneratorRejectsInvalidProfile(t *testing.T) {
+	if _, err := NewGenerator(1, Profile{}); err == nil {
+		t.Fatal("empty profile accepted")
+	}
+}
+
+func TestTracesValid(t *testing.T) {
+	g := mustGen(t, 42, "EU1")
+	from, to := int64(0), 35*day
+	traces := g.Generate(400, from, to)
+	if len(traces) != 400 {
+		t.Fatalf("generated %d traces, want 400", len(traces))
+	}
+	for _, tr := range traces {
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for _, iv := range tr.Intervals {
+			if iv.Start < from || iv.End > to {
+				t.Fatalf("trace %d interval %+v outside [%d,%d)", tr.DB, iv, from, to)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := mustGen(t, 7, "US1").Generate(50, 0, 14*day)
+	b := mustGen(t, 7, "US1").Generate(50, 0, 14*day)
+	for i := range a {
+		if a[i].Pattern != b[i].Pattern || a[i].Birth != b[i].Birth ||
+			len(a[i].Intervals) != len(b[i].Intervals) {
+			t.Fatalf("trace %d differs between runs with the same seed", i)
+		}
+		for j := range a[i].Intervals {
+			if a[i].Intervals[j] != b[i].Intervals[j] {
+				t.Fatalf("trace %d interval %d differs", i, j)
+			}
+		}
+	}
+	c := mustGen(t, 8, "US1").Generate(50, 0, 14*day)
+	same := true
+	for i := range a {
+		if len(a[i].Intervals) != len(c[i].Intervals) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Log("different seeds produced structurally similar traces (possible but unlikely)")
+	}
+}
+
+func TestAllPatternsRepresented(t *testing.T) {
+	g := mustGen(t, 3, "EU1")
+	traces := g.Generate(1000, 0, 35*day)
+	var seen [numPatterns]int
+	for _, tr := range traces {
+		seen[tr.Pattern]++
+	}
+	for p := Pattern(0); p < numPatterns; p++ {
+		if seen[p] == 0 {
+			t.Errorf("pattern %v absent from 1000 traces", p)
+		}
+	}
+	// The dormant fraction should be near the profile's 58%.
+	dormantFrac := float64(seen[Dormant]) / 1000
+	if dormantFrac < 0.50 || dormantFrac > 0.66 {
+		t.Errorf("dormant fraction = %.2f, want ~0.58", dormantFrac)
+	}
+}
+
+func TestOfficePatternShape(t *testing.T) {
+	g := mustGen(t, 11, "EU1")
+	var tr Trace
+	found := false
+	for _, cand := range g.Generate(200, 0, 28*day) {
+		if cand.Pattern == Office && len(cand.Intervals) > 20 {
+			tr, found = cand, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no office trace found")
+	}
+	// Office activity concentrates in daytime: the majority of activity
+	// seconds must fall between 06:00 and 22:00.
+	var dayS, nightS int64
+	for _, iv := range tr.Intervals {
+		for ts := iv.Start; ts < iv.End; ts += 600 {
+			h := (ts % day) / hour
+			if h >= 6 && h < 22 {
+				dayS++
+			} else {
+				nightS++
+			}
+		}
+	}
+	if dayS < nightS*4 {
+		t.Errorf("office activity not daytime-concentrated: day=%d night=%d", dayS, nightS)
+	}
+}
+
+func TestNightBatchIsNocturnalAndShort(t *testing.T) {
+	g := mustGen(t, 13, "EU1")
+	for _, tr := range g.Generate(300, 0, 14*day) {
+		if tr.Pattern != NightBatch {
+			continue
+		}
+		for _, iv := range tr.Intervals {
+			if d := iv.Duration(); d > 4*hour+30*min {
+				t.Fatalf("night batch session of %d s, want <= ~4 h", d)
+			}
+		}
+		return
+	}
+	t.Fatal("no night-batch trace found")
+}
+
+func TestDormantHasFewSessions(t *testing.T) {
+	g := mustGen(t, 17, "EU1")
+	for _, tr := range g.Generate(300, 0, 28*day) {
+		if tr.Pattern != Dormant {
+			continue
+		}
+		if n := len(tr.Intervals); n > 6 {
+			t.Fatalf("dormant trace has %d sessions in 28 days", n)
+		}
+		return
+	}
+	t.Fatal("no dormant trace found")
+}
+
+func TestIdleGaps(t *testing.T) {
+	tr := Trace{
+		Birth: 100,
+		Intervals: []Interval{
+			{Start: 100, End: 200},
+			{Start: 500, End: 600},
+			{Start: 1000, End: 1100},
+		},
+	}
+	gaps := tr.IdleGaps()
+	if len(gaps) != 2 {
+		t.Fatalf("IdleGaps len = %d, want 2", len(gaps))
+	}
+	if gaps[0] != (Interval{200, 500}) || gaps[1] != (Interval{600, 1000}) {
+		t.Fatalf("IdleGaps = %v", gaps)
+	}
+	if len((Trace{Intervals: []Interval{{1, 2}}}).IdleGaps()) != 0 {
+		t.Error("single interval produced gaps")
+	}
+}
+
+func TestLogins(t *testing.T) {
+	tr := Trace{Intervals: []Interval{{10, 20}, {30, 40}}}
+	l := tr.Logins()
+	if len(l) != 2 || l[0] != 10 || l[1] != 30 {
+		t.Fatalf("Logins = %v", l)
+	}
+}
+
+func TestValidateCatchesBadTraces(t *testing.T) {
+	cases := []Trace{
+		{DB: 1}, // empty
+		{DB: 2, Birth: 5, Intervals: []Interval{{10, 20}}},            // birth mismatch
+		{DB: 3, Birth: 10, Intervals: []Interval{{10, 10}}},           // empty interval
+		{DB: 4, Birth: 10, Intervals: []Interval{{10, 20}, {25, 30}}}, // gap < 1 min
+		{DB: 5, Birth: 10, Intervals: []Interval{{10, 20}, {15, 30}}}, // overlap
+	}
+	for _, tr := range cases {
+		if err := tr.Validate(); err == nil {
+			t.Errorf("trace %d accepted: %+v", tr.DB, tr)
+		}
+	}
+}
+
+func TestNewDBFraction(t *testing.T) {
+	p, _ := Region("US1") // 10% new databases
+	g, _ := NewGenerator(5, p)
+	traces := g.Generate(2000, 0, 35*day)
+	late := 0
+	for _, tr := range traces {
+		if tr.Birth > 2*day {
+			late++
+		}
+	}
+	frac := float64(late) / 2000
+	if frac < 0.04 || frac > 0.18 {
+		t.Errorf("mid-simulation births = %.2f, want ~0.10", frac)
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	for p := Pattern(0); p < numPatterns; p++ {
+		if p.String() == "" {
+			t.Errorf("Pattern(%d) empty string", int(p))
+		}
+	}
+	if Pattern(99).String() == "" {
+		t.Error("unknown pattern empty string")
+	}
+}
+
+// Property: every generated trace validates for arbitrary seeds and spans.
+func TestQuickTracesAlwaysValid(t *testing.T) {
+	p, _ := Region("EU2")
+	f := func(seed int64, nDays uint8) bool {
+		span := (int64(nDays%60) + 3) * day
+		g, err := NewGenerator(seed, p)
+		if err != nil {
+			return false
+		}
+		for _, tr := range g.Generate(20, 0, span) {
+			if tr.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGenerateRegionMonth(b *testing.B) {
+	p, _ := Region("EU1")
+	for i := 0; i < b.N; i++ {
+		g, _ := NewGenerator(int64(i), p)
+		g.Generate(100, 0, 35*day)
+	}
+}
+
+func TestDriftShiftsPhases(t *testing.T) {
+	p, _ := Region("EU1")
+	p.DriftDay = 10
+	p.DriftSec = 3 * hour
+	g, err := NewGenerator(19, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := g.Generate(400, 0, 20*day)
+	// Compare the mean first-login hour of office databases before and
+	// after the drift day.
+	var before, after []float64
+	for _, tr := range traces {
+		if tr.Pattern != Office {
+			continue
+		}
+		perDay := map[int64]int64{}
+		for _, iv := range tr.Intervals {
+			d := iv.Start / day
+			if _, seen := perDay[d]; !seen {
+				perDay[d] = iv.Start % day
+			}
+		}
+		for d, off := range perDay {
+			if d < 10 {
+				before = append(before, float64(off))
+			} else {
+				after = append(after, float64(off))
+			}
+		}
+	}
+	if len(before) < 50 || len(after) < 50 {
+		t.Fatalf("not enough office days: %d/%d", len(before), len(after))
+	}
+	mean := func(xs []float64) float64 {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	shift := mean(after) - mean(before)
+	if shift < float64(2*hour) || shift > float64(4*hour) {
+		t.Fatalf("phase shift = %.1f h, want ~3 h", shift/3600)
+	}
+}
+
+func TestNoDriftByDefault(t *testing.T) {
+	for _, name := range RegionNames() {
+		p, _ := Region(name)
+		if p.DriftDay != 0 || p.DriftSec != 0 {
+			t.Errorf("region %s has drift enabled by default", name)
+		}
+	}
+}
+
+func TestWeeklyReportIsSingleWeekday(t *testing.T) {
+	g := mustGen(t, 23, "EU1")
+	found := false
+	for _, tr := range g.Generate(600, 0, 35*day) {
+		if tr.Pattern != WeeklyReport {
+			continue
+		}
+		found = true
+		dows := map[int64]bool{}
+		for _, iv := range tr.Intervals {
+			dows[(iv.Start/day)%7] = true
+		}
+		// Jitter can spill a session across midnight, so allow two
+		// adjacent weekdays at most.
+		if len(dows) > 2 {
+			t.Fatalf("weekly-report trace spans %d weekdays", len(dows))
+		}
+		if len(tr.Intervals) > 6 {
+			t.Fatalf("weekly-report trace has %d sessions in 5 weeks", len(tr.Intervals))
+		}
+	}
+	if !found {
+		t.Fatal("no weekly-report trace generated")
+	}
+}

@@ -1,0 +1,60 @@
+package prorp
+
+import (
+	"time"
+
+	"prorp/internal/maintenance"
+	"prorp/internal/predictor"
+)
+
+// MaintenanceStrategy says how a maintenance window was chosen.
+type MaintenanceStrategy int
+
+const (
+	// MaintenanceRunNow: resources are allocated; run immediately.
+	MaintenanceRunNow MaintenanceStrategy = MaintenanceStrategy(maintenance.RunNow)
+	// MaintenanceDuringPredictedActivity: run alongside the predicted next
+	// customer activity.
+	MaintenanceDuringPredictedActivity MaintenanceStrategy = MaintenanceStrategy(maintenance.DuringPredictedActivity)
+	// MaintenanceForcedResume: resources must be resumed just for the
+	// operation.
+	MaintenanceForcedResume MaintenanceStrategy = MaintenanceStrategy(maintenance.ForcedResume)
+)
+
+func (s MaintenanceStrategy) String() string { return maintenance.Strategy(s).String() }
+
+// MaintenancePlan is a scheduled maintenance window for one database.
+type MaintenancePlan struct {
+	// Start is when the operation should begin.
+	Start time.Time
+	// Strategy records how the window was chosen.
+	Strategy MaintenanceStrategy
+	// AvoidsResume reports whether the plan piggybacks on customer-driven
+	// resources instead of forcing a dedicated resume.
+	AvoidsResume bool
+}
+
+// PlanMaintenance schedules a system maintenance operation (backup,
+// software update, stats refresh) of the given duration, to finish no
+// later than deadline. Implements the paper's fourth future-work
+// direction (Section 11): maintenance runs when the database is predicted
+// to be online, so the backend avoids resuming resources just for it.
+func (d *Database) PlanMaintenance(now time.Time, duration time.Duration, deadline time.Time) (MaintenancePlan, error) {
+	var next predictor.Activity
+	if start, end, ok := d.NextPredictedActivity(); ok {
+		next = predictor.Activity{Start: start.Unix(), End: end.Unix()}
+	}
+	plan, err := maintenance.Schedule(maintenance.Op{
+		DB:          d.id,
+		DurationSec: int64(duration / time.Second),
+		DeadlineSec: deadline.Unix(),
+	}, now.Unix(), d.ResourcesAvailable(), next)
+	if err != nil {
+		return MaintenancePlan{}, err
+	}
+	return MaintenancePlan{
+		Start:        time.Unix(plan.Start, 0).UTC(),
+		Strategy:     MaintenanceStrategy(plan.Strategy),
+		AvoidsResume: plan.AvoidsResume,
+	}, nil
+}

@@ -1,0 +1,103 @@
+package prorp
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPlanMaintenanceRunNow(t *testing.T) {
+	db, err := NewDatabase(DefaultOptions(), 1, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Resources are up (database just created): run immediately.
+	now := t0.Add(time.Hour)
+	plan, err := db.PlanMaintenance(now, 30*time.Minute, now.Add(24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Strategy != MaintenanceRunNow || !plan.AvoidsResume {
+		t.Fatalf("plan = %+v, want run-now", plan)
+	}
+	if !plan.Start.Equal(now) {
+		t.Fatalf("start = %v, want %v", plan.Start, now)
+	}
+}
+
+func TestPlanMaintenanceDuringPredictedActivity(t *testing.T) {
+	opts := DefaultOptions()
+	opts.History = 7 * 24 * time.Hour
+	db, err := NewDatabase(opts, 1, t0.Add(9*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build a daily pattern so the database ends up physically paused with
+	// a prediction for tomorrow 9:00.
+	for d := 0; d < 10; d++ {
+		base := t0.Add(time.Duration(d) * 24 * time.Hour)
+		if d > 0 {
+			db.Login(base.Add(9 * time.Hour))
+		}
+		db.Idle(base.Add(12 * time.Hour))
+		db.Login(base.Add(15 * time.Hour))
+		db.Idle(base.Add(17 * time.Hour))
+	}
+	if db.State() != PhysicallyPaused {
+		t.Fatalf("setup: state = %v", db.State())
+	}
+	now := t0.Add(9*24*time.Hour + 20*time.Hour)
+	plan, err := db.PlanMaintenance(now, 30*time.Minute, now.Add(24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Strategy != MaintenanceDuringPredictedActivity || !plan.AvoidsResume {
+		t.Fatalf("plan = %+v, want during-predicted-activity", plan)
+	}
+	wantStart, _, _ := db.NextPredictedActivity()
+	if !plan.Start.Equal(wantStart) {
+		t.Fatalf("start = %v, want predicted %v", plan.Start, wantStart)
+	}
+}
+
+func TestPlanMaintenanceForcedResume(t *testing.T) {
+	opts := DefaultOptions()
+	db, err := NewDatabase(opts, 1, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Idle then expire the logical pause: physically paused, no prediction.
+	d := db.Idle(t0.Add(time.Hour))
+	db.Wake(d.WakeAt)
+	if db.State() != PhysicallyPaused {
+		t.Fatalf("setup: state = %v", db.State())
+	}
+	now := t0.Add(10 * time.Hour)
+	deadline := now.Add(6 * time.Hour)
+	plan, err := db.PlanMaintenance(now, time.Hour, deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Strategy != MaintenanceForcedResume || plan.AvoidsResume {
+		t.Fatalf("plan = %+v, want forced resume", plan)
+	}
+	if !plan.Start.Add(time.Hour).Equal(deadline) {
+		t.Fatalf("forced plan = %v, want to finish exactly at deadline %v", plan.Start, deadline)
+	}
+}
+
+func TestPlanMaintenanceRejectsImpossibleDeadline(t *testing.T) {
+	db, _ := NewDatabase(DefaultOptions(), 1, t0)
+	if _, err := db.PlanMaintenance(t0, 2*time.Hour, t0.Add(time.Hour)); err == nil {
+		t.Fatal("impossible deadline accepted")
+	}
+}
+
+func TestMaintenanceStrategyString(t *testing.T) {
+	for _, s := range []MaintenanceStrategy{
+		MaintenanceRunNow, MaintenanceDuringPredictedActivity, MaintenanceForcedResume,
+	} {
+		if s.String() == "" {
+			t.Error("empty strategy string")
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package prorp
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// JSON (de)serialization for Options, so deployments can keep the Table 1
+// knobs in configuration files — the shape the paper's "configuration,
+// testing, and deployment infrastructure" manages and the monthly training
+// pipeline rewrites. Durations use Go syntax ("7h", "5m"); mode and
+// seasonality use their String names.
+
+type optionsJSON struct {
+	Mode             string  `json:"mode"`
+	LogicalPause     string  `json:"logical_pause"`
+	History          string  `json:"history"`
+	Horizon          string  `json:"horizon"`
+	Confidence       float64 `json:"confidence"`
+	Window           string  `json:"window"`
+	Slide            string  `json:"slide"`
+	Seasonality      string  `json:"seasonality"`
+	PrewarmLead      string  `json:"prewarm_lead"`
+	ResumeOpPeriod   string  `json:"resume_op_period"`
+	MaxPrewarmsPerOp int     `json:"max_prewarms_per_op"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (o Options) MarshalJSON() ([]byte, error) {
+	return json.Marshal(optionsJSON{
+		Mode:             o.Mode.String(),
+		LogicalPause:     o.LogicalPause.String(),
+		History:          o.History.String(),
+		Horizon:          o.Horizon.String(),
+		Confidence:       o.Confidence,
+		Window:           o.Window.String(),
+		Slide:            o.Slide.String(),
+		Seasonality:      o.Seasonality.String(),
+		PrewarmLead:      o.PrewarmLead.String(),
+		ResumeOpPeriod:   o.ResumeOpPeriod.String(),
+		MaxPrewarmsPerOp: o.MaxPrewarmsPerOp,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler. Absent fields keep the
+// DefaultOptions values, so a config file only needs the knobs it changes.
+func (o *Options) UnmarshalJSON(data []byte) error {
+	*o = DefaultOptions()
+	var raw optionsJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	var err error
+	setDur := func(dst *time.Duration, s, name string) {
+		if s == "" || err != nil {
+			return
+		}
+		var d time.Duration
+		if d, err = time.ParseDuration(s); err != nil {
+			err = fmt.Errorf("prorp: options %s: %w", name, err)
+			return
+		}
+		*dst = d
+	}
+	setDur(&o.LogicalPause, raw.LogicalPause, "logical_pause")
+	setDur(&o.History, raw.History, "history")
+	setDur(&o.Horizon, raw.Horizon, "horizon")
+	setDur(&o.Window, raw.Window, "window")
+	setDur(&o.Slide, raw.Slide, "slide")
+	setDur(&o.PrewarmLead, raw.PrewarmLead, "prewarm_lead")
+	setDur(&o.ResumeOpPeriod, raw.ResumeOpPeriod, "resume_op_period")
+	if err != nil {
+		return err
+	}
+	switch raw.Mode {
+	case "":
+	case "reactive":
+		o.Mode = Reactive
+	case "proactive":
+		o.Mode = Proactive
+	default:
+		return fmt.Errorf("prorp: options mode %q (want reactive or proactive)", raw.Mode)
+	}
+	switch raw.Seasonality {
+	case "":
+	case "daily":
+		o.Seasonality = Daily
+	case "weekly":
+		o.Seasonality = Weekly
+	default:
+		return fmt.Errorf("prorp: options seasonality %q (want daily or weekly)", raw.Seasonality)
+	}
+	if raw.Confidence != 0 {
+		o.Confidence = raw.Confidence
+	}
+	if raw.MaxPrewarmsPerOp != 0 {
+		o.MaxPrewarmsPerOp = raw.MaxPrewarmsPerOp
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package prorp
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestOptionsJSONRoundTrip(t *testing.T) {
+	o := DefaultOptions()
+	o.Mode = Reactive
+	o.Confidence = 0.35
+	o.Window = 4 * time.Hour
+	o.Seasonality = Weekly
+	data, err := json.Marshal(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Options
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != o {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", back, o)
+	}
+}
+
+func TestOptionsJSONPartialKeepsDefaults(t *testing.T) {
+	var o Options
+	if err := json.Unmarshal([]byte(`{"confidence":0.4,"window":"3h"}`), &o); err != nil {
+		t.Fatal(err)
+	}
+	def := DefaultOptions()
+	if o.Confidence != 0.4 || o.Window != 3*time.Hour {
+		t.Fatalf("overrides not applied: %+v", o)
+	}
+	if o.LogicalPause != def.LogicalPause || o.History != def.History ||
+		o.Mode != def.Mode || o.Seasonality != def.Seasonality {
+		t.Fatalf("defaults not kept: %+v", o)
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptionsJSONRejectsGarbage(t *testing.T) {
+	cases := []string{
+		`{"mode":"psychic"}`,
+		`{"seasonality":"lunar"}`,
+		`{"window":"3 parsecs"}`,
+		`{"logical_pause":"yes"}`,
+		`[1,2,3]`,
+	}
+	for _, c := range cases {
+		var o Options
+		if err := json.Unmarshal([]byte(c), &o); err == nil {
+			t.Errorf("accepted %s", c)
+		}
+	}
+}
+
+func TestOptionsJSONEmptyObjectIsDefaults(t *testing.T) {
+	var o Options
+	if err := json.Unmarshal([]byte(`{}`), &o); err != nil {
+		t.Fatal(err)
+	}
+	if o != DefaultOptions() {
+		t.Fatalf("empty object != defaults: %+v", o)
+	}
+}

@@ -1,0 +1,424 @@
+package prorp
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2023, 9, 1, 0, 0, 0, 0, time.UTC)
+
+func TestDefaultOptionsMatchPaperTable1(t *testing.T) {
+	o := DefaultOptions()
+	if o.LogicalPause != 7*time.Hour {
+		t.Errorf("l = %v, want 7h", o.LogicalPause)
+	}
+	if o.History != 28*24*time.Hour {
+		t.Errorf("h = %v, want 28 days", o.History)
+	}
+	if o.Horizon != 24*time.Hour {
+		t.Errorf("p = %v, want 24h", o.Horizon)
+	}
+	if o.Confidence != 0.1 {
+		t.Errorf("c = %v, want 0.1", o.Confidence)
+	}
+	if o.Window != 7*time.Hour {
+		t.Errorf("w = %v, want 7h", o.Window)
+	}
+	if o.Slide != 5*time.Minute {
+		t.Errorf("s = %v, want 5min", o.Slide)
+	}
+	if o.PrewarmLead != 5*time.Minute {
+		t.Errorf("k = %v, want 5min", o.PrewarmLead)
+	}
+	if o.Seasonality != Daily {
+		t.Errorf("seasonality = %v, want daily", o.Seasonality)
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	o := DefaultOptions()
+	o.Confidence = 5
+	if o.Validate() == nil {
+		t.Error("confidence 5 accepted")
+	}
+	o = DefaultOptions()
+	o.LogicalPause = 0
+	if o.Validate() == nil {
+		t.Error("zero logical pause accepted")
+	}
+	o = DefaultOptions()
+	o.ResumeOpPeriod = 0
+	if o.Validate() == nil {
+		t.Error("zero resume-op period accepted")
+	}
+	// Reactive mode does not need prediction knobs.
+	o = Options{Mode: Reactive, LogicalPause: time.Hour}
+	if err := o.Validate(); err != nil {
+		t.Errorf("minimal reactive options rejected: %v", err)
+	}
+}
+
+func TestDatabaseLifecycle(t *testing.T) {
+	db, err := NewDatabase(DefaultOptions(), 7, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.ID() != 7 {
+		t.Errorf("ID = %d", db.ID())
+	}
+	if db.State() != Resumed || !db.Active() || !db.ResourcesAvailable() {
+		t.Fatalf("fresh database state = %v", db.State())
+	}
+	if db.HistoryTuples() != 1 || db.HistoryBytes() != 16 {
+		t.Fatalf("history = %d tuples / %d bytes", db.HistoryTuples(), db.HistoryBytes())
+	}
+
+	// New database goes logically paused on idle, with a wake at +7h.
+	d := db.Idle(t0.Add(2 * time.Hour))
+	if d.Event != EventLogicalPause {
+		t.Fatalf("Idle -> %v, want logical-pause", d.Event)
+	}
+	if want := t0.Add(9 * time.Hour); !d.WakeAt.Equal(want) {
+		t.Fatalf("WakeAt = %v, want %v", d.WakeAt, want)
+	}
+	if db.State() != LogicallyPaused {
+		t.Fatalf("state = %v", db.State())
+	}
+
+	// Wake at the pause end physically pauses (new database, no
+	// prediction).
+	d = db.Wake(d.WakeAt)
+	if d.Event != EventPhysicalPause || !d.Reclaim {
+		t.Fatalf("Wake -> %+v, want physical pause with reclaim", d)
+	}
+	if db.ResourcesAvailable() {
+		t.Fatal("resources still available after physical pause")
+	}
+
+	// Cold login.
+	d = db.Login(t0.Add(20 * time.Hour))
+	if d.Event != EventResumeCold || !d.Allocate {
+		t.Fatalf("Login -> %+v, want cold resume with allocate", d)
+	}
+	if _, _, ok := db.NextPredictedActivity(); ok {
+		t.Error("new database reported a prediction")
+	}
+}
+
+func TestDatabasePredictsDailyPattern(t *testing.T) {
+	opts := DefaultOptions()
+	opts.History = 7 * 24 * time.Hour
+	db, err := NewDatabase(opts, 1, t0.Add(9*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ten days of 9:00-12:00 / 15:00-17:00 activity.
+	for d := 0; d < 10; d++ {
+		base := t0.Add(time.Duration(d) * 24 * time.Hour)
+		if d > 0 {
+			db.Login(base.Add(9 * time.Hour))
+		}
+		db.Idle(base.Add(12 * time.Hour))
+		db.Login(base.Add(15 * time.Hour))
+		db.Idle(base.Add(17 * time.Hour))
+	}
+	start, end, ok := db.NextPredictedActivity()
+	if !ok {
+		t.Fatal("no prediction after 10 days of a daily pattern")
+	}
+	wantStart := t0.Add(10*24*time.Hour + 9*time.Hour)
+	if !start.Equal(wantStart) {
+		t.Fatalf("predicted start = %v, want %v", start, wantStart)
+	}
+	if end.Before(start) {
+		t.Fatalf("predicted end %v before start %v", end, start)
+	}
+	if db.State() != PhysicallyPaused {
+		t.Fatalf("state = %v, want physically paused overnight", db.State())
+	}
+}
+
+func TestFleetPrewarmFlow(t *testing.T) {
+	opts := DefaultOptions()
+	opts.History = 7 * 24 * time.Hour
+	fleet, err := NewFleet(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := fleet.Create(1, t0.Add(9*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fleet.Create(1, t0); err == nil {
+		t.Fatal("duplicate Create accepted")
+	}
+	if fleet.Size() != 1 {
+		t.Fatalf("Size = %d", fleet.Size())
+	}
+
+	for d := 0; d < 10; d++ {
+		base := t0.Add(time.Duration(d) * 24 * time.Hour)
+		if d > 0 {
+			if _, err := fleet.Login(1, base.Add(9*time.Hour)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		fleet.Idle(1, base.Add(12*time.Hour))
+		fleet.Login(1, base.Add(15*time.Hour))
+		fleet.Idle(1, base.Add(17*time.Hour))
+	}
+	if db.State() != PhysicallyPaused {
+		t.Fatalf("state = %v, want physically paused", db.State())
+	}
+	if fleet.PausedCount() != 1 {
+		t.Fatalf("PausedCount = %d", fleet.PausedCount())
+	}
+
+	// The resume op before the pre-warm lead does nothing...
+	early := t0.Add(10*24*time.Hour + 8*time.Hour)
+	if got := fleet.RunResumeOp(early); len(got) != 0 {
+		t.Fatalf("early RunResumeOp prewarmed %v", got)
+	}
+	// ...and pre-warms within the lead of the predicted 9:00 login.
+	due := t0.Add(10*24*time.Hour + 8*time.Hour + 55*time.Minute)
+	got := fleet.RunResumeOp(due)
+	if len(got) != 1 || got[0].ID != 1 || got[0].Decision.Event != EventPrewarm {
+		t.Fatalf("RunResumeOp = %+v", got)
+	}
+	if !got[0].Decision.Allocate {
+		t.Fatal("prewarm decision did not allocate")
+	}
+	if db.State() != LogicallyPaused {
+		t.Fatalf("state after prewarm = %v", db.State())
+	}
+	// A second op must not prewarm again.
+	if again := fleet.RunResumeOp(due.Add(time.Minute)); len(again) != 0 {
+		t.Fatalf("second RunResumeOp = %+v", again)
+	}
+
+	// The on-schedule login is warm and attributed to the prewarm.
+	d, err := fleet.Login(1, t0.Add(10*24*time.Hour+9*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Event != EventResumeWarm || !d.FromPrewarm {
+		t.Fatalf("login decision = %+v, want warm from prewarm", d)
+	}
+}
+
+func TestFleetUnknownDatabase(t *testing.T) {
+	fleet, _ := NewFleet(DefaultOptions())
+	if _, err := fleet.Login(99, t0); err == nil {
+		t.Error("Login on unknown database succeeded")
+	}
+	if _, err := fleet.Idle(99, t0); err == nil {
+		t.Error("Idle on unknown database succeeded")
+	}
+	if _, err := fleet.Wake(99, t0); err == nil {
+		t.Error("Wake on unknown database succeeded")
+	}
+	if _, ok := fleet.Database(99); ok {
+		t.Error("Database(99) found")
+	}
+}
+
+func TestReactiveFleetNeverPrewarms(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Mode = Reactive
+	fleet, err := NewFleet(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet.Create(1, t0)
+	fleet.Idle(1, t0.Add(time.Hour))
+	db, _ := fleet.Database(1)
+	d := db.Wake(t0.Add(8 * time.Hour))
+	if d.Event != EventPhysicalPause {
+		t.Fatalf("reactive wake -> %v", d.Event)
+	}
+	if got := fleet.RunResumeOp(t0.Add(9 * time.Hour)); got != nil {
+		t.Fatalf("reactive fleet prewarmed %v", got)
+	}
+}
+
+func TestSimulateSmall(t *testing.T) {
+	opts := DefaultOptions()
+	opts.History = 7 * 24 * time.Hour
+	rep, err := Simulate(SimulationConfig{
+		Region:    "EU1",
+		Databases: 60,
+		EvalDays:  2,
+		Seed:      3,
+		Options:   &opts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WarmLogins+rep.ColdLogins == 0 {
+		t.Fatal("no logins measured")
+	}
+	if rep.QoSPercent <= 0 || rep.QoSPercent > 100 {
+		t.Fatalf("QoS = %v", rep.QoSPercent)
+	}
+	total := rep.UsedPercent + rep.IdlePercent + rep.SavedPercent + rep.UnavailablePercent
+	if total < 99.9 || total > 100.1 {
+		t.Fatalf("percentages sum to %v", total)
+	}
+	if rep.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestSimulateComparesPolicies(t *testing.T) {
+	run := func(mode Mode) Report {
+		opts := DefaultOptions()
+		opts.Mode = mode
+		opts.History = 7 * 24 * time.Hour
+		rep, err := Simulate(SimulationConfig{
+			Region: "EU1", Databases: 80, EvalDays: 2, Seed: 5, Options: &opts,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	pro, rea := run(Proactive), run(Reactive)
+	if pro.QoSPercent <= rea.QoSPercent {
+		t.Fatalf("proactive QoS %.1f <= reactive %.1f", pro.QoSPercent, rea.QoSPercent)
+	}
+	if rea.Prewarms != 0 {
+		t.Fatal("reactive simulation prewarmed")
+	}
+}
+
+func TestSimulateRejectsBadConfig(t *testing.T) {
+	if _, err := Simulate(SimulationConfig{Region: "NOPE", Databases: 1, EvalDays: 1}); err == nil {
+		t.Error("unknown region accepted")
+	}
+	if _, err := Simulate(SimulationConfig{Region: "EU1", Databases: 0, EvalDays: 1}); err == nil {
+		t.Error("zero databases accepted")
+	}
+	if _, err := Simulate(SimulationConfig{Region: "EU1", Databases: 1, EvalDays: 0}); err == nil {
+		t.Error("zero eval days accepted")
+	}
+	bad := DefaultOptions()
+	bad.Confidence = -1
+	if _, err := Simulate(SimulationConfig{Region: "EU1", Databases: 1, EvalDays: 1, Options: &bad}); err == nil {
+		t.Error("invalid options accepted")
+	}
+}
+
+func TestRegions(t *testing.T) {
+	rs := Regions()
+	if len(rs) != 4 || rs[0] != "EU1" {
+		t.Fatalf("Regions = %v", rs)
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if Proactive.String() != "proactive" || Reactive.String() != "reactive" {
+		t.Error("Mode strings broken")
+	}
+	if Daily.String() != "daily" || Weekly.String() != "weekly" {
+		t.Error("Seasonality strings broken")
+	}
+	if Resumed.String() == "" || LogicallyPaused.String() == "" || PhysicallyPaused.String() == "" {
+		t.Error("State strings broken")
+	}
+	for _, e := range []Event{EventNone, EventResumeWarm, EventResumeCold,
+		EventLogicalPause, EventPhysicalPause, EventPrewarm, EventStayLogical} {
+		if e.String() == "" {
+			t.Error("Event string empty")
+		}
+	}
+}
+
+func TestTelemetryExportAndOfflineEvaluation(t *testing.T) {
+	opts := DefaultOptions()
+	opts.History = 7 * 24 * time.Hour
+	cfg := SimulationConfig{Region: "EU1", Databases: 50, EvalDays: 2, Seed: 9, Options: &opts}
+
+	var buf bytes.Buffer
+	online, err := SimulateWithTelemetry(cfg, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no telemetry exported")
+	}
+	// The simulation epoch is 0; warm-up is history+1 days.
+	evalFrom := time.Unix(8*86400, 0)
+	evalTo := time.Unix(10*86400, 0)
+	offline, err := EvaluateTelemetry(&buf, evalFrom, evalTo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offline.WarmLogins != online.WarmLogins || offline.ColdLogins != online.ColdLogins {
+		t.Fatalf("offline logins %d/%d vs online %d/%d",
+			offline.WarmLogins, offline.ColdLogins, online.WarmLogins, online.ColdLogins)
+	}
+	if offline.PhysicalPauses != online.PhysicalPauses {
+		t.Fatalf("offline pauses %d vs online %d", offline.PhysicalPauses, online.PhysicalPauses)
+	}
+	if diff := offline.IdlePercent - online.IdlePercent; diff > 0.01 || diff < -0.01 {
+		t.Fatalf("offline idle %.3f%% vs online %.3f%%", offline.IdlePercent, online.IdlePercent)
+	}
+}
+
+func TestEvaluateTelemetryRejectsGarbage(t *testing.T) {
+	if _, err := EvaluateTelemetry(bytes.NewReader([]byte("not,a,log\n")),
+		time.Unix(0, 0), time.Unix(100, 0)); err == nil {
+		t.Fatal("garbage log accepted")
+	}
+}
+
+func TestExplainPrediction(t *testing.T) {
+	opts := DefaultOptions()
+	opts.History = 7 * 24 * time.Hour
+	db, err := NewDatabase(opts, 1, t0.Add(9*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < 10; d++ {
+		base := t0.Add(time.Duration(d) * 24 * time.Hour)
+		if d > 0 {
+			db.Login(base.Add(9 * time.Hour))
+		}
+		db.Idle(base.Add(17 * time.Hour))
+	}
+	now := t0.Add(9*24*time.Hour + 18*time.Hour)
+	windows, start, _, ok := db.ExplainPrediction(now)
+	if !ok {
+		t.Fatal("no prediction explained for a daily pattern")
+	}
+	if len(windows) == 0 {
+		t.Fatal("no windows scanned")
+	}
+	wantStart := t0.Add(10*24*time.Hour + 9*time.Hour)
+	if !start.Equal(wantStart) {
+		t.Fatalf("explained start = %v, want %v", start, wantStart)
+	}
+	selected, qualifying := 0, 0
+	for _, w := range windows {
+		if w.Selected {
+			selected++
+		}
+		if w.Qualifies {
+			qualifying++
+		}
+	}
+	if selected != 1 || qualifying == 0 {
+		t.Fatalf("selected=%d qualifying=%d", selected, qualifying)
+	}
+
+	// A fresh database under the default 28-day history explains to
+	// nothing: its single login gives any window at most 1/28 < 0.1.
+	fresh, _ := NewDatabase(DefaultOptions(), 2, now)
+	if _, _, _, ok := fresh.ExplainPrediction(now.Add(time.Hour)); ok {
+		t.Fatal("fresh database explained a prediction")
+	}
+}

@@ -1,0 +1,56 @@
+package prorp
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"prorp/internal/policy"
+)
+
+// WriteTo serializes the database controller — lifecycle state, prediction,
+// and the full activity history — so it can move across nodes or survive a
+// control-plane restart (the durability requirement of Section 3.3 of the
+// paper). It implements io.WriterTo.
+func (d *Database) WriteTo(w io.Writer) (int64, error) {
+	return d.machine.WriteTo(w)
+}
+
+// RestoreDatabase reconstructs a controller from a snapshot written by
+// WriteTo. Options need not match the snapshotting side: restored
+// databases immediately follow re-trained knobs. The returned wakeAt is
+// non-zero when the database was logically paused and the host must call
+// Wake at (or after) that time.
+func RestoreDatabase(opts Options, id int, r io.Reader) (db *Database, wakeAt time.Time, err error) {
+	m, err := policy.Restore(opts.policyConfig(), r)
+	if err != nil {
+		return nil, time.Time{}, err
+	}
+	db = &Database{id: id, machine: m, opts: opts}
+	if ts := m.RestoredTimer(); ts > 0 {
+		wakeAt = time.Unix(ts, 0).UTC()
+	}
+	return db, wakeAt, nil
+}
+
+// Restore adds a snapshotted database to the fleet, re-registering its
+// control-plane metadata: a physically paused database becomes eligible
+// for proactive resume again without waiting for its next pause.
+func (f *Fleet) Restore(id int, r io.Reader) (db *Database, wakeAt time.Time, err error) {
+	if _, exists := f.dbs[id]; exists {
+		return nil, time.Time{}, fmt.Errorf("prorp: database %d already exists", id)
+	}
+	db, wakeAt, err = RestoreDatabase(f.opts, id, r)
+	if err != nil {
+		return nil, time.Time{}, err
+	}
+	f.dbs[id] = db
+	if db.State() == PhysicallyPaused && f.opts.Mode == Proactive {
+		var predStart int64
+		if start, _, ok := db.NextPredictedActivity(); ok {
+			predStart = start.Unix()
+		}
+		f.meta.SetPaused(id, predStart)
+	}
+	return db, wakeAt, nil
+}

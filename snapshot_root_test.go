@@ -1,0 +1,120 @@
+package prorp
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// buildPatterned drives ten days of a two-session daily pattern and
+// returns the fleet and database (physically paused with a prediction).
+func buildPatterned(t *testing.T) (*Fleet, *Database) {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.History = 7 * 24 * time.Hour
+	fleet, err := NewFleet(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := fleet.Create(1, t0.Add(9*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < 10; d++ {
+		base := t0.Add(time.Duration(d) * 24 * time.Hour)
+		if d > 0 {
+			fleet.Login(1, base.Add(9*time.Hour))
+		}
+		fleet.Idle(1, base.Add(12*time.Hour))
+		fleet.Login(1, base.Add(15*time.Hour))
+		fleet.Idle(1, base.Add(17*time.Hour))
+	}
+	if db.State() != PhysicallyPaused {
+		t.Fatalf("setup: state %v", db.State())
+	}
+	return fleet, db
+}
+
+func TestSnapshotMovesAcrossFleets(t *testing.T) {
+	_, db := buildPatterned(t)
+	var buf bytes.Buffer
+	if _, err := db.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// A new control plane (e.g. the destination node after a move)
+	// restores the database and can pre-warm it on schedule.
+	opts := DefaultOptions()
+	opts.History = 7 * 24 * time.Hour
+	fleet2, err := NewFleet(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, wakeAt, err := fleet2.Restore(1, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wakeAt.IsZero() {
+		t.Fatalf("physically paused restore requested wake at %v", wakeAt)
+	}
+	if restored.State() != PhysicallyPaused {
+		t.Fatalf("restored state %v", restored.State())
+	}
+	if fleet2.PausedCount() != 1 {
+		t.Fatal("restored pause metadata missing")
+	}
+	if restored.HistoryTuples() != db.HistoryTuples() {
+		t.Fatalf("history %d tuples, want %d", restored.HistoryTuples(), db.HistoryTuples())
+	}
+
+	due := t0.Add(10*24*time.Hour + 8*time.Hour + 55*time.Minute)
+	got := fleet2.RunResumeOp(due)
+	if len(got) != 1 || got[0].Decision.Event != EventPrewarm {
+		t.Fatalf("restored fleet RunResumeOp = %+v", got)
+	}
+	d, _ := fleet2.Login(1, t0.Add(10*24*time.Hour+9*time.Hour))
+	if d.Event != EventResumeWarm || !d.FromPrewarm {
+		t.Fatalf("restored login = %+v", d)
+	}
+}
+
+func TestRestoreLogicallyPausedReturnsWake(t *testing.T) {
+	opts := DefaultOptions()
+	db, err := NewDatabase(opts, 1, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := db.Idle(t0.Add(time.Hour)) // logical pause, wake at +8h
+	var buf bytes.Buffer
+	db.WriteTo(&buf)
+	restored, wakeAt, err := RestoreDatabase(opts, 1, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.State() != LogicallyPaused {
+		t.Fatalf("restored state %v", restored.State())
+	}
+	if !wakeAt.Equal(d.WakeAt) {
+		t.Fatalf("wakeAt = %v, want the original timer %v", wakeAt, d.WakeAt)
+	}
+	// The restored wake behaves like the original one.
+	got := restored.Wake(wakeAt)
+	if got.Event != EventPhysicalPause {
+		t.Fatalf("restored wake -> %v", got.Event)
+	}
+}
+
+func TestFleetRestoreRejectsDuplicate(t *testing.T) {
+	fleet, db := buildPatterned(t)
+	var buf bytes.Buffer
+	db.WriteTo(&buf)
+	if _, _, err := fleet.Restore(1, &buf); err == nil {
+		t.Fatal("duplicate restore accepted")
+	}
+}
+
+func TestRestoreDatabaseRejectsGarbage(t *testing.T) {
+	if _, _, err := RestoreDatabase(DefaultOptions(), 1, bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatal("garbage snapshot accepted")
+	}
+}

@@ -1,0 +1,123 @@
+package prorp
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// SyncedFleet is a mutex-guarded Fleet for multi-goroutine hosts (gateway
+// processes handling many databases' events concurrently). It exposes
+// operation-level methods only — handing out *Database from behind the
+// lock would defeat it. The underlying machinery is the same Algorithm 1 /
+// Algorithm 5 stack; the paper's online components are sharded per
+// database in production, which the single lock stands in for at library
+// scale.
+type SyncedFleet struct {
+	mu    sync.Mutex
+	fleet *Fleet
+}
+
+// NewSyncedFleet builds a concurrency-safe fleet.
+func NewSyncedFleet(opts Options) (*SyncedFleet, error) {
+	f, err := NewFleet(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &SyncedFleet{fleet: f}, nil
+}
+
+// Create adds a new database created at createdAt.
+func (s *SyncedFleet) Create(id int, createdAt time.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := s.fleet.Create(id, createdAt)
+	return err
+}
+
+// Login records the start of customer activity.
+func (s *SyncedFleet) Login(id int, t time.Time) (Decision, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fleet.Login(id, t)
+}
+
+// Idle records the end of customer activity.
+func (s *SyncedFleet) Idle(id int, t time.Time) (Decision, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fleet.Idle(id, t)
+}
+
+// Wake delivers a scheduled wake-up.
+func (s *SyncedFleet) Wake(id int, t time.Time) (Decision, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fleet.Wake(id, t)
+}
+
+// RunResumeOp runs one control-plane iteration (Algorithm 5).
+func (s *SyncedFleet) RunResumeOp(now time.Time) []Prewarmed {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fleet.RunResumeOp(now)
+}
+
+// State reports a database's lifecycle state.
+func (s *SyncedFleet) State(id int) (State, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	db, ok := s.fleet.Database(id)
+	if !ok {
+		return 0, fmt.Errorf("prorp: unknown database %d", id)
+	}
+	return db.State(), nil
+}
+
+// Size reports the number of databases.
+func (s *SyncedFleet) Size() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fleet.Size()
+}
+
+// PausedCount reports how many databases are physically paused.
+func (s *SyncedFleet) PausedCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fleet.PausedCount()
+}
+
+// Snapshot serializes one database (see Database.WriteTo).
+func (s *SyncedFleet) Snapshot(id int, w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	db, ok := s.fleet.Database(id)
+	if !ok {
+		return fmt.Errorf("prorp: unknown database %d", id)
+	}
+	_, err := db.WriteTo(w)
+	return err
+}
+
+// Restore adds a snapshotted database (see Fleet.Restore). The returned
+// wakeAt is non-zero when the host must schedule a Wake.
+func (s *SyncedFleet) Restore(id int, r io.Reader) (wakeAt time.Time, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, wakeAt, err = s.fleet.Restore(id, r)
+	return wakeAt, err
+}
+
+// PlanMaintenance schedules a maintenance operation for one database (see
+// Database.PlanMaintenance).
+func (s *SyncedFleet) PlanMaintenance(id int, now time.Time, duration time.Duration, deadline time.Time) (MaintenancePlan, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	db, ok := s.fleet.Database(id)
+	if !ok {
+		return MaintenancePlan{}, fmt.Errorf("prorp: unknown database %d", id)
+	}
+	return db.PlanMaintenance(now, duration, deadline)
+}

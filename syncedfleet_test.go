@@ -1,0 +1,139 @@
+package prorp
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSyncedFleetBasics(t *testing.T) {
+	// The default 28-day history keeps a fresh database unpredicted, so
+	// the first idle takes the logical-pause path.
+	sf, err := NewSyncedFleet(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sf.Create(1, t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sf.Create(1, t0); err == nil {
+		t.Fatal("duplicate Create accepted")
+	}
+	if sf.Size() != 1 {
+		t.Fatalf("Size = %d", sf.Size())
+	}
+	d, err := sf.Idle(1, t0.Add(time.Hour))
+	if err != nil || d.Event != EventLogicalPause {
+		t.Fatalf("Idle = %+v, %v", d, err)
+	}
+	st, err := sf.State(1)
+	if err != nil || st != LogicallyPaused {
+		t.Fatalf("State = %v, %v", st, err)
+	}
+	if _, err := sf.Wake(1, d.WakeAt); err != nil {
+		t.Fatal(err)
+	}
+	if sf.PausedCount() != 1 {
+		t.Fatalf("PausedCount = %d", sf.PausedCount())
+	}
+	if _, err := sf.Login(1, t0.Add(20*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown-database errors.
+	if _, err := sf.State(9); err == nil {
+		t.Error("State(9) succeeded")
+	}
+	if err := sf.Snapshot(9, &bytes.Buffer{}); err == nil {
+		t.Error("Snapshot(9) succeeded")
+	}
+	if _, err := sf.PlanMaintenance(9, t0, time.Minute, t0.Add(time.Hour)); err == nil {
+		t.Error("PlanMaintenance(9) succeeded")
+	}
+}
+
+func TestSyncedFleetSnapshotRestore(t *testing.T) {
+	opts := DefaultOptions()
+	sf, _ := NewSyncedFleet(opts)
+	sf.Create(1, t0)
+	sf.Idle(1, t0.Add(time.Hour))
+	var buf bytes.Buffer
+	if err := sf.Snapshot(1, &buf); err != nil {
+		t.Fatal(err)
+	}
+	sf2, _ := NewSyncedFleet(opts)
+	wakeAt, err := sf2.Restore(1, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wakeAt.IsZero() {
+		t.Fatal("logically paused restore needs a wake")
+	}
+	st, _ := sf2.State(1)
+	if st != LogicallyPaused {
+		t.Fatalf("restored state = %v", st)
+	}
+}
+
+func TestSyncedFleetConcurrentHammer(t *testing.T) {
+	// Run with -race: goroutines drive disjoint databases plus the shared
+	// control plane concurrently.
+	opts := DefaultOptions()
+	opts.History = 7 * 24 * time.Hour
+	sf, err := NewSyncedFleet(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dbs = 16
+	for i := 0; i < dbs; i++ {
+		if err := sf.Create(i, t0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var drivers sync.WaitGroup
+	for i := 0; i < dbs; i++ {
+		i := i
+		drivers.Add(1)
+		go func() {
+			defer drivers.Done()
+			for d := 0; d < 30; d++ {
+				base := t0.Add(time.Duration(d) * 24 * time.Hour)
+				if d > 0 {
+					if _, err := sf.Login(i, base.Add(9*time.Hour)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				if _, err := sf.Idle(i, base.Add(17*time.Hour)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	// The control plane hammers the shared metadata store until the
+	// drivers finish.
+	stop := make(chan struct{})
+	var cp sync.WaitGroup
+	cp.Add(1)
+	go func() {
+		defer cp.Done()
+		at := t0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sf.RunResumeOp(at)
+			sf.PausedCount()
+			at = at.Add(time.Minute)
+		}
+	}()
+	drivers.Wait()
+	close(stop)
+	cp.Wait()
+	if sf.Size() != dbs {
+		t.Fatalf("Size = %d", sf.Size())
+	}
+}
