@@ -1,0 +1,31 @@
+# Developer entry points; `make ci` is the gate every change must pass.
+
+GO ?= go
+
+.PHONY: ci fmt-check vet build test bench-short bench clean
+
+ci: fmt-check vet build test bench-short
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# One pass over the fleet-concurrency benchmark, as a smoke test.
+bench-short:
+	$(GO) test -run '^$$' -bench BenchmarkShardedVsSyncedFleet -benchtime 1x .
+
+# The full testing.B suite at quick scale.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+clean:
+	$(GO) clean ./...

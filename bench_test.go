@@ -7,6 +7,8 @@ package prorp
 // EXPERIMENTS.md) are produced by `go run ./cmd/prorp-bench`.
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -177,5 +179,72 @@ func BenchmarkFleetResumeOp(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		fleet.RunResumeOp(t0.Add(time.Duration(i) * time.Minute))
+	}
+}
+
+// benchFleetMixed drives a mixed login/logout workload over 10k databases
+// from a fixed number of goroutines, each owning a disjoint id range (as a
+// sharded gateway tier would).
+func benchFleetMixed(b *testing.B, f fleetDriver, goroutines int) {
+	const dbs = 10_000
+	base := time.Unix(1_700_000_000, 0)
+	for id := 0; id < dbs; id++ {
+		if err := f.Create(id, base); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		n := b.N / goroutines
+		if g < b.N%goroutines {
+			n++
+		}
+		lo, hi := g*dbs/goroutines, (g+1)*dbs/goroutines
+		wg.Add(1)
+		go func(lo, hi, n int) {
+			defer wg.Done()
+			at, id := base, lo
+			for i := 0; i < n; i++ {
+				at = at.Add(time.Minute)
+				if i%2 == 0 {
+					f.Idle(id, at)
+				} else {
+					f.Login(id, at)
+					if id++; id == hi {
+						id = lo
+					}
+				}
+			}
+		}(lo, hi, n)
+	}
+	wg.Wait()
+}
+
+// BenchmarkShardedVsSyncedFleet compares the single-mutex SyncedFleet with
+// the lock-striped ShardedFleet under concurrent event load. The striped
+// fleet's advantage needs real parallelism: on a multi-core host it scales
+// with the goroutine count while the global mutex serializes; on a single
+// hardware thread both degenerate to sequential execution (numbers in
+// EXPERIMENTS.md).
+func BenchmarkShardedVsSyncedFleet(b *testing.B) {
+	opts := DefaultOptions()
+	opts.History = 7 * 24 * time.Hour
+	for _, goroutines := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("synced/goroutines=%d", goroutines), func(b *testing.B) {
+			sf, err := NewSyncedFleet(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchFleetMixed(b, sf, goroutines)
+		})
+		b.Run(fmt.Sprintf("sharded/goroutines=%d", goroutines), func(b *testing.B) {
+			sh, err := NewShardedFleet(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sh.Close()
+			benchFleetMixed(b, sh, goroutines)
+		})
 	}
 }

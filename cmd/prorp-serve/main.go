@@ -1,0 +1,92 @@
+// Command prorp-serve runs the ProRP online serving runtime: a sharded
+// fleet engine behind an HTTP API, driven by wall-clock time, with a
+// background proactive-resume ticker (Algorithm 5), per-database wake-up
+// delivery, periodic snapshot persistence, restore-on-boot, and graceful
+// shutdown (drain, final snapshot) on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	prorp-serve -addr :8080 -snapshot /var/lib/prorp/fleet.snap
+//	prorp-serve -shards 64 -config opts.json -snapshot-every 30s
+//
+// See internal/server for the endpoint list, and "Running as a service" in
+// README.md for curl examples.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"prorp"
+	"prorp/internal/server"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8080", "listen address")
+		shards        = flag.Int("shards", 0, "fleet stripe count (0 = default)")
+		snapshotPath  = flag.String("snapshot", "", "snapshot file: restored on boot, rewritten periodically and on shutdown")
+		snapshotEvery = flag.Duration("snapshot-every", time.Minute, "periodic snapshot cadence")
+		configPath    = flag.String("config", "", "JSON options file (prorp.Options; default Table 1 knobs)")
+	)
+	flag.Parse()
+
+	opts := prorp.DefaultOptions()
+	if *configPath != "" {
+		data, err := os.ReadFile(*configPath)
+		if err != nil {
+			log.Fatalf("prorp-serve: %v", err)
+		}
+		if err := json.Unmarshal(data, &opts); err != nil {
+			log.Fatalf("prorp-serve: parsing %s: %v", *configPath, err)
+		}
+	}
+
+	srv, err := server.New(server.Config{
+		Options:       opts,
+		Shards:        *shards,
+		SnapshotPath:  *snapshotPath,
+		SnapshotEvery: *snapshotEvery,
+		Logf:          log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("prorp-serve: %v", err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("prorp-serve: listening on %s (%d shards, mode %s)",
+		*addr, srv.Fleet().Shards(), opts.Mode)
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	select {
+	case <-ctx.Done():
+		log.Printf("prorp-serve: shutting down")
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("prorp-serve: http: %v", err)
+		}
+	}
+
+	shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancelShutdown()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("prorp-serve: http shutdown: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		log.Printf("prorp-serve: %v", err)
+		os.Exit(1)
+	}
+	fmt.Println("prorp-serve: clean shutdown")
+}

@@ -1,0 +1,542 @@
+// Package server is the HTTP front end of the online serving runtime: a
+// stdlib net/http service over a prorp.ShardedFleet, driven by wall-clock
+// time. It owns the pieces the library leaves to the host — the
+// Algorithm 5 proactive-resume ticker, delivery of the per-database
+// wake-up timers the policy requests, periodic snapshot persistence, and
+// graceful shutdown with a final snapshot plus restore-on-boot.
+//
+// Endpoints:
+//
+//	POST   /v1/db               create a database        {"id":1,"created_at":...?}
+//	GET    /v1/db/{id}          state + current prediction (?windows=1 for the full scan)
+//	DELETE /v1/db/{id}          drop a database
+//	POST   /v1/db/{id}/login    customer activity started
+//	POST   /v1/db/{id}/logout   customer activity stopped
+//	GET    /v1/kpi              fleet KPI report
+//	GET    /healthz             liveness + fleet gauges
+//	POST   /v1/ops/resume       run one proactive-resume iteration now
+//	POST   /v1/ops/snapshot     persist a snapshot now
+//
+// All timestamps are RFC 3339; event times are assigned from the server
+// clock, exactly as the paper's gateway observes logins.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"prorp"
+	"prorp/internal/shardedfleet"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Options are the fleet's policy knobs; the zero value means
+	// prorp.DefaultOptions.
+	Options prorp.Options
+	// Shards is the fleet stripe count (0 = default).
+	Shards int
+	// SnapshotPath, when non-empty, enables persistence: the server
+	// restores from this file on boot (if it exists), rewrites it every
+	// SnapshotEvery, and writes it a final time on Close.
+	SnapshotPath string
+	// SnapshotEvery is the periodic-snapshot cadence (default 1 minute).
+	SnapshotEvery time.Duration
+	// Now overrides the clock, for tests (default time.Now).
+	Now func() time.Time
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// Server is the HTTP front end. It implements http.Handler.
+type Server struct {
+	cfg     Config
+	fleet   *prorp.ShardedFleet
+	now     func() time.Time
+	logf    func(string, ...any)
+	mux     *http.ServeMux
+	wakes   *wakeScheduler
+	started time.Time
+
+	// snapMu serializes snapshot writes (ticker vs. ops endpoint vs. Close).
+	snapMu sync.Mutex
+
+	stop      chan struct{}
+	bg        sync.WaitGroup
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// New builds the server, restoring the fleet from Config.SnapshotPath if a
+// snapshot exists there, and starts the background control loops. Callers
+// must Close it.
+func New(cfg Config) (*Server, error) {
+	if cfg.Options == (prorp.Options{}) {
+		cfg.Options = prorp.DefaultOptions()
+	}
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = time.Minute
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+
+	var (
+		fleet   *prorp.ShardedFleet
+		pending []prorp.PendingWake
+	)
+	if cfg.SnapshotPath != "" {
+		f, err := os.Open(cfg.SnapshotPath)
+		switch {
+		case err == nil:
+			fleet, pending, err = prorp.RestoreShardedFleet(cfg.Options, cfg.Shards, f)
+			f.Close()
+			if err != nil {
+				return nil, fmt.Errorf("server: restoring snapshot %s: %w", cfg.SnapshotPath, err)
+			}
+			cfg.Logf("restored %d databases (%d pending wakes) from %s",
+				fleet.Size(), len(pending), cfg.SnapshotPath)
+		case !os.IsNotExist(err):
+			return nil, fmt.Errorf("server: opening snapshot: %w", err)
+		}
+	}
+	if fleet == nil {
+		var err error
+		fleet, err = prorp.NewShardedFleetShards(cfg.Options, cfg.Shards)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	s := &Server{
+		cfg:     cfg,
+		fleet:   fleet,
+		now:     cfg.Now,
+		logf:    cfg.Logf,
+		wakes:   newWakeScheduler(),
+		started: cfg.Now(),
+		stop:    make(chan struct{}),
+	}
+	for _, w := range pending {
+		s.wakes.schedule(w.ID, w.WakeAt)
+	}
+	s.buildMux()
+
+	s.bg.Add(2)
+	go s.resumeLoop()
+	go s.wakeLoop()
+	if cfg.SnapshotPath != "" {
+		s.bg.Add(1)
+		go s.snapshotLoop()
+	}
+	return s, nil
+}
+
+// Close shuts the server down gracefully: it stops the control loops,
+// drains the fleet's shard queues, persists a final snapshot (when
+// persistence is configured), and stops the shard workers.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.stop)
+		s.bg.Wait()
+		s.fleet.Close() // drains shard queues, stops workers
+		if s.cfg.SnapshotPath != "" {
+			if _, err := s.writeSnapshot(); err != nil {
+				s.closeErr = fmt.Errorf("server: final snapshot: %w", err)
+				return
+			}
+			s.logf("final snapshot written to %s", s.cfg.SnapshotPath)
+		}
+	})
+	return s.closeErr
+}
+
+// Fleet exposes the underlying fleet, for host instrumentation.
+func (s *Server) Fleet() *prorp.ShardedFleet { return s.fleet }
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// ----- background control loops ------------------------------------------
+
+// resumeLoop runs the Algorithm 5 proactive-resume operation every
+// ResumeOpPeriod.
+func (s *Server) resumeLoop() {
+	defer s.bg.Done()
+	period := s.cfg.Options.ResumeOpPeriod
+	if period <= 0 {
+		period = time.Minute
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.tick(s.now())
+		}
+	}
+}
+
+// wakeLoop delivers the per-database wake-ups the policy schedules, at
+// their requested times.
+func (s *Server) wakeLoop() {
+	defer s.bg.Done()
+	for {
+		var timerC <-chan time.Time
+		var timer *time.Timer
+		if at, ok := s.wakes.next(); ok {
+			d := at.Sub(s.now())
+			if d < 0 {
+				d = 0
+			}
+			timer = time.NewTimer(d)
+			timerC = timer.C
+		}
+		select {
+		case <-s.stop:
+			if timer != nil {
+				timer.Stop()
+			}
+			return
+		case <-s.wakes.signal:
+			// An earlier deadline arrived; recompute the timer.
+		case <-timerC:
+			s.deliverDueWakes(s.now())
+		}
+		if timer != nil {
+			timer.Stop()
+		}
+	}
+}
+
+func (s *Server) snapshotLoop() {
+	defer s.bg.Done()
+	t := time.NewTicker(s.cfg.SnapshotEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			if _, err := s.writeSnapshot(); err != nil {
+				s.logf("periodic snapshot failed: %v", err)
+			}
+		}
+	}
+}
+
+// tick is one control-plane beat: deliver overdue wakes, then run the
+// proactive-resume operation and schedule the wakes of the pre-warmed
+// databases. Both the ticker and POST /v1/ops/resume land here.
+func (s *Server) tick(now time.Time) (wakesDelivered int, prewarmed []prorp.Prewarmed) {
+	wakesDelivered = s.deliverDueWakes(now)
+	prewarmed = s.fleet.RunResumeOp(now)
+	for _, pw := range prewarmed {
+		s.wakes.schedule(pw.ID, pw.Decision.WakeAt)
+	}
+	return wakesDelivered, prewarmed
+}
+
+func (s *Server) deliverDueWakes(now time.Time) int {
+	delivered := 0
+	for _, e := range s.wakes.due(now) {
+		d, err := s.fleet.Wake(e.id, now)
+		if err != nil {
+			continue // deleted since scheduling
+		}
+		delivered++
+		s.wakes.schedule(e.id, d.WakeAt)
+	}
+	return delivered
+}
+
+// writeSnapshot persists the fleet atomically: write to a temp file in the
+// target directory, fsync, rename.
+func (s *Server) writeSnapshot() (int64, error) {
+	path := s.cfg.SnapshotPath
+	if path == "" {
+		return 0, errors.New("snapshots disabled: no snapshot path configured")
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return 0, err
+	}
+	n, err := s.fleet.WriteTo(f)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(f.Name(), path)
+	}
+	if err != nil {
+		os.Remove(f.Name())
+		return n, err
+	}
+	return n, nil
+}
+
+// ----- HTTP handlers ------------------------------------------------------
+
+func (s *Server) buildMux() {
+	m := http.NewServeMux()
+	m.HandleFunc("POST /v1/db", s.handleCreate)
+	m.HandleFunc("GET /v1/db/{id}", s.handleGet)
+	m.HandleFunc("DELETE /v1/db/{id}", s.handleDelete)
+	m.HandleFunc("POST /v1/db/{id}/login", s.handleLogin)
+	m.HandleFunc("POST /v1/db/{id}/logout", s.handleLogout)
+	m.HandleFunc("GET /v1/kpi", s.handleKPI)
+	m.HandleFunc("GET /healthz", s.handleHealthz)
+	m.HandleFunc("POST /v1/ops/resume", s.handleOpsResume)
+	m.HandleFunc("POST /v1/ops/snapshot", s.handleOpsSnapshot)
+	s.mux = m
+}
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, shardedfleet.ErrUnknownDatabase):
+		status = http.StatusNotFound
+	case errors.Is(err, shardedfleet.ErrDuplicateDatabase):
+		status = http.StatusConflict
+	case errors.Is(err, shardedfleet.ErrClosed):
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, errorJSON{Error: err.Error()})
+}
+
+func pathID(r *http.Request) (int, error) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		return 0, fmt.Errorf("bad database id %q", r.PathValue("id"))
+	}
+	return id, nil
+}
+
+type decisionJSON struct {
+	Event       string     `json:"event"`
+	Allocate    bool       `json:"allocate"`
+	Reclaim     bool       `json:"reclaim"`
+	WakeAt      *time.Time `json:"wake_at,omitempty"`
+	FromPrewarm bool       `json:"from_prewarm"`
+	State       string     `json:"state"`
+}
+
+func (s *Server) decisionJSON(id int, d prorp.Decision) decisionJSON {
+	out := decisionJSON{
+		Event:       d.Event.String(),
+		Allocate:    d.Allocate,
+		Reclaim:     d.Reclaim,
+		FromPrewarm: d.FromPrewarm,
+	}
+	if !d.WakeAt.IsZero() {
+		at := d.WakeAt
+		out.WakeAt = &at
+	}
+	if st, err := s.fleet.State(id); err == nil {
+		out.State = st.String()
+	}
+	return out
+}
+
+type createRequest struct {
+	ID        int        `json:"id"`
+	CreatedAt *time.Time `json:"created_at,omitempty"`
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req createRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "bad create body: " + err.Error()})
+		return
+	}
+	createdAt := s.now()
+	if req.CreatedAt != nil {
+		createdAt = *req.CreatedAt
+	}
+	if err := s.fleet.Create(req.ID, createdAt); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"id":         req.ID,
+		"state":      prorp.Resumed.String(),
+		"created_at": createdAt.UTC(),
+	})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+		return
+	}
+	if err := s.fleet.Delete(id); err != nil {
+		writeErr(w, err)
+		return
+	}
+	s.wakes.schedule(id, time.Time{}) // cancel any pending wake
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "deleted": true})
+}
+
+func (s *Server) handleLogin(w http.ResponseWriter, r *http.Request) {
+	s.handleEvent(w, r, s.fleet.Login)
+}
+
+func (s *Server) handleLogout(w http.ResponseWriter, r *http.Request) {
+	s.handleEvent(w, r, s.fleet.Idle)
+}
+
+func (s *Server) handleEvent(w http.ResponseWriter, r *http.Request, apply func(int, time.Time) (prorp.Decision, error)) {
+	id, err := pathID(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+		return
+	}
+	d, err := apply(id, s.now())
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	// The returned WakeAt is the complete desired timer state; reconcile.
+	s.wakes.schedule(id, d.WakeAt)
+	writeJSON(w, http.StatusOK, s.decisionJSON(id, d))
+}
+
+type predictionJSON struct {
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end"`
+}
+
+type windowJSON struct {
+	Start       time.Time `json:"start"`
+	Probability float64   `json:"probability"`
+	Qualifies   bool      `json:"qualifies"`
+	Selected    bool      `json:"selected"`
+}
+
+type dbJSON struct {
+	ID                 int             `json:"id"`
+	State              string          `json:"state"`
+	ResourcesAvailable bool            `json:"resources_available"`
+	Prediction         *predictionJSON `json:"prediction"`
+	Windows            []windowJSON    `json:"windows,omitempty"`
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+		return
+	}
+	st, err := s.fleet.State(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	windows, start, end, ok, err := s.fleet.ExplainPrediction(id, s.now())
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	out := dbJSON{
+		ID:                 id,
+		State:              st.String(),
+		ResourcesAvailable: st != prorp.PhysicallyPaused,
+	}
+	if ok {
+		out.Prediction = &predictionJSON{Start: start, End: end}
+	}
+	if r.URL.Query().Get("windows") != "" {
+		out.Windows = make([]windowJSON, len(windows))
+		for i, win := range windows {
+			out.Windows[i] = windowJSON{
+				Start:       win.Start,
+				Probability: win.Probability,
+				Qualifies:   win.Qualifies,
+				Selected:    win.Selected,
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type kpiJSON struct {
+	prorp.FleetKPI
+	QoSPercent    float64   `json:"qos_percent"`
+	Shards        int       `json:"shards"`
+	PendingWakes  int       `json:"pending_wakes"`
+	Now           time.Time `json:"now"`
+	UptimeSeconds int64     `json:"uptime_seconds"`
+}
+
+func (s *Server) handleKPI(w http.ResponseWriter, r *http.Request) {
+	now := s.now()
+	kpi := s.fleet.KPI()
+	writeJSON(w, http.StatusOK, kpiJSON{
+		FleetKPI:      kpi,
+		QoSPercent:    kpi.QoSPercent(),
+		Shards:        s.fleet.Shards(),
+		PendingWakes:  s.wakes.pending(),
+		Now:           now.UTC(),
+		UptimeSeconds: int64(now.Sub(s.started) / time.Second),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"databases": s.fleet.Size(),
+		"paused":    s.fleet.PausedCount(),
+		"shards":    s.fleet.Shards(),
+	})
+}
+
+func (s *Server) handleOpsResume(w http.ResponseWriter, r *http.Request) {
+	wakes, prewarmed := s.tick(s.now())
+	ids := make([]int, len(prewarmed))
+	for i, pw := range prewarmed {
+		ids[i] = pw.ID
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"prewarmed":       ids,
+		"wakes_delivered": wakes,
+	})
+}
+
+func (s *Server) handleOpsSnapshot(w http.ResponseWriter, r *http.Request) {
+	n, err := s.writeSnapshot()
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorJSON{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"path":  s.cfg.SnapshotPath,
+		"bytes": n,
+	})
+}

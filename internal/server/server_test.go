@@ -1,0 +1,299 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"prorp"
+)
+
+var t0 = time.Date(2023, 9, 1, 0, 0, 0, 0, time.UTC)
+
+// fakeClock is an injectable clock the test moves forward explicitly; the
+// background tickers (real time) stay inert during the test.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Set(t time.Time) {
+	c.mu.Lock()
+	c.t = t
+	c.mu.Unlock()
+}
+
+func testOptions() prorp.Options {
+	opts := prorp.DefaultOptions()
+	opts.LogicalPause = time.Hour
+	// Keep the real-time proactive-resume ticker out of the test's way; the
+	// test drives control-plane beats through POST /v1/ops/resume.
+	opts.ResumeOpPeriod = time.Hour
+	return opts
+}
+
+// call sends one request through the handler and decodes the JSON reply.
+func call(t *testing.T, s *Server, method, path, body string) (int, map[string]any) {
+	t.Helper()
+	var r *strings.Reader
+	if body == "" {
+		r = strings.NewReader("")
+	} else {
+		r = strings.NewReader(body)
+	}
+	req := httptest.NewRequest(method, path, r)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	out := make(map[string]any)
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("%s %s: bad JSON %q: %v", method, path, rec.Body.String(), err)
+	}
+	return rec.Code, out
+}
+
+func wantStatus(t *testing.T, got int, want int, out map[string]any) {
+	t.Helper()
+	if got != want {
+		t.Fatalf("status = %d, want %d (%v)", got, want, out)
+	}
+}
+
+// TestServerLifecycleAndRestart walks the full serving story: create,
+// pattern-driven physical pause, proactive prewarm, warm login, snapshot,
+// graceful shutdown, and a second server restoring the fleet from the final
+// snapshot — the kill-and-restart contract.
+func TestServerLifecycleAndRestart(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "fleet.snap")
+	clock := &fakeClock{t: t0.Add(9 * time.Hour)}
+	srv, err := New(Config{
+		Options:      testOptions(),
+		Shards:       4,
+		SnapshotPath: snap,
+		Now:          clock.Now,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	code, out := call(t, srv, "POST", "/v1/db", `{"id":1}`)
+	wantStatus(t, code, http.StatusCreated, out)
+	if out["state"] != "resumed" {
+		t.Fatalf("create reply = %v", out)
+	}
+
+	// Three days of 09:00–17:00 activity: the third idle has enough matching
+	// days (3/28 >= 0.1) to predict tomorrow's login and physically pause.
+	day := 24 * time.Hour
+	for d := 0; d < 3; d++ {
+		if d > 0 {
+			clock.Set(t0.Add(time.Duration(d)*day + 9*time.Hour))
+			code, out = call(t, srv, "POST", "/v1/db/1/login", "")
+			wantStatus(t, code, http.StatusOK, out)
+			if out["event"] != "resume-warm" {
+				t.Fatalf("day %d login = %v", d, out)
+			}
+		}
+		clock.Set(t0.Add(time.Duration(d)*day + 17*time.Hour))
+		code, out = call(t, srv, "POST", "/v1/db/1/logout", "")
+		wantStatus(t, code, http.StatusOK, out)
+		want := "logical-pause"
+		if d == 2 {
+			want = "physical-pause"
+		}
+		if out["event"] != want {
+			t.Fatalf("day %d logout = %v, want event %s", d, out, want)
+		}
+	}
+
+	code, out = call(t, srv, "GET", "/v1/db/1", "")
+	wantStatus(t, code, http.StatusOK, out)
+	if out["state"] != "physically-paused" || out["resources_available"] != false {
+		t.Fatalf("GET db 1 = %v", out)
+	}
+	if out["prediction"] == nil {
+		t.Fatalf("paused database has no prediction: %v", out)
+	}
+	code, out = call(t, srv, "GET", "/v1/db/1?windows=1", "")
+	wantStatus(t, code, http.StatusOK, out)
+	if wins, _ := out["windows"].([]any); len(wins) == 0 {
+		t.Fatalf("windows scan empty: %v", out)
+	}
+
+	// A second database idles before any pattern exists: logical pause with
+	// a pending wake — it rides into the snapshot as the restart's timer.
+	clock.Set(t0.Add(3*day + 8*time.Hour))
+	code, out = call(t, srv, "POST", "/v1/db", `{"id":2}`)
+	wantStatus(t, code, http.StatusCreated, out)
+	clock.Set(t0.Add(3*day + 8*time.Hour + 30*time.Minute))
+	code, out = call(t, srv, "POST", "/v1/db/2/logout", "")
+	wantStatus(t, code, http.StatusOK, out)
+	if out["event"] != "logical-pause" || out["wake_at"] == nil {
+		t.Fatalf("db 2 logout = %v", out)
+	}
+
+	// Minutes ahead of the predicted login, one control-plane beat prewarms
+	// database 1.
+	clock.Set(t0.Add(3*day + 9*time.Hour - 4*time.Minute))
+	code, out = call(t, srv, "POST", "/v1/ops/resume", "")
+	wantStatus(t, code, http.StatusOK, out)
+	if pws, _ := out["prewarmed"].([]any); len(pws) != 1 || pws[0] != float64(1) {
+		t.Fatalf("ops/resume = %v", out)
+	}
+	code, out = call(t, srv, "GET", "/v1/db/1", "")
+	wantStatus(t, code, http.StatusOK, out)
+	if out["resources_available"] != true {
+		t.Fatalf("prewarmed db 1 = %v", out)
+	}
+
+	// The predicted login lands warm.
+	clock.Set(t0.Add(3*day + 9*time.Hour))
+	code, out = call(t, srv, "POST", "/v1/db/1/login", "")
+	wantStatus(t, code, http.StatusOK, out)
+	if out["event"] != "resume-warm" || out["from_prewarm"] != true {
+		t.Fatalf("prewarmed login = %v", out)
+	}
+
+	code, out = call(t, srv, "GET", "/v1/kpi", "")
+	wantStatus(t, code, http.StatusOK, out)
+	if out["databases"] != float64(2) || out["cold_resumes"] != float64(0) ||
+		out["prewarms"] != float64(1) || out["prewarms_used"] != float64(1) ||
+		out["qos_percent"] != float64(100) {
+		t.Fatalf("kpi = %v", out)
+	}
+	code, out = call(t, srv, "GET", "/healthz", "")
+	wantStatus(t, code, http.StatusOK, out)
+	if out["status"] != "ok" || out["databases"] != float64(2) {
+		t.Fatalf("healthz = %v", out)
+	}
+
+	code, out = call(t, srv, "POST", "/v1/ops/snapshot", "")
+	wantStatus(t, code, http.StatusOK, out)
+	if out["bytes"] == float64(0) {
+		t.Fatalf("ops/snapshot = %v", out)
+	}
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatal(err)
+	}
+
+	// End the day and shut down: Close drains the fleet and writes the
+	// final snapshot.
+	clock.Set(t0.Add(3*day + 17*time.Hour))
+	code, out = call(t, srv, "POST", "/v1/db/1/logout", "")
+	wantStatus(t, code, http.StatusOK, out)
+	if out["event"] != "physical-pause" {
+		t.Fatalf("final logout = %v", out)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// ----- restart ----------------------------------------------------------
+
+	clock.Set(t0.Add(3*day + 18*time.Hour))
+	srv2, err := New(Config{
+		Options:      testOptions(),
+		Shards:       4,
+		SnapshotPath: snap,
+		Now:          clock.Now,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+
+	code, out = call(t, srv2, "GET", "/healthz", "")
+	wantStatus(t, code, http.StatusOK, out)
+	if out["databases"] != float64(2) {
+		t.Fatalf("restored healthz = %v", out)
+	}
+	code, out = call(t, srv2, "GET", "/v1/db/1", "")
+	wantStatus(t, code, http.StatusOK, out)
+	if out["state"] != "physically-paused" {
+		t.Fatalf("restored db 1 = %v", out)
+	}
+
+	// Database 2's restored wake (09:30 on day 3) is already overdue: the
+	// wake loop delivers it right after boot, and without a prediction the
+	// wake physically pauses it.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		code, out = call(t, srv2, "GET", "/v1/db/2", "")
+		wantStatus(t, code, http.StatusOK, out)
+		if out["state"] == "physically-paused" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("restored db 2 never woke: %v", out)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The restored fleet is live: next morning's beat prewarms database 1
+	// again (database 2 paused without a prediction stays down).
+	clock.Set(t0.Add(4*day + 9*time.Hour - 4*time.Minute))
+	code, out = call(t, srv2, "POST", "/v1/ops/resume", "")
+	wantStatus(t, code, http.StatusOK, out)
+	if pws, _ := out["prewarmed"].([]any); len(pws) != 1 || pws[0] != float64(1) {
+		t.Fatalf("ops/resume after restart = %v", out)
+	}
+}
+
+func TestServerErrorPaths(t *testing.T) {
+	clock := &fakeClock{t: t0}
+	srv, err := New(Config{Options: testOptions(), Now: clock.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	code, out := call(t, srv, "POST", "/v1/db", `{"id":1}`)
+	wantStatus(t, code, http.StatusCreated, out)
+
+	code, out = call(t, srv, "POST", "/v1/db", `{"id":1}`)
+	wantStatus(t, code, http.StatusConflict, out)
+
+	code, out = call(t, srv, "POST", "/v1/db", `{`)
+	wantStatus(t, code, http.StatusBadRequest, out)
+
+	code, out = call(t, srv, "POST", "/v1/db/7/login", "")
+	wantStatus(t, code, http.StatusNotFound, out)
+
+	code, out = call(t, srv, "GET", "/v1/db/abc", "")
+	wantStatus(t, code, http.StatusBadRequest, out)
+
+	code, out = call(t, srv, "DELETE", "/v1/db/7", "")
+	wantStatus(t, code, http.StatusNotFound, out)
+
+	// Snapshots are disabled without a path.
+	code, out = call(t, srv, "POST", "/v1/ops/snapshot", "")
+	wantStatus(t, code, http.StatusInternalServerError, out)
+
+	// Delete cancels the database and its pending wake.
+	clock.Set(t0.Add(time.Hour))
+	code, out = call(t, srv, "POST", "/v1/db/1/logout", "")
+	wantStatus(t, code, http.StatusOK, out)
+	if out["wake_at"] == nil {
+		t.Fatalf("logout = %v", out)
+	}
+	code, out = call(t, srv, "DELETE", "/v1/db/1", "")
+	wantStatus(t, code, http.StatusOK, out)
+	code, out = call(t, srv, "GET", "/v1/kpi", "")
+	wantStatus(t, code, http.StatusOK, out)
+	if out["databases"] != float64(0) || out["pending_wakes"] != float64(0) {
+		t.Fatalf("kpi after delete = %v", out)
+	}
+}

@@ -1,0 +1,108 @@
+package server
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// wakeScheduler tracks the single pending wake-up per database that the
+// policy contract requires (Decision.WakeAt is the complete desired timer
+// state: a new decision replaces any earlier timer, zero cancels it). It is
+// a min-heap with lazy invalidation: superseded entries stay in the heap
+// and are dropped when popped, by checking them against the authoritative
+// per-database map.
+type wakeScheduler struct {
+	mu      sync.Mutex
+	heap    wakeHeap
+	current map[int]time.Time
+	// signal wakes the delivery loop to re-arm its timer after an earlier
+	// deadline was scheduled. Capacity 1: one pending kick is enough.
+	signal chan struct{}
+}
+
+type wakeEntry struct {
+	id int
+	at time.Time
+}
+
+func newWakeScheduler() *wakeScheduler {
+	return &wakeScheduler{
+		current: make(map[int]time.Time),
+		signal:  make(chan struct{}, 1),
+	}
+}
+
+// schedule records the desired wake-up for id; a zero at cancels it.
+func (w *wakeScheduler) schedule(id int, at time.Time) {
+	w.mu.Lock()
+	if at.IsZero() {
+		delete(w.current, id)
+		w.mu.Unlock()
+		return
+	}
+	w.current[id] = at
+	heap.Push(&w.heap, wakeEntry{id: id, at: at})
+	w.mu.Unlock()
+	select {
+	case w.signal <- struct{}{}:
+	default:
+	}
+}
+
+// next reports the earliest still-valid wake-up without removing it.
+func (w *wakeScheduler) next() (time.Time, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for len(w.heap) > 0 {
+		e := w.heap[0]
+		if cur, ok := w.current[e.id]; ok && cur.Equal(e.at) {
+			return e.at, true
+		}
+		heap.Pop(&w.heap) // superseded or cancelled
+	}
+	return time.Time{}, false
+}
+
+// due pops every valid wake-up with at <= now.
+func (w *wakeScheduler) due(now time.Time) []wakeEntry {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var out []wakeEntry
+	for len(w.heap) > 0 {
+		e := w.heap[0]
+		cur, ok := w.current[e.id]
+		if !ok || !cur.Equal(e.at) {
+			heap.Pop(&w.heap)
+			continue
+		}
+		if e.at.After(now) {
+			break
+		}
+		heap.Pop(&w.heap)
+		delete(w.current, e.id)
+		out = append(out, e)
+	}
+	return out
+}
+
+// pending reports the number of databases with a scheduled wake-up.
+func (w *wakeScheduler) pending() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.current)
+}
+
+type wakeHeap []wakeEntry
+
+func (h wakeHeap) Len() int            { return len(h) }
+func (h wakeHeap) Less(i, j int) bool  { return h[i].at.Before(h[j].at) }
+func (h wakeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *wakeHeap) Push(x interface{}) { *h = append(*h, x.(wakeEntry)) }
+func (h *wakeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

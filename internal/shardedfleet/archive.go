@@ -1,0 +1,145 @@
+package shardedfleet
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"prorp/internal/policy"
+)
+
+// The archive wire format is byte-identical to the root package's fleet
+// archive (fleetarchive.go), so archives move freely between a ShardedFleet
+// and a plain Fleet:
+//
+//	magic  uint32 'PRF1'
+//	count  uint32
+//	count x { id int64, size uint32, database snapshot (policy wire format) }
+const archiveMagic = 0x50524631 // "PRF1"
+
+// WriteTo archives the whole fleet, databases in id order, under a
+// consistent quiesce: every shard queue is drained (events enqueued before
+// the call are applied) and then all shard locks are held for the duration
+// of the write, so the image is a single point in time. It implements
+// io.WriterTo.
+func (rt *Runtime) WriteTo(w io.Writer) (int64, error) {
+	// After Close the workers have already drained the queues.
+	if err := rt.Drain(); err != nil && err != ErrClosed {
+		return 0, err
+	}
+	for _, s := range rt.shards {
+		s.mu.Lock()
+	}
+	defer func() {
+		for _, s := range rt.shards {
+			s.mu.Unlock()
+		}
+	}()
+
+	type member struct {
+		id int
+		m  *policy.Machine
+	}
+	var members []member
+	for _, s := range rt.shards {
+		for id, m := range s.dbs {
+			members = append(members, member{id, m})
+		}
+	}
+	sort.Slice(members, func(a, b int) bool { return members[a].id < members[b].id })
+
+	bw := bufio.NewWriter(w)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], archiveMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(members)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	written := int64(len(hdr))
+
+	var snap bytes.Buffer
+	for _, mb := range members {
+		snap.Reset()
+		if _, err := mb.m.WriteTo(&snap); err != nil {
+			return written, err
+		}
+		var rec [12]byte
+		binary.LittleEndian.PutUint64(rec[0:8], uint64(int64(mb.id)))
+		binary.LittleEndian.PutUint32(rec[8:12], uint32(snap.Len()))
+		if _, err := bw.Write(rec[:]); err != nil {
+			return written, err
+		}
+		written += int64(len(rec))
+		n, err := bw.Write(snap.Bytes())
+		written += int64(n)
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, bw.Flush()
+}
+
+// RestoreDB adds one snapshotted database (policy wire format) to the
+// fleet, re-registering its control-plane metadata. The returned wakeAt is
+// non-zero when the database was logically paused and the host must deliver
+// a Wake at (or after) that time.
+func (rt *Runtime) RestoreDB(id int, r io.Reader) (wakeAt int64, err error) {
+	s := rt.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.dbs[id]; exists {
+		return 0, fmt.Errorf("%w: %d", ErrDuplicateDatabase, id)
+	}
+	m, err := policy.Restore(rt.cfg.Policy, r)
+	if err != nil {
+		return 0, err
+	}
+	s.dbs[id] = m
+	if m.State() == policy.PhysicallyPaused && rt.cfg.Policy.Mode == policy.Proactive {
+		s.meta.SetPaused(id, m.NextActivity().Start)
+	}
+	return m.RestoredTimer(), nil
+}
+
+// PendingWake pairs a restored database with the wake-up its host must
+// schedule, in epoch seconds.
+type PendingWake struct {
+	ID     int
+	WakeAt int64
+}
+
+// RestoreArchive loads a whole fleet archive (WriteTo format — this
+// package's or the root package's) into the runtime, distributing databases
+// to their owning shards. It returns the wake-ups the host must schedule.
+func (rt *Runtime) RestoreArchive(r io.Reader) ([]PendingWake, error) {
+	br := bufio.NewReader(r)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("shardedfleet: reading fleet archive header: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(hdr[0:4]); got != archiveMagic {
+		return nil, fmt.Errorf("shardedfleet: bad fleet archive magic %#x", got)
+	}
+	count := binary.LittleEndian.Uint32(hdr[4:8])
+
+	var wakes []PendingWake
+	for i := uint32(0); i < count; i++ {
+		var rec [12]byte
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("shardedfleet: reading archive entry %d of %d: %w", i, count, err)
+		}
+		id := int(int64(binary.LittleEndian.Uint64(rec[0:8])))
+		size := binary.LittleEndian.Uint32(rec[8:12])
+		wakeAt, err := rt.RestoreDB(id, io.LimitReader(br, int64(size)))
+		if err != nil {
+			return nil, fmt.Errorf("shardedfleet: restoring database %d: %w", id, err)
+		}
+		if wakeAt > 0 {
+			wakes = append(wakes, PendingWake{ID: id, WakeAt: wakeAt})
+		}
+	}
+	return wakes, nil
+}

@@ -1,0 +1,605 @@
+// Package shardedfleet is the online serving runtime of ProRP: a
+// lock-striped fleet that partitions databases across N shards, each shard
+// owning its databases (and its slice of the control-plane metadata store)
+// behind its own mutex. Unrelated databases therefore never contend — the
+// library-scale stand-in for the paper's production per-database sharding
+// that the single global mutex of prorp.SyncedFleet cannot provide.
+//
+// Two mutation paths share the per-shard lock:
+//
+//   - The synchronous path (Login, Logout, Wake, Create, Delete) locks the
+//     owning shard, applies the event, and returns the policy effects.
+//   - The asynchronous path (Submit/TrySubmit) enqueues into the shard's
+//     bounded event channel; a per-shard worker goroutine drains it in FIFO
+//     order, so events submitted for the same database apply in submission
+//     order. A full queue makes Submit block (backpressure) and TrySubmit
+//     fail fast with ErrBacklog.
+//
+// Events for one database must flow through one path at a time: the relative
+// order of a synchronous call racing a queued asynchronous event is
+// unspecified (both are applied atomically under the shard lock either way).
+//
+// The Algorithm 5 proactive-resume scan (RunResumeOp) walks the shards
+// concurrently, merges the due databases, applies the fleet-wide
+// per-iteration cap, and pre-warms shard by shard. Snapshots (WriteTo) take
+// a consistent fleet image by draining every queue and then quiescing all
+// shards at once.
+package shardedfleet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"prorp/internal/controlplane"
+	"prorp/internal/policy"
+)
+
+const (
+	// DefaultShards is the stripe count used when Config.Shards is 0. It is
+	// deliberately larger than typical host core counts: stripes are cheap,
+	// and more stripes mean fewer hash collisions between hot databases.
+	DefaultShards = 32
+	// DefaultQueueDepth bounds each shard's asynchronous event queue when
+	// Config.QueueDepth is 0.
+	DefaultQueueDepth = 1024
+)
+
+// ErrClosed is returned by operations on a runtime after Close.
+var ErrClosed = errors.New("shardedfleet: runtime closed")
+
+// ErrBacklog is returned by TrySubmit when the owning shard's queue is full.
+var ErrBacklog = errors.New("shardedfleet: shard event queue full")
+
+// ErrUnknownDatabase and ErrDuplicateDatabase classify lookup failures for
+// errors.Is, so hosts (the HTTP front end) can map them to status codes.
+var (
+	ErrUnknownDatabase   = errors.New("shardedfleet: unknown database")
+	ErrDuplicateDatabase = errors.New("shardedfleet: database already exists")
+)
+
+// Config assembles a runtime.
+type Config struct {
+	// Shards is the stripe count (default DefaultShards).
+	Shards int
+	// QueueDepth bounds each shard's asynchronous event queue (default
+	// DefaultQueueDepth).
+	QueueDepth int
+	// Policy configures the per-database lifecycle controllers.
+	Policy policy.Config
+	// Control configures the Algorithm 5 proactive-resume operation. Only
+	// validated and used in proactive mode.
+	Control controlplane.Config
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Shards < 0 {
+		return fmt.Errorf("shardedfleet: negative shard count %d", c.Shards)
+	}
+	if c.QueueDepth < 0 {
+		return fmt.Errorf("shardedfleet: negative queue depth %d", c.QueueDepth)
+	}
+	if err := c.Policy.Validate(); err != nil {
+		return err
+	}
+	if c.Policy.Mode == policy.Proactive {
+		return c.Control.Validate()
+	}
+	return nil
+}
+
+// Kind classifies an event.
+type Kind int
+
+const (
+	// KindLogin is the start of customer activity.
+	KindLogin Kind = iota
+	// KindLogout is the end of customer activity.
+	KindLogout
+	// KindCreate adds a database (At is its creation time).
+	KindCreate
+	// KindDelete drops a database.
+	KindDelete
+	// KindWake delivers a scheduled wake-up timer.
+	KindWake
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindLogin:
+		return "login"
+	case KindLogout:
+		return "logout"
+	case KindCreate:
+		return "create"
+	case KindDelete:
+		return "delete"
+	case KindWake:
+		return "wake"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one fleet mutation, in epoch seconds like every internal
+// component.
+type Event struct {
+	Kind Kind
+	DB   int
+	At   int64
+	// Reply, when non-nil, receives the Result of an asynchronously
+	// submitted event. It must have capacity >= 1: the shard worker never
+	// blocks on a reply, and drops the result if the channel is full.
+	Reply chan<- Result
+
+	// barrier is the internal drain marker; the worker closes it once every
+	// earlier event in the queue has been applied.
+	barrier chan struct{}
+}
+
+// Result is the outcome of an applied event.
+type Result struct {
+	Effects policy.Effects
+	Err     error
+}
+
+// Counters are the runtime's cumulative KPI counters, maintained per shard
+// and summed on read.
+type Counters struct {
+	Creates, Deletes       uint64
+	Logins, Logouts, Wakes uint64
+	// WarmResumes / ColdResumes split first logins after idle by whether
+	// resources were still available — the paper's QoS numerator/complement.
+	WarmResumes, ColdResumes      uint64
+	LogicalPauses, PhysicalPauses uint64
+	// Prewarms counts Algorithm 5 proactive resumes; Used/Wasted classify
+	// how each pre-warm ended (next login warm vs. paused again untouched).
+	Prewarms, PrewarmsUsed, PrewarmsWasted uint64
+}
+
+func (c *Counters) add(o Counters) {
+	c.Creates += o.Creates
+	c.Deletes += o.Deletes
+	c.Logins += o.Logins
+	c.Logouts += o.Logouts
+	c.Wakes += o.Wakes
+	c.WarmResumes += o.WarmResumes
+	c.ColdResumes += o.ColdResumes
+	c.LogicalPauses += o.LogicalPauses
+	c.PhysicalPauses += o.PhysicalPauses
+	c.Prewarms += o.Prewarms
+	c.PrewarmsUsed += o.PrewarmsUsed
+	c.PrewarmsWasted += o.PrewarmsWasted
+}
+
+// shard owns a partition of the fleet: its databases, its slice of the
+// control-plane metadata store, its KPI counters, and its event queue.
+type shard struct {
+	mu     sync.Mutex
+	dbs    map[int]*policy.Machine
+	meta   *controlplane.MetadataStore
+	kpi    Counters
+	events chan Event
+}
+
+// Runtime is the sharded fleet engine. Safe for concurrent use.
+type Runtime struct {
+	cfg    Config
+	shards []*shard
+
+	// lifecycle guards closed: Submit/Drain hold it for reading across the
+	// channel send, Close holds it for writing while closing the channels.
+	lifecycle sync.RWMutex
+	closed    bool
+	workers   sync.WaitGroup
+}
+
+// New builds a runtime and starts one worker goroutine per shard. Callers
+// must Close it to stop the workers.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.Shards == 0 {
+		cfg.Shards = DefaultShards
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rt := &Runtime{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	for i := range rt.shards {
+		rt.shards[i] = &shard{
+			dbs:    make(map[int]*policy.Machine),
+			meta:   controlplane.NewMetadataStore(),
+			events: make(chan Event, cfg.QueueDepth),
+		}
+		rt.workers.Add(1)
+		go rt.worker(rt.shards[i])
+	}
+	return rt, nil
+}
+
+// Close drains and stops every shard worker. Queued events are still
+// applied; further Submit calls fail with ErrClosed. Synchronous reads and
+// WriteTo remain usable after Close.
+func (rt *Runtime) Close() {
+	rt.lifecycle.Lock()
+	if rt.closed {
+		rt.lifecycle.Unlock()
+		return
+	}
+	rt.closed = true
+	for _, s := range rt.shards {
+		close(s.events)
+	}
+	rt.lifecycle.Unlock()
+	rt.workers.Wait()
+}
+
+// NumShards reports the stripe count.
+func (rt *Runtime) NumShards() int { return len(rt.shards) }
+
+// shardIndex is FNV-1a over the database id's 8 little-endian bytes.
+func (rt *Runtime) shardIndex(id int) int {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	v := uint64(int64(id))
+	for i := 0; i < 8; i++ {
+		h ^= uint32(byte(v >> (8 * i)))
+		h *= prime32
+	}
+	return int(h % uint32(len(rt.shards)))
+}
+
+func (rt *Runtime) shardFor(id int) *shard { return rt.shards[rt.shardIndex(id)] }
+
+// worker drains one shard's queue, applying each event under the shard
+// lock. One worker per shard keeps the per-database submission order.
+func (rt *Runtime) worker(s *shard) {
+	defer rt.workers.Done()
+	for ev := range s.events {
+		if ev.barrier != nil {
+			close(ev.barrier)
+			continue
+		}
+		s.mu.Lock()
+		res := s.apply(ev, &rt.cfg)
+		s.mu.Unlock()
+		if ev.Reply != nil {
+			select {
+			case ev.Reply <- res:
+			default: // undersized reply channel; never stall the shard
+			}
+		}
+	}
+}
+
+// apply performs one event. Caller holds s.mu.
+func (s *shard) apply(ev Event, cfg *Config) Result {
+	switch ev.Kind {
+	case KindCreate:
+		if _, exists := s.dbs[ev.DB]; exists {
+			return Result{Err: fmt.Errorf("%w: %d", ErrDuplicateDatabase, ev.DB)}
+		}
+		m, err := policy.New(cfg.Policy, ev.At)
+		if err != nil {
+			return Result{Err: err}
+		}
+		s.dbs[ev.DB] = m
+		s.kpi.Creates++
+		return Result{}
+	case KindDelete:
+		if _, exists := s.dbs[ev.DB]; !exists {
+			return Result{Err: fmt.Errorf("%w: %d", ErrUnknownDatabase, ev.DB)}
+		}
+		delete(s.dbs, ev.DB)
+		s.meta.ClearPaused(ev.DB)
+		s.kpi.Deletes++
+		return Result{}
+	}
+
+	m, ok := s.dbs[ev.DB]
+	if !ok {
+		return Result{Err: fmt.Errorf("%w: %d", ErrUnknownDatabase, ev.DB)}
+	}
+	var eff policy.Effects
+	switch ev.Kind {
+	case KindLogin:
+		s.kpi.Logins++
+		eff = m.OnActivityStart(ev.At)
+	case KindLogout:
+		s.kpi.Logouts++
+		eff = m.OnActivityEnd(ev.At)
+	case KindWake:
+		s.kpi.Wakes++
+		eff = m.OnTimer(ev.At)
+	default:
+		return Result{Err: fmt.Errorf("shardedfleet: bad event kind %d", ev.Kind)}
+	}
+	s.record(ev.DB, eff)
+	return Result{Effects: eff}
+}
+
+// record maintains the control-plane metadata (Algorithm 1 line 31 writes,
+// reactive-resume clears) and the KPI counters for one transition. Caller
+// holds s.mu.
+func (s *shard) record(id int, eff policy.Effects) {
+	switch eff.Transition {
+	case policy.TransResumeWarm:
+		s.kpi.WarmResumes++
+		if eff.FromPrewarm {
+			s.kpi.PrewarmsUsed++
+		}
+	case policy.TransResumeCold:
+		s.kpi.ColdResumes++
+		s.meta.ClearPaused(id)
+	case policy.TransLogicalPause:
+		s.kpi.LogicalPauses++
+	case policy.TransPhysicalPause:
+		s.kpi.PhysicalPauses++
+		if eff.FromPrewarm {
+			s.kpi.PrewarmsWasted++
+		}
+		if eff.MetadataSet {
+			s.meta.SetPaused(id, eff.MetadataStart)
+		}
+	case policy.TransPrewarm:
+		s.kpi.Prewarms++
+	}
+}
+
+// do applies one event synchronously under the owning shard's lock.
+func (rt *Runtime) do(ev Event) (policy.Effects, error) {
+	s := rt.shardFor(ev.DB)
+	s.mu.Lock()
+	res := s.apply(ev, &rt.cfg)
+	s.mu.Unlock()
+	return res.Effects, res.Err
+}
+
+// Create adds a new database created at createdAt.
+func (rt *Runtime) Create(id int, createdAt int64) error {
+	_, err := rt.do(Event{Kind: KindCreate, DB: id, At: createdAt})
+	return err
+}
+
+// Delete drops a database and its control-plane metadata.
+func (rt *Runtime) Delete(id int) error {
+	_, err := rt.do(Event{Kind: KindDelete, DB: id})
+	return err
+}
+
+// Login records the start of customer activity.
+func (rt *Runtime) Login(id int, at int64) (policy.Effects, error) {
+	return rt.do(Event{Kind: KindLogin, DB: id, At: at})
+}
+
+// Logout records the end of customer activity.
+func (rt *Runtime) Logout(id int, at int64) (policy.Effects, error) {
+	return rt.do(Event{Kind: KindLogout, DB: id, At: at})
+}
+
+// Wake delivers a scheduled wake-up.
+func (rt *Runtime) Wake(id int, at int64) (policy.Effects, error) {
+	return rt.do(Event{Kind: KindWake, DB: id, At: at})
+}
+
+// Submit enqueues an event on the owning shard's queue, blocking while the
+// queue is full. The shard worker applies queued events in FIFO order.
+func (rt *Runtime) Submit(ev Event) error {
+	rt.lifecycle.RLock()
+	defer rt.lifecycle.RUnlock()
+	if rt.closed {
+		return ErrClosed
+	}
+	rt.shardFor(ev.DB).events <- ev
+	return nil
+}
+
+// TrySubmit enqueues an event without blocking; a full queue yields
+// ErrBacklog so the caller can shed load.
+func (rt *Runtime) TrySubmit(ev Event) error {
+	rt.lifecycle.RLock()
+	defer rt.lifecycle.RUnlock()
+	if rt.closed {
+		return ErrClosed
+	}
+	select {
+	case rt.shardFor(ev.DB).events <- ev:
+		return nil
+	default:
+		return ErrBacklog
+	}
+}
+
+// Drain blocks until every event enqueued before the call has been applied,
+// by pushing a barrier through each shard queue.
+func (rt *Runtime) Drain() error {
+	rt.lifecycle.RLock()
+	if rt.closed {
+		rt.lifecycle.RUnlock()
+		return ErrClosed
+	}
+	barriers := make([]chan struct{}, len(rt.shards))
+	for i, s := range rt.shards {
+		barriers[i] = make(chan struct{})
+		s.events <- Event{barrier: barriers[i]}
+	}
+	rt.lifecycle.RUnlock()
+	for _, b := range barriers {
+		<-b
+	}
+	return nil
+}
+
+// Backlog reports the number of queued (not yet applied) events.
+func (rt *Runtime) Backlog() int {
+	n := 0
+	for _, s := range rt.shards {
+		n += len(s.events)
+	}
+	return n
+}
+
+// View runs f on the database's controller under the owning shard's lock.
+// f must not retain the machine or call back into the runtime.
+func (rt *Runtime) View(id int, f func(*policy.Machine)) error {
+	s := rt.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.dbs[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownDatabase, id)
+	}
+	f(m)
+	return nil
+}
+
+// State reports a database's lifecycle state.
+func (rt *Runtime) State(id int) (policy.State, error) {
+	var st policy.State
+	err := rt.View(id, func(m *policy.Machine) { st = m.State() })
+	return st, err
+}
+
+// Size reports the number of databases.
+func (rt *Runtime) Size() int {
+	n := 0
+	for _, s := range rt.shards {
+		s.mu.Lock()
+		n += len(s.dbs)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// PausedCount reports how many databases are physically paused according to
+// the control-plane metadata.
+func (rt *Runtime) PausedCount() int {
+	n := 0
+	for _, s := range rt.shards {
+		s.mu.Lock()
+		n += s.meta.PausedCount()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// StateCounts tallies databases by lifecycle state.
+func (rt *Runtime) StateCounts() (resumed, logical, physical int) {
+	for _, s := range rt.shards {
+		s.mu.Lock()
+		for _, m := range s.dbs {
+			switch m.State() {
+			case policy.Resumed:
+				resumed++
+			case policy.LogicallyPaused:
+				logical++
+			case policy.PhysicallyPaused:
+				physical++
+			}
+		}
+		s.mu.Unlock()
+	}
+	return resumed, logical, physical
+}
+
+// KPI sums the per-shard counters.
+func (rt *Runtime) KPI() Counters {
+	var total Counters
+	for _, s := range rt.shards {
+		s.mu.Lock()
+		total.add(s.kpi)
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// Prewarmed pairs a pre-warmed database with the effects of its pre-warm.
+type Prewarmed struct {
+	ID      int
+	Effects policy.Effects
+}
+
+// RunResumeOp runs one iteration of the proactive resume operation
+// (Algorithm 5) across all shards: phase one scans every shard's metadata
+// concurrently for due databases, the merged set is capped fleet-wide
+// (MaxPrewarmsPerOp; overflow stays for the next iteration), and phase two
+// pre-warms the survivors shard by shard, again concurrently. Results are
+// sorted by database id.
+func (rt *Runtime) RunResumeOp(now int64) []Prewarmed {
+	if rt.cfg.Policy.Mode != policy.Proactive {
+		return nil
+	}
+	due := make([][]int, len(rt.shards))
+	var wg sync.WaitGroup
+	for i, s := range rt.shards {
+		wg.Add(1)
+		go func(i int, s *shard) {
+			defer wg.Done()
+			s.mu.Lock()
+			due[i] = s.meta.SelectDue(now, rt.cfg.Control.PrewarmLeadSec, rt.cfg.Control.OpPeriodSec)
+			s.mu.Unlock()
+		}(i, s)
+	}
+	wg.Wait()
+
+	var merged []int
+	for _, d := range due {
+		merged = append(merged, d...)
+	}
+	sort.Ints(merged)
+	if cap := rt.cfg.Control.MaxPrewarmsPerOp; cap > 0 && len(merged) > cap {
+		merged = merged[:cap]
+	}
+	if len(merged) == 0 {
+		return nil
+	}
+
+	byShard := make(map[int][]int)
+	for _, id := range merged {
+		i := rt.shardIndex(id)
+		byShard[i] = append(byShard[i], id)
+	}
+	results := make([][]Prewarmed, len(rt.shards))
+	for i, ids := range byShard {
+		wg.Add(1)
+		go func(i int, ids []int) {
+			defer wg.Done()
+			s := rt.shards[i]
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			for _, id := range ids {
+				// Re-check under the lock: the database may have resumed,
+				// been deleted, or been pre-warmed since the scan phase.
+				if _, paused := s.meta.PredictedStart(id); !paused {
+					continue
+				}
+				s.meta.ClearPaused(id)
+				m, ok := s.dbs[id]
+				if !ok {
+					continue
+				}
+				eff := m.OnPrewarm(now)
+				if eff.Transition != policy.TransPrewarm {
+					continue // stale entry
+				}
+				s.record(id, eff)
+				results[i] = append(results[i], Prewarmed{ID: id, Effects: eff})
+			}
+		}(i, ids)
+	}
+	wg.Wait()
+
+	var out []Prewarmed
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}

@@ -1,0 +1,424 @@
+package shardedfleet
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"prorp/internal/controlplane"
+	"prorp/internal/policy"
+	"prorp/internal/predictor"
+)
+
+// t0 is 2023-09-01 00:00 UTC, matching the root package's tests.
+const t0 = int64(1693526400)
+
+const day = int64(86400)
+
+// testCfg returns a proactive configuration that predicts quickly: 7-day
+// history (one matching day clears c = 0.1), 1-hour logical pause.
+func testCfg(shards int) Config {
+	return Config{
+		Shards: shards,
+		Policy: policy.Config{
+			Mode:            policy.Proactive,
+			LogicalPauseSec: 3600,
+			Predictor: predictor.Params{
+				HistoryDays:  7,
+				HorizonHours: 24,
+				Confidence:   0.1,
+				WindowSec:    3600,
+				SlideSec:     300,
+				Seasonality:  predictor.Daily,
+			},
+		},
+		Control: controlplane.DefaultConfig(),
+	}
+}
+
+// cfg28 is testCfg with the paper's 28-day history: a fresh database then
+// has no prediction until three matching days accumulate (3/28 >= 0.1), so
+// first idles take the logical-pause path.
+func cfg28(shards int) Config {
+	cfg := testCfg(shards)
+	cfg.Policy.Predictor.HistoryDays = 28
+	return cfg
+}
+
+func mustNew(t *testing.T, cfg Config) *Runtime {
+	t.Helper()
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+func TestRuntimeBasics(t *testing.T) {
+	rt := mustNew(t, cfg28(4))
+	if err := rt.Create(1, t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Create(1, t0); !errors.Is(err, ErrDuplicateDatabase) {
+		t.Fatalf("duplicate Create = %v", err)
+	}
+	if _, err := rt.Login(9, t0); !errors.Is(err, ErrUnknownDatabase) {
+		t.Fatalf("unknown Login = %v", err)
+	}
+	if rt.Size() != 1 {
+		t.Fatalf("Size = %d", rt.Size())
+	}
+
+	// A fresh database has no prediction: end of activity takes the
+	// logical-pause path and schedules a wake at pauseStart+l.
+	eff, err := rt.Logout(1, t0+3600)
+	if err != nil || eff.Transition != policy.TransLogicalPause {
+		t.Fatalf("Logout = %+v, %v", eff, err)
+	}
+	if eff.TimerAt != t0+2*3600 {
+		t.Fatalf("TimerAt = %d", eff.TimerAt)
+	}
+	if st, _ := rt.State(1); st != policy.LogicallyPaused {
+		t.Fatalf("State = %v", st)
+	}
+
+	// The wake finds no prediction and physically pauses.
+	eff, err = rt.Wake(1, eff.TimerAt)
+	if err != nil || eff.Transition != policy.TransPhysicalPause {
+		t.Fatalf("Wake = %+v, %v", eff, err)
+	}
+	if rt.PausedCount() != 1 {
+		t.Fatalf("PausedCount = %d", rt.PausedCount())
+	}
+
+	// The next login is a cold (reactive) resume and clears the metadata.
+	eff, err = rt.Login(1, t0+20*3600)
+	if err != nil || eff.Transition != policy.TransResumeCold {
+		t.Fatalf("Login = %+v, %v", eff, err)
+	}
+	if rt.PausedCount() != 0 {
+		t.Fatalf("PausedCount after cold resume = %d", rt.PausedCount())
+	}
+
+	kpi := rt.KPI()
+	if kpi.Creates != 1 || kpi.Logins != 1 || kpi.Logouts != 1 || kpi.Wakes != 1 ||
+		kpi.ColdResumes != 1 || kpi.LogicalPauses != 1 || kpi.PhysicalPauses != 1 {
+		t.Fatalf("KPI = %+v", kpi)
+	}
+
+	if err := rt.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Delete(1); !errors.Is(err, ErrUnknownDatabase) {
+		t.Fatalf("double Delete = %v", err)
+	}
+	if rt.Size() != 0 {
+		t.Fatalf("Size after delete = %d", rt.Size())
+	}
+}
+
+// driveDailyPattern feeds one database a 09:00–17:00 daily activity pattern
+// for the given days and returns the time of the last logout. The machine
+// starts active at birth (09:00 of day 0).
+func driveDailyPattern(t *testing.T, rt *Runtime, id int, days int) int64 {
+	t.Helper()
+	birth := t0 + 9*3600
+	if err := rt.Create(id, birth); err != nil {
+		t.Fatal(err)
+	}
+	var last int64
+	for d := 0; d < days; d++ {
+		if d > 0 {
+			if _, err := rt.Login(id, t0+int64(d)*day+9*3600); err != nil {
+				t.Fatal(err)
+			}
+		}
+		last = t0 + int64(d)*day + 17*3600
+		if _, err := rt.Logout(id, last); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return last
+}
+
+func TestProactiveResumeAcrossShards(t *testing.T) {
+	rt := mustNew(t, testCfg(8))
+	const dbs = 24
+	for id := 0; id < dbs; id++ {
+		driveDailyPattern(t, rt, id, 2)
+	}
+	// Day 1's logout at 17:00 predicts day 2's 09:00 login; 18:00 is more
+	// than l ahead of it, so every database physically paused right away.
+	if got := rt.PausedCount(); got != dbs {
+		t.Fatalf("PausedCount = %d, want %d", got, dbs)
+	}
+
+	// Nothing is due the evening before.
+	if pws := rt.RunResumeOp(t0 + 1*day + 18*3600); len(pws) != 0 {
+		t.Fatalf("due at 18:00 = %v", pws)
+	}
+
+	// Minutes ahead of the predicted login every shard's scan finds its
+	// databases; the merge returns all of them, sorted.
+	pws := rt.RunResumeOp(t0 + 2*day + 9*3600 - 120)
+	if len(pws) != dbs {
+		t.Fatalf("prewarmed %d databases, want %d", len(pws), dbs)
+	}
+	for i, pw := range pws {
+		if pw.ID != i {
+			t.Fatalf("prewarmed[%d].ID = %d (not sorted)", i, pw.ID)
+		}
+		if pw.Effects.Transition != policy.TransPrewarm || !pw.Effects.Allocate {
+			t.Fatalf("prewarmed[%d] = %+v", i, pw.Effects)
+		}
+	}
+	if got := rt.PausedCount(); got != 0 {
+		t.Fatalf("PausedCount after resume op = %d", got)
+	}
+
+	// The pre-warmed logins land warm.
+	for id := 0; id < dbs; id++ {
+		eff, err := rt.Login(id, t0+2*day+9*3600)
+		if err != nil || eff.Transition != policy.TransResumeWarm || !eff.FromPrewarm {
+			t.Fatalf("Login(%d) = %+v, %v", id, eff, err)
+		}
+	}
+	kpi := rt.KPI()
+	if kpi.Prewarms != dbs || kpi.PrewarmsUsed != dbs || kpi.PrewarmsWasted != 0 {
+		t.Fatalf("KPI = %+v", kpi)
+	}
+}
+
+func TestResumeOpFleetWideCap(t *testing.T) {
+	cfg := testCfg(8)
+	cfg.Control.MaxPrewarmsPerOp = 5
+	rt := mustNew(t, cfg)
+	const dbs = 12
+	for id := 0; id < dbs; id++ {
+		driveDailyPattern(t, rt, id, 2)
+	}
+	at := t0 + 2*day + 9*3600 - 120
+	first := rt.RunResumeOp(at)
+	if len(first) != 5 {
+		t.Fatalf("first op prewarmed %d, want 5 (fleet-wide cap)", len(first))
+	}
+	// The cap is applied after the cross-shard merge and sort, so the
+	// lowest ids win regardless of their shard.
+	for i, pw := range first {
+		if pw.ID != i {
+			t.Fatalf("first[%d].ID = %d", i, pw.ID)
+		}
+	}
+	// Overflow stays queued for the following iterations.
+	second := rt.RunResumeOp(at + 60)
+	third := rt.RunResumeOp(at + 120)
+	if len(second) != 5 || len(third) != 2 {
+		t.Fatalf("follow-up ops = %d, %d; want 5, 2", len(second), len(third))
+	}
+}
+
+func TestAsyncSubmitPreservesPerDatabaseOrder(t *testing.T) {
+	rt := mustNew(t, cfg28(4))
+	const cycles = 100
+	if err := rt.Create(1, t0); err != nil {
+		t.Fatal(err)
+	}
+	// Alternating logout/login pairs, one minute apart, all submitted
+	// asynchronously. The single worker per shard drains FIFO, so the
+	// machine sees strict start/end alternation — each event inserts one
+	// history tuple. Any reordering would produce a repeated start or end,
+	// which the machine ignores (no insert), shrinking the count.
+	at := t0
+	for c := 0; c < cycles; c++ {
+		at += 60
+		if err := rt.Submit(Event{Kind: KindLogout, DB: 1, At: at}); err != nil {
+			t.Fatal(err)
+		}
+		at += 60
+		if err := rt.Submit(Event{Kind: KindLogin, DB: 1, At: at}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rt.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	var tuples int
+	if err := rt.View(1, func(m *policy.Machine) { tuples = m.History().Len() }); err != nil {
+		t.Fatal(err)
+	}
+	if want := 1 + 2*cycles; tuples != want {
+		t.Fatalf("history tuples = %d, want %d (events applied out of order?)", tuples, want)
+	}
+	kpi := rt.KPI()
+	if kpi.Logins != cycles || kpi.Logouts != cycles ||
+		kpi.LogicalPauses != cycles || kpi.WarmResumes != cycles {
+		t.Fatalf("KPI = %+v", kpi)
+	}
+}
+
+func TestAsyncReplyAndBackpressure(t *testing.T) {
+	cfg := cfg28(2)
+	cfg.QueueDepth = 2
+	rt := mustNew(t, cfg)
+	if err := rt.Create(1, t0); err != nil {
+		t.Fatal(err)
+	}
+
+	reply := make(chan Result, 1)
+	if err := rt.Submit(Event{Kind: KindLogout, DB: 1, At: t0 + 60, Reply: reply}); err != nil {
+		t.Fatal(err)
+	}
+	res := <-reply
+	if res.Err != nil || res.Effects.Transition != policy.TransLogicalPause {
+		t.Fatalf("reply = %+v", res)
+	}
+
+	// Holding the shard lock via View stalls the worker, so TrySubmit must
+	// hit the bounded queue within depth+1 attempts (one event may already
+	// be in the worker's hands).
+	var sawBacklog bool
+	if err := rt.View(1, func(*policy.Machine) {
+		for i := 0; i < cfg.QueueDepth+2; i++ {
+			if err := rt.TrySubmit(Event{Kind: KindLogin, DB: 1, At: t0 + 120}); errors.Is(err, ErrBacklog) {
+				sawBacklog = true
+				return
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !sawBacklog {
+		t.Fatal("TrySubmit never returned ErrBacklog with a stalled worker")
+	}
+	if err := rt.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloseStopsAsyncKeepsReads(t *testing.T) {
+	rt, err := New(cfg28(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Create(1, t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Submit(Event{Kind: KindLogout, DB: 1, At: t0 + 60}); err != nil {
+		t.Fatal(err)
+	}
+	rt.Close()
+	rt.Close() // idempotent
+
+	// The queued logout was drained before the workers exited.
+	if st, err := rt.State(1); err != nil || st != policy.LogicallyPaused {
+		t.Fatalf("State after close = %v, %v", st, err)
+	}
+	if err := rt.Submit(Event{Kind: KindLogin, DB: 1, At: t0 + 120}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after close = %v", err)
+	}
+	if err := rt.Drain(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Drain after close = %v", err)
+	}
+	var buf bytes.Buffer
+	if _, err := rt.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo after close: %v", err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty archive")
+	}
+}
+
+func TestConcurrentHammer(t *testing.T) {
+	// Run with -race: synchronous drivers on disjoint databases, async
+	// submitters, the resume op, snapshots, and KPI reads all at once.
+	rt := mustNew(t, testCfg(8))
+	const (
+		drivers   = 8
+		dbsPer    = 8
+		daysEach  = 4
+		asyncBase = 10_000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < drivers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < dbsPer; i++ {
+				id := g*dbsPer + i
+				if err := rt.Create(id, t0+9*3600); err != nil {
+					t.Error(err)
+					return
+				}
+				for d := 0; d < daysEach; d++ {
+					if d > 0 {
+						if _, err := rt.Login(id, t0+int64(d)*day+9*3600); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+					if _, err := rt.Logout(id, t0+int64(d)*day+17*3600); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	// Async submitters on a disjoint id range.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			id := asyncBase + g
+			if err := rt.Create(id, t0); err != nil {
+				t.Error(err)
+				return
+			}
+			at := t0
+			for c := 0; c < 50; c++ {
+				at += 60
+				if err := rt.Submit(Event{Kind: KindLogout, DB: id, At: at}); err != nil {
+					t.Error(err)
+					return
+				}
+				at += 60
+				if err := rt.Submit(Event{Kind: KindLogin, DB: id, At: at}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	stop := make(chan struct{})
+	var cp sync.WaitGroup
+	cp.Add(1)
+	go func() {
+		defer cp.Done()
+		at := t0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			rt.RunResumeOp(at)
+			rt.PausedCount()
+			rt.KPI()
+			rt.StateCounts()
+			var buf bytes.Buffer
+			if _, err := rt.WriteTo(&buf); err != nil {
+				t.Error(err)
+				return
+			}
+			at += 60
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	cp.Wait()
+	if got, want := rt.Size(), drivers*dbsPer+2; got != want {
+		t.Fatalf("Size = %d, want %d", got, want)
+	}
+}

@@ -360,6 +360,17 @@ func (f *Fleet) Database(id int) (*Database, bool) {
 	return db, ok
 }
 
+// Delete drops a database from the fleet and clears its control-plane
+// metadata, so a pending proactive resume for it cannot fire.
+func (f *Fleet) Delete(id int) error {
+	if _, ok := f.dbs[id]; !ok {
+		return fmt.Errorf("prorp: unknown database %d", id)
+	}
+	delete(f.dbs, id)
+	f.meta.ClearPaused(id)
+	return nil
+}
+
 // Size reports the number of databases in the fleet.
 func (f *Fleet) Size() int { return len(f.dbs) }
 

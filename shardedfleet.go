@@ -1,0 +1,280 @@
+package prorp
+
+import (
+	"io"
+	"time"
+
+	"prorp/internal/maintenance"
+	"prorp/internal/policy"
+	"prorp/internal/predictor"
+	"prorp/internal/shardedfleet"
+)
+
+// ShardedFleet is the online serving runtime: a lock-striped fleet that
+// partitions databases across shards (FNV hash on database id), each shard
+// behind its own mutex with a worker goroutine draining a bounded event
+// queue — so unrelated databases never contend, unlike SyncedFleet's
+// single global mutex. It mirrors the SyncedFleet API (switching is one
+// constructor change) and adds whole-fleet snapshots, deletion, live KPI
+// counters, and prediction introspection. See internal/shardedfleet for the
+// runtime's concurrency contract.
+//
+// Callers must Close a ShardedFleet to stop its shard workers.
+type ShardedFleet struct {
+	rt   *shardedfleet.Runtime
+	opts Options
+}
+
+// NewShardedFleet builds a sharded fleet with the default stripe count.
+func NewShardedFleet(opts Options) (*ShardedFleet, error) {
+	return NewShardedFleetShards(opts, 0)
+}
+
+// NewShardedFleetShards builds a sharded fleet with an explicit stripe
+// count (0 = default).
+func NewShardedFleetShards(opts Options, shards int) (*ShardedFleet, error) {
+	rt, err := shardedfleet.New(shardedfleet.Config{
+		Shards:  shards,
+		Policy:  opts.policyConfig(),
+		Control: opts.controlPlaneConfig(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedFleet{rt: rt, opts: opts}, nil
+}
+
+// Close stops the shard workers after draining queued events. The fleet
+// stays readable and snapshottable; asynchronous submission fails
+// afterwards, while synchronous operations remain usable.
+func (s *ShardedFleet) Close() { s.rt.Close() }
+
+// Shards reports the stripe count.
+func (s *ShardedFleet) Shards() int { return s.rt.NumShards() }
+
+// Create adds a new database created at createdAt.
+func (s *ShardedFleet) Create(id int, createdAt time.Time) error {
+	return s.rt.Create(id, createdAt.Unix())
+}
+
+// Delete drops a database and its control-plane metadata.
+func (s *ShardedFleet) Delete(id int) error { return s.rt.Delete(id) }
+
+// Login records the start of customer activity.
+func (s *ShardedFleet) Login(id int, t time.Time) (Decision, error) {
+	eff, err := s.rt.Login(id, t.Unix())
+	return decisionFrom(eff), err
+}
+
+// Idle records the end of customer activity.
+func (s *ShardedFleet) Idle(id int, t time.Time) (Decision, error) {
+	eff, err := s.rt.Logout(id, t.Unix())
+	return decisionFrom(eff), err
+}
+
+// Wake delivers a scheduled wake-up.
+func (s *ShardedFleet) Wake(id int, t time.Time) (Decision, error) {
+	eff, err := s.rt.Wake(id, t.Unix())
+	return decisionFrom(eff), err
+}
+
+// RunResumeOp runs one control-plane iteration (Algorithm 5), scanning the
+// shards concurrently and merging the due databases under the fleet-wide
+// per-iteration cap.
+func (s *ShardedFleet) RunResumeOp(now time.Time) []Prewarmed {
+	pws := s.rt.RunResumeOp(now.Unix())
+	out := make([]Prewarmed, len(pws))
+	for i, pw := range pws {
+		out[i] = Prewarmed{ID: pw.ID, Decision: decisionFrom(pw.Effects)}
+	}
+	return out
+}
+
+// State reports a database's lifecycle state.
+func (s *ShardedFleet) State(id int) (State, error) {
+	st, err := s.rt.State(id)
+	return State(st), err
+}
+
+// Size reports the number of databases.
+func (s *ShardedFleet) Size() int { return s.rt.Size() }
+
+// PausedCount reports how many databases are physically paused.
+func (s *ShardedFleet) PausedCount() int { return s.rt.PausedCount() }
+
+// NextPredictedActivity returns a database's current prediction, if any
+// (see Database.NextPredictedActivity for its caveats).
+func (s *ShardedFleet) NextPredictedActivity(id int) (start, end time.Time, ok bool, err error) {
+	var next predictor.Activity
+	if err = s.rt.View(id, func(m *policy.Machine) { next = m.NextActivity() }); err != nil {
+		return time.Time{}, time.Time{}, false, err
+	}
+	if next.IsZero() {
+		return time.Time{}, time.Time{}, false, nil
+	}
+	return time.Unix(next.Start, 0).UTC(), time.Unix(next.End, 0).UTC(), true, nil
+}
+
+// ExplainPrediction scans every candidate window for one database as of
+// now (see Database.ExplainPrediction). The scan runs under the owning
+// shard's lock; it is for debugging and tooling, not the hot path.
+func (s *ShardedFleet) ExplainPrediction(id int, now time.Time) (windows []PredictionWindow, start, end time.Time, ok bool, err error) {
+	var stats []predictor.WindowStat
+	var pred predictor.Activity
+	verr := s.rt.View(id, func(m *policy.Machine) {
+		stats, pred, ok = predictor.Explain(m.History(), s.opts.policyConfig().Predictor, now.Unix())
+	})
+	if verr != nil {
+		return nil, time.Time{}, time.Time{}, false, verr
+	}
+	windows = make([]PredictionWindow, len(stats))
+	for i, st := range stats {
+		windows[i] = PredictionWindow{
+			Start:       time.Unix(st.WinStart, 0).UTC(),
+			Probability: st.Probability,
+			Qualifies:   st.Qualifies,
+			Selected:    st.Selected,
+		}
+	}
+	if !ok {
+		return windows, time.Time{}, time.Time{}, false, nil
+	}
+	return windows, time.Unix(pred.Start, 0).UTC(), time.Unix(pred.End, 0).UTC(), true, nil
+}
+
+// PlanMaintenance schedules a maintenance operation for one database (see
+// Database.PlanMaintenance).
+func (s *ShardedFleet) PlanMaintenance(id int, now time.Time, duration time.Duration, deadline time.Time) (MaintenancePlan, error) {
+	var (
+		avail bool
+		next  predictor.Activity
+	)
+	if err := s.rt.View(id, func(m *policy.Machine) {
+		avail = m.ResourcesAvailable()
+		next = m.NextActivity()
+	}); err != nil {
+		return MaintenancePlan{}, err
+	}
+	plan, err := maintenance.Schedule(maintenance.Op{
+		DB:          id,
+		DurationSec: int64(duration / time.Second),
+		DeadlineSec: deadline.Unix(),
+	}, now.Unix(), avail, next)
+	if err != nil {
+		return MaintenancePlan{}, err
+	}
+	return MaintenancePlan{
+		Start:        time.Unix(plan.Start, 0).UTC(),
+		Strategy:     MaintenanceStrategy(plan.Strategy),
+		AvoidsResume: plan.AvoidsResume,
+	}, nil
+}
+
+// Snapshot serializes one database (see Database.WriteTo).
+func (s *ShardedFleet) Snapshot(id int, w io.Writer) error {
+	var err error
+	if verr := s.rt.View(id, func(m *policy.Machine) { _, err = m.WriteTo(w) }); verr != nil {
+		return verr
+	}
+	return err
+}
+
+// Restore adds a snapshotted database (see Fleet.Restore). The returned
+// wakeAt is non-zero when the host must schedule a Wake.
+func (s *ShardedFleet) Restore(id int, r io.Reader) (wakeAt time.Time, err error) {
+	ts, err := s.rt.RestoreDB(id, r)
+	if err != nil {
+		return time.Time{}, err
+	}
+	if ts > 0 {
+		wakeAt = time.Unix(ts, 0).UTC()
+	}
+	return wakeAt, nil
+}
+
+// WriteTo archives the whole fleet under a consistent quiesce, in the same
+// wire format as Fleet.WriteTo — archives move freely between the two. It
+// implements io.WriterTo.
+func (s *ShardedFleet) WriteTo(w io.Writer) (int64, error) { return s.rt.WriteTo(w) }
+
+// RestoreShardedFleet reconstructs a sharded fleet (0 shards = default
+// stripe count) from an archive written by Fleet.WriteTo,
+// SyncedFleet.WriteTo, or ShardedFleet.WriteTo, under possibly re-trained
+// options. It returns the wake-ups the host must schedule for logically
+// paused databases.
+func RestoreShardedFleet(opts Options, shards int, r io.Reader) (*ShardedFleet, []PendingWake, error) {
+	sf, err := NewShardedFleetShards(opts, shards)
+	if err != nil {
+		return nil, nil, err
+	}
+	pending, err := sf.rt.RestoreArchive(r)
+	if err != nil {
+		sf.Close()
+		return nil, nil, err
+	}
+	wakes := make([]PendingWake, len(pending))
+	for i, p := range pending {
+		wakes[i] = PendingWake{ID: p.ID, WakeAt: time.Unix(p.WakeAt, 0).UTC()}
+	}
+	return sf, wakes, nil
+}
+
+// FleetKPI is a point-in-time operational report over a ShardedFleet:
+// cumulative transition counters since the fleet started (they are not
+// persisted in snapshots) plus current state gauges.
+type FleetKPI struct {
+	// Gauges.
+	Databases        int `json:"databases"`
+	Resumed          int `json:"resumed"`
+	LogicallyPaused  int `json:"logically_paused"`
+	PhysicallyPaused int `json:"physically_paused"`
+	QueuedEvents     int `json:"queued_events"`
+	// Counters.
+	Creates        uint64 `json:"creates"`
+	Deletes        uint64 `json:"deletes"`
+	Logins         uint64 `json:"logins"`
+	Logouts        uint64 `json:"logouts"`
+	Wakes          uint64 `json:"wakes"`
+	WarmResumes    uint64 `json:"warm_resumes"`
+	ColdResumes    uint64 `json:"cold_resumes"`
+	LogicalPauses  uint64 `json:"logical_pauses"`
+	PhysicalPauses uint64 `json:"physical_pauses"`
+	Prewarms       uint64 `json:"prewarms"`
+	PrewarmsUsed   uint64 `json:"prewarms_used"`
+	PrewarmsWasted uint64 `json:"prewarms_wasted"`
+}
+
+// QoSPercent is the paper's headline KPI over the counters: the share of
+// first logins after idle that found resources available.
+func (k FleetKPI) QoSPercent() float64 {
+	total := k.WarmResumes + k.ColdResumes
+	if total == 0 {
+		return 100
+	}
+	return 100 * float64(k.WarmResumes) / float64(total)
+}
+
+// KPI reports the fleet's live KPI counters and state gauges.
+func (s *ShardedFleet) KPI() FleetKPI {
+	c := s.rt.KPI()
+	resumed, logical, physical := s.rt.StateCounts()
+	return FleetKPI{
+		Databases:        resumed + logical + physical,
+		Resumed:          resumed,
+		LogicallyPaused:  logical,
+		PhysicallyPaused: physical,
+		QueuedEvents:     s.rt.Backlog(),
+		Creates:          c.Creates,
+		Deletes:          c.Deletes,
+		Logins:           c.Logins,
+		Logouts:          c.Logouts,
+		Wakes:            c.Wakes,
+		WarmResumes:      c.WarmResumes,
+		ColdResumes:      c.ColdResumes,
+		LogicalPauses:    c.LogicalPauses,
+		PhysicalPauses:   c.PhysicalPauses,
+		Prewarms:         c.Prewarms,
+		PrewarmsUsed:     c.PrewarmsUsed,
+		PrewarmsWasted:   c.PrewarmsWasted,
+	}
+}

@@ -1,0 +1,441 @@
+package prorp
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fleetDriver is the operation surface shared by SyncedFleet and
+// ShardedFleet; the equivalence test drives both through it.
+type fleetDriver interface {
+	Create(id int, createdAt time.Time) error
+	Login(id int, t time.Time) (Decision, error)
+	Idle(id int, t time.Time) (Decision, error)
+	Wake(id int, t time.Time) (Decision, error)
+	RunResumeOp(now time.Time) []Prewarmed
+	State(id int) (State, error)
+	PausedCount() int
+}
+
+var (
+	_ fleetDriver = (*SyncedFleet)(nil)
+	_ fleetDriver = (*ShardedFleet)(nil)
+)
+
+func equivOptions() Options {
+	opts := DefaultOptions()
+	opts.History = 7 * 24 * time.Hour
+	opts.LogicalPause = time.Hour
+	return opts
+}
+
+// driveScript replays a fixed multi-day workload — staggered daily
+// 09:00–17:00 patterns, wake-up delivery, and a resume-op sweep every five
+// minutes — and returns a textual trace of every Decision the fleet made.
+func driveScript(t *testing.T, f fleetDriver) []string {
+	t.Helper()
+	const dbs = 10
+	const days = 4
+
+	type event struct {
+		at    time.Time
+		id    int
+		login bool
+	}
+	var script []event
+	for id := 0; id < dbs; id++ {
+		stagger := time.Duration(id) * time.Minute
+		if err := f.Create(id, t0.Add(9*time.Hour+stagger)); err != nil {
+			t.Fatal(err)
+		}
+		for d := 0; d < days; d++ {
+			base := t0.Add(time.Duration(d) * 24 * time.Hour)
+			if d > 0 {
+				script = append(script, event{base.Add(9*time.Hour + stagger), id, true})
+			}
+			script = append(script, event{base.Add(17*time.Hour + stagger), id, false})
+		}
+	}
+	sort.Slice(script, func(i, j int) bool {
+		if !script[i].at.Equal(script[j].at) {
+			return script[i].at.Before(script[j].at)
+		}
+		return script[i].id < script[j].id
+	})
+
+	var trace []string
+	pending := make(map[int]time.Time)
+	record := func(kind string, id int, d Decision) {
+		trace = append(trace, fmt.Sprintf("%s %d %+v", kind, id, d))
+		if d.WakeAt.IsZero() {
+			delete(pending, id)
+		} else {
+			pending[id] = d.WakeAt
+		}
+	}
+	// advance delivers due wake-ups (in id order for determinism) up to now.
+	advance := func(now time.Time) {
+		for {
+			due := -1
+			for id, at := range pending {
+				if !at.After(now) && (due < 0 || id < due) {
+					due = id
+				}
+			}
+			if due < 0 {
+				return
+			}
+			at := pending[due]
+			d, err := f.Wake(due, at)
+			if err != nil {
+				t.Fatal(err)
+			}
+			record("wake", due, d)
+		}
+	}
+
+	next := 0
+	for tick := t0; !tick.After(t0.Add((days + 1) * 24 * time.Hour)); tick = tick.Add(5 * time.Minute) {
+		for next < len(script) && !script[next].at.After(tick) {
+			ev := script[next]
+			next++
+			advance(ev.at)
+			var (
+				d   Decision
+				err error
+			)
+			kind := "idle"
+			if ev.login {
+				kind = "login"
+				d, err = f.Login(ev.id, ev.at)
+			} else {
+				d, err = f.Idle(ev.id, ev.at)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			record(kind, ev.id, d)
+		}
+		advance(tick)
+		for _, pw := range f.RunResumeOp(tick) {
+			record("prewarm", pw.ID, pw.Decision)
+		}
+		trace = append(trace, fmt.Sprintf("paused %d @%d", f.PausedCount(), tick.Unix()))
+	}
+	for id := 0; id < dbs; id++ {
+		st, err := f.State(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trace = append(trace, fmt.Sprintf("state %d %v", id, st))
+	}
+	return trace
+}
+
+func TestShardedFleetMirrorsSyncedFleet(t *testing.T) {
+	// The sharded runtime must be observationally identical to the
+	// single-lock fleet: same decisions, same resume-op prewarm sets, same
+	// states — switching implementations is one constructor change.
+	sy, err := NewSyncedFleet(equivOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := NewShardedFleetShards(equivOptions(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+
+	want := driveScript(t, sy)
+	got := driveScript(t, sh)
+	if len(got) != len(want) {
+		t.Fatalf("trace lengths differ: sharded %d, synced %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("trace[%d]:\nsharded: %s\nsynced:  %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestShardedFleetConcurrentMatchesReplay(t *testing.T) {
+	// Goroutines drive disjoint databases concurrently; the result must be
+	// byte-identical (per-database snapshots) to a single-threaded replay of
+	// the same per-database sequences, and the KPI counters must equal the
+	// replay's transition tally.
+	opts := equivOptions()
+	sh, err := NewShardedFleetShards(opts, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+
+	const dbs = 16
+	const cycles = 20
+	for id := 0; id < dbs; id++ {
+		if err := sh.Create(id, t0.Add(time.Duration(id)*time.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for id := 0; id < dbs; id++ {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			at := t0.Add(time.Duration(id) * time.Second)
+			for c := 0; c < cycles; c++ {
+				at = at.Add(30 * time.Minute)
+				if _, err := sh.Idle(id, at); err != nil {
+					t.Error(err)
+					return
+				}
+				at = at.Add(30 * time.Minute)
+				if _, err := sh.Login(id, at); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Single-threaded replay on the plain Fleet.
+	fl, err := NewFleet(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantKPI FleetKPI
+	tally := func(d Decision) {
+		switch d.Event {
+		case EventResumeWarm:
+			wantKPI.WarmResumes++
+		case EventResumeCold:
+			wantKPI.ColdResumes++
+		case EventLogicalPause:
+			wantKPI.LogicalPauses++
+		case EventPhysicalPause:
+			wantKPI.PhysicalPauses++
+		}
+	}
+	for id := 0; id < dbs; id++ {
+		if _, err := fl.Create(id, t0.Add(time.Duration(id)*time.Second)); err != nil {
+			t.Fatal(err)
+		}
+		at := t0.Add(time.Duration(id) * time.Second)
+		for c := 0; c < cycles; c++ {
+			at = at.Add(30 * time.Minute)
+			d, err := fl.Idle(id, at)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tally(d)
+			at = at.Add(30 * time.Minute)
+			d, err = fl.Login(id, at)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tally(d)
+		}
+	}
+
+	for id := 0; id < dbs; id++ {
+		var got, want bytes.Buffer
+		if err := sh.Snapshot(id, &got); err != nil {
+			t.Fatal(err)
+		}
+		db, _ := fl.Database(id)
+		if _, err := db.WriteTo(&want); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Fatalf("database %d snapshot differs from single-threaded replay", id)
+		}
+	}
+	if sh.PausedCount() != fl.PausedCount() {
+		t.Fatalf("PausedCount = %d, replay %d", sh.PausedCount(), fl.PausedCount())
+	}
+	kpi := sh.KPI()
+	if kpi.WarmResumes != wantKPI.WarmResumes || kpi.ColdResumes != wantKPI.ColdResumes ||
+		kpi.LogicalPauses != wantKPI.LogicalPauses || kpi.PhysicalPauses != wantKPI.PhysicalPauses {
+		t.Fatalf("KPI = %+v, replay tally %+v", kpi, wantKPI)
+	}
+	if kpi.Logins != dbs*cycles || kpi.Logouts != dbs*cycles || kpi.Creates != dbs {
+		t.Fatalf("KPI event counts = %+v", kpi)
+	}
+}
+
+func TestFleetArchiveInterop(t *testing.T) {
+	// Archives move freely between SyncedFleet, ShardedFleet, and Fleet:
+	// same wire format, same restored states, same pending wakes.
+	// The default 28-day history keeps database 4 unpredicted after its
+	// single login, so it logically pauses (pending wake); databases 0..3
+	// run a four-day daily pattern — enough matching days to predict — and
+	// end physically paused; database 5 stays active.
+	opts := DefaultOptions()
+	opts.LogicalPause = time.Hour
+	sy, err := NewSyncedFleet(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < 4; id++ {
+		if err := sy.Create(id, t0.Add(9*time.Hour)); err != nil {
+			t.Fatal(err)
+		}
+		for d := 0; d < 4; d++ {
+			base := t0.Add(time.Duration(d) * 24 * time.Hour)
+			if d > 0 {
+				if _, err := sy.Login(id, base.Add(9*time.Hour)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := sy.Idle(id, base.Add(17*time.Hour)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := sy.Create(4, t0.Add(9*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sy.Idle(4, t0.Add(10*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sy.Create(5, t0.Add(9*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+
+	wantState := func(t *testing.T, f fleetDriver) {
+		t.Helper()
+		for id := 0; id < 6; id++ {
+			want, err := sy.State(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := f.State(id)
+			if err != nil || got != want {
+				t.Fatalf("State(%d) = %v, %v; want %v", id, got, err, want)
+			}
+		}
+	}
+
+	var syncedArchive bytes.Buffer
+	if _, err := sy.WriteTo(&syncedArchive); err != nil {
+		t.Fatal(err)
+	}
+
+	// SyncedFleet archive -> ShardedFleet.
+	sh, shWakes, err := RestoreShardedFleet(opts, 3, bytes.NewReader(syncedArchive.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	if sh.Size() != 6 || sh.PausedCount() != sy.PausedCount() {
+		t.Fatalf("restored sharded: Size %d PausedCount %d", sh.Size(), sh.PausedCount())
+	}
+	wantState(t, sh)
+	if len(shWakes) != 1 || shWakes[0].ID != 4 || !shWakes[0].WakeAt.Equal(t0.Add(11*time.Hour)) {
+		t.Fatalf("sharded pending wakes = %+v", shWakes)
+	}
+
+	// ShardedFleet archive -> SyncedFleet. The sharded fleet writes members
+	// in id order, so the bytes match the synced archive exactly.
+	var shardedArchive bytes.Buffer
+	if _, err := sh.WriteTo(&shardedArchive); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(shardedArchive.Bytes(), syncedArchive.Bytes()) {
+		t.Fatal("sharded archive bytes differ from synced archive")
+	}
+	sy2, syWakes, err := RestoreSyncedFleet(opts, bytes.NewReader(shardedArchive.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantState(t, sy2)
+	if len(syWakes) != 1 || syWakes[0].ID != 4 {
+		t.Fatalf("synced pending wakes = %+v", syWakes)
+	}
+
+	// Both restored fleets run the same live resume op.
+	at := t0.Add(4*24*time.Hour + 9*time.Hour).Add(-2 * time.Minute)
+	shPws := sh.RunResumeOp(at)
+	syPws := sy2.RunResumeOp(at)
+	if len(shPws) != 4 || len(syPws) != 4 {
+		t.Fatalf("resume ops after restore: sharded %d, synced %d", len(shPws), len(syPws))
+	}
+
+	// Single-database snapshots interoperate too.
+	var one bytes.Buffer
+	if err := sh.Snapshot(4, &one); err != nil {
+		t.Fatal(err)
+	}
+	sy3, _ := NewSyncedFleet(opts)
+	wakeAt, err := sy3.Restore(4, &one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wakeAt.Equal(t0.Add(11 * time.Hour)) {
+		t.Fatalf("single-db restore wakeAt = %v", wakeAt)
+	}
+}
+
+func TestSyncedFleetDeleteExplainPrediction(t *testing.T) {
+	opts := equivOptions()
+	sy, err := NewSyncedFleet(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < 2; id++ {
+		if err := sy.Create(id, t0.Add(9*time.Hour)); err != nil {
+			t.Fatal(err)
+		}
+		for d := 0; d < 2; d++ {
+			base := t0.Add(time.Duration(d) * 24 * time.Hour)
+			if d > 0 {
+				if _, err := sy.Login(id, base.Add(9*time.Hour)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := sy.Idle(id, base.Add(17*time.Hour)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if sy.PausedCount() != 2 {
+		t.Fatalf("PausedCount = %d", sy.PausedCount())
+	}
+
+	// ExplainPrediction reports the qualifying window behind the pause.
+	windows, start, _, ok, err := sy.ExplainPrediction(0, t0.Add(1*24*time.Hour+18*time.Hour))
+	if err != nil || !ok {
+		t.Fatalf("ExplainPrediction = ok=%v, %v", ok, err)
+	}
+	if len(windows) == 0 {
+		t.Fatal("ExplainPrediction returned no windows")
+	}
+	if start.IsZero() {
+		t.Fatal("ExplainPrediction returned zero start")
+	}
+	if _, _, _, _, err := sy.ExplainPrediction(99, t0); err == nil {
+		t.Fatal("ExplainPrediction(99) succeeded")
+	}
+
+	// Deleting a paused database clears its control-plane metadata: the
+	// pending proactive resume cannot fire.
+	if err := sy.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sy.Delete(0); err == nil {
+		t.Fatal("double Delete succeeded")
+	}
+	if sy.Size() != 1 || sy.PausedCount() != 1 {
+		t.Fatalf("after Delete: Size %d PausedCount %d", sy.Size(), sy.PausedCount())
+	}
+	pws := sy.RunResumeOp(t0.Add(2*24*time.Hour + 9*time.Hour).Add(-2 * time.Minute))
+	if len(pws) != 1 || pws[0].ID != 1 {
+		t.Fatalf("resume op after Delete = %+v", pws)
+	}
+}

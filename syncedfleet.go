@@ -36,6 +36,13 @@ func (s *SyncedFleet) Create(id int, createdAt time.Time) error {
 	return err
 }
 
+// Delete drops a database and its control-plane metadata.
+func (s *SyncedFleet) Delete(id int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fleet.Delete(id)
+}
+
 // Login records the start of customer activity.
 func (s *SyncedFleet) Login(id int, t time.Time) (Decision, error) {
 	s.mu.Lock()
@@ -120,4 +127,39 @@ func (s *SyncedFleet) PlanMaintenance(id int, now time.Time, duration time.Durat
 		return MaintenancePlan{}, fmt.Errorf("prorp: unknown database %d", id)
 	}
 	return db.PlanMaintenance(now, duration, deadline)
+}
+
+// ExplainPrediction scans every candidate window for one database as of
+// now (see Database.ExplainPrediction). The returned windows are fresh
+// copies; no interior state escapes the lock.
+func (s *SyncedFleet) ExplainPrediction(id int, now time.Time) (windows []PredictionWindow, start, end time.Time, ok bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	db, found := s.fleet.Database(id)
+	if !found {
+		return nil, time.Time{}, time.Time{}, false, fmt.Errorf("prorp: unknown database %d", id)
+	}
+	windows, start, end, ok = db.ExplainPrediction(now)
+	return windows, start, end, ok, nil
+}
+
+// WriteTo archives the whole fleet under the lock (see Fleet.WriteTo) —
+// the concurrency-safe snapshot path for host restarts. It implements
+// io.WriterTo.
+func (s *SyncedFleet) WriteTo(w io.Writer) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fleet.WriteTo(w)
+}
+
+// RestoreSyncedFleet reconstructs a concurrency-safe fleet from an archive
+// written by Fleet.WriteTo, SyncedFleet.WriteTo, or ShardedFleet.WriteTo.
+// It returns the wake-ups the host must schedule for logically paused
+// databases.
+func RestoreSyncedFleet(opts Options, r io.Reader) (*SyncedFleet, []PendingWake, error) {
+	fleet, wakes, err := RestoreFleet(opts, r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &SyncedFleet{fleet: fleet}, wakes, nil
 }
