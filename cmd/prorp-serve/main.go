@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"prorp"
+	"prorp/internal/faults"
 	"prorp/internal/server"
 )
 
@@ -37,6 +38,10 @@ func main() {
 		snapshotPath  = flag.String("snapshot", "", "snapshot file: restored on boot, rewritten periodically and on shutdown")
 		snapshotEvery = flag.Duration("snapshot-every", time.Minute, "periodic snapshot cadence")
 		configPath    = flag.String("config", "", "JSON options file (prorp.Options; default Table 1 knobs)")
+		retryAttempts = flag.Int("retry-attempts", 5, "attempts per transient I/O failure (snapshots, prewarm/wake hooks)")
+		retryBase     = flag.Duration("retry-base", 50*time.Millisecond, "initial retry backoff delay")
+		retryMax      = flag.Duration("retry-max", 2*time.Second, "retry backoff delay cap")
+		degradedAfter = flag.Int("degraded-after", 3, "consecutive snapshot failures before degraded mode (serve traffic, skip snapshots, report unhealthy)")
 	)
 	flag.Parse()
 
@@ -51,11 +56,18 @@ func main() {
 		}
 	}
 
+	backoff := faults.DefaultBackoff()
+	backoff.Attempts = *retryAttempts
+	backoff.Base = *retryBase
+	backoff.Max = *retryMax
+
 	srv, err := server.New(server.Config{
 		Options:       opts,
 		Shards:        *shards,
 		SnapshotPath:  *snapshotPath,
 		SnapshotEvery: *snapshotEvery,
+		Backoff:       backoff,
+		DegradedAfter: *degradedAfter,
 		Logf:          log.Printf,
 	})
 	if err != nil {
@@ -79,14 +91,23 @@ func main() {
 		}
 	}
 
+	// Shutdown is strict, not best-effort: a failed HTTP drain or — far
+	// worse — a failed final snapshot is logged and turned into a non-zero
+	// exit, so supervisors restart the process instead of trusting a
+	// silently stale snapshot.
+	exit := 0
 	shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancelShutdown()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("prorp-serve: http shutdown: %v", err)
+		exit = 1
 	}
 	if err := srv.Close(); err != nil {
-		log.Printf("prorp-serve: %v", err)
-		os.Exit(1)
+		log.Printf("prorp-serve: final snapshot not persisted: %v", err)
+		exit = 1
+	}
+	if exit != 0 {
+		os.Exit(exit)
 	}
 	fmt.Println("prorp-serve: clean shutdown")
 }

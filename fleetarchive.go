@@ -70,7 +70,9 @@ type PendingWake struct {
 
 // RestoreFleet reconstructs a fleet from an archive written by WriteTo,
 // under possibly re-trained options. It returns the wake-ups the host must
-// schedule for logically paused databases.
+// schedule for logically paused databases. Undecodable input — truncated,
+// bit-flipped, wrong format — yields an error wrapping ErrCorruptArchive,
+// never a panic.
 func RestoreFleet(opts Options, r io.Reader) (*Fleet, []PendingWake, error) {
 	fleet, err := NewFleet(opts)
 	if err != nil {
@@ -79,10 +81,10 @@ func RestoreFleet(opts Options, r io.Reader) (*Fleet, []PendingWake, error) {
 	br := bufio.NewReader(r)
 	var hdr [8]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, nil, fmt.Errorf("prorp: reading fleet archive header: %w", err)
+		return nil, nil, fmt.Errorf("prorp: %w: reading header: %w", ErrCorruptArchive, err)
 	}
 	if got := binary.LittleEndian.Uint32(hdr[0:4]); got != fleetMagic {
-		return nil, nil, fmt.Errorf("prorp: bad fleet archive magic %#x", got)
+		return nil, nil, fmt.Errorf("prorp: %w: bad magic %#x", ErrCorruptArchive, got)
 	}
 	count := binary.LittleEndian.Uint32(hdr[4:8])
 
@@ -90,13 +92,13 @@ func RestoreFleet(opts Options, r io.Reader) (*Fleet, []PendingWake, error) {
 	for i := uint32(0); i < count; i++ {
 		var rec [12]byte
 		if _, err := io.ReadFull(br, rec[:]); err != nil {
-			return nil, nil, fmt.Errorf("prorp: reading archive entry %d of %d: %w", i, count, err)
+			return nil, nil, fmt.Errorf("prorp: %w: reading entry %d of %d: %w", ErrCorruptArchive, i, count, err)
 		}
 		id := int(int64(binary.LittleEndian.Uint64(rec[0:8])))
 		size := binary.LittleEndian.Uint32(rec[8:12])
 		_, wakeAt, err := fleet.Restore(id, io.LimitReader(br, int64(size)))
 		if err != nil {
-			return nil, nil, fmt.Errorf("prorp: restoring database %d: %w", id, err)
+			return nil, nil, fmt.Errorf("prorp: %w: restoring database %d: %w", ErrCorruptArchive, id, err)
 		}
 		if !wakeAt.IsZero() {
 			wakes = append(wakes, PendingWake{ID: id, WakeAt: wakeAt})

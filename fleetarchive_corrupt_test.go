@@ -1,0 +1,155 @@
+package prorp
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// buildArchive produces a realistic PRF1 archive: a few databases with
+// history, predictions, and mixed lifecycle states.
+func buildArchive(t *testing.T) []byte {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.LogicalPause = time.Hour
+	fleet, err := NewSyncedFleet(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Date(2023, 9, 1, 0, 0, 0, 0, time.UTC)
+	day := 24 * time.Hour
+	for id := 1; id <= 4; id++ {
+		if err := fleet.Create(id, start); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for d := 0; d < 3; d++ {
+		for id := 1; id <= 4; id++ {
+			if d > 0 {
+				fleet.Login(id, start.Add(time.Duration(d)*day+9*time.Hour))
+			}
+			fleet.Idle(id, start.Add(time.Duration(d)*day+17*time.Hour))
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := fleet.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// restoreBoth runs one corrupted archive through both concurrency-safe
+// restore paths and reports their errors. Any panic is converted into a
+// test failure: corrupt input must yield a typed error, never a panic.
+func restoreBoth(t *testing.T, label string, data []byte) (sharded, synced error) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("%s: restore panicked: %v", label, r)
+		}
+	}()
+	sf, _, err := RestoreShardedFleet(DefaultOptions(), 4, bytes.NewReader(data))
+	if sf != nil {
+		sf.Close()
+	}
+	sharded = err
+	_, _, synced = RestoreSyncedFleet(DefaultOptions(), bytes.NewReader(data))
+	return sharded, synced
+}
+
+func TestRestoreTruncatedArchives(t *testing.T) {
+	archive := buildArchive(t)
+	// Every strict prefix is a truncation the decoder must reject: the
+	// header's count field promises entries the stream cannot deliver.
+	// Sample densely at the front (headers, first entry) and spread over
+	// the rest.
+	lengths := map[int]bool{}
+	for n := 0; n < len(archive) && n < 64; n++ {
+		lengths[n] = true
+	}
+	for n := 64; n < len(archive); n += 97 {
+		lengths[n] = true
+	}
+	lengths[len(archive)-1] = true
+	for n := range lengths {
+		trunc := archive[:n]
+		sharded, synced := restoreBoth(t, fmt.Sprintf("truncate[:%d]", n), trunc)
+		if sharded == nil || synced == nil {
+			t.Fatalf("truncate[:%d]: restore succeeded (sharded=%v synced=%v)", n, sharded, synced)
+		}
+		if !errors.Is(sharded, ErrCorruptArchive) {
+			t.Fatalf("truncate[:%d]: sharded error %v does not wrap ErrCorruptArchive", n, sharded)
+		}
+		if !errors.Is(synced, ErrCorruptArchive) {
+			t.Fatalf("truncate[:%d]: synced error %v does not wrap ErrCorruptArchive", n, synced)
+		}
+	}
+}
+
+func TestRestoreBitFlippedArchives(t *testing.T) {
+	archive := buildArchive(t)
+	rng := rand.New(rand.NewSource(7))
+	// Exhaustive over the first bytes (magic, count, first record header),
+	// then a seeded sample across the body. A flip may happen to produce a
+	// decodable archive (PRF1 itself carries no checksum — that is the
+	// snapshot container's job); what it must never do is panic, and when
+	// it fails it must fail typed.
+	offsets := map[int]bool{}
+	for i := 0; i < 24 && i < len(archive); i++ {
+		offsets[i] = true
+	}
+	for i := 0; i < 200; i++ {
+		offsets[rng.Intn(len(archive))] = true
+	}
+	rejected := 0
+	for off := range offsets {
+		for bit := 0; bit < 8; bit++ {
+			dirty := bytes.Clone(archive)
+			dirty[off] ^= 1 << bit
+			label := fmt.Sprintf("flip byte %d bit %d", off, bit)
+			sharded, synced := restoreBoth(t, label, dirty)
+			if (sharded == nil) != (synced == nil) {
+				t.Fatalf("%s: paths disagree (sharded=%v synced=%v)", label, sharded, synced)
+			}
+			if sharded != nil {
+				rejected++
+				// A flip inside a database-id field can collide with an
+				// existing id: that is a duplicate, not stream corruption, and
+				// carries its own sentinel. Everything else must be typed
+				// corrupt.
+				if !errors.Is(sharded, ErrCorruptArchive) && !errors.Is(sharded, ErrDuplicateDatabase) {
+					t.Fatalf("%s: sharded error %v wraps neither ErrCorruptArchive nor ErrDuplicateDatabase", label, sharded)
+				}
+				if !errors.Is(synced, ErrCorruptArchive) && !errors.Is(synced, ErrDuplicateDatabase) {
+					t.Fatalf("%s: synced error %v wraps neither ErrCorruptArchive nor ErrDuplicateDatabase", label, synced)
+				}
+			}
+		}
+	}
+	if rejected == 0 {
+		t.Fatal("no bit flip was ever rejected — decoder validates nothing?")
+	}
+}
+
+func TestRestoreGarbageAndEmpty(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":      {},
+		"short":      {0x50},
+		"zeros":      make([]byte, 64),
+		"textual":    []byte("definitely not a fleet archive, not even close"),
+		"bad-magic":  {0xDE, 0xAD, 0xBE, 0xEF, 1, 0, 0, 0},
+		"magic-only": {0x31, 0x46, 0x52, 0x50}, // "PRF1" with no count
+	}
+	for name, data := range cases {
+		sharded, synced := restoreBoth(t, name, data)
+		if sharded == nil || synced == nil {
+			t.Fatalf("%s: restore of garbage succeeded", name)
+		}
+		if !errors.Is(sharded, ErrCorruptArchive) || !errors.Is(synced, ErrCorruptArchive) {
+			t.Fatalf("%s: errors not typed (sharded=%v synced=%v)", name, sharded, synced)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package faults
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff is a capped, jittered exponential retry schedule for transient
+// errors. The zero value is not usable; start from DefaultBackoff.
+type Backoff struct {
+	// Attempts is the total number of tries (first call included).
+	Attempts int
+	// Base is the delay before the second attempt.
+	Base time.Duration
+	// Max caps the grown delay.
+	Max time.Duration
+	// Factor multiplies the delay after each failure (default 2).
+	Factor float64
+	// Jitter in [0,1] scales each delay by a uniform factor drawn from
+	// [1-Jitter, 1], keeping retries from synchronizing across databases.
+	Jitter float64
+	// Rand drives the jitter; nil falls back to the global PRNG. Chaos
+	// tests pass an Injector-derived PRNG so retry timing is seeded too.
+	Rand *rand.Rand
+}
+
+// DefaultBackoff is the serving stack's retry schedule: 5 attempts,
+// 50ms..2s delays, full exponential growth with 30% jitter.
+func DefaultBackoff() Backoff {
+	return Backoff{Attempts: 5, Base: 50 * time.Millisecond, Max: 2 * time.Second, Factor: 2, Jitter: 0.3}
+}
+
+// Delay computes the sleep before attempt i (0-based; attempt 0 has no
+// delay).
+func (b Backoff) Delay(i int) time.Duration {
+	if i <= 0 || b.Base <= 0 {
+		return 0
+	}
+	factor := b.Factor
+	if factor <= 1 {
+		factor = 2
+	}
+	d := float64(b.Base)
+	for k := 1; k < i; k++ {
+		d *= factor
+		if b.Max > 0 && d >= float64(b.Max) {
+			d = float64(b.Max)
+			break
+		}
+	}
+	if b.Max > 0 && d > float64(b.Max) {
+		d = float64(b.Max)
+	}
+	if b.Jitter > 0 {
+		var u float64
+		if b.Rand != nil {
+			u = b.Rand.Float64()
+		} else {
+			u = rand.Float64()
+		}
+		d *= 1 - b.Jitter*u
+	}
+	return time.Duration(d)
+}
+
+// Retry runs f up to b.Attempts times, sleeping the jittered exponential
+// delay on clock between failures. It returns nil on the first success,
+// the last error otherwise, and the number of retries performed (attempts
+// beyond the first). A nil clock uses wall time.
+func Retry(clock Clock, b Backoff, f func() error) (retries int, err error) {
+	if clock == nil {
+		clock = WallClock{}
+	}
+	attempts := b.Attempts
+	if attempts <= 0 {
+		attempts = 1
+	}
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			if d := b.Delay(i); d > 0 {
+				clock.Sleep(d)
+			}
+			retries++
+		}
+		if err = f(); err == nil {
+			return retries, nil
+		}
+	}
+	return retries, err
+}

@@ -1,0 +1,229 @@
+// Package faults is a deterministic fault-injection layer for hardening
+// the serving stack against the failures a production control plane
+// actually sees: slow disks, transient write errors, partial writes,
+// bit rot, and crash/restart cycles.
+//
+// The layer has three pieces:
+//
+//   - An Injector holding per-site fault schedules driven by a seeded
+//     PRNG, so every chaos run is reproducible from its seed. Sites are
+//     free-form strings ("fs.write", "prewarm", ...); each site can carry
+//     scripted trip-N-then-heal failures, probabilistic errors, injected
+//     latency, partial writes, and corruption (bit flips).
+//   - FS / File / Clock seams (see fs.go): production code talks to the
+//     seams, production wiring uses the OS implementations, and chaos
+//     tests wrap them in FaultFS / FaultClock backed by an Injector.
+//   - A capped, jittered exponential Backoff (see backoff.go) for
+//     retrying transient failures, with the jitter drawn from the same
+//     seeded PRNG family so retry timing is reproducible too.
+//
+// All Injector methods are safe for concurrent use.
+package faults
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the default error produced at a faulted site when the
+// schedule does not name a specific error. Injected errors are considered
+// transient: callers retry them like any other I/O error.
+var ErrInjected = errors.New("faults: injected error")
+
+// site is the fault schedule of one call site.
+type site struct {
+	// trips is the scripted part: fail the next trips calls with tripErr,
+	// then heal. Scripted failures take precedence over probabilistic ones.
+	trips   int
+	tripErr error
+
+	// errProb injects probErr on each call with this probability.
+	errProb float64
+	probErr error
+
+	// latency is added (via the clock's Sleep) with latencyProb.
+	latency     time.Duration
+	latencyProb float64
+
+	// partialProb truncates writes: only a PRNG-chosen prefix of the
+	// buffer is written before the error is returned.
+	partialProb float64
+
+	// corruptProb flips one PRNG-chosen bit of the data passing through
+	// the site (writes corrupt what lands on disk).
+	corruptProb float64
+}
+
+// Injector holds the fault schedules of a chaos run. The zero value is not
+// usable; build one with NewInjector.
+type Injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	sites map[string]*site
+	count map[string]int // faults actually fired, per site
+}
+
+// NewInjector builds an injector whose probabilistic decisions, partial
+// write lengths, corruption offsets, and backoff jitter all derive from
+// seed: the same seed and call sequence reproduce the same faults.
+func NewInjector(seed int64) *Injector {
+	return &Injector{
+		rng:   rand.New(rand.NewSource(seed)),
+		sites: make(map[string]*site),
+		count: make(map[string]int),
+	}
+}
+
+func (in *Injector) site(name string) *site {
+	s, ok := in.sites[name]
+	if !ok {
+		s = &site{}
+		in.sites[name] = s
+	}
+	return s
+}
+
+// TripN scripts the next n calls at the site to fail with err (ErrInjected
+// when err is nil), after which the site heals. Scripted trips fire before
+// any probabilistic schedule on the same site.
+func (in *Injector) TripN(name string, n int, err error) {
+	if err == nil {
+		err = ErrInjected
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	s := in.site(name)
+	s.trips = n
+	s.tripErr = err
+}
+
+// FailProb makes each call at the site fail with probability p (err nil =
+// ErrInjected).
+func (in *Injector) FailProb(name string, p float64, err error) {
+	if err == nil {
+		err = ErrInjected
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	s := in.site(name)
+	s.errProb = p
+	s.probErr = err
+}
+
+// Latency injects d of sleep at the site with probability p.
+func (in *Injector) Latency(name string, d time.Duration, p float64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	s := in.site(name)
+	s.latency = d
+	s.latencyProb = p
+}
+
+// PartialWrites makes writes at the site land only a strict prefix (with
+// probability p) before returning an error.
+func (in *Injector) PartialWrites(name string, p float64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.site(name).partialProb = p
+}
+
+// CorruptWrites flips one bit of the data written at the site with
+// probability p. The write itself succeeds — the damage is only visible
+// when the data is read back, like real bit rot.
+func (in *Injector) CorruptWrites(name string, p float64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.site(name).corruptProb = p
+}
+
+// Heal clears every schedule on the site.
+func (in *Injector) Heal(name string) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	delete(in.sites, name)
+}
+
+// HealAll clears every schedule on every site.
+func (in *Injector) HealAll() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.sites = make(map[string]*site)
+}
+
+// Fired reports how many faults (errors, partials, corruptions) the site
+// has actually produced.
+func (in *Injector) Fired(name string) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.count[name]
+}
+
+// Check consults the schedule for one call at the site: it returns the
+// injected latency to sleep (callers without a latency-capable clock may
+// ignore it) and a non-nil error when the call must fail. Production code
+// never calls Check directly — FaultFS and the retry helpers do.
+func (in *Injector) Check(name string) (time.Duration, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	s, ok := in.sites[name]
+	if !ok {
+		return 0, nil
+	}
+	var lat time.Duration
+	if s.latency > 0 && in.rng.Float64() < s.latencyProb {
+		lat = s.latency
+	}
+	if s.trips > 0 {
+		s.trips--
+		in.count[name]++
+		return lat, s.tripErr
+	}
+	if s.errProb > 0 && in.rng.Float64() < s.errProb {
+		in.count[name]++
+		return lat, s.probErr
+	}
+	return lat, nil
+}
+
+// checkWrite decides the fate of one write of n bytes at the site:
+// how many bytes land, whether a bit flips (and which), and the error.
+func (in *Injector) checkWrite(name string, n int) (keep int, flipByte int, flipBit uint, lat time.Duration, err error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	keep, flipByte = n, -1
+	s, ok := in.sites[name]
+	if !ok {
+		return keep, flipByte, 0, 0, nil
+	}
+	if s.latency > 0 && in.rng.Float64() < s.latencyProb {
+		lat = s.latency
+	}
+	if s.trips > 0 {
+		s.trips--
+		in.count[name]++
+		return 0, flipByte, 0, lat, s.tripErr
+	}
+	if s.errProb > 0 && in.rng.Float64() < s.errProb {
+		in.count[name]++
+		return 0, flipByte, 0, lat, s.probErr
+	}
+	if s.partialProb > 0 && n > 0 && in.rng.Float64() < s.partialProb {
+		in.count[name]++
+		return in.rng.Intn(n), flipByte, 0, lat, ErrInjected
+	}
+	if s.corruptProb > 0 && n > 0 && in.rng.Float64() < s.corruptProb {
+		in.count[name]++
+		return keep, in.rng.Intn(n), uint(in.rng.Intn(8)), lat, nil
+	}
+	return keep, flipByte, 0, lat, nil
+}
+
+// Rand returns a PRNG derived from the injector's seed stream, for
+// workload generators that want the whole chaos run keyed by one seed.
+func (in *Injector) Rand() *rand.Rand {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return rand.New(rand.NewSource(in.rng.Int63()))
+}

@@ -1,0 +1,177 @@
+package faults
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"time"
+)
+
+// Clock is the time seam: production wiring uses WallClock, tests use a
+// manual clock so injected latency and backoff sleeps cost no real time.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+// WallClock is the real time.Now / time.Sleep clock.
+type WallClock struct{}
+
+func (WallClock) Now() time.Time        { return time.Now() }
+func (WallClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// File is the subset of *os.File the snapshot store needs.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Sync() error
+	Name() string
+}
+
+// FS is the filesystem seam of the snapshot store: just enough surface to
+// implement write-temp-fsync-rename persistence with rotation.
+type FS interface {
+	Open(name string) (File, error)
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Stat(name string) (fs.FileInfo, error)
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) Open(name string) (File, error) { return os.Open(name) }
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	return os.CreateTemp(dir, pattern)
+}
+func (osFS) Rename(oldpath, newpath string) error  { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error              { return os.Remove(name) }
+func (osFS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
+
+// FaultFS wraps an FS with an Injector. Each operation consults one site:
+//
+//	fs.open  fs.createtemp  fs.rename  fs.remove  fs.stat
+//	fs.read  fs.write  fs.sync  fs.close
+//
+// Write faults additionally support partial writes (a prefix lands, then
+// an error) and silent corruption (one bit of the written data flips).
+// Injected latency is served through the Clock, so manual-clock tests
+// don't slow down.
+type FaultFS struct {
+	Inner FS
+	Inj   *Injector
+	Clock Clock // nil = WallClock
+}
+
+// NewFaultFS wraps inner with the injector's schedules.
+func NewFaultFS(inner FS, inj *Injector, clock Clock) *FaultFS {
+	if clock == nil {
+		clock = WallClock{}
+	}
+	return &FaultFS{Inner: inner, Inj: inj, Clock: clock}
+}
+
+func (f *FaultFS) check(site string) error {
+	lat, err := f.Inj.Check(site)
+	if lat > 0 {
+		f.Clock.Sleep(lat)
+	}
+	return err
+}
+
+func (f *FaultFS) Open(name string) (File, error) {
+	if err := f.check("fs.open"); err != nil {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: err}
+	}
+	file, err := f.Inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+func (f *FaultFS) CreateTemp(dir, pattern string) (File, error) {
+	if err := f.check("fs.createtemp"); err != nil {
+		return nil, &fs.PathError{Op: "createtemp", Path: dir, Err: err}
+	}
+	file, err := f.Inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if err := f.check("fs.rename"); err != nil {
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: err}
+	}
+	return f.Inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if err := f.check("fs.remove"); err != nil {
+		return &fs.PathError{Op: "remove", Path: name, Err: err}
+	}
+	return f.Inner.Remove(name)
+}
+
+func (f *FaultFS) Stat(name string) (fs.FileInfo, error) {
+	if err := f.check("fs.stat"); err != nil {
+		return nil, &fs.PathError{Op: "stat", Path: name, Err: err}
+	}
+	return f.Inner.Stat(name)
+}
+
+// faultFile threads per-call faults through reads, writes, syncs, closes.
+type faultFile struct {
+	File
+	fs *FaultFS
+}
+
+func (ff *faultFile) Read(p []byte) (int, error) {
+	if err := ff.fs.check("fs.read"); err != nil {
+		return 0, err
+	}
+	return ff.File.Read(p)
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	keep, flipByte, flipBit, lat, err := ff.fs.Inj.checkWrite("fs.write", len(p))
+	if lat > 0 {
+		ff.fs.Clock.Sleep(lat)
+	}
+	if err != nil {
+		if keep > 0 {
+			n, _ := ff.File.Write(p[:keep]) // partial prefix lands
+			return n, err
+		}
+		return 0, err
+	}
+	if flipByte >= 0 {
+		// Corrupt a copy; the caller's buffer stays pristine.
+		dirty := make([]byte, len(p))
+		copy(dirty, p)
+		dirty[flipByte] ^= 1 << flipBit
+		return ff.File.Write(dirty)
+	}
+	return ff.File.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	if err := ff.fs.check("fs.sync"); err != nil {
+		return err
+	}
+	return ff.File.Sync()
+}
+
+func (ff *faultFile) Close() error {
+	if err := ff.fs.check("fs.close"); err != nil {
+		ff.File.Close() // release the descriptor regardless
+		return err
+	}
+	return ff.File.Close()
+}

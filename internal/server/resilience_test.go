@@ -1,0 +1,285 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"prorp/internal/faults"
+)
+
+// noSleep keeps backoff delays out of test wall time.
+func noSleep(time.Duration) {}
+
+func quickBackoff() faults.Backoff {
+	return faults.Backoff{Attempts: 3, Base: time.Millisecond, Max: 4 * time.Millisecond, Factor: 2}
+}
+
+// TestDegradedModeFlipAndRecover drives the snapshot path into degraded
+// mode with a downed disk, checks the server still serves traffic while
+// /healthz reports 503, then heals the disk and checks recovery.
+func TestDegradedModeFlipAndRecover(t *testing.T) {
+	inj := faults.NewInjector(101)
+	clock := &fakeClock{t: t0}
+	srv, err := New(Config{
+		Options:       testOptions(),
+		SnapshotPath:  filepath.Join(t.TempDir(), "fleet.snap"),
+		FS:            faults.NewFaultFS(faults.OS, inj, nil),
+		Now:           clock.Now,
+		Sleep:         noSleep,
+		Backoff:       quickBackoff(),
+		DegradedAfter: 2,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	code, out := call(t, srv, "POST", "/v1/db", `{"id":1}`)
+	wantStatus(t, code, http.StatusCreated, out)
+
+	// Disk down: every write attempt fails. Two periodic-equivalent writes
+	// (DegradedAfter=2) flip the server to degraded.
+	inj.FailProb("fs.createtemp", 1, nil)
+	for i := 0; i < 2; i++ {
+		if _, err := srv.writeSnapshotOpts(srv.Degraded()); err == nil {
+			t.Fatal("snapshot succeeded with disk down")
+		}
+	}
+	if !srv.Degraded() {
+		t.Fatal("server not degraded after consecutive failures")
+	}
+
+	// Degraded ≠ down: traffic is still served...
+	code, out = call(t, srv, "POST", "/v1/db", `{"id":2}`)
+	wantStatus(t, code, http.StatusCreated, out)
+	// ...but health reports unhealthy with the failure detail.
+	code, out = call(t, srv, "GET", "/healthz", "")
+	wantStatus(t, code, http.StatusServiceUnavailable, out)
+	if out["status"] != "degraded" || out["last_snapshot_error"] == "" {
+		t.Fatalf("degraded healthz = %v", out)
+	}
+	// The forced-snapshot endpoint reports the failure too.
+	code, out = call(t, srv, "POST", "/v1/ops/snapshot", "")
+	wantStatus(t, code, http.StatusInternalServerError, out)
+
+	// Disk heals: the next probe clears degraded mode.
+	inj.Heal("fs.createtemp")
+	if _, err := srv.writeSnapshotOpts(srv.Degraded()); err != nil {
+		t.Fatalf("snapshot after heal: %v", err)
+	}
+	if srv.Degraded() {
+		t.Fatal("server still degraded after successful snapshot")
+	}
+	code, out = call(t, srv, "GET", "/healthz", "")
+	wantStatus(t, code, http.StatusOK, out)
+	if out["status"] != "ok" {
+		t.Fatalf("healed healthz = %v", out)
+	}
+
+	// The whole episode is visible in the KPI resilience counters.
+	code, out = call(t, srv, "GET", "/v1/kpi", "")
+	wantStatus(t, code, http.StatusOK, out)
+	if out["snapshot_failures"].(float64) < 2 || out["snapshot_retries"].(float64) == 0 {
+		t.Fatalf("kpi resilience counters = %v", out)
+	}
+}
+
+// TestPrewarmHookRetriesAndFailures checks the infrastructure side of
+// Algorithm 5: a transiently failing prewarm hook is retried into success;
+// a persistently failing one is surfaced in the KPI counters, and the wake
+// timer is still scheduled either way.
+func TestPrewarmHookRetriesAndFailures(t *testing.T) {
+	inj := faults.NewInjector(202)
+	clock := &fakeClock{t: t0.Add(9 * time.Hour)}
+	srv, err := New(Config{
+		Options: testOptions(),
+		Shards:  4,
+		Now:     clock.Now,
+		Sleep:   noSleep,
+		Backoff: quickBackoff(),
+		OnPrewarm: func(id int) error {
+			_, err := inj.Check("prewarm")
+			return err
+		},
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Build the 3-day 09:00-17:00 pattern that physically pauses db 1 with
+	// a predicted login tomorrow 09:00 (mirrors the lifecycle test).
+	day := 24 * time.Hour
+	call(t, srv, "POST", "/v1/db", `{"id":1}`)
+	for d := 0; d < 3; d++ {
+		if d > 0 {
+			clock.Set(t0.Add(time.Duration(d)*day + 9*time.Hour))
+			call(t, srv, "POST", "/v1/db/1/login", "")
+		}
+		clock.Set(t0.Add(time.Duration(d)*day + 17*time.Hour))
+		call(t, srv, "POST", "/v1/db/1/logout", "")
+	}
+
+	// Transient failure: hook fails twice, third attempt lands.
+	inj.TripN("prewarm", 2, nil)
+	clock.Set(t0.Add(3*day + 9*time.Hour - 4*time.Minute))
+	code, out := call(t, srv, "POST", "/v1/ops/resume", "")
+	wantStatus(t, code, http.StatusOK, out)
+	if pws, _ := out["prewarmed"].([]any); len(pws) != 1 {
+		t.Fatalf("ops/resume = %v", out)
+	}
+	code, out = call(t, srv, "GET", "/v1/kpi", "")
+	wantStatus(t, code, http.StatusOK, out)
+	if out["prewarm_retries"] != float64(2) || out["prewarm_failures"] != float64(0) {
+		t.Fatalf("kpi after transient prewarm = %v", out)
+	}
+	// The prewarmed database got its wake scheduled despite the retries.
+	if out["pending_wakes"] != float64(1) {
+		t.Fatalf("pending wakes = %v", out["pending_wakes"])
+	}
+}
+
+// TestWakeHookFailureReschedules checks that a wake whose infrastructure
+// delivery keeps failing is pushed out rather than dropped, then delivered
+// once the hook heals.
+func TestWakeHookFailureReschedules(t *testing.T) {
+	inj := faults.NewInjector(303)
+	clock := &fakeClock{t: t0}
+	srv, err := New(Config{
+		Options: testOptions(),
+		Now:     clock.Now,
+		Sleep:   noSleep,
+		Backoff: quickBackoff(),
+		OnWake: func(id int) error {
+			_, err := inj.Check("wake")
+			return err
+		},
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// A fresh database that idles gets a logical-pause wake timer.
+	call(t, srv, "POST", "/v1/db", `{"id":1}`)
+	clock.Set(t0.Add(30 * time.Minute))
+	code, out := call(t, srv, "POST", "/v1/db/1/logout", "")
+	wantStatus(t, code, http.StatusOK, out)
+	if out["wake_at"] == nil {
+		t.Fatalf("logout scheduled no wake: %v", out)
+	}
+
+	// Let the wake come due, with the hook hard-down: delivery must fail,
+	// count the failure, and reschedule (not drop) the timer.
+	inj.FailProb("wake", 1, nil)
+	clock.Set(t0.Add(3 * time.Hour))
+	delivered := srv.deliverDueWakes(clock.Now())
+	if delivered != 0 {
+		t.Fatalf("delivered %d wakes with hook down", delivered)
+	}
+	if srv.wakes.pending() != 1 {
+		t.Fatal("failed wake was dropped instead of rescheduled")
+	}
+	code, out = call(t, srv, "GET", "/v1/kpi", "")
+	wantStatus(t, code, http.StatusOK, out)
+	if out["wake_failures"] != float64(1) || out["wake_retries"].(float64) == 0 {
+		t.Fatalf("kpi after failed wake = %v", out)
+	}
+
+	// Heal and advance past the deferral: the wake lands.
+	inj.Heal("wake")
+	clock.Set(clock.Now().Add(srv.retryDefer() + time.Second))
+	if delivered := srv.deliverDueWakes(clock.Now()); delivered != 1 {
+		t.Fatalf("delivered %d wakes after heal, want 1", delivered)
+	}
+	if srv.wakes.pending() != 0 {
+		t.Fatalf("pending wakes after delivery = %d", srv.wakes.pending())
+	}
+}
+
+// TestBootFallsBackToLastKnownGood corrupts the primary snapshot on disk
+// and checks that New restores from the .bak with zero lost databases and
+// reports the fallback in the KPI counters.
+func TestBootFallsBackToLastKnownGood(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "fleet.snap")
+	clock := &fakeClock{t: t0}
+	srv, err := New(Config{
+		Options: testOptions(), Shards: 4, SnapshotPath: snap,
+		Now: clock.Now, Sleep: noSleep, Backoff: quickBackoff(), Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, body := range []string{`{"id":1}`, `{"id":2}`, `{"id":3}`} {
+		call(t, srv, "POST", "/v1/db", body)
+	}
+	// Two snapshots: the second rotates the first to .bak.
+	call(t, srv, "POST", "/v1/ops/snapshot", "")
+	call(t, srv, "POST", "/v1/ops/snapshot", "")
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rot the primary (Close wrote it last): flip a payload bit.
+	data, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-3] ^= 0x10
+	if err := os.WriteFile(snap, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, err := New(Config{
+		Options: testOptions(), Shards: 4, SnapshotPath: snap,
+		Now: clock.Now, Sleep: noSleep, Backoff: quickBackoff(), Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("boot with corrupt primary: %v", err)
+	}
+	defer srv2.Close()
+
+	code, out := call(t, srv2, "GET", "/healthz", "")
+	wantStatus(t, code, http.StatusOK, out)
+	if out["databases"] != float64(3) {
+		t.Fatalf("restored databases = %v, want 3", out["databases"])
+	}
+	code, out = call(t, srv2, "GET", "/v1/kpi", "")
+	wantStatus(t, code, http.StatusOK, out)
+	if out["snapshot_fallbacks"] != float64(1) {
+		t.Fatalf("snapshot_fallbacks = %v, want 1", out["snapshot_fallbacks"])
+	}
+}
+
+// TestCloseReportsFinalSnapshotFailure: a Close that cannot persist the
+// final snapshot must return the error (prorp-serve turns it into a
+// non-zero exit).
+func TestCloseReportsFinalSnapshotFailure(t *testing.T) {
+	inj := faults.NewInjector(404)
+	clock := &fakeClock{t: t0}
+	srv, err := New(Config{
+		Options:      testOptions(),
+		SnapshotPath: filepath.Join(t.TempDir(), "fleet.snap"),
+		FS:           faults.NewFaultFS(faults.OS, inj, nil),
+		Now:          clock.Now,
+		Sleep:        noSleep,
+		Backoff:      quickBackoff(),
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	call(t, srv, "POST", "/v1/db", `{"id":1}`)
+	inj.FailProb("fs.createtemp", 1, nil)
+	if err := srv.Close(); !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("Close with disk down = %v, want injected error", err)
+	}
+}

@@ -25,14 +25,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"io/fs"
 	"net/http"
-	"os"
-	"path/filepath"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"prorp"
+	"prorp/internal/faults"
 	"prorp/internal/shardedfleet"
 )
 
@@ -45,14 +47,52 @@ type Config struct {
 	Shards int
 	// SnapshotPath, when non-empty, enables persistence: the server
 	// restores from this file on boot (if it exists), rewrites it every
-	// SnapshotEvery, and writes it a final time on Close.
+	// SnapshotEvery, and writes it a final time on Close. Writes are
+	// atomic and checksummed; the previous snapshot is kept at
+	// SnapshotPath+".bak" and restored from when the primary is corrupt.
 	SnapshotPath string
 	// SnapshotEvery is the periodic-snapshot cadence (default 1 minute).
 	SnapshotEvery time.Duration
 	// Now overrides the clock, for tests (default time.Now).
 	Now func() time.Time
+	// Sleep overrides backoff sleeps, for tests (default time.Sleep).
+	Sleep func(time.Duration)
+	// FS is the filesystem seam for snapshot persistence (default the real
+	// filesystem); chaos tests inject a faults.FaultFS.
+	FS faults.FS
+	// Backoff is the retry schedule for transient snapshot, prewarm, and
+	// wake-delivery failures (zero value = faults.DefaultBackoff).
+	Backoff faults.Backoff
+	// DegradedAfter is the number of consecutive periodic-snapshot
+	// failures (each already retried per Backoff) after which the server
+	// enters degraded mode: traffic is still served, snapshot retry storms
+	// stop (one single-attempt probe per cadence), and /healthz reports
+	// 503 until a probe succeeds. Default 3.
+	DegradedAfter int
+	// OnPrewarm, when non-nil, performs the infrastructure side of a
+	// proactive resume (allocating compute ahead of the predicted login).
+	// Transient failures are retried per Backoff; a database whose
+	// prewarm still fails is surfaced in the KPI resilience counters
+	// rather than silently dropped.
+	OnPrewarm func(id int) error
+	// OnWake, like OnPrewarm, performs the infrastructure side of
+	// delivering a wake-up timer. Failures are retried; a persistently
+	// failing wake is rescheduled a backoff-cap later, never dropped.
+	OnWake func(id int) error
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
+}
+
+// opsCounters are the serving layer's resilience counters, surfaced
+// through prorp.FleetKPI on GET /v1/kpi.
+type opsCounters struct {
+	snapshotRetries   atomic.Uint64
+	snapshotFailures  atomic.Uint64
+	snapshotFallbacks atomic.Uint64
+	prewarmRetries    atomic.Uint64
+	prewarmFailures   atomic.Uint64
+	wakeRetries       atomic.Uint64
+	wakeFailures      atomic.Uint64
 }
 
 // Server is the HTTP front end. It implements http.Handler.
@@ -60,13 +100,20 @@ type Server struct {
 	cfg     Config
 	fleet   *prorp.ShardedFleet
 	now     func() time.Time
+	clock   faults.Clock
 	logf    func(string, ...any)
 	mux     *http.ServeMux
 	wakes   *wakeScheduler
+	store   *snapshotStore // nil when persistence is disabled
 	started time.Time
+	ops     opsCounters
 
-	// snapMu serializes snapshot writes (ticker vs. ops endpoint vs. Close).
-	snapMu sync.Mutex
+	// snapMu serializes snapshot writes (ticker vs. ops endpoint vs.
+	// Close) and guards the degraded-mode bookkeeping.
+	snapMu        sync.Mutex
+	snapFailures  int    // consecutive failed snapshot writes
+	lastSnapError string // last snapshot failure, for /healthz
+	degraded      atomic.Bool
 
 	stop      chan struct{}
 	bg        sync.WaitGroup
@@ -75,7 +122,8 @@ type Server struct {
 }
 
 // New builds the server, restoring the fleet from Config.SnapshotPath if a
-// snapshot exists there, and starts the background control loops. Callers
+// snapshot exists there (falling back to the last-known-good .bak when the
+// primary is corrupt), and starts the background control loops. Callers
 // must Close it.
 func New(cfg Config) (*Server, error) {
 	if cfg.Options == (prorp.Options{}) {
@@ -87,27 +135,61 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
+	}
+	if cfg.FS == nil {
+		cfg.FS = faults.OS
+	}
+	if cfg.Backoff == (faults.Backoff{}) {
+		cfg.Backoff = faults.DefaultBackoff()
+	}
+	if cfg.DegradedAfter <= 0 {
+		cfg.DegradedAfter = 3
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	clock := funcClock{now: cfg.Now, sleep: cfg.Sleep}
+
+	var store *snapshotStore
+	if cfg.SnapshotPath != "" {
+		store = &snapshotStore{
+			path:    cfg.SnapshotPath,
+			fs:      cfg.FS,
+			clock:   clock,
+			backoff: cfg.Backoff,
+			logf:    cfg.Logf,
+		}
+	}
 
 	var (
-		fleet   *prorp.ShardedFleet
-		pending []prorp.PendingWake
+		fleet    *prorp.ShardedFleet
+		pending  []prorp.PendingWake
+		fellBack bool
 	)
-	if cfg.SnapshotPath != "" {
-		f, err := os.Open(cfg.SnapshotPath)
+	if store != nil {
+		var err error
+		fellBack, err = store.Load(func(r io.Reader) error {
+			f, p, rerr := prorp.RestoreShardedFleet(cfg.Options, cfg.Shards, r)
+			if rerr != nil {
+				return rerr
+			}
+			fleet, pending = f, p
+			return nil
+		})
 		switch {
 		case err == nil:
-			fleet, pending, err = prorp.RestoreShardedFleet(cfg.Options, cfg.Shards, f)
-			f.Close()
-			if err != nil {
-				return nil, fmt.Errorf("server: restoring snapshot %s: %w", cfg.SnapshotPath, err)
+			src := cfg.SnapshotPath
+			if fellBack {
+				src = store.bakPath()
 			}
 			cfg.Logf("restored %d databases (%d pending wakes) from %s",
-				fleet.Size(), len(pending), cfg.SnapshotPath)
-		case !os.IsNotExist(err):
-			return nil, fmt.Errorf("server: opening snapshot: %w", err)
+				fleet.Size(), len(pending), src)
+		case errors.Is(err, fs.ErrNotExist):
+			// First boot: no snapshot yet.
+		default:
+			return nil, fmt.Errorf("server: restoring snapshot %s: %w", cfg.SnapshotPath, err)
 		}
 	}
 	if fleet == nil {
@@ -122,10 +204,15 @@ func New(cfg Config) (*Server, error) {
 		cfg:     cfg,
 		fleet:   fleet,
 		now:     cfg.Now,
+		clock:   clock,
 		logf:    cfg.Logf,
 		wakes:   newWakeScheduler(),
+		store:   store,
 		started: cfg.Now(),
 		stop:    make(chan struct{}),
+	}
+	if fellBack {
+		s.ops.snapshotFallbacks.Add(1)
 	}
 	for _, w := range pending {
 		s.wakes.schedule(w.ID, w.WakeAt)
@@ -229,7 +316,9 @@ func (s *Server) snapshotLoop() {
 		case <-s.stop:
 			return
 		case <-t.C:
-			if _, err := s.writeSnapshot(); err != nil {
+			// While degraded the periodic write degenerates into a
+			// single-attempt probe (see writeSnapshotOpts).
+			if _, err := s.writeSnapshotOpts(s.degraded.Load()); err != nil {
 				s.logf("periodic snapshot failed: %v", err)
 			}
 		}
@@ -237,12 +326,25 @@ func (s *Server) snapshotLoop() {
 }
 
 // tick is one control-plane beat: deliver overdue wakes, then run the
-// proactive-resume operation and schedule the wakes of the pre-warmed
-// databases. Both the ticker and POST /v1/ops/resume land here.
+// proactive-resume operation, perform the infrastructure side of each
+// pre-warm (with retries), and schedule the pre-warmed databases' wakes.
+// Both the ticker and POST /v1/ops/resume land here.
 func (s *Server) tick(now time.Time) (wakesDelivered int, prewarmed []prorp.Prewarmed) {
 	wakesDelivered = s.deliverDueWakes(now)
 	prewarmed = s.fleet.RunResumeOp(now)
 	for _, pw := range prewarmed {
+		if s.cfg.OnPrewarm != nil {
+			retries, err := faults.Retry(s.clock, s.cfg.Backoff, func() error {
+				return s.cfg.OnPrewarm(pw.ID)
+			})
+			s.ops.prewarmRetries.Add(uint64(retries))
+			if err != nil {
+				// The policy transition already happened; the failed
+				// infrastructure call is surfaced, not silently dropped.
+				s.ops.prewarmFailures.Add(1)
+				s.logf("prewarm of database %d failed after %d retries: %v", pw.ID, retries, err)
+			}
+		}
 		s.wakes.schedule(pw.ID, pw.Decision.WakeAt)
 	}
 	return wakesDelivered, prewarmed
@@ -251,6 +353,20 @@ func (s *Server) tick(now time.Time) (wakesDelivered int, prewarmed []prorp.Prew
 func (s *Server) deliverDueWakes(now time.Time) int {
 	delivered := 0
 	for _, e := range s.wakes.due(now) {
+		if s.cfg.OnWake != nil {
+			retries, err := faults.Retry(s.clock, s.cfg.Backoff, func() error {
+				return s.cfg.OnWake(e.id)
+			})
+			s.ops.wakeRetries.Add(uint64(retries))
+			if err != nil {
+				// Never drop a timer: push it out one backoff cap and let
+				// the delivery loop try again.
+				s.ops.wakeFailures.Add(1)
+				s.logf("wake of database %d failed after %d retries: %v (rescheduled)", e.id, retries, err)
+				s.wakes.schedule(e.id, now.Add(s.retryDefer()))
+				continue
+			}
+		}
 		d, err := s.fleet.Wake(e.id, now)
 		if err != nil {
 			continue // deleted since scheduling
@@ -261,33 +377,56 @@ func (s *Server) deliverDueWakes(now time.Time) int {
 	return delivered
 }
 
-// writeSnapshot persists the fleet atomically: write to a temp file in the
-// target directory, fsync, rename.
-func (s *Server) writeSnapshot() (int64, error) {
-	path := s.cfg.SnapshotPath
-	if path == "" {
+// retryDefer is how far a persistently failing wake is pushed out.
+func (s *Server) retryDefer() time.Duration {
+	if d := s.cfg.Backoff.Max; d > 0 {
+		return d
+	}
+	return time.Second
+}
+
+// writeSnapshot persists the fleet through the resilient store: framed
+// with a checksum, written atomically (temp, fsync, rename), previous
+// snapshot rotated to .bak, transient errors retried with backoff. It also
+// drives the degraded-mode state machine: DegradedAfter consecutive
+// failures flip the server to degraded (traffic still served, /healthz
+// unhealthy); the next success flips it back.
+func (s *Server) writeSnapshot() (int64, error) { return s.writeSnapshotOpts(false) }
+
+// writeSnapshotOpts is writeSnapshot with the degraded-mode probe policy:
+// probeOnly limits the write to a single attempt, so a server whose disk
+// stays down doesn't mount a retry storm every cadence. Operator-forced
+// snapshots (POST /v1/ops/snapshot) and the final snapshot on Close always
+// use the full retry budget.
+func (s *Server) writeSnapshotOpts(probeOnly bool) (int64, error) {
+	if s.store == nil {
 		return 0, errors.New("snapshots disabled: no snapshot path configured")
 	}
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
-	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	backoff := s.cfg.Backoff
+	if probeOnly {
+		backoff.Attempts = 1
+	}
+	st := *s.store
+	st.backoff = backoff
+	n, retries, err := st.Save(s.fleet)
+	s.ops.snapshotRetries.Add(uint64(retries))
 	if err != nil {
-		return 0, err
-	}
-	n, err := s.fleet.WriteTo(f)
-	if err == nil {
-		err = f.Sync()
-	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err == nil {
-		err = os.Rename(f.Name(), path)
-	}
-	if err != nil {
-		os.Remove(f.Name())
+		s.ops.snapshotFailures.Add(1)
+		s.snapFailures++
+		s.lastSnapError = err.Error()
+		if s.snapFailures >= s.cfg.DegradedAfter && !s.degraded.Load() {
+			s.degraded.Store(true)
+			s.logf("entering degraded mode after %d consecutive snapshot failures: %v", s.snapFailures, err)
+		}
 		return n, err
 	}
+	if s.degraded.Swap(false) {
+		s.logf("snapshot succeeded; leaving degraded mode")
+	}
+	s.snapFailures = 0
+	s.lastSnapError = ""
 	return n, nil
 }
 
@@ -498,6 +637,13 @@ type kpiJSON struct {
 func (s *Server) handleKPI(w http.ResponseWriter, r *http.Request) {
 	now := s.now()
 	kpi := s.fleet.KPI()
+	kpi.SnapshotRetries = s.ops.snapshotRetries.Load()
+	kpi.SnapshotFailures = s.ops.snapshotFailures.Load()
+	kpi.SnapshotFallbacks = s.ops.snapshotFallbacks.Load()
+	kpi.PrewarmRetries = s.ops.prewarmRetries.Load()
+	kpi.PrewarmFailures = s.ops.prewarmFailures.Load()
+	kpi.WakeRetries = s.ops.wakeRetries.Load()
+	kpi.WakeFailures = s.ops.wakeFailures.Load()
 	writeJSON(w, http.StatusOK, kpiJSON{
 		FleetKPI:      kpi,
 		QoSPercent:    kpi.QoSPercent(),
@@ -508,13 +654,30 @@ func (s *Server) handleKPI(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// Degraded reports whether the server is in degraded mode: still serving
+// traffic, but unable to persist snapshots.
+func (s *Server) Degraded() bool { return s.degraded.Load() }
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":    "ok",
 		"databases": s.fleet.Size(),
 		"paused":    s.fleet.PausedCount(),
 		"shards":    s.fleet.Shards(),
-	})
+	}
+	status := http.StatusOK
+	if s.degraded.Load() {
+		// Degraded: traffic is served but durability is gone — report
+		// unhealthy so supervisors and load balancers can react.
+		s.snapMu.Lock()
+		lastErr, failures := s.lastSnapError, s.snapFailures
+		s.snapMu.Unlock()
+		body["status"] = "degraded"
+		body["snapshot_failures"] = failures
+		body["last_snapshot_error"] = lastErr
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, body)
 }
 
 func (s *Server) handleOpsResume(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,214 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"io/fs"
+	"path/filepath"
+	"time"
+
+	"prorp/internal/faults"
+)
+
+// snapshotStore is the durable side of the serving runtime: it persists
+// fleet archives with the failure model a production control plane needs.
+//
+//   - Writes are atomic: temp file in the target directory, fsync, rename.
+//     A crash mid-write leaves the previous snapshot untouched.
+//   - Every snapshot is framed in a checksummed container (PRS1): magic,
+//     payload length, CRC-32C, payload (the PRF1 fleet archive). Restores
+//     verify the frame before a single byte reaches the fleet decoder.
+//   - The previous snapshot is rotated to <path>.bak before the rename, so
+//     one corrupted write never destroys the last-known-good state; loads
+//     fall back to the .bak when the primary is corrupt or missing.
+//   - Transient I/O errors are retried with capped jittered exponential
+//     backoff through the faults.FS/Clock seams, so chaos tests drive the
+//     whole path deterministically.
+//
+// Bare PRF1 archives (the pre-container on-disk format) still load, so
+// snapshots written by earlier builds restore without migration.
+const (
+	storeMagic      = 0x50525331 // "PRS1"
+	storeHeaderSize = 16         // magic u32 + payload length u64 + crc32c u32
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// errSnapshotCorrupt classifies container-level damage (bad magic, length
+// mismatch, checksum mismatch). It is distinct from transient I/O errors:
+// corruption is never retried, it triggers the .bak fallback instead.
+var errSnapshotCorrupt = errors.New("snapshot container corrupt")
+
+type snapshotStore struct {
+	path    string
+	fs      faults.FS
+	clock   faults.Clock
+	backoff faults.Backoff
+	logf    func(string, ...any)
+}
+
+func (st *snapshotStore) bakPath() string { return st.path + ".bak" }
+
+// Save atomically persists one archive: frame, temp-write, fsync, rotate,
+// rename — the whole attempt retried on transient errors. It returns the
+// container size and the number of retries that were needed.
+func (st *snapshotStore) Save(src io.WriterTo) (n int64, retries int, err error) {
+	var payload bytes.Buffer
+	payload.Write(make([]byte, storeHeaderSize)) // frame filled in below
+	if _, err := src.WriteTo(&payload); err != nil {
+		return 0, 0, fmt.Errorf("serializing fleet: %w", err)
+	}
+	frame := payload.Bytes()
+	body := frame[storeHeaderSize:]
+	binary.LittleEndian.PutUint32(frame[0:4], storeMagic)
+	binary.LittleEndian.PutUint64(frame[4:12], uint64(len(body)))
+	binary.LittleEndian.PutUint32(frame[12:16], crc32.Checksum(body, crcTable))
+
+	retries, err = faults.Retry(st.clock, st.backoff, func() error {
+		return st.writeOnce(frame)
+	})
+	if err != nil {
+		return 0, retries, err
+	}
+	return int64(len(frame)), retries, nil
+}
+
+// writeOnce is one atomic write attempt.
+func (st *snapshotStore) writeOnce(frame []byte) error {
+	dir, base := filepath.Dir(st.path), filepath.Base(st.path)
+	f, err := st.fs.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	_, err = f.Write(frame)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		st.fs.Remove(tmp)
+		return err
+	}
+	// Keep the current snapshot as last-known-good before replacing it. A
+	// failed rotation is not fatal — the replace below is still atomic,
+	// only the fallback lineage goes stale — but a crash between the two
+	// renames is covered: loads fall back to the .bak.
+	if _, serr := st.fs.Stat(st.path); serr == nil {
+		if rerr := st.fs.Rename(st.path, st.bakPath()); rerr != nil {
+			st.logf("snapshot rotation failed (continuing): %v", rerr)
+		}
+	}
+	if err := st.fs.Rename(tmp, st.path); err != nil {
+		st.fs.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// Load reads, verifies, and decodes the snapshot chain: the primary first,
+// then the last-known-good .bak. restore is called with the verified
+// payload of each candidate until one decodes; fellBack reports that the
+// surviving candidate was not the primary. When no snapshot exists at all
+// the returned error satisfies errors.Is(err, fs.ErrNotExist).
+func (st *snapshotStore) Load(restore func(io.Reader) error) (fellBack bool, err error) {
+	var failures []error
+	missing := 0
+	for i, p := range []string{st.path, st.bakPath()} {
+		payload, rerr := st.readVerify(p)
+		if rerr != nil {
+			if errors.Is(rerr, fs.ErrNotExist) {
+				missing++
+			} else {
+				st.logf("snapshot %s unusable: %v", p, rerr)
+			}
+			failures = append(failures, fmt.Errorf("%s: %w", p, rerr))
+			continue
+		}
+		if derr := restore(bytes.NewReader(payload)); derr != nil {
+			st.logf("snapshot %s does not decode: %v", p, derr)
+			failures = append(failures, fmt.Errorf("%s: %w", p, derr))
+			continue
+		}
+		return i > 0, nil
+	}
+	if missing == 2 {
+		return false, fmt.Errorf("no snapshot: %w", fs.ErrNotExist)
+	}
+	return false, errors.Join(failures...)
+}
+
+// readVerify reads one snapshot file and verifies its container frame,
+// returning the inner PRF1 payload. Transient read errors are retried;
+// corruption is not.
+func (st *snapshotStore) readVerify(path string) ([]byte, error) {
+	var data []byte
+	var notExist error
+	_, err := faults.Retry(st.clock, st.backoff, func() error {
+		f, err := st.fs.Open(path)
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				notExist = err // a missing file is a verdict, not a transient
+				return nil
+			}
+			return err
+		}
+		notExist = nil
+		data, err = io.ReadAll(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	})
+	if notExist != nil {
+		return nil, notExist
+	}
+	if err != nil {
+		return nil, err
+	}
+	return verifyContainer(data)
+}
+
+// verifyContainer validates a PRS1 frame and returns its payload. Bare
+// PRF1 archives pass through unchecked for backward compatibility.
+func verifyContainer(data []byte) ([]byte, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("%w: %d bytes", errSnapshotCorrupt, len(data))
+	}
+	switch binary.LittleEndian.Uint32(data[0:4]) {
+	case storeMagic:
+		if len(data) < storeHeaderSize {
+			return nil, fmt.Errorf("%w: truncated header (%d bytes)", errSnapshotCorrupt, len(data))
+		}
+		length := binary.LittleEndian.Uint64(data[4:12])
+		sum := binary.LittleEndian.Uint32(data[12:16])
+		body := data[storeHeaderSize:]
+		if uint64(len(body)) != length {
+			return nil, fmt.Errorf("%w: payload is %d bytes, header says %d",
+				errSnapshotCorrupt, len(body), length)
+		}
+		if got := crc32.Checksum(body, crcTable); got != sum {
+			return nil, fmt.Errorf("%w: checksum %#x, want %#x", errSnapshotCorrupt, got, sum)
+		}
+		return body, nil
+	case 0x50524631: // bare "PRF1" fleet archive from pre-container builds
+		return data, nil
+	default:
+		return nil, fmt.Errorf("%w: bad magic %#x", errSnapshotCorrupt, binary.LittleEndian.Uint32(data[0:4]))
+	}
+}
+
+// funcClock adapts the server's Now/Sleep funcs to the faults.Clock seam.
+type funcClock struct {
+	now   func() time.Time
+	sleep func(time.Duration)
+}
+
+func (c funcClock) Now() time.Time        { return c.now() }
+func (c funcClock) Sleep(d time.Duration) { c.sleep(d) }

@@ -1,0 +1,224 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"prorp/internal/faults"
+)
+
+// blob is a trivial io.WriterTo payload for store-level tests.
+type blob []byte
+
+func (b blob) WriteTo(w io.Writer) (int64, error) {
+	n, err := w.Write(b)
+	return int64(n), err
+}
+
+type sleepCounter struct {
+	n     int
+	total time.Duration
+}
+
+func (c *sleepCounter) Now() time.Time        { return time.Time{} }
+func (c *sleepCounter) Sleep(d time.Duration) { c.n++; c.total += d }
+
+func testStore(t *testing.T, fsys faults.FS, clock faults.Clock) *snapshotStore {
+	t.Helper()
+	if clock == nil {
+		clock = &sleepCounter{}
+	}
+	return &snapshotStore{
+		path:    filepath.Join(t.TempDir(), "fleet.snap"),
+		fs:      fsys,
+		clock:   clock,
+		backoff: faults.Backoff{Attempts: 4, Base: time.Millisecond, Max: 8 * time.Millisecond, Factor: 2},
+		logf:    t.Logf,
+	}
+}
+
+func loadPayload(t *testing.T, st *snapshotStore) (payload []byte, fellBack bool) {
+	t.Helper()
+	fellBack, err := st.Load(func(r io.Reader) error {
+		var err error
+		payload, err = io.ReadAll(r)
+		return err
+	})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	return payload, fellBack
+}
+
+func TestStoreRoundTripAndRotation(t *testing.T) {
+	st := testStore(t, faults.OS, nil)
+
+	if _, _, err := st.Save(blob("v1")); err != nil {
+		t.Fatal(err)
+	}
+	got, fellBack := loadPayload(t, st)
+	if string(got) != "v1" || fellBack {
+		t.Fatalf("load = %q, fellBack=%v", got, fellBack)
+	}
+
+	// Second save rotates v1 to .bak.
+	if _, _, err := st.Save(blob("v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = loadPayload(t, st)
+	if string(got) != "v2" {
+		t.Fatalf("load = %q, want v2", got)
+	}
+	if _, err := os.Stat(st.bakPath()); err != nil {
+		t.Fatalf("no .bak after second save: %v", err)
+	}
+
+	// No temp files leak.
+	matches, _ := filepath.Glob(filepath.Join(filepath.Dir(st.path), "*.tmp-*"))
+	if len(matches) != 0 {
+		t.Fatalf("temp files leaked: %v", matches)
+	}
+}
+
+func TestStoreLoadMissing(t *testing.T) {
+	st := testStore(t, faults.OS, nil)
+	_, err := st.Load(func(io.Reader) error { return nil })
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("Load of missing snapshot = %v, want ErrNotExist", err)
+	}
+}
+
+func TestStoreFallbackOnCorruptPrimary(t *testing.T) {
+	st := testStore(t, faults.OS, nil)
+	if _, _, err := st.Save(blob("good")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Save(blob("newer")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one bit in the primary's payload region: checksum must catch it
+	// and the load must fall back to the .bak (the previous good write).
+	data, err := os.ReadFile(st.path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x01
+	if err := os.WriteFile(st.path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, fellBack := loadPayload(t, st)
+	if string(got) != "good" || !fellBack {
+		t.Fatalf("load = %q, fellBack=%v; want fallback to %q", got, fellBack, "good")
+	}
+}
+
+func TestStoreFallbackOnMissingPrimary(t *testing.T) {
+	// A crash between the two renames leaves only the .bak.
+	st := testStore(t, faults.OS, nil)
+	if _, _, err := st.Save(blob("only")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(st.path, st.bakPath()); err != nil {
+		t.Fatal(err)
+	}
+	got, fellBack := loadPayload(t, st)
+	if string(got) != "only" || !fellBack {
+		t.Fatalf("load = %q, fellBack=%v", got, fellBack)
+	}
+}
+
+func TestStoreBothCandidatesCorrupt(t *testing.T) {
+	st := testStore(t, faults.OS, nil)
+	if err := os.WriteFile(st.path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(st.bakPath(), []byte("also garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := st.Load(func(io.Reader) error { return nil })
+	if err == nil || errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("Load over two corrupt candidates = %v, want hard error", err)
+	}
+	if !errors.Is(err, errSnapshotCorrupt) {
+		t.Fatalf("error %v does not wrap errSnapshotCorrupt", err)
+	}
+}
+
+func TestStoreLegacyBareArchive(t *testing.T) {
+	// Pre-container builds wrote the bare PRF1 archive; it must still load.
+	st := testStore(t, faults.OS, nil)
+	legacy := append([]byte{0x31, 0x46, 0x52, 0x50}, []byte("rest-of-archive")...) // "PRF1" LE
+	if err := os.WriteFile(st.path, legacy, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, fellBack := loadPayload(t, st)
+	if !bytes.Equal(got, legacy) || fellBack {
+		t.Fatalf("legacy load = %q, fellBack=%v", got, fellBack)
+	}
+}
+
+func TestStoreRetriesTransientWriteErrors(t *testing.T) {
+	inj := faults.NewInjector(1)
+	clock := &sleepCounter{}
+	st := testStore(t, faults.NewFaultFS(faults.OS, inj, clock), clock)
+
+	// Trip the first two createtemp calls: attempt 3 succeeds.
+	inj.TripN("fs.createtemp", 2, nil)
+	_, retries, err := st.Save(blob("persisted"))
+	if err != nil {
+		t.Fatalf("Save under transient faults: %v", err)
+	}
+	if retries != 2 {
+		t.Fatalf("retries = %d, want 2", retries)
+	}
+	if clock.n == 0 {
+		t.Fatal("no backoff sleeps recorded")
+	}
+	got, _ := loadPayload(t, st)
+	if string(got) != "persisted" {
+		t.Fatalf("load = %q", got)
+	}
+}
+
+func TestStoreGivesUpAfterBudget(t *testing.T) {
+	inj := faults.NewInjector(2)
+	st := testStore(t, faults.NewFaultFS(faults.OS, inj, &sleepCounter{}), nil)
+	inj.TripN("fs.sync", 100, nil)
+	_, _, err := st.Save(blob("never"))
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("Save = %v, want injected error after budget", err)
+	}
+	// The failed write must not have clobbered anything.
+	if _, err := os.Stat(st.path); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("failed save left a primary snapshot: %v", err)
+	}
+}
+
+func TestStoreCorruptionOnWriteCaughtOnLoad(t *testing.T) {
+	inj := faults.NewInjector(3)
+	clock := &sleepCounter{}
+	ffs := faults.NewFaultFS(faults.OS, inj, clock)
+	st := testStore(t, ffs, clock)
+
+	if _, _, err := st.Save(blob("good v1")); err != nil {
+		t.Fatal(err)
+	}
+	inj.CorruptWrites("fs.write", 1)
+	if _, _, err := st.Save(blob("rotten v2")); err != nil {
+		t.Fatal(err) // bit rot is silent at write time
+	}
+	inj.Heal("fs.write")
+
+	got, fellBack := loadPayload(t, st)
+	if string(got) != "good v1" || !fellBack {
+		t.Fatalf("load after bit rot = %q, fellBack=%v; want fallback", got, fellBack)
+	}
+}

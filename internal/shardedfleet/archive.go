@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -118,10 +119,10 @@ func (rt *Runtime) RestoreArchive(r io.Reader) ([]PendingWake, error) {
 	br := bufio.NewReader(r)
 	var hdr [8]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("shardedfleet: reading fleet archive header: %w", err)
+		return nil, fmt.Errorf("%w: reading header: %w", ErrCorruptArchive, err)
 	}
 	if got := binary.LittleEndian.Uint32(hdr[0:4]); got != archiveMagic {
-		return nil, fmt.Errorf("shardedfleet: bad fleet archive magic %#x", got)
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrCorruptArchive, got)
 	}
 	count := binary.LittleEndian.Uint32(hdr[4:8])
 
@@ -129,13 +130,16 @@ func (rt *Runtime) RestoreArchive(r io.Reader) ([]PendingWake, error) {
 	for i := uint32(0); i < count; i++ {
 		var rec [12]byte
 		if _, err := io.ReadFull(br, rec[:]); err != nil {
-			return nil, fmt.Errorf("shardedfleet: reading archive entry %d of %d: %w", i, count, err)
+			return nil, fmt.Errorf("%w: reading entry %d of %d: %w", ErrCorruptArchive, i, count, err)
 		}
 		id := int(int64(binary.LittleEndian.Uint64(rec[0:8])))
 		size := binary.LittleEndian.Uint32(rec[8:12])
 		wakeAt, err := rt.RestoreDB(id, io.LimitReader(br, int64(size)))
 		if err != nil {
-			return nil, fmt.Errorf("shardedfleet: restoring database %d: %w", id, err)
+			if errors.Is(err, ErrDuplicateDatabase) {
+				return nil, fmt.Errorf("shardedfleet: restoring database %d: %w", id, err)
+			}
+			return nil, fmt.Errorf("%w: restoring database %d: %w", ErrCorruptArchive, id, err)
 		}
 		if wakeAt > 0 {
 			wakes = append(wakes, PendingWake{ID: id, WakeAt: wakeAt})

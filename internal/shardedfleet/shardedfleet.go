@@ -46,17 +46,24 @@ const (
 	DefaultQueueDepth = 1024
 )
 
-// ErrClosed is returned by operations on a runtime after Close.
-var ErrClosed = errors.New("shardedfleet: runtime closed")
-
-// ErrBacklog is returned by TrySubmit when the owning shard's queue is full.
-var ErrBacklog = errors.New("shardedfleet: shard event queue full")
-
-// ErrUnknownDatabase and ErrDuplicateDatabase classify lookup failures for
-// errors.Is, so hosts (the HTTP front end) can map them to status codes.
+// The sentinel errors classify failures for errors.Is, so hosts (the HTTP
+// front end) can map them to status codes and recovery actions. They are
+// re-exported at the root as prorp.ErrUnknownDatabase etc., so their
+// messages carry no package prefix.
 var (
-	ErrUnknownDatabase   = errors.New("shardedfleet: unknown database")
-	ErrDuplicateDatabase = errors.New("shardedfleet: database already exists")
+	// ErrClosed is returned by operations on a runtime after Close.
+	ErrClosed = errors.New("fleet runtime closed")
+	// ErrBacklog is returned by TrySubmit when the owning shard's queue is
+	// full.
+	ErrBacklog = errors.New("shard event queue full")
+	// ErrUnknownDatabase and ErrDuplicateDatabase classify lookups.
+	ErrUnknownDatabase   = errors.New("unknown database")
+	ErrDuplicateDatabase = errors.New("database already exists")
+	// ErrCorruptArchive marks a fleet archive that cannot be decoded —
+	// truncated, bit-flipped, or wrong format. Restores never panic on bad
+	// input; they return an error wrapping this sentinel so hosts can fall
+	// back to an older snapshot.
+	ErrCorruptArchive = errors.New("corrupt fleet archive")
 )
 
 // Config assembles a runtime.

@@ -344,7 +344,7 @@ func NewFleet(opts Options) (*Fleet, error) {
 // Create adds a new database to the fleet, created at createdAt.
 func (f *Fleet) Create(id int, createdAt time.Time) (*Database, error) {
 	if _, exists := f.dbs[id]; exists {
-		return nil, fmt.Errorf("prorp: database %d already exists", id)
+		return nil, fmt.Errorf("prorp: %w: %d", ErrDuplicateDatabase, id)
 	}
 	db, err := NewDatabase(f.opts, id, createdAt)
 	if err != nil {
@@ -364,7 +364,7 @@ func (f *Fleet) Database(id int) (*Database, bool) {
 // metadata, so a pending proactive resume for it cannot fire.
 func (f *Fleet) Delete(id int) error {
 	if _, ok := f.dbs[id]; !ok {
-		return fmt.Errorf("prorp: unknown database %d", id)
+		return fmt.Errorf("prorp: %w: %d", ErrUnknownDatabase, id)
 	}
 	delete(f.dbs, id)
 	f.meta.ClearPaused(id)
@@ -397,7 +397,7 @@ func (f *Fleet) apply(id int, d Decision, t time.Time) Decision {
 func (f *Fleet) Login(id int, t time.Time) (Decision, error) {
 	db, ok := f.dbs[id]
 	if !ok {
-		return Decision{}, fmt.Errorf("prorp: unknown database %d", id)
+		return Decision{}, fmt.Errorf("prorp: %w: %d", ErrUnknownDatabase, id)
 	}
 	return f.apply(id, db.Login(t), t), nil
 }
@@ -406,7 +406,7 @@ func (f *Fleet) Login(id int, t time.Time) (Decision, error) {
 func (f *Fleet) Idle(id int, t time.Time) (Decision, error) {
 	db, ok := f.dbs[id]
 	if !ok {
-		return Decision{}, fmt.Errorf("prorp: unknown database %d", id)
+		return Decision{}, fmt.Errorf("prorp: %w: %d", ErrUnknownDatabase, id)
 	}
 	return f.apply(id, db.Idle(t), t), nil
 }
@@ -415,7 +415,7 @@ func (f *Fleet) Idle(id int, t time.Time) (Decision, error) {
 func (f *Fleet) Wake(id int, t time.Time) (Decision, error) {
 	db, ok := f.dbs[id]
 	if !ok {
-		return Decision{}, fmt.Errorf("prorp: unknown database %d", id)
+		return Decision{}, fmt.Errorf("prorp: %w: %d", ErrUnknownDatabase, id)
 	}
 	return f.apply(id, db.Wake(t), t), nil
 }

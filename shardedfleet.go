@@ -242,6 +242,17 @@ type FleetKPI struct {
 	Prewarms       uint64 `json:"prewarms"`
 	PrewarmsUsed   uint64 `json:"prewarms_used"`
 	PrewarmsWasted uint64 `json:"prewarms_wasted"`
+	// Resilience counters, filled by the serving layer (zero in library
+	// use): backoff retries and terminal failures of snapshot persistence
+	// and of the infrastructure side of prewarm/wake delivery, plus boots
+	// that restored from the last-known-good fallback snapshot.
+	SnapshotRetries   uint64 `json:"snapshot_retries"`
+	SnapshotFailures  uint64 `json:"snapshot_failures"`
+	SnapshotFallbacks uint64 `json:"snapshot_fallbacks"`
+	PrewarmRetries    uint64 `json:"prewarm_retries"`
+	PrewarmFailures   uint64 `json:"prewarm_failures"`
+	WakeRetries       uint64 `json:"wake_retries"`
+	WakeFailures      uint64 `json:"wake_failures"`
 }
 
 // QoSPercent is the paper's headline KPI over the counters: the share of

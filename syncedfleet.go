@@ -77,7 +77,7 @@ func (s *SyncedFleet) State(id int) (State, error) {
 	defer s.mu.Unlock()
 	db, ok := s.fleet.Database(id)
 	if !ok {
-		return 0, fmt.Errorf("prorp: unknown database %d", id)
+		return 0, fmt.Errorf("prorp: %w: %d", ErrUnknownDatabase, id)
 	}
 	return db.State(), nil
 }
@@ -102,7 +102,7 @@ func (s *SyncedFleet) Snapshot(id int, w io.Writer) error {
 	defer s.mu.Unlock()
 	db, ok := s.fleet.Database(id)
 	if !ok {
-		return fmt.Errorf("prorp: unknown database %d", id)
+		return fmt.Errorf("prorp: %w: %d", ErrUnknownDatabase, id)
 	}
 	_, err := db.WriteTo(w)
 	return err
@@ -124,7 +124,7 @@ func (s *SyncedFleet) PlanMaintenance(id int, now time.Time, duration time.Durat
 	defer s.mu.Unlock()
 	db, ok := s.fleet.Database(id)
 	if !ok {
-		return MaintenancePlan{}, fmt.Errorf("prorp: unknown database %d", id)
+		return MaintenancePlan{}, fmt.Errorf("prorp: %w: %d", ErrUnknownDatabase, id)
 	}
 	return db.PlanMaintenance(now, duration, deadline)
 }
@@ -137,7 +137,7 @@ func (s *SyncedFleet) ExplainPrediction(id int, now time.Time) (windows []Predic
 	defer s.mu.Unlock()
 	db, found := s.fleet.Database(id)
 	if !found {
-		return nil, time.Time{}, time.Time{}, false, fmt.Errorf("prorp: unknown database %d", id)
+		return nil, time.Time{}, time.Time{}, false, fmt.Errorf("prorp: %w: %d", ErrUnknownDatabase, id)
 	}
 	windows, start, end, ok = db.ExplainPrediction(now)
 	return windows, start, end, ok, nil
