@@ -29,6 +29,7 @@ import (
 	"prorp"
 	"prorp/internal/faults"
 	"prorp/internal/server"
+	"prorp/internal/wal"
 )
 
 func main() {
@@ -42,8 +43,17 @@ func main() {
 		retryBase     = flag.Duration("retry-base", 50*time.Millisecond, "initial retry backoff delay")
 		retryMax      = flag.Duration("retry-max", 2*time.Second, "retry backoff delay cap")
 		degradedAfter = flag.Int("degraded-after", 3, "consecutive snapshot failures before degraded mode (serve traffic, skip snapshots, report unhealthy)")
+		walDir        = flag.String("wal-dir", "", "event journal directory: every mutation is journaled there before it is acknowledged, replayed on boot, compacted on snapshot (empty = journal disabled)")
+		walFsync      = flag.String("wal-fsync", "always", "journal durability policy: always (fsync per record), batch (group commit), off")
+		walSegBytes   = flag.Int64("wal-segment-bytes", 0, "journal segment rotation size in bytes (0 = default 4 MiB)")
+		walBatchEvery = flag.Duration("wal-batch-interval", 0, "group-commit window for -wal-fsync=batch (0 = default 2ms)")
 	)
 	flag.Parse()
+
+	fsyncPolicy, err := wal.ParsePolicy(*walFsync)
+	if err != nil {
+		log.Fatalf("prorp-serve: -wal-fsync: %v", err)
+	}
 
 	opts := prorp.DefaultOptions()
 	if *configPath != "" {
@@ -62,19 +72,31 @@ func main() {
 	backoff.Max = *retryMax
 
 	srv, err := server.New(server.Config{
-		Options:       opts,
-		Shards:        *shards,
-		SnapshotPath:  *snapshotPath,
-		SnapshotEvery: *snapshotEvery,
-		Backoff:       backoff,
-		DegradedAfter: *degradedAfter,
-		Logf:          log.Printf,
+		Options:          opts,
+		Shards:           *shards,
+		SnapshotPath:     *snapshotPath,
+		SnapshotEvery:    *snapshotEvery,
+		Backoff:          backoff,
+		DegradedAfter:    *degradedAfter,
+		WALDir:           *walDir,
+		WALFsync:         fsyncPolicy,
+		WALSegmentBytes:  *walSegBytes,
+		WALBatchInterval: *walBatchEvery,
+		Logf:             log.Printf,
 	})
 	if err != nil {
 		log.Fatalf("prorp-serve: %v", err)
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	// Slow-client hardening: a peer that stalls mid-headers, mid-body, or
+	// between keep-alive requests cannot pin a connection forever.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	log.Printf("prorp-serve: listening on %s (%d shards, mode %s)",

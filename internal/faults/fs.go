@@ -29,14 +29,21 @@ type File interface {
 	Name() string
 }
 
-// FS is the filesystem seam of the snapshot store: just enough surface to
-// implement write-temp-fsync-rename persistence with rotation.
+// FS is the filesystem seam of the durable stores (snapshot store and WAL
+// journal): enough surface to implement write-temp-fsync-rename
+// persistence with rotation plus append-mode segment files and directory
+// scans.
 type FS interface {
 	Open(name string) (File, error)
+	// OpenFile opens with explicit flags (os.O_CREATE|os.O_EXCL|os.O_RDWR
+	// for fresh WAL segments).
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
 	CreateTemp(dir, pattern string) (File, error)
 	Rename(oldpath, newpath string) error
 	Remove(name string) error
 	Stat(name string) (fs.FileInfo, error)
+	ReadDir(name string) ([]fs.DirEntry, error)
+	MkdirAll(path string, perm fs.FileMode) error
 }
 
 // OS is the real filesystem.
@@ -45,17 +52,24 @@ var OS FS = osFS{}
 type osFS struct{}
 
 func (osFS) Open(name string) (File, error) { return os.Open(name) }
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
 func (osFS) CreateTemp(dir, pattern string) (File, error) {
 	return os.CreateTemp(dir, pattern)
 }
-func (osFS) Rename(oldpath, newpath string) error  { return os.Rename(oldpath, newpath) }
-func (osFS) Remove(name string) error              { return os.Remove(name) }
-func (osFS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
+func (osFS) Rename(oldpath, newpath string) error       { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                   { return os.Remove(name) }
+func (osFS) Stat(name string) (fs.FileInfo, error)      { return os.Stat(name) }
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+func (osFS) MkdirAll(path string, perm fs.FileMode) error {
+	return os.MkdirAll(path, perm)
+}
 
 // FaultFS wraps an FS with an Injector. Each operation consults one site:
 //
-//	fs.open  fs.createtemp  fs.rename  fs.remove  fs.stat
-//	fs.read  fs.write  fs.sync  fs.close
+//	fs.open  fs.openfile  fs.createtemp  fs.rename  fs.remove  fs.stat
+//	fs.readdir  fs.mkdirall  fs.read  fs.write  fs.sync  fs.close
 //
 // Write faults additionally support partial writes (a prefix lands, then
 // an error) and silent corruption (one bit of the written data flips).
@@ -94,6 +108,17 @@ func (f *FaultFS) Open(name string) (File, error) {
 	return &faultFile{File: file, fs: f}, nil
 }
 
+func (f *FaultFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	if err := f.check("fs.openfile"); err != nil {
+		return nil, &fs.PathError{Op: "openfile", Path: name, Err: err}
+	}
+	file, err := f.Inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
 func (f *FaultFS) CreateTemp(dir, pattern string) (File, error) {
 	if err := f.check("fs.createtemp"); err != nil {
 		return nil, &fs.PathError{Op: "createtemp", Path: dir, Err: err}
@@ -124,6 +149,20 @@ func (f *FaultFS) Stat(name string) (fs.FileInfo, error) {
 		return nil, &fs.PathError{Op: "stat", Path: name, Err: err}
 	}
 	return f.Inner.Stat(name)
+}
+
+func (f *FaultFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	if err := f.check("fs.readdir"); err != nil {
+		return nil, &fs.PathError{Op: "readdir", Path: name, Err: err}
+	}
+	return f.Inner.ReadDir(name)
+}
+
+func (f *FaultFS) MkdirAll(path string, perm fs.FileMode) error {
+	if err := f.check("fs.mkdirall"); err != nil {
+		return &fs.PathError{Op: "mkdirall", Path: path, Err: err}
+	}
+	return f.Inner.MkdirAll(path, perm)
 }
 
 // faultFile threads per-call faults through reads, writes, syncs, closes.

@@ -22,6 +22,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -36,6 +37,7 @@ import (
 	"prorp"
 	"prorp/internal/faults"
 	"prorp/internal/shardedfleet"
+	"prorp/internal/wal"
 )
 
 // Config assembles a Server.
@@ -63,6 +65,20 @@ type Config struct {
 	// Backoff is the retry schedule for transient snapshot, prewarm, and
 	// wake-delivery failures (zero value = faults.DefaultBackoff).
 	Backoff faults.Backoff
+	// WALDir, when non-empty, enables the crash-durable event journal:
+	// every create/delete/login/logout is recorded there before it is
+	// acknowledged, replayed on top of the restored snapshot at boot, and
+	// compacted each time a snapshot lands. See internal/wal.
+	WALDir string
+	// WALFsync is the journal's durability policy (default wal.FsyncAlways;
+	// wal.FsyncBatch group-commits appends arriving within
+	// WALBatchInterval into one fsync).
+	WALFsync wal.FsyncPolicy
+	// WALSegmentBytes is the journal's segment rotation size (0 = default).
+	WALSegmentBytes int64
+	// WALBatchInterval is the group-commit window under wal.FsyncBatch
+	// (0 = default).
+	WALBatchInterval time.Duration
 	// DegradedAfter is the number of consecutive periodic-snapshot
 	// failures (each already retried per Backoff) after which the server
 	// enters degraded mode: traffic is still served, snapshot retry storms
@@ -93,6 +109,13 @@ type opsCounters struct {
 	prewarmFailures   atomic.Uint64
 	wakeRetries       atomic.Uint64
 	wakeFailures      atomic.Uint64
+	// WAL counters: append failures accumulate over the server's life;
+	// the replay family is set once by the boot replay.
+	walAppendFailures atomic.Uint64
+	walReplayed       atomic.Uint64
+	walReplaySkipped  atomic.Uint64
+	walTornSegments   atomic.Uint64
+	walTruncatedBytes atomic.Uint64
 }
 
 // Server is the HTTP front end. It implements http.Handler.
@@ -105,8 +128,16 @@ type Server struct {
 	mux     *http.ServeMux
 	wakes   *wakeScheduler
 	store   *snapshotStore // nil when persistence is disabled
+	wal     *wal.Journal   // nil when the event journal is disabled
 	started time.Time
 	ops     opsCounters
+
+	// walGate orders mutations against snapshot boundaries: handlers hold
+	// it shared around the journal-append + fleet-apply pair, and the
+	// snapshot writer holds it exclusive around rotate + serialize — so
+	// every event is either wholly inside a snapshot or wholly at/after
+	// its journal boundary, never half of each.
+	walGate sync.RWMutex
 
 	// snapMu serializes snapshot writes (ticker vs. ops endpoint vs.
 	// Close) and guards the degraded-mode bookkeeping.
@@ -167,10 +198,11 @@ func New(cfg Config) (*Server, error) {
 		fleet    *prorp.ShardedFleet
 		pending  []prorp.PendingWake
 		fellBack bool
+		walSince uint64
 	)
 	if store != nil {
 		var err error
-		fellBack, err = store.Load(func(r io.Reader) error {
+		fellBack, walSince, err = store.Load(func(r io.Reader) error {
 			f, p, rerr := prorp.RestoreShardedFleet(cfg.Options, cfg.Shards, r)
 			if rerr != nil {
 				return rerr
@@ -187,7 +219,8 @@ func New(cfg Config) (*Server, error) {
 			cfg.Logf("restored %d databases (%d pending wakes) from %s",
 				fleet.Size(), len(pending), src)
 		case errors.Is(err, fs.ErrNotExist):
-			// First boot: no snapshot yet.
+			// First boot: no snapshot yet. The journal, if any, replays
+			// from the beginning and rebuilds the fleet on its own.
 		default:
 			return nil, fmt.Errorf("server: restoring snapshot %s: %w", cfg.SnapshotPath, err)
 		}
@@ -197,6 +230,26 @@ func New(cfg Config) (*Server, error) {
 		fleet, err = prorp.NewShardedFleetShards(cfg.Options, cfg.Shards)
 		if err != nil {
 			return nil, err
+		}
+		walSince = 0 // fresh fleet: every journaled event is news
+	}
+
+	var journal *wal.Journal
+	if cfg.WALDir != "" {
+		var err error
+		journal, err = wal.Open(wal.Config{
+			Dir:           cfg.WALDir,
+			SegmentBytes:  cfg.WALSegmentBytes,
+			Fsync:         cfg.WALFsync,
+			BatchInterval: cfg.WALBatchInterval,
+			FS:            cfg.FS,
+			Clock:         clock,
+			Backoff:       cfg.Backoff,
+			Logf:          cfg.Logf,
+		})
+		if err != nil {
+			fleet.Close()
+			return nil, fmt.Errorf("server: opening wal: %w", err)
 		}
 	}
 
@@ -208,6 +261,7 @@ func New(cfg Config) (*Server, error) {
 		logf:    cfg.Logf,
 		wakes:   newWakeScheduler(),
 		store:   store,
+		wal:     journal,
 		started: cfg.Now(),
 		stop:    make(chan struct{}),
 	}
@@ -216,6 +270,25 @@ func New(cfg Config) (*Server, error) {
 	}
 	for _, w := range pending {
 		s.wakes.schedule(w.ID, w.WakeAt)
+	}
+	if journal != nil {
+		// Replay the journal on top of the restored snapshot. Torn tails
+		// are truncated by the journal; only disk-level read errors refuse
+		// the boot.
+		stats, err := journal.Replay(walSince, s.applyReplay)
+		if err != nil {
+			fleet.Close()
+			journal.Close()
+			return nil, fmt.Errorf("server: replaying wal: %w", err)
+		}
+		s.ops.walTornSegments.Add(uint64(stats.TornSegments))
+		s.ops.walTruncatedBytes.Add(uint64(stats.TruncatedBytes))
+		if stats.Records > 0 || stats.TornSegments > 0 {
+			cfg.Logf("wal replay: %d records across %d segments since boundary %d (%d applied, %d skipped, %d torn segments, %d bytes truncated)",
+				stats.Records, stats.SegmentsScanned, walSince,
+				s.ops.walReplayed.Load(), s.ops.walReplaySkipped.Load(),
+				stats.TornSegments, stats.TruncatedBytes)
+		}
 	}
 	s.buildMux()
 
@@ -231,7 +304,8 @@ func New(cfg Config) (*Server, error) {
 
 // Close shuts the server down gracefully: it stops the control loops,
 // drains the fleet's shard queues, persists a final snapshot (when
-// persistence is configured), and stops the shard workers.
+// persistence is configured), seals the event journal, and stops the
+// shard workers.
 func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
 		close(s.stop)
@@ -240,13 +314,105 @@ func (s *Server) Close() error {
 		if s.cfg.SnapshotPath != "" {
 			if _, err := s.writeSnapshot(); err != nil {
 				s.closeErr = fmt.Errorf("server: final snapshot: %w", err)
-				return
+			} else {
+				s.logf("final snapshot written to %s", s.cfg.SnapshotPath)
 			}
-			s.logf("final snapshot written to %s", s.cfg.SnapshotPath)
+		}
+		if s.wal != nil {
+			if err := s.wal.Close(); err != nil && s.closeErr == nil {
+				s.closeErr = fmt.Errorf("server: sealing wal: %w", err)
+			}
 		}
 	})
 	return s.closeErr
 }
+
+// Kill terminates the server without the graceful-shutdown work: no final
+// snapshot, no journal seal, no final fsync — the moral equivalent of
+// SIGKILL landing after the last acknowledged request. The chaos suite
+// uses it to model a crash; production shutdown is Close.
+func (s *Server) Kill() {
+	s.closeOnce.Do(func() {
+		close(s.stop)
+		s.bg.Wait()
+		s.fleet.Close()
+		if s.wal != nil {
+			s.wal.Kill()
+		}
+	})
+}
+
+// applyReplay applies one journaled record to the fleet during boot
+// replay. Records that double-apply against the snapshot — the journal
+// boundary is conservative, so events landed right around a snapshot can
+// legitimately appear in both — are skipped: duplicate creates, mutations
+// of since-deleted databases, and re-inserted history tuples (the history
+// store dedups on timestamp) are all idempotent.
+func (s *Server) applyReplay(rec wal.Record) {
+	id := int(rec.ID)
+	t := time.Unix(rec.Unix, 0)
+	var (
+		d      prorp.Decision
+		err    error
+		reWake bool
+	)
+	switch rec.Type {
+	case wal.RecordCreate:
+		err = s.fleet.Create(id, t)
+	case wal.RecordDelete:
+		if err = s.fleet.Delete(id); err == nil {
+			s.wakes.schedule(id, time.Time{})
+		}
+	case wal.RecordLogin:
+		d, err = s.fleet.Login(id, t)
+		reWake = err == nil
+	case wal.RecordLogout:
+		d, err = s.fleet.Idle(id, t)
+		reWake = err == nil
+	default:
+		err = fmt.Errorf("unknown record type %d", rec.Type)
+	}
+	switch {
+	case err == nil:
+		s.ops.walReplayed.Add(1)
+		if reWake {
+			// The decision's WakeAt is the complete desired timer state
+			// after this event; reconcile, exactly like the live handler.
+			s.wakes.schedule(id, d.WakeAt)
+		}
+	case errors.Is(err, prorp.ErrDuplicateDatabase), errors.Is(err, prorp.ErrUnknownDatabase):
+		s.ops.walReplaySkipped.Add(1)
+	default:
+		s.ops.walReplaySkipped.Add(1)
+		s.logf("wal replay: %s(%d) at %d not applied: %v", rec.Type, rec.ID, rec.Unix, err)
+	}
+}
+
+// journalize records one mutation in the event journal, retrying transient
+// failures. A nil return means the record is durable per the configured
+// fsync policy and the mutation may be acknowledged; a non-nil return
+// means it must not be. Callers hold walGate shared across the
+// journalize + fleet-apply pair.
+func (s *Server) journalize(typ wal.RecordType, id int, t time.Time) error {
+	if s.wal == nil {
+		return nil
+	}
+	rec := wal.Record{Type: typ, ID: int64(id), Unix: t.Unix()}
+	_, err := faults.Retry(s.clock, s.cfg.Backoff, func() error {
+		return s.wal.Append(rec)
+	})
+	if err != nil {
+		s.ops.walAppendFailures.Add(1)
+		s.logf("wal append %s(%d) failed: %v", typ, id, err)
+		return fmt.Errorf("%w: %v", errJournalUnavailable, err)
+	}
+	return nil
+}
+
+// errJournalUnavailable refuses a mutation whose journal append failed:
+// without a durable record the event cannot be acknowledged. Mapped to
+// HTTP 503 — the condition is the server's, not the client's.
+var errJournalUnavailable = errors.New("event journal unavailable")
 
 // Fleet exposes the underlying fleet, for host instrumentation.
 func (s *Server) Fleet() *prorp.ShardedFleet { return s.fleet }
@@ -410,8 +576,35 @@ func (s *Server) writeSnapshotOpts(probeOnly bool) (int64, error) {
 	}
 	st := *s.store
 	st.backoff = backoff
-	n, retries, err := st.Save(s.fleet)
-	s.ops.snapshotRetries.Add(uint64(retries))
+
+	// Establish the journal boundary and serialize the fleet under the
+	// exclusive side of walGate: no event can land between the rotation
+	// and the archive quiesce, so the snapshot provably contains every
+	// event in segments below the boundary. Disk I/O (the slow, retried
+	// part) happens after the gate is released.
+	var (
+		payload  bytes.Buffer
+		boundary uint64
+		err      error
+	)
+	payload.Write(make([]byte, storeHeader2Size)) // container header headroom
+	if s.wal != nil {
+		s.walGate.Lock()
+		boundary, err = s.wal.Rotate()
+		if err == nil {
+			_, err = s.fleet.WriteTo(&payload)
+		}
+		s.walGate.Unlock()
+	} else {
+		_, err = s.fleet.WriteTo(&payload)
+	}
+
+	var n int64
+	if err == nil {
+		var retries int
+		n, retries, err = st.savePayload(payload.Bytes(), boundary)
+		s.ops.snapshotRetries.Add(uint64(retries))
+	}
 	if err != nil {
 		s.ops.snapshotFailures.Add(1)
 		s.snapFailures++
@@ -427,6 +620,13 @@ func (s *Server) writeSnapshotOpts(probeOnly bool) (int64, error) {
 	}
 	s.snapFailures = 0
 	s.lastSnapError = ""
+	if s.wal != nil {
+		// The snapshot is durable: segments below the boundary are
+		// superseded. A failed removal is retried by the next compaction.
+		if removed, cerr := s.wal.CompactBefore(boundary); cerr != nil {
+			s.logf("wal compaction after snapshot: removed %d segments, then: %v", removed, cerr)
+		}
+	}
 	return n, nil
 }
 
@@ -463,7 +663,10 @@ func writeErr(w http.ResponseWriter, err error) {
 		status = http.StatusNotFound
 	case errors.Is(err, shardedfleet.ErrDuplicateDatabase):
 		status = http.StatusConflict
-	case errors.Is(err, shardedfleet.ErrClosed):
+	case errors.Is(err, shardedfleet.ErrBacklog):
+		// Shard queue full: shed load, tell the client to back off.
+		status = http.StatusTooManyRequests
+	case errors.Is(err, shardedfleet.ErrClosed), errors.Is(err, errJournalUnavailable):
 		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, errorJSON{Error: err.Error()})
@@ -479,6 +682,7 @@ func pathID(r *http.Request) (int, error) {
 
 type decisionJSON struct {
 	Event       string     `json:"event"`
+	At          time.Time  `json:"at"` // server-assigned event time, as journaled
 	Allocate    bool       `json:"allocate"`
 	Reclaim     bool       `json:"reclaim"`
 	WakeAt      *time.Time `json:"wake_at,omitempty"`
@@ -486,9 +690,10 @@ type decisionJSON struct {
 	State       string     `json:"state"`
 }
 
-func (s *Server) decisionJSON(id int, d prorp.Decision) decisionJSON {
+func (s *Server) decisionJSON(id int, at time.Time, d prorp.Decision) decisionJSON {
 	out := decisionJSON{
 		Event:       d.Event.String(),
+		At:          at.UTC(),
 		Allocate:    d.Allocate,
 		Reclaim:     d.Reclaim,
 		FromPrewarm: d.FromPrewarm,
@@ -508,9 +713,20 @@ type createRequest struct {
 	CreatedAt *time.Time `json:"created_at,omitempty"`
 }
 
+// maxCreateBody caps POST /v1/db request bodies; a create is a few dozen
+// bytes of JSON, anything bigger is abuse or a bug.
+const maxCreateBody = 64 << 10
+
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxCreateBody)
 	var req createRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorJSON{Error: fmt.Sprintf("create body exceeds %d bytes", tooBig.Limit)})
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "bad create body: " + err.Error()})
 		return
 	}
@@ -518,7 +734,13 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	if req.CreatedAt != nil {
 		createdAt = *req.CreatedAt
 	}
-	if err := s.fleet.Create(req.ID, createdAt); err != nil {
+	s.walGate.RLock()
+	err := s.journalize(wal.RecordCreate, req.ID, createdAt)
+	if err == nil {
+		err = s.fleet.Create(req.ID, createdAt)
+	}
+	s.walGate.RUnlock()
+	if err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -535,7 +757,13 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
 		return
 	}
-	if err := s.fleet.Delete(id); err != nil {
+	s.walGate.RLock()
+	err = s.journalize(wal.RecordDelete, id, s.now())
+	if err == nil {
+		err = s.fleet.Delete(id)
+	}
+	s.walGate.RUnlock()
+	if err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -544,27 +772,37 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleLogin(w http.ResponseWriter, r *http.Request) {
-	s.handleEvent(w, r, s.fleet.Login)
+	s.handleEvent(w, r, wal.RecordLogin, s.fleet.Login)
 }
 
 func (s *Server) handleLogout(w http.ResponseWriter, r *http.Request) {
-	s.handleEvent(w, r, s.fleet.Idle)
+	s.handleEvent(w, r, wal.RecordLogout, s.fleet.Idle)
 }
 
-func (s *Server) handleEvent(w http.ResponseWriter, r *http.Request, apply func(int, time.Time) (prorp.Decision, error)) {
+func (s *Server) handleEvent(w http.ResponseWriter, r *http.Request, typ wal.RecordType, apply func(int, time.Time) (prorp.Decision, error)) {
 	id, err := pathID(r)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
 		return
 	}
-	d, err := apply(id, s.now())
+	at := s.now()
+	// Journal first, then apply, both under the shared side of walGate:
+	// the event is durable before it can influence fleet state, and a
+	// concurrent snapshot can never split the pair across its boundary.
+	s.walGate.RLock()
+	err = s.journalize(typ, id, at)
+	var d prorp.Decision
+	if err == nil {
+		d, err = apply(id, at)
+	}
+	s.walGate.RUnlock()
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
 	// The returned WakeAt is the complete desired timer state; reconcile.
 	s.wakes.schedule(id, d.WakeAt)
-	writeJSON(w, http.StatusOK, s.decisionJSON(id, d))
+	writeJSON(w, http.StatusOK, s.decisionJSON(id, at, d))
 }
 
 type predictionJSON struct {
@@ -644,6 +882,18 @@ func (s *Server) handleKPI(w http.ResponseWriter, r *http.Request) {
 	kpi.PrewarmFailures = s.ops.prewarmFailures.Load()
 	kpi.WakeRetries = s.ops.wakeRetries.Load()
 	kpi.WakeFailures = s.ops.wakeFailures.Load()
+	if s.wal != nil {
+		wm := s.wal.Metrics()
+		kpi.WALAppends = wm.Appends
+		kpi.WALFsyncs = wm.Fsyncs
+		kpi.WALRotations = wm.Rotations
+		kpi.WALSegmentsCompacted = wm.Compacted
+		kpi.WALAppendFailures = s.ops.walAppendFailures.Load()
+		kpi.WALReplayedRecords = s.ops.walReplayed.Load()
+		kpi.WALReplaySkipped = s.ops.walReplaySkipped.Load()
+		kpi.WALTornSegments = s.ops.walTornSegments.Load()
+		kpi.WALTruncatedBytes = s.ops.walTruncatedBytes.Load()
+	}
 	writeJSON(w, http.StatusOK, kpiJSON{
 		FleetKPI:      kpi,
 		QoSPercent:    kpi.QoSPercent(),

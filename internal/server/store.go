@@ -19,21 +19,31 @@ import (
 //
 //   - Writes are atomic: temp file in the target directory, fsync, rename.
 //     A crash mid-write leaves the previous snapshot untouched.
-//   - Every snapshot is framed in a checksummed container (PRS1): magic,
-//     payload length, CRC-32C, payload (the PRF1 fleet archive). Restores
-//     verify the frame before a single byte reaches the fleet decoder.
+//   - Every snapshot is framed in a checksummed container (PRS2): magic,
+//     payload length, CRC-32C, the WAL compaction boundary, payload (the
+//     PRF1 fleet archive). Restores verify the frame before a single byte
+//     reaches the fleet decoder. The boundary is the WAL segment sequence
+//     the journal rotated to when this snapshot was taken: on boot, replay
+//     starts there, and the checksum covers it — a flipped boundary would
+//     otherwise silently skip acknowledged events.
 //   - The previous snapshot is rotated to <path>.bak before the rename, so
 //     one corrupted write never destroys the last-known-good state; loads
-//     fall back to the .bak when the primary is corrupt or missing.
+//     fall back to the .bak when the primary is corrupt or missing. A .bak
+//     carries an older boundary, so falling back simply replays more WAL.
 //   - Transient I/O errors are retried with capped jittered exponential
 //     backoff through the faults.FS/Clock seams, so chaos tests drive the
 //     whole path deterministically.
 //
-// Bare PRF1 archives (the pre-container on-disk format) still load, so
-// snapshots written by earlier builds restore without migration.
+// PRS1 containers (no WAL boundary) and bare PRF1 archives (the
+// pre-container on-disk format) still load, so snapshots written by
+// earlier builds restore without migration; both imply boundary 0 —
+// replay everything on disk, which at worst double-applies (idempotent at
+// the history layer) and never loses.
 const (
-	storeMagic      = 0x50525331 // "PRS1"
-	storeHeaderSize = 16         // magic u32 + payload length u64 + crc32c u32
+	storeMagic       = 0x50525331 // "PRS1" (legacy, read-only)
+	storeMagic2      = 0x50525332 // "PRS2"
+	storeHeaderSize  = 16         // PRS1: magic u32 + payload length u64 + crc32c u32
+	storeHeader2Size = 24         // PRS2: PRS1 header + WAL boundary u64
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -54,19 +64,30 @@ type snapshotStore struct {
 func (st *snapshotStore) bakPath() string { return st.path + ".bak" }
 
 // Save atomically persists one archive: frame, temp-write, fsync, rotate,
-// rename — the whole attempt retried on transient errors. It returns the
-// container size and the number of retries that were needed.
-func (st *snapshotStore) Save(src io.WriterTo) (n int64, retries int, err error) {
+// rename — the whole attempt retried on transient errors. walSeq is the
+// journal boundary recorded in the container (0 when no WAL is
+// configured). It returns the container size and the number of retries
+// that were needed.
+func (st *snapshotStore) Save(src io.WriterTo, walSeq uint64) (n int64, retries int, err error) {
 	var payload bytes.Buffer
-	payload.Write(make([]byte, storeHeaderSize)) // frame filled in below
+	payload.Write(make([]byte, storeHeader2Size)) // frame filled in below
 	if _, err := src.WriteTo(&payload); err != nil {
 		return 0, 0, fmt.Errorf("serializing fleet: %w", err)
 	}
-	frame := payload.Bytes()
-	body := frame[storeHeaderSize:]
-	binary.LittleEndian.PutUint32(frame[0:4], storeMagic)
+	return st.savePayload(payload.Bytes(), walSeq)
+}
+
+// savePayload persists a pre-serialized archive. frame must have
+// storeHeader2Size bytes of headroom at the front for the container
+// header.
+func (st *snapshotStore) savePayload(frame []byte, walSeq uint64) (n int64, retries int, err error) {
+	body := frame[storeHeader2Size:]
+	binary.LittleEndian.PutUint32(frame[0:4], storeMagic2)
 	binary.LittleEndian.PutUint64(frame[4:12], uint64(len(body)))
-	binary.LittleEndian.PutUint32(frame[12:16], crc32.Checksum(body, crcTable))
+	binary.LittleEndian.PutUint64(frame[16:24], walSeq)
+	// The checksum covers the boundary too: bit rot there must trigger the
+	// .bak fallback, not a silently wrong replay start.
+	binary.LittleEndian.PutUint32(frame[12:16], crc32.Checksum(frame[16:], crcTable))
 
 	retries, err = faults.Retry(st.clock, st.backoff, func() error {
 		return st.writeOnce(frame)
@@ -115,13 +136,15 @@ func (st *snapshotStore) writeOnce(frame []byte) error {
 // Load reads, verifies, and decodes the snapshot chain: the primary first,
 // then the last-known-good .bak. restore is called with the verified
 // payload of each candidate until one decodes; fellBack reports that the
-// surviving candidate was not the primary. When no snapshot exists at all
-// the returned error satisfies errors.Is(err, fs.ErrNotExist).
-func (st *snapshotStore) Load(restore func(io.Reader) error) (fellBack bool, err error) {
+// surviving candidate was not the primary, and walSeq is the surviving
+// snapshot's WAL replay boundary (0 for legacy containers). When no
+// snapshot exists at all the returned error satisfies
+// errors.Is(err, fs.ErrNotExist).
+func (st *snapshotStore) Load(restore func(io.Reader) error) (fellBack bool, walSeq uint64, err error) {
 	var failures []error
 	missing := 0
 	for i, p := range []string{st.path, st.bakPath()} {
-		payload, rerr := st.readVerify(p)
+		payload, seq, rerr := st.readVerify(p)
 		if rerr != nil {
 			if errors.Is(rerr, fs.ErrNotExist) {
 				missing++
@@ -136,18 +159,18 @@ func (st *snapshotStore) Load(restore func(io.Reader) error) (fellBack bool, err
 			failures = append(failures, fmt.Errorf("%s: %w", p, derr))
 			continue
 		}
-		return i > 0, nil
+		return i > 0, seq, nil
 	}
 	if missing == 2 {
-		return false, fmt.Errorf("no snapshot: %w", fs.ErrNotExist)
+		return false, 0, fmt.Errorf("no snapshot: %w", fs.ErrNotExist)
 	}
-	return false, errors.Join(failures...)
+	return false, 0, errors.Join(failures...)
 }
 
 // readVerify reads one snapshot file and verifies its container frame,
-// returning the inner PRF1 payload. Transient read errors are retried;
-// corruption is not.
-func (st *snapshotStore) readVerify(path string) ([]byte, error) {
+// returning the inner PRF1 payload and the WAL boundary. Transient read
+// errors are retried; corruption is not.
+func (st *snapshotStore) readVerify(path string) ([]byte, uint64, error) {
 	var data []byte
 	var notExist error
 	_, err := faults.Retry(st.clock, st.backoff, func() error {
@@ -167,40 +190,57 @@ func (st *snapshotStore) readVerify(path string) ([]byte, error) {
 		return err
 	})
 	if notExist != nil {
-		return nil, notExist
+		return nil, 0, notExist
 	}
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	return verifyContainer(data)
 }
 
-// verifyContainer validates a PRS1 frame and returns its payload. Bare
-// PRF1 archives pass through unchecked for backward compatibility.
-func verifyContainer(data []byte) ([]byte, error) {
+// verifyContainer validates a PRS2 (or legacy PRS1) frame and returns its
+// payload and WAL boundary. Bare PRF1 archives pass through unchecked for
+// backward compatibility.
+func verifyContainer(data []byte) ([]byte, uint64, error) {
 	if len(data) < 4 {
-		return nil, fmt.Errorf("%w: %d bytes", errSnapshotCorrupt, len(data))
+		return nil, 0, fmt.Errorf("%w: %d bytes", errSnapshotCorrupt, len(data))
 	}
 	switch binary.LittleEndian.Uint32(data[0:4]) {
+	case storeMagic2:
+		if len(data) < storeHeader2Size {
+			return nil, 0, fmt.Errorf("%w: truncated header (%d bytes)", errSnapshotCorrupt, len(data))
+		}
+		length := binary.LittleEndian.Uint64(data[4:12])
+		sum := binary.LittleEndian.Uint32(data[12:16])
+		walSeq := binary.LittleEndian.Uint64(data[16:24])
+		body := data[storeHeader2Size:]
+		if uint64(len(body)) != length {
+			return nil, 0, fmt.Errorf("%w: payload is %d bytes, header says %d",
+				errSnapshotCorrupt, len(body), length)
+		}
+		if got := crc32.Checksum(data[16:], crcTable); got != sum {
+			return nil, 0, fmt.Errorf("%w: checksum %#x, want %#x", errSnapshotCorrupt, got, sum)
+		}
+		return body, walSeq, nil
 	case storeMagic:
 		if len(data) < storeHeaderSize {
-			return nil, fmt.Errorf("%w: truncated header (%d bytes)", errSnapshotCorrupt, len(data))
+			return nil, 0, fmt.Errorf("%w: truncated header (%d bytes)", errSnapshotCorrupt, len(data))
 		}
 		length := binary.LittleEndian.Uint64(data[4:12])
 		sum := binary.LittleEndian.Uint32(data[12:16])
 		body := data[storeHeaderSize:]
 		if uint64(len(body)) != length {
-			return nil, fmt.Errorf("%w: payload is %d bytes, header says %d",
+			return nil, 0, fmt.Errorf("%w: payload is %d bytes, header says %d",
 				errSnapshotCorrupt, len(body), length)
 		}
 		if got := crc32.Checksum(body, crcTable); got != sum {
-			return nil, fmt.Errorf("%w: checksum %#x, want %#x", errSnapshotCorrupt, got, sum)
+			return nil, 0, fmt.Errorf("%w: checksum %#x, want %#x", errSnapshotCorrupt, got, sum)
 		}
-		return body, nil
+		return body, 0, nil
 	case 0x50524631: // bare "PRF1" fleet archive from pre-container builds
-		return data, nil
+		return data, 0, nil
 	default:
-		return nil, fmt.Errorf("%w: bad magic %#x", errSnapshotCorrupt, binary.LittleEndian.Uint32(data[0:4]))
+		return nil, 0, fmt.Errorf("%w: bad magic %#x", errSnapshotCorrupt, binary.LittleEndian.Uint32(data[0:4]))
 	}
 }
 

@@ -2,7 +2,9 @@ package server
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"io"
 	"io/fs"
 	"os"
@@ -45,7 +47,13 @@ func testStore(t *testing.T, fsys faults.FS, clock faults.Clock) *snapshotStore 
 
 func loadPayload(t *testing.T, st *snapshotStore) (payload []byte, fellBack bool) {
 	t.Helper()
-	fellBack, err := st.Load(func(r io.Reader) error {
+	payload, fellBack, _ = loadPayloadSeq(t, st)
+	return payload, fellBack
+}
+
+func loadPayloadSeq(t *testing.T, st *snapshotStore) (payload []byte, fellBack bool, walSeq uint64) {
+	t.Helper()
+	fellBack, walSeq, err := st.Load(func(r io.Reader) error {
 		var err error
 		payload, err = io.ReadAll(r)
 		return err
@@ -53,13 +61,13 @@ func loadPayload(t *testing.T, st *snapshotStore) (payload []byte, fellBack bool
 	if err != nil {
 		t.Fatalf("Load: %v", err)
 	}
-	return payload, fellBack
+	return payload, fellBack, walSeq
 }
 
 func TestStoreRoundTripAndRotation(t *testing.T) {
 	st := testStore(t, faults.OS, nil)
 
-	if _, _, err := st.Save(blob("v1")); err != nil {
+	if _, _, err := st.Save(blob("v1"), 0); err != nil {
 		t.Fatal(err)
 	}
 	got, fellBack := loadPayload(t, st)
@@ -68,7 +76,7 @@ func TestStoreRoundTripAndRotation(t *testing.T) {
 	}
 
 	// Second save rotates v1 to .bak.
-	if _, _, err := st.Save(blob("v2")); err != nil {
+	if _, _, err := st.Save(blob("v2"), 0); err != nil {
 		t.Fatal(err)
 	}
 	got, _ = loadPayload(t, st)
@@ -88,7 +96,7 @@ func TestStoreRoundTripAndRotation(t *testing.T) {
 
 func TestStoreLoadMissing(t *testing.T) {
 	st := testStore(t, faults.OS, nil)
-	_, err := st.Load(func(io.Reader) error { return nil })
+	_, _, err := st.Load(func(io.Reader) error { return nil })
 	if !errors.Is(err, fs.ErrNotExist) {
 		t.Fatalf("Load of missing snapshot = %v, want ErrNotExist", err)
 	}
@@ -96,10 +104,10 @@ func TestStoreLoadMissing(t *testing.T) {
 
 func TestStoreFallbackOnCorruptPrimary(t *testing.T) {
 	st := testStore(t, faults.OS, nil)
-	if _, _, err := st.Save(blob("good")); err != nil {
+	if _, _, err := st.Save(blob("good"), 0); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := st.Save(blob("newer")); err != nil {
+	if _, _, err := st.Save(blob("newer"), 0); err != nil {
 		t.Fatal(err)
 	}
 
@@ -123,7 +131,7 @@ func TestStoreFallbackOnCorruptPrimary(t *testing.T) {
 func TestStoreFallbackOnMissingPrimary(t *testing.T) {
 	// A crash between the two renames leaves only the .bak.
 	st := testStore(t, faults.OS, nil)
-	if _, _, err := st.Save(blob("only")); err != nil {
+	if _, _, err := st.Save(blob("only"), 0); err != nil {
 		t.Fatal(err)
 	}
 	if err := os.Rename(st.path, st.bakPath()); err != nil {
@@ -143,7 +151,7 @@ func TestStoreBothCandidatesCorrupt(t *testing.T) {
 	if err := os.WriteFile(st.bakPath(), []byte("also garbage"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	_, err := st.Load(func(io.Reader) error { return nil })
+	_, _, err := st.Load(func(io.Reader) error { return nil })
 	if err == nil || errors.Is(err, fs.ErrNotExist) {
 		t.Fatalf("Load over two corrupt candidates = %v, want hard error", err)
 	}
@@ -172,7 +180,7 @@ func TestStoreRetriesTransientWriteErrors(t *testing.T) {
 
 	// Trip the first two createtemp calls: attempt 3 succeeds.
 	inj.TripN("fs.createtemp", 2, nil)
-	_, retries, err := st.Save(blob("persisted"))
+	_, retries, err := st.Save(blob("persisted"), 0)
 	if err != nil {
 		t.Fatalf("Save under transient faults: %v", err)
 	}
@@ -192,7 +200,7 @@ func TestStoreGivesUpAfterBudget(t *testing.T) {
 	inj := faults.NewInjector(2)
 	st := testStore(t, faults.NewFaultFS(faults.OS, inj, &sleepCounter{}), nil)
 	inj.TripN("fs.sync", 100, nil)
-	_, _, err := st.Save(blob("never"))
+	_, _, err := st.Save(blob("never"), 0)
 	if !errors.Is(err, faults.ErrInjected) {
 		t.Fatalf("Save = %v, want injected error after budget", err)
 	}
@@ -208,11 +216,11 @@ func TestStoreCorruptionOnWriteCaughtOnLoad(t *testing.T) {
 	ffs := faults.NewFaultFS(faults.OS, inj, clock)
 	st := testStore(t, ffs, clock)
 
-	if _, _, err := st.Save(blob("good v1")); err != nil {
+	if _, _, err := st.Save(blob("good v1"), 0); err != nil {
 		t.Fatal(err)
 	}
 	inj.CorruptWrites("fs.write", 1)
-	if _, _, err := st.Save(blob("rotten v2")); err != nil {
+	if _, _, err := st.Save(blob("rotten v2"), 0); err != nil {
 		t.Fatal(err) // bit rot is silent at write time
 	}
 	inj.Heal("fs.write")
@@ -220,5 +228,79 @@ func TestStoreCorruptionOnWriteCaughtOnLoad(t *testing.T) {
 	got, fellBack := loadPayload(t, st)
 	if string(got) != "good v1" || !fellBack {
 		t.Fatalf("load after bit rot = %q, fellBack=%v; want fallback", got, fellBack)
+	}
+}
+
+func TestStoreWALBoundaryRoundTrip(t *testing.T) {
+	st := testStore(t, faults.OS, nil)
+	if _, _, err := st.Save(blob("with boundary"), 42); err != nil {
+		t.Fatal(err)
+	}
+	got, fellBack, seq := loadPayloadSeq(t, st)
+	if string(got) != "with boundary" || fellBack || seq != 42 {
+		t.Fatalf("load = %q, fellBack=%v, walSeq=%d; want walSeq 42", got, fellBack, seq)
+	}
+}
+
+func TestStoreFallbackCarriesOlderBoundary(t *testing.T) {
+	// A corrupt primary falls back to the .bak, whose older boundary makes
+	// replay start earlier — more WAL replayed, never less.
+	st := testStore(t, faults.OS, nil)
+	if _, _, err := st.Save(blob("old"), 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Save(blob("new"), 9); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(st.path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x01
+	if err := os.WriteFile(st.path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, fellBack, seq := loadPayloadSeq(t, st)
+	if string(got) != "old" || !fellBack || seq != 3 {
+		t.Fatalf("load = %q, fellBack=%v, walSeq=%d; want fallback with boundary 3", got, fellBack, seq)
+	}
+}
+
+func TestStoreBoundaryBitRotTriggersFallback(t *testing.T) {
+	// The checksum covers the boundary field: flipping a boundary bit must
+	// reject the container, not silently skip acknowledged events.
+	st := testStore(t, faults.OS, nil)
+	if _, _, err := st.Save(blob("guarded"), 7); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(st.path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[16] ^= 0x01 // low byte of the walSeq field
+	if err := os.WriteFile(st.path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = st.Load(func(io.Reader) error { return nil })
+	if !errors.Is(err, errSnapshotCorrupt) {
+		t.Fatalf("Load with flipped boundary = %v, want errSnapshotCorrupt", err)
+	}
+}
+
+func TestStoreLegacyPRS1Container(t *testing.T) {
+	// PRS1 containers (no boundary field) still load, with walSeq 0.
+	st := testStore(t, faults.OS, nil)
+	body := []byte("prs1 payload")
+	frame := make([]byte, storeHeaderSize+len(body))
+	binary.LittleEndian.PutUint32(frame[0:4], storeMagic)
+	binary.LittleEndian.PutUint64(frame[4:12], uint64(len(body)))
+	binary.LittleEndian.PutUint32(frame[12:16], crc32.Checksum(body, crcTable))
+	copy(frame[storeHeaderSize:], body)
+	if err := os.WriteFile(st.path, frame, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, fellBack, seq := loadPayloadSeq(t, st)
+	if !bytes.Equal(got, body) || fellBack || seq != 0 {
+		t.Fatalf("PRS1 load = %q, fellBack=%v, walSeq=%d", got, fellBack, seq)
 	}
 }

@@ -1,0 +1,245 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"prorp"
+	"prorp/internal/faults"
+	"prorp/internal/shardedfleet"
+)
+
+// walSegments lists the journal's segment files, oldest first.
+func walSegments(t *testing.T, dir string) []string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return matches
+}
+
+// TestServerWALReplayOnBoot is the tentpole's happy path: events that
+// landed after the last snapshot survive a crash because they were
+// journaled before they were acknowledged.
+func TestServerWALReplayOnBoot(t *testing.T) {
+	dir := t.TempDir()
+	clock := &fakeClock{t: t0}
+	cfg := Config{
+		Options:      testOptions(),
+		Shards:       4,
+		SnapshotPath: filepath.Join(dir, "fleet.snap"),
+		WALDir:       filepath.Join(dir, "wal"),
+		Now:          clock.Now,
+		Logf:         t.Logf,
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Database 1 makes it into a snapshot; database 2 and the login exist
+	// only in the journal when the crash lands.
+	code, out := call(t, srv, "POST", "/v1/db", `{"id":1}`)
+	wantStatus(t, code, http.StatusCreated, out)
+	code, out = call(t, srv, "POST", "/v1/ops/snapshot", "")
+	wantStatus(t, code, http.StatusOK, out)
+
+	clock.Set(t0.Add(time.Minute))
+	code, out = call(t, srv, "POST", "/v1/db", `{"id":2}`)
+	wantStatus(t, code, http.StatusCreated, out)
+	clock.Set(t0.Add(2 * time.Minute))
+	code, out = call(t, srv, "POST", "/v1/db/2/login", "")
+	wantStatus(t, code, http.StatusOK, out)
+	if out["at"] == nil {
+		t.Fatalf("login reply has no server-assigned event time: %v", out)
+	}
+	srv.Kill() // no final snapshot, no journal seal
+
+	srv2, err := New(cfg)
+	if err != nil {
+		t.Fatalf("boot after kill: %v", err)
+	}
+	defer srv2.Close()
+	for id := 1; id <= 2; id++ {
+		if _, err := srv2.Fleet().State(id); err != nil {
+			t.Fatalf("database %d lost: %v", id, err)
+		}
+	}
+	hist, err := srv2.Fleet().History(2)
+	if err != nil || len(hist) == 0 || !hist[0].Login {
+		t.Fatalf("database 2 history after replay = %v, %v", hist, err)
+	}
+	code, out = call(t, srv2, "GET", "/v1/kpi", "")
+	wantStatus(t, code, http.StatusOK, out)
+	// Replay applied the post-snapshot events: create(2) and login(2).
+	if out["wal_replayed_records"].(float64) < 2 {
+		t.Fatalf("kpi wal_replayed_records = %v, want >= 2 (%v)", out["wal_replayed_records"], out)
+	}
+}
+
+// TestServerWALBootWithoutSnapshot covers the snapshot-missing corner: a
+// journal with history but no snapshot at all must rebuild the fleet from
+// the journal alone — including rescheduling the wake timers the replayed
+// decisions ask for.
+func TestServerWALBootWithoutSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	clock := &fakeClock{t: t0}
+	cfg := Config{
+		Options:      testOptions(),
+		SnapshotPath: filepath.Join(dir, "fleet.snap"), // never written
+		WALDir:       filepath.Join(dir, "wal"),
+		Now:          clock.Now,
+		Logf:         t.Logf,
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, out := call(t, srv, "POST", "/v1/db", `{"id":7}`)
+	wantStatus(t, code, http.StatusCreated, out)
+	clock.Set(t0.Add(30 * time.Minute))
+	code, out = call(t, srv, "POST", "/v1/db/7/logout", "")
+	wantStatus(t, code, http.StatusOK, out)
+	if out["event"] != "logical-pause" || out["wake_at"] == nil {
+		t.Fatalf("logout = %v", out)
+	}
+	srv.Kill() // the snapshot file was never created
+
+	srv2, err := New(cfg)
+	if err != nil {
+		t.Fatalf("boot from journal alone: %v", err)
+	}
+	defer srv2.Close()
+	code, out = call(t, srv2, "GET", "/v1/db/7", "")
+	wantStatus(t, code, http.StatusOK, out)
+	if out["state"] != "logically-paused" {
+		t.Fatalf("rebuilt db 7 = %v", out)
+	}
+	code, out = call(t, srv2, "GET", "/v1/kpi", "")
+	wantStatus(t, code, http.StatusOK, out)
+	if out["pending_wakes"] != float64(1) {
+		t.Fatalf("replay did not reschedule the wake: %v", out)
+	}
+	if out["databases"] != float64(1) || out["wal_replayed_records"] != float64(2) {
+		t.Fatalf("kpi after journal-only rebuild = %v", out)
+	}
+}
+
+// TestServerWALSnapshotRacedCompaction pins the interrupted-compaction
+// contract: when segment removal fails after a snapshot, the leftover
+// segments below the boundary must be skipped by the next boot's replay
+// (their events are already in the snapshot) and swept by the next
+// successful compaction.
+func TestServerWALSnapshotRacedCompaction(t *testing.T) {
+	inj := faults.NewInjector(11)
+	dir := t.TempDir()
+	clock := &fakeClock{t: t0}
+	cfg := Config{
+		Options:      testOptions(),
+		SnapshotPath: filepath.Join(dir, "fleet.snap"),
+		WALDir:       filepath.Join(dir, "wal"),
+		FS:           faults.NewFaultFS(faults.OS, inj, funcClock{now: clock.Now, sleep: noSleep}),
+		Now:          clock.Now,
+		Sleep:        noSleep,
+		Backoff: faults.Backoff{Attempts: 2, Base: time.Millisecond,
+			Max: 2 * time.Millisecond, Factor: 2, Rand: inj.Rand()},
+		Logf: t.Logf,
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range []int{1, 2, 3} {
+		clock.Set(t0.Add(time.Duration(i) * time.Minute))
+		code, out := call(t, srv, "POST", "/v1/db", fmt.Sprintf(`{"id":%d}`, id))
+		wantStatus(t, code, http.StatusCreated, out)
+	}
+	before := len(walSegments(t, cfg.WALDir))
+
+	// The snapshot lands but every segment removal fails: compaction is
+	// interrupted, leftovers below the boundary stay on disk.
+	inj.FailProb("fs.remove", 1, nil)
+	code, out := call(t, srv, "POST", "/v1/ops/snapshot", "")
+	wantStatus(t, code, http.StatusOK, out)
+	if got := len(walSegments(t, cfg.WALDir)); got <= before {
+		t.Fatalf("expected leftover segments after failed compaction: %d before, %d after", before, got)
+	}
+
+	// One more event after the boundary, then crash.
+	clock.Set(t0.Add(10 * time.Minute))
+	code, out = call(t, srv, "POST", "/v1/db/1/login", "")
+	wantStatus(t, code, http.StatusOK, out)
+	srv.Kill()
+	inj.HealAll()
+
+	// Boot: the leftovers hold create(1..3), all already in the snapshot.
+	// Replay must start at the boundary — exactly one record (the login)
+	// applied, nothing skipped, no double-count from the leftovers.
+	srv2, err := New(cfg)
+	if err != nil {
+		t.Fatalf("boot over leftover segments: %v", err)
+	}
+	defer srv2.Close()
+	code, out = call(t, srv2, "GET", "/v1/kpi", "")
+	wantStatus(t, code, http.StatusOK, out)
+	if out["databases"] != float64(3) || out["wal_replayed_records"] != float64(1) ||
+		out["wal_replay_skipped"] != float64(0) {
+		t.Fatalf("kpi after boot over leftovers = %v", out)
+	}
+
+	// A healthy snapshot now sweeps the leftovers: only the fresh active
+	// segment survives.
+	code, out = call(t, srv2, "POST", "/v1/ops/snapshot", "")
+	wantStatus(t, code, http.StatusOK, out)
+	if segs := walSegments(t, cfg.WALDir); len(segs) != 1 {
+		t.Fatalf("compaction left %d segments, want 1: %v", len(segs), segs)
+	}
+}
+
+// TestServerCreateBodyCap verifies the request-size guard on the one
+// endpoint that reads a body.
+func TestServerCreateBodyCap(t *testing.T) {
+	srv, err := New(Config{Options: testOptions(), Now: (&fakeClock{t: t0}).Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	huge := `{"id":1,"pad":"` + strings.Repeat("x", maxCreateBody) + `"}`
+	code, out := call(t, srv, "POST", "/v1/db", huge)
+	wantStatus(t, code, http.StatusRequestEntityTooLarge, out)
+	// The fleet must be untouched and the endpoint still usable.
+	code, out = call(t, srv, "POST", "/v1/db", `{"id":1}`)
+	wantStatus(t, code, http.StatusCreated, out)
+}
+
+// TestWriteErrStatusMapping pins the error-to-status table, including the
+// backlog and journal-unavailable cases that only fire under load.
+func TestWriteErrStatusMapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{shardedfleet.ErrUnknownDatabase, http.StatusNotFound},
+		{prorp.ErrUnknownDatabase, http.StatusNotFound},
+		{shardedfleet.ErrDuplicateDatabase, http.StatusConflict},
+		{shardedfleet.ErrBacklog, http.StatusTooManyRequests},
+		{fmt.Errorf("queue: %w", shardedfleet.ErrBacklog), http.StatusTooManyRequests},
+		{shardedfleet.ErrClosed, http.StatusServiceUnavailable},
+		{fmt.Errorf("%w: disk on fire", errJournalUnavailable), http.StatusServiceUnavailable},
+		{errors.New("anything else"), http.StatusInternalServerError},
+	}
+	for _, tc := range cases {
+		rec := httptest.NewRecorder()
+		writeErr(rec, tc.err)
+		if rec.Code != tc.want {
+			t.Errorf("writeErr(%v) = %d, want %d", tc.err, rec.Code, tc.want)
+		}
+	}
+}

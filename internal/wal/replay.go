@@ -1,0 +1,157 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"io/fs"
+
+	"prorp/internal/faults"
+)
+
+// encodeFrame serializes one record as a length-prefixed, CRC-32C-guarded
+// frame.
+func encodeFrame(rec Record) []byte {
+	buf := make([]byte, frameOverhead+recordPayload)
+	payload := buf[frameOverhead:]
+	payload[0] = byte(rec.Type)
+	putU64(payload[1:9], uint64(rec.ID))
+	putU64(payload[9:17], uint64(rec.Unix))
+	putU32(buf[0:4], recordPayload)
+	putU32(buf[4:8], crc32.Checksum(payload, crcTable))
+	return buf
+}
+
+// decodeRecord parses a verified frame payload. It rejects payloads whose
+// checksum matched but whose contents are not a record (wrong size, unknown
+// type) — defense against a frame of a future format version.
+func decodeRecord(payload []byte) (Record, bool) {
+	if len(payload) != recordPayload {
+		return Record{}, false
+	}
+	rec := Record{
+		Type: RecordType(payload[0]),
+		ID:   int64(getU64(payload[1:9])),
+		Unix: int64(getU64(payload[9:17])),
+	}
+	if !rec.Type.valid() {
+		return Record{}, false
+	}
+	return rec, true
+}
+
+// scanFrames walks the record area of a segment (everything after the
+// header), calling apply for each intact frame. It stops at the first bad
+// frame — truncated length prefix, oversized length, payload running past
+// the buffer, checksum mismatch, or undecodable payload — and reports how
+// many bytes of data were consumed and whether a tear cut the scan short.
+// A clean scan (consumed == len(data)) is not torn.
+func scanFrames(data []byte, apply func(Record)) (consumed int64, torn bool) {
+	off := 0
+	for off < len(data) {
+		rest := data[off:]
+		if len(rest) < frameOverhead {
+			return int64(off), true
+		}
+		length := int(getU32(rest[0:4]))
+		if length > maxFramePayload || len(rest) < frameOverhead+length {
+			return int64(off), true
+		}
+		payload := rest[frameOverhead : frameOverhead+length]
+		if crc32.Checksum(payload, crcTable) != getU32(rest[4:8]) {
+			return int64(off), true
+		}
+		rec, ok := decodeRecord(payload)
+		if !ok {
+			return int64(off), true
+		}
+		apply(rec)
+		off += frameOverhead + length
+	}
+	return int64(off), false
+}
+
+// Replay applies every intact record in segments with seq >= since, in
+// sequence order, oldest first. It must run before the first Append (the
+// active segment is excluded). Damage never fails a replay:
+//
+//   - A bad frame cuts its segment short at the tear; later bytes in that
+//     segment are discarded and counted, never parsed. Records past a tear
+//     were never acknowledged (a failed append rotates the segment), so
+//     nothing acknowledged is lost.
+//   - A segment with a damaged header is counted as torn in full.
+//
+// Only I/O errors (after retries) fail a replay — an unreadable disk is a
+// verdict the operator must see, unlike a torn tail which is expected
+// crash debris.
+func (j *Journal) Replay(since uint64, apply func(Record)) (ReplayStats, error) {
+	j.mu.Lock()
+	activeSeq := j.active.seq
+	j.mu.Unlock()
+
+	seqs, err := scanDir(j.cfg.FS, j.cfg.Dir)
+	if err != nil {
+		return ReplayStats{}, err
+	}
+	var stats ReplayStats
+	for _, seq := range seqs {
+		if seq < since || seq >= activeSeq {
+			continue
+		}
+		data, err := j.readSegment(segPath(j.cfg.Dir, seq))
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				continue // compacted between scan and read
+			}
+			return stats, fmt.Errorf("wal: reading segment %d: %w", seq, err)
+		}
+		stats.SegmentsScanned++
+		if len(data) < segHeaderSize || getU32(data[0:4]) != segMagic || getU64(data[4:12]) != seq {
+			j.cfg.Logf("wal: segment %d header damaged; discarding %d bytes", seq, len(data))
+			stats.TornSegments++
+			stats.TruncatedBytes += int64(len(data))
+			continue
+		}
+		body := data[segHeaderSize:]
+		consumed, torn := scanFrames(body, func(rec Record) {
+			stats.Records++
+			apply(rec)
+		})
+		if torn {
+			discarded := int64(len(body)) - consumed
+			j.cfg.Logf("wal: segment %d torn at offset %d; discarding %d bytes",
+				seq, segHeaderSize+consumed, discarded)
+			stats.TornSegments++
+			stats.TruncatedBytes += discarded
+		}
+	}
+	return stats, nil
+}
+
+// readSegment reads one segment file through the FS seam, retrying
+// transient errors per the journal's backoff.
+func (j *Journal) readSegment(path string) ([]byte, error) {
+	var data []byte
+	var notExist error
+	_, err := faults.Retry(j.cfg.Clock, j.cfg.Backoff, func() error {
+		f, err := j.cfg.FS.Open(path)
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				notExist = err // missing is a verdict, not a transient
+				return nil
+			}
+			return err
+		}
+		notExist = nil
+		data, err = io.ReadAll(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	})
+	if notExist != nil {
+		return nil, notExist
+	}
+	return data, err
+}

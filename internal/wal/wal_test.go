@@ -1,0 +1,553 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"prorp/internal/faults"
+)
+
+func testConfig(t *testing.T, dir string) Config {
+	t.Helper()
+	return Config{
+		Dir:           dir,
+		Fsync:         FsyncAlways,
+		BatchInterval: time.Millisecond,
+	}
+}
+
+func appendN(t *testing.T, j *Journal, start, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		rec := Record{Type: RecordLogin, ID: int64(start + i), Unix: int64(1000 + start + i)}
+		if err := j.Append(rec); err != nil {
+			t.Fatalf("append %d: %v", start+i, err)
+		}
+	}
+}
+
+func collect(t *testing.T, j *Journal, since uint64) ([]Record, ReplayStats) {
+	t.Helper()
+	var got []Record
+	stats, err := j.Replay(since, func(rec Record) { got = append(got, rec) })
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return got, stats
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	for _, policy := range []FsyncPolicy{FsyncAlways, FsyncBatch, FsyncOff} {
+		t.Run(policy.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			cfg := testConfig(t, dir)
+			cfg.Fsync = policy
+			j, err := Open(cfg)
+			if err != nil {
+				t.Fatalf("open: %v", err)
+			}
+			want := []Record{
+				{Type: RecordCreate, ID: 7, Unix: 100},
+				{Type: RecordLogin, ID: 7, Unix: 200},
+				{Type: RecordLogout, ID: 7, Unix: 300},
+				{Type: RecordDelete, ID: 7, Unix: 400},
+				{Type: RecordLogin, ID: -3, Unix: -50}, // negative ids/times survive
+			}
+			for _, rec := range want {
+				if err := j.Append(rec); err != nil {
+					t.Fatalf("append %+v: %v", rec, err)
+				}
+			}
+			if err := j.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+
+			j2, err := Open(testConfig(t, dir))
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			defer j2.Close()
+			got, stats := collect(t, j2, 0)
+			if len(got) != len(want) {
+				t.Fatalf("replayed %d records, want %d (stats %+v)", len(got), len(want), stats)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+				}
+			}
+			if stats.TornSegments != 0 || stats.TruncatedBytes != 0 {
+				t.Fatalf("clean journal reported damage: %+v", stats)
+			}
+		})
+	}
+}
+
+func TestSegmentRotationBySize(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig(t, dir)
+	cfg.SegmentBytes = minSegmentBytes // floor: 4 KiB
+	j, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	// Each frame is 25 bytes; > 4096/25 appends must cross a boundary.
+	n := 400
+	appendN(t, j, 0, n)
+	if rot := j.Metrics().Rotations; rot == 0 {
+		t.Fatalf("no rotations after %d appends of %d-byte frames", n, frameOverhead+recordPayload)
+	}
+	j.Close()
+
+	j2, err := Open(testConfig(t, dir))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j2.Close()
+	got, stats := collect(t, j2, 0)
+	if len(got) != n {
+		t.Fatalf("replayed %d records across segments, want %d", len(got), n)
+	}
+	if stats.SegmentsScanned < 2 {
+		t.Fatalf("expected multiple segments, scanned %d", stats.SegmentsScanned)
+	}
+}
+
+// damageTail simulates a torn write: the last bytes of the newest sealed
+// segment are truncated or corrupted.
+func newestSegment(t *testing.T, dir string) string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var newest string
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".seg" {
+			newest = filepath.Join(dir, e.Name())
+		}
+	}
+	if newest == "" {
+		t.Fatal("no segments found")
+	}
+	return newest
+}
+
+func TestTornTailTruncatedNotFatal(t *testing.T) {
+	cases := []struct {
+		name   string
+		damage func(t *testing.T, path string)
+		// lost is how many of the 10 records may be lost (from the end).
+		maxLost int
+	}{
+		{"truncate-mid-frame", func(t *testing.T, path string) {
+			data, _ := os.ReadFile(path)
+			os.WriteFile(path, data[:len(data)-10], 0o644)
+		}, 1},
+		{"bitflip-last-frame", func(t *testing.T, path string) {
+			data, _ := os.ReadFile(path)
+			data[len(data)-3] ^= 0x40
+			os.WriteFile(path, data, 0o644)
+		}, 1},
+		{"garbage-appended", func(t *testing.T, path string) {
+			f, _ := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+			f.Write([]byte("\x99\x99partial frame debris"))
+			f.Close()
+		}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			j, err := Open(testConfig(t, dir))
+			if err != nil {
+				t.Fatalf("open: %v", err)
+			}
+			appendN(t, j, 0, 10)
+			j.Kill() // crash: no final fsync bookkeeping
+
+			tc.damage(t, newestSegment(t, dir))
+
+			j2, err := Open(testConfig(t, dir))
+			if err != nil {
+				t.Fatalf("boot after tail damage must succeed: %v", err)
+			}
+			defer j2.Close()
+			got, stats := collect(t, j2, 0)
+			if len(got) < 10-tc.maxLost || len(got) > 10 {
+				t.Fatalf("replayed %d records, want %d..10 (stats %+v)", len(got), 10-tc.maxLost, stats)
+			}
+			if stats.TornSegments != 1 {
+				t.Fatalf("torn segments = %d, want 1 (stats %+v)", stats.TornSegments, stats)
+			}
+			// Replayed prefix is intact and in order.
+			for i, rec := range got {
+				if rec.ID != int64(i) {
+					t.Fatalf("record %d has id %d; prefix not in order", i, rec.ID)
+				}
+			}
+		})
+	}
+}
+
+func TestDamagedHeaderSegmentSkipped(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(testConfig(t, dir))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	appendN(t, j, 0, 3)
+	if _, err := j.Rotate(); err != nil {
+		t.Fatalf("rotate: %v", err)
+	}
+	appendN(t, j, 3, 3)
+	j.Close()
+
+	// Smash the first segment's magic; the second must still replay.
+	first := segPath(dir, 1)
+	data, _ := os.ReadFile(first)
+	data[0] ^= 0xFF
+	os.WriteFile(first, data, 0o644)
+
+	j2, err := Open(testConfig(t, dir))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j2.Close()
+	got, stats := collect(t, j2, 0)
+	if len(got) != 3 {
+		t.Fatalf("replayed %d records, want 3 from the intact segment", len(got))
+	}
+	if got[0].ID != 3 {
+		t.Fatalf("surviving records start at id %d, want 3", got[0].ID)
+	}
+	if stats.TornSegments != 1 {
+		t.Fatalf("torn segments = %d, want 1", stats.TornSegments)
+	}
+}
+
+func TestReplaySinceAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(testConfig(t, dir))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	appendN(t, j, 0, 5)
+	boundary, err := j.Rotate()
+	if err != nil {
+		t.Fatalf("rotate: %v", err)
+	}
+	appendN(t, j, 5, 5)
+	j.Close()
+
+	j2, err := Open(testConfig(t, dir))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	got, _ := collect(t, j2, boundary)
+	if len(got) != 5 || got[0].ID != 5 {
+		t.Fatalf("replay since %d got %d records starting at %v, want 5 starting at id 5",
+			boundary, len(got), got)
+	}
+
+	removed, err := j2.CompactBefore(boundary)
+	if err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	if removed != 1 {
+		t.Fatalf("compacted %d segments, want 1", removed)
+	}
+	// Everything below the boundary is gone; a full replay now starts at 5.
+	got, _ = collect(t, j2, 0)
+	if len(got) != 5 || got[0].ID != 5 {
+		t.Fatalf("post-compaction replay got %v, want ids 5..9", got)
+	}
+	j2.Close()
+}
+
+// TestFailedAppendRotatesSegment is the poisoned-segment contract: after a
+// torn write the journal never appends to the damaged segment again, so
+// records acknowledged after the failure are always replayable.
+func TestFailedAppendRotatesSegment(t *testing.T) {
+	dir := t.TempDir()
+	inj := faults.NewInjector(1)
+	cfg := testConfig(t, dir)
+	cfg.FS = faults.NewFaultFS(faults.OS, inj, nil)
+	j, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	appendN(t, j, 0, 3)
+
+	inj.PartialWrites("fs.write", 1.0)
+	err = j.Append(Record{Type: RecordLogin, ID: 99, Unix: 1})
+	if err == nil {
+		t.Fatal("append with torn write must fail")
+	}
+	inj.HealAll()
+
+	// The retry lands in a fresh segment and succeeds.
+	appendN(t, j, 3, 3)
+	if rot := j.Metrics().Rotations; rot == 0 {
+		t.Fatal("poisoned segment was not rotated")
+	}
+	j.Close()
+
+	j2, err := Open(testConfig(t, dir))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j2.Close()
+	got, stats := collect(t, j2, 0)
+	if len(got) != 6 {
+		t.Fatalf("replayed %d records, want all 6 acknowledged (stats %+v)", len(got), stats)
+	}
+	for i, rec := range got {
+		if rec.ID != int64(i) {
+			t.Fatalf("record %d has id %d; acknowledged order broken", i, rec.ID)
+		}
+	}
+	if stats.TornSegments != 1 {
+		t.Fatalf("the torn segment should be detected: %+v", stats)
+	}
+}
+
+func TestFsyncFailurePoisonsAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	inj := faults.NewInjector(2)
+	cfg := testConfig(t, dir)
+	cfg.FS = faults.NewFaultFS(faults.OS, inj, nil)
+	j, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	appendN(t, j, 0, 2)
+
+	inj.TripN("fs.sync", 1, nil)
+	if err := j.Append(Record{Type: RecordLogin, ID: 50, Unix: 1}); err == nil {
+		t.Fatal("append whose fsync failed must not be acknowledged")
+	}
+	appendN(t, j, 2, 2)
+	j.Close()
+
+	j2, err := Open(testConfig(t, dir))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j2.Close()
+	got, _ := collect(t, j2, 0)
+	// The unacknowledged record may or may not survive (its durability was
+	// unknown); all four acknowledged ones must.
+	acked := 0
+	for _, rec := range got {
+		if rec.ID != 50 {
+			acked++
+		}
+	}
+	if acked != 4 {
+		t.Fatalf("acknowledged records replayed = %d, want 4 (got %v)", acked, got)
+	}
+}
+
+func TestGroupCommitBatchesFsyncs(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig(t, dir)
+	cfg.Fsync = FsyncBatch
+	cfg.BatchInterval = 5 * time.Millisecond
+	j, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer j.Close()
+
+	const writers, each = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				rec := Record{Type: RecordLogin, ID: int64(w*1000 + i), Unix: int64(i)}
+				if err := j.Append(rec); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	m := j.Metrics()
+	if m.Appends != writers*each {
+		t.Fatalf("appends = %d, want %d", m.Appends, writers*each)
+	}
+	if m.Fsyncs >= m.Appends {
+		t.Fatalf("group commit did not batch: %d fsyncs for %d appends", m.Fsyncs, m.Appends)
+	}
+	t.Logf("group commit: %d appends in %d fsyncs", m.Appends, m.Fsyncs)
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	j, err := Open(testConfig(t, t.TempDir()))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	j.Close()
+	if err := j.Append(Record{Type: RecordLogin, ID: 1, Unix: 1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close = %v, want ErrClosed", err)
+	}
+	if _, err := j.Rotate(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("rotate after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for in, want := range map[string]FsyncPolicy{
+		"always": FsyncAlways, "batch": FsyncBatch, "group": FsyncBatch, "off": FsyncOff,
+	} {
+		got, err := ParsePolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParsePolicy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParsePolicy("sometimes"); err == nil {
+		t.Fatal("ParsePolicy must reject unknown policies")
+	}
+}
+
+func TestCompactionLeftoversCollected(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(testConfig(t, dir))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		appendN(t, j, i*2, 2)
+		if _, err := j.Rotate(); err != nil {
+			t.Fatalf("rotate %d: %v", i, err)
+		}
+	}
+	boundary := j.ActiveSeq()
+
+	// First compaction races a bad disk: some removals fail.
+	inj := faults.NewInjector(3)
+	j.cfg.FS = faults.NewFaultFS(faults.OS, inj, nil)
+	inj.FailProb("fs.remove", 0.7, nil)
+	j.CompactBefore(boundary)
+	inj.HealAll()
+
+	// The next compaction sweeps the leftovers.
+	if _, err := j.CompactBefore(boundary); err != nil {
+		t.Fatalf("second compaction: %v", err)
+	}
+	got, _ := collect(t, j, 0)
+	if len(got) != 0 {
+		t.Fatalf("replay after full compaction found %d records, want 0", len(got))
+	}
+	j.Close()
+}
+
+func TestRotateBoundarySemantics(t *testing.T) {
+	// Every record appended before Rotate returns lives below the boundary.
+	dir := t.TempDir()
+	j, err := Open(testConfig(t, dir))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	appendN(t, j, 0, 4)
+	boundary, err := j.Rotate()
+	if err != nil {
+		t.Fatalf("rotate: %v", err)
+	}
+	appendN(t, j, 4, 4)
+	j.Close()
+
+	j2, err := Open(testConfig(t, dir))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j2.Close()
+	var below []Record
+	j2.Replay(0, func(rec Record) {
+		if rec.ID < 4 {
+			below = append(below, rec)
+		}
+	})
+	got, _ := collect(t, j2, boundary)
+	if len(below) != 4 {
+		t.Fatalf("pre-rotate records = %d, want 4", len(below))
+	}
+	for _, rec := range got {
+		if rec.ID < 4 {
+			t.Fatalf("record %d appended before Rotate replayed above the boundary", rec.ID)
+		}
+	}
+}
+
+func TestKillLosesOnlyUnsynced(t *testing.T) {
+	// Under FsyncOff nothing is guaranteed; under FsyncAlways everything
+	// acknowledged must survive a Kill plus tail damage beyond the durable
+	// prefix.
+	dir := t.TempDir()
+	j, err := Open(testConfig(t, dir))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	appendN(t, j, 0, 20)
+	path, durable := j.ActiveSegment()
+	j.Kill()
+
+	// Damage strictly beyond the durable prefix (simulated torn write).
+	f, _ := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f.Write([]byte{0xde, 0xad})
+	f.Close()
+	if fi, _ := os.Stat(path); fi.Size() < durable {
+		t.Fatalf("file shorter than durable prefix: %d < %d", fi.Size(), durable)
+	}
+
+	j2, err := Open(testConfig(t, dir))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j2.Close()
+	got, _ := collect(t, j2, 0)
+	if len(got) != 20 {
+		t.Fatalf("lost acknowledged records: replayed %d of 20", len(got))
+	}
+}
+
+func BenchmarkAppend(b *testing.B) {
+	for _, policy := range []FsyncPolicy{FsyncBatch, FsyncOff} {
+		b.Run(policy.String(), func(b *testing.B) {
+			j, err := Open(Config{Dir: b.TempDir(), Fsync: policy, BatchInterval: time.Millisecond})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer j.Close()
+			b.RunParallel(func(pb *testing.PB) {
+				i := int64(0)
+				for pb.Next() {
+					i++
+					if err := j.Append(Record{Type: RecordLogin, ID: i, Unix: i}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// Ensure example-style usage in docs compiles.
+func ExampleOpen() {
+	dir, _ := os.MkdirTemp("", "wal")
+	defer os.RemoveAll(dir)
+	j, _ := Open(Config{Dir: dir, Fsync: FsyncBatch})
+	stats, _ := j.Replay(0, func(rec Record) { /* apply to fleet */ })
+	_ = j.Append(Record{Type: RecordLogin, ID: 1, Unix: 1700000000})
+	j.Close()
+	fmt.Println(stats.Records)
+	// Output: 0
+}

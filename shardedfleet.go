@@ -2,8 +2,10 @@ package prorp
 
 import (
 	"io"
+	"math"
 	"time"
 
+	"prorp/internal/historystore"
 	"prorp/internal/maintenance"
 	"prorp/internal/policy"
 	"prorp/internal/predictor"
@@ -170,6 +172,31 @@ func (s *ShardedFleet) PlanMaintenance(id int, now time.Time, duration time.Dura
 	}, nil
 }
 
+// ActivityEvent is one login or logout in a database's recorded history.
+type ActivityEvent struct {
+	Time  time.Time
+	Login bool
+}
+
+// History returns a database's recorded activity events in chronological
+// order. It reads under the owning shard's lock; it is for verification
+// and tooling, not the hot path.
+func (s *ShardedFleet) History(id int) ([]ActivityEvent, error) {
+	var out []ActivityEvent
+	err := s.rt.View(id, func(m *policy.Machine) {
+		for _, e := range m.History().Scan(math.MinInt64, math.MaxInt64) {
+			out = append(out, ActivityEvent{
+				Time:  time.Unix(e.Time, 0).UTC(),
+				Login: e.Type == historystore.EventStart,
+			})
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // Snapshot serializes one database (see Database.WriteTo).
 func (s *ShardedFleet) Snapshot(id int, w io.Writer) error {
 	var err error
@@ -253,6 +280,18 @@ type FleetKPI struct {
 	PrewarmFailures   uint64 `json:"prewarm_failures"`
 	WakeRetries       uint64 `json:"wake_retries"`
 	WakeFailures      uint64 `json:"wake_failures"`
+	// Durability counters, filled by the serving layer when a write-ahead
+	// event journal is configured (zero in library use): journal appends,
+	// fsyncs, and segment churn, plus what boot-time replay did.
+	WALAppends           uint64 `json:"wal_appends"`
+	WALAppendFailures    uint64 `json:"wal_append_failures"`
+	WALFsyncs            uint64 `json:"wal_fsyncs"`
+	WALRotations         uint64 `json:"wal_rotations"`
+	WALSegmentsCompacted uint64 `json:"wal_segments_compacted"`
+	WALReplayedRecords   uint64 `json:"wal_replayed_records"`
+	WALReplaySkipped     uint64 `json:"wal_replay_skipped"`
+	WALTornSegments      uint64 `json:"wal_torn_segments"`
+	WALTruncatedBytes    uint64 `json:"wal_truncated_bytes"`
 }
 
 // QoSPercent is the paper's headline KPI over the counters: the share of
