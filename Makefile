@@ -12,11 +12,13 @@ GOVULNCHECK := golang.org/x/vuln/cmd/govulncheck@v1.1.3
 
 # Minimum total statement coverage, measured on the seed tree. `make cover`
 # fails if the tree regresses below it; ratchet it up as coverage grows.
-COVER_BASELINE := 81.8
+# (Seed: 81.8. Raised with the observability subsystem, which landed at
+# 82.3; the gap absorbs run-to-run variance from timing-dependent tests.)
+COVER_BASELINE := 82.0
 
-.PHONY: ci fmt-check vet staticcheck govulncheck build test cover chaos wal-chaos bench-short bench clean
+.PHONY: ci fmt-check vet staticcheck govulncheck build test cover obs obs-bench chaos wal-chaos bench-short bench clean
 
-ci: fmt-check vet staticcheck govulncheck build test cover bench-short
+ci: fmt-check vet staticcheck govulncheck build test cover obs bench-short
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -50,6 +52,17 @@ cover:
 	echo "total coverage: $$total% (baseline $(COVER_BASELINE)%)"; \
 	awk -v t="$$total" -v b="$(COVER_BASELINE)" 'BEGIN { exit (t + 0 < b + 0) }' || \
 		{ echo "coverage $$total% fell below the $(COVER_BASELINE)% baseline"; exit 1; }
+
+# The observability core under the race detector: the lock-free
+# histograms, the registry, and the trace buffer are all concurrency
+# primitives, so their unit tests run raced even when `test` is trimmed.
+obs:
+	$(GO) test -race -count 1 ./internal/obs
+
+# The instrumented-vs-uninstrumented decision hot path comparison behind
+# the numbers in EXPERIMENTS.md ("Observability overhead").
+obs-bench:
+	$(GO) test -run '^$$' -bench BenchmarkObsOverhead -benchtime 2s -count 3 ./internal/shardedfleet
 
 # The fault-injection chaos gate: the seeded kill-and-restore and
 # kill-replay suites under the race detector. Run separately in CI so

@@ -8,6 +8,8 @@
 //
 //	prorp-serve -addr :8080 -snapshot /var/lib/prorp/fleet.snap
 //	prorp-serve -shards 64 -config opts.json -snapshot-every 30s
+//	prorp-serve -debug-addr 127.0.0.1:6060   # pprof on a separate listener
+//	prorp-serve -version
 //
 // See internal/server for the endpoint list, and "Running as a service" in
 // README.md for curl examples.
@@ -21,8 +23,10 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime/debug"
 	"syscall"
 	"time"
 
@@ -32,9 +36,43 @@ import (
 	"prorp/internal/wal"
 )
 
+// version renders the build's identity from the Go module metadata stamped
+// by `go build` — no ldflags plumbing to get stale.
+func version() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "prorp-serve (no build info)"
+	}
+	v := info.Main.Version
+	if v == "" || v == "(devel)" {
+		v = "devel"
+	}
+	var rev, dirty string
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	out := fmt.Sprintf("prorp-serve %s", v)
+	if rev != "" {
+		out += fmt.Sprintf(" (%s%s)", rev, dirty)
+	}
+	return out + " " + info.GoVersion
+}
+
 func main() {
 	var (
 		addr          = flag.String("addr", ":8080", "listen address")
+		debugAddr     = flag.String("debug-addr", "", "debug listen address for net/http/pprof (empty = pprof disabled); keep it off any public interface")
+		showVersion   = flag.Bool("version", false, "print version and exit")
 		shards        = flag.Int("shards", 0, "fleet stripe count (0 = default)")
 		snapshotPath  = flag.String("snapshot", "", "snapshot file: restored on boot, rewritten periodically and on shutdown")
 		snapshotEvery = flag.Duration("snapshot-every", time.Minute, "periodic snapshot cadence")
@@ -49,6 +87,19 @@ func main() {
 		walBatchEvery = flag.Duration("wal-batch-interval", 0, "group-commit window for -wal-fsync=batch (0 = default 2ms)")
 	)
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(version())
+		return
+	}
+
+	// Log the full effective configuration — every flag with its resolved
+	// value, defaults included — so any incident's logs begin with the exact
+	// knob settings the process ran under.
+	log.Printf("prorp-serve: %s", version())
+	flag.VisitAll(func(f *flag.Flag) {
+		log.Printf("prorp-serve: config -%s=%s", f.Name, f.Value.String())
+	})
 
 	fsyncPolicy, err := wal.ParsePolicy(*walFsync)
 	if err != nil {
@@ -102,6 +153,26 @@ func main() {
 	log.Printf("prorp-serve: listening on %s (%d shards, mode %s)",
 		*addr, srv.Fleet().Shards(), opts.Mode)
 
+	// Optional pprof surface on its own listener and mux, so profiling
+	// endpoints never share a port (or an accidental route) with the
+	// public API. A failed debug listener is logged, not fatal.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dm := http.NewServeMux()
+		dm.HandleFunc("/debug/pprof/", pprof.Index)
+		dm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv = &http.Server{Addr: *debugAddr, Handler: dm, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			log.Printf("prorp-serve: pprof debug listener on %s", *debugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("prorp-serve: debug listener: %v", err)
+			}
+		}()
+	}
+
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 	select {
@@ -123,6 +194,11 @@ func main() {
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("prorp-serve: http shutdown: %v", err)
 		exit = 1
+	}
+	if debugSrv != nil {
+		if err := debugSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("prorp-serve: debug listener shutdown: %v", err)
+		}
 	}
 	if err := srv.Close(); err != nil {
 		log.Printf("prorp-serve: final snapshot not persisted: %v", err)

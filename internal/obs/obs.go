@@ -1,0 +1,84 @@
+// Package obs is the serving stack's dependency-free observability core:
+// atomic counters and gauges, fixed-bucket lock-free latency histograms
+// with queryable quantiles, a named-metric registry with Prometheus
+// text-format exposition, and lightweight span tracing with a bounded
+// buffer retaining the slowest recent traces.
+//
+// The package is deliberately tiny and allocation-averse: a counter is one
+// atomic word, a histogram observation is two atomic adds plus a CAS, and
+// nothing on a hot path takes a lock. Instrumentation seams are nil-safe —
+// calling Observe/Add/Inc/Set on a nil metric, or Start on a nil Tracer,
+// is a no-op — so instrumented code never branches on "is observability
+// enabled".
+//
+// Metric naming follows the Prometheus conventions: `prorp_<subsystem>_
+// <name>[_<unit>|_total]`, snake_case, base units (seconds, bytes).
+// See DESIGN.md §8 for the full naming scheme and bucket layout.
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready to
+// use; a nil *Counter ignores writes.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value reports the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down. The zero value is ready to
+// use; a nil *Gauge ignores writes.
+type Gauge struct {
+	bits atomic.Uint64 // float64 bits
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adds d (CAS loop; gauges are not write-hot).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value reports the current level.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	var g Gauge
+	g.Set(1.5)
+	g.Add(-0.5)
+	if got := g.Value(); got != 1.0 {
+		t.Fatalf("gauge = %v, want 1.0", got)
+	}
+}
+
+func TestNilMetricsAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Fatal("nil counter should read 0")
+	}
+	var g *Gauge
+	g.Set(1)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge should read 0")
+	}
+	var h *Histogram
+	h.Observe(1)
+	h.ObserveSince(time.Now())
+	if h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram should read zeros")
+	}
+	var r *Registry
+	if r.Counter("x", "") != nil || r.Gauge("x", "") != nil || r.Histogram("x", "", nil) != nil {
+		t.Fatal("nil registry should hand out nil metrics")
+	}
+	r.CounterFunc("x", "", func() uint64 { return 1 })
+	r.GaugeFunc("x", "", func() float64 { return 1 })
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("nil registry exposition: %q, %v", sb.String(), err)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01, 0.1, 1})
+	// 100 observations at ~5ms: all land in the (0.001, 0.01] bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(0.005)
+	}
+	if got := h.Count(); got != 100 {
+		t.Fatalf("count = %d, want 100", got)
+	}
+	if got := h.Sum(); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("sum = %v, want 0.5", got)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 <= 0.001 || p50 > 0.01 {
+		t.Fatalf("p50 = %v, want within (0.001, 0.01]", p50)
+	}
+	// Mixed distribution: 90 fast, 10 slow → p95 in the slow bucket.
+	h2 := NewHistogram([]float64{0.001, 0.01, 0.1, 1})
+	for i := 0; i < 90; i++ {
+		h2.Observe(0.0005)
+	}
+	for i := 0; i < 10; i++ {
+		h2.Observe(0.05)
+	}
+	if p95 := h2.Quantile(0.95); p95 <= 0.01 || p95 > 0.1 {
+		t.Fatalf("p95 = %v, want within (0.01, 0.1]", p95)
+	}
+	// Overflow clamps to the highest finite bound.
+	h3 := NewHistogram([]float64{0.001, 1})
+	h3.Observe(50)
+	if got := h3.Quantile(0.99); got != 1 {
+		t.Fatalf("overflow quantile = %v, want 1 (clamped)", got)
+	}
+	if h3.Quantile(0.5) == 0 && h3.Count() == 1 {
+		t.Fatal("quantile of populated histogram should not be 0")
+	}
+	// Empty histogram.
+	if got := NewHistogram(nil).Quantile(0.99); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(LatencyBuckets)
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(0.002)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*per {
+		t.Fatalf("count = %d, want %d", got, goroutines*per)
+	}
+	if got := h.Sum(); math.Abs(got-goroutines*per*0.002) > 1e-6 {
+		t.Fatalf("sum = %v, want %v", got, goroutines*per*0.002)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("prorp_test_total", "help", L("k", "v"))
+	b := r.Counter("prorp_test_total", "other help ignored", L("k", "v"))
+	if a != b {
+		t.Fatal("same name+labels should return the same counter")
+	}
+	c := r.Counter("prorp_test_total", "", L("k", "w"))
+	if a == c {
+		t.Fatal("different label value should return a distinct series")
+	}
+	// Label order must not matter.
+	h1 := r.Histogram("prorp_h", "", nil, L("a", "1"), L("b", "2"))
+	h2 := r.Histogram("prorp_h", "", nil, L("b", "2"), L("a", "1"))
+	if h1 != h2 {
+		t.Fatal("label order should not create a distinct series")
+	}
+}
+
+func TestRegistryValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	r := NewRegistry()
+	mustPanic("bad metric name", func() { r.Counter("2bad", "") })
+	mustPanic("empty metric name", func() { r.Counter("", "") })
+	mustPanic("metric name with dash", func() { r.Gauge("bad-name", "") })
+	mustPanic("bad label name", func() { r.Counter("ok_name", "", L("2bad", "v")) })
+	mustPanic("reserved label name", func() { r.Counter("ok_name2", "", L("__x", "v")) })
+	mustPanic("duplicate label", func() { r.Counter("ok_name3", "", L("a", "1"), L("a", "2")) })
+	r.Counter("typed", "")
+	mustPanic("type conflict", func() { r.Gauge("typed", "") })
+
+	for name, want := range map[string]bool{
+		"abc": true, "a:b": true, "_x9": true, "": false, "9a": false, "a-b": false, "a b": false,
+	} {
+		if got := ValidMetricName(name); got != want {
+			t.Errorf("ValidMetricName(%q) = %v, want %v", name, got, want)
+		}
+	}
+	for name, want := range map[string]bool{
+		"abc": true, "_x": true, "a9": true, "": false, "9a": false, "a:b": false, "__r": false,
+	} {
+		if got := ValidLabelName(name); got != want {
+			t.Errorf("ValidLabelName(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestFuncMetrics(t *testing.T) {
+	r := NewRegistry()
+	n := uint64(7)
+	r.CounterFunc("prorp_cf_total", "sampled", func() uint64 { return n })
+	r.GaugeFunc("prorp_gf", "sampled", func() float64 { return 2.5 })
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParseExposition(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, sb.String())
+	}
+	got := map[string]float64{}
+	for _, s := range samples {
+		got[s.Name] = s.Value
+	}
+	if got["prorp_cf_total"] != 7 {
+		t.Fatalf("counter func sample = %v, want 7", got["prorp_cf_total"])
+	}
+	if got["prorp_gf"] != 2.5 {
+		t.Fatalf("gauge func sample = %v, want 2.5", got["prorp_gf"])
+	}
+}

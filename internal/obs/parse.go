@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line: a metric name, its sorted label
+// set, and the sample value.
+type Sample struct {
+	Name   string
+	Labels []Label
+	Value  float64
+}
+
+// Key canonicalizes the sample's identity (name plus sorted labels).
+func (s Sample) Key() string { return s.Name + seriesKey(s.Labels) }
+
+// Label returns the value of the named label ("" when absent).
+func (s Sample) Label(name string) string {
+	for _, l := range s.Labels {
+		if l.Name == name {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// ParseExposition parses Prometheus text exposition format (the subset
+// WritePrometheus emits: HELP/TYPE comments and sample lines) and returns
+// the samples in input order. It is strict where the format is strict —
+// malformed metric names, label names, unterminated quotes, bad escapes,
+// and unparsable values are errors — because its job is to prove the
+// writer emits only well-formed output.
+func ParseExposition(r io.Reader) ([]Sample, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	var samples []Sample
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := checkComment(line); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		samples = append(samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return samples, nil
+}
+
+// checkComment validates # HELP / # TYPE lines; other comments pass.
+func checkComment(line string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !ValidMetricName(fields[2]) {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+	case "TYPE":
+		if len(fields) < 4 || !ValidMetricName(fields[2]) {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", fields[3])
+		}
+	}
+	return nil
+}
+
+func parseSampleLine(line string) (Sample, error) {
+	var s Sample
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' {
+		i++
+	}
+	s.Name = line[:i]
+	if !ValidMetricName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		var err error
+		s.Labels, rest, err = parseLabels(rest)
+		if err != nil {
+			return s, err
+		}
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	if rest == "" {
+		return s, fmt.Errorf("missing value in %q", line)
+	}
+	// One value token; an optional timestamp would follow a space, which
+	// the writer never emits — reject trailing tokens outright.
+	if strings.ContainsRune(rest, ' ') {
+		return s, fmt.Errorf("trailing tokens after value in %q", line)
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad sample value %q: %v", rest, err)
+	}
+	s.Value = v
+	// Canonical identity: Key() must not depend on emission order.
+	sortLabels(s.Labels)
+	return s, nil
+}
+
+func sortLabels(ls []Label) {
+	for i := 1; i < len(ls); i++ {
+		for j := i; j > 0 && ls[j-1].Name > ls[j].Name; j-- {
+			ls[j-1], ls[j] = ls[j], ls[j-1]
+		}
+	}
+}
+
+// parseLabels consumes a {a="x",b="y"} block, returning the labels and
+// the remainder of the line. The "le" label of histogram buckets is kept
+// like any other label.
+func parseLabels(in string) ([]Label, string, error) {
+	if !strings.HasPrefix(in, "{") {
+		return nil, in, fmt.Errorf("expected '{' at %q", in)
+	}
+	rest := in[1:]
+	var labels []Label
+	for {
+		if rest == "" {
+			return nil, rest, fmt.Errorf("unterminated label block in %q", in)
+		}
+		if rest[0] == '}' {
+			return labels, rest[1:], nil
+		}
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return nil, rest, fmt.Errorf("missing '=' in label block %q", in)
+		}
+		name := rest[:eq]
+		if name != "le" && !ValidLabelName(name) {
+			return nil, rest, fmt.Errorf("invalid label name %q", name)
+		}
+		rest = rest[eq+1:]
+		value, remainder, err := parseQuoted(rest)
+		if err != nil {
+			return nil, rest, err
+		}
+		labels = append(labels, Label{Name: name, Value: value})
+		rest = remainder
+		if strings.HasPrefix(rest, ",") {
+			rest = rest[1:]
+		}
+	}
+}
+
+// parseQuoted consumes a leading "..." string with \\, \", and \n escapes.
+func parseQuoted(in string) (string, string, error) {
+	if !strings.HasPrefix(in, `"`) {
+		return "", in, fmt.Errorf("expected '\"' at %q", in)
+	}
+	var b strings.Builder
+	i := 1
+	for i < len(in) {
+		c := in[i]
+		switch c {
+		case '"':
+			return b.String(), in[i+1:], nil
+		case '\\':
+			if i+1 >= len(in) {
+				return "", in, fmt.Errorf("dangling escape in %q", in)
+			}
+			switch in[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", in, fmt.Errorf("unknown escape \\%c in %q", in[i+1], in)
+			}
+			i += 2
+		default:
+			b.WriteByte(c)
+			i++
+		}
+	}
+	return "", in, fmt.Errorf("unterminated quote in %q", in)
+}

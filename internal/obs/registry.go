@@ -1,0 +1,360 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Label is one name="value" pair attached to a metric series. Label names
+// must match [a-zA-Z_][a-zA-Z0-9_]*; values may be any UTF-8 string (they
+// are escaped on exposition).
+type Label struct {
+	Name, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// MetricType classifies a registered family for the TYPE line.
+type MetricType int
+
+const (
+	TypeCounter MetricType = iota
+	TypeGauge
+	TypeHistogram
+)
+
+func (t MetricType) String() string {
+	switch t {
+	case TypeCounter:
+		return "counter"
+	case TypeGauge:
+		return "gauge"
+	case TypeHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// series is one labeled instance of a family.
+type series struct {
+	labels []Label // sorted by name
+	key    string
+
+	counter     *Counter
+	gauge       *Gauge
+	hist        *Histogram
+	counterFunc func() uint64
+	gaugeFunc   func() float64
+}
+
+// family groups all series sharing a metric name.
+type family struct {
+	name   string
+	help   string
+	typ    MetricType
+	order  []string // series keys in registration order
+	series map[string]*series
+}
+
+// Registry is a named-metric registry with Prometheus text-format
+// exposition. Get-or-create constructors make re-registration of the same
+// name+labels return the existing metric, so instrumented packages don't
+// coordinate. All methods are safe for concurrent use, and all are no-ops
+// (returning nil metrics, which are themselves no-ops) on a nil *Registry.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+	order    []string // family names in registration order
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// ValidMetricName reports whether s is a legal Prometheus metric name:
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func ValidMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_' || r == ':'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// ValidLabelName reports whether s is a legal label name:
+// [a-zA-Z_][a-zA-Z0-9_]*. Names beginning "__" are reserved.
+func ValidLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i, r := range s {
+		alpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// seriesKey canonicalizes a sorted label set.
+func seriesKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, l := range labels {
+		b.WriteString(l.Name)
+		b.WriteByte('\xff')
+		b.WriteString(l.Value)
+		b.WriteByte('\xfe')
+	}
+	return b.String()
+}
+
+// getOrCreate finds or inserts the series for name+labels, panicking on
+// invalid names or a type conflict — both are programmer errors caught the
+// first time the instrumented path runs under test. init runs under the
+// registry lock so first-use initialization of the series' metric cannot
+// race with a concurrent get-or-create of the same series.
+func (r *Registry) getOrCreate(name, help string, typ MetricType, labels []Label, init func(*series)) *series {
+	if !ValidMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	for i, l := range ls {
+		if !ValidLabelName(l.Name) {
+			panic(fmt.Sprintf("obs: invalid label name %q on metric %q", l.Name, name))
+		}
+		if i > 0 && ls[i-1].Name == l.Name {
+			panic(fmt.Sprintf("obs: duplicate label name %q on metric %q", l.Name, name))
+		}
+	}
+	key := seriesKey(ls)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam, ok := r.families[name]
+	if !ok {
+		fam = &family{name: name, help: help, typ: typ, series: make(map[string]*series)}
+		r.families[name] = fam
+		r.order = append(r.order, name)
+	} else if fam.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s, was %s", name, typ, fam.typ))
+	}
+	sr, ok := fam.series[key]
+	if !ok {
+		sr = &series{labels: ls, key: key}
+		fam.series[key] = sr
+		fam.order = append(fam.order, key)
+	}
+	init(sr)
+	return sr
+}
+
+// Counter returns the counter registered under name+labels, creating it on
+// first use. Nil registry: returns nil (a no-op counter).
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	sr := r.getOrCreate(name, help, TypeCounter, labels, func(sr *series) {
+		if sr.counter == nil && sr.counterFunc == nil {
+			sr.counter = &Counter{}
+		}
+	})
+	return sr.counter
+}
+
+// CounterFunc registers a counter whose value is sampled from fn at
+// exposition time — the bridge for counters owned elsewhere (FleetKPI,
+// WAL metrics). Nil registry: no-op.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.getOrCreate(name, help, TypeCounter, labels, func(sr *series) {
+		sr.counterFunc = fn
+	})
+}
+
+// Gauge returns the gauge registered under name+labels, creating it on
+// first use. Nil registry: returns nil (a no-op gauge).
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	sr := r.getOrCreate(name, help, TypeGauge, labels, func(sr *series) {
+		if sr.gauge == nil && sr.gaugeFunc == nil {
+			sr.gauge = &Gauge{}
+		}
+	})
+	return sr.gauge
+}
+
+// GaugeFunc registers a gauge sampled from fn at exposition time. Nil
+// registry: no-op.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.getOrCreate(name, help, TypeGauge, labels, func(sr *series) {
+		sr.gaugeFunc = fn
+	})
+}
+
+// Histogram returns the histogram registered under name+labels, creating
+// it over bounds (nil = LatencyBuckets) on first use. Nil registry:
+// returns nil (a no-op histogram).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	sr := r.getOrCreate(name, help, TypeHistogram, labels, func(sr *series) {
+		if sr.hist == nil {
+			sr.hist = NewHistogram(bounds)
+		}
+	})
+	return sr.hist
+}
+
+// escapeHelp escapes a HELP string per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabelValue escapes a label value per the exposition format.
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// writeLabels renders {a="x",b="y"} including extra appended last (used
+// for histogram le). Empty set renders nothing.
+func writeLabels(w io.Writer, labels []Label, extra ...Label) error {
+	all := labels
+	if len(extra) > 0 {
+		all = append(append([]Label{}, labels...), extra...)
+	}
+	if len(all) == 0 {
+		return nil
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4). Families appear in registration order, series in
+// registration order within a family — stable across scrapes, so the
+// output is golden-testable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, name := range r.order {
+		fam := r.families[name]
+		if fam.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam.name, escapeHelp(fam.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam.name, fam.typ); err != nil {
+			return err
+		}
+		for _, key := range fam.order {
+			if err := writeSeries(w, fam, fam.series[key]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, fam *family, sr *series) error {
+	switch fam.typ {
+	case TypeCounter:
+		v := float64(sr.counter.Value())
+		if sr.counterFunc != nil {
+			v = float64(sr.counterFunc())
+		}
+		return writeSample(w, fam.name, sr.labels, v)
+	case TypeGauge:
+		v := sr.gauge.Value()
+		if sr.gaugeFunc != nil {
+			v = sr.gaugeFunc()
+		}
+		return writeSample(w, fam.name, sr.labels, v)
+	case TypeHistogram:
+		counts, count, sum := sr.hist.snapshot()
+		var cum uint64
+		for i, n := range counts {
+			cum += n
+			le := "+Inf"
+			if i < len(sr.hist.bounds) {
+				le = formatValue(sr.hist.bounds[i])
+			}
+			if err := writeSampleExtra(w, fam.name+"_bucket", sr.labels, L("le", le), float64(cum)); err != nil {
+				return err
+			}
+		}
+		if err := writeSample(w, fam.name+"_sum", sr.labels, sum); err != nil {
+			return err
+		}
+		return writeSample(w, fam.name+"_count", sr.labels, float64(count))
+	}
+	return nil
+}
+
+func writeSample(w io.Writer, name string, labels []Label, v float64) error {
+	if _, err := io.WriteString(w, name); err != nil {
+		return err
+	}
+	if err := writeLabels(w, labels); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, " %s\n", formatValue(v))
+	return err
+}
+
+func writeSampleExtra(w io.Writer, name string, labels []Label, extra Label, v float64) error {
+	if _, err := io.WriteString(w, name); err != nil {
+		return err
+	}
+	if err := writeLabels(w, labels, extra); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, " %s\n", formatValue(v))
+	return err
+}

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// goldenRegistry builds a registry with fixed, deterministic contents —
+// every metric shape the exposition writer emits.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	c := r.Counter("prorp_requests_total", "Requests served.", L("route", "/v1/db"), L("method", "POST"))
+	c.Add(12)
+	r.Counter("prorp_requests_total", "Requests served.", L("route", "/v1/kpi"), L("method", "GET")).Add(3)
+	g := r.Gauge("prorp_fleet_databases", "Databases in the fleet.")
+	g.Set(42)
+	r.GaugeFunc("prorp_uptime_seconds", "Seconds since boot.", func() float64 { return 60.5 })
+	h := r.Histogram("prorp_request_duration_seconds", "Request latency.", []float64{0.001, 0.01, 0.1}, L("route", "/v1/db"))
+	h.Observe(0.0005)
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(3)
+	// Escaping paths: backslash, quote, newline in label values and help.
+	r.Gauge("prorp_escape_check", "line one\nline \\two", L("path", `C:\tmp "x"`+"\n")).Set(1)
+	return r
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	goldenPath := filepath.Join("testdata", "exposition.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from golden file\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestExpositionRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParseExposition(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("writer output does not parse: %v\n%s", err, buf.String())
+	}
+	byKey := map[string]float64{}
+	for _, s := range samples {
+		byKey[s.Key()] = s.Value
+	}
+	check := func(key string, want float64) {
+		t.Helper()
+		got, ok := byKey[key]
+		if !ok {
+			t.Fatalf("sample %q missing; have %v", key, byKey)
+		}
+		if got != want {
+			t.Fatalf("sample %q = %v, want %v", key, got, want)
+		}
+	}
+	check(Sample{Name: "prorp_requests_total", Labels: []Label{{"method", "POST"}, {"route", "/v1/db"}}}.Key(), 12)
+	check(Sample{Name: "prorp_fleet_databases"}.Key(), 42)
+	check(Sample{Name: "prorp_uptime_seconds"}.Key(), 60.5)
+	check(Sample{Name: "prorp_request_duration_seconds_count", Labels: []Label{{"route", "/v1/db"}}}.Key(), 4)
+	// Cumulative buckets: le=0.001 has 2, le=0.01 has 2, le=0.1 has 3, +Inf has 4.
+	check(Sample{Name: "prorp_request_duration_seconds_bucket", Labels: []Label{{"le", "0.001"}, {"route", "/v1/db"}}}.Key(), 2)
+	check(Sample{Name: "prorp_request_duration_seconds_bucket", Labels: []Label{{"le", "0.1"}, {"route", "/v1/db"}}}.Key(), 3)
+	check(Sample{Name: "prorp_request_duration_seconds_bucket", Labels: []Label{{"le", "+Inf"}, {"route", "/v1/db"}}}.Key(), 4)
+	// The escaped label value survives the round trip byte for byte.
+	esc := Sample{Name: "prorp_escape_check", Labels: []Label{{"path", `C:\tmp "x"` + "\n"}}}
+	check(esc.Key(), 1)
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	bad := map[string]string{
+		"metric name starting with digit": `2bad 1`,
+		"metric name with dash":           `bad-name 1`,
+		"label name starting with digit":  `ok{2bad="v"} 1`,
+		"label name with colon":           `ok{a:b="v"} 1`,
+		"unterminated quote":              `ok{a="v} 1`,
+		"unterminated label block":        `ok{a="v"`,
+		"missing equals":                  `ok{a} 1`,
+		"unknown escape":                  `ok{a="\q"} 1`,
+		"dangling escape":                 `ok{a="\`,
+		"missing value":                   `ok{a="v"}`,
+		"unparsable value":                `ok{a="v"} forty`,
+		"trailing tokens":                 `ok 1 2 3`,
+		"malformed HELP":                  "# HELP 2bad text",
+		"malformed TYPE name":             "# TYPE 2bad counter",
+		"malformed TYPE kind":             "# TYPE ok sandwich",
+		"reserved label name":             `ok{__name__="v"} 1`,
+	}
+	for name, line := range bad {
+		if _, err := ParseExposition(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("%s: ParseExposition(%q) accepted malformed input", name, line)
+		}
+	}
+	good := []string{
+		"# arbitrary comment\nok 1\n",
+		`ok{le="+Inf"} 3` + "\n", // histogram bucket label
+		"ok 1.5e-3\n",
+		"ok +Inf\n",
+		"with:colon 1\n",
+	}
+	for _, in := range good {
+		if _, err := ParseExposition(strings.NewReader(in)); err != nil {
+			t.Errorf("ParseExposition(%q) rejected well-formed input: %v", in, err)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracing model: a root span opens a trace; child spans attach through the
+// context.Context the root span was stored in. Every span records name,
+// start, and duration; when the root span ends, the completed trace is
+// offered to the tracer's bounded retention buffer, which keeps the
+// slowest traces completed within the retention window — the ones worth
+// looking at when p99 moves. Sampling is therefore *retention-side*:
+// every request is traced (span bookkeeping is a few small allocations),
+// but only the slow ones survive to GET /v1/traces.
+
+const (
+	// DefaultTraceCapacity bounds the retention buffer.
+	DefaultTraceCapacity = 64
+	// DefaultTraceMaxAge expires retained traces so one ancient outlier
+	// doesn't squat the buffer forever.
+	DefaultTraceMaxAge = 10 * time.Minute
+	// maxSpansPerTrace bounds span records within one trace; overflow is
+	// counted, not stored.
+	maxSpansPerTrace = 64
+)
+
+// SpanRecord is one completed span inside a retained trace.
+type SpanRecord struct {
+	Name     string        `json:"name"`
+	SpanID   string        `json:"span_id"`
+	ParentID string        `json:"parent_id,omitempty"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// TraceRecord is one retained trace: the root span's identity plus every
+// span that completed within it.
+type TraceRecord struct {
+	TraceID      string        `json:"trace_id"`
+	Root         string        `json:"root"`
+	Start        time.Time     `json:"start"`
+	Duration     time.Duration `json:"duration_ns"`
+	Spans        []SpanRecord  `json:"spans"`
+	DroppedSpans int           `json:"dropped_spans,omitempty"`
+}
+
+// trace is the mutable under-construction state shared by a root span and
+// its children.
+type trace struct {
+	tracer  *Tracer
+	traceID uint64
+
+	mu      sync.Mutex
+	spans   []SpanRecord
+	dropped int
+}
+
+// Span is one timed region. End completes it; a nil *Span ignores all
+// calls, so disabled tracing costs one nil check.
+type Span struct {
+	tr       *trace
+	name     string
+	spanID   uint64
+	parentID uint64
+	start    time.Time
+	root     bool
+	ended    atomic.Bool
+}
+
+type ctxKey struct{}
+
+// Tracer retains the slowest recent traces. A nil *Tracer disables
+// tracing. All methods are safe for concurrent use.
+type Tracer struct {
+	capacity int
+	maxAge   time.Duration
+	now      func() time.Time
+	ids      atomic.Uint64
+
+	mu       sync.Mutex
+	retained []TraceRecord
+}
+
+// NewTracer builds a tracer retaining up to capacity traces (0 =
+// DefaultTraceCapacity) for maxAge (0 = DefaultTraceMaxAge).
+func NewTracer(capacity int, maxAge time.Duration) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	if maxAge <= 0 {
+		maxAge = DefaultTraceMaxAge
+	}
+	return &Tracer{capacity: capacity, maxAge: maxAge, now: time.Now}
+}
+
+// SetNow overrides the tracer's clock, for tests.
+func (t *Tracer) SetNow(now func() time.Time) { t.now = now }
+
+// Start opens a span named name. If ctx already carries a span, the new
+// span joins its trace as a child; otherwise it opens a new trace as the
+// root. The returned context carries the new span for further nesting.
+// On a nil tracer, ctx is returned unchanged with a nil span.
+func (t *Tracer) Start(ctx context.Context, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	parent, _ := ctx.Value(ctxKey{}).(*Span)
+	sp := &Span{name: name, start: t.now(), spanID: t.nextID()}
+	if parent != nil && parent.tr != nil {
+		sp.tr = parent.tr
+		sp.parentID = parent.spanID
+	} else {
+		sp.tr = &trace{tracer: t, traceID: t.nextID()}
+		sp.root = true
+	}
+	return context.WithValue(ctx, ctxKey{}, sp), sp
+}
+
+// nextID yields a process-unique 64-bit id; mixing in the clock keeps ids
+// unique across restarts without a RNG on the span path.
+func (t *Tracer) nextID() uint64 {
+	return t.ids.Add(1)*0x9E3779B97F4A7C15 ^ uint64(t.now().UnixNano())
+}
+
+// End completes the span, recording it in its trace; ending the root span
+// offers the whole trace to the retention buffer. End is idempotent.
+func (s *Span) End() {
+	if s == nil || s.tr == nil || !s.ended.CompareAndSwap(false, true) {
+		return
+	}
+	tr := s.tr
+	end := tr.tracer.now()
+	rec := SpanRecord{
+		Name:     s.name,
+		SpanID:   fmt.Sprintf("%016x", s.spanID),
+		Start:    s.start,
+		Duration: end.Sub(s.start),
+	}
+	if s.parentID != 0 {
+		rec.ParentID = fmt.Sprintf("%016x", s.parentID)
+	}
+	tr.mu.Lock()
+	if len(tr.spans) < maxSpansPerTrace {
+		tr.spans = append(tr.spans, rec)
+	} else {
+		tr.dropped++
+	}
+	var done *TraceRecord
+	if s.root {
+		done = &TraceRecord{
+			TraceID:      fmt.Sprintf("%016x", tr.traceID),
+			Root:         s.name,
+			Start:        s.start,
+			Duration:     rec.Duration,
+			Spans:        tr.spans,
+			DroppedSpans: tr.dropped,
+		}
+		tr.spans = nil // the record owns the slice now
+	}
+	tr.mu.Unlock()
+	if done != nil {
+		tr.tracer.offer(*done)
+	}
+}
+
+// offer admits a completed trace: expired entries are evicted first; a
+// free slot takes the trace unconditionally; a full buffer keeps whichever
+// of (new trace, current fastest retained trace) is slower.
+func (t *Tracer) offer(rec TraceRecord) {
+	cutoff := t.now().Add(-t.maxAge)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	kept := t.retained[:0]
+	for _, r := range t.retained {
+		if r.Start.Add(r.Duration).After(cutoff) {
+			kept = append(kept, r)
+		}
+	}
+	t.retained = kept
+	if len(t.retained) < t.capacity {
+		t.retained = append(t.retained, rec)
+		return
+	}
+	minIdx := 0
+	for i := range t.retained {
+		if t.retained[i].Duration < t.retained[minIdx].Duration {
+			minIdx = i
+		}
+	}
+	if rec.Duration > t.retained[minIdx].Duration {
+		t.retained[minIdx] = rec
+	}
+}
+
+// Slowest returns the retained traces, slowest first, dropping entries
+// older than the retention window.
+func (t *Tracer) Slowest() []TraceRecord {
+	if t == nil {
+		return nil
+	}
+	cutoff := t.now().Add(-t.maxAge)
+	t.mu.Lock()
+	kept := t.retained[:0]
+	for _, r := range t.retained {
+		if r.Start.Add(r.Duration).After(cutoff) {
+			kept = append(kept, r)
+		}
+	}
+	t.retained = kept
+	out := make([]TraceRecord, len(t.retained))
+	copy(out, t.retained)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Duration > out[j].Duration })
+	return out
+}

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-advanced clock for deterministic durations.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newFakeTracer(capacity int, maxAge time.Duration) (*Tracer, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	tr := NewTracer(capacity, maxAge)
+	tr.SetNow(clk.now)
+	return tr, clk
+}
+
+func TestTracerNesting(t *testing.T) {
+	tr, clk := newFakeTracer(8, time.Hour)
+	ctx, root := tr.Start(context.Background(), "GET /v1/db/{id}")
+	clk.advance(time.Millisecond)
+	_, child := tr.Start(ctx, "fleet.explain")
+	clk.advance(2 * time.Millisecond)
+	child.End()
+	clk.advance(time.Millisecond)
+	root.End()
+	root.End() // idempotent
+
+	got := tr.Slowest()
+	if len(got) != 1 {
+		t.Fatalf("retained %d traces, want 1", len(got))
+	}
+	rec := got[0]
+	if rec.Root != "GET /v1/db/{id}" {
+		t.Fatalf("root = %q", rec.Root)
+	}
+	if rec.Duration != 4*time.Millisecond {
+		t.Fatalf("root duration = %v, want 4ms", rec.Duration)
+	}
+	if len(rec.Spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(rec.Spans))
+	}
+	// Child completed first, so it is recorded first.
+	if rec.Spans[0].Name != "fleet.explain" || rec.Spans[0].Duration != 2*time.Millisecond {
+		t.Fatalf("child span = %+v", rec.Spans[0])
+	}
+	if rec.Spans[0].ParentID != rec.Spans[1].SpanID {
+		t.Fatalf("child parent id %q != root span id %q", rec.Spans[0].ParentID, rec.Spans[1].SpanID)
+	}
+	if rec.Spans[1].ParentID != "" {
+		t.Fatalf("root span has parent %q", rec.Spans[1].ParentID)
+	}
+}
+
+func TestTracerRetainsSlowest(t *testing.T) {
+	tr, clk := newFakeTracer(2, time.Hour)
+	run := func(name string, d time.Duration) {
+		_, sp := tr.Start(context.Background(), name)
+		clk.advance(d)
+		sp.End()
+	}
+	run("fast", time.Millisecond)
+	run("slow", 100*time.Millisecond)
+	run("medium", 10*time.Millisecond) // evicts "fast" (the retained minimum)
+	run("tiny", time.Microsecond)      // slower than nothing; dropped
+
+	got := tr.Slowest()
+	if len(got) != 2 {
+		t.Fatalf("retained %d, want 2", len(got))
+	}
+	if got[0].Root != "slow" || got[1].Root != "medium" {
+		t.Fatalf("retained %q, %q; want slow, medium", got[0].Root, got[1].Root)
+	}
+}
+
+func TestTracerExpiry(t *testing.T) {
+	tr, clk := newFakeTracer(8, time.Minute)
+	_, sp := tr.Start(context.Background(), "old")
+	clk.advance(5 * time.Millisecond)
+	sp.End()
+	if len(tr.Slowest()) != 1 {
+		t.Fatal("fresh trace should be retained")
+	}
+	clk.advance(2 * time.Minute)
+	if got := tr.Slowest(); len(got) != 0 {
+		t.Fatalf("expired trace still retained: %+v", got)
+	}
+}
+
+func TestNilTracer(t *testing.T) {
+	var tr *Tracer
+	ctx, sp := tr.Start(context.Background(), "x")
+	if ctx == nil {
+		t.Fatal("nil tracer must return the context unchanged")
+	}
+	sp.End() // no-op
+	if tr.Slowest() != nil {
+		t.Fatal("nil tracer Slowest should be nil")
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(16, time.Hour)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ctx, root := tr.Start(context.Background(), "root")
+				_, child := tr.Start(ctx, "child")
+				child.End()
+				root.End()
+			}
+		}()
+	}
+	wg.Wait()
+	got := tr.Slowest()
+	if len(got) == 0 || len(got) > 16 {
+		t.Fatalf("retained %d traces, want 1..16", len(got))
+	}
+	for _, rec := range got {
+		if len(rec.Spans) != 2 {
+			t.Fatalf("trace %s has %d spans, want 2", rec.TraceID, len(rec.Spans))
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"prorp"
+	"prorp/internal/obs"
+)
+
+// Observability surface of the serving runtime.
+//
+//   - GET /metrics     Prometheus text exposition of the whole registry: the
+//     per-route HTTP latency/status histograms, the fleet runtime's decision
+//     and Algorithm 5 scan histograms, per-shard queue depths, WAL and
+//     snapshot-store timings, and func-metric bridges for every FleetKPI
+//     counter — a strict superset of GET /v1/kpi, whose JSON shape is frozen.
+//   - GET /v1/traces   the slowest recent request traces (span trees), JSON.
+//
+// Metric naming: prorp_<subsystem>_<name>[_<unit>|_total]; durations are
+// seconds, sizes are bytes. See DESIGN.md §8.
+
+// statusWriter captures the response status for the status-code label.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrumented wraps one route's handler with the HTTP middleware: a root
+// span named after the route, a per-route latency histogram, and a
+// per-route/status request counter. The route label is the registered
+// pattern, never the raw URL — bounded cardinality by construction.
+func (s *Server) instrumented(method, route string, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.reg.Histogram("prorp_http_request_duration_seconds",
+		"HTTP request latency by route.", obs.LatencyBuckets,
+		obs.L("route", route), obs.L("method", method))
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		ctx, span := s.tracer.Start(r.Context(), method+" "+route)
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r.WithContext(ctx))
+		span.End()
+		hist.ObserveSince(t0)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		s.reg.Counter("prorp_http_requests_total",
+			"HTTP requests by route and status code.",
+			obs.L("route", route), obs.L("method", method),
+			obs.L("code", strconv.Itoa(sw.status))).Inc()
+	}
+}
+
+// registerServerMetrics bridges the serving layer's existing counters and
+// gauges onto the registry as sampled-at-scrape func metrics, so /metrics
+// is a superset of /v1/kpi without double bookkeeping. Fleet KPI counters
+// are sampled through one shared snapshotter per scrape family; the
+// per-scrape cost is a few shard-mutex sweeps, irrelevant at scrape rates.
+func (s *Server) registerServerMetrics() {
+	reg := s.reg
+
+	reg.GaugeFunc("prorp_uptime_seconds", "Seconds since the server booted.",
+		func() float64 { return s.now().Sub(s.started).Seconds() })
+	reg.GaugeFunc("prorp_degraded", "1 while the server is in degraded mode.",
+		func() float64 {
+			if s.degraded.Load() {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("prorp_pending_wakes", "Wake-up timers currently scheduled.",
+		func() float64 { return float64(s.wakes.pending()) })
+
+	// Fleet gauges.
+	gauges := map[string]struct {
+		help string
+		fn   func() float64
+	}{
+		"prorp_fleet_databases":         {"Databases in the fleet.", func() float64 { return float64(s.fleet.Size()) }},
+		"prorp_fleet_physically_paused": {"Databases physically paused.", func() float64 { return float64(s.fleet.PausedCount()) }},
+		"prorp_fleet_shards":            {"Fleet stripe count.", func() float64 { return float64(s.fleet.Shards()) }},
+	}
+	for name, g := range gauges {
+		reg.GaugeFunc(name, g.help, g.fn)
+	}
+
+	// FleetKPI transition counters, sampled from the runtime.
+	kpiCounters := []struct {
+		name, help string
+		fn         func() uint64
+	}{
+		{"prorp_fleet_creates_total", "Databases created.", s.kpiField(func(k prorp.FleetKPI) uint64 { return k.Creates })},
+		{"prorp_fleet_deletes_total", "Databases deleted.", s.kpiField(func(k prorp.FleetKPI) uint64 { return k.Deletes })},
+		{"prorp_fleet_logins_total", "Customer logins recorded.", s.kpiField(func(k prorp.FleetKPI) uint64 { return k.Logins })},
+		{"prorp_fleet_logouts_total", "Customer logouts recorded.", s.kpiField(func(k prorp.FleetKPI) uint64 { return k.Logouts })},
+		{"prorp_fleet_wakes_total", "Wake-up timers delivered.", s.kpiField(func(k prorp.FleetKPI) uint64 { return k.Wakes })},
+		{"prorp_fleet_warm_resumes_total", "First logins served without a cold resume (QoS numerator).", s.kpiField(func(k prorp.FleetKPI) uint64 { return k.WarmResumes })},
+		{"prorp_fleet_cold_resumes_total", "First logins that hit a cold resume.", s.kpiField(func(k prorp.FleetKPI) uint64 { return k.ColdResumes })},
+		{"prorp_fleet_logical_pauses_total", "Logical pause transitions.", s.kpiField(func(k prorp.FleetKPI) uint64 { return k.LogicalPauses })},
+		{"prorp_fleet_physical_pauses_total", "Physical pause transitions.", s.kpiField(func(k prorp.FleetKPI) uint64 { return k.PhysicalPauses })},
+		{"prorp_fleet_prewarms_total", "Algorithm 5 proactive resumes.", s.kpiField(func(k prorp.FleetKPI) uint64 { return k.Prewarms })},
+		{"prorp_fleet_prewarms_used_total", "Pre-warms whose next login was warm.", s.kpiField(func(k prorp.FleetKPI) uint64 { return k.PrewarmsUsed })},
+		{"prorp_fleet_prewarms_wasted_total", "Pre-warms that paused again untouched.", s.kpiField(func(k prorp.FleetKPI) uint64 { return k.PrewarmsWasted })},
+	}
+	for _, c := range kpiCounters {
+		reg.CounterFunc(c.name, c.help, c.fn)
+	}
+	reg.GaugeFunc("prorp_fleet_qos_percent",
+		"Share of first logins after idle that found resources available.",
+		func() float64 { return s.fleet.KPI().QoSPercent() })
+
+	// Serving-layer resilience counters (the opsCounters atomics).
+	opsCounters := []struct {
+		name, help string
+		v          interface{ Load() uint64 }
+	}{
+		{"prorp_snapshot_retries_total", "Snapshot write retries.", &s.ops.snapshotRetries},
+		{"prorp_snapshot_failures_total", "Snapshot writes that failed after retries.", &s.ops.snapshotFailures},
+		{"prorp_snapshot_fallbacks_total", "Boots restored from the .bak fallback snapshot.", &s.ops.snapshotFallbacks},
+		{"prorp_prewarm_retries_total", "Prewarm hook retries.", &s.ops.prewarmRetries},
+		{"prorp_prewarm_failures_total", "Prewarm hooks that failed after retries.", &s.ops.prewarmFailures},
+		{"prorp_wake_retries_total", "Wake hook retries.", &s.ops.wakeRetries},
+		{"prorp_wake_failures_total", "Wake deliveries rescheduled after retries.", &s.ops.wakeFailures},
+		{"prorp_wal_append_failures_total", "Journal appends that failed after retries.", &s.ops.walAppendFailures},
+		{"prorp_wal_replayed_records_total", "Journal records applied by boot replay.", &s.ops.walReplayed},
+		{"prorp_wal_replay_skipped_total", "Journal records skipped by boot replay.", &s.ops.walReplaySkipped},
+		{"prorp_wal_torn_segments_total", "Journal segments cut short at a torn frame.", &s.ops.walTornSegments},
+		{"prorp_wal_truncated_bytes_total", "Journal bytes discarded past torn frames.", &s.ops.walTruncatedBytes},
+	}
+	for _, c := range opsCounters {
+		v := c.v
+		reg.CounterFunc(c.name, c.help, func() uint64 { return v.Load() })
+	}
+
+	// Journal counters, sampled from the WAL's own metrics (zero series
+	// when no journal is configured — absent metrics lie less than zeros).
+	if s.wal != nil {
+		walCounters := []struct {
+			name, help string
+			fn         func() uint64
+		}{
+			{"prorp_wal_appends_total", "Journal records appended and acknowledged.", func() uint64 { return s.wal.Metrics().Appends }},
+			{"prorp_wal_bytes_appended_total", "Journal bytes appended.", func() uint64 { return s.wal.Metrics().BytesAppended }},
+			{"prorp_wal_fsyncs_total", "Journal fsyncs issued.", func() uint64 { return s.wal.Metrics().Fsyncs }},
+			{"prorp_wal_rotations_total", "Journal segment rotations.", func() uint64 { return s.wal.Metrics().Rotations }},
+			{"prorp_wal_segments_compacted_total", "Journal segments deleted by compaction.", func() uint64 { return s.wal.Metrics().Compacted }},
+		}
+		for _, c := range walCounters {
+			reg.CounterFunc(c.name, c.help, c.fn)
+		}
+	}
+}
+
+// kpiField builds a sampler for one KPI counter. Each scrape re-reads the
+// runtime; the sweep is cheap and scrapes are rare.
+func (s *Server) kpiField(pick func(prorp.FleetKPI) uint64) func() uint64 {
+	return func() uint64 { return pick(s.fleet.KPI()) }
+}
+
+// Registry exposes the server's metric registry, for host wiring (the
+// debug listener) and tests.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Tracer exposes the server's tracer, for tests.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	traces := s.tracer.Slowest()
+	if traces == nil {
+		traces = []obs.TraceRecord{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"retention":   obs.DefaultTraceMaxAge.String(),
+		"capacity":    obs.DefaultTraceCapacity,
+		"trace_count": len(traces),
+		"traces":      traces,
+	})
+}

@@ -1,0 +1,267 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"prorp/internal/obs"
+	"prorp/internal/wal"
+)
+
+// newObsServer builds a fully wired server — WAL, snapshots, fake clock —
+// so /metrics has every registered family live.
+func newObsServer(t *testing.T, clock *fakeClock) *Server {
+	t.Helper()
+	dir := t.TempDir()
+	srv, err := New(Config{
+		Options:      testOptions(),
+		Shards:       4,
+		SnapshotPath: filepath.Join(dir, "fleet.snap"),
+		WALDir:       filepath.Join(dir, "wal"),
+		WALFsync:     wal.FsyncAlways,
+		Now:          clock.Now,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// scrape fetches /metrics and parses the exposition into samples by
+// canonical key.
+func scrape(t *testing.T, s *Server) map[string]obs.Sample {
+	t.Helper()
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	samples, err := obs.ParseExposition(rec.Body)
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v", err)
+	}
+	out := make(map[string]obs.Sample, len(samples))
+	for _, sm := range samples {
+		out[sm.Key()] = sm
+	}
+	return out
+}
+
+// sampleValue finds the one sample with the given metric name and, when
+// want is non-empty, the given label subset.
+func sampleValue(t *testing.T, samples map[string]obs.Sample, name string, want map[string]string) float64 {
+	t.Helper()
+	for _, sm := range samples {
+		if sm.Name != name {
+			continue
+		}
+		match := true
+		for k, v := range want {
+			if sm.Label(k) != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return sm.Value
+		}
+	}
+	t.Fatalf("no sample %s %v in scrape", name, want)
+	return 0
+}
+
+// TestMetricsEndpoint is the acceptance check for the observability
+// surface: after real traffic, /metrics serves valid Prometheus text with
+// populated HTTP latency histograms and every KPI/WAL counter the JSON
+// endpoint reports.
+func TestMetricsEndpoint(t *testing.T) {
+	clock := &fakeClock{t: t0.Add(9 * time.Hour)}
+	srv := newObsServer(t, clock)
+
+	code, out := call(t, srv, "POST", "/v1/db", `{"id":1}`)
+	wantStatus(t, code, http.StatusCreated, out)
+	code, out = call(t, srv, "POST", "/v1/db/1/login", "")
+	wantStatus(t, code, http.StatusOK, out)
+	clock.Set(t0.Add(17 * time.Hour))
+	code, out = call(t, srv, "POST", "/v1/db/1/logout", "")
+	wantStatus(t, code, http.StatusOK, out)
+	code, out = call(t, srv, "GET", "/v1/db/1", "")
+	wantStatus(t, code, http.StatusOK, out)
+	code, out = call(t, srv, "POST", "/v1/ops/snapshot", "")
+	wantStatus(t, code, http.StatusOK, out)
+
+	samples := scrape(t, srv)
+
+	// The HTTP route histogram is populated: the create route saw exactly
+	// one request, and its +Inf bucket agrees with its count.
+	createRoute := map[string]string{"route": "/v1/db", "method": "POST"}
+	if n := sampleValue(t, samples, "prorp_http_request_duration_seconds_count", createRoute); n != 1 {
+		t.Fatalf("create route histogram count = %v, want 1", n)
+	}
+	inf := map[string]string{"route": "/v1/db", "method": "POST", "le": "+Inf"}
+	if n := sampleValue(t, samples, "prorp_http_request_duration_seconds_bucket", inf); n != 1 {
+		t.Fatalf("create route +Inf bucket = %v, want 1", n)
+	}
+	if n := sampleValue(t, samples, "prorp_http_requests_total",
+		map[string]string{"route": "/v1/db", "method": "POST", "code": "201"}); n != 1 {
+		t.Fatalf("create route request counter = %v, want 1", n)
+	}
+
+	// KPI counters bridged onto the registry agree with the traffic.
+	for name, want := range map[string]float64{
+		"prorp_fleet_creates_total": 1,
+		"prorp_fleet_logins_total":  1,
+		"prorp_fleet_logouts_total": 1,
+	} {
+		if got := sampleValue(t, samples, name, nil); got != want {
+			t.Fatalf("%s = %v, want %v", name, got, want)
+		}
+	}
+
+	// Every /v1/kpi counter family has a /metrics counterpart — the scrape
+	// is a superset of the JSON endpoint.
+	for _, name := range []string{
+		"prorp_fleet_creates_total", "prorp_fleet_deletes_total",
+		"prorp_fleet_logins_total", "prorp_fleet_logouts_total",
+		"prorp_fleet_wakes_total", "prorp_fleet_warm_resumes_total",
+		"prorp_fleet_cold_resumes_total", "prorp_fleet_logical_pauses_total",
+		"prorp_fleet_physical_pauses_total", "prorp_fleet_prewarms_total",
+		"prorp_fleet_prewarms_used_total", "prorp_fleet_prewarms_wasted_total",
+		"prorp_fleet_qos_percent",
+		"prorp_snapshot_retries_total", "prorp_snapshot_failures_total",
+		"prorp_snapshot_fallbacks_total",
+		"prorp_prewarm_retries_total", "prorp_prewarm_failures_total",
+		"prorp_wake_retries_total", "prorp_wake_failures_total",
+		"prorp_wal_appends_total", "prorp_wal_append_failures_total",
+		"prorp_wal_fsyncs_total", "prorp_wal_rotations_total",
+		"prorp_wal_segments_compacted_total", "prorp_wal_replayed_records_total",
+		"prorp_wal_replay_skipped_total", "prorp_wal_torn_segments_total",
+		"prorp_wal_truncated_bytes_total",
+		"prorp_fleet_databases", "prorp_fleet_physically_paused",
+		"prorp_fleet_shards", "prorp_pending_wakes", "prorp_uptime_seconds",
+		"prorp_degraded",
+	} {
+		sampleValue(t, samples, name, nil)
+	}
+
+	// The mutations were journaled, timed, and fsynced.
+	if n := sampleValue(t, samples, "prorp_wal_appends_total", nil); n < 3 {
+		t.Fatalf("prorp_wal_appends_total = %v, want >= 3", n)
+	}
+	if n := sampleValue(t, samples, "prorp_wal_append_duration_seconds_count", nil); n < 3 {
+		t.Fatalf("wal append histogram count = %v, want >= 3", n)
+	}
+	if n := sampleValue(t, samples, "prorp_wal_fsync_duration_seconds_count", nil); n < 1 {
+		t.Fatalf("wal fsync histogram count = %v, want >= 1", n)
+	}
+
+	// Fleet decision timings flowed through the sharded runtime.
+	if n := sampleValue(t, samples, "prorp_decision_duration_seconds_count",
+		map[string]string{"kind": "login"}); n != 1 {
+		t.Fatalf("login decision histogram count = %v, want 1", n)
+	}
+
+	// The manual snapshot was timed.
+	if n := sampleValue(t, samples, "prorp_snapshot_save_duration_seconds_count", nil); n < 1 {
+		t.Fatalf("snapshot save histogram count = %v, want >= 1", n)
+	}
+}
+
+// TestKPIShapeFrozen pins the exact top-level key set of GET /v1/kpi: the
+// registry bridges must never change the JSON endpoint's shape.
+func TestKPIShapeFrozen(t *testing.T) {
+	clock := &fakeClock{t: t0.Add(9 * time.Hour)}
+	srv := newObsServer(t, clock)
+
+	code, out := call(t, srv, "GET", "/v1/kpi", "")
+	wantStatus(t, code, http.StatusOK, out)
+
+	got := make([]string, 0, len(out))
+	for k := range out {
+		got = append(got, k)
+	}
+	sort.Strings(got)
+	want := []string{
+		"cold_resumes", "creates", "databases", "deletes", "logical_pauses",
+		"logically_paused", "logins", "logouts", "now", "pending_wakes",
+		"physical_pauses", "physically_paused", "prewarm_failures",
+		"prewarm_retries", "prewarms", "prewarms_used", "prewarms_wasted",
+		"qos_percent", "queued_events", "resumed", "shards",
+		"snapshot_failures", "snapshot_fallbacks", "snapshot_retries",
+		"uptime_seconds", "wake_failures", "wake_retries", "wakes",
+		"wal_append_failures", "wal_appends", "wal_fsyncs", "wal_replay_skipped",
+		"wal_replayed_records", "wal_rotations", "wal_segments_compacted",
+		"wal_torn_segments", "wal_truncated_bytes", "warm_resumes",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("kpi keys = %v\nwant %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("kpi keys = %v\nwant %v", got, want)
+		}
+	}
+}
+
+// TestTracesEndpoint checks that real requests land in the slow-trace
+// buffer with their child spans, and that the JSON surface is well formed.
+func TestTracesEndpoint(t *testing.T) {
+	clock := &fakeClock{t: t0.Add(9 * time.Hour)}
+	srv := newObsServer(t, clock)
+
+	code, out := call(t, srv, "POST", "/v1/db", `{"id":1}`)
+	wantStatus(t, code, http.StatusCreated, out)
+	code, out = call(t, srv, "POST", "/v1/db/1/login", "")
+	wantStatus(t, code, http.StatusOK, out)
+
+	req := httptest.NewRequest("GET", "/v1/traces", nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /v1/traces = %d", rec.Code)
+	}
+	var body struct {
+		Capacity   int               `json:"capacity"`
+		TraceCount int               `json:"trace_count"`
+		Traces     []obs.TraceRecord `json:"traces"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("traces JSON: %v (%s)", err, rec.Body.String())
+	}
+	if body.Capacity != obs.DefaultTraceCapacity {
+		t.Fatalf("capacity = %d", body.Capacity)
+	}
+	if body.TraceCount != len(body.Traces) || body.TraceCount < 2 {
+		t.Fatalf("trace_count = %d, traces = %d, want >= 2", body.TraceCount, len(body.Traces))
+	}
+	var sawCreate bool
+	for _, tr := range body.Traces {
+		if tr.TraceID == "" || len(tr.Spans) == 0 {
+			t.Fatalf("malformed trace %+v", tr)
+		}
+		if tr.Root == "POST /v1/db" {
+			sawCreate = true
+			names := make(map[string]bool)
+			for _, sp := range tr.Spans {
+				names[sp.Name] = true
+			}
+			if !names["wal.append"] || !names["fleet.create"] {
+				t.Fatalf("create trace spans = %+v, want wal.append and fleet.create", tr.Spans)
+			}
+		}
+	}
+	if !sawCreate {
+		t.Fatalf("no POST /v1/db trace retained: %+v", body.Traces)
+	}
+}

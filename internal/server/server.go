@@ -13,6 +13,8 @@
 //	POST   /v1/db/{id}/login    customer activity started
 //	POST   /v1/db/{id}/logout   customer activity stopped
 //	GET    /v1/kpi              fleet KPI report
+//	GET    /v1/traces           slowest recent request traces (span trees)
+//	GET    /metrics             Prometheus text exposition (superset of /v1/kpi)
 //	GET    /healthz             liveness + fleet gauges
 //	POST   /v1/ops/resume       run one proactive-resume iteration now
 //	POST   /v1/ops/snapshot     persist a snapshot now
@@ -36,6 +38,7 @@ import (
 
 	"prorp"
 	"prorp/internal/faults"
+	"prorp/internal/obs"
 	"prorp/internal/shardedfleet"
 	"prorp/internal/wal"
 )
@@ -132,6 +135,13 @@ type Server struct {
 	started time.Time
 	ops     opsCounters
 
+	// Observability: the metric registry behind GET /metrics and the span
+	// tracer behind GET /v1/traces. Always on — the registry is atomic
+	// counters, the tracer a bounded buffer.
+	reg      *obs.Registry
+	tracer   *obs.Tracer
+	predHist *obs.Histogram // ExplainPrediction latency (Algorithm 4 scan)
+
 	// walGate orders mutations against snapshot boundaries: handlers hold
 	// it shared around the journal-append + fleet-apply pair, and the
 	// snapshot writer holds it exclusive around rotate + serialize — so
@@ -182,6 +192,7 @@ func New(cfg Config) (*Server, error) {
 		cfg.Logf = func(string, ...any) {}
 	}
 	clock := funcClock{now: cfg.Now, sleep: cfg.Sleep}
+	reg := obs.NewRegistry()
 
 	var store *snapshotStore
 	if cfg.SnapshotPath != "" {
@@ -191,6 +202,10 @@ func New(cfg Config) (*Server, error) {
 			clock:   clock,
 			backoff: cfg.Backoff,
 			logf:    cfg.Logf,
+			saveHist: reg.Histogram("prorp_snapshot_save_duration_seconds",
+				"Snapshot persistence latency (disk half, retries included).", obs.LatencyBuckets),
+			loadHist: reg.Histogram("prorp_snapshot_load_duration_seconds",
+				"Snapshot restore latency at boot.", obs.LatencyBuckets),
 		}
 	}
 
@@ -246,6 +261,7 @@ func New(cfg Config) (*Server, error) {
 			Clock:         clock,
 			Backoff:       cfg.Backoff,
 			Logf:          cfg.Logf,
+			Obs:           reg,
 		})
 		if err != nil {
 			fleet.Close()
@@ -264,7 +280,13 @@ func New(cfg Config) (*Server, error) {
 		wal:     journal,
 		started: cfg.Now(),
 		stop:    make(chan struct{}),
+		reg:     reg,
+		tracer:  obs.NewTracer(0, 0),
 	}
+	s.predHist = reg.Histogram("prorp_prediction_duration_seconds",
+		"Algorithm 4 prediction-scan latency (GET /v1/db ExplainPrediction).", obs.LatencyBuckets)
+	fleet.InstrumentObs(reg)
+	s.registerServerMetrics()
 	if fellBack {
 		s.ops.snapshotFallbacks.Add(1)
 	}
@@ -634,15 +656,25 @@ func (s *Server) writeSnapshotOpts(probeOnly bool) (int64, error) {
 
 func (s *Server) buildMux() {
 	m := http.NewServeMux()
-	m.HandleFunc("POST /v1/db", s.handleCreate)
-	m.HandleFunc("GET /v1/db/{id}", s.handleGet)
-	m.HandleFunc("DELETE /v1/db/{id}", s.handleDelete)
-	m.HandleFunc("POST /v1/db/{id}/login", s.handleLogin)
-	m.HandleFunc("POST /v1/db/{id}/logout", s.handleLogout)
-	m.HandleFunc("GET /v1/kpi", s.handleKPI)
-	m.HandleFunc("GET /healthz", s.handleHealthz)
-	m.HandleFunc("POST /v1/ops/resume", s.handleOpsResume)
-	m.HandleFunc("POST /v1/ops/snapshot", s.handleOpsSnapshot)
+	// Every route goes through the instrumented wrapper: the route label is
+	// the registered pattern (bounded cardinality), the handler runs inside
+	// a root span, and latency/status land in the registry.
+	handle := func(method, route string, h http.HandlerFunc) {
+		m.HandleFunc(method+" "+route, s.instrumented(method, route, h))
+	}
+	handle("POST", "/v1/db", s.handleCreate)
+	handle("GET", "/v1/db/{id}", s.handleGet)
+	handle("DELETE", "/v1/db/{id}", s.handleDelete)
+	handle("POST", "/v1/db/{id}/login", s.handleLogin)
+	handle("POST", "/v1/db/{id}/logout", s.handleLogout)
+	handle("GET", "/v1/kpi", s.handleKPI)
+	handle("GET", "/healthz", s.handleHealthz)
+	handle("POST", "/v1/ops/resume", s.handleOpsResume)
+	handle("POST", "/v1/ops/snapshot", s.handleOpsSnapshot)
+	// The observability surface itself is not traced or histogrammed:
+	// scrapes would crowd the trace buffer with their own reads.
+	m.HandleFunc("GET /metrics", s.handleMetrics)
+	m.HandleFunc("GET /v1/traces", s.handleTraces)
 	s.mux = m
 }
 
@@ -735,9 +767,13 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		createdAt = *req.CreatedAt
 	}
 	s.walGate.RLock()
+	_, jspan := s.tracer.Start(r.Context(), "wal.append")
 	err := s.journalize(wal.RecordCreate, req.ID, createdAt)
+	jspan.End()
 	if err == nil {
+		_, aspan := s.tracer.Start(r.Context(), "fleet.create")
 		err = s.fleet.Create(req.ID, createdAt)
+		aspan.End()
 	}
 	s.walGate.RUnlock()
 	if err != nil {
@@ -758,9 +794,13 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.walGate.RLock()
+	_, jspan := s.tracer.Start(r.Context(), "wal.append")
 	err = s.journalize(wal.RecordDelete, id, s.now())
+	jspan.End()
 	if err == nil {
+		_, aspan := s.tracer.Start(r.Context(), "fleet.delete")
 		err = s.fleet.Delete(id)
+		aspan.End()
 	}
 	s.walGate.RUnlock()
 	if err != nil {
@@ -790,10 +830,14 @@ func (s *Server) handleEvent(w http.ResponseWriter, r *http.Request, typ wal.Rec
 	// the event is durable before it can influence fleet state, and a
 	// concurrent snapshot can never split the pair across its boundary.
 	s.walGate.RLock()
+	_, jspan := s.tracer.Start(r.Context(), "wal.append")
 	err = s.journalize(typ, id, at)
+	jspan.End()
 	var d prorp.Decision
 	if err == nil {
+		_, aspan := s.tracer.Start(r.Context(), "fleet.apply")
 		d, err = apply(id, at)
+		aspan.End()
 	}
 	s.walGate.RUnlock()
 	if err != nil {
@@ -836,7 +880,11 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
+	_, pspan := s.tracer.Start(r.Context(), "fleet.explain_prediction")
+	t0 := time.Now()
 	windows, start, end, ok, err := s.fleet.ExplainPrediction(id, s.now())
+	s.predHist.ObserveSince(t0)
+	pspan.End()
 	if err != nil {
 		writeErr(w, err)
 		return

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"prorp/internal/faults"
+	"prorp/internal/obs"
 )
 
 // snapshotStore is the durable side of the serving runtime: it persists
@@ -59,6 +60,9 @@ type snapshotStore struct {
 	clock   faults.Clock
 	backoff faults.Backoff
 	logf    func(string, ...any)
+	// Latency histograms for the disk half (framing excluded); nil-safe.
+	saveHist *obs.Histogram
+	loadHist *obs.Histogram
 }
 
 func (st *snapshotStore) bakPath() string { return st.path + ".bak" }
@@ -89,6 +93,9 @@ func (st *snapshotStore) savePayload(frame []byte, walSeq uint64) (n int64, retr
 	// .bak fallback, not a silently wrong replay start.
 	binary.LittleEndian.PutUint32(frame[12:16], crc32.Checksum(frame[16:], crcTable))
 
+	if st.saveHist != nil {
+		defer st.saveHist.ObserveSince(time.Now())
+	}
 	retries, err = faults.Retry(st.clock, st.backoff, func() error {
 		return st.writeOnce(frame)
 	})
@@ -141,6 +148,9 @@ func (st *snapshotStore) writeOnce(frame []byte) error {
 // snapshot exists at all the returned error satisfies
 // errors.Is(err, fs.ErrNotExist).
 func (st *snapshotStore) Load(restore func(io.Reader) error) (fellBack bool, walSeq uint64, err error) {
+	if st.loadHist != nil {
+		defer st.loadHist.ObserveSince(time.Now())
+	}
 	var failures []error
 	missing := 0
 	for i, p := range []string{st.path, st.bakPath()} {

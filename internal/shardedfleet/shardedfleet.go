@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"prorp/internal/controlplane"
 	"prorp/internal/policy"
@@ -196,6 +197,10 @@ type Runtime struct {
 	cfg    Config
 	shards []*shard
 
+	// inst is the attached observability metric set (see Instrument); nil
+	// until a host attaches a registry.
+	inst instPtr
+
 	// lifecycle guards closed: Submit/Drain hold it for reading across the
 	// channel send, Close holds it for writing while closing the channels.
 	lifecycle sync.RWMutex
@@ -274,9 +279,13 @@ func (rt *Runtime) worker(s *shard) {
 			close(ev.barrier)
 			continue
 		}
+		t0, timed := rt.decisionStart()
 		s.mu.Lock()
 		res := s.apply(ev, &rt.cfg)
 		s.mu.Unlock()
+		if timed {
+			rt.observeDecision(ev.Kind, t0)
+		}
 		if ev.Reply != nil {
 			select {
 			case ev.Reply <- res:
@@ -362,10 +371,14 @@ func (s *shard) record(id int, eff policy.Effects) {
 
 // do applies one event synchronously under the owning shard's lock.
 func (rt *Runtime) do(ev Event) (policy.Effects, error) {
+	t0, timed := rt.decisionStart()
 	s := rt.shardFor(ev.DB)
 	s.mu.Lock()
 	res := s.apply(ev, &rt.cfg)
 	s.mu.Unlock()
+	if timed {
+		rt.observeDecision(ev.Kind, t0)
+	}
 	return res.Effects, res.Err
 }
 
@@ -542,6 +555,9 @@ type Prewarmed struct {
 func (rt *Runtime) RunResumeOp(now int64) []Prewarmed {
 	if rt.cfg.Policy.Mode != policy.Proactive {
 		return nil
+	}
+	if inst := rt.inst.Load(); inst != nil {
+		defer inst.scan.ObserveSince(time.Now())
 	}
 	due := make([][]int, len(rt.shards))
 	var wg sync.WaitGroup

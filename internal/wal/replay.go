@@ -6,6 +6,7 @@ import (
 	"hash/crc32"
 	"io"
 	"io/fs"
+	"time"
 
 	"prorp/internal/faults"
 )
@@ -86,6 +87,9 @@ func scanFrames(data []byte, apply func(Record)) (consumed int64, torn bool) {
 // verdict the operator must see, unlike a torn tail which is expected
 // crash debris.
 func (j *Journal) Replay(since uint64, apply func(Record)) (ReplayStats, error) {
+	if j.replayHist != nil {
+		defer j.replayHist.ObserveSince(time.Now())
+	}
 	j.mu.Lock()
 	activeSeq := j.active.seq
 	j.mu.Unlock()

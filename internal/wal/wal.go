@@ -47,6 +47,7 @@ import (
 	"time"
 
 	"prorp/internal/faults"
+	"prorp/internal/obs"
 )
 
 // FsyncPolicy selects when Append makes records durable.
@@ -142,6 +143,11 @@ type Config struct {
 	Backoff faults.Backoff
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
+	// Obs, when non-nil, receives the journal's latency histograms
+	// (prorp_wal_append_duration_seconds, prorp_wal_fsync_duration_seconds,
+	// prorp_wal_replay_duration_seconds). Counters stay on Metrics either
+	// way; a nil registry costs the journal nothing.
+	Obs *obs.Registry
 }
 
 // Metrics is a point-in-time snapshot of the journal's counters.
@@ -211,6 +217,11 @@ type Journal struct {
 	fsyncs        atomic.Uint64
 	rotations     atomic.Uint64
 	compacted     atomic.Uint64
+
+	// Latency histograms; nil (no-op) when Config.Obs is nil.
+	appendHist *obs.Histogram // Append call, including the durability wait
+	fsyncHist  *obs.Histogram // one fsync system call
+	replayHist *obs.Histogram // one full Replay pass
 }
 
 // Open scans dir for existing segments and opens a fresh active segment
@@ -246,6 +257,12 @@ func Open(cfg Config) (*Journal, error) {
 		return nil, err
 	}
 	j := &Journal{cfg: cfg}
+	j.appendHist = cfg.Obs.Histogram("prorp_wal_append_duration_seconds",
+		"Journal append latency, including the durability wait.", obs.LatencyBuckets)
+	j.fsyncHist = cfg.Obs.Histogram("prorp_wal_fsync_duration_seconds",
+		"Duration of one journal fsync.", obs.LatencyBuckets)
+	j.replayHist = cfg.Obs.Histogram("prorp_wal_replay_duration_seconds",
+		"Duration of one boot-time journal replay pass.", obs.LatencyBuckets)
 	j.cond = sync.NewCond(&j.mu)
 	next := uint64(1)
 	if n := len(seqs); n > 0 {
@@ -322,9 +339,11 @@ func (j *Journal) sealLocked(seg *segment) {
 		return
 	}
 	if !seg.poisoned && seg.syncedTo < seg.size && j.cfg.Fsync != FsyncOff {
+		t0 := time.Now()
 		if err := seg.f.Sync(); err != nil {
 			j.poisonLocked(seg, seg.syncedTo, err)
 		} else {
+			j.fsyncHist.ObserveSince(t0)
 			seg.syncedTo = seg.size
 			j.fsyncs.Add(1)
 		}
@@ -354,6 +373,9 @@ func (j *Journal) poisonLocked(seg *segment, offset int64, err error) {
 func (j *Journal) Append(rec Record) error {
 	if !rec.Type.valid() {
 		return fmt.Errorf("wal: invalid record type %d", rec.Type)
+	}
+	if j.appendHist != nil {
+		defer j.appendHist.ObserveSince(time.Now())
 	}
 	frame := encodeFrame(rec)
 
@@ -436,7 +458,9 @@ func (j *Journal) leadSyncLocked(seg *segment) {
 	}
 	f := seg.f
 	j.mu.Unlock()
+	t0 := time.Now()
 	err := f.Sync()
+	j.fsyncHist.ObserveSince(t0)
 	j.mu.Lock()
 	seg.syncing = false
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 
 	"prorp/internal/historystore"
 	"prorp/internal/maintenance"
+	"prorp/internal/obs"
 	"prorp/internal/policy"
 	"prorp/internal/predictor"
 	"prorp/internal/shardedfleet"
@@ -50,6 +51,14 @@ func NewShardedFleetShards(opts Options, shards int) (*ShardedFleet, error) {
 // stays readable and snapshottable; asynchronous submission fails
 // afterwards, while synchronous operations remain usable.
 func (s *ShardedFleet) Close() { s.rt.Close() }
+
+// InstrumentObs attaches the fleet runtime's live instrumentation —
+// per-event-kind decision latency histograms, the Algorithm 5 scan
+// duration, and per-shard queue-depth gauges — to reg. Hosts outside this
+// module cannot name the internal registry type, by design: observability
+// is a serving-stack concern, wired by internal/server. Without a registry
+// attached the hot path pays one atomic load per event.
+func (s *ShardedFleet) InstrumentObs(reg *obs.Registry) { s.rt.Instrument(reg) }
 
 // Shards reports the stripe count.
 func (s *ShardedFleet) Shards() int { return s.rt.NumShards() }

@@ -3,8 +3,11 @@ package prorp
 import (
 	"fmt"
 	"io"
+	"math"
 	"sync"
 	"time"
+
+	"prorp/internal/historystore"
 )
 
 // SyncedFleet is a mutex-guarded Fleet for multi-goroutine hosts (gateway
@@ -115,6 +118,27 @@ func (s *SyncedFleet) Restore(id int, r io.Reader) (wakeAt time.Time, err error)
 	defer s.mu.Unlock()
 	_, wakeAt, err = s.fleet.Restore(id, r)
 	return wakeAt, err
+}
+
+// History returns a database's recorded activity events in chronological
+// order, mirroring ShardedFleet.History — the two facades stay
+// API-compatible so switching is one constructor change. It is for
+// verification and tooling, not the hot path.
+func (s *SyncedFleet) History(id int) ([]ActivityEvent, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	db, ok := s.fleet.Database(id)
+	if !ok {
+		return nil, fmt.Errorf("prorp: %w: %d", ErrUnknownDatabase, id)
+	}
+	var out []ActivityEvent
+	for _, e := range db.machine.History().Scan(math.MinInt64, math.MaxInt64) {
+		out = append(out, ActivityEvent{
+			Time:  time.Unix(e.Time, 0).UTC(),
+			Login: e.Type == historystore.EventStart,
+		})
+	}
+	return out, nil
 }
 
 // PlanMaintenance schedules a maintenance operation for one database (see

@@ -137,3 +137,82 @@ func TestSyncedFleetConcurrentHammer(t *testing.T) {
 		t.Fatalf("Size = %d", sf.Size())
 	}
 }
+
+// TestHistoryFacadeEquivalence drives the same multi-day workload through
+// both concurrency facades and requires History to return event-for-event
+// identical results: the two must stay API-compatible, including the shape
+// of what they report, so switching is one constructor change.
+func TestHistoryFacadeEquivalence(t *testing.T) {
+	sy, err := NewSyncedFleet(equivOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := NewShardedFleetShards(equivOptions(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+
+	const dbs = 5
+	day := 24 * time.Hour
+	for id := 1; id <= dbs; id++ {
+		if err := sy.Create(id, t0); err != nil {
+			t.Fatal(err)
+		}
+		if err := sh.Create(id, t0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for d := 0; d < 4; d++ {
+		for id := 1; id <= dbs; id++ {
+			in := t0.Add(time.Duration(d)*day + time.Duration(8+id)*time.Hour)
+			out := in.Add(time.Duration(2+id) * time.Hour)
+			if _, err := sy.Login(id, in); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sh.Login(id, in); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sy.Idle(id, out); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sh.Idle(id, out); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	for id := 1; id <= dbs; id++ {
+		want, err := sy.History(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sh.History(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want) == 0 {
+			t.Fatalf("db %d: synced history is empty", id)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("db %d: sharded history has %d events, synced %d", id, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("db %d event %d: sharded %+v, synced %+v", id, i, got[i], want[i])
+			}
+		}
+		for i := 1; i < len(want); i++ {
+			if want[i].Time.Before(want[i-1].Time) {
+				t.Fatalf("db %d: history out of order at %d: %+v", id, i, want)
+			}
+		}
+	}
+
+	if _, err := sy.History(99); err == nil {
+		t.Error("SyncedFleet.History(99) succeeded for unknown database")
+	}
+	if _, err := sh.History(99); err == nil {
+		t.Error("ShardedFleet.History(99) succeeded for unknown database")
+	}
+}
