@@ -16,7 +16,7 @@ GOVULNCHECK := golang.org/x/vuln/cmd/govulncheck@v1.1.3
 # 82.3; the gap absorbs run-to-run variance from timing-dependent tests.)
 COVER_BASELINE := 82.0
 
-.PHONY: ci fmt-check vet staticcheck govulncheck build test cover obs obs-bench chaos wal-chaos bench-short bench clean
+.PHONY: ci fmt-check vet staticcheck govulncheck build test cover obs obs-bench chaos wal-chaos repl-chaos bench-short bench clean
 
 ci: fmt-check vet staticcheck govulncheck build test cover obs bench-short
 
@@ -75,6 +75,13 @@ chaos:
 # server (zero acknowledged-but-lost events).
 wal-chaos:
 	$(GO) test -race -run TestChaosWAL -count 1 ./internal/server ./internal/wal
+
+# The replication half: 50 seeded kill-primary/promote-replica iterations
+# over a hostile stream transport (partitions, mid-frame cuts, bit flips),
+# asserting zero acked-write loss and byte-exact convergence of the
+# rebooted old primary.
+repl-chaos:
+	$(GO) test -race -run TestChaosReplFailover -count 1 ./internal/server
 
 # One pass over the fleet-concurrency benchmark, as a smoke test.
 bench-short:

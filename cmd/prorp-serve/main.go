@@ -9,6 +9,8 @@
 //	prorp-serve -addr :8080 -snapshot /var/lib/prorp/fleet.snap
 //	prorp-serve -shards 64 -config opts.json -snapshot-every 30s
 //	prorp-serve -debug-addr 127.0.0.1:6060   # pprof on a separate listener
+//	prorp-serve -role replica -primary-addr http://primary:8080 \
+//	    -wal-dir /var/lib/prorp/wal -snapshot /var/lib/prorp/fleet.snap
 //	prorp-serve -version
 //
 // See internal/server for the endpoint list, and "Running as a service" in
@@ -32,6 +34,7 @@ import (
 
 	"prorp"
 	"prorp/internal/faults"
+	"prorp/internal/repl"
 	"prorp/internal/server"
 	"prorp/internal/wal"
 )
@@ -85,6 +88,10 @@ func main() {
 		walFsync      = flag.String("wal-fsync", "always", "journal durability policy: always (fsync per record), batch (group commit), off")
 		walSegBytes   = flag.Int64("wal-segment-bytes", 0, "journal segment rotation size in bytes (0 = default 4 MiB)")
 		walBatchEvery = flag.Duration("wal-batch-interval", 0, "group-commit window for -wal-fsync=batch (0 = default 2ms)")
+		role          = flag.String("role", "primary", "replication role: primary (accept writes, serve the stream) or replica (pull the primary's journal, serve reads, reject writes; requires -primary-addr and -wal-dir)")
+		primaryAddr   = flag.String("primary-addr", "", "primary's base URL for -role=replica (e.g. http://primary:8080)")
+		replPoll      = flag.Duration("repl-poll-interval", 0, "follower poll cadence while caught up (0 = default 250ms)")
+		replBatch     = flag.Int("repl-batch-bytes", 0, "max replication stream batch size in bytes (0 = default 256 KiB)")
 	)
 	flag.Parse()
 
@@ -105,6 +112,10 @@ func main() {
 	if err != nil {
 		log.Fatalf("prorp-serve: -wal-fsync: %v", err)
 	}
+	nodeRole, err := repl.ParseRole(*role)
+	if err != nil {
+		log.Fatalf("prorp-serve: -role: %v", err)
+	}
 
 	opts := prorp.DefaultOptions()
 	if *configPath != "" {
@@ -123,17 +134,21 @@ func main() {
 	backoff.Max = *retryMax
 
 	srv, err := server.New(server.Config{
-		Options:          opts,
-		Shards:           *shards,
-		SnapshotPath:     *snapshotPath,
-		SnapshotEvery:    *snapshotEvery,
-		Backoff:          backoff,
-		DegradedAfter:    *degradedAfter,
-		WALDir:           *walDir,
-		WALFsync:         fsyncPolicy,
-		WALSegmentBytes:  *walSegBytes,
-		WALBatchInterval: *walBatchEvery,
-		Logf:             log.Printf,
+		Options:           opts,
+		Shards:            *shards,
+		SnapshotPath:      *snapshotPath,
+		SnapshotEvery:     *snapshotEvery,
+		Backoff:           backoff,
+		DegradedAfter:     *degradedAfter,
+		WALDir:            *walDir,
+		WALFsync:          fsyncPolicy,
+		WALSegmentBytes:   *walSegBytes,
+		WALBatchInterval:  *walBatchEvery,
+		Role:              nodeRole,
+		PrimaryAddr:       *primaryAddr,
+		ReplPollInterval:  *replPoll,
+		ReplMaxBatchBytes: *replBatch,
+		Logf:              log.Printf,
 	})
 	if err != nil {
 		log.Fatalf("prorp-serve: %v", err)
@@ -150,8 +165,8 @@ func main() {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("prorp-serve: listening on %s (%d shards, mode %s)",
-		*addr, srv.Fleet().Shards(), opts.Mode)
+	log.Printf("prorp-serve: listening on %s (%d shards, mode %s, role %s)",
+		*addr, srv.Fleet().Shards(), opts.Mode, srv.Node().Role())
 
 	// Optional pprof surface on its own listener and mux, so profiling
 	// endpoints never share a port (or an accidental route) with the

@@ -1,0 +1,76 @@
+package faults
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+)
+
+// Doer is the HTTP client seam of the replication transport: the follower
+// and the chaos harness both speak it. *http.Client implements it.
+type Doer interface {
+	Do(req *http.Request) (*http.Response, error)
+}
+
+// FaultDoer wraps a Doer with injector-driven network faults, consulting
+// two sites:
+//
+//	http.request   partition (the request never reaches the peer) and
+//	               injected latency before the round trip
+//	http.body      response-body damage: truncation (the connection cut
+//	               mid-stream — the caller sees a short body and no error,
+//	               exactly like a real dropped TCP stream) and bit flips
+//
+// Truncation and corruption are served by buffering the response body;
+// replication batches are small and bounded, so the buffering is free at
+// chaos scale.
+type FaultDoer struct {
+	Inner Doer
+	Inj   *Injector
+	Clock Clock // nil = WallClock
+}
+
+// NewFaultDoer wraps inner with the injector's schedules.
+func NewFaultDoer(inner Doer, inj *Injector, clock Clock) *FaultDoer {
+	if clock == nil {
+		clock = WallClock{}
+	}
+	return &FaultDoer{Inner: inner, Inj: inj, Clock: clock}
+}
+
+func (d *FaultDoer) Do(req *http.Request) (*http.Response, error) {
+	lat, err := d.Inj.Check("http.request")
+	if lat > 0 {
+		d.Clock.Sleep(lat)
+	}
+	if err != nil {
+		return nil, err // partitioned: the peer never saw the request
+	}
+	resp, err := d.Inner.Do(req)
+	if err != nil || resp == nil || resp.Body == nil {
+		return resp, err
+	}
+	body, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr != nil {
+		return nil, rerr
+	}
+	keep, flipByte, flipBit, lat, berr := d.Inj.checkWrite("http.body", len(body))
+	if lat > 0 {
+		d.Clock.Sleep(lat)
+	}
+	if berr != nil {
+		// The stream was cut: deliver the prefix that made it through,
+		// without an error — the receiver's framing must catch it.
+		if keep < 0 {
+			keep = 0
+		}
+		body = body[:keep]
+	}
+	if flipByte >= 0 && flipByte < len(body) {
+		body[flipByte] ^= 1 << flipBit
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(body))
+	resp.ContentLength = int64(len(body))
+	return resp, nil
+}

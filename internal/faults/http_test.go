@@ -1,0 +1,113 @@
+package faults
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// stubDoer serves a fixed body without a network.
+type stubDoer struct {
+	body  []byte
+	calls int
+}
+
+func (s *stubDoer) Do(req *http.Request) (*http.Response, error) {
+	s.calls++
+	rec := httptest.NewRecorder()
+	rec.Write(s.body)
+	return rec.Result(), nil
+}
+
+func TestFaultDoerPartition(t *testing.T) {
+	inj := NewInjector(1)
+	stub := &stubDoer{body: []byte("hello")}
+	d := NewFaultDoer(stub, inj, nil)
+	req := httptest.NewRequest("GET", "http://primary/v1/repl/stream", nil)
+
+	inj.TripN("http.request", 2, nil)
+	for i := 0; i < 2; i++ {
+		if _, err := d.Do(req); !errors.Is(err, ErrInjected) {
+			t.Fatalf("call %d: err = %v, want ErrInjected", i, err)
+		}
+	}
+	if stub.calls != 0 {
+		t.Fatalf("partitioned requests reached the peer %d times", stub.calls)
+	}
+	resp, err := d.Do(req)
+	if err != nil {
+		t.Fatalf("healed call: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "hello" {
+		t.Fatalf("body = %q", body)
+	}
+}
+
+func TestFaultDoerTruncatesBodyWithoutError(t *testing.T) {
+	inj := NewInjector(7)
+	stub := &stubDoer{body: []byte("0123456789abcdef")}
+	d := NewFaultDoer(stub, inj, nil)
+	inj.PartialWrites("http.body", 1)
+
+	resp, err := d.Do(httptest.NewRequest("GET", "http://primary/", nil))
+	if err != nil {
+		t.Fatalf("truncated response must not error: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if len(body) >= len(stub.body) {
+		t.Fatalf("body not truncated: %d bytes", len(body))
+	}
+	if resp.ContentLength != int64(len(body)) {
+		t.Fatalf("ContentLength %d != body %d", resp.ContentLength, len(body))
+	}
+}
+
+func TestFaultDoerFlipsBit(t *testing.T) {
+	inj := NewInjector(3)
+	orig := []byte("0123456789abcdef")
+	stub := &stubDoer{body: append([]byte{}, orig...)}
+	d := NewFaultDoer(stub, inj, nil)
+	inj.CorruptWrites("http.body", 1)
+
+	resp, err := d.Do(httptest.NewRequest("GET", "http://primary/", nil))
+	if err != nil {
+		t.Fatalf("corrupt response must not error: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if len(body) != len(orig) {
+		t.Fatalf("corruption changed length: %d", len(body))
+	}
+	diff := 0
+	for i := range body {
+		if body[i] != orig[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes differ, want exactly 1", diff)
+	}
+}
+
+func TestFaultDoerLatencyThroughClock(t *testing.T) {
+	inj := NewInjector(5)
+	var slept time.Duration
+	clock := sleepRecorder{slept: &slept}
+	d := NewFaultDoer(&stubDoer{body: []byte("x")}, inj, clock)
+	inj.Latency("http.request", 40*time.Millisecond, 1)
+
+	if _, err := d.Do(httptest.NewRequest("GET", "http://primary/", nil)); err != nil {
+		t.Fatal(err)
+	}
+	if slept != 40*time.Millisecond {
+		t.Fatalf("slept %v through the clock seam, want 40ms", slept)
+	}
+}
+
+type sleepRecorder struct{ slept *time.Duration }
+
+func (s sleepRecorder) Now() time.Time        { return time.Time{} }
+func (s sleepRecorder) Sleep(d time.Duration) { *s.slept += d }

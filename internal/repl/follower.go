@@ -1,0 +1,409 @@
+package repl
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prorp/internal/faults"
+	"prorp/internal/wal"
+)
+
+// Stream protocol headers. Every stream and snapshot exchange carries the
+// sender's epoch, so fencing information propagates with the data path
+// instead of needing a separate channel.
+const (
+	HeaderEpoch      = "X-Repl-Epoch"
+	HeaderCursor     = "X-Repl-Cursor"      // effective batch start
+	HeaderNextCursor = "X-Repl-Next-Cursor" // cursor after the batch
+	HeaderLagRecords = "X-Repl-Lag-Records" // records still behind after the batch
+)
+
+// FollowerConfig assembles a Follower.
+type FollowerConfig struct {
+	// PrimaryURL is the primary's base URL ("http://host:port").
+	PrimaryURL string
+	// Doer performs the HTTP round trips; chaos tests wrap it in a
+	// faults.FaultDoer. Default http.DefaultClient.
+	Doer faults.Doer
+	// Clock paces the poll loop (default wall clock).
+	Clock faults.Clock
+	// PollInterval is the idle/error poll cadence (default 250ms). While
+	// behind, the follower polls continuously.
+	PollInterval time.Duration
+	// MaxBatchBytes caps one stream batch (default 256 KiB).
+	MaxBatchBytes int
+	// Node is the local role/epoch state machine.
+	Node *Node
+	// Apply journalizes one streamed record into the local WAL and applies
+	// it to the local fleet — the replica's journalize-before-apply path. A
+	// non-nil error stops the batch; the cursor advances only past applied
+	// records, so the record is re-streamed on the next poll.
+	Apply func(rec wal.Record) error
+	// Persist, when non-nil, durably records the follower's epoch and
+	// cursor. sync=true means the write must be fsynced before returning
+	// (epoch changes — fencing must survive a crash); cursor-only progress
+	// is best-effort (a stale cursor merely re-streams idempotent records).
+	Persist func(epoch uint64, c wal.Cursor, sync bool) error
+	// Resync, when non-nil, performs a snapshot resync after the primary
+	// reports the cursor unusable (compacted or ahead): fetch the primary's
+	// snapshot, swap the local fleet, and return the cursor to stream from.
+	Resync func(primaryEpoch uint64) (wal.Cursor, error)
+	// ResyncOnStart forces a snapshot resync before the first stream poll.
+	// The host sets it when the node boots with local state but no stream
+	// cursor covering it — a rebooted ex-primary, or a seeded snapshot.
+	// Records carry no sequence numbers and events are not idempotent, so
+	// streaming from genesis on top of existing state double-applies the
+	// overlap and diverges; adopting the primary's snapshot wholesale is
+	// the only safe entry into its lineage.
+	ResyncOnStart bool
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// FollowerStats is a point-in-time snapshot of the follower's counters.
+type FollowerStats struct {
+	Batches        uint64 // 200 responses applied (fully or partially)
+	Records        uint64 // records applied
+	CaughtUpPolls  uint64 // 204 responses
+	StreamErrors   uint64 // transport, protocol, apply, and persist errors
+	CorruptBatches uint64 // batches cut short by framing/CRC damage
+	Resyncs        uint64 // snapshot resyncs completed
+}
+
+// Follower is the replica's pull loop. Build with NewFollower, then Start;
+// Stop is idempotent and waits for the loop to exit.
+type Follower struct {
+	cfg FollowerConfig
+
+	mu              sync.Mutex
+	cursor          wal.Cursor
+	caughtUp        bool
+	lagRecords      int64
+	lastAppliedUnix int64
+	lastErr         string
+
+	batches        atomic.Uint64
+	records        atomic.Uint64
+	caughtUpPolls  atomic.Uint64
+	streamErrors   atomic.Uint64
+	corruptBatches atomic.Uint64
+	resyncs        atomic.Uint64
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewFollower builds a follower that will stream from cursor onward.
+func NewFollower(cfg FollowerConfig, cursor wal.Cursor) *Follower {
+	if cfg.Doer == nil {
+		cfg.Doer = http.DefaultClient
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = faults.WallClock{}
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 250 * time.Millisecond
+	}
+	if cfg.MaxBatchBytes <= 0 {
+		cfg.MaxBatchBytes = 256 << 10
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	cfg.PrimaryURL = strings.TrimRight(cfg.PrimaryURL, "/")
+	return &Follower{
+		cfg:    cfg,
+		cursor: cursor,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+// Start launches the pull loop.
+func (f *Follower) Start() {
+	f.startOnce.Do(func() { go f.run() })
+}
+
+// Stop halts the pull loop and waits for it to exit. Safe to call more
+// than once, and before Start (the loop then never runs).
+func (f *Follower) Stop() {
+	f.stopOnce.Do(func() { close(f.stop) })
+	f.startOnce.Do(func() { close(f.done) }) // never started: release waiters
+	<-f.done
+}
+
+// Cursor reports the follower's current stream position.
+func (f *Follower) Cursor() wal.Cursor {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cursor
+}
+
+// Stats snapshots the follower's counters.
+func (f *Follower) Stats() FollowerStats {
+	return FollowerStats{
+		Batches:        f.batches.Load(),
+		Records:        f.records.Load(),
+		CaughtUpPolls:  f.caughtUpPolls.Load(),
+		StreamErrors:   f.streamErrors.Load(),
+		CorruptBatches: f.corruptBatches.Load(),
+		Resyncs:        f.resyncs.Load(),
+	}
+}
+
+// LagRecords reports how many records behind the primary the follower was
+// at its last successful poll.
+func (f *Follower) LagRecords() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.lagRecords
+}
+
+// LagSeconds estimates replication lag in seconds at time now: zero while
+// caught up, otherwise the age of the newest applied record. Before the
+// first applied record it reports zero — unknown, not infinite.
+func (f *Follower) LagSeconds(now time.Time) float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.caughtUp || f.lastAppliedUnix == 0 {
+		return 0
+	}
+	d := now.Unix() - f.lastAppliedUnix
+	if d < 0 {
+		return 0
+	}
+	return float64(d)
+}
+
+// LastError reports the most recent stream error, for /healthz.
+func (f *Follower) LastError() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.lastErr
+}
+
+func (f *Follower) run() {
+	defer close(f.done)
+	for f.cfg.ResyncOnStart {
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+		d := f.resync(0, 0)
+		if d == 0 {
+			break // adopted the primary's lineage; stream the tail
+		}
+		f.sleep(d)
+	}
+	for {
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+		d := f.pollOnce()
+		if d > 0 {
+			f.sleep(d)
+		}
+	}
+}
+
+// sleep pauses between polls, returning early when Stop is called. The
+// clock's Sleep runs in a goroutine so a manual-clock test can't wedge
+// shutdown.
+func (f *Follower) sleep(d time.Duration) {
+	ch := make(chan struct{})
+	go func() {
+		f.cfg.Clock.Sleep(d)
+		close(ch)
+	}()
+	select {
+	case <-f.stop:
+	case <-ch:
+	}
+}
+
+func (f *Follower) fail(format string, args ...any) time.Duration {
+	f.streamErrors.Add(1)
+	msg := fmt.Sprintf(format, args...)
+	f.mu.Lock()
+	f.lastErr = msg
+	f.caughtUp = false
+	f.mu.Unlock()
+	f.cfg.Logf("repl follower: %s", msg)
+	return f.cfg.PollInterval
+}
+
+// pollOnce performs one stream exchange and returns how long to sleep
+// before the next (0 = poll again immediately; there is more to pull).
+func (f *Follower) pollOnce() time.Duration {
+	cur := f.Cursor()
+	url := fmt.Sprintf("%s/v1/repl/stream?after=%s&max=%d", f.cfg.PrimaryURL, cur, f.cfg.MaxBatchBytes)
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return f.fail("building request: %v", err)
+	}
+	req.Header.Set(HeaderEpoch, strconv.FormatUint(f.cfg.Node.Epoch(), 10))
+	resp, err := f.cfg.Doer.Do(req)
+	if err != nil {
+		return f.fail("stream %s: %v", cur, err)
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+
+	primaryEpoch, _ := strconv.ParseUint(resp.Header.Get(HeaderEpoch), 10, 64)
+	if primaryEpoch > 0 && primaryEpoch < f.cfg.Node.Epoch() {
+		// A stale primary from a previous epoch (a healed partition):
+		// never apply its stream.
+		return f.fail("ignoring stale primary at epoch %d (ours is %d)", primaryEpoch, f.cfg.Node.Epoch())
+	}
+	if f.cfg.Node.ObserveEpoch(primaryEpoch) && f.cfg.Persist != nil {
+		if err := f.cfg.Persist(f.cfg.Node.Epoch(), cur, true); err != nil {
+			return f.fail("persisting adopted epoch %d: %v", primaryEpoch, err)
+		}
+	}
+
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return f.applyBatch(resp)
+	case http.StatusNoContent:
+		f.caughtUpPolls.Add(1)
+		f.mu.Lock()
+		f.caughtUp = true
+		f.lagRecords = 0
+		f.lastErr = ""
+		f.mu.Unlock()
+		return f.cfg.PollInterval
+	case http.StatusGone, http.StatusRequestedRangeNotSatisfiable:
+		// Cursor unusable: compacted below retained history (410) or ahead
+		// of the primary's lineage (416). Both mean snapshot resync.
+		return f.resync(primaryEpoch, resp.StatusCode)
+	default:
+		return f.fail("stream %s: primary said %d", cur, resp.StatusCode)
+	}
+}
+
+func (f *Follower) applyBatch(resp *http.Response) time.Duration {
+	start, err := wal.ParseCursor(resp.Header.Get(HeaderCursor))
+	if err != nil {
+		return f.fail("bad %s header: %v", HeaderCursor, err)
+	}
+	next, err := wal.ParseCursor(resp.Header.Get(HeaderNextCursor))
+	if err != nil {
+		return f.fail("bad %s header: %v", HeaderNextCursor, err)
+	}
+	hdrLag, _ := strconv.ParseInt(resp.Header.Get(HeaderLagRecords), 10, 64)
+	// A batch never crosses a segment, so the cursor span is its declared
+	// length. A body shorter than declared was cut in flight — crucially,
+	// even when the cut lands exactly on a frame boundary and the framing
+	// alone would scan clean.
+	if next.Seg != start.Seg || next.Off < start.Off {
+		return f.fail("batch cursors %s..%s span segments", start, next)
+	}
+	declared := next.Off - start.Off
+	// One extra frame of headroom: a batch is never larger than what we
+	// asked for, so anything bigger is damage, not data.
+	body, err := io.ReadAll(io.LimitReader(resp.Body, int64(f.cfg.MaxBatchBytes)+wal.FrameSize))
+	if err != nil {
+		return f.fail("reading batch at %s: %v", start, err)
+	}
+	if int64(len(body)) > declared {
+		return f.fail("batch at %s is %d bytes, declared %d", start, len(body), declared)
+	}
+
+	applied := 0
+	consumed, torn, aerr := wal.ScanStream(body, func(rec wal.Record) error {
+		if err := f.cfg.Apply(rec); err != nil {
+			return err
+		}
+		applied++
+		f.mu.Lock()
+		f.lastAppliedUnix = rec.Unix
+		f.mu.Unlock()
+		return nil
+	})
+	f.records.Add(uint64(applied))
+	if applied > 0 {
+		f.batches.Add(1)
+	}
+
+	// Advance exactly past what was applied: the full batch's next cursor
+	// on a clean scan of the declared length, start+consumed otherwise.
+	// Everything streamed is idempotent under re-apply, so a conservative
+	// cursor is always safe.
+	full := !torn && aerr == nil && consumed == declared
+	cut := !full && aerr == nil && !torn // truncated on a frame boundary
+	newCur := next
+	if !full {
+		newCur = wal.Cursor{Seg: start.Seg, Off: start.Off + consumed}
+	}
+	lag := hdrLag
+	if !full {
+		lag += (declared - consumed) / wal.FrameSize
+	}
+	f.mu.Lock()
+	f.cursor = newCur
+	f.lagRecords = lag
+	f.caughtUp = full && lag == 0
+	if aerr == nil {
+		f.lastErr = ""
+	}
+	f.mu.Unlock()
+	if f.cfg.Persist != nil {
+		if err := f.cfg.Persist(f.cfg.Node.Epoch(), newCur, false); err != nil {
+			return f.fail("persisting cursor %s: %v", newCur, err)
+		}
+	}
+	switch {
+	case aerr != nil:
+		return f.fail("applying record at %s+%d: %v", start, consumed, aerr)
+	case torn, cut:
+		// The batch was cut or corrupted in flight; re-poll after a beat
+		// rather than hammering a damaged path.
+		f.corruptBatches.Add(1)
+		f.cfg.Logf("repl follower: batch at %s damaged after %d of %d bytes; re-polling", start, consumed, declared)
+		return f.cfg.PollInterval
+	case lag > 0:
+		return 0 // more to pull; go again immediately
+	default:
+		return f.cfg.PollInterval
+	}
+}
+
+func (f *Follower) resync(primaryEpoch uint64, status int) time.Duration {
+	if f.cfg.Resync == nil {
+		return f.fail("cursor %s unusable (%d) and no resync configured", f.Cursor(), status)
+	}
+	if status == 0 {
+		f.cfg.Logf("repl follower: local state predates the stream cursor; snapshot resync before first poll")
+	} else {
+		f.cfg.Logf("repl follower: cursor %s unusable (%d); snapshot resync", f.Cursor(), status)
+	}
+	cur, err := f.cfg.Resync(primaryEpoch)
+	if err != nil {
+		return f.fail("snapshot resync: %v", err)
+	}
+	f.resyncs.Add(1)
+	f.mu.Lock()
+	f.cursor = cur
+	f.caughtUp = false
+	f.lastErr = ""
+	f.mu.Unlock()
+	if f.cfg.Persist != nil {
+		if err := f.cfg.Persist(f.cfg.Node.Epoch(), cur, true); err != nil {
+			return f.fail("persisting resynced cursor %s: %v", cur, err)
+		}
+	}
+	return 0
+}

@@ -1,0 +1,483 @@
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"prorp/internal/faults"
+	"prorp/internal/wal"
+)
+
+func TestParseRole(t *testing.T) {
+	for s, want := range map[string]Role{"primary": RolePrimary, "": RolePrimary, "replica": RoleReplica} {
+		got, err := ParseRole(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseRole(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseRole("standby"); err == nil {
+		t.Fatal("ParseRole accepted garbage")
+	}
+	if RolePrimary.String() != "primary" || RoleReplica.String() != "replica" {
+		t.Fatal("role strings")
+	}
+	if s := Role(7).String(); s != "Role(7)" {
+		t.Fatalf("unknown role renders %q", s)
+	}
+}
+
+func TestRestoreNode(t *testing.T) {
+	// A demoted primary must come back fenced, at its persisted epoch.
+	p := RestoreNode(RolePrimary, 4, true)
+	if p.Epoch() != 4 || !p.Fenced() || p.CanAcceptWrites() {
+		t.Fatalf("restored fenced primary: epoch=%d fenced=%v canWrite=%v", p.Epoch(), p.Fenced(), p.CanAcceptWrites())
+	}
+	// The fence flag only means something on a primary: a replica never
+	// acks writes anyway, and restoring it fenced would survive a later
+	// promotion the wrong way.
+	r := RestoreNode(RoleReplica, 4, true)
+	if r.Fenced() || r.CanAcceptWrites() {
+		t.Fatalf("restored replica: fenced=%v canWrite=%v", r.Fenced(), r.CanAcceptWrites())
+	}
+	if e := r.Promote(); e != 5 || !r.CanAcceptWrites() {
+		t.Fatalf("promoting restored replica: epoch=%d canWrite=%v", e, r.CanAcceptWrites())
+	}
+	// Epoch 0 on disk is a node that never persisted: genesis epoch 1.
+	if n := RestoreNode(RolePrimary, 0, false); n.Epoch() != 1 {
+		t.Fatalf("restored genesis epoch = %d", n.Epoch())
+	}
+}
+
+func TestLagSecondsEdges(t *testing.T) {
+	f := NewFollower(FollowerConfig{Node: NewNode(RoleReplica, 1)}, wal.Cursor{})
+	// No applied record yet: lag is unknown, reported as zero.
+	if got := f.LagSeconds(time.Unix(50, 0)); got != 0 {
+		t.Fatalf("lag before first record = %v", got)
+	}
+	f.mu.Lock()
+	f.lastAppliedUnix = 40
+	f.caughtUp = false
+	f.mu.Unlock()
+	if got := f.LagSeconds(time.Unix(50, 0)); got != 10 {
+		t.Fatalf("lag = %v, want 10", got)
+	}
+	// Clock skew (record timestamped ahead of now) clamps to zero.
+	if got := f.LagSeconds(time.Unix(30, 0)); got != 0 {
+		t.Fatalf("skewed lag = %v, want 0", got)
+	}
+}
+
+func TestNodeEpochFencing(t *testing.T) {
+	p := NewNode(RolePrimary, 0)
+	if p.Epoch() != 1 || !p.CanAcceptWrites() || p.Fenced() {
+		t.Fatalf("genesis primary: epoch=%d canWrite=%v fenced=%v", p.Epoch(), p.CanAcceptWrites(), p.Fenced())
+	}
+	// Promote on an unfenced primary is a no-op: it already owns the epoch.
+	if e := p.Promote(); e != 1 {
+		t.Fatalf("idempotent promote bumped epoch to %d", e)
+	}
+	// Observing its own or an older epoch changes nothing.
+	if p.ObserveEpoch(1) || p.ObserveEpoch(0) {
+		t.Fatal("observing <= own epoch reported a change")
+	}
+	// A higher epoch fences the primary, permanently.
+	if !p.ObserveEpoch(3) || !p.Fenced() || p.CanAcceptWrites() || p.Epoch() != 3 {
+		t.Fatalf("after observing epoch 3: fenced=%v canWrite=%v epoch=%d", p.Fenced(), p.CanAcceptWrites(), p.Epoch())
+	}
+	// Promoting a fenced primary starts a fresh epoch and unfences.
+	if e := p.Promote(); e != 4 || !p.CanAcceptWrites() || p.Fenced() {
+		t.Fatalf("promote after fence: epoch=%d canWrite=%v fenced=%v", e, p.CanAcceptWrites(), p.Fenced())
+	}
+
+	r := NewNode(RoleReplica, 1)
+	if r.CanAcceptWrites() {
+		t.Fatal("replica accepts writes")
+	}
+	// A replica adopts higher epochs without raising the fence flag.
+	if !r.ObserveEpoch(9) || r.Fenced() || r.Epoch() != 9 {
+		t.Fatalf("replica observe: fenced=%v epoch=%d", r.Fenced(), r.Epoch())
+	}
+	if e := r.Promote(); e != 10 || r.Role() != RolePrimary || !r.CanAcceptWrites() {
+		t.Fatalf("replica promote: epoch=%d role=%v", e, r.Role())
+	}
+}
+
+// miniPrimary implements the primary's stream endpoint straight over a
+// wal.Journal — the same protocol internal/server serves — so follower
+// tests exercise the real wire format.
+type miniPrimary struct {
+	mu    sync.Mutex
+	j     *wal.Journal
+	epoch uint64
+}
+
+func (p *miniPrimary) setEpoch(e uint64) {
+	p.mu.Lock()
+	p.epoch = e
+	p.mu.Unlock()
+}
+
+func (p *miniPrimary) Do(req *http.Request) (*http.Response, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	q := req.URL.Query()
+	c, err := wal.ParseCursor(q.Get("after"))
+	if err != nil {
+		return nil, err
+	}
+	max, _ := strconv.Atoi(q.Get("max"))
+	rec := httptest.NewRecorder()
+	rec.Header().Set(HeaderEpoch, strconv.FormatUint(p.epoch, 10))
+	data, start, next, rerr := p.j.ReadAfter(c, max)
+	switch {
+	case errors.Is(rerr, wal.ErrCursorCompacted):
+		rec.WriteHeader(http.StatusGone)
+	case errors.Is(rerr, wal.ErrCursorAhead):
+		rec.WriteHeader(http.StatusRequestedRangeNotSatisfiable)
+	case rerr != nil:
+		rec.WriteHeader(http.StatusInternalServerError)
+	case len(data) == 0:
+		rec.WriteHeader(http.StatusNoContent)
+	default:
+		rec.Header().Set(HeaderCursor, start.String())
+		rec.Header().Set(HeaderNextCursor, next.String())
+		rec.Header().Set(HeaderLagRecords, strconv.FormatInt(p.j.TailGapRecords(next), 10))
+		rec.Write(data)
+	}
+	return rec.Result(), nil
+}
+
+func openJournal(t *testing.T) *wal.Journal {
+	t.Helper()
+	j, err := wal.Open(wal.Config{Dir: t.TempDir(), Fsync: wal.FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j
+}
+
+func appendLogins(t *testing.T, j *wal.Journal, start, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := j.Append(wal.Record{Type: wal.RecordLogin, ID: int64(start + i), Unix: int64(start + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+type collector struct {
+	mu  sync.Mutex
+	ids []int64
+}
+
+func (c *collector) apply(rec wal.Record) error {
+	c.mu.Lock()
+	c.ids = append(c.ids, rec.ID)
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *collector) snapshot() []int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]int64{}, c.ids...)
+}
+
+func TestFollowerStreamsAndTracksLag(t *testing.T) {
+	j := openJournal(t)
+	appendLogins(t, j, 0, 10)
+	primary := &miniPrimary{j: j, epoch: 1}
+
+	var got collector
+	var persisted struct {
+		mu    sync.Mutex
+		cur   wal.Cursor
+		epoch uint64
+	}
+	f := NewFollower(FollowerConfig{
+		PrimaryURL:    "http://primary",
+		Doer:          primary,
+		PollInterval:  time.Millisecond,
+		MaxBatchBytes: int(3 * wal.FrameSize), // force multiple batches
+		Node:          NewNode(RoleReplica, 1),
+		Apply:         got.apply,
+		Persist: func(e uint64, c wal.Cursor, sync bool) error {
+			persisted.mu.Lock()
+			persisted.epoch, persisted.cur = e, c
+			persisted.mu.Unlock()
+			return nil
+		},
+		Logf: t.Logf,
+	}, wal.Cursor{})
+	f.Start()
+	defer f.Stop()
+
+	waitFor(t, "initial catch-up", func() bool { return f.Stats().Records == 10 && f.LagRecords() == 0 })
+	appendLogins(t, j, 10, 5)
+	waitFor(t, "tail catch-up", func() bool { return f.Stats().Records == 15 && f.LagRecords() == 0 })
+	waitFor(t, "a caught-up (204) poll", func() bool { return f.Stats().CaughtUpPolls >= 1 })
+	f.Stop()
+
+	ids := got.snapshot()
+	for i, id := range ids {
+		if id != int64(i) {
+			t.Fatalf("record %d has id %d: stream out of order (%v)", i, id, ids)
+		}
+	}
+	if st := f.Stats(); st.CaughtUpPolls == 0 || st.Batches < 2 {
+		t.Fatalf("stats %+v: want caught-up polls and multiple batches", st)
+	}
+	persisted.mu.Lock()
+	defer persisted.mu.Unlock()
+	if persisted.cur != f.Cursor() || persisted.epoch != 1 {
+		t.Fatalf("persisted %v@%d, follower cursor %v", persisted.cur, persisted.epoch, f.Cursor())
+	}
+	if f.LagSeconds(time.Unix(100, 0)) != 0 {
+		t.Fatal("caught-up follower reports nonzero lag seconds")
+	}
+}
+
+func TestFollowerAdoptsPrimaryEpoch(t *testing.T) {
+	j := openJournal(t)
+	appendLogins(t, j, 0, 1)
+	primary := &miniPrimary{j: j, epoch: 7}
+	node := NewNode(RoleReplica, 1)
+	syncPersists := 0
+	var mu sync.Mutex
+	var got collector
+	f := NewFollower(FollowerConfig{
+		PrimaryURL: "http://primary", Doer: primary, PollInterval: time.Millisecond,
+		Node: node, Apply: got.apply,
+		Persist: func(e uint64, c wal.Cursor, sync bool) error {
+			mu.Lock()
+			if sync {
+				syncPersists++
+			}
+			mu.Unlock()
+			return nil
+		},
+	}, wal.Cursor{})
+	f.Start()
+	defer f.Stop()
+	waitFor(t, "epoch adoption", func() bool { return node.Epoch() == 7 && f.Stats().Records == 1 })
+	mu.Lock()
+	defer mu.Unlock()
+	if syncPersists == 0 {
+		t.Fatal("adopted epoch was not durably persisted")
+	}
+}
+
+func TestFollowerIgnoresStalePrimary(t *testing.T) {
+	j := openJournal(t)
+	appendLogins(t, j, 0, 3)
+	primary := &miniPrimary{j: j, epoch: 1}
+	var got collector
+	f := NewFollower(FollowerConfig{
+		PrimaryURL: "http://primary", Doer: primary, PollInterval: time.Millisecond,
+		Node:  NewNode(RoleReplica, 5), // follower already knows epoch 5
+		Apply: got.apply,
+	}, wal.Cursor{})
+	f.Start()
+	defer f.Stop()
+	waitFor(t, "stale primary rejected", func() bool { return f.Stats().StreamErrors >= 3 })
+	if n := f.Stats().Records; n != 0 {
+		t.Fatalf("follower applied %d records from a stale-epoch primary", n)
+	}
+	if f.LastError() == "" {
+		t.Fatal("no lastErr recorded")
+	}
+	// The primary catches up to the new epoch; streaming resumes.
+	primary.setEpoch(5)
+	waitFor(t, "recovery after epoch catch-up", func() bool { return f.Stats().Records == 3 })
+}
+
+func TestFollowerResyncsOnCompactedCursor(t *testing.T) {
+	j := openJournal(t)
+	appendLogins(t, j, 0, 5)
+	boundary, err := j.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendLogins(t, j, 5, 5)
+	if _, err := j.CompactBefore(boundary); err != nil {
+		t.Fatal(err)
+	}
+	primary := &miniPrimary{j: j, epoch: 2}
+
+	var got collector
+	resyncs := 0
+	var mu sync.Mutex
+	f := NewFollower(FollowerConfig{
+		PrimaryURL: "http://primary", Doer: primary, PollInterval: time.Millisecond,
+		Node: NewNode(RoleReplica, 1), Apply: got.apply,
+		Resync: func(primaryEpoch uint64) (wal.Cursor, error) {
+			mu.Lock()
+			resyncs++
+			mu.Unlock()
+			if primaryEpoch != 2 {
+				return wal.Cursor{}, fmt.Errorf("resync saw epoch %d", primaryEpoch)
+			}
+			return wal.Cursor{Seg: boundary, Off: wal.SegmentDataStart}, nil
+		},
+	}, wal.Cursor{}) // zero cursor: genesis is compacted, must resync
+	f.Start()
+	defer f.Stop()
+
+	waitFor(t, "resync + catch-up", func() bool { return f.Stats().Records == 5 && f.LagRecords() == 0 })
+	ids := got.snapshot()
+	if ids[0] != 5 {
+		t.Fatalf("post-resync stream started at id %d, want 5 (%v)", ids[0], ids)
+	}
+	if f.Stats().Resyncs != 1 {
+		t.Fatalf("resyncs = %d, want 1", f.Stats().Resyncs)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if resyncs != 1 {
+		t.Fatalf("resync callback ran %d times", resyncs)
+	}
+}
+
+// TestFollowerResyncOnStart: a follower whose host declares pre-existing
+// local state (a rebooted ex-primary) resyncs before its first stream
+// poll — even though its zero cursor would stream fine from genesis — and
+// keeps retrying the resync until it succeeds. No record below the
+// resynced cursor is ever applied on top of the local state.
+func TestFollowerResyncOnStart(t *testing.T) {
+	j := openJournal(t)
+	appendLogins(t, j, 0, 5)
+	boundary, err := j.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendLogins(t, j, 5, 3)
+	primary := &miniPrimary{j: j, epoch: 2}
+
+	var got collector
+	attempts := 0
+	var mu sync.Mutex
+	f := NewFollower(FollowerConfig{
+		PrimaryURL: "http://primary", Doer: primary, PollInterval: time.Millisecond,
+		Node: NewNode(RoleReplica, 1), Apply: got.apply,
+		ResyncOnStart: true,
+		Resync: func(primaryEpoch uint64) (wal.Cursor, error) {
+			mu.Lock()
+			attempts++
+			n := attempts
+			mu.Unlock()
+			if n == 1 {
+				return wal.Cursor{}, fmt.Errorf("snapshot fetch: partitioned")
+			}
+			return wal.Cursor{Seg: boundary, Off: wal.SegmentDataStart}, nil
+		},
+	}, wal.Cursor{}) // zero cursor, but the host said local state exists
+	f.Start()
+	defer f.Stop()
+
+	waitFor(t, "forced resync + tail catch-up", func() bool {
+		return f.Stats().Resyncs == 1 && f.Stats().Records == 3 && f.LagRecords() == 0
+	})
+	ids := got.snapshot()
+	if len(ids) != 3 || ids[0] != 5 {
+		t.Fatalf("streamed %v, want only the post-boundary tail 5..7", ids)
+	}
+	if f.Stats().StreamErrors == 0 {
+		t.Fatal("failed first resync attempt not counted as a stream error")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if attempts != 2 {
+		t.Fatalf("resync attempts = %d, want 2 (one failure, one success)", attempts)
+	}
+}
+
+func TestFollowerSurvivesCorruptAndCutBatches(t *testing.T) {
+	j := openJournal(t)
+	appendLogins(t, j, 0, 20)
+	primary := &miniPrimary{j: j, epoch: 1}
+	inj := faults.NewInjector(42)
+	inj.CorruptWrites("http.body", 0.5)
+	inj.PartialWrites("http.body", 0.3)
+
+	var got collector
+	f := NewFollower(FollowerConfig{
+		PrimaryURL:   "http://primary",
+		Doer:         faults.NewFaultDoer(primary, inj, nil),
+		PollInterval: time.Millisecond, MaxBatchBytes: int(4 * wal.FrameSize),
+		Node: NewNode(RoleReplica, 1), Apply: got.apply,
+		Logf: t.Logf,
+	}, wal.Cursor{})
+	f.Start()
+	defer f.Stop()
+
+	// Damaged batches slow the stream down but never poison it: every
+	// record still arrives, in order, exactly once per cursor position.
+	waitFor(t, "catch-up through corruption", func() bool { return f.Stats().Records >= 20 && f.LagRecords() == 0 })
+	ids := got.snapshot()
+	for i, id := range ids {
+		if id != int64(i) {
+			t.Fatalf("record %d has id %d: corruption reordered or duplicated the stream (%v)", i, id, ids)
+		}
+	}
+}
+
+func TestFollowerApplyErrorHoldsCursor(t *testing.T) {
+	j := openJournal(t)
+	appendLogins(t, j, 0, 5)
+	primary := &miniPrimary{j: j, epoch: 1}
+	var mu sync.Mutex
+	fail := true
+	var applied []int64
+	f := NewFollower(FollowerConfig{
+		PrimaryURL: "http://primary", Doer: primary, PollInterval: time.Millisecond,
+		Node: NewNode(RoleReplica, 1),
+		Apply: func(rec wal.Record) error {
+			mu.Lock()
+			defer mu.Unlock()
+			if rec.ID == 3 && fail {
+				fail = false
+				return errors.New("transient apply failure")
+			}
+			applied = append(applied, rec.ID)
+			return nil
+		},
+	}, wal.Cursor{})
+	f.Start()
+	defer f.Stop()
+	waitFor(t, "recovery after apply error", func() bool { return f.Stats().Records == 5 })
+	mu.Lock()
+	defer mu.Unlock()
+	for i, id := range applied {
+		if id != int64(i) {
+			t.Fatalf("apply order %v: record re-applied or skipped", applied)
+		}
+	}
+	if f.Stats().StreamErrors == 0 {
+		t.Fatal("apply error not counted")
+	}
+}
+
+func TestFollowerStopBeforeStart(t *testing.T) {
+	f := NewFollower(FollowerConfig{PrimaryURL: "http://primary", Node: NewNode(RoleReplica, 1), Apply: func(wal.Record) error { return nil }}, wal.Cursor{})
+	f.Stop() // must not hang or panic
+	f.Stop()
+}

@@ -43,20 +43,33 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 // span named after the route, a per-route latency histogram, and a
 // per-route/status request counter. The route label is the registered
 // pattern, never the raw URL — bounded cardinality by construction.
+//
+// Latency is recorded per status class: successes (2xx/3xx) land in the
+// status="ok" series, failures in a series labeled with their numeric
+// code. Success latencies and failure latencies are different populations
+// — a replica 503-ing writes in microseconds would otherwise drag the
+// route's success p99 toward zero — so the "ok" buckets stay pure.
 func (s *Server) instrumented(method, route string, h http.HandlerFunc) http.HandlerFunc {
-	hist := s.reg.Histogram("prorp_http_request_duration_seconds",
-		"HTTP request latency by route.", obs.LatencyBuckets,
-		obs.L("route", route), obs.L("method", method))
+	hist := func(status string) *obs.Histogram {
+		return s.reg.Histogram("prorp_http_request_duration_seconds",
+			"HTTP request latency by route and status class.", obs.LatencyBuckets,
+			obs.L("route", route), obs.L("method", method), obs.L("status", status))
+	}
+	okHist := hist("ok")
 	return func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
 		ctx, span := s.tracer.Start(r.Context(), method+" "+route)
 		sw := &statusWriter{ResponseWriter: w}
 		h(sw, r.WithContext(ctx))
 		span.End()
-		hist.ObserveSince(t0)
 		if sw.status == 0 {
 			sw.status = http.StatusOK
 		}
+		lat := okHist
+		if sw.status >= 400 {
+			lat = hist(strconv.Itoa(sw.status)) // bounded: HTTP status codes
+		}
+		lat.ObserveSince(t0)
 		s.reg.Counter("prorp_http_requests_total",
 			"HTTP requests by route and status code.",
 			obs.L("route", route), obs.L("method", method),
@@ -89,9 +102,9 @@ func (s *Server) registerServerMetrics() {
 		help string
 		fn   func() float64
 	}{
-		"prorp_fleet_databases":         {"Databases in the fleet.", func() float64 { return float64(s.fleet.Size()) }},
-		"prorp_fleet_physically_paused": {"Databases physically paused.", func() float64 { return float64(s.fleet.PausedCount()) }},
-		"prorp_fleet_shards":            {"Fleet stripe count.", func() float64 { return float64(s.fleet.Shards()) }},
+		"prorp_fleet_databases":         {"Databases in the fleet.", func() float64 { return float64(s.Fleet().Size()) }},
+		"prorp_fleet_physically_paused": {"Databases physically paused.", func() float64 { return float64(s.Fleet().PausedCount()) }},
+		"prorp_fleet_shards":            {"Fleet stripe count.", func() float64 { return float64(s.Fleet().Shards()) }},
 	}
 	for name, g := range gauges {
 		reg.GaugeFunc(name, g.help, g.fn)
@@ -120,7 +133,7 @@ func (s *Server) registerServerMetrics() {
 	}
 	reg.GaugeFunc("prorp_fleet_qos_percent",
 		"Share of first logins after idle that found resources available.",
-		func() float64 { return s.fleet.KPI().QoSPercent() })
+		func() float64 { return s.Fleet().KPI().QoSPercent() })
 
 	// Serving-layer resilience counters (the opsCounters atomics).
 	opsCounters := []struct {
@@ -162,12 +175,14 @@ func (s *Server) registerServerMetrics() {
 			reg.CounterFunc(c.name, c.help, c.fn)
 		}
 	}
+
+	s.registerReplMetrics()
 }
 
 // kpiField builds a sampler for one KPI counter. Each scrape re-reads the
 // runtime; the sweep is cheap and scrapes are rare.
 func (s *Server) kpiField(pick func(prorp.FleetKPI) uint64) func() uint64 {
-	return func() uint64 { return pick(s.fleet.KPI()) }
+	return func() uint64 { return pick(s.Fleet().KPI()) }
 }
 
 // Registry exposes the server's metric registry, for host wiring (the

@@ -6,10 +6,12 @@ import (
 	"net/http/httptest"
 	"path/filepath"
 	"sort"
+	"strings"
 	"testing"
 	"time"
 
 	"prorp/internal/obs"
+	"prorp/internal/repl"
 	"prorp/internal/wal"
 )
 
@@ -263,5 +265,87 @@ func TestTracesEndpoint(t *testing.T) {
 	}
 	if !sawCreate {
 		t.Fatalf("no POST /v1/db trace retained: %+v", body.Traces)
+	}
+}
+
+// stubStream204 is a replication Doer whose primary is always caught up:
+// every stream poll returns 204. It keeps a replica's follower quiet while
+// a test exercises the HTTP surface.
+type stubStream204 struct{}
+
+func (stubStream204) Do(req *http.Request) (*http.Response, error) {
+	rec := httptest.NewRecorder()
+	rec.WriteHeader(http.StatusNoContent)
+	return rec.Result(), nil
+}
+
+// TestLatencyHistogramStatusLabels pins the success/failure split of the
+// route histograms: rejected and failed requests land in series labeled
+// with their status code and never pollute the status="ok" buckets — a
+// replica 503-ing writes in microseconds must not drag a route's success
+// p99 toward zero.
+func TestLatencyHistogramStatusLabels(t *testing.T) {
+	clock := &fakeClock{t: t0}
+	dir := t.TempDir()
+	srv, err := New(Config{
+		Options:          testOptions(),
+		Shards:           4,
+		SnapshotPath:     filepath.Join(dir, "fleet.snap"),
+		WALDir:           filepath.Join(dir, "wal"),
+		WALFsync:         wal.FsyncAlways,
+		Now:              clock.Now,
+		Role:             repl.RoleReplica,
+		PrimaryAddr:      "http://stub",
+		ReplDoer:         stubStream204{},
+		ReplPollInterval: time.Millisecond,
+		Logf:             t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cases := []struct {
+		method, path, body string
+		wantCode           int
+		route, status      string
+	}{
+		{"POST", "/v1/db", `{"id":1}`, http.StatusServiceUnavailable, "/v1/db", "503"},
+		{"POST", "/v1/db/1/login", "", http.StatusServiceUnavailable, "/v1/db/{id}/login", "503"},
+		{"GET", "/v1/db/9", "", http.StatusNotFound, "/v1/db/{id}", "404"},
+		{"GET", "/healthz", "", http.StatusOK, "/healthz", "ok"},
+		{"GET", "/v1/kpi", "", http.StatusOK, "/v1/kpi", "ok"},
+	}
+	for _, tc := range cases {
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, httptest.NewRequest(tc.method, tc.path, strings.NewReader(tc.body)))
+		if rec.Code != tc.wantCode {
+			t.Fatalf("%s %s = %d, want %d (%s)", tc.method, tc.path, rec.Code, tc.wantCode, rec.Body.String())
+		}
+	}
+
+	samples := scrape(t, srv)
+	for _, tc := range cases {
+		labels := map[string]string{"route": tc.route, "method": tc.method, "status": tc.status}
+		if n := sampleValue(t, samples, "prorp_http_request_duration_seconds_count", labels); n != 1 {
+			t.Fatalf("%s %s status=%s histogram count = %v, want 1", tc.method, tc.route, tc.status, n)
+		}
+	}
+	// The failures never touched the success population: the ok-labeled
+	// series of the rejected and missed routes are still empty.
+	for _, r := range []struct{ method, route string }{
+		{"POST", "/v1/db"},
+		{"POST", "/v1/db/{id}/login"},
+		{"GET", "/v1/db/{id}"},
+	} {
+		labels := map[string]string{"route": r.route, "method": r.method, "status": "ok"}
+		if n := sampleValue(t, samples, "prorp_http_request_duration_seconds_count", labels); n != 0 {
+			t.Fatalf("%s %s ok-series count = %v, want 0", r.method, r.route, n)
+		}
+	}
+	// The request counter keeps its code label, status split or not.
+	if n := sampleValue(t, samples, "prorp_http_requests_total",
+		map[string]string{"route": "/v1/db", "method": "POST", "code": "503"}); n != 1 {
+		t.Fatalf("rejected create request counter = %v, want 1", n)
 	}
 }

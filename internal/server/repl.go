@@ -1,0 +1,512 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	iofs "io/fs"
+	"net/http"
+	"path/filepath"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"prorp"
+	"prorp/internal/faults"
+	"prorp/internal/repl"
+	"prorp/internal/wal"
+)
+
+// Replication wiring of the serving runtime: the primary's stream and
+// snapshot endpoints, the replica's apply/resync/persist hooks, the
+// repl-state file, and the write gate. The protocol itself (cursors,
+// epochs, the follower loop) lives in internal/repl; everything here is
+// the server gluing that protocol onto its WAL, fleet, and wake timers.
+
+// errNotPrimary refuses a mutation on a node that cannot acknowledge it:
+// a replica, or a primary fenced by a newer epoch. Mapped to HTTP 503 —
+// the request is fine, this node just isn't the place to send it.
+var errNotPrimary = errors.New("not the primary: this node does not accept writes")
+
+// rejectNonPrimary 503s a write on a non-primary, with Retry-After so
+// well-behaved clients back off while the load balancer re-routes to the
+// primary. Returns true when the request was rejected.
+func (s *Server) rejectNonPrimary(w http.ResponseWriter) bool {
+	if s.node.CanAcceptWrites() {
+		return false
+	}
+	s.repl.writesRejected.Add(1)
+	w.Header().Set("Retry-After", "1")
+	writeErr(w, errNotPrimary)
+	return true
+}
+
+// replCounters are the stream-side counters, surfaced on /metrics.
+type replCounters struct {
+	writesRejected  atomic.Uint64 // mutations 503'd on a non-primary
+	streamBatches   atomic.Uint64 // 200 stream responses served (primary)
+	streamRecords   atomic.Uint64 // records shipped (primary)
+	snapshotsServed atomic.Uint64 // resync snapshots served (primary)
+	streamLag       atomic.Int64  // records behind at the last stream poll
+	applied         atomic.Uint64 // streamed records applied (replica)
+	applySkipped    atomic.Uint64 // streamed records already applied (replica)
+}
+
+// Node exposes the replication state machine, for host wiring and tests.
+func (s *Server) Node() *repl.Node { return s.node }
+
+// ReplicationLag reports how far behind the primary this node is: records
+// not yet applied, and the age in seconds of the newest applied record.
+// A primary reports zero on both.
+func (s *Server) ReplicationLag() (records int64, seconds float64) {
+	if s.follower == nil {
+		return 0, 0
+	}
+	return s.follower.LagRecords(), s.follower.LagSeconds(s.now())
+}
+
+// ----- repl-state file ----------------------------------------------------
+
+// The repl-state file persists the node's epoch, fencing, and stream
+// cursor next to the journal, one line: "PRR1 <epoch> <fenced> <cursor>".
+// Epoch and fencing changes are fsynced (a fence that evaporates in a
+// crash is split brain); cursor-only progress is best-effort, since a
+// stale cursor merely re-streams idempotent records.
+const replStateFile = "repl-state"
+
+func replStatePath(walDir string) string {
+	if walDir == "" {
+		return ""
+	}
+	return filepath.Join(walDir, replStateFile)
+}
+
+// loadReplState reads the persisted node state. A missing file is a fresh
+// node; a malformed one refuses the boot — guessing at fencing state is
+// how split brain happens.
+func loadReplState(fsys faults.FS, path string) (epoch uint64, fenced bool, c wal.Cursor, err error) {
+	if path == "" {
+		return 0, false, wal.Cursor{}, nil
+	}
+	f, err := fsys.Open(path)
+	if err != nil {
+		if errors.Is(err, iofs.ErrNotExist) {
+			return 0, false, wal.Cursor{}, nil
+		}
+		return 0, false, wal.Cursor{}, err
+	}
+	data, err := io.ReadAll(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return 0, false, wal.Cursor{}, err
+	}
+	var fencedInt int
+	var curStr string
+	if _, err := fmt.Sscanf(string(data), "PRR1 %d %d %s", &epoch, &fencedInt, &curStr); err != nil {
+		return 0, false, wal.Cursor{}, fmt.Errorf("malformed repl state %q: %v", data, err)
+	}
+	if c, err = wal.ParseCursor(curStr); err != nil {
+		return 0, false, wal.Cursor{}, fmt.Errorf("malformed repl state cursor: %w", err)
+	}
+	return epoch, fencedInt != 0, c, nil
+}
+
+// persistReplState atomically rewrites the repl-state file; doSync forces
+// an fsync before the rename. Doubles as the follower's Persist hook.
+func (s *Server) persistReplState(epoch uint64, c wal.Cursor, doSync bool) error {
+	path := replStatePath(s.cfg.WALDir)
+	if path == "" {
+		return nil
+	}
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	fenced := 0
+	if s.node.Fenced() {
+		fenced = 1
+	}
+	line := fmt.Sprintf("PRR1 %d %d %s\n", epoch, fenced, c)
+	dir, base := filepath.Dir(path), filepath.Base(path)
+	f, err := s.cfg.FS.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	_, err = f.Write([]byte(line))
+	if err == nil && doSync {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = s.cfg.FS.Rename(tmp, path)
+	}
+	if err != nil {
+		s.cfg.FS.Remove(tmp)
+		return err
+	}
+	s.replCursor = c
+	return nil
+}
+
+// loadCursor is the node's current stream position: the live follower's
+// cursor on a replica, the last persisted one elsewhere.
+func (s *Server) loadCursor() wal.Cursor {
+	if s.follower != nil {
+		return s.follower.Cursor()
+	}
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	return s.replCursor
+}
+
+// ----- replica hooks ------------------------------------------------------
+
+// replDoer is the HTTP client for the replication control and data plane.
+func (s *Server) replDoer() faults.Doer {
+	if s.cfg.ReplDoer != nil {
+		return s.cfg.ReplDoer
+	}
+	return defaultReplClient
+}
+
+var defaultReplClient = &http.Client{Timeout: 30 * time.Second}
+
+// applyStreamed is the follower's Apply hook: journalize-before-apply,
+// exactly like a live handler, under the shared side of walGate. An error
+// holds the cursor so the record is re-streamed; everything in the stream
+// is idempotent under re-apply, so the duplicate journal entry a retry
+// leaves behind is skipped at replay like any boundary double-apply.
+func (s *Server) applyStreamed(rec wal.Record) error {
+	s.walGate.RLock()
+	defer s.walGate.RUnlock()
+	if err := s.journalize(rec.Type, int(rec.ID), time.Unix(rec.Unix, 0)); err != nil {
+		return err
+	}
+	skipped, err := s.applyRecord(rec)
+	switch {
+	case err != nil:
+		return err
+	case skipped:
+		s.repl.applySkipped.Add(1)
+	default:
+		s.repl.applied.Add(1)
+	}
+	return nil
+}
+
+// maxSnapshotFetch caps a resync download; a fleet archive is a few
+// hundred bytes per database, so 1 GiB is far past any real fleet.
+const maxSnapshotFetch = 1 << 30
+
+// replResync is the follower's Resync hook, called when the primary
+// reports the cursor unusable (compacted away, or ahead of its lineage):
+// fetch the primary's snapshot, swap the local fleet to it, persist the
+// adopted state locally, and return the snapshot's journal boundary as
+// the cursor to stream from.
+func (s *Server) replResync(primaryEpoch uint64) (wal.Cursor, error) {
+	if s.store == nil {
+		// Without a local snapshot a crash after the swap would replay the
+		// pre-resync journal against a post-resync cursor and diverge.
+		return wal.Cursor{}, errors.New("snapshot resync requires SnapshotPath on the replica")
+	}
+	req, err := http.NewRequest(http.MethodGet, s.cfg.PrimaryAddr+"/v1/repl/snapshot", nil)
+	if err != nil {
+		return wal.Cursor{}, err
+	}
+	req.Header.Set(repl.HeaderEpoch, strconv.FormatUint(s.node.Epoch(), 10))
+	resp, err := s.replDoer().Do(req)
+	if err != nil {
+		return wal.Cursor{}, fmt.Errorf("fetching snapshot: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return wal.Cursor{}, fmt.Errorf("snapshot fetch: primary said %d", resp.StatusCode)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxSnapshotFetch))
+	if err != nil {
+		return wal.Cursor{}, fmt.Errorf("reading snapshot: %w", err)
+	}
+	// The container checksum is the transport integrity check: a snapshot
+	// bit-flipped or cut in flight fails here and the resync is retried.
+	payload, boundary, err := verifyContainer(data)
+	if err != nil {
+		return wal.Cursor{}, fmt.Errorf("verifying snapshot: %w", err)
+	}
+	if boundary == 0 {
+		return wal.Cursor{}, errors.New("snapshot carries no journal boundary: primary has no WAL to stream")
+	}
+	fleet, pending, err := prorp.RestoreShardedFleet(s.cfg.Options, s.cfg.Shards, bytes.NewReader(payload))
+	if err != nil {
+		return wal.Cursor{}, fmt.Errorf("decoding snapshot: %w", err)
+	}
+	s.swapFleet(fleet, pending)
+	// Make the adoption locally durable before the cursor moves: the local
+	// snapshot re-serializes the adopted state and compacts the local
+	// journal below it, so a crash right now reboots into the new lineage.
+	if _, err := s.writeSnapshot(); err != nil {
+		return wal.Cursor{}, fmt.Errorf("persisting resynced state: %w", err)
+	}
+	cur := wal.Cursor{Seg: boundary, Off: wal.SegmentDataStart}
+	s.logf("repl resync: adopted primary snapshot (%d databases, primary epoch %d), streaming from %s",
+		fleet.Size(), primaryEpoch, cur)
+	return cur, nil
+}
+
+// swapFleet replaces the serving runtime after a snapshot resync: swap
+// the pointer, re-point the fleet gauges at the new runtime, rebuild the
+// wake timers from the snapshot's pending set, and close the old fleet.
+// A read racing the swap may see the old fleet report closed; resync is
+// already an exceptional event and the 503 is momentary.
+func (s *Server) swapFleet(fleet *prorp.ShardedFleet, pending []prorp.PendingWake) {
+	old := s.fleetP.Swap(fleet)
+	fleet.InstrumentObs(s.reg) // GaugeFunc re-registration re-points the closures
+	s.wakes.reset()
+	for _, w := range pending {
+		s.wakes.schedule(w.ID, w.WakeAt)
+	}
+	if old != nil {
+		old.Close()
+	}
+}
+
+// ----- primary endpoints --------------------------------------------------
+
+const (
+	defaultStreamBatch = 256 << 10
+	maxStreamBatch     = 4 << 20
+)
+
+// observePeerEpoch folds a peer's epoch header into the node. This is how
+// fencing propagates: the first stream poll a new-epoch follower sends to
+// the old primary demotes it, durably, before the response goes out.
+func (s *Server) observePeerEpoch(r *http.Request) {
+	e, err := strconv.ParseUint(r.Header.Get(repl.HeaderEpoch), 10, 64)
+	if err != nil || e == 0 {
+		return
+	}
+	if s.node.ObserveEpoch(e) {
+		if perr := s.persistReplState(s.node.Epoch(), s.loadCursor(), true); perr != nil {
+			s.logf("persisting observed epoch %d: %v", e, perr)
+		}
+		if s.node.Fenced() {
+			s.logf("fenced: observed epoch %d from a peer; this node no longer accepts writes", e)
+		}
+	}
+}
+
+// handleReplStream serves one batch of WAL frames after a cursor. Only
+// records durable per the fsync policy are shipped — the stream can never
+// run ahead of what a crash would preserve — and the poisoned tail is
+// excluded for the same reason appends past it are refused.
+func (s *Server) handleReplStream(w http.ResponseWriter, r *http.Request) {
+	s.observePeerEpoch(r)
+	w.Header().Set(repl.HeaderEpoch, strconv.FormatUint(s.node.Epoch(), 10))
+	if s.node.Role() != repl.RolePrimary || s.wal == nil {
+		// Replicas don't relay. A fenced primary, though, still serves the
+		// stream: its acknowledged tail is exactly what a catching-up
+		// follower of the new epoch needs to drain.
+		w.WriteHeader(http.StatusServiceUnavailable)
+		return
+	}
+	cur, err := wal.ParseCursor(r.URL.Query().Get("after"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+		return
+	}
+	maxBytes := defaultStreamBatch
+	if v := r.URL.Query().Get("max"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeJSON(w, http.StatusBadRequest, errorJSON{Error: fmt.Sprintf("bad max %q", v)})
+			return
+		}
+		maxBytes = min(n, maxStreamBatch)
+	}
+	data, start, next, err := s.wal.ReadAfter(cur, maxBytes)
+	switch {
+	case errors.Is(err, wal.ErrCursorCompacted):
+		w.WriteHeader(http.StatusGone) // cursor below retained history: resync
+		return
+	case errors.Is(err, wal.ErrCursorAhead):
+		w.WriteHeader(http.StatusRequestedRangeNotSatisfiable) // foreign lineage: resync
+		return
+	case err != nil:
+		s.logf("repl stream at %s: %v", cur, err)
+		writeJSON(w, http.StatusInternalServerError, errorJSON{Error: err.Error()})
+		return
+	}
+	lag := s.wal.TailGapRecords(next)
+	s.repl.streamLag.Store(lag)
+	if len(data) == 0 {
+		w.WriteHeader(http.StatusNoContent) // caught up
+		return
+	}
+	s.repl.streamBatches.Add(1)
+	s.repl.streamRecords.Add(uint64(int64(len(data)) / wal.FrameSize))
+	w.Header().Set(repl.HeaderCursor, start.String())
+	w.Header().Set(repl.HeaderNextCursor, next.String())
+	w.Header().Set(repl.HeaderLagRecords, strconv.FormatInt(lag, 10))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.Write(data)
+}
+
+// handleReplSnapshot serves a PRS2 container of the current fleet state
+// for follower resync. The journal rotates first, exactly like a
+// persisted snapshot, so the recorded boundary provably covers every
+// event in the archive.
+func (s *Server) handleReplSnapshot(w http.ResponseWriter, r *http.Request) {
+	s.observePeerEpoch(r)
+	w.Header().Set(repl.HeaderEpoch, strconv.FormatUint(s.node.Epoch(), 10))
+	if s.node.Role() != repl.RolePrimary || s.wal == nil {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		return
+	}
+	var payload bytes.Buffer
+	payload.Write(make([]byte, storeHeader2Size)) // container header headroom
+	s.walGate.Lock()
+	boundary, err := s.wal.Rotate()
+	if err == nil {
+		_, err = s.Fleet().WriteTo(&payload)
+	}
+	s.walGate.Unlock()
+	if err != nil {
+		s.logf("repl snapshot: %v", err)
+		writeJSON(w, http.StatusInternalServerError, errorJSON{Error: err.Error()})
+		return
+	}
+	frame := frameContainer(payload.Bytes(), boundary)
+	s.repl.snapshotsServed.Add(1)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(frame)))
+	w.Write(frame)
+}
+
+// handleReplPromote makes this node the primary of a new epoch. On an
+// unfenced primary it is a no-op reporting the current epoch; on a
+// replica or fenced ex-primary it stops the pull loop, bumps the epoch
+// durably, and starts acknowledging writes. The old primary fences itself
+// the moment the new epoch reaches it over the stream (or via
+// POST /v1/repl/fence). Writes acknowledged by the old primary but not
+// yet replicated are lost — replication is asynchronous; the lag gauges
+// bound that window.
+func (s *Server) handleReplPromote(w http.ResponseWriter, r *http.Request) {
+	if s.node.CanAcceptWrites() {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"role": s.node.Role().String(), "epoch": s.node.Epoch(), "promoted": false,
+		})
+		return
+	}
+	if s.follower != nil {
+		s.follower.Stop() // drain the in-flight batch, then no more pulls
+	}
+	cur := s.loadCursor()
+	epoch := s.node.Promote()
+	if err := s.persistReplState(epoch, cur, true); err != nil {
+		// Promoted in memory but not on disk: a crash now boots back into
+		// the old role. Surface it loudly instead of acking.
+		s.logf("promotion to epoch %d not durable: %v", epoch, err)
+		writeJSON(w, http.StatusInternalServerError,
+			errorJSON{Error: fmt.Sprintf("promoted to epoch %d, but persisting failed: %v", epoch, err)})
+		return
+	}
+	s.wakes.kick() // the wake loop may start arming timers now
+	s.logf("promoted: primary of epoch %d (stream cursor was %s)", epoch, cur)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"role": s.node.Role().String(), "epoch": epoch, "promoted": true,
+	})
+}
+
+// handleReplFence force-feeds the node an epoch, fencing a primary
+// without waiting for a follower of the new epoch to reach it. Operators
+// call it on the old primary right after promoting a replica.
+func (s *Server) handleReplFence(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Epoch uint64 `json:"epoch"`
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<10)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "bad fence body: " + err.Error()})
+		return
+	}
+	if req.Epoch == 0 {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "fence epoch must be positive"})
+		return
+	}
+	if s.node.ObserveEpoch(req.Epoch) {
+		if err := s.persistReplState(s.node.Epoch(), s.loadCursor(), true); err != nil {
+			writeJSON(w, http.StatusInternalServerError, errorJSON{Error: "fence not durable: " + err.Error()})
+			return
+		}
+		s.logf("fenced at epoch %d by operator", req.Epoch)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"role": s.node.Role().String(), "epoch": s.node.Epoch(), "fenced": s.node.Fenced(),
+	})
+}
+
+// registerReplMetrics puts the replication surface on /metrics: role,
+// epoch, fencing, both lag gauges, and the stream counters on each side.
+func (s *Server) registerReplMetrics() {
+	reg := s.reg
+	reg.GaugeFunc("prorp_repl_role", "Replication role: 1 primary, 0 replica.",
+		func() float64 {
+			if s.node.Role() == repl.RolePrimary {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("prorp_repl_epoch", "Highest replication epoch observed.",
+		func() float64 { return float64(s.node.Epoch()) })
+	reg.GaugeFunc("prorp_repl_fenced", "1 when this node is a fenced ex-primary.",
+		func() float64 {
+			if s.node.Fenced() {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("prorp_repl_lag_records", "Records behind the primary (replica side).",
+		func() float64 { r, _ := s.ReplicationLag(); return float64(r) })
+	reg.GaugeFunc("prorp_repl_lag_seconds", "Age of the newest applied streamed record.",
+		func() float64 { _, sec := s.ReplicationLag(); return sec })
+	reg.GaugeFunc("prorp_repl_stream_lag_records", "Records the last stream response left behind (primary side).",
+		func() float64 { return float64(s.repl.streamLag.Load()) })
+
+	counters := []struct {
+		name, help string
+		v          *atomic.Uint64
+	}{
+		{"prorp_repl_writes_rejected_total", "Mutations rejected with 503 on a non-primary.", &s.repl.writesRejected},
+		{"prorp_repl_stream_batches_total", "Stream batches served to followers.", &s.repl.streamBatches},
+		{"prorp_repl_stream_records_total", "Journal records shipped to followers.", &s.repl.streamRecords},
+		{"prorp_repl_snapshots_served_total", "Resync snapshots served to followers.", &s.repl.snapshotsServed},
+		{"prorp_repl_records_applied_total", "Streamed records journaled and applied.", &s.repl.applied},
+		{"prorp_repl_records_skipped_total", "Streamed records skipped as already applied.", &s.repl.applySkipped},
+	}
+	for _, c := range counters {
+		v := c.v
+		reg.CounterFunc(c.name, c.help, func() uint64 { return v.Load() })
+	}
+
+	if s.follower != nil {
+		followerCounters := []struct {
+			name, help string
+			fn         func(repl.FollowerStats) uint64
+		}{
+			{"prorp_repl_follower_batches_total", "Stream batches applied.", func(st repl.FollowerStats) uint64 { return st.Batches }},
+			{"prorp_repl_follower_caught_up_polls_total", "Polls that found nothing new.", func(st repl.FollowerStats) uint64 { return st.CaughtUpPolls }},
+			{"prorp_repl_follower_errors_total", "Stream, apply, and persist errors.", func(st repl.FollowerStats) uint64 { return st.StreamErrors }},
+			{"prorp_repl_follower_corrupt_batches_total", "Batches cut or corrupted in flight.", func(st repl.FollowerStats) uint64 { return st.CorruptBatches }},
+			{"prorp_repl_follower_resyncs_total", "Snapshot resyncs completed.", func(st repl.FollowerStats) uint64 { return st.Resyncs }},
+		}
+		for _, c := range followerCounters {
+			fn := c.fn
+			reg.CounterFunc(c.name, c.help, func() uint64 { return fn(s.follower.Stats()) })
+		}
+	}
+}

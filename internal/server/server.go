@@ -18,6 +18,14 @@
 //	GET    /healthz             liveness + fleet gauges
 //	POST   /v1/ops/resume       run one proactive-resume iteration now
 //	POST   /v1/ops/snapshot     persist a snapshot now
+//	GET    /v1/repl/stream      WAL frames after a cursor (replication data plane)
+//	GET    /v1/repl/snapshot    PRS2 fleet snapshot for follower resync
+//	POST   /v1/repl/promote     make this node the primary of a new epoch
+//	POST   /v1/repl/fence       force-feed an epoch, fencing an old primary
+//
+// A node runs as primary (default) or replica (Config.Role); replicas
+// serve every read endpoint and reject mutations with 503 + Retry-After.
+// See internal/repl and DESIGN.md §9.
 //
 // All timestamps are RFC 3339; event times are assigned from the server
 // clock, exactly as the paper's gateway observes logins.
@@ -39,6 +47,7 @@ import (
 	"prorp"
 	"prorp/internal/faults"
 	"prorp/internal/obs"
+	"prorp/internal/repl"
 	"prorp/internal/shardedfleet"
 	"prorp/internal/wal"
 )
@@ -100,6 +109,24 @@ type Config struct {
 	OnWake func(id int) error
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
+	// Role selects the node's replication role (default RolePrimary — the
+	// zero value keeps the pre-replication single-node behavior). A replica
+	// pulls the primary's journal, serves reads, and rejects writes with
+	// 503 + Retry-After. See internal/repl and DESIGN.md §9.
+	Role repl.Role
+	// PrimaryAddr is the primary's base URL ("http://host:port"); required
+	// when Role is RoleReplica.
+	PrimaryAddr string
+	// ReplDoer performs the replication HTTP round trips (default an
+	// http.Client with a 30s timeout); chaos tests inject a faults.FaultDoer
+	// over an in-process transport.
+	ReplDoer faults.Doer
+	// ReplPollInterval is the follower's idle/error poll cadence (0 =
+	// default, 250ms).
+	ReplPollInterval time.Duration
+	// ReplMaxBatchBytes caps one replication stream batch (0 = default,
+	// 256 KiB).
+	ReplMaxBatchBytes int
 }
 
 // opsCounters are the serving layer's resilience counters, surfaced
@@ -124,7 +151,7 @@ type opsCounters struct {
 // Server is the HTTP front end. It implements http.Handler.
 type Server struct {
 	cfg     Config
-	fleet   *prorp.ShardedFleet
+	fleetP  atomic.Pointer[prorp.ShardedFleet]
 	now     func() time.Time
 	clock   faults.Clock
 	logf    func(string, ...any)
@@ -134,6 +161,15 @@ type Server struct {
 	wal     *wal.Journal   // nil when the event journal is disabled
 	started time.Time
 	ops     opsCounters
+
+	// Replication: node is the role/epoch state machine (always non-nil),
+	// follower the pull loop (replicas only). replMu guards the repl-state
+	// file and the cached cursor; the stream-side counters live in repl.
+	node       *repl.Node
+	follower   *repl.Follower
+	replMu     sync.Mutex
+	replCursor wal.Cursor
+	repl       replCounters
 
 	// Observability: the metric registry behind GET /metrics and the span
 	// tracer behind GET /v1/traces. Always on — the registry is atomic
@@ -190,6 +226,16 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.Role == repl.RoleReplica {
+		if cfg.PrimaryAddr == "" {
+			return nil, errors.New("server: replica role requires PrimaryAddr")
+		}
+		if cfg.WALDir == "" {
+			// The replica's whole crash story is journalize-before-apply;
+			// without a journal a restart would silently lose applied state.
+			return nil, errors.New("server: replica role requires WALDir")
+		}
 	}
 	clock := funcClock{now: cfg.Now, sleep: cfg.Sleep}
 	reg := obs.NewRegistry()
@@ -271,7 +317,6 @@ func New(cfg Config) (*Server, error) {
 
 	s := &Server{
 		cfg:     cfg,
-		fleet:   fleet,
 		now:     cfg.Now,
 		clock:   clock,
 		logf:    cfg.Logf,
@@ -283,10 +328,24 @@ func New(cfg Config) (*Server, error) {
 		reg:     reg,
 		tracer:  obs.NewTracer(0, 0),
 	}
-	s.predHist = reg.Histogram("prorp_prediction_duration_seconds",
-		"Algorithm 4 prediction-scan latency (GET /v1/db ExplainPrediction).", obs.LatencyBuckets)
-	fleet.InstrumentObs(reg)
-	s.registerServerMetrics()
+	s.fleetP.Store(fleet)
+
+	// Restore the replication node state (epoch, fencing, stream cursor)
+	// from the repl-state file next to the journal; a demoted primary must
+	// come back fenced or a restart would quietly un-demote it.
+	epoch, fenced, cursor, err := loadReplState(cfg.FS, replStatePath(cfg.WALDir))
+	if err != nil {
+		fleet.Close()
+		if journal != nil {
+			journal.Close()
+		}
+		return nil, fmt.Errorf("server: reading repl state: %w", err)
+	}
+	s.node = repl.RestoreNode(cfg.Role, epoch, fenced)
+	s.replCursor = cursor
+	if fenced && cfg.Role == repl.RolePrimary {
+		cfg.Logf("booting fenced at epoch %d: a newer primary exists, writes stay rejected", s.node.Epoch())
+	}
 	if fellBack {
 		s.ops.snapshotFallbacks.Add(1)
 	}
@@ -312,6 +371,38 @@ func New(cfg Config) (*Server, error) {
 				stats.TornSegments, stats.TruncatedBytes)
 		}
 	}
+
+	// The follower is assembled after snapshot restore and journal replay
+	// so it can see whether boot produced local state at all.
+	if cfg.Role == repl.RoleReplica {
+		// A replica whose boot restore/replay produced state the stream
+		// cursor does not cover — a rebooted ex-primary, or a seeded
+		// snapshot — must not stream from genesis on top of it: events are
+		// not idempotent, so the overlap would double-apply and diverge.
+		// It adopts the primary's snapshot first instead.
+		resyncFirst := cursor.IsZero() && fleet.Size() > 0
+		if resyncFirst {
+			cfg.Logf("replica boot: %d databases restored but no stream cursor; forcing snapshot resync", fleet.Size())
+		}
+		s.follower = repl.NewFollower(repl.FollowerConfig{
+			PrimaryURL:    cfg.PrimaryAddr,
+			Doer:          s.replDoer(),
+			Clock:         clock,
+			PollInterval:  cfg.ReplPollInterval,
+			MaxBatchBytes: cfg.ReplMaxBatchBytes,
+			Node:          s.node,
+			Apply:         s.applyStreamed,
+			Persist:       s.persistReplState,
+			Resync:        s.replResync,
+			ResyncOnStart: resyncFirst,
+			Logf:          cfg.Logf,
+		}, cursor)
+	}
+
+	s.predHist = reg.Histogram("prorp_prediction_duration_seconds",
+		"Algorithm 4 prediction-scan latency (GET /v1/db ExplainPrediction).", obs.LatencyBuckets)
+	fleet.InstrumentObs(reg)
+	s.registerServerMetrics()
 	s.buildMux()
 
 	s.bg.Add(2)
@@ -320,6 +411,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.SnapshotPath != "" {
 		s.bg.Add(1)
 		go s.snapshotLoop()
+	}
+	if s.follower != nil {
+		s.follower.Start()
 	}
 	return s, nil
 }
@@ -330,9 +424,12 @@ func New(cfg Config) (*Server, error) {
 // shard workers.
 func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
+		if s.follower != nil {
+			s.follower.Stop() // no new streamed records past this point
+		}
 		close(s.stop)
 		s.bg.Wait()
-		s.fleet.Close() // drains shard queues, stops workers
+		s.Fleet().Close() // drains shard queues, stops workers
 		if s.cfg.SnapshotPath != "" {
 			if _, err := s.writeSnapshot(); err != nil {
 				s.closeErr = fmt.Errorf("server: final snapshot: %w", err)
@@ -355,58 +452,75 @@ func (s *Server) Close() error {
 // uses it to model a crash; production shutdown is Close.
 func (s *Server) Kill() {
 	s.closeOnce.Do(func() {
+		if s.follower != nil {
+			s.follower.Stop()
+		}
 		close(s.stop)
 		s.bg.Wait()
-		s.fleet.Close()
+		s.Fleet().Close()
 		if s.wal != nil {
 			s.wal.Kill()
 		}
 	})
 }
 
-// applyReplay applies one journaled record to the fleet during boot
-// replay. Records that double-apply against the snapshot — the journal
-// boundary is conservative, so events landed right around a snapshot can
-// legitimately appear in both — are skipped: duplicate creates, mutations
-// of since-deleted databases, and re-inserted history tuples (the history
-// store dedups on timestamp) are all idempotent.
-func (s *Server) applyReplay(rec wal.Record) {
+// applyRecord applies one journaled record to the fleet and reconciles
+// the wake timer it implies — the shared tail of boot replay and the
+// replica's streamed-apply path. Records that double-apply — the journal
+// boundary is conservative, and replication is at-least-once — are
+// skipped: duplicate creates, mutations of since-deleted databases, and
+// re-inserted history tuples (the history store dedups on timestamp) are
+// all idempotent.
+func (s *Server) applyRecord(rec wal.Record) (skipped bool, err error) {
 	id := int(rec.ID)
 	t := time.Unix(rec.Unix, 0)
 	var (
 		d      prorp.Decision
-		err    error
 		reWake bool
 	)
 	switch rec.Type {
 	case wal.RecordCreate:
-		err = s.fleet.Create(id, t)
+		err = s.Fleet().Create(id, t)
 	case wal.RecordDelete:
-		if err = s.fleet.Delete(id); err == nil {
+		if err = s.Fleet().Delete(id); err == nil {
 			s.wakes.schedule(id, time.Time{})
 		}
 	case wal.RecordLogin:
-		d, err = s.fleet.Login(id, t)
+		d, err = s.Fleet().Login(id, t)
 		reWake = err == nil
 	case wal.RecordLogout:
-		d, err = s.fleet.Idle(id, t)
+		d, err = s.Fleet().Idle(id, t)
 		reWake = err == nil
 	default:
 		err = fmt.Errorf("unknown record type %d", rec.Type)
 	}
 	switch {
 	case err == nil:
-		s.ops.walReplayed.Add(1)
 		if reWake {
 			// The decision's WakeAt is the complete desired timer state
 			// after this event; reconcile, exactly like the live handler.
 			s.wakes.schedule(id, d.WakeAt)
 		}
+		return false, nil
 	case errors.Is(err, prorp.ErrDuplicateDatabase), errors.Is(err, prorp.ErrUnknownDatabase):
-		s.ops.walReplaySkipped.Add(1)
+		return true, nil
 	default:
+		return false, err
+	}
+}
+
+// applyReplay applies one journaled record during boot replay, folding
+// the outcome into the replay counters.
+func (s *Server) applyReplay(rec wal.Record) {
+	skipped, err := s.applyRecord(rec)
+	switch {
+	case err != nil:
 		s.ops.walReplaySkipped.Add(1)
 		s.logf("wal replay: %s(%d) at %d not applied: %v", rec.Type, rec.ID, rec.Unix, err)
+	case skipped:
+		s.ops.walReplaySkipped.Add(1)
+	default:
+		s.ops.walReplayed.Add(1)
 	}
 }
 
@@ -436,8 +550,10 @@ func (s *Server) journalize(typ wal.RecordType, id int, t time.Time) error {
 // HTTP 503 — the condition is the server's, not the client's.
 var errJournalUnavailable = errors.New("event journal unavailable")
 
-// Fleet exposes the underlying fleet, for host instrumentation.
-func (s *Server) Fleet() *prorp.ShardedFleet { return s.fleet }
+// Fleet exposes the underlying fleet, for host instrumentation and
+// handlers. The pointer is atomic because a snapshot resync on a replica
+// swaps the whole runtime out from under concurrent readers.
+func (s *Server) Fleet() *prorp.ShardedFleet { return s.fleetP.Load() }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
@@ -470,7 +586,10 @@ func (s *Server) wakeLoop() {
 	for {
 		var timerC <-chan time.Time
 		var timer *time.Timer
-		if at, ok := s.wakes.next(); ok {
+		// A non-primary never arms the timer (delivery is gated anyway, and
+		// an armed past-due timer would spin); promotion kicks the signal
+		// channel to re-arm.
+		if at, ok := s.wakes.next(); ok && s.node.CanAcceptWrites() {
 			d := at.Sub(s.now())
 			if d < 0 {
 				d = 0
@@ -518,8 +637,14 @@ func (s *Server) snapshotLoop() {
 // pre-warm (with retries), and schedule the pre-warmed databases' wakes.
 // Both the ticker and POST /v1/ops/resume land here.
 func (s *Server) tick(now time.Time) (wakesDelivered int, prewarmed []prorp.Prewarmed) {
+	if !s.node.CanAcceptWrites() {
+		// Replicas (and fenced ex-primaries) never run the resume op: the
+		// prewarm transitions it causes are not journaled, so running it
+		// here would silently diverge from the primary's stream.
+		return 0, nil
+	}
 	wakesDelivered = s.deliverDueWakes(now)
-	prewarmed = s.fleet.RunResumeOp(now)
+	prewarmed = s.Fleet().RunResumeOp(now)
 	for _, pw := range prewarmed {
 		if s.cfg.OnPrewarm != nil {
 			retries, err := faults.Retry(s.clock, s.cfg.Backoff, func() error {
@@ -539,6 +664,11 @@ func (s *Server) tick(now time.Time) (wakesDelivered int, prewarmed []prorp.Prew
 }
 
 func (s *Server) deliverDueWakes(now time.Time) int {
+	if !s.node.CanAcceptWrites() {
+		// Wake transitions are not journaled either; timers accumulate in
+		// the scheduler and start firing the moment this node is promoted.
+		return 0
+	}
 	delivered := 0
 	for _, e := range s.wakes.due(now) {
 		if s.cfg.OnWake != nil {
@@ -555,7 +685,7 @@ func (s *Server) deliverDueWakes(now time.Time) int {
 				continue
 			}
 		}
-		d, err := s.fleet.Wake(e.id, now)
+		d, err := s.Fleet().Wake(e.id, now)
 		if err != nil {
 			continue // deleted since scheduling
 		}
@@ -614,11 +744,11 @@ func (s *Server) writeSnapshotOpts(probeOnly bool) (int64, error) {
 		s.walGate.Lock()
 		boundary, err = s.wal.Rotate()
 		if err == nil {
-			_, err = s.fleet.WriteTo(&payload)
+			_, err = s.Fleet().WriteTo(&payload)
 		}
 		s.walGate.Unlock()
 	} else {
-		_, err = s.fleet.WriteTo(&payload)
+		_, err = s.Fleet().WriteTo(&payload)
 	}
 
 	var n int64
@@ -671,10 +801,16 @@ func (s *Server) buildMux() {
 	handle("GET", "/healthz", s.handleHealthz)
 	handle("POST", "/v1/ops/resume", s.handleOpsResume)
 	handle("POST", "/v1/ops/snapshot", s.handleOpsSnapshot)
+	handle("POST", "/v1/repl/promote", s.handleReplPromote)
+	handle("POST", "/v1/repl/fence", s.handleReplFence)
 	// The observability surface itself is not traced or histogrammed:
-	// scrapes would crowd the trace buffer with their own reads.
+	// scrapes would crowd the trace buffer with their own reads. The
+	// replication data plane (polled continuously by followers) likewise
+	// stays out of the request histograms and the trace buffer.
 	m.HandleFunc("GET /metrics", s.handleMetrics)
 	m.HandleFunc("GET /v1/traces", s.handleTraces)
+	m.HandleFunc("GET /v1/repl/stream", s.handleReplStream)
+	m.HandleFunc("GET /v1/repl/snapshot", s.handleReplSnapshot)
 	s.mux = m
 }
 
@@ -698,7 +834,8 @@ func writeErr(w http.ResponseWriter, err error) {
 	case errors.Is(err, shardedfleet.ErrBacklog):
 		// Shard queue full: shed load, tell the client to back off.
 		status = http.StatusTooManyRequests
-	case errors.Is(err, shardedfleet.ErrClosed), errors.Is(err, errJournalUnavailable):
+	case errors.Is(err, shardedfleet.ErrClosed), errors.Is(err, errJournalUnavailable),
+		errors.Is(err, errNotPrimary):
 		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, errorJSON{Error: err.Error()})
@@ -734,7 +871,7 @@ func (s *Server) decisionJSON(id int, at time.Time, d prorp.Decision) decisionJS
 		at := d.WakeAt
 		out.WakeAt = &at
 	}
-	if st, err := s.fleet.State(id); err == nil {
+	if st, err := s.Fleet().State(id); err == nil {
 		out.State = st.String()
 	}
 	return out
@@ -750,6 +887,9 @@ type createRequest struct {
 const maxCreateBody = 64 << 10
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	if s.rejectNonPrimary(w) {
+		return
+	}
 	r.Body = http.MaxBytesReader(w, r.Body, maxCreateBody)
 	var req createRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -772,7 +912,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	jspan.End()
 	if err == nil {
 		_, aspan := s.tracer.Start(r.Context(), "fleet.create")
-		err = s.fleet.Create(req.ID, createdAt)
+		err = s.Fleet().Create(req.ID, createdAt)
 		aspan.End()
 	}
 	s.walGate.RUnlock()
@@ -788,6 +928,9 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if s.rejectNonPrimary(w) {
+		return
+	}
 	id, err := pathID(r)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
@@ -799,7 +942,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	jspan.End()
 	if err == nil {
 		_, aspan := s.tracer.Start(r.Context(), "fleet.delete")
-		err = s.fleet.Delete(id)
+		err = s.Fleet().Delete(id)
 		aspan.End()
 	}
 	s.walGate.RUnlock()
@@ -812,14 +955,17 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleLogin(w http.ResponseWriter, r *http.Request) {
-	s.handleEvent(w, r, wal.RecordLogin, s.fleet.Login)
+	s.handleEvent(w, r, wal.RecordLogin, s.Fleet().Login)
 }
 
 func (s *Server) handleLogout(w http.ResponseWriter, r *http.Request) {
-	s.handleEvent(w, r, wal.RecordLogout, s.fleet.Idle)
+	s.handleEvent(w, r, wal.RecordLogout, s.Fleet().Idle)
 }
 
 func (s *Server) handleEvent(w http.ResponseWriter, r *http.Request, typ wal.RecordType, apply func(int, time.Time) (prorp.Decision, error)) {
+	if s.rejectNonPrimary(w) {
+		return
+	}
 	id, err := pathID(r)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
@@ -875,14 +1021,14 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
 		return
 	}
-	st, err := s.fleet.State(id)
+	st, err := s.Fleet().State(id)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
 	_, pspan := s.tracer.Start(r.Context(), "fleet.explain_prediction")
 	t0 := time.Now()
-	windows, start, end, ok, err := s.fleet.ExplainPrediction(id, s.now())
+	windows, start, end, ok, err := s.Fleet().ExplainPrediction(id, s.now())
 	s.predHist.ObserveSince(t0)
 	pspan.End()
 	if err != nil {
@@ -922,7 +1068,7 @@ type kpiJSON struct {
 
 func (s *Server) handleKPI(w http.ResponseWriter, r *http.Request) {
 	now := s.now()
-	kpi := s.fleet.KPI()
+	kpi := s.Fleet().KPI()
 	kpi.SnapshotRetries = s.ops.snapshotRetries.Load()
 	kpi.SnapshotFailures = s.ops.snapshotFailures.Load()
 	kpi.SnapshotFallbacks = s.ops.snapshotFallbacks.Load()
@@ -945,7 +1091,7 @@ func (s *Server) handleKPI(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, kpiJSON{
 		FleetKPI:      kpi,
 		QoSPercent:    kpi.QoSPercent(),
-		Shards:        s.fleet.Shards(),
+		Shards:        s.Fleet().Shards(),
 		PendingWakes:  s.wakes.pending(),
 		Now:           now.UTC(),
 		UptimeSeconds: int64(now.Sub(s.started) / time.Second),
@@ -957,11 +1103,23 @@ func (s *Server) handleKPI(w http.ResponseWriter, r *http.Request) {
 func (s *Server) Degraded() bool { return s.degraded.Load() }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	lagRecords, lagSeconds := s.ReplicationLag()
 	body := map[string]any{
-		"status":    "ok",
-		"databases": s.fleet.Size(),
-		"paused":    s.fleet.PausedCount(),
-		"shards":    s.fleet.Shards(),
+		"status":                  "ok",
+		"databases":               s.Fleet().Size(),
+		"paused":                  s.Fleet().PausedCount(),
+		"shards":                  s.Fleet().Shards(),
+		"role":                    s.node.Role().String(),
+		"replication_lag_records": lagRecords,
+		"replication_lag_seconds": lagSeconds,
+	}
+	if s.node.Fenced() {
+		body["fenced"] = true
+	}
+	if s.follower != nil {
+		if e := s.follower.LastError(); e != "" {
+			body["replication_last_error"] = e
+		}
 	}
 	status := http.StatusOK
 	if s.degraded.Load() {
@@ -979,6 +1137,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleOpsResume(w http.ResponseWriter, r *http.Request) {
+	if s.rejectNonPrimary(w) {
+		return
+	}
 	wakes, prewarmed := s.tick(s.now())
 	ids := make([]int, len(prewarmed))
 	for i, pw := range prewarmed {

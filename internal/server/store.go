@@ -81,10 +81,11 @@ func (st *snapshotStore) Save(src io.WriterTo, walSeq uint64) (n int64, retries 
 	return st.savePayload(payload.Bytes(), walSeq)
 }
 
-// savePayload persists a pre-serialized archive. frame must have
-// storeHeader2Size bytes of headroom at the front for the container
-// header.
-func (st *snapshotStore) savePayload(frame []byte, walSeq uint64) (n int64, retries int, err error) {
+// frameContainer fills in the PRS2 header of a buffer carrying
+// storeHeader2Size bytes of headroom at the front and returns it. The
+// same frame goes to disk (savePayload) and over the wire (the
+// replication snapshot endpoint).
+func frameContainer(frame []byte, walSeq uint64) []byte {
 	body := frame[storeHeader2Size:]
 	binary.LittleEndian.PutUint32(frame[0:4], storeMagic2)
 	binary.LittleEndian.PutUint64(frame[4:12], uint64(len(body)))
@@ -92,6 +93,14 @@ func (st *snapshotStore) savePayload(frame []byte, walSeq uint64) (n int64, retr
 	// The checksum covers the boundary too: bit rot there must trigger the
 	// .bak fallback, not a silently wrong replay start.
 	binary.LittleEndian.PutUint32(frame[12:16], crc32.Checksum(frame[16:], crcTable))
+	return frame
+}
+
+// savePayload persists a pre-serialized archive. frame must have
+// storeHeader2Size bytes of headroom at the front for the container
+// header.
+func (st *snapshotStore) savePayload(frame []byte, walSeq uint64) (n int64, retries int, err error) {
+	frame = frameContainer(frame, walSeq)
 
 	if st.saveHist != nil {
 		defer st.saveHist.ObserveSince(time.Now())

@@ -44,10 +44,25 @@ func (w *wakeScheduler) schedule(id int, at time.Time) {
 	w.current[id] = at
 	heap.Push(&w.heap, wakeEntry{id: id, at: at})
 	w.mu.Unlock()
+	w.kick()
+}
+
+// kick nudges the delivery loop to recompute its timer.
+func (w *wakeScheduler) kick() {
 	select {
 	case w.signal <- struct{}{}:
 	default:
 	}
+}
+
+// reset drops every scheduled wake; the caller reschedules from the
+// authoritative pending set (a snapshot resync swaps the whole fleet).
+func (w *wakeScheduler) reset() {
+	w.mu.Lock()
+	w.heap = nil
+	w.current = make(map[int]time.Time)
+	w.mu.Unlock()
+	w.kick()
 }
 
 // next reports the earliest still-valid wake-up without removing it.

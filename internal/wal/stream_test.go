@@ -1,0 +1,305 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"testing"
+
+	"prorp/internal/faults"
+)
+
+// streamAll drains the record stream from cursor c in maxBytes batches,
+// returning every record and the caught-up cursor.
+func streamAll(t *testing.T, j *Journal, c Cursor, maxBytes int) ([]Record, Cursor) {
+	t.Helper()
+	var recs []Record
+	for {
+		data, _, next, err := j.ReadAfter(c, maxBytes)
+		if err != nil {
+			t.Fatalf("ReadAfter(%v): %v", c, err)
+		}
+		if len(data) == 0 {
+			return recs, next
+		}
+		consumed, torn, err := ScanStream(data, func(r Record) error {
+			recs = append(recs, r)
+			return nil
+		})
+		if err != nil || torn || consumed != int64(len(data)) {
+			t.Fatalf("ScanStream: consumed %d of %d, torn=%v, err=%v", consumed, len(data), torn, err)
+		}
+		c = next
+	}
+}
+
+func TestParseCursorRoundTrip(t *testing.T) {
+	for _, c := range []Cursor{{}, {Seg: 1, Off: 12}, {Seg: 900, Off: 1 << 40}} {
+		got, err := ParseCursor(c.String())
+		if err != nil || got != c {
+			t.Fatalf("ParseCursor(%q) = %v, %v; want %v", c.String(), got, err, c)
+		}
+	}
+	if c, err := ParseCursor(""); err != nil || !c.IsZero() {
+		t.Fatalf("empty cursor = %v, %v", c, err)
+	}
+	for _, s := range []string{"x", "1:", ":2", "1:-5", "a:b", "1:2:3"} {
+		if _, err := ParseCursor(s); err == nil {
+			t.Fatalf("ParseCursor(%q) accepted", s)
+		}
+	}
+	if !(Cursor{Seg: 1, Off: 99}).Before(Cursor{Seg: 2, Off: 12}) ||
+		!(Cursor{Seg: 2, Off: 12}).Before(Cursor{Seg: 2, Off: 13}) {
+		t.Fatal("cursor ordering broken")
+	}
+}
+
+// TestReadAfterStreamsEverything appends across several segments and
+// checks that draining the stream in tiny batches yields exactly the
+// acknowledged record sequence, including the active segment's tail, and
+// that a caught-up cursor then reads empty until new appends land.
+func TestReadAfterStreamsEverything(t *testing.T) {
+	for _, policy := range []FsyncPolicy{FsyncAlways, FsyncBatch, FsyncOff} {
+		t.Run(policy.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			cfg := testConfig(t, dir)
+			cfg.Fsync = policy
+			cfg.SegmentBytes = minSegmentBytes
+			j, err := Open(cfg)
+			if err != nil {
+				t.Fatalf("open: %v", err)
+			}
+			defer j.Close()
+
+			const n = 400 // > 2 segments of 25-byte frames at the 4 KiB floor
+			appendN(t, j, 0, n)
+
+			got, cur := streamAll(t, j, Cursor{}, 3*int(FrameSize))
+			if len(got) != n {
+				t.Fatalf("streamed %d records, want %d", len(got), n)
+			}
+			for i, rec := range got {
+				if rec.ID != int64(i) {
+					t.Fatalf("record %d has id %d: stream out of order", i, rec.ID)
+				}
+			}
+
+			// Caught up: empty batch, cursor unchanged.
+			data, _, next, err := j.ReadAfter(cur, 1<<20)
+			if err != nil || len(data) != 0 || next != cur {
+				t.Fatalf("caught-up read = %d bytes, next %v, err %v (cursor %v)", len(data), next, err, cur)
+			}
+
+			// New appends become visible from the same cursor.
+			appendN(t, j, n, 5)
+			more, _ := streamAll(t, j, cur, 1<<20)
+			if len(more) != 5 || more[0].ID != n {
+				t.Fatalf("tail read got %d records (first %+v), want 5 starting at %d", len(more), more[0], n)
+			}
+		})
+	}
+}
+
+// TestReadAfterSkipsPoisonedTail injects a partial write so a torn frame
+// lands on disk, and checks the stream serves only acknowledged records:
+// the torn tail is skipped, and the stream resumes in the next segment.
+func TestReadAfterSkipsPoisonedTail(t *testing.T) {
+	dir := t.TempDir()
+	inj := faults.NewInjector(1)
+	cfg := testConfig(t, dir)
+	cfg.FS = faults.NewFaultFS(faults.OS, inj, nil)
+	j, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer j.Close()
+
+	appendN(t, j, 0, 3)
+	inj.PartialWrites("fs.write", 1)
+	bad := Record{Type: RecordLogin, ID: 99, Unix: 99}
+	if err := j.Append(bad); err == nil {
+		t.Fatal("partial write was acknowledged")
+	}
+	inj.Heal("fs.write")
+	appendN(t, j, 10, 2) // rotates past the poisoned segment
+
+	got, _ := streamAll(t, j, Cursor{}, 1<<20)
+	want := []int64{0, 1, 2, 10, 11}
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d records %v, want ids %v", len(got), got, want)
+	}
+	for i, id := range want {
+		if got[i].ID != id {
+			t.Fatalf("record %d has id %d, want %d", i, got[i].ID, id)
+		}
+	}
+}
+
+// TestReadAfterCursorCompacted checks both resync triggers: a cursor below
+// retained history, and a zero cursor when genesis is already compacted.
+func TestReadAfterCursorCompacted(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig(t, dir)
+	j, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer j.Close()
+
+	appendN(t, j, 0, 5)
+	boundary, err := j.Rotate()
+	if err != nil {
+		t.Fatalf("rotate: %v", err)
+	}
+	appendN(t, j, 5, 5)
+	if _, err := j.CompactBefore(boundary); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+
+	if _, _, _, err := j.ReadAfter(Cursor{Seg: 1, Off: SegmentDataStart}, 1<<20); !errors.Is(err, ErrCursorCompacted) {
+		t.Fatalf("stale cursor error = %v, want ErrCursorCompacted", err)
+	}
+	if _, _, _, err := j.ReadAfter(Cursor{}, 1<<20); !errors.Is(err, ErrCursorCompacted) {
+		t.Fatalf("zero cursor after compaction error = %v, want ErrCursorCompacted", err)
+	}
+
+	// From the compaction boundary the stream is intact.
+	got, _ := streamAll(t, j, Cursor{Seg: boundary, Off: SegmentDataStart}, 1<<20)
+	if len(got) != 5 || got[0].ID != 5 {
+		t.Fatalf("post-boundary stream = %+v, want ids 5..9", got)
+	}
+}
+
+func TestReadAfterCursorAhead(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(testConfig(t, dir))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer j.Close()
+	appendN(t, j, 0, 2)
+
+	for _, c := range []Cursor{{Seg: 99, Off: SegmentDataStart}, {Seg: 1, Off: 1 << 30}} {
+		if _, _, _, err := j.ReadAfter(c, 1<<20); !errors.Is(err, ErrCursorAhead) {
+			t.Fatalf("ReadAfter(%v) error = %v, want ErrCursorAhead", c, err)
+		}
+	}
+}
+
+func TestScanStreamStopsAtDamageAndApplyError(t *testing.T) {
+	var buf []byte
+	for i := 0; i < 3; i++ {
+		buf = append(buf, encodeFrame(Record{Type: RecordLogin, ID: int64(i), Unix: int64(i)})...)
+	}
+	// Torn tail: half a frame.
+	torn := append(append([]byte{}, buf...), encodeFrame(Record{Type: RecordLogin, ID: 9, Unix: 9})[:10]...)
+	var n int
+	consumed, isTorn, err := ScanStream(torn, func(Record) error { n++; return nil })
+	if err != nil || !isTorn || n != 3 || consumed != 3*FrameSize {
+		t.Fatalf("torn scan: consumed=%d n=%d torn=%v err=%v", consumed, n, isTorn, err)
+	}
+
+	// Apply error: consumed counts only applied records.
+	boom := errors.New("boom")
+	n = 0
+	consumed, isTorn, err = ScanStream(buf, func(Record) error {
+		if n == 2 {
+			return boom
+		}
+		n++
+		return nil
+	})
+	if !errors.Is(err, boom) || isTorn || consumed != 2*FrameSize {
+		t.Fatalf("apply-error scan: consumed=%d torn=%v err=%v", consumed, isTorn, err)
+	}
+
+	// Corrupt CRC stops the scan without error.
+	flipped := append([]byte{}, buf...)
+	flipped[FrameSize+frameOverhead] ^= 0x40
+	n = 0
+	consumed, isTorn, err = ScanStream(flipped, func(Record) error { n++; return nil })
+	if err != nil || !isTorn || n != 1 || consumed != FrameSize {
+		t.Fatalf("corrupt scan: consumed=%d n=%d torn=%v err=%v", consumed, n, isTorn, err)
+	}
+}
+
+func TestTailGapRecords(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig(t, dir)
+	cfg.SegmentBytes = minSegmentBytes
+	j, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer j.Close()
+
+	const n = 300 // spans segments
+	appendN(t, j, 0, n)
+	if gap := j.TailGapRecords(Cursor{}); gap != n {
+		t.Fatalf("gap from genesis = %d, want %d", gap, n)
+	}
+	_, cur := streamAll(t, j, Cursor{}, 1<<20)
+	if gap := j.TailGapRecords(cur); gap != 0 {
+		t.Fatalf("gap at caught-up cursor = %d, want 0", gap)
+	}
+	appendN(t, j, n, 7)
+	if gap := j.TailGapRecords(cur); gap != 7 {
+		t.Fatalf("gap after 7 more appends = %d, want 7", gap)
+	}
+	if gap := j.TailGapRecords(Cursor{Seg: 1 << 20, Off: 0}); gap != 0 {
+		t.Fatalf("gap for ahead cursor = %d, want 0", gap)
+	}
+}
+
+func TestInspectDirReports(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(testConfig(t, dir))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	appendN(t, j, 0, 4)
+	if _, err := j.Rotate(); err != nil {
+		t.Fatalf("rotate: %v", err)
+	}
+	appendN(t, j, 4, 2)
+	if err := j.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Tear the tail of segment 1, and drop in a bogus segment 4 whose
+	// header is garbage.
+	seg1 := segPath(dir, 1)
+	data, err := os.ReadFile(seg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(seg1, data[:len(data)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	garbage := []byte("not a segment")
+	if err := os.WriteFile(segPath(dir, 4), garbage, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reports, err := InspectDir(nil, dir, 2)
+	if err != nil {
+		t.Fatalf("inspect: %v", err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("got %d reports, want 3: %+v", len(reports), reports)
+	}
+	r1 := reports[0]
+	if !r1.HeaderOK || !r1.Torn || r1.Records != 3 || r1.Truncated != FrameSize-10 || len(r1.Sample) != 2 {
+		t.Fatalf("segment 1 report %+v", r1)
+	}
+	if r1.TornAt != SegmentDataStart+3*FrameSize {
+		t.Fatalf("segment 1 torn at %d, want %d", r1.TornAt, SegmentDataStart+3*FrameSize)
+	}
+	r2 := reports[1]
+	if !r2.HeaderOK || r2.Torn || r2.Records != 2 || r2.Sample[0].ID != 4 {
+		t.Fatalf("segment 2 report %+v", r2)
+	}
+	r4 := reports[2]
+	if r4.HeaderOK || !r4.Torn || r4.Truncated != int64(len(garbage)) {
+		t.Fatalf("segment 4 report %+v", r4)
+	}
+}
