@@ -16,7 +16,7 @@ GOVULNCHECK := golang.org/x/vuln/cmd/govulncheck@v1.1.3
 # 82.3; the gap absorbs run-to-run variance from timing-dependent tests.)
 COVER_BASELINE := 82.0
 
-.PHONY: ci fmt-check vet staticcheck govulncheck build test cover obs obs-bench chaos wal-chaos repl-chaos bench-short bench clean
+.PHONY: ci fmt-check vet staticcheck govulncheck build test cover obs obs-bench chaos wal-chaos repl-chaos shard-chaos bench-record bench-short bench clean
 
 ci: fmt-check vet staticcheck govulncheck build test cover obs bench-short
 
@@ -82,6 +82,18 @@ wal-chaos:
 # rebooted old primary.
 repl-chaos:
 	$(GO) test -race -run TestChaosReplFailover -count 1 ./internal/server
+
+# The partitioning half: 50 seeded kill-mid-migration iterations of a
+# two-group control plane over a hostile transport, asserting zero
+# acked-write loss, exactly-one-owner after reconcile, and byte-identical
+# migrated archives.
+shard-chaos:
+	$(GO) test -race -run TestChaosShardMigration -count 1 ./internal/server
+
+# Refresh BENCH_router.json, the committed router-overhead record
+# (acceptance: router_overhead_pct <= 5 over the unrouted baseline).
+bench-record:
+	PRORP_BENCH_RECORD=$(CURDIR)/BENCH_router.json $(GO) test -run TestRecordRouterBench -count 1 ./internal/server
 
 # One pass over the fleet-concurrency benchmark, as a smoke test.
 bench-short:

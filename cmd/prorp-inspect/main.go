@@ -10,12 +10,18 @@
 // to reach for when a replica won't converge or a boot replay logs
 // truncation.
 //
+// `prorp-inspect shardmap` is the partitioned-control-plane counterpart:
+// it CRC-verifies a PRM1 shard-map file and prints the map version, the
+// group table, and the slot ranges each group owns — the tool to reach for
+// when two groups disagree about a slot or a node boots with a stale map.
+//
 // Usage:
 //
 //	prorp-sim -telemetry run.csv -policy proactive -days 4
 //	prorp-inspect -in run.csv -from-day 15 -days 4
 //	prorp-inspect wal -dir /var/lib/prorp/wal
 //	prorp-inspect wal -dir /var/lib/prorp/wal -records 5
+//	prorp-inspect shardmap /var/lib/prorp/shard.map
 package main
 
 import (
@@ -26,12 +32,17 @@ import (
 	"time"
 
 	"prorp"
+	"prorp/internal/shardmap"
 	"prorp/internal/wal"
 )
 
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "wal" {
 		inspectWAL(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "shardmap" {
+		inspectShardmap(os.Args[2:])
 		return
 	}
 
@@ -111,6 +122,35 @@ func inspectWAL(args []string) {
 		os.Exit(1)
 	}
 	fmt.Println(", all clean")
+}
+
+// inspectShardmap is the `shardmap` subcommand: CRC-verify a PRM1 shard-map
+// file and print its version, groups, and slot ownership. Exit status 1
+// means the file is missing or damaged — scriptable as a health probe.
+func inspectShardmap(args []string) {
+	fs := flag.NewFlagSet("prorp-inspect shardmap", flag.ExitOnError)
+	fs.Parse(args)
+	path := fs.Arg(0)
+	if path == "" {
+		fatalf("shardmap: usage: prorp-inspect shardmap <path>")
+	}
+
+	m, size, err := shardmap.Inspect(nil, path)
+	if err != nil {
+		fatalf("shardmap: %s: %v", path, err)
+	}
+
+	fmt.Printf("%s  %d bytes\n", path, size)
+	fmt.Printf("  crc: ok (PRM1)\n")
+	fmt.Printf("  version: %d\n", m.Version())
+	fmt.Printf("  groups: %d\n", len(m.Groups()))
+	for _, g := range m.Groups() {
+		fmt.Printf("    %-12s %d slots\n", g, len(m.OwnedSlots(g)))
+	}
+	fmt.Printf("  slot ranges (%d slots):\n", shardmap.NumSlots)
+	for _, r := range m.Ranges() {
+		fmt.Printf("    [%2d..%2d] -> %s\n", r.Start, r.End, r.Group)
+	}
 }
 
 func fatalf(format string, args ...any) {

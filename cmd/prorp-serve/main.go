@@ -11,6 +11,8 @@
 //	prorp-serve -debug-addr 127.0.0.1:6060   # pprof on a separate listener
 //	prorp-serve -role replica -primary-addr http://primary:8080 \
 //	    -wal-dir /var/lib/prorp/wal -snapshot /var/lib/prorp/fleet.snap
+//	prorp-serve -group g1 -groups g2=http://g2:8080,g3=http://g3:8080 \
+//	    -shardmap /var/lib/prorp/shard.map   # partitioned control plane
 //	prorp-serve -version
 //
 // See internal/server for the endpoint list, and "Running as a service" in
@@ -29,6 +31,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime/debug"
+	"strings"
 	"syscall"
 	"time"
 
@@ -71,6 +74,26 @@ func version() string {
 	return out + " " + info.GoVersion
 }
 
+// parseGroupPeers parses the -groups flag: comma-separated name=base-url
+// pairs naming every OTHER group's primary.
+func parseGroupPeers(s string) (map[string]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	peers := make(map[string]string)
+	for _, pair := range strings.Split(s, ",") {
+		name, addr, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || name == "" || addr == "" {
+			return nil, fmt.Errorf("bad pair %q, want name=base-url", pair)
+		}
+		if _, dup := peers[name]; dup {
+			return nil, fmt.Errorf("duplicate group %q", name)
+		}
+		peers[name] = strings.TrimRight(addr, "/")
+	}
+	return peers, nil
+}
+
 func main() {
 	var (
 		addr          = flag.String("addr", ":8080", "listen address")
@@ -92,6 +115,11 @@ func main() {
 		primaryAddr   = flag.String("primary-addr", "", "primary's base URL for -role=replica (e.g. http://primary:8080)")
 		replPoll      = flag.Duration("repl-poll-interval", 0, "follower poll cadence while caught up (0 = default 250ms)")
 		replBatch     = flag.Int("repl-batch-bytes", 0, "max replication stream batch size in bytes (0 = default 256 KiB)")
+		group         = flag.String("group", "", "this node's shard group name; non-empty joins a horizontally partitioned control plane (empty = single-group layout)")
+		groups        = flag.String("groups", "", "comma-separated peer groups as name=base-url pairs (e.g. g2=http://g2:8080,g3=http://g3:8080); requires -group")
+		shardmapPath  = flag.String("shardmap", "", "PRM1 shard-map file: restored on boot, rewritten on every map adoption (empty = in-memory map)")
+		scatterTO     = flag.Duration("scatter-timeout", 0, "scatter-gather fan-out deadline for fleet-wide surfaces (0 = default 2s)")
+		routeRedirect = flag.Bool("route-redirect", false, "answer remote-owned requests with 307 + owner address instead of proxying server-side")
 	)
 	flag.Parse()
 
@@ -133,6 +161,14 @@ func main() {
 	backoff.Base = *retryBase
 	backoff.Max = *retryMax
 
+	peers, err := parseGroupPeers(*groups)
+	if err != nil {
+		log.Fatalf("prorp-serve: -groups: %v", err)
+	}
+	if *group == "" && (len(peers) > 0 || *shardmapPath != "") {
+		log.Fatalf("prorp-serve: -groups/-shardmap require -group")
+	}
+
 	srv, err := server.New(server.Config{
 		Options:           opts,
 		Shards:            *shards,
@@ -148,6 +184,11 @@ func main() {
 		PrimaryAddr:       *primaryAddr,
 		ReplPollInterval:  *replPoll,
 		ReplMaxBatchBytes: *replBatch,
+		Group:             *group,
+		GroupPeers:        peers,
+		ShardmapPath:      *shardmapPath,
+		ScatterTimeout:    *scatterTO,
+		RouterRedirect:    *routeRedirect,
 		Logf:              log.Printf,
 	})
 	if err != nil {

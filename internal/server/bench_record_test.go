@@ -1,0 +1,80 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestRecordRouterBench measures the router's cost on the per-database
+// decision path and the scatter-gather KPI merge, and records the numbers
+// to the file named by PRORP_BENCH_RECORD (skipped otherwise). `make
+// bench-record` runs it to refresh BENCH_router.json, the committed
+// perf-trajectory record: router_overhead_pct is the acceptance number
+// (<= 5% over the unrouted baseline).
+func TestRecordRouterBench(t *testing.T) {
+	out := os.Getenv("PRORP_BENCH_RECORD")
+	if out == "" {
+		t.Skip("set PRORP_BENCH_RECORD=<path> to record BENCH_router.json")
+	}
+
+	clock := &fakeClock{t: t0.Add(9 * time.Hour)}
+	solo, err := New(Config{Options: testOptions(), Shards: 4, Now: clock.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer solo.Close()
+	srvs := newGroupCluster(t, clock, 3, &mapDoer{}, nil)
+	g1 := srvs["g1"]
+	id := idsOwnedBy(t, g1.router.mapP.Load(), "g1", 1, 1)[0]
+	for _, s := range []*Server{solo, g1} {
+		code, rep := call(t, s, "POST", "/v1/db", fmt.Sprintf(`{"id":%d}`, id))
+		wantStatus(t, code, http.StatusCreated, rep)
+	}
+
+	get := func(s *Server, path string) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rec := httptest.NewRecorder()
+				s.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+				if rec.Code != http.StatusOK {
+					b.Fatalf("GET %s = %d", path, rec.Code)
+				}
+			}
+		}
+	}
+	dbPath := fmt.Sprintf("/v1/db/%d", id)
+	routerOff := testing.Benchmark(get(solo, dbPath))
+	routerOn := testing.Benchmark(get(g1, dbPath))
+	scatterKPI := testing.Benchmark(get(g1, "/v1/kpi"))
+
+	offNs := float64(routerOff.NsPerOp())
+	onNs := float64(routerOn.NsPerOp())
+	overheadPct := (onNs - offNs) / offNs * 100
+
+	record := map[string]any{
+		"go":        runtime.Version(),
+		"generated": time.Now().UTC().Format(time.RFC3339),
+		"benchmarks": map[string]any{
+			"db_get_router_off_ns_op":   routerOff.NsPerOp(),
+			"db_get_router_on_ns_op":    routerOn.NsPerOp(),
+			"router_overhead_pct":       overheadPct,
+			"scatter_kpi_3groups_ns_op": scatterKPI.NsPerOp(),
+		},
+	}
+	data, err := json.MarshalIndent(record, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("router off %v/op, on %v/op (%.2f%% overhead), scatter KPI %v/op — recorded to %s",
+		routerOff.NsPerOp(), routerOn.NsPerOp(), overheadPct, scatterKPI.NsPerOp(), out)
+}

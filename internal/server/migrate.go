@@ -1,0 +1,397 @@
+// Live slot migration: POST /v1/shard/migrate snapshot-ships one slot's
+// databases to the new owning group and cuts the slot over behind a write
+// fence, so no acknowledged write is lost mid-move.
+//
+// Protocol (source side):
+//
+//  1. fence the slot — mutations get 503 + Retry-After, reads keep serving
+//  2. quiesce under the exclusive side of walGate and archive every
+//     database in the slot (PRS2-framed, CRC per database)
+//  3. ship the PRT1 transfer (proposed map + archives) to the destination,
+//     retrying transient failures; the destination restores, persists a
+//     snapshot, and adopts the bumped map BEFORE acking — so a lost ack
+//     still left a durable owner
+//  4. on ack (or a lost-ack probe showing the destination owns the slot):
+//     adopt the bumped map, journal-delete the moved databases, unfence
+//
+// A crash anywhere leaves the system recoverable: before the destination's
+// durable adopt the source still owns everything; after it, the bumped map
+// wins reconciliation and the source's stale copies are swept.
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"prorp/internal/shardmap"
+	"prorp/internal/wal"
+)
+
+// transferMagic frames a PRT1 slot-transfer payload.
+const transferMagic uint32 = 0x50525431 // "PRT1"
+
+// maxTransferBytes caps one slot transfer (matches the resync fetch cap).
+const maxTransferBytes = 1 << 30
+
+// transferEntry is one database inside a transfer: its id and its
+// PRS2-framed archive (CRC inside the frame).
+type transferEntry struct {
+	id     int64
+	framed []byte
+}
+
+// encodeTransfer serializes a slot transfer:
+//
+//	u32 magic | u16 slot | u32 mapLen | PRM1 map | u32 count |
+//	per db: u64 id | u32 len | PRS2 container
+//
+// The map and every archive carry their own CRCs, so a mangled transfer is
+// rejected structurally rather than half-applied.
+func encodeTransfer(slot int, m *shardmap.Map, entries []transferEntry) []byte {
+	mb := m.Encode()
+	var b []byte
+	b = binary.LittleEndian.AppendUint32(b, transferMagic)
+	b = binary.LittleEndian.AppendUint16(b, uint16(slot))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(mb)))
+	b = append(b, mb...)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(entries)))
+	for _, e := range entries {
+		b = binary.LittleEndian.AppendUint64(b, uint64(e.id))
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(e.framed)))
+		b = append(b, e.framed...)
+	}
+	return b
+}
+
+// decodeTransfer parses and CRC-verifies a PRT1 payload, returning the
+// verified archive payload (container stripped) per database.
+func decodeTransfer(b []byte) (slot int, m *shardmap.Map, dbs map[int64][]byte, err error) {
+	fail := func(format string, args ...any) (int, *shardmap.Map, map[int64][]byte, error) {
+		return 0, nil, nil, fmt.Errorf("transfer: "+format, args...)
+	}
+	if len(b) < 10 {
+		return fail("%d bytes, want at least header", len(b))
+	}
+	if got := binary.LittleEndian.Uint32(b[0:4]); got != transferMagic {
+		return fail("bad magic %#x", got)
+	}
+	slot = int(binary.LittleEndian.Uint16(b[4:6]))
+	if slot >= shardmap.NumSlots {
+		return fail("slot %d out of range", slot)
+	}
+	mapLen := int(binary.LittleEndian.Uint32(b[6:10]))
+	b = b[10:]
+	if len(b) < mapLen+4 {
+		return fail("truncated map")
+	}
+	m, err = shardmap.Decode(b[:mapLen])
+	if err != nil {
+		return fail("map: %v", err)
+	}
+	count := int(binary.LittleEndian.Uint32(b[mapLen : mapLen+4]))
+	b = b[mapLen+4:]
+	dbs = make(map[int64][]byte, count)
+	for i := 0; i < count; i++ {
+		if len(b) < 12 {
+			return fail("truncated entry %d", i)
+		}
+		id := int64(binary.LittleEndian.Uint64(b[0:8]))
+		l := int(binary.LittleEndian.Uint32(b[8:12]))
+		b = b[12:]
+		if len(b) < l {
+			return fail("truncated archive for database %d", id)
+		}
+		payload, _, verr := verifyContainer(b[:l])
+		if verr != nil {
+			return fail("database %d archive: %v", id, verr)
+		}
+		if shardmap.SlotOf(int(id)) != slot {
+			return fail("database %d does not hash to slot %d", id, slot)
+		}
+		dbs[id] = payload
+		b = b[l:]
+	}
+	if len(b) != 0 {
+		return fail("%d trailing bytes", len(b))
+	}
+	return slot, m, dbs, nil
+}
+
+// stopped reports whether Kill/Close has begun: the migration cutover
+// checks it between steps so a killed server approximates a crash instead
+// of finishing the protocol on a dead fleet.
+func (s *Server) stopped() bool {
+	select {
+	case <-s.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+type migrateRequest struct {
+	Slot int    `json:"slot"`
+	To   string `json:"to"`
+}
+
+// handleShardMigrate is the source side of a slot migration.
+func (s *Server) handleShardMigrate(w http.ResponseWriter, r *http.Request) {
+	rt := s.router
+	if rt == nil {
+		writeJSON(w, http.StatusNotFound, errorJSON{Error: "server is not partitioned (no -group configured)"})
+		return
+	}
+	if s.rejectNonPrimary(w) {
+		return
+	}
+	var req migrateRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxCreateBody)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "bad migrate body: " + err.Error()})
+		return
+	}
+	m := rt.mapP.Load()
+	switch {
+	case req.Slot < 0 || req.Slot >= shardmap.NumSlots:
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: fmt.Sprintf("slot %d out of range [0,%d)", req.Slot, shardmap.NumSlots)})
+		return
+	case !m.HasGroup(req.To):
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: fmt.Sprintf("unknown destination group %q", req.To)})
+		return
+	case m.Owner(req.Slot) == req.To:
+		// Idempotent: the slot already lives there (a retried migrate).
+		writeJSON(w, http.StatusOK, map[string]any{
+			"slot": req.Slot, "from": rt.group, "to": req.To,
+			"version": m.Version(), "databases": 0, "noop": true,
+		})
+		return
+	case m.Owner(req.Slot) != rt.group:
+		writeJSON(w, http.StatusConflict, errorJSON{Error: fmt.Sprintf(
+			"slot %d is owned by %q, not this group (%q)", req.Slot, m.Owner(req.Slot), rt.group)})
+		return
+	}
+	addr := rt.peers[req.To]
+	if addr == "" {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: fmt.Sprintf("no address for group %q", req.To)})
+		return
+	}
+
+	s.migrateMu.Lock()
+	defer s.migrateMu.Unlock()
+	rt.fence(req.Slot)
+	fenced := true
+	defer func() {
+		if fenced {
+			rt.unfence(req.Slot)
+		}
+	}()
+
+	// Quiesce: in-flight writes hold walGate shared, so the exclusive lock
+	// drains them; new writes to the slot are fence-rejected. The archives
+	// taken here are the slot's complete acknowledged state.
+	var entries []transferEntry
+	s.walGate.Lock()
+	var archiveErr error
+	for _, id := range s.Fleet().IDs() {
+		if shardmap.SlotOf(id) != req.Slot {
+			continue
+		}
+		var buf bytes.Buffer
+		buf.Write(make([]byte, storeHeader2Size)) // container headroom
+		if err := s.Fleet().Snapshot(id, &buf); err != nil {
+			archiveErr = fmt.Errorf("archiving database %d: %w", id, err)
+			break
+		}
+		entries = append(entries, transferEntry{id: int64(id), framed: frameContainer(buf.Bytes(), 0)})
+	}
+	s.walGate.Unlock()
+	if archiveErr != nil {
+		rt.migrationsFail.Add(1)
+		writeErr(w, archiveErr)
+		return
+	}
+
+	proposed, err := m.WithOwner(req.Slot, req.To)
+	if err != nil {
+		rt.migrationsFail.Add(1)
+		writeErr(w, err)
+		return
+	}
+	adopted, err := s.shipTransfer(addr, req.To, req.Slot, encodeTransfer(req.Slot, proposed, entries), proposed)
+	if err != nil {
+		rt.migrationsFail.Add(1)
+		s.logf("migration of slot %d to %q failed: %v", req.Slot, req.To, err)
+		writeJSON(w, http.StatusBadGateway, errorJSON{Error: fmt.Sprintf(
+			"shipping slot %d to %q: %v", req.Slot, req.To, err)})
+		return
+	}
+	if s.stopped() {
+		// Killed mid-protocol: behave like a crash — no cutover. Boot-time
+		// reconciliation settles ownership from the durable maps.
+		writeJSON(w, http.StatusServiceUnavailable, errorJSON{Error: "server stopping"})
+		return
+	}
+
+	// Cutover: adopt (and persist) the bumped map first — from here the
+	// bumped map wins any reconciliation — then journal-delete the moved
+	// databases. A crash between the two leaves stale local copies that the
+	// boot sweep removes.
+	rt.adopt(adopted)
+	for _, e := range entries {
+		id := int(e.id)
+		s.walGate.RLock()
+		derr := s.journalize(wal.RecordDelete, id, s.now())
+		if derr == nil {
+			derr = s.Fleet().Delete(id)
+		}
+		s.walGate.RUnlock()
+		if derr != nil {
+			s.logf("migration: dropping moved database %d: %v (boot sweep will retry)", id, derr)
+			continue
+		}
+		s.wakes.schedule(id, time.Time{})
+	}
+	rt.unfence(req.Slot)
+	fenced = false
+	rt.migrations.Add(1)
+	rt.dbsMigrated.Add(uint64(len(entries)))
+	s.logf("migrated slot %d (%d databases) to %q, map v%d", req.Slot, len(entries), req.To, adopted.Version())
+	writeJSON(w, http.StatusOK, map[string]any{
+		"slot": req.Slot, "from": rt.group, "to": req.To,
+		"version": adopted.Version(), "databases": len(entries),
+	})
+}
+
+// shipTransfer POSTs the transfer to the destination with retries. It
+// returns the map the destination durably owns: normally the proposed map,
+// but possibly a newer one (a retried adopt reports the destination's
+// current version). When every attempt fails it probes the destination's
+// map — a lost ack after a durable adopt must count as success, otherwise
+// the source would keep serving a slot the destination already owns.
+func (s *Server) shipTransfer(addr, to string, slot int, body []byte, proposed *shardmap.Map) (*shardmap.Map, error) {
+	attempts := s.cfg.Backoff.Attempts
+	if attempts <= 0 {
+		attempts = 1
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts && !s.stopped(); attempt++ {
+		if attempt > 0 {
+			s.clock.Sleep(s.cfg.Backoff.Delay(attempt))
+		}
+		req, err := http.NewRequest(http.MethodPost, addr+"/v1/shard/adopt", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		resp, err := s.router.doer.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		respBody, rerr := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			return proposed, nil
+		case resp.StatusCode >= 400 && resp.StatusCode < 500:
+			// Structural refusal: retrying the same payload cannot help.
+			return nil, fmt.Errorf("destination refused: status %d: %s", resp.StatusCode, bytes.TrimSpace(respBody))
+		default:
+			lastErr = fmt.Errorf("status %d (%v)", resp.StatusCode, rerr)
+		}
+	}
+	// Lost-ack probe: if the destination durably adopted before its ack
+	// reached us, its map already shows the new ownership.
+	if dm, perr := s.fetchGroupMap(addr); perr == nil &&
+		dm.Version() >= proposed.Version() && dm.Owner(slot) == to {
+		s.logf("migration: ack lost but destination owns slot %d at v%d; treating as success", slot, dm.Version())
+		return dm, nil
+	}
+	if lastErr == nil {
+		lastErr = errors.New("server stopping")
+	}
+	return nil, lastErr
+}
+
+// handleShardAdopt is the destination side: verify the transfer, restore
+// every database, persist a snapshot (the restored state must survive a
+// crash BEFORE the ack — the same durable-adoption ordering as replResync),
+// adopt the bumped map, then ack.
+func (s *Server) handleShardAdopt(w http.ResponseWriter, r *http.Request) {
+	rt := s.router
+	if rt == nil {
+		writeJSON(w, http.StatusNotFound, errorJSON{Error: "server is not partitioned (no -group configured)"})
+		return
+	}
+	if s.rejectNonPrimary(w) {
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxTransferBytes))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "reading transfer: " + err.Error()})
+		return
+	}
+	slot, proposed, dbs, err := decodeTransfer(body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+		return
+	}
+	if proposed.Owner(slot) != rt.group {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: fmt.Sprintf(
+			"transfer assigns slot %d to %q, not this group (%q)", slot, proposed.Owner(slot), rt.group)})
+		return
+	}
+	s.migrateMu.Lock()
+	defer s.migrateMu.Unlock()
+	cur := rt.mapP.Load()
+	if proposed.Version() <= cur.Version() {
+		if cur.Owner(slot) == rt.group {
+			// Duplicate of an adopt we already own durably (retried after a
+			// lost ack): acknowledge idempotently.
+			writeJSON(w, http.StatusOK, map[string]any{
+				"version": cur.Version(), "databases": 0, "adopted": false,
+			})
+			return
+		}
+		writeJSON(w, http.StatusConflict, errorJSON{Error: fmt.Sprintf(
+			"transfer map v%d is not newer than current v%d", proposed.Version(), cur.Version())})
+		return
+	}
+
+	// Restore each database: delete-then-restore makes a re-shipped
+	// transfer an idempotent replace of any partial earlier attempt.
+	restored := 0
+	for id, payload := range dbs {
+		s.walGate.RLock()
+		s.Fleet().Delete(int(id)) // ErrUnknownDatabase is the common case
+		wakeAt, rerr := s.Fleet().Restore(int(id), bytes.NewReader(payload))
+		s.walGate.RUnlock()
+		if rerr != nil {
+			writeJSON(w, http.StatusInternalServerError, errorJSON{Error: fmt.Sprintf(
+				"restoring database %d: %v", id, rerr)})
+			return
+		}
+		s.wakes.schedule(int(id), wakeAt)
+		restored++
+	}
+	// Durability before acknowledgement: the restored databases enter a
+	// snapshot (with a fresh WAL boundary) before the source is told it may
+	// delete its copies. Without this, a crash after the ack loses the slot.
+	if s.store != nil {
+		if _, serr := s.writeSnapshot(); serr != nil {
+			writeJSON(w, http.StatusServiceUnavailable, errorJSON{Error: fmt.Sprintf(
+				"persisting adopted slot %d: %v", slot, serr)})
+			return
+		}
+	}
+	rt.adopt(proposed)
+	s.logf("adopted slot %d (%d databases) at map v%d", slot, restored, proposed.Version())
+	writeJSON(w, http.StatusOK, map[string]any{
+		"version": proposed.Version(), "databases": restored, "adopted": true,
+	})
+}

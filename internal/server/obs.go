@@ -3,6 +3,7 @@ package server
 import (
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"prorp"
@@ -66,7 +67,10 @@ func (s *Server) instrumented(method, route string, h http.HandlerFunc) http.Han
 			sw.status = http.StatusOK
 		}
 		lat := okHist
-		if sw.status >= 400 {
+		// 307 is a routing verdict (the shard router bouncing a request to
+		// its owning group), not a success on this route: it gets its own
+		// numeric series so "ok" stays the served-here population.
+		if sw.status >= 400 || sw.status == http.StatusTemporaryRedirect {
 			lat = hist(strconv.Itoa(sw.status)) // bounded: HTTP status codes
 		}
 		lat.ObserveSince(t0)
@@ -177,6 +181,44 @@ func (s *Server) registerServerMetrics() {
 	}
 
 	s.registerReplMetrics()
+	s.registerRouterMetrics()
+}
+
+// registerRouterMetrics exposes the shard router's state and traffic
+// split: the map version and owned-slot gauges, the local/proxied/
+// redirected/misrouted request partition, scatter-gather accounting, and
+// migration outcomes. No-op in a single-group layout.
+func (s *Server) registerRouterMetrics() {
+	rt := s.router
+	if rt == nil {
+		return
+	}
+	reg := s.reg
+	reg.GaugeFunc("prorp_shardmap_version", "Current shard-map version (the routing epoch).",
+		func() float64 { return float64(rt.mapP.Load().Version()) })
+	reg.GaugeFunc("prorp_router_owned_slots", "Slots the current map assigns to this group.",
+		func() float64 { return float64(rt.ownedSlotCount()) })
+	routerCounters := []struct {
+		name, help string
+		v          *atomic.Uint64
+	}{
+		{"prorp_router_local_requests_total", "Per-database requests owned and served locally.", &rt.localRequests},
+		{"prorp_router_proxied_total", "Per-database requests proxied to their owning group.", &rt.proxied},
+		{"prorp_router_redirected_total", "Per-database requests answered with a 307/421 routing verdict.", &rt.redirected},
+		{"prorp_router_misrouted_total", "Requests refused for stale map versions or forwarding loops.", &rt.misrouted},
+		{"prorp_router_fence_rejects_total", "Writes refused by a migration write fence.", &rt.fenceRejects},
+		{"prorp_scatter_requests_total", "Scatter-gather fan-outs started.", &rt.scatterRequests},
+		{"prorp_scatter_failures_total", "Per-group scatter failures (errors and timeouts).", &rt.scatterFailures},
+		{"prorp_scatter_partials_total", "Scatter-gathers that returned partial results.", &rt.scatterPartials},
+		{"prorp_shard_migrations_total", "Slot migrations completed by this group as source.", &rt.migrations},
+		{"prorp_shard_migration_failures_total", "Slot migrations that failed or aborted.", &rt.migrationsFail},
+		{"prorp_shard_dbs_migrated_total", "Databases shipped out by completed migrations.", &rt.dbsMigrated},
+		{"prorp_shardmap_adoptions_total", "Newer shard maps adopted (from peers or migration cutover).", &rt.adoptions},
+	}
+	for _, c := range routerCounters {
+		v := c.v
+		reg.CounterFunc(c.name, c.help, func() uint64 { return v.Load() })
+	}
 }
 
 // kpiField builds a sampler for one KPI counter. Each scrape re-reads the
@@ -193,6 +235,14 @@ func (s *Server) Registry() *obs.Registry { return s.reg }
 func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// ?scope=global on a multi-group node merges every group's exposition
+	// under an injected group label (peers answer their plain local scrape,
+	// so the fan-out never recurses). The default stays local: scrapes are
+	// frequent and per-node.
+	if s.router.multiGroup() && r.URL.Query().Get("scope") == "global" {
+		s.handleMetricsGlobal(w)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.reg.WritePrometheus(w)
 }

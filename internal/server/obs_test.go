@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
@@ -347,5 +348,46 @@ func TestLatencyHistogramStatusLabels(t *testing.T) {
 	if n := sampleValue(t, samples, "prorp_http_requests_total",
 		map[string]string{"route": "/v1/db", "method": "POST", "code": "503"}); n != 1 {
 		t.Fatalf("rejected create request counter = %v, want 1", n)
+	}
+}
+
+// TestRouterStatusLabelSeries pins the routing verdicts' place in the
+// latency histogram: a 307 redirect and a 421 refusal are routing
+// outcomes, not successes on this node, so each lands in its own numeric
+// status series and the "ok" population stays pure.
+func TestRouterStatusLabelSeries(t *testing.T) {
+	clock := &fakeClock{t: t0}
+	srvs := newGroupCluster(t, clock, 2, &mapDoer{}, func(g string, cfg *Config) {
+		cfg.RouterRedirect = true
+	})
+	g1 := srvs["g1"]
+	m := g1.router.mapP.Load()
+	remote := idsOwnedBy(t, m, "g2", 1, 1)[0]
+
+	// A remote-owned read bounces with 307; a stale-version read refuses
+	// with 421.
+	rec := httptest.NewRecorder()
+	g1.ServeHTTP(rec, httptest.NewRequest("GET", fmt.Sprintf("/v1/db/%d", remote), nil))
+	if rec.Code != http.StatusTemporaryRedirect {
+		t.Fatalf("remote read = %d, want 307", rec.Code)
+	}
+	req := httptest.NewRequest("GET", fmt.Sprintf("/v1/db/%d", remote), nil)
+	req.Header.Set(HeaderShardmapVersion, "0")
+	rec = httptest.NewRecorder()
+	g1.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMisdirectedRequest {
+		t.Fatalf("stale read = %d, want 421", rec.Code)
+	}
+
+	samples := scrape(t, g1)
+	for _, status := range []string{"307", "421"} {
+		labels := map[string]string{"route": "/v1/db/{id}", "method": "GET", "status": status}
+		if n := sampleValue(t, samples, "prorp_http_request_duration_seconds_count", labels); n != 1 {
+			t.Fatalf("status=%s histogram count = %v, want 1", status, n)
+		}
+	}
+	okLabels := map[string]string{"route": "/v1/db/{id}", "method": "GET", "status": "ok"}
+	if n := sampleValue(t, samples, "prorp_http_request_duration_seconds_count", okLabels); n != 0 {
+		t.Fatalf("ok-series count = %v, want 0 — routing verdicts leaked into it", n)
 	}
 }

@@ -1,0 +1,269 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"prorp/internal/faults"
+)
+
+// hangDoer delays (and then fails) every request to one host, modeling a
+// group that is alive but far too slow for the scatter deadline.
+type hangDoer struct {
+	inner faults.Doer
+	host  string
+	d     time.Duration
+}
+
+func (h hangDoer) Do(req *http.Request) (*http.Response, error) {
+	if req.URL.Host == h.host {
+		time.Sleep(h.d)
+		return nil, fmt.Errorf("%s: connection stalled", h.host)
+	}
+	return h.inner.Do(req)
+}
+
+// driveActivityPattern runs the standard prewarm recipe against one send
+// function: create each database at 09:00 of day zero, then three days of
+// 09:00 login / 17:00 logout; the third logout physically pauses. Events
+// land in day-major order so both deployments see the identical sequence.
+func driveActivityPattern(t *testing.T, clock *fakeClock, ids []int, send func(method, path, body string) (int, map[string]any)) {
+	t.Helper()
+	day := 24 * time.Hour
+	clock.Set(t0.Add(9 * time.Hour))
+	for _, id := range ids {
+		code, out := send("POST", "/v1/db", fmt.Sprintf(`{"id":%d}`, id))
+		wantStatus(t, code, http.StatusCreated, out)
+	}
+	for d := 0; d < 3; d++ {
+		if d > 0 {
+			clock.Set(t0.Add(time.Duration(d)*day + 9*time.Hour))
+			for _, id := range ids {
+				code, out := send("POST", fmt.Sprintf("/v1/db/%d/login", id), "")
+				wantStatus(t, code, http.StatusOK, out)
+			}
+		}
+		clock.Set(t0.Add(time.Duration(d)*day + 17*time.Hour))
+		for _, id := range ids {
+			code, out := send("POST", fmt.Sprintf("/v1/db/%d/logout", id), "")
+			wantStatus(t, code, http.StatusOK, out)
+			want := "logical-pause"
+			if d == 2 {
+				want = "physical-pause"
+			}
+			if out["event"] != want {
+				t.Fatalf("day %d logout of %d = %v, want %s", d, id, out["event"], want)
+			}
+		}
+	}
+}
+
+// prewarmedIDs extracts the prewarmed id list from an ops/resume reply.
+func prewarmedIDs(t *testing.T, out map[string]any) []int {
+	t.Helper()
+	raw, ok := out["prewarmed"].([]any)
+	if !ok {
+		t.Fatalf("no prewarmed list in %v", out)
+	}
+	ids := make([]int, len(raw))
+	for i, v := range raw {
+		ids[i] = int(v.(float64))
+	}
+	return ids
+}
+
+// TestScatterEquivalentToSingleGroup is the partitioning acceptance test:
+// a 3-group deployment serving one set of databases produces the same
+// merged /v1/kpi and the same globally capped Algorithm 5 resume beat as a
+// single-group fleet over the identical history.
+func TestScatterEquivalentToSingleGroup(t *testing.T) {
+	// Both deployments share one fake clock and one global prewarm cap low
+	// enough that the merged due set must be cut across groups.
+	baseClock := &fakeClock{t: t0.Add(9 * time.Hour)}
+	capped := testOptions()
+	capped.MaxPrewarmsPerOp = 2
+
+	base, err := New(Config{Options: capped, Shards: 12, Now: baseClock.Now, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Close()
+
+	clusterClock := &fakeClock{t: t0.Add(9 * time.Hour)}
+	srvs := newGroupCluster(t, clusterClock, 3, &mapDoer{}, func(g string, cfg *Config) {
+		cfg.Options = capped
+		cfg.ScatterTimeout = 30 * time.Second // never partial under load
+	})
+	g1 := srvs["g1"]
+	m := g1.router.mapP.Load()
+
+	// Two databases per group, so every group contributes to the due set.
+	var ids []int
+	for _, g := range []string{"g1", "g2", "g3"} {
+		ids = append(ids, idsOwnedBy(t, m, g, 2, 1)...)
+	}
+	sort.Ints(ids)
+
+	// Identical history into both deployments; the cluster's traffic all
+	// enters through g1 and routes from there.
+	driveActivityPattern(t, baseClock, ids, func(method, path, body string) (int, map[string]any) {
+		return call(t, base, method, path, body)
+	})
+	driveActivityPattern(t, clusterClock, ids, func(method, path, body string) (int, map[string]any) {
+		return call(t, g1, method, path, body)
+	})
+
+	// The merged KPI must equal the single fleet's, key for key: 12 shards
+	// vs 3x4, same gauges, same counters, same QoS. The scatter shape may
+	// add keys (groups, partial) but must not change any baseline one.
+	compareKPI := func(stage string) {
+		t.Helper()
+		code, want := call(t, base, "GET", "/v1/kpi", "")
+		wantStatus(t, code, http.StatusOK, want)
+		code, got := call(t, g1, "GET", "/v1/kpi", "")
+		wantStatus(t, code, http.StatusOK, got)
+		if got["partial"] != false {
+			t.Fatalf("%s: scatter KPI partial = %v", stage, got["partial"])
+		}
+		if groups, _ := got["groups"].([]any); len(groups) != 3 {
+			t.Fatalf("%s: scatter KPI groups = %v", stage, got["groups"])
+		}
+		for k, wv := range want {
+			if !reflect.DeepEqual(got[k], wv) {
+				t.Errorf("%s: merged kpi[%q] = %v, single-group %v", stage, k, got[k], wv)
+			}
+		}
+		if t.Failed() {
+			t.FailNow()
+		}
+	}
+	compareKPI("before beat")
+
+	// One control-plane beat minutes ahead of the predicted logins. All six
+	// databases are due; the global cap keeps the two lowest ids — for the
+	// cluster that is a cross-group choice only a merged scan gets right.
+	beat := t0.Add(3*24*time.Hour + 9*time.Hour - 4*time.Minute)
+	baseClock.Set(beat)
+	clusterClock.Set(beat)
+	code, out := call(t, base, "POST", "/v1/ops/resume", "")
+	wantStatus(t, code, http.StatusOK, out)
+	wantPrewarmed := prewarmedIDs(t, out)
+	if len(wantPrewarmed) != 2 {
+		t.Fatalf("single-group beat prewarmed %v, want the capped 2", wantPrewarmed)
+	}
+
+	code, out = call(t, g1, "POST", "/v1/ops/resume", "")
+	wantStatus(t, code, http.StatusOK, out)
+	if out["scope"] != "global" || out["partial"] != false {
+		t.Fatalf("cluster beat envelope = %v", out)
+	}
+	if got := prewarmedIDs(t, out); !reflect.DeepEqual(got, wantPrewarmed) {
+		t.Fatalf("cluster beat prewarmed %v, single-group %v", got, wantPrewarmed)
+	}
+
+	// Resources line up database by database, wherever each one lives.
+	for _, id := range ids {
+		code, want := call(t, base, "GET", fmt.Sprintf("/v1/db/%d", id), "")
+		wantStatus(t, code, http.StatusOK, want)
+		code, got := call(t, g1, "GET", fmt.Sprintf("/v1/db/%d", id), "")
+		wantStatus(t, code, http.StatusOK, got)
+		if got["resources_available"] != want["resources_available"] {
+			t.Fatalf("db %d resources_available = %v, single-group %v",
+				id, got["resources_available"], want["resources_available"])
+		}
+	}
+	compareKPI("after beat")
+
+	// A second beat at the same instant prewarms the remainder in both
+	// worlds (cap again, then the rest), converging the deployments.
+	for i := 0; i < 2; i++ {
+		code, out = call(t, base, "POST", "/v1/ops/resume", "")
+		wantStatus(t, code, http.StatusOK, out)
+		wantPrewarmed = prewarmedIDs(t, out)
+		code, out = call(t, g1, "POST", "/v1/ops/resume", "")
+		wantStatus(t, code, http.StatusOK, out)
+		if got := prewarmedIDs(t, out); !reflect.DeepEqual(got, wantPrewarmed) {
+			t.Fatalf("follow-up beat %d prewarmed %v, single-group %v", i, got, wantPrewarmed)
+		}
+	}
+	compareKPI("after drain")
+}
+
+// TestScatterPartialOnGroupTimeout covers the failure accounting: a group
+// that cannot answer within the scatter deadline makes the merge partial —
+// flagged in the reply, counted on /metrics, never waited for.
+func TestScatterPartialOnGroupTimeout(t *testing.T) {
+	clock := &fakeClock{t: t0.Add(9 * time.Hour)}
+	net := &mapDoer{}
+	srvs := newGroupCluster(t, clock, 3, net, func(g string, cfg *Config) {
+		if g == "g1" {
+			// The deadline is real time: generous enough that the healthy
+			// groups always answer under a loaded CI machine, with the hang
+			// far enough beyond it that g3 can only ever miss it.
+			cfg.ScatterTimeout = 250 * time.Millisecond
+			cfg.RouterDoer = hangDoer{inner: net, host: "g3", d: 5 * time.Second}
+		}
+	})
+	g1 := srvs["g1"]
+
+	code, out := call(t, g1, "GET", "/v1/kpi", "")
+	wantStatus(t, code, http.StatusOK, out)
+	if out["partial"] != true {
+		t.Fatalf("KPI with a hung group not partial: %v", out)
+	}
+	groups := out["groups"].([]any)
+	okByGroup := map[string]bool{}
+	for _, g := range groups {
+		gm := g.(map[string]any)
+		okByGroup[gm["group"].(string)] = gm["ok"].(bool)
+		if gm["group"] == "g3" {
+			if e, _ := gm["error"].(string); !strings.Contains(e, "timeout") {
+				t.Fatalf("g3 error = %v, want a timeout", gm["error"])
+			}
+		}
+	}
+	if !okByGroup["g1"] || !okByGroup["g2"] || okByGroup["g3"] {
+		t.Fatalf("group status = %v, want g1,g2 ok and g3 failed", okByGroup)
+	}
+
+	// The resume beat degrades the same way: the reachable groups' scans
+	// merge, the hung group keeps its due databases for the next beat.
+	code, out = call(t, g1, "POST", "/v1/ops/resume", "")
+	wantStatus(t, code, http.StatusOK, out)
+	if out["scope"] != "global" || out["partial"] != true {
+		t.Fatalf("beat with a hung group = %v", out)
+	}
+
+	samples := scrape(t, g1)
+	if v := sampleValue(t, samples, "prorp_scatter_failures_total", nil); v < 2 {
+		t.Fatalf("scatter_failures_total = %v, want >= 2", v)
+	}
+	if v := sampleValue(t, samples, "prorp_scatter_partials_total", nil); v < 2 {
+		t.Fatalf("scatter_partials_total = %v, want >= 2", v)
+	}
+
+	// The global metrics merge marks the hung group down instead of
+	// blocking: group_up 0 for g3, 1 for the rest, every sample relabeled.
+	rec := httptest.NewRecorder()
+	g1.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?scope=global", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("global metrics = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		`prorp_scatter_group_up{group="g1"} 1`,
+		`prorp_scatter_group_up{group="g2"} 1`,
+		`prorp_scatter_group_up{group="g3"} 0`,
+		`prorp_fleet_databases{group="g2"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("global metrics missing %q", want)
+		}
+	}
+}

@@ -22,10 +22,22 @@
 //	GET    /v1/repl/snapshot    PRS2 fleet snapshot for follower resync
 //	POST   /v1/repl/promote     make this node the primary of a new epoch
 //	POST   /v1/repl/fence       force-feed an epoch, fencing an old primary
+//	GET    /v1/shard/map        current slot map (?format=prm1 for the CRC-framed image)
+//	POST   /v1/shard/migrate    move one slot's databases to another group  {"slot":5,"to":"g2"}
+//	POST   /v1/shard/reconcile  adopt the newest peer map, sweep disowned databases
+//	GET    /v1/shard/due        phase-one resume scan for a coordinating peer
+//	POST   /v1/shard/prewarm    phase-two prewarm of this group's slice of the capped set
+//	POST   /v1/shard/adopt      slot-transfer ingest (PRT1; migration data plane)
 //
 // A node runs as primary (default) or replica (Config.Role); replicas
 // serve every read endpoint and reject mutations with 503 + Retry-After.
 // See internal/repl and DESIGN.md §9.
+//
+// With Config.Group set the node joins a horizontally partitioned control
+// plane: database ids hash into shardmap.NumSlots slots owned by named
+// groups, per-database requests route through the versioned map (served
+// locally, proxied, or 307-redirected), and fleet-wide surfaces
+// scatter-gather across groups. See internal/shardmap and DESIGN.md §10.
 //
 // All timestamps are RFC 3339; event times are assigned from the server
 // clock, exactly as the paper's gateway observes logins.
@@ -127,6 +139,28 @@ type Config struct {
 	// ReplMaxBatchBytes caps one replication stream batch (0 = default,
 	// 256 KiB).
 	ReplMaxBatchBytes int
+	// Group, when non-empty, makes this node part of a horizontally
+	// partitioned control plane: database ids hash into slots, slots are
+	// owned by named groups (see internal/shardmap), and every per-database
+	// request is routed through the map. Empty keeps the single-group
+	// behavior exactly as before.
+	Group string
+	// GroupPeers maps every OTHER group's name to its primary's base URL
+	// ("http://host:port"). Fleet-wide surfaces scatter-gather across them;
+	// remote-owned requests are proxied (or redirected) there.
+	GroupPeers map[string]string
+	// ShardmapPath, when non-empty, persists the slot map in PRM1 form:
+	// restored on boot, rewritten on every adoption.
+	ShardmapPath string
+	// RouterDoer performs routing, scatter-gather, and migration round
+	// trips (default an http.Client with a 10s timeout).
+	RouterDoer faults.Doer
+	// RouterRedirect makes remote-owned requests answer 307 with the
+	// owner's address instead of proxying server-side.
+	RouterRedirect bool
+	// ScatterTimeout bounds one scatter-gather fan-out (default 2s);
+	// groups that miss it are reported as partial results, not waited for.
+	ScatterTimeout time.Duration
 }
 
 // opsCounters are the serving layer's resilience counters, surfaced
@@ -170,6 +204,12 @@ type Server struct {
 	replMu     sync.Mutex
 	replCursor wal.Cursor
 	repl       replCounters
+
+	// Partitioning: router is the shard-map routing state (nil when
+	// Config.Group is empty — the single-group layout), migrateMu
+	// serializes slot migrations on both the source and destination side.
+	router    *router
+	migrateMu sync.Mutex
 
 	// Observability: the metric registry behind GET /metrics and the span
 	// tracer behind GET /v1/traces. Always on — the registry is atomic
@@ -399,6 +439,24 @@ func New(cfg Config) (*Server, error) {
 		}, cursor)
 	}
 
+	if cfg.Group != "" {
+		s.router, err = newRouter(cfg)
+		if err != nil {
+			fleet.Close()
+			if journal != nil {
+				journal.Close()
+			}
+			return nil, err
+		}
+		// A crash between a migration's map adoption and its local deletes
+		// leaves databases the (persisted) map assigns elsewhere; sweep them
+		// now, before traffic, so the audit invariant — every database owned
+		// by exactly one group — holds from the first request.
+		if s.node.CanAcceptWrites() {
+			s.sweepDisowned()
+		}
+	}
+
 	s.predHist = reg.Histogram("prorp_prediction_duration_seconds",
 		"Algorithm 4 prediction-scan latency (GET /v1/db ExplainPrediction).", obs.LatencyBuckets)
 	fleet.InstrumentObs(reg)
@@ -574,7 +632,14 @@ func (s *Server) resumeLoop() {
 		case <-s.stop:
 			return
 		case <-t.C:
-			s.tick(s.now())
+			// A partitioned group's beat runs Algorithm 5 under the GLOBAL
+			// prewarm cap: scan every group, cap the merged due set, fan the
+			// survivors back out (see globalTick).
+			if s.router.multiGroup() && s.node.CanAcceptWrites() {
+				s.globalTick(s.now())
+			} else {
+				s.tick(s.now())
+			}
 		}
 	}
 }
@@ -645,21 +710,7 @@ func (s *Server) tick(now time.Time) (wakesDelivered int, prewarmed []prorp.Prew
 	}
 	wakesDelivered = s.deliverDueWakes(now)
 	prewarmed = s.Fleet().RunResumeOp(now)
-	for _, pw := range prewarmed {
-		if s.cfg.OnPrewarm != nil {
-			retries, err := faults.Retry(s.clock, s.cfg.Backoff, func() error {
-				return s.cfg.OnPrewarm(pw.ID)
-			})
-			s.ops.prewarmRetries.Add(uint64(retries))
-			if err != nil {
-				// The policy transition already happened; the failed
-				// infrastructure call is surfaced, not silently dropped.
-				s.ops.prewarmFailures.Add(1)
-				s.logf("prewarm of database %d failed after %d retries: %v", pw.ID, retries, err)
-			}
-		}
-		s.wakes.schedule(pw.ID, pw.Decision.WakeAt)
-	}
+	s.executePrewarm(prewarmed)
 	return wakesDelivered, prewarmed
 }
 
@@ -803,6 +854,9 @@ func (s *Server) buildMux() {
 	handle("POST", "/v1/ops/snapshot", s.handleOpsSnapshot)
 	handle("POST", "/v1/repl/promote", s.handleReplPromote)
 	handle("POST", "/v1/repl/fence", s.handleReplFence)
+	handle("GET", "/v1/shard/map", s.handleShardMap)
+	handle("POST", "/v1/shard/migrate", s.handleShardMigrate)
+	handle("POST", "/v1/shard/reconcile", s.handleShardReconcile)
 	// The observability surface itself is not traced or histogrammed:
 	// scrapes would crowd the trace buffer with their own reads. The
 	// replication data plane (polled continuously by followers) likewise
@@ -811,6 +865,11 @@ func (s *Server) buildMux() {
 	m.HandleFunc("GET /v1/traces", s.handleTraces)
 	m.HandleFunc("GET /v1/repl/stream", s.handleReplStream)
 	m.HandleFunc("GET /v1/repl/snapshot", s.handleReplSnapshot)
+	// The shard data plane (group-to-group fan-out and slot transfer)
+	// likewise stays out of the request histograms.
+	m.HandleFunc("GET /v1/shard/due", s.handleShardDue)
+	m.HandleFunc("POST /v1/shard/prewarm", s.handleShardPrewarm)
+	m.HandleFunc("POST /v1/shard/adopt", s.handleShardAdopt)
 	s.mux = m
 }
 
@@ -825,8 +884,31 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeErr(w http.ResponseWriter, err error) {
+	// Routing verdicts carry their own status (307/421) plus the current
+	// map, so the client can fix its routing table instead of retrying a
+	// bare 404 forever.
+	var re *routeError
+	if errors.As(err, &re) {
+		if re.location != "" {
+			w.Header().Set("Location", re.location)
+		}
+		if re.owner != "" {
+			w.Header().Set(HeaderShardGroup, re.owner)
+		}
+		writeJSON(w, re.status, map[string]any{
+			"error":     re.reason,
+			"owner":     re.owner,
+			"shard_map": re.m,
+		})
+		return
+	}
 	status := http.StatusInternalServerError
 	switch {
+	case errors.Is(err, errSlotFenced):
+		// Mid-migration write fence: retry lands on whoever owns the slot
+		// when the cutover settles.
+		w.Header().Set("Retry-After", "1")
+		status = http.StatusServiceUnavailable
 	case errors.Is(err, shardedfleet.ErrUnknownDatabase):
 		status = http.StatusNotFound
 	case errors.Is(err, shardedfleet.ErrDuplicateDatabase):
@@ -887,12 +969,10 @@ type createRequest struct {
 const maxCreateBody = 64 << 10
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
-	if s.rejectNonPrimary(w) {
-		return
-	}
-	r.Body = http.MaxBytesReader(w, r.Body, maxCreateBody)
-	var req createRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	// The body is read before routing: the database id decides the owning
+	// group, and a proxied request replays the same bytes.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxCreateBody))
+	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			writeJSON(w, http.StatusRequestEntityTooLarge,
@@ -902,13 +982,24 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "bad create body: " + err.Error()})
 		return
 	}
+	var req createRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "bad create body: " + err.Error()})
+		return
+	}
+	if s.routeDB(w, r, req.ID, body, true) {
+		return
+	}
+	if s.rejectNonPrimary(w) {
+		return
+	}
 	createdAt := s.now()
 	if req.CreatedAt != nil {
 		createdAt = *req.CreatedAt
 	}
 	s.walGate.RLock()
 	_, jspan := s.tracer.Start(r.Context(), "wal.append")
-	err := s.journalize(wal.RecordCreate, req.ID, createdAt)
+	err = s.journalize(wal.RecordCreate, req.ID, createdAt)
 	jspan.End()
 	if err == nil {
 		_, aspan := s.tracer.Start(r.Context(), "fleet.create")
@@ -928,12 +1019,15 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	if s.rejectNonPrimary(w) {
-		return
-	}
 	id, err := pathID(r)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+		return
+	}
+	if s.routeDB(w, r, id, nil, true) {
+		return
+	}
+	if s.rejectNonPrimary(w) {
 		return
 	}
 	s.walGate.RLock()
@@ -963,12 +1057,15 @@ func (s *Server) handleLogout(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleEvent(w http.ResponseWriter, r *http.Request, typ wal.RecordType, apply func(int, time.Time) (prorp.Decision, error)) {
-	if s.rejectNonPrimary(w) {
-		return
-	}
 	id, err := pathID(r)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+		return
+	}
+	if s.routeDB(w, r, id, nil, true) {
+		return
+	}
+	if s.rejectNonPrimary(w) {
 		return
 	}
 	at := s.now()
@@ -1021,6 +1118,9 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
 		return
 	}
+	if s.routeDB(w, r, id, nil, false) {
+		return
+	}
 	st, err := s.Fleet().State(id)
 	if err != nil {
 		writeErr(w, err)
@@ -1068,34 +1168,14 @@ type kpiJSON struct {
 
 func (s *Server) handleKPI(w http.ResponseWriter, r *http.Request) {
 	now := s.now()
-	kpi := s.Fleet().KPI()
-	kpi.SnapshotRetries = s.ops.snapshotRetries.Load()
-	kpi.SnapshotFailures = s.ops.snapshotFailures.Load()
-	kpi.SnapshotFallbacks = s.ops.snapshotFallbacks.Load()
-	kpi.PrewarmRetries = s.ops.prewarmRetries.Load()
-	kpi.PrewarmFailures = s.ops.prewarmFailures.Load()
-	kpi.WakeRetries = s.ops.wakeRetries.Load()
-	kpi.WakeFailures = s.ops.wakeFailures.Load()
-	if s.wal != nil {
-		wm := s.wal.Metrics()
-		kpi.WALAppends = wm.Appends
-		kpi.WALFsyncs = wm.Fsyncs
-		kpi.WALRotations = wm.Rotations
-		kpi.WALSegmentsCompacted = wm.Compacted
-		kpi.WALAppendFailures = s.ops.walAppendFailures.Load()
-		kpi.WALReplayedRecords = s.ops.walReplayed.Load()
-		kpi.WALReplaySkipped = s.ops.walReplaySkipped.Load()
-		kpi.WALTornSegments = s.ops.walTornSegments.Load()
-		kpi.WALTruncatedBytes = s.ops.walTruncatedBytes.Load()
+	// In a multi-group deployment /v1/kpi is fleet-wide: this group's
+	// report merged with every peer's (?scope=local opts out — and is what
+	// the fan-out itself asks peers for).
+	if s.router.multiGroup() && r.URL.Query().Get("scope") != "local" {
+		writeJSON(w, http.StatusOK, s.scatterKPI(now))
+		return
 	}
-	writeJSON(w, http.StatusOK, kpiJSON{
-		FleetKPI:      kpi,
-		QoSPercent:    kpi.QoSPercent(),
-		Shards:        s.Fleet().Shards(),
-		PendingWakes:  s.wakes.pending(),
-		Now:           now.UTC(),
-		UptimeSeconds: int64(now.Sub(s.started) / time.Second),
-	})
+	writeJSON(w, http.StatusOK, s.localKPI(now))
 }
 
 // Degraded reports whether the server is in degraded mode: still serving
@@ -1115,6 +1195,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.node.Fenced() {
 		body["fenced"] = true
+	}
+	if rt := s.router; rt != nil {
+		body["group"] = rt.group
+		body["shardmap_version"] = rt.mapP.Load().Version()
+		body["owned_slots"] = rt.ownedSlotCount()
 	}
 	if s.follower != nil {
 		if e := s.follower.LastError(); e != "" {
@@ -1138,6 +1223,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleOpsResume(w http.ResponseWriter, r *http.Request) {
 	if s.rejectNonPrimary(w) {
+		return
+	}
+	if s.router.multiGroup() {
+		wakes, ids, partial, groups := s.globalTick(s.now())
+		if ids == nil {
+			ids = []int{}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"prewarmed":       ids,
+			"wakes_delivered": wakes,
+			"scope":           "global",
+			"partial":         partial,
+			"groups":          groups,
+		})
 		return
 	}
 	wakes, prewarmed := s.tick(s.now())

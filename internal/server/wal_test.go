@@ -233,6 +233,12 @@ func TestWriteErrStatusMapping(t *testing.T) {
 		{fmt.Errorf("queue: %w", shardedfleet.ErrBacklog), http.StatusTooManyRequests},
 		{shardedfleet.ErrClosed, http.StatusServiceUnavailable},
 		{fmt.Errorf("%w: disk on fire", errJournalUnavailable), http.StatusServiceUnavailable},
+		{&routeError{status: http.StatusTemporaryRedirect, owner: "g2",
+			location: "http://g2/v1/db/7", reason: "owned elsewhere"}, http.StatusTemporaryRedirect},
+		{&routeError{status: http.StatusMisdirectedRequest, owner: "g2",
+			reason: "stale shard map"}, http.StatusMisdirectedRequest},
+		{errSlotFenced, http.StatusServiceUnavailable},
+		{fmt.Errorf("migrate: %w", errSlotFenced), http.StatusServiceUnavailable},
 		{errors.New("anything else"), http.StatusInternalServerError},
 	}
 	for _, tc := range cases {
@@ -241,5 +247,21 @@ func TestWriteErrStatusMapping(t *testing.T) {
 		if rec.Code != tc.want {
 			t.Errorf("writeErr(%v) = %d, want %d", tc.err, rec.Code, tc.want)
 		}
+	}
+	// Routing verdicts are more than a status: a redirect names the owner's
+	// address, a fence rejection names the retry window.
+	rec := httptest.NewRecorder()
+	writeErr(rec, &routeError{status: http.StatusTemporaryRedirect, owner: "g2",
+		location: "http://g2/v1/db/7", reason: "owned elsewhere"})
+	if loc := rec.Header().Get("Location"); loc != "http://g2/v1/db/7" {
+		t.Errorf("redirect Location = %q", loc)
+	}
+	if g := rec.Header().Get(HeaderShardGroup); g != "g2" {
+		t.Errorf("redirect %s = %q, want g2", HeaderShardGroup, g)
+	}
+	rec = httptest.NewRecorder()
+	writeErr(rec, errSlotFenced)
+	if ra := rec.Header().Get("Retry-After"); ra != "1" {
+		t.Errorf("fence Retry-After = %q, want 1", ra)
 	}
 }

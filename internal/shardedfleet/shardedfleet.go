@@ -498,6 +498,20 @@ func (rt *Runtime) Size() int {
 	return n
 }
 
+// IDs returns every database id in the fleet, sorted.
+func (rt *Runtime) IDs() []int {
+	var ids []int
+	for _, s := range rt.shards {
+		s.mu.Lock()
+		for id := range s.dbs {
+			ids = append(ids, id)
+		}
+		s.mu.Unlock()
+	}
+	sort.Ints(ids)
+	return ids
+}
+
 // PausedCount reports how many databases are physically paused according to
 // the control-plane metadata.
 func (rt *Runtime) PausedCount() int {
@@ -559,6 +573,40 @@ func (rt *Runtime) RunResumeOp(now int64) []Prewarmed {
 	if inst := rt.inst.Load(); inst != nil {
 		defer inst.scan.ObserveSince(time.Now())
 	}
+	merged := rt.scanDue(now)
+	if cap := rt.cfg.Control.MaxPrewarmsPerOp; cap > 0 && len(merged) > cap {
+		merged = merged[:cap]
+	}
+	return rt.prewarmIDs(now, merged)
+}
+
+// DueForResume runs phase one of Algorithm 5 alone: the read-only metadata
+// scan for due databases, uncapped and sorted. Multi-group deployments call
+// this on every group and apply the prewarm cap to the merged result.
+func (rt *Runtime) DueForResume(now int64) []int {
+	if rt.cfg.Policy.Mode != policy.Proactive {
+		return nil
+	}
+	if inst := rt.inst.Load(); inst != nil {
+		defer inst.scan.ObserveSince(time.Now())
+	}
+	return rt.scanDue(now)
+}
+
+// PrewarmIDs runs phase two of Algorithm 5 over an explicit id set (the
+// caller has already applied whatever cap it wants): each id is re-checked
+// under its shard lock and pre-warmed if it is still physically paused.
+// Results are sorted by database id.
+func (rt *Runtime) PrewarmIDs(now int64, ids []int) []Prewarmed {
+	if rt.cfg.Policy.Mode != policy.Proactive {
+		return nil
+	}
+	return rt.prewarmIDs(now, ids)
+}
+
+// scanDue runs the concurrent per-shard metadata scan and merges the
+// results into one sorted slice.
+func (rt *Runtime) scanDue(now int64) []int {
 	due := make([][]int, len(rt.shards))
 	var wg sync.WaitGroup
 	for i, s := range rt.shards {
@@ -577,13 +625,15 @@ func (rt *Runtime) RunResumeOp(now int64) []Prewarmed {
 		merged = append(merged, d...)
 	}
 	sort.Ints(merged)
-	if cap := rt.cfg.Control.MaxPrewarmsPerOp; cap > 0 && len(merged) > cap {
-		merged = merged[:cap]
-	}
+	return merged
+}
+
+// prewarmIDs pre-warms the given databases shard by shard, concurrently.
+func (rt *Runtime) prewarmIDs(now int64, merged []int) []Prewarmed {
 	if len(merged) == 0 {
 		return nil
 	}
-
+	var wg sync.WaitGroup
 	byShard := make(map[int][]int)
 	for _, id := range merged {
 		i := rt.shardIndex(id)

@@ -101,6 +101,28 @@ func (s *ShardedFleet) RunResumeOp(now time.Time) []Prewarmed {
 	return out
 }
 
+// DueForResume runs phase one of Algorithm 5 alone: the read-only scan for
+// databases due a pre-warm, uncapped and sorted. Multi-group deployments
+// merge every group's scan before applying the global prewarm cap.
+func (s *ShardedFleet) DueForResume(now time.Time) []int {
+	return s.rt.DueForResume(now.Unix())
+}
+
+// PrewarmIDs runs phase two of Algorithm 5 over an explicit id set: each id
+// is re-checked under its shard lock and pre-warmed if still physically
+// paused. The caller is responsible for any cap.
+func (s *ShardedFleet) PrewarmIDs(now time.Time, ids []int) []Prewarmed {
+	pws := s.rt.PrewarmIDs(now.Unix(), ids)
+	out := make([]Prewarmed, len(pws))
+	for i, pw := range pws {
+		out[i] = Prewarmed{ID: pw.ID, Decision: decisionFrom(pw.Effects)}
+	}
+	return out
+}
+
+// IDs returns every database id in the fleet, sorted.
+func (s *ShardedFleet) IDs() []int { return s.rt.IDs() }
+
 // State reports a database's lifecycle state.
 func (s *ShardedFleet) State(id int) (State, error) {
 	st, err := s.rt.State(id)
