@@ -331,6 +331,17 @@ func (s *Server) handleShardAdopt(w http.ResponseWriter, r *http.Request) {
 	if s.rejectNonPrimary(w) {
 		return
 	}
+	// A WAL-only node (journal but no snapshot store) cannot make an adopted
+	// slot durable: journal records carry only (type, id, time), not the
+	// shipped archives, so a crash after the ack would replay none of the
+	// restored state while the source has already journal-deleted its
+	// copies. Refuse structurally (4xx — shipTransfer will not retry), so
+	// the source aborts the migration with its data intact.
+	if s.store == nil && s.wal != nil {
+		writeJSON(w, http.StatusPreconditionFailed, errorJSON{Error:
+			"this node persists through a WAL only (no -snapshot); it cannot durably adopt a slot transfer"})
+		return
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxTransferBytes))
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "reading transfer: " + err.Error()})
@@ -382,6 +393,8 @@ func (s *Server) handleShardAdopt(w http.ResponseWriter, r *http.Request) {
 	// Durability before acknowledgement: the restored databases enter a
 	// snapshot (with a fresh WAL boundary) before the source is told it may
 	// delete its copies. Without this, a crash after the ack loses the slot.
+	// s.store == nil here means a memory-only node (WAL-only was refused
+	// above): nothing on this node is durable, so there is nothing to write.
 	if s.store != nil {
 		if _, serr := s.writeSnapshot(); serr != nil {
 			writeJSON(w, http.StatusServiceUnavailable, errorJSON{Error: fmt.Sprintf(

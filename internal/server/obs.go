@@ -204,8 +204,8 @@ func (s *Server) registerRouterMetrics() {
 	}{
 		{"prorp_router_local_requests_total", "Per-database requests owned and served locally.", &rt.localRequests},
 		{"prorp_router_proxied_total", "Per-database requests proxied to their owning group.", &rt.proxied},
-		{"prorp_router_redirected_total", "Per-database requests answered with a 307/421 routing verdict.", &rt.redirected},
-		{"prorp_router_misrouted_total", "Requests refused for stale map versions or forwarding loops.", &rt.misrouted},
+		{"prorp_router_redirected_total", "Per-database requests answered with a 307 redirect to their owner.", &rt.redirected},
+		{"prorp_router_misrouted_total", "Requests refused with 421: stale map versions, forwarding loops, or an owner with no known address.", &rt.misrouted},
 		{"prorp_router_fence_rejects_total", "Writes refused by a migration write fence.", &rt.fenceRejects},
 		{"prorp_scatter_requests_total", "Scatter-gather fan-outs started.", &rt.scatterRequests},
 		{"prorp_scatter_failures_total", "Per-group scatter failures (errors and timeouts).", &rt.scatterFailures},

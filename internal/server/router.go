@@ -65,7 +65,9 @@ type router struct {
 	fs       faults.FS
 	logf     func(string, ...any)
 
-	mapP atomic.Pointer[shardmap.Map]
+	// mapP is lock-free for readers; adoptMu serializes writers (see adopt).
+	mapP    atomic.Pointer[shardmap.Map]
+	adoptMu sync.Mutex
 
 	fenceMu sync.Mutex
 	fenced  map[int]bool
@@ -136,25 +138,27 @@ func newRouter(cfg Config) (*router, error) {
 // multiGroup reports whether fleet-wide surfaces need scatter-gather.
 func (rt *router) multiGroup() bool { return rt != nil && len(rt.peers) > 0 }
 
-// adopt installs a strictly newer map (and persists it). Older or
-// same-version maps are ignored — version is the fencing order.
+// adopt installs a strictly newer map and persists it. Older or
+// same-version maps are ignored — version is the fencing order. adoptMu
+// holds across the compare+store+persist sequence: with the persist outside
+// the lock, two racing adoptions could let the OLDER map's on-disk rename
+// land last, and a reboot would trust ownership this node already gave away.
 func (rt *router) adopt(m *shardmap.Map) bool {
-	for {
-		cur := rt.mapP.Load()
-		if cur != nil && m.Version() <= cur.Version() {
-			return false
-		}
-		if rt.mapP.CompareAndSwap(cur, m) {
-			rt.adoptions.Add(1)
-			if rt.path != "" {
-				if err := shardmap.Save(rt.fs, rt.path, m); err != nil {
-					rt.logf("shardmap: persisting adopted v%d failed: %v", m.Version(), err)
-				}
-			}
-			rt.logf("shardmap: adopted v%d", m.Version())
-			return true
+	rt.adoptMu.Lock()
+	defer rt.adoptMu.Unlock()
+	cur := rt.mapP.Load()
+	if cur != nil && m.Version() <= cur.Version() {
+		return false
+	}
+	rt.mapP.Store(m)
+	rt.adoptions.Add(1)
+	if rt.path != "" {
+		if err := shardmap.Save(rt.fs, rt.path, m); err != nil {
+			rt.logf("shardmap: persisting adopted v%d failed: %v", m.Version(), err)
 		}
 	}
+	rt.logf("shardmap: adopted v%d", m.Version())
+	return true
 }
 
 func (rt *router) fence(slot int) {
@@ -254,8 +258,12 @@ func (s *Server) proxyOrRedirect(w http.ResponseWriter, r *http.Request, id int,
 			if addr != "" {
 				e.status = http.StatusTemporaryRedirect
 				e.location = addr + r.URL.RequestURI()
+				rt.redirected.Add(1)
+			} else {
+				// No address for the owner: this is a routing dead end (421),
+				// not a redirect — count it with the other misroutes.
+				rt.misrouted.Add(1)
 			}
-			rt.redirected.Add(1)
 			writeErr(w, e)
 			return true
 		}
@@ -358,7 +366,14 @@ func (s *Server) handleShardReconcile(w http.ResponseWriter, r *http.Request) {
 	}
 	dropped := 0
 	if s.node.CanAcceptWrites() {
+		// migrateMu makes the sweep atomic with an in-flight adoption: the
+		// adopt handler restores a slot's databases BEFORE swapping the map
+		// in, so an unsynchronized sweep here could read the old map and
+		// journal-delete the freshly restored databases — then the adopt
+		// acks, the source deletes its copies, and the slot is simply gone.
+		s.migrateMu.Lock()
 		dropped = s.sweepDisowned()
+		s.migrateMu.Unlock()
 	}
 	cur := rt.mapP.Load().Version()
 	writeJSON(w, http.StatusOK, map[string]any{

@@ -445,6 +445,73 @@ func TestShardMigrateMovesSlot(t *testing.T) {
 	}
 }
 
+// TestShardMigrateRefusedByWALOnlyDestination pins the durability guard on
+// the destination side: a node that persists through a WAL only (no
+// snapshot store) cannot make an adopted slot durable — journal records
+// carry no archive payload — so it refuses the transfer structurally and
+// the source aborts with its data and map intact.
+func TestShardMigrateRefusedByWALOnlyDestination(t *testing.T) {
+	clock := &fakeClock{t: t0.Add(9 * time.Hour)}
+	srvs := newGroupCluster(t, clock, 2, &mapDoer{}, func(g string, cfg *Config) {
+		if g == "g2" {
+			cfg.WALDir = filepath.Join(t.TempDir(), "wal") // journal, no snapshot
+		}
+	})
+	g1, g2 := srvs["g1"], srvs["g2"]
+	m := g1.router.mapP.Load()
+	id := idsOwnedBy(t, m, "g1", 1, 1)[0]
+	slot := shardmap.SlotOf(id)
+	code, out := call(t, g1, "POST", "/v1/db", fmt.Sprintf(`{"id":%d}`, id))
+	wantStatus(t, code, http.StatusCreated, out)
+
+	code, out = call(t, g1, "POST", "/v1/shard/migrate", fmt.Sprintf(`{"slot":%d,"to":"g2"}`, slot))
+	wantStatus(t, code, http.StatusBadGateway, out)
+	if e, _ := out["error"].(string); !strings.Contains(e, "WAL only") {
+		t.Fatalf("refusal error = %q, want the WAL-only explanation", e)
+	}
+	// Nothing moved: the source still owns the slot at the original map
+	// version and still serves the database; the destination restored nothing.
+	if dm := g1.router.mapP.Load(); dm.Version() != 1 || dm.Owner(slot) != "g1" {
+		t.Fatalf("source map after refusal: v%d owner %q, want v1 g1", dm.Version(), dm.Owner(slot))
+	}
+	if _, err := g1.Fleet().State(id); err != nil {
+		t.Fatalf("database %d lost on the source after a refused migration: %v", id, err)
+	}
+	if _, err := g2.Fleet().State(id); err == nil {
+		t.Fatalf("database %d restored on the WAL-only destination", id)
+	}
+	if v := sampleValue(t, scrape(t, g1), "prorp_shard_migration_failures_total", nil); v != 1 {
+		t.Fatalf("migration_failures_total = %v, want 1", v)
+	}
+}
+
+// TestRouterUnknownOwnerAddressCountsMisrouted pins the counter partition
+// on the no-address dead end: a remote-owned request whose owning group has
+// no peer address is a 421 refusal, counted with the misroutes —
+// redirected stays reserved for genuine 307s.
+func TestRouterUnknownOwnerAddressCountsMisrouted(t *testing.T) {
+	clock := &fakeClock{t: t0}
+	srvs := newGroupCluster(t, clock, 2, &mapDoer{}, nil)
+	g1 := srvs["g1"]
+	m := g1.router.mapP.Load()
+	remote := idsOwnedBy(t, m, "g2", 1, 1)[0]
+	delete(g1.router.peers, "g2") // the map knows the owner, the address book does not
+
+	req := httptest.NewRequest("POST", fmt.Sprintf("/v1/db/%d/login", remote), nil)
+	rec := httptest.NewRecorder()
+	g1.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMisdirectedRequest {
+		t.Fatalf("no-address request = %d, want 421", rec.Code)
+	}
+	samples := scrape(t, g1)
+	if v := sampleValue(t, samples, "prorp_router_misrouted_total", nil); v != 1 {
+		t.Fatalf("misrouted_total = %v, want 1", v)
+	}
+	if v := sampleValue(t, samples, "prorp_router_redirected_total", nil); v != 0 {
+		t.Fatalf("redirected_total = %v, want 0", v)
+	}
+}
+
 // TestRouterProxyAdoptsNewerMap covers the retry-once corner of the proxy
 // path: the peer holds a newer map under which the database came *back* to
 // the proxying group. The 421 reply carries the newer map; the proxy

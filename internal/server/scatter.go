@@ -422,6 +422,23 @@ func (s *Server) globalTick(now time.Time) (wakes int, ids []int, partial bool, 
 		groups = append(groups, gs)
 	}
 
+	// During a migration overlap (or with stale not-yet-swept copies) the
+	// same id can be reported twice — by the local scan and a peer, or by
+	// two peers. Dedupe before capping, so a duplicate neither consumes a
+	// global cap slot nor is dispatched twice; on conflicting claims the
+	// current map's owner decides where the prewarm runs.
+	seen := make(map[int]bool, len(due))
+	uniq := due[:0]
+	for _, id := range due {
+		if seen[id] {
+			delete(owners, id) // contested: fall through to m.OwnerOf below
+			continue
+		}
+		seen[id] = true
+		uniq = append(uniq, id)
+	}
+	due = uniq
+
 	sort.Ints(due)
 	if cap := s.cfg.Options.MaxPrewarmsPerOp; cap > 0 && len(due) > cap {
 		due = due[:cap]

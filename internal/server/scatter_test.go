@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -193,6 +194,49 @@ func TestScatterEquivalentToSingleGroup(t *testing.T) {
 		}
 	}
 	compareKPI("after drain")
+}
+
+// TestGlobalBeatDedupesOverlappingDue covers the migration-overlap corner
+// of the merged scan: a database present on two groups at once (the stale
+// not-yet-swept copy a crashed migration leaves behind) is reported due by
+// both scans, but must consume one global cap slot and be prewarmed once,
+// on the group the current map names as owner.
+func TestGlobalBeatDedupesOverlappingDue(t *testing.T) {
+	clock := &fakeClock{t: t0.Add(9 * time.Hour)}
+	capped := testOptions()
+	capped.MaxPrewarmsPerOp = 2
+	srvs := newGroupCluster(t, clock, 2, &mapDoer{}, func(g string, cfg *Config) {
+		cfg.Options = capped
+		cfg.ScatterTimeout = 30 * time.Second
+	})
+	g1 := srvs["g1"]
+	m := g1.router.mapP.Load()
+	ids := idsOwnedBy(t, m, "g2", 2, 1) // ascending: the duplicate sorts first
+	dup, other := ids[0], ids[1]
+
+	driveActivityPattern(t, clock, ids, func(method, path, body string) (int, map[string]any) {
+		return call(t, g1, method, path, body)
+	})
+
+	// Clone the paused duplicate onto g1, the non-owner. Identical history
+	// means an identical wake prediction: at the beat, both the local scan
+	// and g2's report it due.
+	var buf bytes.Buffer
+	if err := srvs["g2"].Fleet().Snapshot(dup, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g1.Fleet().Restore(dup, &buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Without dedupe the duplicate would burn the second cap slot and push
+	// `other` out of the beat entirely (and dispatch dup twice).
+	clock.Set(t0.Add(3*24*time.Hour + 9*time.Hour - 4*time.Minute))
+	code, out := call(t, g1, "POST", "/v1/ops/resume", "")
+	wantStatus(t, code, http.StatusOK, out)
+	if got := prewarmedIDs(t, out); !reflect.DeepEqual(got, []int{dup, other}) {
+		t.Fatalf("beat prewarmed %v, want [%d %d]", got, dup, other)
+	}
 }
 
 // TestScatterPartialOnGroupTimeout covers the failure accounting: a group
