@@ -16,7 +16,7 @@ GOVULNCHECK := golang.org/x/vuln/cmd/govulncheck@v1.1.3
 # 82.3; the gap absorbs run-to-run variance from timing-dependent tests.)
 COVER_BASELINE := 82.0
 
-.PHONY: ci fmt-check vet staticcheck govulncheck build test cover obs obs-bench chaos wal-chaos repl-chaos shard-chaos bench-record bench-short bench clean
+.PHONY: ci fmt-check vet staticcheck govulncheck build test cover obs obs-bench chaos snap-chaos wal-chaos repl-chaos shard-chaos lease-chaos bench-record bench-check bench-short bench clean
 
 ci: fmt-check vet staticcheck govulncheck build test cover obs bench-short
 
@@ -42,12 +42,15 @@ govulncheck:
 build:
 	$(GO) build ./...
 
+# The raced run doubles as the coverage run (atomic mode is the only one
+# compatible with -race), so `cover` grades its profile instead of paying
+# for the whole suite a second time.
 test:
-	$(GO) test -race ./...
+	$(GO) test -race -covermode=atomic -coverprofile=coverprofile ./...
 
-# Statement coverage with a regression gate against COVER_BASELINE.
-cover:
-	$(GO) test -coverprofile=coverprofile ./...
+# Statement coverage with a regression gate against COVER_BASELINE,
+# graded from the profile the raced `test` run already produced.
+cover: test
 	@total="$$($(GO) tool cover -func=coverprofile | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }')"; \
 	echo "total coverage: $$total% (baseline $(COVER_BASELINE)%)"; \
 	awk -v t="$$total" -v b="$(COVER_BASELINE)" 'BEGIN { exit (t + 0 < b + 0) }' || \
@@ -64,11 +67,15 @@ obs:
 obs-bench:
 	$(GO) test -run '^$$' -bench BenchmarkObsOverhead -benchtime 2s -count 3 ./internal/shardedfleet
 
-# The fault-injection chaos gate: the seeded kill-and-restore and
-# kill-replay suites under the race detector. Run separately in CI so
-# their wall time and failure signal stay isolated from the unit suite.
-chaos:
-	$(GO) test -race -run TestChaos -count 1 ./internal/server ./internal/wal
+# The fault-injection chaos gate: every seeded suite under the race
+# detector, via non-overlapping sub-targets so CI can run (and report)
+# each family once instead of re-matching the same tests twice.
+chaos: snap-chaos wal-chaos repl-chaos shard-chaos lease-chaos
+
+# The snapshot half: seeded kill-and-restore through the pause/resume
+# archive path.
+snap-chaos:
+	$(GO) test -race -run TestChaosKillAndRestore -count 1 ./internal/server
 
 # Just the crash-durability half: 50 seeded kill-replay iterations at the
 # journal layer (torn tails, failed fsyncs) and end to end through the
@@ -90,10 +97,26 @@ repl-chaos:
 shard-chaos:
 	$(GO) test -race -run TestChaosShardMigration -count 1 ./internal/server
 
+# The self-healing half: 50 seeded kill-the-primary iterations where no
+# human intervenes — lease lapse, replica-initiated election, fencing of
+# the rebooted old primary — asserting zero acked-write loss and exactly
+# one unfenced primary at quiesce. On failure the surviving node's
+# on-disk debris is copied to $$PRORP_CHAOS_DEBRIS for the CI artifact.
+lease-chaos:
+	$(GO) test -race -run TestChaosLeaseElection -count 1 ./internal/server
+
 # Refresh BENCH_router.json, the committed router-overhead record
 # (acceptance: router_overhead_pct <= 5 over the unrouted baseline).
 bench-record:
 	PRORP_BENCH_RECORD=$(CURDIR)/BENCH_router.json $(GO) test -run TestRecordRouterBench -count 1 ./internal/server
+
+# The benchmark-drift gate: re-measure and fail if any BENCH_router.json
+# key regressed more than 10% against the committed baseline. Also writes
+# the fresh numbers to BENCH_router.fresh.json for CI to attach.
+bench-check:
+	PRORP_BENCH_BASELINE=$(CURDIR)/BENCH_router.json \
+	PRORP_BENCH_RECORD=$(CURDIR)/BENCH_router.fresh.json \
+	$(GO) test -run TestBenchDrift -count 1 ./internal/server
 
 # One pass over the fleet-concurrency benchmark, as a smoke test.
 bench-short:
@@ -105,4 +128,4 @@ bench:
 
 clean:
 	$(GO) clean ./...
-	rm -f coverprofile
+	rm -f coverprofile BENCH_router.fresh.json

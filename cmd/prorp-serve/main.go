@@ -115,6 +115,13 @@ func main() {
 		primaryAddr   = flag.String("primary-addr", "", "primary's base URL for -role=replica (e.g. http://primary:8080)")
 		replPoll      = flag.Duration("repl-poll-interval", 0, "follower poll cadence while caught up (0 = default 250ms)")
 		replBatch     = flag.Int("repl-batch-bytes", 0, "max replication stream batch size in bytes (0 = default 256 KiB)")
+		leaseTTL      = flag.Duration("lease-ttl", 0, "primary-lease TTL: the primary heartbeats a lease of this length to its followers, and a follower whose lease lapses stands for election (0 = self-healing failover disabled; requires -repl-peers and -repl-self)")
+		electionTO    = flag.Duration("election-timeout", 0, "base election timeout: a candidate waits this plus a random fraction of it after lease lapse before standing (0 = -lease-ttl)")
+		quorumAcks    = flag.Int("quorum-acks", 0, "replica acks each write waits for after the local fsync before acknowledging; timeout refuses with 503, never downgrades silently (0 = async replication; requires -wal-dir)")
+		quorumTO      = flag.Duration("quorum-timeout", 0, "deadline for one quorum-acked replication wait (0 = default 5s)")
+		replPeers     = flag.String("repl-peers", "", "comma-separated replication-cluster peers as name=base-url pairs (e.g. b=http://b:8080,c=http://c:8080); the electorate for -lease-ttl")
+		replSelf      = flag.String("repl-self", "", "this node's own base URL, announced to peers on election win")
+		replNode      = flag.String("repl-node", "", "this node's name in stream polls and votes (default: -repl-self)")
 		group         = flag.String("group", "", "this node's shard group name; non-empty joins a horizontally partitioned control plane (empty = single-group layout)")
 		groups        = flag.String("groups", "", "comma-separated peer groups as name=base-url pairs (e.g. g2=http://g2:8080,g3=http://g3:8080); requires -group")
 		shardmapPath  = flag.String("shardmap", "", "PRM1 shard-map file: restored on boot, rewritten on every map adoption (empty = in-memory map)")
@@ -168,6 +175,10 @@ func main() {
 	if *group == "" && (len(peers) > 0 || *shardmapPath != "") {
 		log.Fatalf("prorp-serve: -groups/-shardmap require -group")
 	}
+	clusterPeers, err := parseGroupPeers(*replPeers)
+	if err != nil {
+		log.Fatalf("prorp-serve: -repl-peers: %v", err)
+	}
 
 	srv, err := server.New(server.Config{
 		Options:           opts,
@@ -184,6 +195,13 @@ func main() {
 		PrimaryAddr:       *primaryAddr,
 		ReplPollInterval:  *replPoll,
 		ReplMaxBatchBytes: *replBatch,
+		LeaseTTL:          *leaseTTL,
+		ElectionTimeout:   *electionTO,
+		QuorumAcks:        *quorumAcks,
+		QuorumTimeout:     *quorumTO,
+		ReplPeers:         clusterPeers,
+		SelfAddr:          *replSelf,
+		NodeID:            *replNode,
 		Group:             *group,
 		GroupPeers:        peers,
 		ShardmapPath:      *shardmapPath,

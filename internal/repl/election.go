@@ -1,0 +1,377 @@
+package repl
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prorp/internal/faults"
+	"prorp/internal/wal"
+)
+
+// Replica-initiated election. When a follower's lease lapses it waits a
+// randomized election timeout (so candidates desynchronize), then stands:
+// it proposes epoch+1, casts a durable self-vote by adopting the proposed
+// epoch, and solicits votes from every peer. A voter grants at most one
+// vote per epoch — granting IS adopting the epoch, and adoption is durable
+// before the reply leaves — and only to a candidate whose replicated
+// cursor is at or past its own, so the winner provably holds every record
+// any granting voter holds. A majority of the cluster (self + peers)
+// promotes the candidate to exactly the proposed epoch; the epoch bump
+// fences the old primary through the PR 5 machinery the moment any
+// message from the new lineage reaches it.
+
+// VoteRequest is a candidate's solicitation, POSTed to /v1/repl/vote.
+type VoteRequest struct {
+	// Epoch is the proposed epoch (the candidate's epoch + 1 at stand time).
+	Epoch uint64 `json:"epoch"`
+	// Cursor is the candidate's durable replicated stream position.
+	Cursor string `json:"cursor"`
+	// Candidate is the candidate's node id, Addr its base URL (what peers
+	// should follow if it wins).
+	Candidate string `json:"candidate"`
+	Addr      string `json:"addr"`
+}
+
+// VoteResponse is the voter's verdict. Epoch is the voter's epoch AFTER
+// handling the request — a refused candidate folds it in so its next stand
+// proposes past every live competitor. LeaderAddr, when non-empty, names
+// the primary the voter currently follows: a candidate refused because a
+// newer primary exists learns where to point its follower.
+type VoteResponse struct {
+	Granted    bool   `json:"granted"`
+	Epoch      uint64 `json:"epoch"`
+	Reason     string `json:"reason,omitempty"`
+	LeaderAddr string `json:"leader_addr,omitempty"`
+}
+
+// HandleVote is the voter side of an election, shared by the server's
+// /v1/repl/vote handler and the unit tests. local is this node's durable
+// replicated cursor (a follower's stream cursor; a primary's own journal
+// end), leaderAddr the primary it currently follows (may be empty), and
+// persist must durably record the node's state — a vote that could
+// evaporate in a crash could be recast for a different candidate.
+func HandleVote(n *Node, local wal.Cursor, leaderAddr string, persist func() error, req VoteRequest) VoteResponse {
+	resp := VoteResponse{Epoch: n.Epoch(), LeaderAddr: leaderAddr}
+	if req.Epoch <= resp.Epoch {
+		resp.Reason = fmt.Sprintf("epoch %d not beyond %d", req.Epoch, resp.Epoch)
+		return resp
+	}
+	cand, err := wal.ParseCursor(req.Cursor)
+	if err != nil {
+		resp.Reason = "bad cursor: " + err.Error()
+		return resp
+	}
+	if cand.Before(local) {
+		// Refusing on cursor does NOT adopt the epoch: this voter may still
+		// grant the same epoch to a better-replicated candidate.
+		resp.Reason = fmt.Sprintf("candidate cursor %s behind ours (%s)", cand, local)
+		return resp
+	}
+	// Granting adopts the proposed epoch (fencing an unfenced primary asked
+	// to vote) and persists it before the grant leaves the node.
+	if n.ObserveEpoch(req.Epoch) {
+		if err := persist(); err != nil {
+			resp.Epoch = n.Epoch()
+			resp.Reason = "vote not durable: " + err.Error()
+			return resp
+		}
+	}
+	resp.Granted = true
+	resp.Epoch = n.Epoch()
+	return resp
+}
+
+// ElectorConfig assembles an Elector.
+type ElectorConfig struct {
+	// NodeID names this node in vote requests; SelfAddr is the base URL
+	// peers should follow if it wins.
+	NodeID   string
+	SelfAddr string
+	// Peers maps every OTHER cluster member's name to its base URL. The
+	// electorate is self + peers; a majority of it wins.
+	Peers map[string]string
+	// Node is the local role/epoch state machine, Lease the primary-liveness
+	// lease whose lapse licenses a candidacy.
+	Node  *Node
+	Lease *Lease
+	// Clock drives deadlines, Doer the vote round trips.
+	Clock faults.Clock
+	Doer  faults.Doer
+	// Timeout is the base election timeout: after the lease lapses a
+	// candidate waits Timeout + rand(0, Timeout) before standing, so
+	// competing candidates desynchronize instead of splitting votes forever.
+	Timeout time.Duration
+	// Seed seeds the jitter (0 = time-seeded); chaos tests pin it.
+	Seed int64
+	// Eligible gates candidacy beyond the lease: the host returns false
+	// while the node is already an unfenced primary, or has no follower
+	// whose cursor would be comparable with the electorate's.
+	Eligible func() bool
+	// Cursor is the node's durable replicated stream position, the vote
+	// comparison key.
+	Cursor func() wal.Cursor
+	// Persist durably records the node state; called for the self-vote and
+	// every epoch fold.
+	Persist func() error
+	// Promote is the win path: make the host the primary of exactly epoch e
+	// (stop the follower, persist, announce). An error means the win was
+	// overtaken and the elector keeps following.
+	Promote func(e uint64) error
+	// OnLeader, when non-nil, is called when a refusal reveals a live
+	// primary: the host repoints its follower there.
+	OnLeader func(addr string, e uint64)
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// ElectorStats is a point-in-time snapshot of the elector's counters.
+type ElectorStats struct {
+	Campaigns uint64 // candidacies stood
+	Wins      uint64 // elections won (promoted)
+	Losses    uint64 // candidacies that did not reach a majority
+}
+
+// Elector watches the lease and runs candidacies when it lapses. Build
+// with NewElector, then Start; Stop is idempotent and waits for exit.
+type Elector struct {
+	cfg ElectorConfig
+	rng *rand.Rand
+
+	campaigns atomic.Uint64
+	wins      atomic.Uint64
+	losses    atomic.Uint64
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewElector builds an elector; Timeout must be positive.
+func NewElector(cfg ElectorConfig) *Elector {
+	if cfg.Doer == nil {
+		cfg.Doer = http.DefaultClient
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = faults.WallClock{}
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = time.Second
+	}
+	if cfg.Eligible == nil {
+		cfg.Eligible = func() bool { return true }
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &Elector{
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(seed)),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+}
+
+// Start launches the election loop.
+func (e *Elector) Start() {
+	e.startOnce.Do(func() { go e.run() })
+}
+
+// Stop halts the loop and waits for it to exit. Safe to call more than
+// once, and before Start.
+func (e *Elector) Stop() {
+	e.stopOnce.Do(func() { close(e.stop) })
+	e.startOnce.Do(func() { close(e.done) })
+	<-e.done
+}
+
+// Stats snapshots the elector's counters.
+func (e *Elector) Stats() ElectorStats {
+	return ElectorStats{
+		Campaigns: e.campaigns.Load(),
+		Wins:      e.wins.Load(),
+		Losses:    e.losses.Load(),
+	}
+}
+
+func (e *Elector) run() {
+	defer close(e.done)
+	// The pace only bounds how often the logical clock is consulted; every
+	// decision (lapse, deadline) is made against Clock.Now, so manual-clock
+	// tests control election timing exactly.
+	pace := e.cfg.Timeout / 4
+	if pace <= 0 {
+		pace = 50 * time.Millisecond
+	}
+	var deadline time.Time
+	for {
+		select {
+		case <-e.stop:
+			return
+		default:
+		}
+		now := e.cfg.Clock.Now()
+		if !e.cfg.Eligible() || !e.cfg.Lease.Expired(now) {
+			deadline = time.Time{} // primary is alive (or we are it); stand down
+			e.sleep(pace)
+			continue
+		}
+		if deadline.IsZero() {
+			deadline = now.Add(e.jitter())
+			e.cfg.Logf("repl elector %s: lease lapsed; standing at %s unless the primary returns",
+				e.cfg.NodeID, deadline.Format(time.RFC3339Nano))
+			e.sleep(pace)
+			continue
+		}
+		if now.Before(deadline) {
+			e.sleep(pace)
+			continue
+		}
+		deadline = time.Time{}
+		e.campaign()
+		e.sleep(pace)
+	}
+}
+
+// jitter is the randomized election timeout: [Timeout, 2*Timeout).
+func (e *Elector) jitter() time.Duration {
+	return e.cfg.Timeout + time.Duration(e.rng.Int63n(int64(e.cfg.Timeout)))
+}
+
+// sleep pauses the loop, returning early on Stop. The clock's Sleep runs
+// in a goroutine so a manual-clock test can't wedge shutdown.
+func (e *Elector) sleep(d time.Duration) {
+	ch := make(chan struct{})
+	go func() {
+		e.cfg.Clock.Sleep(d)
+		close(ch)
+	}()
+	select {
+	case <-e.stop:
+	case <-ch:
+	}
+}
+
+// campaign stands one candidacy: durable self-vote, parallel solicitation,
+// majority check, promote on win.
+func (e *Elector) campaign() {
+	proposed := e.cfg.Node.Epoch() + 1
+	cur := e.cfg.Cursor()
+	// The self-vote: adopt the proposed epoch durably BEFORE soliciting, so
+	// this node can never also grant `proposed` to a competitor.
+	if !e.cfg.Node.ObserveEpoch(proposed) {
+		return // the epoch moved since we looked; stand down this round
+	}
+	if e.cfg.Persist != nil {
+		if err := e.cfg.Persist(); err != nil {
+			e.cfg.Logf("repl elector %s: self-vote for epoch %d not durable: %v", e.cfg.NodeID, proposed, err)
+			return
+		}
+	}
+	e.campaigns.Add(1)
+	e.cfg.Logf("repl elector %s: standing for epoch %d at cursor %s", e.cfg.NodeID, proposed, cur)
+
+	req := VoteRequest{Epoch: proposed, Cursor: cur.String(), Candidate: e.cfg.NodeID, Addr: e.cfg.SelfAddr}
+	type outcome struct {
+		peer string
+		resp VoteResponse
+		err  error
+	}
+	results := make(chan outcome, len(e.cfg.Peers))
+	for name, base := range e.cfg.Peers {
+		go func(name, base string) {
+			resp, err := e.solicit(base, req)
+			results <- outcome{peer: name, resp: resp, err: err}
+		}(name, base)
+	}
+
+	votes := 1 // self
+	needed := (1+len(e.cfg.Peers))/2 + 1
+	var leaderAddr string
+	var leaderEpoch uint64
+	for range e.cfg.Peers {
+		out := <-results
+		if out.err != nil {
+			e.cfg.Logf("repl elector %s: vote from %s: %v", e.cfg.NodeID, out.peer, out.err)
+			continue
+		}
+		if out.resp.Granted {
+			votes++
+			continue
+		}
+		// Fold the voter's epoch so the next stand proposes past it, and
+		// learn the leader it follows, if any.
+		if e.cfg.Node.ObserveEpoch(out.resp.Epoch) && e.cfg.Persist != nil {
+			if err := e.cfg.Persist(); err != nil {
+				e.cfg.Logf("repl elector %s: persisting folded epoch %d: %v", e.cfg.NodeID, out.resp.Epoch, err)
+			}
+		}
+		if out.resp.LeaderAddr != "" && out.resp.Epoch >= leaderEpoch {
+			leaderAddr, leaderEpoch = out.resp.LeaderAddr, out.resp.Epoch
+		}
+		e.cfg.Logf("repl elector %s: %s refused epoch %d: %s", e.cfg.NodeID, out.peer, proposed, out.resp.Reason)
+	}
+
+	if votes < needed {
+		e.losses.Add(1)
+		e.cfg.Logf("repl elector %s: lost epoch %d (%d of %d votes, needed %d)",
+			e.cfg.NodeID, proposed, votes, 1+len(e.cfg.Peers), needed)
+		if leaderAddr != "" && leaderAddr != e.cfg.SelfAddr && e.cfg.OnLeader != nil {
+			e.cfg.OnLeader(leaderAddr, leaderEpoch)
+		}
+		return
+	}
+	if err := e.cfg.Promote(proposed); err != nil {
+		e.losses.Add(1)
+		e.cfg.Logf("repl elector %s: won epoch %d but promotion refused: %v", e.cfg.NodeID, proposed, err)
+		return
+	}
+	e.wins.Add(1)
+	e.cfg.Logf("repl elector %s: won epoch %d with %d of %d votes", e.cfg.NodeID, proposed, votes, 1+len(e.cfg.Peers))
+}
+
+// solicit performs one vote round trip.
+func (e *Elector) solicit(base string, vreq VoteRequest) (VoteResponse, error) {
+	body, err := json.Marshal(vreq)
+	if err != nil {
+		return VoteResponse{}, err
+	}
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/repl/vote", bytes.NewReader(body))
+	if err != nil {
+		return VoteResponse{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(HeaderEpoch, fmt.Sprint(e.cfg.Node.Epoch()))
+	req.Header.Set(HeaderSum, BodySum(body))
+	resp, err := e.cfg.Doer.Do(req)
+	if err != nil {
+		return VoteResponse{}, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return VoteResponse{}, fmt.Errorf("voter said %d", resp.StatusCode)
+	}
+	rbody, err := VerifiedBody(resp, 1<<16)
+	if err != nil {
+		return VoteResponse{}, fmt.Errorf("vote response: %v", err)
+	}
+	var out VoteResponse
+	if err := json.Unmarshal(rbody, &out); err != nil {
+		return VoteResponse{}, fmt.Errorf("bad vote response: %v", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,377 @@
+package repl
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"prorp/internal/wal"
+)
+
+var et0 = time.Date(2023, 9, 1, 0, 0, 0, 0, time.UTC)
+
+// manualClock is a hand-stepped clock: Now moves only via Step, Sleep is
+// a tiny real pause so loops pace without advancing logical time.
+type manualClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *manualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *manualClock) Step(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func (c *manualClock) Sleep(time.Duration) { time.Sleep(100 * time.Microsecond) }
+
+// TestLeaseEpochBoundaries is the lease state table: expiry is pure
+// clock arithmetic, and epoch boundaries decide whose contact counts.
+func TestLeaseEpochBoundaries(t *testing.T) {
+	clock := &manualClock{t: et0}
+	l := NewLease(clock, 10*time.Second)
+	if l.TTL() != 10*time.Second {
+		t.Fatalf("TTL = %v", l.TTL())
+	}
+	// A fresh lease starts expired: the holder has never heard from a
+	// primary, so it is immediately allowed to suspect one is missing.
+	if !l.Expired(clock.Now()) {
+		t.Fatal("fresh lease must start expired")
+	}
+	// ttl <= 0 means "no override": the configured TTL applies.
+	if !l.Renew(1, 0) {
+		t.Fatal("first renewal refused")
+	}
+	if l.Expired(clock.Now()) || l.Remaining(clock.Now()) != 10*time.Second {
+		t.Fatalf("after renewal: expired=%v remaining=%v", l.Expired(clock.Now()), l.Remaining(clock.Now()))
+	}
+	// Expiry is exclusive of the boundary instant and inclusive after it.
+	clock.Step(10 * time.Second)
+	if l.Expired(clock.Now()) {
+		t.Fatal("lease expired exactly at its boundary")
+	}
+	clock.Step(time.Nanosecond)
+	if !l.Expired(clock.Now()) {
+		t.Fatal("lease alive past its boundary")
+	}
+
+	// A higher epoch takes the lease over; a lower one is ignored no
+	// matter how generous its grant — a stale primary on the wrong side
+	// of a healed partition cannot extend its own reign.
+	if !l.Renew(3, 0) || l.Epoch() != 3 {
+		t.Fatalf("higher epoch refused: epoch=%d", l.Epoch())
+	}
+	if l.Renew(2, time.Hour) {
+		t.Fatal("stale epoch renewed the lease")
+	}
+	if got := l.Remaining(clock.Now()); got != 10*time.Second {
+		t.Fatalf("stale renewal moved the expiry: remaining %v", got)
+	}
+	// The same epoch extends freely.
+	clock.Step(5 * time.Second)
+	l.Renew(3, 0)
+	if got := l.Remaining(clock.Now()); got != 10*time.Second {
+		t.Fatalf("same-epoch renewal: remaining %v", got)
+	}
+	// A shorter grant at a higher epoch adopts the epoch but never pulls
+	// the expiry backward.
+	if !l.Renew(4, time.Second) || l.Epoch() != 4 {
+		t.Fatalf("higher epoch with short ttl refused: epoch=%d", l.Epoch())
+	}
+	if got := l.Remaining(clock.Now()); got != 10*time.Second {
+		t.Fatalf("short grant shrank the lease: remaining %v", got)
+	}
+	if l.Renewals() != 4 {
+		t.Fatalf("renewals = %d, want 4 (the stale-epoch attempt must not count)", l.Renewals())
+	}
+
+	// RestoreUntil rebuilds a persisted lease at boot: alive inside the
+	// old grant, expired past it, and owned by the persisted epoch.
+	l2 := NewLease(clock, 10*time.Second)
+	l2.RestoreUntil(7, clock.Now().Add(3*time.Second))
+	if l2.Expired(clock.Now()) || l2.Epoch() != 7 {
+		t.Fatalf("restored lease: expired=%v epoch=%d", l2.Expired(clock.Now()), l2.Epoch())
+	}
+	if l2.Renew(6, 0) {
+		t.Fatal("restored lease renewed by a pre-restore epoch")
+	}
+	clock.Step(3*time.Second + time.Nanosecond)
+	if !l2.Expired(clock.Now()) {
+		t.Fatal("restored lease outlived its persisted expiry")
+	}
+}
+
+// TestHandleVote is the voter-side table: epoch and cursor rules, one
+// durable grant per epoch, and fencing a primary that votes.
+func TestHandleVote(t *testing.T) {
+	c5 := wal.Cursor{Seg: 1, Off: 5}
+	c9 := wal.Cursor{Seg: 1, Off: 9}
+	persistOK := func() error { return nil }
+
+	// Epoch not beyond ours: refused, nothing adopted.
+	n := NewNode(RoleReplica, 3)
+	if resp := HandleVote(n, c5, "", persistOK, VoteRequest{Epoch: 3, Cursor: c9.String()}); resp.Granted || resp.Epoch != 3 {
+		t.Fatalf("same-epoch vote: %+v", resp)
+	}
+	// Garbage cursor: refused.
+	if resp := HandleVote(n, c5, "", persistOK, VoteRequest{Epoch: 4, Cursor: "nonsense"}); resp.Granted {
+		t.Fatalf("garbage cursor granted: %+v", resp)
+	}
+	// A candidate behind our replicated position is refused WITHOUT
+	// adopting its epoch — we may still grant that same epoch to a
+	// better-replicated candidate.
+	if resp := HandleVote(n, c9, "", persistOK, VoteRequest{Epoch: 4, Cursor: c5.String()}); resp.Granted || n.Epoch() != 3 {
+		t.Fatalf("behind-cursor refusal adopted the epoch: %+v epoch=%d", resp, n.Epoch())
+	}
+	if resp := HandleVote(n, c9, "", persistOK, VoteRequest{Epoch: 4, Cursor: c9.String()}); !resp.Granted || resp.Epoch != 4 {
+		t.Fatalf("equal-cursor candidate refused: %+v", resp)
+	}
+	// Granting adopted the epoch, so the SAME epoch cannot be granted
+	// twice — not even to the same candidate.
+	if resp := HandleVote(n, c9, "", persistOK, VoteRequest{Epoch: 4, Cursor: c9.String()}); resp.Granted {
+		t.Fatalf("epoch 4 granted twice: %+v", resp)
+	}
+
+	// A refusal names the leader the voter follows, so a losing candidate
+	// can repoint its follower.
+	if resp := HandleVote(n, c9, "http://leader", persistOK, VoteRequest{Epoch: 4, Cursor: c9.String()}); resp.LeaderAddr != "http://leader" {
+		t.Fatalf("refusal hides the leader: %+v", resp)
+	}
+
+	// A grant that cannot be persisted is not a grant: a vote that could
+	// evaporate in a crash could be recast for a different candidate.
+	bad := NewNode(RoleReplica, 1)
+	boom := func() error { return fmt.Errorf("disk gone") }
+	if resp := HandleVote(bad, c5, "", boom, VoteRequest{Epoch: 2, Cursor: c5.String()}); resp.Granted {
+		t.Fatalf("undurable vote granted: %+v", resp)
+	}
+
+	// An unfenced primary asked to vote for a valid successor grants —
+	// and the grant fences it.
+	p := NewNode(RolePrimary, 1)
+	if !p.CanAcceptWrites() {
+		t.Fatal("primary not accepting writes")
+	}
+	if resp := HandleVote(p, c5, "", persistOK, VoteRequest{Epoch: 2, Cursor: c5.String()}); !resp.Granted {
+		t.Fatalf("primary refused a valid successor: %+v", resp)
+	}
+	if p.CanAcceptWrites() || !p.Fenced() {
+		t.Fatal("granting primary not fenced")
+	}
+
+	// Split vote, resolved by epoch fold: two candidates both self-voted
+	// epoch 2, so each refuses the other; the refusal response carries
+	// epoch 2, the loser folds it, and its next stand proposes 3 — which
+	// the other grants.
+	b, c := NewNode(RoleReplica, 1), NewNode(RoleReplica, 1)
+	b.ObserveEpoch(2) // b's self-vote
+	c.ObserveEpoch(2) // c's simultaneous self-vote
+	if resp := HandleVote(b, c5, "", persistOK, VoteRequest{Epoch: 2, Cursor: c5.String()}); resp.Granted || resp.Epoch != 2 {
+		t.Fatalf("split vote granted: %+v", resp)
+	}
+	if resp := HandleVote(b, c5, "", persistOK, VoteRequest{Epoch: 3, Cursor: c5.String(), Candidate: "c"}); !resp.Granted {
+		t.Fatalf("post-split stand refused: %+v", resp)
+	}
+	if !c.PromoteTo(3) || !c.CanAcceptWrites() || b.Epoch() != 3 {
+		t.Fatalf("post-split promote: c=%d b=%d", c.Epoch(), b.Epoch())
+	}
+}
+
+// voteHost is one node of the in-memory electorate: the state a real
+// server wires around HandleVote.
+type voteHost struct {
+	name  string
+	node  *Node
+	lease *Lease
+	cur   wal.Cursor
+}
+
+// voteFabric routes vote solicitations to hosts by URL host, mirroring
+// the server's handler: checksum-verified request, durable grant,
+// reset-timer-on-grant, checksum-stamped response.
+type voteFabric struct {
+	mu    sync.Mutex
+	hosts map[string]*voteHost
+}
+
+func (f *voteFabric) add(h *voteHost) {
+	f.mu.Lock()
+	f.hosts[h.name] = h
+	f.mu.Unlock()
+}
+
+func (f *voteFabric) Do(req *http.Request) (*http.Response, error) {
+	f.mu.Lock()
+	h := f.hosts[req.URL.Host]
+	f.mu.Unlock()
+	if h == nil {
+		return nil, fmt.Errorf("%s is unreachable", req.URL.Host)
+	}
+	body, err := io.ReadAll(req.Body)
+	if err != nil {
+		return nil, err
+	}
+	if want := req.Header.Get(HeaderSum); want != "" && BodySum(body) != want {
+		return nil, fmt.Errorf("request damaged in flight")
+	}
+	var vreq VoteRequest
+	if err := json.Unmarshal(body, &vreq); err != nil {
+		return nil, err
+	}
+	resp := HandleVote(h.node, h.cur, "", func() error { return nil }, vreq)
+	if resp.Granted {
+		// The server's reset-timer-on-grant rule: granting is evidence an
+		// election is already in progress, so the voter stands down.
+		h.lease.Renew(resp.Epoch, 0)
+	}
+	out, err := json.Marshal(resp)
+	if err != nil {
+		return nil, err
+	}
+	rec := httptest.NewRecorder()
+	rec.Header().Set(HeaderSum, BodySum(out))
+	rec.Write(out)
+	return rec.Result(), nil
+}
+
+// TestSplitVoteResolution runs two real Electors against a dead primary
+// on a hand-stepped clock. The seeds are chosen so both first election
+// deadlines land in the SAME one-second step window — the worst case, a
+// near-simultaneous stand — while the randomized retry jitter diverges.
+// The cluster must still converge on exactly one unfenced primary.
+func TestSplitVoteResolution(t *testing.T) {
+	clock := &manualClock{t: et0}
+	fabric := &voteFabric{hosts: map[string]*voteHost{}}
+
+	mk := func(name string, seed int64) (*voteHost, *Elector) {
+		h := &voteHost{
+			name:  name,
+			node:  NewNode(RoleReplica, 1),
+			lease: NewLease(clock, 10*time.Second),
+			cur:   wal.Cursor{Seg: 1, Off: 42},
+		}
+		fabric.add(h)
+		peers := map[string]string{"a": "http://a"} // the dead primary stays in the electorate
+		for _, other := range []string{"b", "c"} {
+			if other != name {
+				peers[other] = "http://" + other
+			}
+		}
+		e := NewElector(ElectorConfig{
+			NodeID:   name,
+			SelfAddr: "http://" + name,
+			Peers:    peers,
+			Node:     h.node,
+			Lease:    h.lease,
+			Clock:    clock,
+			Doer:     fabric,
+			Timeout:  5 * time.Second,
+			Seed:     seed,
+			Eligible: func() bool { return !h.node.CanAcceptWrites() },
+			Cursor:   func() wal.Cursor { return h.cur },
+			Promote: func(ep uint64) error {
+				if !h.node.PromoteTo(ep) {
+					return fmt.Errorf("overtaken")
+				}
+				return nil
+			},
+			Logf: t.Logf,
+		})
+		return h, e
+	}
+
+	// Seeds 2 and 3 draw first jitters 9.82s and 9.77s — the same step
+	// window — then 8.99s vs 6.93s on the retry.
+	hb, eb := mk("b", 2)
+	hc, ec := mk("c", 3)
+	eb.Start()
+	ec.Start()
+	defer eb.Stop()
+	defer ec.Stop()
+
+	deadline := time.Now().Add(30 * time.Second)
+	for !hb.node.CanAcceptWrites() && !hc.node.CanAcceptWrites() {
+		if time.Now().After(deadline) {
+			t.Fatalf("no winner: b epoch %d, c epoch %d, stats b=%+v c=%+v",
+				hb.node.Epoch(), hc.node.Epoch(), eb.Stats(), ec.Stats())
+		}
+		clock.Step(time.Second)
+		time.Sleep(time.Millisecond)
+	}
+	// Freeze logical time (no further deadlines can fire) and let any
+	// in-flight round drain before inspecting.
+	eb.Stop()
+	ec.Stop()
+
+	primaries := 0
+	for _, h := range []*voteHost{hb, hc} {
+		if h.node.CanAcceptWrites() {
+			primaries++
+		}
+	}
+	if primaries != 1 {
+		t.Fatalf("unfenced primaries = %d, want exactly 1 (b: %v epoch %d, c: %v epoch %d)",
+			primaries, hb.node.Role(), hb.node.Epoch(), hc.node.Role(), hc.node.Epoch())
+	}
+	if wins := eb.Stats().Wins + ec.Stats().Wins; wins < 1 {
+		t.Fatalf("wins = %d, want >= 1", wins)
+	}
+	// The loser folded the winner's epoch (via grant or refusal), so a
+	// later stand proposes beyond it instead of re-contesting it.
+	winner, loser := hb, hc
+	if hc.node.CanAcceptWrites() {
+		winner, loser = hc, hb
+	}
+	if loser.node.Epoch() < winner.node.Epoch() {
+		t.Fatalf("loser at epoch %d behind winner at %d", loser.node.Epoch(), winner.node.Epoch())
+	}
+}
+
+// TestControlBodyIntegrity pins the control-plane armor: a vote or
+// announce body is only decodable when its checksum survives the trip.
+func TestControlBodyIntegrity(t *testing.T) {
+	body := []byte(`{"granted":false,"epoch":1}`)
+	mk := func(b []byte, sum string) *http.Response {
+		rec := httptest.NewRecorder()
+		if sum != "" {
+			rec.Header().Set(HeaderSum, sum)
+		}
+		rec.Write(b)
+		return rec.Result()
+	}
+
+	got, err := VerifiedBody(mk(body, BodySum(body)), 1<<10)
+	if err != nil || string(got) != string(body) {
+		t.Fatalf("clean body refused: %v", err)
+	}
+	// One flipped bit — the chaos transport's signature damage, here
+	// turning the ASCII '1' of the epoch into '5'.
+	bad := append([]byte(nil), body...)
+	bad[len(bad)-2] ^= 0x04
+	if string(bad) != `{"granted":false,"epoch":5}` {
+		t.Fatalf("flip produced %q", bad)
+	}
+	if _, err := VerifiedBody(mk(bad, BodySum(body)), 1<<10); err == nil {
+		t.Fatal("bit-flipped body accepted")
+	}
+	// A cut stream delivers a clean JSON-invalid prefix; the sum catches
+	// it before any decoder sees it.
+	if _, err := VerifiedBody(mk(body[:5], BodySum(body)), 1<<10); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+	// No sum at all is indistinguishable from damage.
+	if _, err := VerifiedBody(mk(body, ""), 1<<10); err == nil {
+		t.Fatal("unsummed body accepted")
+	}
+}

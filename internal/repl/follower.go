@@ -22,6 +22,8 @@ const (
 	HeaderCursor     = "X-Repl-Cursor"      // effective batch start
 	HeaderNextCursor = "X-Repl-Next-Cursor" // cursor after the batch
 	HeaderLagRecords = "X-Repl-Lag-Records" // records still behind after the batch
+	HeaderNode       = "X-Repl-Node"        // follower's node id (quorum coverage key)
+	HeaderLeaseTTL   = "X-Repl-Lease-Ms"    // primary's lease grant, relative ms
 )
 
 // FollowerConfig assembles a Follower.
@@ -62,6 +64,16 @@ type FollowerConfig struct {
 	// overlap and diverges; adopting the primary's snapshot wholesale is
 	// the only safe entry into its lineage.
 	ResyncOnStart bool
+	// NodeID, when non-empty, is sent as X-Repl-Node on every poll so the
+	// primary can attribute the poll's cursor to this follower in its
+	// quorum-coverage map.
+	NodeID string
+	// OnPrimaryContact, when non-nil, is called after every authoritative
+	// response from a current-epoch primary (200/204, and the resync
+	// verdicts 410/416) with that primary's epoch and its lease grant (0 if
+	// the response carried none). The host renews its primary-liveness
+	// lease here.
+	OnPrimaryContact func(epoch uint64, ttl time.Duration)
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -82,6 +94,8 @@ type Follower struct {
 	cfg FollowerConfig
 
 	mu              sync.Mutex
+	primary         string // mutable: failover repoints the follower
+	needResync      bool   // snapshot resync required before the next poll
 	cursor          wal.Cursor
 	caughtUp        bool
 	lagRecords      int64
@@ -120,11 +134,38 @@ func NewFollower(cfg FollowerConfig, cursor wal.Cursor) *Follower {
 	}
 	cfg.PrimaryURL = strings.TrimRight(cfg.PrimaryURL, "/")
 	return &Follower{
-		cfg:    cfg,
-		cursor: cursor,
-		stop:   make(chan struct{}),
-		done:   make(chan struct{}),
+		cfg:        cfg,
+		primary:    cfg.PrimaryURL,
+		needResync: cfg.ResyncOnStart,
+		cursor:     cursor,
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
 	}
+}
+
+// PrimaryURL reports the primary the follower currently polls.
+func (f *Follower) PrimaryURL() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.primary
+}
+
+// SetPrimary repoints the follower at a different primary — the failover
+// path, driven by an announce from an election winner. The local cursor
+// addresses the OLD primary's journal, and cursor spaces are per-lineage
+// (each node journals streamed records at its own offsets), so repointing
+// forces a snapshot resync rather than resuming the cursor against a
+// journal it never came from.
+func (f *Follower) SetPrimary(url string) {
+	url = strings.TrimRight(url, "/")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if url == "" || url == f.primary {
+		return
+	}
+	f.primary = url
+	f.needResync = true
+	f.caughtUp = false
 }
 
 // Start launches the pull loop.
@@ -192,25 +233,23 @@ func (f *Follower) LastError() string {
 
 func (f *Follower) run() {
 	defer close(f.done)
-	for f.cfg.ResyncOnStart {
-		select {
-		case <-f.stop:
-			return
-		default:
-		}
-		d := f.resync(0, 0)
-		if d == 0 {
-			break // adopted the primary's lineage; stream the tail
-		}
-		f.sleep(d)
-	}
 	for {
 		select {
 		case <-f.stop:
 			return
 		default:
 		}
-		d := f.pollOnce()
+		var d time.Duration
+		f.mu.Lock()
+		forced := f.needResync
+		f.mu.Unlock()
+		if forced {
+			// Boot state no cursor covers, or a repoint to a new primary:
+			// adopt its snapshot before streaming (see SetPrimary).
+			d = f.resync(0, 0)
+		} else {
+			d = f.pollOnce()
+		}
 		if d > 0 {
 			f.sleep(d)
 		}
@@ -247,12 +286,15 @@ func (f *Follower) fail(format string, args ...any) time.Duration {
 // before the next (0 = poll again immediately; there is more to pull).
 func (f *Follower) pollOnce() time.Duration {
 	cur := f.Cursor()
-	url := fmt.Sprintf("%s/v1/repl/stream?after=%s&max=%d", f.cfg.PrimaryURL, cur, f.cfg.MaxBatchBytes)
+	url := fmt.Sprintf("%s/v1/repl/stream?after=%s&max=%d", f.PrimaryURL(), cur, f.cfg.MaxBatchBytes)
 	req, err := http.NewRequest(http.MethodGet, url, nil)
 	if err != nil {
 		return f.fail("building request: %v", err)
 	}
 	req.Header.Set(HeaderEpoch, strconv.FormatUint(f.cfg.Node.Epoch(), 10))
+	if f.cfg.NodeID != "" {
+		req.Header.Set(HeaderNode, f.cfg.NodeID)
+	}
 	resp, err := f.cfg.Doer.Do(req)
 	if err != nil {
 		return f.fail("stream %s: %v", cur, err)
@@ -265,7 +307,7 @@ func (f *Follower) pollOnce() time.Duration {
 	primaryEpoch, _ := strconv.ParseUint(resp.Header.Get(HeaderEpoch), 10, 64)
 	if primaryEpoch > 0 && primaryEpoch < f.cfg.Node.Epoch() {
 		// A stale primary from a previous epoch (a healed partition):
-		// never apply its stream.
+		// never apply its stream — and never renew the lease off it.
 		return f.fail("ignoring stale primary at epoch %d (ours is %d)", primaryEpoch, f.cfg.Node.Epoch())
 	}
 	if f.cfg.Node.ObserveEpoch(primaryEpoch) && f.cfg.Persist != nil {
@@ -273,11 +315,22 @@ func (f *Follower) pollOnce() time.Duration {
 			return f.fail("persisting adopted epoch %d: %v", primaryEpoch, err)
 		}
 	}
+	// Authoritative contact from a current-epoch primary renews the lease;
+	// that includes the resync verdicts — a primary telling us to resync is
+	// very much alive.
+	renew := func() {
+		if f.cfg.OnPrimaryContact != nil && primaryEpoch > 0 {
+			ttlMs, _ := strconv.ParseInt(resp.Header.Get(HeaderLeaseTTL), 10, 64)
+			f.cfg.OnPrimaryContact(primaryEpoch, time.Duration(ttlMs)*time.Millisecond)
+		}
+	}
 
 	switch resp.StatusCode {
 	case http.StatusOK:
+		renew()
 		return f.applyBatch(resp)
 	case http.StatusNoContent:
+		renew()
 		f.caughtUpPolls.Add(1)
 		f.mu.Lock()
 		f.caughtUp = true
@@ -288,6 +341,7 @@ func (f *Follower) pollOnce() time.Duration {
 	case http.StatusGone, http.StatusRequestedRangeNotSatisfiable:
 		// Cursor unusable: compacted below retained history (410) or ahead
 		// of the primary's lineage (416). Both mean snapshot resync.
+		renew()
 		return f.resync(primaryEpoch, resp.StatusCode)
 	default:
 		return f.fail("stream %s: primary said %d", cur, resp.StatusCode)
@@ -397,6 +451,7 @@ func (f *Follower) resync(primaryEpoch uint64, status int) time.Duration {
 	f.resyncs.Add(1)
 	f.mu.Lock()
 	f.cursor = cur
+	f.needResync = false
 	f.caughtUp = false
 	f.lastErr = ""
 	f.mu.Unlock()

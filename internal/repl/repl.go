@@ -136,6 +136,25 @@ func (n *Node) Promote() uint64 {
 	return n.epoch
 }
 
+// PromoteTo makes the node the unfenced primary of exactly epoch e — the
+// election-win path. The winner already owns e: it adopted e via
+// ObserveEpoch when it cast its self-vote, and every granting voter
+// adopted e too, so no other candidate can collect a majority for it.
+// Returns false (and changes nothing) when the node has observed an epoch
+// beyond e — a newer candidacy or primary overtook this one mid-campaign,
+// and promoting under a stale epoch would be split brain.
+func (n *Node) PromoteTo(e uint64) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if e < n.epoch {
+		return false
+	}
+	n.role = RolePrimary
+	n.epoch = e
+	n.fenced = false
+	return true
+}
+
 // ObserveEpoch folds in an epoch seen on the wire. Observing a higher
 // epoch adopts it; if the node is an unfenced primary, that observation
 // fences it (someone was promoted past us). Returns true when this call

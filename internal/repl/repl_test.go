@@ -166,7 +166,7 @@ func openJournal(t *testing.T) *wal.Journal {
 func appendLogins(t *testing.T, j *wal.Journal, start, n int) {
 	t.Helper()
 	for i := 0; i < n; i++ {
-		if err := j.Append(wal.Record{Type: wal.RecordLogin, ID: int64(start + i), Unix: int64(start + i)}); err != nil {
+		if _, err := j.Append(wal.Record{Type: wal.RecordLogin, ID: int64(start + i), Unix: int64(start + i)}); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -245,7 +245,7 @@ func (s *Server) handleShardMigrate(w http.ResponseWriter, r *http.Request) {
 	for _, e := range entries {
 		id := int(e.id)
 		s.walGate.RLock()
-		derr := s.journalize(wal.RecordDelete, id, s.now())
+		_, derr := s.journalize(wal.RecordDelete, id, s.now())
 		if derr == nil {
 			derr = s.Fleet().Delete(id)
 		}
@@ -338,8 +338,7 @@ func (s *Server) handleShardAdopt(w http.ResponseWriter, r *http.Request) {
 	// copies. Refuse structurally (4xx — shipTransfer will not retry), so
 	// the source aborts the migration with its data intact.
 	if s.store == nil && s.wal != nil {
-		writeJSON(w, http.StatusPreconditionFailed, errorJSON{Error:
-			"this node persists through a WAL only (no -snapshot); it cannot durably adopt a slot transfer"})
+		writeJSON(w, http.StatusPreconditionFailed, errorJSON{Error: "this node persists through a WAL only (no -snapshot); it cannot durably adopt a slot transfer"})
 		return
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxTransferBytes))

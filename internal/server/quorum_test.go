@@ -1,0 +1,163 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"prorp/internal/repl"
+)
+
+// TestQuorumAckTimeout covers -quorum-acks' refusal path: with K=1 and no
+// replica attached, a write journals and applies locally but its ack is
+// REFUSED with 503 + Retry-After — never silently downgraded to an async
+// ack — and the timeout counts on /metrics. Once a replica's polls cover
+// the journal, the same write mode acks normally.
+func TestQuorumAckTimeout(t *testing.T) {
+	clock := &fakeClock{t: t0}
+	net := &mapDoer{}
+
+	pcfg := replConfig(t.TempDir(), clock)
+	pcfg.QuorumAcks = 1
+	// Wall-clock by design: quorum is a liveness SLA on real replicas, so
+	// it must not hang off the injected test clock.
+	pcfg.QuorumTimeout = 40 * time.Millisecond
+	p, err := New(pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	net.bind("a", p)
+
+	rec := httptest.NewRecorder()
+	p.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/db", strings.NewReader(`{"id":1}`)))
+	if rec.Code != http.StatusServiceUnavailable || rec.Header().Get("Retry-After") == "" {
+		t.Fatalf("unreplicated quorum write = %d (Retry-After %q), want 503 with Retry-After",
+			rec.Code, rec.Header().Get("Retry-After"))
+	}
+	if body := rec.Body.String(); !strings.Contains(body, "quorum") || !strings.Contains(body, "0 replica(s) known") {
+		t.Fatalf("refusal does not explain itself: %s", body)
+	}
+	// The 503 means "unacknowledged under the replication contract", not
+	// "rolled back": the record is in the journal and applied locally, and
+	// may surface again at replay — exactly like a kill between fsync and
+	// response.
+	if _, err := p.Fleet().State(1); err != nil {
+		t.Fatalf("refused ack rolled back the journaled create: %v", err)
+	}
+	mrec := httptest.NewRecorder()
+	p.ServeHTTP(mrec, httptest.NewRequest("GET", "/metrics", nil))
+	if !strings.Contains(mrec.Body.String(), "prorp_repl_quorum_timeouts_total 1") {
+		t.Fatal("quorum timeout not counted on /metrics")
+	}
+
+	// A replica attaches; its polls are the quorum now.
+	rcfg := replConfig(t.TempDir(), clock)
+	rcfg.Role = repl.RoleReplica
+	rcfg.PrimaryAddr = "http://a"
+	rcfg.ReplDoer = net
+	rcfg.ReplPollInterval = time.Millisecond
+	r, err := New(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	id := 1
+	waitUntil(t, "quorum-acked writes to ack once the replica covers them", func() bool {
+		id++
+		rec := httptest.NewRecorder()
+		p.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/db",
+			strings.NewReader(fmt.Sprintf(`{"id":%d}`, id))))
+		return rec.Code == http.StatusCreated
+	})
+}
+
+// TestReplStateLeaseRoundTrip pins the PRR1 lease field: a renewed lease
+// persists its expiry instant, a reboot inside the grant restores it
+// (instead of instantly campaigning against a primary that was alive
+// moments ago), a pre-lease three-field file still boots — lease-less —
+// and a malformed file still refuses the boot.
+func TestReplStateLeaseRoundTrip(t *testing.T) {
+	clock := &fakeClock{t: t0}
+	dir := t.TempDir()
+	cfg := replConfig(dir, clock)
+	cfg.Role = repl.RoleReplica
+	cfg.PrimaryAddr = "http://nowhere"
+	cfg.ReplDoer = &mapDoer{} // nothing bound: the follower polls fail fast
+	cfg.LeaseTTL = 10 * time.Second
+	cfg.ElectionTimeout = time.Hour // the manual clock never advances; no campaigns
+	cfg.SelfAddr = "http://self"
+	cfg.NodeID = "self"
+	cfg.ReplPeers = map[string]string{"peer": "http://peer"}
+
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A node that never heard from a primary boots with an expired lease.
+	if !s.lease.Expired(clock.Now()) {
+		t.Fatal("fresh boot got a live lease")
+	}
+	s.lease.Renew(1, 0)
+	if err := s.persistReplState(s.Node().Epoch(), s.loadCursor(), true); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	data, err := os.ReadFile(replStatePath(cfg.WALDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var epoch uint64
+	var fenced int
+	var cur string
+	var leaseMs int64
+	if n, _ := fmt.Sscanf(string(data), "PRR1 %d %d %s %d", &epoch, &fenced, &cur, &leaseMs); n != 4 {
+		t.Fatalf("repl-state %q did not persist the lease field", data)
+	}
+	if want := t0.Add(10 * time.Second).UnixMilli(); leaseMs != want {
+		t.Fatalf("persisted lease expiry %d, want %d", leaseMs, want)
+	}
+
+	// Reboot inside the grant: the lease is alive until the persisted
+	// instant, no longer.
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.lease.Expired(clock.Now()) {
+		t.Fatal("reboot discarded an unexpired lease")
+	}
+	if got, want := s2.lease.Until(), t0.Add(10*time.Second); !got.Equal(want) {
+		t.Fatalf("restored lease until %v, want %v", got, want)
+	}
+	s2.Close()
+
+	// Files written before leases existed carry three fields: accepted,
+	// loaded lease-less.
+	if err := os.WriteFile(replStatePath(cfg.WALDir), []byte("PRR1 7 0 0:0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := New(cfg)
+	if err != nil {
+		t.Fatalf("three-field repl-state refused: %v", err)
+	}
+	if s3.Node().Epoch() != 7 || !s3.lease.Expired(clock.Now()) {
+		t.Fatalf("three-field boot: epoch=%d leaseExpired=%v", s3.Node().Epoch(), s3.lease.Expired(clock.Now()))
+	}
+	s3.Close()
+
+	// Guessing at fencing state is how split brain happens: malformed
+	// still refuses the boot.
+	if err := os.WriteFile(replStatePath(cfg.WALDir), []byte("PRR1 what\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(cfg); err == nil {
+		t.Fatal("malformed repl-state booted")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"path/filepath"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -52,28 +53,62 @@ type replCounters struct {
 	streamLag       atomic.Int64  // records behind at the last stream poll
 	applied         atomic.Uint64 // streamed records applied (replica)
 	applySkipped    atomic.Uint64 // streamed records already applied (replica)
+	quorumTimeouts  atomic.Uint64 // quorum-acked writes refused on timeout
+	votesGranted    atomic.Uint64 // election votes this node granted
+	votesRefused    atomic.Uint64 // election votes this node refused
+	announces       atomic.Uint64 // primary announces delivered to peers
 }
 
 // Node exposes the replication state machine, for host wiring and tests.
 func (s *Server) Node() *repl.Node { return s.node }
 
+// followerRef is the live follower, nil when this node is not following
+// anyone. Atomic because failover creates and drops followers at runtime.
+func (s *Server) followerRef() *repl.Follower { return s.followerP.Load() }
+
+// renewLease is the follower's OnPrimaryContact hook: authoritative
+// contact from the primary of epoch e extends the lease.
+func (s *Server) renewLease(e uint64, ttl time.Duration) {
+	if s.lease != nil {
+		s.lease.Renew(e, ttl)
+	}
+}
+
+// currentPrimary is the primary this node believes in right now; it moves
+// on every failover (Config.PrimaryAddr is only the boot-time value).
+func (s *Server) currentPrimary() string {
+	s.primaryMu.Lock()
+	defer s.primaryMu.Unlock()
+	return s.primaryAddr
+}
+
+func (s *Server) setPrimaryAddr(addr string) {
+	s.primaryMu.Lock()
+	defer s.primaryMu.Unlock()
+	s.primaryAddr = addr
+}
+
 // ReplicationLag reports how far behind the primary this node is: records
 // not yet applied, and the age in seconds of the newest applied record.
 // A primary reports zero on both.
 func (s *Server) ReplicationLag() (records int64, seconds float64) {
-	if s.follower == nil {
+	f := s.followerRef()
+	if f == nil {
 		return 0, 0
 	}
-	return s.follower.LagRecords(), s.follower.LagSeconds(s.now())
+	return f.LagRecords(), f.LagSeconds(s.now())
 }
 
 // ----- repl-state file ----------------------------------------------------
 
-// The repl-state file persists the node's epoch, fencing, and stream
-// cursor next to the journal, one line: "PRR1 <epoch> <fenced> <cursor>".
-// Epoch and fencing changes are fsynced (a fence that evaporates in a
-// crash is split brain); cursor-only progress is best-effort, since a
-// stale cursor merely re-streams idempotent records.
+// The repl-state file persists the node's epoch, fencing, stream cursor,
+// and lease expiry next to the journal, one line:
+// "PRR1 <epoch> <fenced> <cursor> <leaseUnixMilli>". Epoch and fencing
+// changes are fsynced (a fence that evaporates in a crash is split brain);
+// cursor-only progress is best-effort, since a stale cursor merely
+// re-streams idempotent records. The lease field makes reboots respect an
+// unexpired lease instead of instantly campaigning; files written before
+// leases existed carry three fields and load as lease-less.
 const replStateFile = "repl-state"
 
 func replStatePath(walDir string) string {
@@ -86,33 +121,39 @@ func replStatePath(walDir string) string {
 // loadReplState reads the persisted node state. A missing file is a fresh
 // node; a malformed one refuses the boot — guessing at fencing state is
 // how split brain happens.
-func loadReplState(fsys faults.FS, path string) (epoch uint64, fenced bool, c wal.Cursor, err error) {
+func loadReplState(fsys faults.FS, path string) (epoch uint64, fenced bool, c wal.Cursor, leaseMs int64, err error) {
 	if path == "" {
-		return 0, false, wal.Cursor{}, nil
+		return 0, false, wal.Cursor{}, 0, nil
 	}
 	f, err := fsys.Open(path)
 	if err != nil {
 		if errors.Is(err, iofs.ErrNotExist) {
-			return 0, false, wal.Cursor{}, nil
+			return 0, false, wal.Cursor{}, 0, nil
 		}
-		return 0, false, wal.Cursor{}, err
+		return 0, false, wal.Cursor{}, 0, err
 	}
 	data, err := io.ReadAll(f)
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
 	if err != nil {
-		return 0, false, wal.Cursor{}, err
+		return 0, false, wal.Cursor{}, 0, err
 	}
 	var fencedInt int
 	var curStr string
-	if _, err := fmt.Sscanf(string(data), "PRR1 %d %d %s", &epoch, &fencedInt, &curStr); err != nil {
-		return 0, false, wal.Cursor{}, fmt.Errorf("malformed repl state %q: %v", data, err)
+	// Four fields since leases landed; a pre-lease file has three, which
+	// Sscanf reports as n=3 with an error — accept it as lease-less.
+	n, serr := fmt.Sscanf(string(data), "PRR1 %d %d %s %d", &epoch, &fencedInt, &curStr, &leaseMs)
+	if n < 3 {
+		return 0, false, wal.Cursor{}, 0, fmt.Errorf("malformed repl state %q: %v", data, serr)
+	}
+	if n < 4 {
+		leaseMs = 0
 	}
 	if c, err = wal.ParseCursor(curStr); err != nil {
-		return 0, false, wal.Cursor{}, fmt.Errorf("malformed repl state cursor: %w", err)
+		return 0, false, wal.Cursor{}, 0, fmt.Errorf("malformed repl state cursor: %w", err)
 	}
-	return epoch, fencedInt != 0, c, nil
+	return epoch, fencedInt != 0, c, leaseMs, nil
 }
 
 // persistReplState atomically rewrites the repl-state file; doSync forces
@@ -128,7 +169,13 @@ func (s *Server) persistReplState(epoch uint64, c wal.Cursor, doSync bool) error
 	if s.node.Fenced() {
 		fenced = 1
 	}
-	line := fmt.Sprintf("PRR1 %d %d %s\n", epoch, fenced, c)
+	var leaseMs int64
+	if s.lease != nil {
+		if u := s.lease.Until(); !u.IsZero() {
+			leaseMs = u.UnixMilli()
+		}
+	}
+	line := fmt.Sprintf("PRR1 %d %d %s %d\n", epoch, fenced, c, leaseMs)
 	dir, base := filepath.Dir(path), filepath.Base(path)
 	f, err := s.cfg.FS.CreateTemp(dir, base+".tmp-*")
 	if err != nil {
@@ -156,8 +203,8 @@ func (s *Server) persistReplState(epoch uint64, c wal.Cursor, doSync bool) error
 // loadCursor is the node's current stream position: the live follower's
 // cursor on a replica, the last persisted one elsewhere.
 func (s *Server) loadCursor() wal.Cursor {
-	if s.follower != nil {
-		return s.follower.Cursor()
+	if f := s.followerRef(); f != nil {
+		return f.Cursor()
 	}
 	s.replMu.Lock()
 	defer s.replMu.Unlock()
@@ -184,7 +231,7 @@ var defaultReplClient = &http.Client{Timeout: 30 * time.Second}
 func (s *Server) applyStreamed(rec wal.Record) error {
 	s.walGate.RLock()
 	defer s.walGate.RUnlock()
-	if err := s.journalize(rec.Type, int(rec.ID), time.Unix(rec.Unix, 0)); err != nil {
+	if _, err := s.journalize(rec.Type, int(rec.ID), time.Unix(rec.Unix, 0)); err != nil {
 		return err
 	}
 	skipped, err := s.applyRecord(rec)
@@ -214,7 +261,7 @@ func (s *Server) replResync(primaryEpoch uint64) (wal.Cursor, error) {
 		// pre-resync journal against a post-resync cursor and diverge.
 		return wal.Cursor{}, errors.New("snapshot resync requires SnapshotPath on the replica")
 	}
-	req, err := http.NewRequest(http.MethodGet, s.cfg.PrimaryAddr+"/v1/repl/snapshot", nil)
+	req, err := http.NewRequest(http.MethodGet, s.currentPrimary()+"/v1/repl/snapshot", nil)
 	if err != nil {
 		return wal.Cursor{}, err
 	}
@@ -306,6 +353,13 @@ func (s *Server) observePeerEpoch(r *http.Request) {
 func (s *Server) handleReplStream(w http.ResponseWriter, r *http.Request) {
 	s.observePeerEpoch(r)
 	w.Header().Set(repl.HeaderEpoch, strconv.FormatUint(s.node.Epoch(), 10))
+	// The lease heartbeat rides the stream headers — but ONLY from the
+	// unfenced primary. A fenced ex-primary still serves the stream (its
+	// tail is what catch-up needs), yet it must not extend anyone's lease:
+	// a follower still pointed at it has to time out and elect.
+	if s.cfg.LeaseTTL > 0 && s.node.CanAcceptWrites() {
+		w.Header().Set(repl.HeaderLeaseTTL, strconv.FormatInt(s.cfg.LeaseTTL.Milliseconds(), 10))
+	}
 	if s.node.Role() != repl.RolePrimary || s.wal == nil {
 		// Replicas don't relay. A fenced primary, though, still serves the
 		// stream: its acknowledged tail is exactly what a catching-up
@@ -328,6 +382,13 @@ func (s *Server) handleReplStream(w http.ResponseWriter, r *http.Request) {
 		maxBytes = min(n, maxStreamBatch)
 	}
 	data, start, next, err := s.wal.ReadAfter(cur, maxBytes)
+	// A poll at ?after=<cur> means everything before cur is durably
+	// journaled on that follower: fold it into quorum coverage. Skip the
+	// foreign-lineage case — a cursor from another primary's stream space
+	// compares meaninglessly against ours and must not satisfy a quorum.
+	if s.coverage != nil && !errors.Is(err, wal.ErrCursorAhead) {
+		s.coverage.Observe(r.Header.Get(repl.HeaderNode), cur)
+	}
 	switch {
 	case errors.Is(err, wal.ErrCursorCompacted):
 		w.WriteHeader(http.StatusGone) // cursor below retained history: resync
@@ -402,24 +463,334 @@ func (s *Server) handleReplPromote(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	if s.follower != nil {
-		s.follower.Stop() // drain the in-flight batch, then no more pulls
+	epoch, err := s.promoteTo(0)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorJSON{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"role": s.node.Role().String(), "epoch": epoch, "promoted": true,
+	})
+}
+
+// promoteTo is the shared promotion path behind POST /v1/repl/promote
+// (to == 0: bump to a fresh epoch) and an election win (to > 0: become the
+// unfenced primary of exactly the epoch the electorate granted). It stops
+// and sheds the follower, promotes durably, re-arms the wake loop, and —
+// in failover mode — announces the new reign to the peers.
+func (s *Server) promoteTo(to uint64) (uint64, error) {
+	s.followMu.Lock()
+	defer s.followMu.Unlock()
+	if f := s.followerP.Load(); f != nil {
+		f.Stop() // drain the in-flight batch, then no more pulls
+		s.replMu.Lock()
+		s.replCursor = f.Cursor() // keep the final stream position on record
+		s.replMu.Unlock()
+		s.followerP.Store(nil)
 	}
 	cur := s.loadCursor()
-	epoch := s.node.Promote()
+	var epoch uint64
+	if to == 0 {
+		epoch = s.node.Promote()
+	} else {
+		if !s.node.PromoteTo(to) {
+			return 0, fmt.Errorf("promotion to epoch %d overtaken (node is at %d)", to, s.node.Epoch())
+		}
+		epoch = to
+	}
 	if err := s.persistReplState(epoch, cur, true); err != nil {
 		// Promoted in memory but not on disk: a crash now boots back into
 		// the old role. Surface it loudly instead of acking.
 		s.logf("promotion to epoch %d not durable: %v", epoch, err)
-		writeJSON(w, http.StatusInternalServerError,
-			errorJSON{Error: fmt.Sprintf("promoted to epoch %d, but persisting failed: %v", epoch, err)})
-		return
+		return 0, fmt.Errorf("promoted to epoch %d, but persisting failed: %v", epoch, err)
+	}
+	if s.cfg.SelfAddr != "" {
+		s.setPrimaryAddr(s.cfg.SelfAddr)
 	}
 	s.wakes.kick() // the wake loop may start arming timers now
 	s.logf("promoted: primary of epoch %d (stream cursor was %s)", epoch, cur)
-	writeJSON(w, http.StatusOK, map[string]any{
-		"role": s.node.Role().String(), "epoch": epoch, "promoted": true,
+	if s.elector != nil {
+		go s.announcePeers() // tell the cluster now, not at the next beat
+	}
+	return epoch, nil
+}
+
+// adoptPrimary folds in word of a primary at addr holding epoch e (an
+// announce received, or a vote refusal naming the leader): adopt the
+// epoch — fencing this node if it was an unfenced primary — renew the
+// lease, and point the follower at the new address.
+func (s *Server) adoptPrimary(addr string, e uint64, ttl time.Duration) {
+	if e < s.node.Epoch() || addr == "" || addr == s.cfg.SelfAddr {
+		return
+	}
+	if s.node.ObserveEpoch(e) {
+		if err := s.persistReplState(s.node.Epoch(), s.loadCursor(), true); err != nil {
+			s.logf("persisting adopted epoch %d: %v", e, err)
+		}
+		if s.node.Fenced() {
+			s.logf("fenced: %s announced epoch %d; this node no longer accepts writes", addr, e)
+		}
+	}
+	if s.node.CanAcceptWrites() {
+		return // still the unfenced primary of e: nothing to follow
+	}
+	s.renewLease(e, ttl)
+	s.setPrimaryAddr(addr)
+	s.ensureFollowing(addr)
+}
+
+// ensureFollowing points this node's pull loop at addr, creating the
+// follower if none exists — the self-healing half of failover: a fenced
+// ex-primary auto-demotes into a follower of the winner, no operator in
+// the loop. A live follower is repointed, which forces a snapshot resync
+// (journal offsets are per-lineage; resuming a cursor against a different
+// primary's stream would double-apply).
+func (s *Server) ensureFollowing(addr string) {
+	if addr == "" || addr == s.cfg.SelfAddr {
+		return
+	}
+	s.followMu.Lock()
+	defer s.followMu.Unlock()
+	if s.closing || s.node.CanAcceptWrites() {
+		return
+	}
+	if f := s.followerP.Load(); f != nil {
+		f.SetPrimary(addr)
+		return
+	}
+	if s.wal == nil || s.store == nil {
+		s.logf("cannot auto-follow %s: following requires WALDir and SnapshotPath", addr)
+		return
+	}
+	f := repl.NewFollower(repl.FollowerConfig{
+		PrimaryURL:    addr,
+		Doer:          s.replDoer(),
+		Clock:         s.clock,
+		PollInterval:  s.cfg.ReplPollInterval,
+		MaxBatchBytes: s.cfg.ReplMaxBatchBytes,
+		Node:          s.node,
+		NodeID:        s.cfg.NodeID,
+		Apply:         s.applyStreamed,
+		Persist:       s.persistReplState,
+		Resync:        s.replResync,
+		// An ex-primary's journal is its own lineage; only the new
+		// primary's snapshot is a safe starting point.
+		ResyncOnStart:    true,
+		OnPrimaryContact: s.renewLease,
+		Logf:             s.logf,
+	}, wal.Cursor{})
+	s.followerP.Store(f)
+	f.Start()
+	s.logf("following %s (auto-demoted into a replica)", addr)
+}
+
+// voteCursor is this node's position for vote comparisons: the follower's
+// stream cursor when following, the journal's durable end when this node
+// is (or last was) the stream's source, the persisted cursor otherwise.
+func (s *Server) voteCursor() wal.Cursor {
+	if f := s.followerRef(); f != nil {
+		return f.Cursor()
+	}
+	if s.wal != nil && s.node.Role() == repl.RolePrimary {
+		return s.wal.DurableCursor()
+	}
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	return s.replCursor
+}
+
+// handleReplVote is the voter side of a replica-initiated election; the
+// verdict logic lives in repl.HandleVote.
+// readControlBody reads a control-plane request body into v, verifying
+// the sender's checksum when one was sent (our own clients always send
+// one; a bare curl may not). A mismatch means the body was damaged in
+// flight and must not be acted on.
+func readControlBody(w http.ResponseWriter, r *http.Request, limit int64, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		return err
+	}
+	if want := r.Header.Get(repl.HeaderSum); want != "" {
+		if got := repl.BodySum(body); got != want {
+			return fmt.Errorf("body damaged in flight: sum %s, want %s", got, want)
+		}
+	}
+	return json.Unmarshal(body, v)
+}
+
+// writeSummedJSON writes a control-plane JSON response with its CRC in
+// repl.HeaderSum, so the receiver can reject bodies damaged in flight
+// instead of folding in a corrupted epoch.
+func writeSummedJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorJSON{Error: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(repl.HeaderSum, repl.BodySum(body))
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+func (s *Server) handleReplVote(w http.ResponseWriter, r *http.Request) {
+	var req repl.VoteRequest
+	if err := readControlBody(w, r, 1<<12, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "bad vote body: " + err.Error()})
+		return
+	}
+	if req.Epoch == 0 {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "vote epoch must be positive"})
+		return
+	}
+	leader := s.currentPrimary()
+	if s.node.CanAcceptWrites() {
+		leader = s.cfg.SelfAddr
+	}
+	resp := repl.HandleVote(s.node, s.voteCursor(), leader, func() error {
+		return s.persistReplState(s.node.Epoch(), s.loadCursor(), true)
+	}, req)
+	if resp.Granted {
+		s.repl.votesGranted.Add(1)
+		// Granting is evidence an election is already in progress: stand
+		// down for a full TTL (Raft's reset-timer-on-grant), or a voter
+		// whose own deadline fires moments later dethrones the fresh
+		// winner before its first announce can land.
+		if s.lease != nil {
+			s.lease.Renew(resp.Epoch, 0)
+		}
+		s.logf("vote granted: %s is our candidate for epoch %d", req.Candidate, req.Epoch)
+	} else {
+		s.repl.votesRefused.Add(1)
+		s.logf("vote refused for %s (epoch %d): %s", req.Candidate, req.Epoch, resp.Reason)
+	}
+	writeSummedJSON(w, http.StatusOK, resp)
+}
+
+// announceBody is the primary's reign broadcast, POSTed to
+// /v1/repl/announce on every peer each LeaseTTL/2.
+type announceBody struct {
+	Epoch uint64 `json:"epoch"`
+	Addr  string `json:"addr"`
+	Node  string `json:"node"`
+}
+
+// handleReplAnnounce receives a primary's reign broadcast. Accepting it
+// renews the lease and (re)points the follower — including auto-demoting
+// a fenced ex-primary that just rebooted. The response carries this
+// node's epoch, so a STALE announcer learns it was superseded and fences
+// itself: fencing closes in both directions.
+func (s *Server) handleReplAnnounce(w http.ResponseWriter, r *http.Request) {
+	var req announceBody
+	if err := readControlBody(w, r, 1<<12, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "bad announce body: " + err.Error()})
+		return
+	}
+	if req.Epoch == 0 || req.Addr == "" {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "announce requires epoch and addr"})
+		return
+	}
+	s.adoptPrimary(req.Addr, req.Epoch, 0)
+	writeSummedJSON(w, http.StatusOK, map[string]any{
+		"epoch":  s.node.Epoch(),
+		"fenced": s.node.Fenced(),
+		"role":   s.node.Role().String(),
 	})
+}
+
+// announceLoop broadcasts this node's reign to every peer each LeaseTTL/2
+// while it is the unfenced primary — the out-of-band half of the lease
+// heartbeat (the in-band half rides the stream response headers), and
+// what re-captures a rebooted ex-primary that nobody is streaming from.
+func (s *Server) announceLoop() {
+	defer s.bg.Done()
+	interval := s.cfg.LeaseTTL / 2
+	if interval <= 0 {
+		interval = time.Second
+	}
+	for {
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+		if s.node.CanAcceptWrites() {
+			s.announcePeers()
+		}
+		s.sleepInterruptible(interval)
+	}
+}
+
+// sleepInterruptible sleeps on the injected clock, returning early on
+// shutdown; the clock's Sleep runs in a goroutine so a manual test clock
+// cannot wedge Close.
+func (s *Server) sleepInterruptible(d time.Duration) {
+	ch := make(chan struct{})
+	go func() {
+		s.clock.Sleep(d)
+		close(ch)
+	}()
+	select {
+	case <-s.stop:
+	case <-ch:
+	}
+}
+
+// announcePeers POSTs one reign broadcast to every peer in parallel and
+// folds each response's epoch back in — a peer that refuses because it
+// has seen further is how a stale primary discovers it must fence.
+func (s *Server) announcePeers() {
+	body, err := json.Marshal(announceBody{
+		Epoch: s.node.Epoch(), Addr: s.cfg.SelfAddr, Node: s.cfg.NodeID,
+	})
+	if err != nil {
+		return
+	}
+	var wg sync.WaitGroup
+	for name, base := range s.cfg.ReplPeers {
+		wg.Add(1)
+		go func(name, base string) {
+			defer wg.Done()
+			req, err := http.NewRequest(http.MethodPost, base+"/v1/repl/announce", bytes.NewReader(body))
+			if err != nil {
+				return
+			}
+			req.Header.Set("Content-Type", "application/json")
+			req.Header.Set(repl.HeaderEpoch, strconv.FormatUint(s.node.Epoch(), 10))
+			req.Header.Set(repl.HeaderSum, repl.BodySum(body))
+			resp, err := s.replDoer().Do(req)
+			if err != nil {
+				return
+			}
+			defer func() {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}()
+			s.repl.announces.Add(1)
+			// Only a checksum-verified response may move the epoch: a bit
+			// flip in the reply must read as a dropped round trip, not as a
+			// peer from the future.
+			rbody, err := repl.VerifiedBody(resp, 1<<12)
+			if err != nil {
+				return
+			}
+			var out struct {
+				Epoch uint64 `json:"epoch"`
+			}
+			if json.Unmarshal(rbody, &out) == nil && out.Epoch > 0 {
+				if s.node.ObserveEpoch(out.Epoch) {
+					if perr := s.persistReplState(s.node.Epoch(), s.loadCursor(), true); perr != nil {
+						s.logf("persisting epoch %d learned from %s: %v", out.Epoch, name, perr)
+					}
+					if s.node.Fenced() {
+						s.logf("fenced: peer %s is at epoch %d; this node no longer accepts writes", name, out.Epoch)
+					}
+				}
+			}
+		}(name, base)
+	}
+	wg.Wait()
 }
 
 // handleReplFence force-feeds the node an epoch, fencing a primary
@@ -487,13 +858,18 @@ func (s *Server) registerReplMetrics() {
 		{"prorp_repl_snapshots_served_total", "Resync snapshots served to followers.", &s.repl.snapshotsServed},
 		{"prorp_repl_records_applied_total", "Streamed records journaled and applied.", &s.repl.applied},
 		{"prorp_repl_records_skipped_total", "Streamed records skipped as already applied.", &s.repl.applySkipped},
+		{"prorp_repl_election_votes_granted_total", "Election votes this node granted.", &s.repl.votesGranted},
+		{"prorp_repl_election_votes_refused_total", "Election votes this node refused.", &s.repl.votesRefused},
 	}
 	for _, c := range counters {
 		v := c.v
 		reg.CounterFunc(c.name, c.help, func() uint64 { return v.Load() })
 	}
 
-	if s.follower != nil {
+	// Follower counters sample through the atomic pointer: failover creates
+	// followers after registration (an ex-primary auto-demoting), so they
+	// are registered whenever one exists now OR could exist later.
+	if s.followerRef() != nil || len(s.cfg.ReplPeers) > 0 {
 		followerCounters := []struct {
 			name, help string
 			fn         func(repl.FollowerStats) uint64
@@ -506,7 +882,47 @@ func (s *Server) registerReplMetrics() {
 		}
 		for _, c := range followerCounters {
 			fn := c.fn
-			reg.CounterFunc(c.name, c.help, func() uint64 { return fn(s.follower.Stats()) })
+			reg.CounterFunc(c.name, c.help, func() uint64 {
+				f := s.followerRef()
+				if f == nil {
+					return 0
+				}
+				return fn(f.Stats())
+			})
 		}
+	}
+
+	if s.lease != nil {
+		reg.GaugeFunc("prorp_repl_lease_ttl_seconds", "Configured primary-lease TTL.",
+			func() float64 { return s.lease.TTL().Seconds() })
+		reg.GaugeFunc("prorp_repl_lease_remaining_seconds", "Lease remaining (negative: lapsed by that much).",
+			func() float64 { return s.lease.Remaining(s.now()).Seconds() })
+		reg.GaugeFunc("prorp_repl_lease_expired", "1 when the primary lease has lapsed.",
+			func() float64 {
+				if s.lease.Expired(s.now()) {
+					return 1
+				}
+				return 0
+			})
+		reg.CounterFunc("prorp_repl_lease_renewals_total", "Lease renewals from primary contact.",
+			func() uint64 { return s.lease.Renewals() })
+	}
+	if s.elector != nil {
+		reg.CounterFunc("prorp_repl_election_campaigns_total", "Candidacies this node stood.",
+			func() uint64 { return s.elector.Stats().Campaigns })
+		reg.CounterFunc("prorp_repl_election_wins_total", "Elections this node won.",
+			func() uint64 { return s.elector.Stats().Wins })
+		reg.CounterFunc("prorp_repl_election_losses_total", "Candidacies that fell short of a majority.",
+			func() uint64 { return s.elector.Stats().Losses })
+		reg.CounterFunc("prorp_repl_announces_total", "Reign broadcasts delivered to peers.",
+			func() uint64 { return s.repl.announces.Load() })
+	}
+	if s.coverage != nil {
+		reg.GaugeFunc("prorp_repl_quorum_acks", "Replica acks each write waits for (K).",
+			func() float64 { return float64(s.cfg.QuorumAcks) })
+		reg.GaugeFunc("prorp_repl_quorum_peers", "Distinct followers observed for quorum coverage.",
+			func() float64 { return float64(s.coverage.Peers()) })
+		reg.CounterFunc("prorp_repl_quorum_timeouts_total", "Quorum-acked writes refused on timeout.",
+			func() uint64 { return s.repl.quorumTimeouts.Load() })
 	}
 }

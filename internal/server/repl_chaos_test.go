@@ -201,16 +201,16 @@ func chaosReplFailover(t *testing.T, seed int64) {
 	defer a2.Close()
 	net.bind("a", a2)
 
-	deadline := time.Now().Add(60 * time.Second)
+	deadline := time.Now().Add(120 * time.Second)
 	for {
 		if a2.Node().Epoch() >= 2 && bytes.Equal(archive(t, b), archive(t, a2)) {
 			break
 		}
 		if time.Now().After(deadline) {
 			ba, aa := archive(t, b), archive(t, a2)
-			st := a2.follower.Stats()
+			st := a2.followerRef().Stats()
 			t.Fatalf("old primary did not converge: epoch=%d cursor=%s stats=%+v lastErr=%q archB=%d archA2=%d equal=%v",
-				a2.Node().Epoch(), a2.follower.Cursor(), st, a2.follower.LastError(), len(ba), len(aa), bytes.Equal(ba, aa))
+				a2.Node().Epoch(), a2.followerRef().Cursor(), st, a2.followerRef().LastError(), len(ba), len(aa), bytes.Equal(ba, aa))
 		}
 		time.Sleep(2 * time.Millisecond)
 	}

@@ -63,7 +63,7 @@ func napSleep(d time.Duration) {
 // waitUntil polls cond until it holds or a generous deadline passes.
 func waitUntil(t *testing.T, what string, cond func() bool) {
 	t.Helper()
-	deadline := time.Now().Add(60 * time.Second)
+	deadline := time.Now().Add(120 * time.Second)
 	for time.Now().Before(deadline) {
 		if cond() {
 			return
@@ -270,7 +270,7 @@ func TestFollowerConvergence(t *testing.T) {
 	// Byte equality can be observed between the fleet swap and the resync
 	// counter increment, so the wait covers both.
 	waitUntil(t, "replica to converge byte-identically", func() bool {
-		return replica.follower.Stats().Resyncs >= 1 &&
+		return replica.followerRef().Stats().Resyncs >= 1 &&
 			bytes.Equal(archive(t, primary), archive(t, replica))
 	})
 
@@ -358,9 +358,9 @@ func TestReplicaRejectsCorruptSnapshot(t *testing.T) {
 
 	// Resync attempts keep failing the container checksum; none adopts.
 	waitUntil(t, "corrupt resyncs to be refused", func() bool {
-		return replica.follower.Stats().StreamErrors >= 3
+		return replica.followerRef().Stats().StreamErrors >= 3
 	})
-	if got := replica.follower.Stats().Resyncs; got != 0 {
+	if got := replica.followerRef().Stats().Resyncs; got != 0 {
 		t.Fatalf("resyncs completed against a corrupt snapshot: %d", got)
 	}
 	if got := replica.Fleet().Size(); got != 0 {
@@ -375,7 +375,7 @@ func TestReplicaRejectsCorruptSnapshot(t *testing.T) {
 	// Corruption clears; the very same follower converges.
 	cd.corrupt.Store(false)
 	waitUntil(t, "replica to converge after the corruption clears", func() bool {
-		return replica.follower.Stats().Resyncs >= 1 &&
+		return replica.followerRef().Stats().Resyncs >= 1 &&
 			bytes.Equal(archive(t, primary), archive(t, replica))
 	})
 }
@@ -444,9 +444,12 @@ func TestPromoteAndFencing(t *testing.T) {
 	if rec.Code != http.StatusServiceUnavailable {
 		t.Fatalf("write on fenced primary = %d, want 503", rec.Code)
 	}
+	// A fenced ex-primary that follows nobody is a zombie: it can neither
+	// accept writes nor converge, so /healthz reports it unhealthy until
+	// failover re-attaches it to the new primary.
 	code, out = call(t, a, "GET", "/healthz", "")
-	wantStatus(t, code, http.StatusOK, out)
-	if out["fenced"] != true || out["role"] != "primary" {
+	wantStatus(t, code, http.StatusServiceUnavailable, out)
+	if out["fenced"] != true || out["role"] != "primary" || out["status"] != "fenced" {
 		t.Fatalf("fenced primary healthz = %v", out)
 	}
 
@@ -480,8 +483,8 @@ func TestPromoteAndFencing(t *testing.T) {
 		t.Fatalf("write on rebooted fenced primary = %d, want 503", rec.Code)
 	}
 	code, out = call(t, a2, "GET", "/healthz", "")
-	wantStatus(t, code, http.StatusOK, out)
-	if out["fenced"] != true {
+	wantStatus(t, code, http.StatusServiceUnavailable, out)
+	if out["fenced"] != true || out["status"] != "fenced" {
 		t.Fatalf("rebooted ex-primary healthz = %v", out)
 	}
 }

@@ -418,7 +418,7 @@ func (s *Server) sweepDisowned() int {
 			continue
 		}
 		s.walGate.RLock()
-		err := s.journalize(wal.RecordDelete, id, s.now())
+		_, err := s.journalize(wal.RecordDelete, id, s.now())
 		if err == nil {
 			err = s.Fleet().Delete(id)
 		}

@@ -139,6 +139,38 @@ type Config struct {
 	// ReplMaxBatchBytes caps one replication stream batch (0 = default,
 	// 256 KiB).
 	ReplMaxBatchBytes int
+	// LeaseTTL, when positive, enables the self-healing failover layer: the
+	// primary grants followers a lease of this duration over the stream
+	// headers (and over periodic announces), and a follower whose lease
+	// lapses stands for election instead of waiting for an operator.
+	// Requires ReplPeers and SelfAddr. See DESIGN.md §11.
+	LeaseTTL time.Duration
+	// ElectionTimeout is the base randomized election timeout: a candidate
+	// waits ElectionTimeout + rand(0, ElectionTimeout) after its lease
+	// lapses before standing (0 = LeaseTTL).
+	ElectionTimeout time.Duration
+	// ElectionSeed seeds the election jitter (0 = time-seeded); chaos tests
+	// pin it for reproducibility.
+	ElectionSeed int64
+	// QuorumAcks, when positive, makes every write wait — after the local
+	// journal fsync — until this many distinct follower cursors cover the
+	// record before acking (quorum-acked write mode). A write that cannot
+	// reach quorum within QuorumTimeout is refused with 503, never silently
+	// downgraded to async replication. Requires WALDir.
+	QuorumAcks int
+	// QuorumTimeout bounds one quorum-acked replication wait (0 = 5s).
+	// Wall-clock by design: quorum is a liveness SLA on real replicas.
+	QuorumTimeout time.Duration
+	// ReplPeers maps every OTHER replication-cluster member's name to its
+	// base URL — the electorate for leases/elections and the announce
+	// fan-out target.
+	ReplPeers map[string]string
+	// NodeID names this node in stream polls (the quorum-coverage key) and
+	// vote requests (default: SelfAddr, then "node").
+	NodeID string
+	// SelfAddr is this node's own base URL, announced to peers when it wins
+	// an election so they repoint their followers at it.
+	SelfAddr string
 	// Group, when non-empty, makes this node part of a horizontally
 	// partitioned control plane: database ids hash into slots, slots are
 	// owned by named groups (see internal/shardmap), and every per-database
@@ -197,13 +229,29 @@ type Server struct {
 	ops     opsCounters
 
 	// Replication: node is the role/epoch state machine (always non-nil),
-	// follower the pull loop (replicas only). replMu guards the repl-state
-	// file and the cached cursor; the stream-side counters live in repl.
+	// followerP the pull loop — atomic because self-healing failover
+	// creates and drops followers at runtime (a fenced ex-primary
+	// auto-demotes into one, an election winner sheds its own). replMu
+	// guards the repl-state file and the cached cursor; the stream-side
+	// counters live in repl.
 	node       *repl.Node
-	follower   *repl.Follower
+	followerP  atomic.Pointer[repl.Follower]
 	replMu     sync.Mutex
 	replCursor wal.Cursor
 	repl       replCounters
+
+	// Self-healing failover (nil/zero unless Config.LeaseTTL is set):
+	// lease tracks primary liveness, elector campaigns when it lapses,
+	// coverage tracks follower cursors for quorum-acked writes. followMu
+	// serializes follower create/repoint/stop against promotion; primaryMu
+	// guards the mutable primary address (it moves on every failover).
+	lease       *repl.Lease
+	elector     *repl.Elector
+	coverage    *wal.Coverage
+	followMu    sync.Mutex
+	closing     bool // under followMu: no new followers past Close/Kill
+	primaryMu   sync.Mutex
+	primaryAddr string
 
 	// Partitioning: router is the shard-map routing state (nil when
 	// Config.Group is empty — the single-group layout), migrateMu
@@ -275,6 +323,31 @@ func New(cfg Config) (*Server, error) {
 			// The replica's whole crash story is journalize-before-apply;
 			// without a journal a restart would silently lose applied state.
 			return nil, errors.New("server: replica role requires WALDir")
+		}
+	}
+	if cfg.LeaseTTL > 0 {
+		if len(cfg.ReplPeers) == 0 {
+			return nil, errors.New("server: LeaseTTL requires ReplPeers (the electorate)")
+		}
+		if cfg.SelfAddr == "" {
+			return nil, errors.New("server: LeaseTTL requires SelfAddr (announced on election win)")
+		}
+		if cfg.ElectionTimeout <= 0 {
+			cfg.ElectionTimeout = cfg.LeaseTTL
+		}
+	}
+	if cfg.QuorumAcks > 0 {
+		if cfg.WALDir == "" {
+			return nil, errors.New("server: QuorumAcks requires WALDir (quorum covers journal cursors)")
+		}
+		if cfg.QuorumTimeout <= 0 {
+			cfg.QuorumTimeout = 5 * time.Second
+		}
+	}
+	if cfg.NodeID == "" {
+		cfg.NodeID = cfg.SelfAddr
+		if cfg.NodeID == "" {
+			cfg.NodeID = "node"
 		}
 	}
 	clock := funcClock{now: cfg.Now, sleep: cfg.Sleep}
@@ -370,10 +443,13 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.fleetP.Store(fleet)
 
-	// Restore the replication node state (epoch, fencing, stream cursor)
-	// from the repl-state file next to the journal; a demoted primary must
-	// come back fenced or a restart would quietly un-demote it.
-	epoch, fenced, cursor, err := loadReplState(cfg.FS, replStatePath(cfg.WALDir))
+	// Restore the replication node state (epoch, fencing, stream cursor,
+	// lease) from the repl-state file next to the journal; a demoted
+	// primary must come back fenced or a restart would quietly un-demote
+	// it, and a reboot inside an unexpired lease must respect it rather
+	// than instantly campaign against a primary that was alive moments ago.
+	s.primaryAddr = cfg.PrimaryAddr
+	epoch, fenced, cursor, leaseMs, err := loadReplState(cfg.FS, replStatePath(cfg.WALDir))
 	if err != nil {
 		fleet.Close()
 		if journal != nil {
@@ -383,6 +459,15 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.node = repl.RestoreNode(cfg.Role, epoch, fenced)
 	s.replCursor = cursor
+	if cfg.LeaseTTL > 0 {
+		s.lease = repl.NewLease(clock, cfg.LeaseTTL)
+		if leaseMs > 0 {
+			s.lease.RestoreUntil(s.node.Epoch(), time.UnixMilli(leaseMs))
+		}
+	}
+	if cfg.QuorumAcks > 0 {
+		s.coverage = wal.NewCoverage()
+	}
 	if fenced && cfg.Role == repl.RolePrimary {
 		cfg.Logf("booting fenced at epoch %d: a newer primary exists, writes stay rejected", s.node.Epoch())
 	}
@@ -424,19 +509,21 @@ func New(cfg Config) (*Server, error) {
 		if resyncFirst {
 			cfg.Logf("replica boot: %d databases restored but no stream cursor; forcing snapshot resync", fleet.Size())
 		}
-		s.follower = repl.NewFollower(repl.FollowerConfig{
-			PrimaryURL:    cfg.PrimaryAddr,
-			Doer:          s.replDoer(),
-			Clock:         clock,
-			PollInterval:  cfg.ReplPollInterval,
-			MaxBatchBytes: cfg.ReplMaxBatchBytes,
-			Node:          s.node,
-			Apply:         s.applyStreamed,
-			Persist:       s.persistReplState,
-			Resync:        s.replResync,
-			ResyncOnStart: resyncFirst,
-			Logf:          cfg.Logf,
-		}, cursor)
+		s.followerP.Store(repl.NewFollower(repl.FollowerConfig{
+			PrimaryURL:       cfg.PrimaryAddr,
+			Doer:             s.replDoer(),
+			Clock:            clock,
+			PollInterval:     cfg.ReplPollInterval,
+			MaxBatchBytes:    cfg.ReplMaxBatchBytes,
+			Node:             s.node,
+			NodeID:           cfg.NodeID,
+			Apply:            s.applyStreamed,
+			Persist:          s.persistReplState,
+			Resync:           s.replResync,
+			ResyncOnStart:    resyncFirst,
+			OnPrimaryContact: s.renewLease,
+			Logf:             cfg.Logf,
+		}, cursor))
 	}
 
 	if cfg.Group != "" {
@@ -457,6 +544,32 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 
+	if cfg.LeaseTTL > 0 {
+		s.elector = repl.NewElector(repl.ElectorConfig{
+			NodeID:   cfg.NodeID,
+			SelfAddr: cfg.SelfAddr,
+			Peers:    cfg.ReplPeers,
+			Node:     s.node,
+			Lease:    s.lease,
+			Clock:    clock,
+			Doer:     s.replDoer(),
+			Timeout:  cfg.ElectionTimeout,
+			Seed:     cfg.ElectionSeed,
+			// Only a node that is actively following (and so has a journal
+			// position in the current primary's cursor space) may stand: a
+			// fenced ex-primary that has not re-attached yet has nothing
+			// comparable to offer the electorate.
+			Eligible: func() bool { return !s.node.CanAcceptWrites() && s.followerRef() != nil },
+			Cursor:   s.loadCursor,
+			Persist: func() error {
+				return s.persistReplState(s.node.Epoch(), s.loadCursor(), true)
+			},
+			Promote:  func(e uint64) error { _, err := s.promoteTo(e); return err },
+			OnLeader: func(addr string, e uint64) { s.adoptPrimary(addr, e, 0) },
+			Logf:     cfg.Logf,
+		})
+	}
+
 	s.predHist = reg.Histogram("prorp_prediction_duration_seconds",
 		"Algorithm 4 prediction-scan latency (GET /v1/db ExplainPrediction).", obs.LatencyBuckets)
 	fleet.InstrumentObs(reg)
@@ -470,8 +583,13 @@ func New(cfg Config) (*Server, error) {
 		s.bg.Add(1)
 		go s.snapshotLoop()
 	}
-	if s.follower != nil {
-		s.follower.Start()
+	if f := s.followerP.Load(); f != nil {
+		f.Start()
+	}
+	if s.elector != nil {
+		s.elector.Start()
+		s.bg.Add(1)
+		go s.announceLoop()
 	}
 	return s, nil
 }
@@ -482,9 +600,15 @@ func New(cfg Config) (*Server, error) {
 // shard workers.
 func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
-		if s.follower != nil {
-			s.follower.Stop() // no new streamed records past this point
+		if s.elector != nil {
+			s.elector.Stop() // no new candidacies past this point
 		}
+		s.followMu.Lock()
+		s.closing = true // no announce may spawn a fresh follower now
+		if f := s.followerP.Load(); f != nil {
+			f.Stop() // no new streamed records past this point
+		}
+		s.followMu.Unlock()
 		close(s.stop)
 		s.bg.Wait()
 		s.Fleet().Close() // drains shard queues, stops workers
@@ -510,9 +634,15 @@ func (s *Server) Close() error {
 // uses it to model a crash; production shutdown is Close.
 func (s *Server) Kill() {
 	s.closeOnce.Do(func() {
-		if s.follower != nil {
-			s.follower.Stop()
+		if s.elector != nil {
+			s.elector.Stop()
 		}
+		s.followMu.Lock()
+		s.closing = true
+		if f := s.followerP.Load(); f != nil {
+			f.Stop()
+		}
+		s.followMu.Unlock()
 		close(s.stop)
 		s.bg.Wait()
 		s.Fleet().Close()
@@ -583,25 +713,52 @@ func (s *Server) applyReplay(rec wal.Record) {
 }
 
 // journalize records one mutation in the event journal, retrying transient
-// failures. A nil return means the record is durable per the configured
-// fsync policy and the mutation may be acknowledged; a non-nil return
-// means it must not be. Callers hold walGate shared across the
-// journalize + fleet-apply pair.
-func (s *Server) journalize(typ wal.RecordType, id int, t time.Time) error {
+// failures, and returns the end-of-record cursor (the quorum-coverage
+// target in quorum-acked mode; zero when journaling is disabled). A nil
+// error means the record is durable per the configured fsync policy and
+// the mutation may be acknowledged; a non-nil error means it must not be.
+// Callers hold walGate shared across the journalize + fleet-apply pair.
+func (s *Server) journalize(typ wal.RecordType, id int, t time.Time) (wal.Cursor, error) {
 	if s.wal == nil {
-		return nil
+		return wal.Cursor{}, nil
 	}
 	rec := wal.Record{Type: typ, ID: int64(id), Unix: t.Unix()}
+	var end wal.Cursor
 	_, err := faults.Retry(s.clock, s.cfg.Backoff, func() error {
-		return s.wal.Append(rec)
+		cur, aerr := s.wal.Append(rec)
+		if aerr == nil {
+			end = cur
+		}
+		return aerr
 	})
 	if err != nil {
 		s.ops.walAppendFailures.Add(1)
 		s.logf("wal append %s(%d) failed: %v", typ, id, err)
-		return fmt.Errorf("%w: %v", errJournalUnavailable, err)
+		return wal.Cursor{}, fmt.Errorf("%w: %v", errJournalUnavailable, err)
+	}
+	return end, nil
+}
+
+// waitQuorum blocks a just-journaled write until QuorumAcks distinct
+// follower cursors cover it (no-op outside quorum-acked mode). A timeout
+// is a refusal, never a silent downgrade to async replication: the record
+// IS durable locally and WILL replicate, but the contract the client asked
+// for was not met inside the deadline, so the write is not acknowledged.
+func (s *Server) waitQuorum(end wal.Cursor) error {
+	if s.coverage == nil || s.cfg.QuorumAcks <= 0 || end.IsZero() {
+		return nil
+	}
+	if err := s.coverage.WaitCovered(end, s.cfg.QuorumAcks, s.cfg.QuorumTimeout); err != nil {
+		s.repl.quorumTimeouts.Add(1)
+		return fmt.Errorf("%w: %d ack(s) required, %d replica(s) known",
+			errQuorumUnreached, s.cfg.QuorumAcks, s.coverage.Peers())
 	}
 	return nil
 }
+
+// errQuorumUnreached refuses a quorum-acked write that could not reach K
+// replica acks inside QuorumTimeout. Mapped to HTTP 503 with Retry-After.
+var errQuorumUnreached = errors.New("quorum not reached: write journaled but not replica-acknowledged")
 
 // errJournalUnavailable refuses a mutation whose journal append failed:
 // without a durable record the event cannot be acknowledged. Mapped to
@@ -854,6 +1011,8 @@ func (s *Server) buildMux() {
 	handle("POST", "/v1/ops/snapshot", s.handleOpsSnapshot)
 	handle("POST", "/v1/repl/promote", s.handleReplPromote)
 	handle("POST", "/v1/repl/fence", s.handleReplFence)
+	handle("POST", "/v1/repl/vote", s.handleReplVote)
+	handle("POST", "/v1/repl/announce", s.handleReplAnnounce)
 	handle("GET", "/v1/shard/map", s.handleShardMap)
 	handle("POST", "/v1/shard/migrate", s.handleShardMigrate)
 	handle("POST", "/v1/shard/reconcile", s.handleShardReconcile)
@@ -916,6 +1075,11 @@ func writeErr(w http.ResponseWriter, err error) {
 	case errors.Is(err, shardedfleet.ErrBacklog):
 		// Shard queue full: shed load, tell the client to back off.
 		status = http.StatusTooManyRequests
+	case errors.Is(err, errQuorumUnreached):
+		// The record is journaled locally and will replicate; the client's
+		// quorum contract was not met in time, so the write is unacked.
+		w.Header().Set("Retry-After", "1")
+		status = http.StatusServiceUnavailable
 	case errors.Is(err, shardedfleet.ErrClosed), errors.Is(err, errJournalUnavailable),
 		errors.Is(err, errNotPrimary):
 		status = http.StatusServiceUnavailable
@@ -999,7 +1163,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	s.walGate.RLock()
 	_, jspan := s.tracer.Start(r.Context(), "wal.append")
-	err = s.journalize(wal.RecordCreate, req.ID, createdAt)
+	end, err := s.journalize(wal.RecordCreate, req.ID, createdAt)
 	jspan.End()
 	if err == nil {
 		_, aspan := s.tracer.Start(r.Context(), "fleet.create")
@@ -1007,6 +1171,11 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		aspan.End()
 	}
 	s.walGate.RUnlock()
+	if err == nil {
+		// Quorum wait happens OUTSIDE walGate: a slow replica must not
+		// block snapshots or other writers, only this ack.
+		err = s.waitQuorum(end)
+	}
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -1032,7 +1201,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	}
 	s.walGate.RLock()
 	_, jspan := s.tracer.Start(r.Context(), "wal.append")
-	err = s.journalize(wal.RecordDelete, id, s.now())
+	end, err := s.journalize(wal.RecordDelete, id, s.now())
 	jspan.End()
 	if err == nil {
 		_, aspan := s.tracer.Start(r.Context(), "fleet.delete")
@@ -1040,6 +1209,9 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		aspan.End()
 	}
 	s.walGate.RUnlock()
+	if err == nil {
+		err = s.waitQuorum(end)
+	}
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -1074,7 +1246,7 @@ func (s *Server) handleEvent(w http.ResponseWriter, r *http.Request, typ wal.Rec
 	// concurrent snapshot can never split the pair across its boundary.
 	s.walGate.RLock()
 	_, jspan := s.tracer.Start(r.Context(), "wal.append")
-	err = s.journalize(typ, id, at)
+	end, err := s.journalize(typ, id, at)
 	jspan.End()
 	var d prorp.Decision
 	if err == nil {
@@ -1083,6 +1255,9 @@ func (s *Server) handleEvent(w http.ResponseWriter, r *http.Request, typ wal.Rec
 		aspan.End()
 	}
 	s.walGate.RUnlock()
+	if err == nil {
+		err = s.waitQuorum(end)
+	}
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -1193,20 +1368,36 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"replication_lag_records": lagRecords,
 		"replication_lag_seconds": lagSeconds,
 	}
-	if s.node.Fenced() {
-		body["fenced"] = true
-	}
 	if rt := s.router; rt != nil {
 		body["group"] = rt.group
 		body["shardmap_version"] = rt.mapP.Load().Version()
 		body["owned_slots"] = rt.ownedSlotCount()
 	}
-	if s.follower != nil {
-		if e := s.follower.LastError(); e != "" {
+	follower := s.followerRef()
+	if follower != nil {
+		if e := follower.LastError(); e != "" {
 			body["replication_last_error"] = e
 		}
+		body["primary_addr"] = follower.PrimaryURL()
+	}
+	if s.lease != nil {
+		body["lease_remaining_seconds"] = s.lease.Remaining(s.now()).Seconds()
 	}
 	status := http.StatusOK
+	if s.node.Fenced() {
+		body["fenced"] = true
+		if follower != nil {
+			// A fenced ex-primary that re-attached to the new primary is a
+			// healthy replica in every way that matters to a load balancer;
+			// only its persisted history says "primary".
+			body["effective_role"] = repl.RoleReplica.String()
+		} else {
+			// Fenced and following nobody: a zombie that can neither accept
+			// writes nor converge. Unhealthy until failover re-attaches it.
+			body["status"] = "fenced"
+			status = http.StatusServiceUnavailable
+		}
+	}
 	if s.degraded.Load() {
 		// Degraded: traffic is served but durability is gone — report
 		// unhealthy so supervisors and load balancers can react.

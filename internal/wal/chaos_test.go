@@ -68,7 +68,7 @@ func chaosWALIteration(t *testing.T, seed int64) {
 				id := int64(w*1000 + i)
 				var err error
 				for attempt := 0; attempt < 8; attempt++ {
-					if err = j.Append(Record{Type: RecordLogin, ID: id, Unix: id}); err == nil {
+					if _, err = j.Append(Record{Type: RecordLogin, ID: id, Unix: id}); err == nil {
 						break
 					}
 				}

@@ -1,0 +1,109 @@
+package wal
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Coverage tracks how far each follower has replicated the journal, keyed
+// by the follower's node id from its stream polls. It is the primary-side
+// half of quorum-acked writes: Append returns the record's end cursor, the
+// stream handler calls Observe with every poll's ?after cursor (everything
+// before it is journaled durably on that follower), and the write path
+// blocks in WaitCovered until K distinct followers have polled past the
+// record — or the timeout expires and the write is refused instead of
+// silently downgraded to async replication.
+//
+// ErrQuorumTimeout is wall-clock, not the injected test clock: quorum is a
+// liveness SLA on real replicas over a real network, and tying it to a
+// manual clock would let a wedged test clock ack un-replicated writes.
+type Coverage struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	peers map[string]Cursor
+}
+
+// NewCoverage builds an empty coverage map. A restarted primary starts
+// empty on purpose: acks wait for fresh polls, never for remembered ones.
+func NewCoverage() *Coverage {
+	c := &Coverage{peers: make(map[string]Cursor)}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Observe records that peer has durably replicated everything before cur.
+// Cursors only move forward; a stale poll (a retry, a reordered request)
+// never regresses the peer's high-water mark.
+func (c *Coverage) Observe(peer string, cur Cursor) {
+	if peer == "" {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, ok := c.peers[peer]; ok && !prev.Before(cur) {
+		return
+	}
+	c.peers[peer] = cur
+	c.cond.Broadcast()
+}
+
+// Covered reports whether at least k distinct peers have replicated past
+// target.
+func (c *Coverage) Covered(target Cursor, k int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.coveredLocked(target, k)
+}
+
+func (c *Coverage) coveredLocked(target Cursor, k int) bool {
+	n := 0
+	for _, cur := range c.peers {
+		if !cur.Before(target) {
+			n++
+		}
+	}
+	return n >= k
+}
+
+// Peers reports how many distinct followers have been observed at all —
+// the denominator an operator wants next to the configured K.
+func (c *Coverage) Peers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.peers)
+}
+
+// ErrQuorumTimeout means a quorum-acked write's replication wait expired
+// before K followers covered the record. The record IS durable in the
+// local journal — the caller must refuse the ack (the event may surface
+// again at replay), not retry the append.
+var ErrQuorumTimeout = errors.New("wal: quorum not reached before timeout")
+
+// WaitCovered blocks until k distinct peers have replicated past target or
+// timeout expires. k <= 0 returns immediately.
+func (c *Coverage) WaitCovered(target Cursor, k int, timeout time.Duration) error {
+	if k <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.coveredLocked(target, k) {
+		return nil
+	}
+	expired := false
+	t := time.AfterFunc(timeout, func() {
+		c.mu.Lock()
+		expired = true
+		c.mu.Unlock()
+		c.cond.Broadcast()
+	})
+	defer t.Stop()
+	for !c.coveredLocked(target, k) {
+		if expired {
+			return ErrQuorumTimeout
+		}
+		c.cond.Wait()
+	}
+	return nil
+}

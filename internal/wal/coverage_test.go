@@ -1,0 +1,56 @@
+package wal
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestCoverage(t *testing.T) {
+	c := NewCoverage()
+	target := Cursor{Seg: 1, Off: 100}
+
+	// k <= 0 disables the gate entirely.
+	if err := c.WaitCovered(target, 0, 0); err != nil {
+		t.Fatalf("k=0 wait: %v", err)
+	}
+	// Nobody has polled: the wait expires instead of acking.
+	if err := c.WaitCovered(target, 1, 10*time.Millisecond); !errors.Is(err, ErrQuorumTimeout) {
+		t.Fatalf("uncovered wait = %v, want ErrQuorumTimeout", err)
+	}
+	// Anonymous polls never count toward quorum.
+	c.Observe("", target)
+	if c.Peers() != 0 {
+		t.Fatalf("anonymous poll registered a peer: %d", c.Peers())
+	}
+
+	c.Observe("b", Cursor{Seg: 1, Off: 50})
+	if c.Covered(target, 1) {
+		t.Fatal("covered by a peer still behind the record")
+	}
+	c.Observe("b", target)
+	if !c.Covered(target, 1) {
+		t.Fatal("not covered by a peer at the record's end")
+	}
+	// A stale poll (retry, reordering) never regresses the high-water mark.
+	c.Observe("b", Cursor{Seg: 1, Off: 10})
+	if !c.Covered(target, 1) {
+		t.Fatal("stale poll regressed the peer's cursor")
+	}
+	if c.Covered(target, 2) {
+		t.Fatal("one peer satisfied k=2")
+	}
+
+	// A blocked waiter wakes as soon as the Kth peer polls past the record.
+	far := Cursor{Seg: 2, Off: 5}
+	done := make(chan error, 1)
+	go func() { done <- c.WaitCovered(far, 2, 5*time.Second) }()
+	c.Observe("b", far)
+	c.Observe("d", Cursor{Seg: 2, Off: 9})
+	if err := <-done; err != nil {
+		t.Fatalf("covered wait: %v", err)
+	}
+	if c.Peers() != 2 {
+		t.Fatalf("peers = %d, want 2", c.Peers())
+	}
+}

@@ -108,6 +108,15 @@ func (j *Journal) streamEnd() (activeSeq uint64, durable int64) {
 	return seg.seq, end
 }
 
+// DurableCursor reports the journal's durable stream end: the position a
+// fully caught-up follower would reach. It is the primary's "replicated
+// WAL cursor" for election purposes — a vote comparison between a
+// candidate's follower cursor and a voting primary's own log.
+func (j *Journal) DurableCursor() Cursor {
+	seq, durable := j.streamEnd()
+	return Cursor{Seg: seq, Off: durable}
+}
+
 // ReadAfter serves one batch of the record stream starting at cursor c:
 // intact frames from a single segment, at most maxBytes of them (at least
 // one frame when any is available). It returns the frame bytes, the

@@ -116,7 +116,7 @@ func TestReadAfterSkipsPoisonedTail(t *testing.T) {
 	appendN(t, j, 0, 3)
 	inj.PartialWrites("fs.write", 1)
 	bad := Record{Type: RecordLogin, ID: 99, Unix: 99}
-	if err := j.Append(bad); err == nil {
+	if _, err := j.Append(bad); err == nil {
 		t.Fatal("partial write was acknowledged")
 	}
 	inj.Heal("fs.write")

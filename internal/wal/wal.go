@@ -365,14 +365,16 @@ func (j *Journal) poisonLocked(seg *segment, offset int64, err error) {
 }
 
 // Append journals one record and blocks until it is durable per the fsync
-// policy. On any write or fsync failure the active segment is rotated
-// before the next append, so a torn frame is always the last thing in its
-// segment; the failed record is NOT durable and the caller must not
-// acknowledge the event (retry Append — the retry lands in a fresh
-// segment).
-func (j *Journal) Append(rec Record) error {
+// policy, returning the cursor addressing the byte after the record — the
+// stream position a follower must reach to have replicated it (the input
+// to Coverage.WaitCovered in quorum-acked mode). On any write or fsync
+// failure the active segment is rotated before the next append, so a torn
+// frame is always the last thing in its segment; the failed record is NOT
+// durable and the caller must not acknowledge the event (retry Append —
+// the retry lands in a fresh segment).
+func (j *Journal) Append(rec Record) (Cursor, error) {
 	if !rec.Type.valid() {
-		return fmt.Errorf("wal: invalid record type %d", rec.Type)
+		return Cursor{}, fmt.Errorf("wal: invalid record type %d", rec.Type)
 	}
 	if j.appendHist != nil {
 		defer j.appendHist.ObserveSince(time.Now())
@@ -382,13 +384,13 @@ func (j *Journal) Append(rec Record) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.closed {
-		return ErrClosed
+		return Cursor{}, ErrClosed
 	}
 	seg := j.active
 	// Roll to a fresh segment when the active one is poisoned or full.
 	if seg.poisoned || seg.size >= j.cfg.SegmentBytes {
 		if err := j.rotateLocked(); err != nil {
-			return err
+			return Cursor{}, err
 		}
 		seg = j.active
 	}
@@ -400,26 +402,27 @@ func (j *Journal) Append(rec Record) error {
 			err = fmt.Errorf("wal: short write (%d of %d bytes)", n, len(frame))
 		}
 		j.poisonLocked(seg, off, err)
-		return err
+		return Cursor{}, err
 	}
 	seg.size = off + int64(len(frame))
 	end := seg.size
+	cur := Cursor{Seg: seg.seq, Off: end}
 
 	if j.cfg.Fsync == FsyncOff {
 		j.appends.Add(1)
 		j.bytesAppended.Add(uint64(len(frame)))
-		return nil
+		return cur, nil
 	}
 	// Wait until an fsync covers this record, leading one when nobody is.
 	for seg.syncedTo < end {
 		if seg.poisoned && end > seg.poisonedAt {
-			return seg.poisonErr
+			return Cursor{}, seg.poisonErr
 		}
 		if seg.sealed {
 			// Sealed without covering us and without poisoning: only
 			// possible if the seal's fsync failed, which poisons. Guard
 			// anyway.
-			return errors.New("wal: segment sealed before record was durable")
+			return Cursor{}, errors.New("wal: segment sealed before record was durable")
 		}
 		if !seg.syncing {
 			j.leadSyncLocked(seg)
@@ -429,7 +432,7 @@ func (j *Journal) Append(rec Record) error {
 	}
 	j.appends.Add(1)
 	j.bytesAppended.Add(uint64(len(frame)))
-	return nil
+	return cur, nil
 }
 
 // leadSyncLocked elects the caller fsync leader for seg: under FsyncBatch

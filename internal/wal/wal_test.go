@@ -25,7 +25,7 @@ func appendN(t *testing.T, j *Journal, start, n int) {
 	t.Helper()
 	for i := 0; i < n; i++ {
 		rec := Record{Type: RecordLogin, ID: int64(start + i), Unix: int64(1000 + start + i)}
-		if err := j.Append(rec); err != nil {
+		if _, err := j.Append(rec); err != nil {
 			t.Fatalf("append %d: %v", start+i, err)
 		}
 	}
@@ -59,7 +59,7 @@ func TestAppendReplayRoundTrip(t *testing.T) {
 				{Type: RecordLogin, ID: -3, Unix: -50}, // negative ids/times survive
 			}
 			for _, rec := range want {
-				if err := j.Append(rec); err != nil {
+				if _, err := j.Append(rec); err != nil {
 					t.Fatalf("append %+v: %v", rec, err)
 				}
 			}
@@ -284,7 +284,7 @@ func TestFailedAppendRotatesSegment(t *testing.T) {
 	appendN(t, j, 0, 3)
 
 	inj.PartialWrites("fs.write", 1.0)
-	err = j.Append(Record{Type: RecordLogin, ID: 99, Unix: 1})
+	_, err = j.Append(Record{Type: RecordLogin, ID: 99, Unix: 1})
 	if err == nil {
 		t.Fatal("append with torn write must fail")
 	}
@@ -328,7 +328,7 @@ func TestFsyncFailurePoisonsAndRecovers(t *testing.T) {
 	appendN(t, j, 0, 2)
 
 	inj.TripN("fs.sync", 1, nil)
-	if err := j.Append(Record{Type: RecordLogin, ID: 50, Unix: 1}); err == nil {
+	if _, err := j.Append(Record{Type: RecordLogin, ID: 50, Unix: 1}); err == nil {
 		t.Fatal("append whose fsync failed must not be acknowledged")
 	}
 	appendN(t, j, 2, 2)
@@ -372,7 +372,7 @@ func TestGroupCommitBatchesFsyncs(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < each; i++ {
 				rec := Record{Type: RecordLogin, ID: int64(w*1000 + i), Unix: int64(i)}
-				if err := j.Append(rec); err != nil {
+				if _, err := j.Append(rec); err != nil {
 					t.Errorf("append: %v", err)
 					return
 				}
@@ -396,7 +396,7 @@ func TestAppendAfterCloseFails(t *testing.T) {
 		t.Fatalf("open: %v", err)
 	}
 	j.Close()
-	if err := j.Append(Record{Type: RecordLogin, ID: 1, Unix: 1}); !errors.Is(err, ErrClosed) {
+	if _, err := j.Append(Record{Type: RecordLogin, ID: 1, Unix: 1}); !errors.Is(err, ErrClosed) {
 		t.Fatalf("append after close = %v, want ErrClosed", err)
 	}
 	if _, err := j.Rotate(); !errors.Is(err, ErrClosed) {
@@ -531,7 +531,7 @@ func BenchmarkAppend(b *testing.B) {
 				i := int64(0)
 				for pb.Next() {
 					i++
-					if err := j.Append(Record{Type: RecordLogin, ID: i, Unix: i}); err != nil {
+					if _, err := j.Append(Record{Type: RecordLogin, ID: i, Unix: i}); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -546,7 +546,7 @@ func ExampleOpen() {
 	defer os.RemoveAll(dir)
 	j, _ := Open(Config{Dir: dir, Fsync: FsyncBatch})
 	stats, _ := j.Replay(0, func(rec Record) { /* apply to fleet */ })
-	_ = j.Append(Record{Type: RecordLogin, ID: 1, Unix: 1700000000})
+	_, _ = j.Append(Record{Type: RecordLogin, ID: 1, Unix: 1700000000})
 	j.Close()
 	fmt.Println(stats.Records)
 	// Output: 0
