@@ -19,20 +19,28 @@ import (
 // randomized election timeout (so candidates desynchronize), then stands:
 // it proposes epoch+1, casts a durable self-vote by adopting the proposed
 // epoch, and solicits votes from every peer. A voter grants at most one
-// vote per epoch — granting IS adopting the epoch, and adoption is durable
-// before the reply leaves — and only to a candidate whose replicated
-// cursor is at or past its own, so the winner provably holds every record
-// any granting voter holds. A majority of the cluster (self + peers)
-// promotes the candidate to exactly the proposed epoch; the epoch bump
-// fences the old primary through the PR 5 machinery the moment any
-// message from the new lineage reaches it.
+// vote per epoch — the grant and the adoption are ONE atomic step
+// (ObserveEpoch adopts only if the epoch is still beyond everything this
+// node has seen, and a grant is issued only when this very call adopted),
+// durable before the reply leaves — and only to a candidate whose
+// replicated cursor is at or past its own IN THE SAME LINEAGE, so the
+// winner provably holds every record any granting voter holds. Cursors
+// are offsets into one primary's journal; a voter whose cursor came from
+// a different reign abstains rather than comparing incomparable offsets.
+// A majority of the cluster (self + peers) promotes the candidate to
+// exactly the proposed epoch; the epoch bump fences the old primary
+// through the PR 5 machinery the moment any message from the new lineage
+// reaches it.
 
 // VoteRequest is a candidate's solicitation, POSTed to /v1/repl/vote.
 type VoteRequest struct {
 	// Epoch is the proposed epoch (the candidate's epoch + 1 at stand time).
 	Epoch uint64 `json:"epoch"`
-	// Cursor is the candidate's durable replicated stream position.
-	Cursor string `json:"cursor"`
+	// Cursor is the candidate's durable replicated stream position;
+	// CursorEpoch is its lineage — the reign epoch of the primary whose
+	// journal the cursor is an offset into (0 = unknown).
+	Cursor      string `json:"cursor"`
+	CursorEpoch uint64 `json:"cursor_epoch,omitempty"`
 	// Candidate is the candidate's node id, Addr its base URL (what peers
 	// should follow if it wins).
 	Candidate string `json:"candidate"`
@@ -54,10 +62,12 @@ type VoteResponse struct {
 // HandleVote is the voter side of an election, shared by the server's
 // /v1/repl/vote handler and the unit tests. local is this node's durable
 // replicated cursor (a follower's stream cursor; a primary's own journal
-// end), leaderAddr the primary it currently follows (may be empty), and
-// persist must durably record the node's state — a vote that could
-// evaporate in a crash could be recast for a different candidate.
-func HandleVote(n *Node, local wal.Cursor, leaderAddr string, persist func() error, req VoteRequest) VoteResponse {
+// end) and lineage its reign epoch — the reign of the primary whose
+// journal local is an offset into (0 = unknown). leaderAddr is the
+// primary this node currently follows (may be empty), and persist must
+// durably record the node's state — a vote that could evaporate in a
+// crash could be recast for a different candidate.
+func HandleVote(n *Node, local wal.Cursor, lineage uint64, leaderAddr string, persist func() error, req VoteRequest) VoteResponse {
 	resp := VoteResponse{Epoch: n.Epoch(), LeaderAddr: leaderAddr}
 	if req.Epoch <= resp.Epoch {
 		resp.Reason = fmt.Sprintf("epoch %d not beyond %d", req.Epoch, resp.Epoch)
@@ -68,20 +78,45 @@ func HandleVote(n *Node, local wal.Cursor, leaderAddr string, persist func() err
 		resp.Reason = "bad cursor: " + err.Error()
 		return resp
 	}
-	if cand.Before(local) {
-		// Refusing on cursor does NOT adopt the epoch: this voter may still
-		// grant the same epoch to a better-replicated candidate.
-		resp.Reason = fmt.Sprintf("candidate cursor %s behind ours (%s)", cand, local)
-		return resp
-	}
-	// Granting adopts the proposed epoch (fencing an unfenced primary asked
-	// to vote) and persists it before the grant leaves the node.
-	if n.ObserveEpoch(req.Epoch) {
-		if err := persist(); err != nil {
-			resp.Epoch = n.Epoch()
-			resp.Reason = "vote not durable: " + err.Error()
+	// The cursor rules apply only when this voter holds records at all: a
+	// zero cursor protects nothing, so it grants on epoch alone. Neither
+	// refusal below adopts the epoch — this voter may still grant it to an
+	// acceptable candidate this round.
+	if !local.IsZero() {
+		if req.CursorEpoch != lineage {
+			// Cursors are offsets into one primary's journal; across reigns
+			// the offsets are unrelated, so "at or past" is meaningless. A
+			// voter that cannot compare abstains — wrongly granting could
+			// elect a candidate missing quorum-acked records, and wrongly
+			// refusing could be forced by an incomparable-but-large cursor.
+			resp.Reason = fmt.Sprintf("candidate cursor lineage %d incomparable with ours (%d): abstaining",
+				req.CursorEpoch, lineage)
 			return resp
 		}
+		if cand.Before(local) {
+			resp.Reason = fmt.Sprintf("candidate cursor %s behind ours (%s)", cand, local)
+			return resp
+		}
+	}
+	// The grant IS the adoption, in one atomic step: ObserveEpoch adopts
+	// req.Epoch only while it is still beyond everything this node has
+	// observed, and reports whether THIS call adopted it. A false return
+	// means a concurrent vote — or this node's own candidacy — claimed the
+	// epoch first; granting anyway would hand the same epoch to two
+	// candidates, and two majorities at one epoch is a split brain that
+	// epoch fencing cannot resolve (equal epochs never fence each other).
+	if !n.ObserveEpoch(req.Epoch) {
+		resp.Epoch = n.Epoch()
+		resp.Reason = fmt.Sprintf("epoch %d already granted or superseded (at %d)", req.Epoch, resp.Epoch)
+		return resp
+	}
+	// Persist before the grant leaves the node. A failed persist refuses
+	// with the epoch already adopted in memory — conservative: nobody gets
+	// this voter's grant for the epoch, which can stall but never split.
+	if err := persist(); err != nil {
+		resp.Epoch = n.Epoch()
+		resp.Reason = "vote not durable: " + err.Error()
+		return resp
 	}
 	resp.Granted = true
 	resp.Epoch = n.Epoch()
@@ -114,9 +149,10 @@ type ElectorConfig struct {
 	// while the node is already an unfenced primary, or has no follower
 	// whose cursor would be comparable with the electorate's.
 	Eligible func() bool
-	// Cursor is the node's durable replicated stream position, the vote
-	// comparison key.
-	Cursor func() wal.Cursor
+	// Cursor is the node's durable replicated stream position and its
+	// lineage (the reign epoch of the primary whose journal the cursor
+	// indexes) — together the vote comparison key.
+	Cursor func() (wal.Cursor, uint64)
 	// Persist durably records the node state; called for the self-vote and
 	// every epoch fold.
 	Persist func() error
@@ -267,7 +303,7 @@ func (e *Elector) sleep(d time.Duration) {
 // majority check, promote on win.
 func (e *Elector) campaign() {
 	proposed := e.cfg.Node.Epoch() + 1
-	cur := e.cfg.Cursor()
+	cur, lineage := e.cfg.Cursor()
 	// The self-vote: adopt the proposed epoch durably BEFORE soliciting, so
 	// this node can never also grant `proposed` to a competitor.
 	if !e.cfg.Node.ObserveEpoch(proposed) {
@@ -282,7 +318,8 @@ func (e *Elector) campaign() {
 	e.campaigns.Add(1)
 	e.cfg.Logf("repl elector %s: standing for epoch %d at cursor %s", e.cfg.NodeID, proposed, cur)
 
-	req := VoteRequest{Epoch: proposed, Cursor: cur.String(), Candidate: e.cfg.NodeID, Addr: e.cfg.SelfAddr}
+	req := VoteRequest{Epoch: proposed, Cursor: cur.String(), CursorEpoch: lineage,
+		Candidate: e.cfg.NodeID, Addr: e.cfg.SelfAddr}
 	type outcome struct {
 		peer string
 		resp VoteResponse

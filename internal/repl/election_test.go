@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -121,31 +122,31 @@ func TestHandleVote(t *testing.T) {
 
 	// Epoch not beyond ours: refused, nothing adopted.
 	n := NewNode(RoleReplica, 3)
-	if resp := HandleVote(n, c5, "", persistOK, VoteRequest{Epoch: 3, Cursor: c9.String()}); resp.Granted || resp.Epoch != 3 {
+	if resp := HandleVote(n, c5, 0, "", persistOK, VoteRequest{Epoch: 3, Cursor: c9.String()}); resp.Granted || resp.Epoch != 3 {
 		t.Fatalf("same-epoch vote: %+v", resp)
 	}
 	// Garbage cursor: refused.
-	if resp := HandleVote(n, c5, "", persistOK, VoteRequest{Epoch: 4, Cursor: "nonsense"}); resp.Granted {
+	if resp := HandleVote(n, c5, 0, "", persistOK, VoteRequest{Epoch: 4, Cursor: "nonsense"}); resp.Granted {
 		t.Fatalf("garbage cursor granted: %+v", resp)
 	}
 	// A candidate behind our replicated position is refused WITHOUT
 	// adopting its epoch — we may still grant that same epoch to a
 	// better-replicated candidate.
-	if resp := HandleVote(n, c9, "", persistOK, VoteRequest{Epoch: 4, Cursor: c5.String()}); resp.Granted || n.Epoch() != 3 {
+	if resp := HandleVote(n, c9, 0, "", persistOK, VoteRequest{Epoch: 4, Cursor: c5.String()}); resp.Granted || n.Epoch() != 3 {
 		t.Fatalf("behind-cursor refusal adopted the epoch: %+v epoch=%d", resp, n.Epoch())
 	}
-	if resp := HandleVote(n, c9, "", persistOK, VoteRequest{Epoch: 4, Cursor: c9.String()}); !resp.Granted || resp.Epoch != 4 {
+	if resp := HandleVote(n, c9, 0, "", persistOK, VoteRequest{Epoch: 4, Cursor: c9.String()}); !resp.Granted || resp.Epoch != 4 {
 		t.Fatalf("equal-cursor candidate refused: %+v", resp)
 	}
 	// Granting adopted the epoch, so the SAME epoch cannot be granted
 	// twice — not even to the same candidate.
-	if resp := HandleVote(n, c9, "", persistOK, VoteRequest{Epoch: 4, Cursor: c9.String()}); resp.Granted {
+	if resp := HandleVote(n, c9, 0, "", persistOK, VoteRequest{Epoch: 4, Cursor: c9.String()}); resp.Granted {
 		t.Fatalf("epoch 4 granted twice: %+v", resp)
 	}
 
 	// A refusal names the leader the voter follows, so a losing candidate
 	// can repoint its follower.
-	if resp := HandleVote(n, c9, "http://leader", persistOK, VoteRequest{Epoch: 4, Cursor: c9.String()}); resp.LeaderAddr != "http://leader" {
+	if resp := HandleVote(n, c9, 0, "http://leader", persistOK, VoteRequest{Epoch: 4, Cursor: c9.String()}); resp.LeaderAddr != "http://leader" {
 		t.Fatalf("refusal hides the leader: %+v", resp)
 	}
 
@@ -153,7 +154,7 @@ func TestHandleVote(t *testing.T) {
 	// evaporate in a crash could be recast for a different candidate.
 	bad := NewNode(RoleReplica, 1)
 	boom := func() error { return fmt.Errorf("disk gone") }
-	if resp := HandleVote(bad, c5, "", boom, VoteRequest{Epoch: 2, Cursor: c5.String()}); resp.Granted {
+	if resp := HandleVote(bad, c5, 0, "", boom, VoteRequest{Epoch: 2, Cursor: c5.String()}); resp.Granted {
 		t.Fatalf("undurable vote granted: %+v", resp)
 	}
 
@@ -163,7 +164,7 @@ func TestHandleVote(t *testing.T) {
 	if !p.CanAcceptWrites() {
 		t.Fatal("primary not accepting writes")
 	}
-	if resp := HandleVote(p, c5, "", persistOK, VoteRequest{Epoch: 2, Cursor: c5.String()}); !resp.Granted {
+	if resp := HandleVote(p, c5, 0, "", persistOK, VoteRequest{Epoch: 2, Cursor: c5.String()}); !resp.Granted {
 		t.Fatalf("primary refused a valid successor: %+v", resp)
 	}
 	if p.CanAcceptWrites() || !p.Fenced() {
@@ -177,14 +178,88 @@ func TestHandleVote(t *testing.T) {
 	b, c := NewNode(RoleReplica, 1), NewNode(RoleReplica, 1)
 	b.ObserveEpoch(2) // b's self-vote
 	c.ObserveEpoch(2) // c's simultaneous self-vote
-	if resp := HandleVote(b, c5, "", persistOK, VoteRequest{Epoch: 2, Cursor: c5.String()}); resp.Granted || resp.Epoch != 2 {
+	if resp := HandleVote(b, c5, 0, "", persistOK, VoteRequest{Epoch: 2, Cursor: c5.String()}); resp.Granted || resp.Epoch != 2 {
 		t.Fatalf("split vote granted: %+v", resp)
 	}
-	if resp := HandleVote(b, c5, "", persistOK, VoteRequest{Epoch: 3, Cursor: c5.String(), Candidate: "c"}); !resp.Granted {
+	if resp := HandleVote(b, c5, 0, "", persistOK, VoteRequest{Epoch: 3, Cursor: c5.String(), Candidate: "c"}); !resp.Granted {
 		t.Fatalf("post-split stand refused: %+v", resp)
 	}
 	if !c.PromoteTo(3) || !c.CanAcceptWrites() || b.Epoch() != 3 {
 		t.Fatalf("post-split promote: c=%d b=%d", c.Epoch(), b.Epoch())
+	}
+}
+
+// TestHandleVoteOneGrantPerEpoch hammers one voter with concurrent vote
+// requests for the same proposed epoch. The sequential double-grant is
+// already caught by the top-of-function epoch check; only concurrency can
+// expose a non-atomic grant (check and adoption under separate locks), so
+// this is the regression test for the split-brain the race enables: two
+// candidates each assembling a majority for the SAME epoch.
+func TestHandleVoteOneGrantPerEpoch(t *testing.T) {
+	cur := wal.Cursor{Seg: 1, Off: 7}
+	for round := 0; round < 200; round++ {
+		n := NewNode(RoleReplica, 1)
+		const voters = 8
+		var wg sync.WaitGroup
+		var grants atomic.Int32
+		for i := 0; i < voters; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				resp := HandleVote(n, cur, 0, "", func() error { return nil },
+					VoteRequest{Epoch: 2, Cursor: cur.String(), Candidate: fmt.Sprintf("cand-%d", i)})
+				if resp.Granted {
+					grants.Add(1)
+				}
+			}(i)
+		}
+		wg.Wait()
+		if g := grants.Load(); g > 1 {
+			t.Fatalf("round %d: epoch 2 granted %d times; one grant per epoch per voter", round, g)
+		}
+	}
+}
+
+// TestHandleVoteLineage pins the cross-lineage rules: a voter whose
+// cursor came from a different reign abstains — refusing WITHOUT adopting
+// the epoch — because offsets into different primaries' journals are
+// incomparable; and a voter with a zero cursor (holding nothing) grants
+// on epoch alone regardless of lineage.
+func TestHandleVoteLineage(t *testing.T) {
+	c5 := wal.Cursor{Seg: 1, Off: 5}
+	c9 := wal.Cursor{Seg: 1, Off: 9}
+	persistOK := func() error { return nil }
+
+	// Same lineage: the ordinary cursor comparison applies.
+	n := NewNode(RoleReplica, 1)
+	if resp := HandleVote(n, c9, 3, "", persistOK, VoteRequest{Epoch: 2, Cursor: c5.String(), CursorEpoch: 3}); resp.Granted {
+		t.Fatalf("same-lineage behind-cursor candidate granted: %+v", resp)
+	}
+	if resp := HandleVote(n, c9, 3, "", persistOK, VoteRequest{Epoch: 2, Cursor: c9.String(), CursorEpoch: 3}); !resp.Granted {
+		t.Fatalf("same-lineage equal-cursor candidate refused: %+v", resp)
+	}
+
+	// Foreign lineage: abstain, even when the candidate's offset LOOKS
+	// ahead of ours — it indexes a different journal, so "ahead" means
+	// nothing and granting could elect a candidate missing acked records.
+	v := NewNode(RoleReplica, 1)
+	if resp := HandleVote(v, c5, 3, "", persistOK, VoteRequest{Epoch: 2, Cursor: c9.String(), CursorEpoch: 7}); resp.Granted {
+		t.Fatalf("foreign-lineage candidate granted: %+v", resp)
+	}
+	// The abstention did not adopt the epoch: the voter can still grant
+	// epoch 2 to a same-lineage candidate this round.
+	if v.Epoch() != 1 {
+		t.Fatalf("abstention adopted the epoch: %d", v.Epoch())
+	}
+	if resp := HandleVote(v, c5, 3, "", persistOK, VoteRequest{Epoch: 2, Cursor: c5.String(), CursorEpoch: 3}); !resp.Granted {
+		t.Fatalf("same-lineage candidate refused after abstention: %+v", resp)
+	}
+
+	// A zero cursor holds nothing worth protecting: grant on epoch alone,
+	// whatever lineage the candidate claims.
+	z := NewNode(RoleReplica, 1)
+	if resp := HandleVote(z, wal.Cursor{}, 0, "", persistOK, VoteRequest{Epoch: 2, Cursor: c9.String(), CursorEpoch: 7}); !resp.Granted {
+		t.Fatalf("zero-cursor voter refused: %+v", resp)
 	}
 }
 
@@ -229,7 +304,7 @@ func (f *voteFabric) Do(req *http.Request) (*http.Response, error) {
 	if err := json.Unmarshal(body, &vreq); err != nil {
 		return nil, err
 	}
-	resp := HandleVote(h.node, h.cur, "", func() error { return nil }, vreq)
+	resp := HandleVote(h.node, h.cur, 0, "", func() error { return nil }, vreq)
 	if resp.Granted {
 		// The server's reset-timer-on-grant rule: granting is evidence an
 		// election is already in progress, so the voter stands down.
@@ -279,7 +354,7 @@ func TestSplitVoteResolution(t *testing.T) {
 			Timeout:  5 * time.Second,
 			Seed:     seed,
 			Eligible: func() bool { return !h.node.CanAcceptWrites() },
-			Cursor:   func() wal.Cursor { return h.cur },
+			Cursor:   func() (wal.Cursor, uint64) { return h.cur, 0 },
 			Promote: func(ep uint64) error {
 				if !h.node.PromoteTo(ep) {
 					return fmt.Errorf("overtaken")

@@ -24,6 +24,12 @@ const (
 	HeaderLagRecords = "X-Repl-Lag-Records" // records still behind after the batch
 	HeaderNode       = "X-Repl-Node"        // follower's node id (quorum coverage key)
 	HeaderLeaseTTL   = "X-Repl-Lease-Ms"    // primary's lease grant, relative ms
+	// HeaderReign is the reign epoch of the journal being served: the epoch
+	// at which the serving primary was promoted, NOT its current epoch — a
+	// fenced ex-primary's epoch moves on while its journal stays in the old
+	// reign's cursor space. Followers record it as the lineage of their
+	// cursor, the vote-comparison guard (see election.go).
+	HeaderReign = "X-Repl-Reign"
 )
 
 // FollowerConfig assembles a Follower.
@@ -54,8 +60,10 @@ type FollowerConfig struct {
 	Persist func(epoch uint64, c wal.Cursor, sync bool) error
 	// Resync, when non-nil, performs a snapshot resync after the primary
 	// reports the cursor unusable (compacted or ahead): fetch the primary's
-	// snapshot, swap the local fleet, and return the cursor to stream from.
-	Resync func(primaryEpoch uint64) (wal.Cursor, error)
+	// snapshot, swap the local fleet, and return the cursor to stream from
+	// plus the reign epoch of the journal it indexes (0 if the primary did
+	// not say).
+	Resync func(primaryEpoch uint64) (wal.Cursor, uint64, error)
 	// ResyncOnStart forces a snapshot resync before the first stream poll.
 	// The host sets it when the node boots with local state but no stream
 	// cursor covering it — a rebooted ex-primary, or a seeded snapshot.
@@ -97,6 +105,7 @@ type Follower struct {
 	primary         string // mutable: failover repoints the follower
 	needResync      bool   // snapshot resync required before the next poll
 	cursor          wal.Cursor
+	sourceReign     uint64 // lineage of cursor: reign epoch of the journal it indexes
 	caughtUp        bool
 	lagRecords      int64
 	lastAppliedUnix int64
@@ -165,6 +174,7 @@ func (f *Follower) SetPrimary(url string) {
 	}
 	f.primary = url
 	f.needResync = true
+	f.sourceReign = 0 // the new primary's journal is a different lineage
 	f.caughtUp = false
 }
 
@@ -186,6 +196,15 @@ func (f *Follower) Cursor() wal.Cursor {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.cursor
+}
+
+// SourceReign reports the lineage of the follower's cursor: the reign
+// epoch of the primary whose journal the cursor indexes, 0 while unknown
+// (never polled, or repointed and not yet resynced).
+func (f *Follower) SourceReign() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.sourceReign
 }
 
 // Stats snapshots the follower's counters.
@@ -325,10 +344,15 @@ func (f *Follower) pollOnce() time.Duration {
 		}
 	}
 
+	// The reign header tags the journal this cursor indexes; learned on
+	// every authoritative data-path response so even a genesis-attached
+	// replica (which never resyncs) knows its lineage before it votes.
+	reign, _ := strconv.ParseUint(resp.Header.Get(HeaderReign), 10, 64)
+
 	switch resp.StatusCode {
 	case http.StatusOK:
 		renew()
-		return f.applyBatch(resp)
+		return f.applyBatch(resp, reign)
 	case http.StatusNoContent:
 		renew()
 		f.caughtUpPolls.Add(1)
@@ -336,6 +360,9 @@ func (f *Follower) pollOnce() time.Duration {
 		f.caughtUp = true
 		f.lagRecords = 0
 		f.lastErr = ""
+		if reign > 0 {
+			f.sourceReign = reign
+		}
 		f.mu.Unlock()
 		return f.cfg.PollInterval
 	case http.StatusGone, http.StatusRequestedRangeNotSatisfiable:
@@ -348,7 +375,7 @@ func (f *Follower) pollOnce() time.Duration {
 	}
 }
 
-func (f *Follower) applyBatch(resp *http.Response) time.Duration {
+func (f *Follower) applyBatch(resp *http.Response, reign uint64) time.Duration {
 	start, err := wal.ParseCursor(resp.Header.Get(HeaderCursor))
 	if err != nil {
 		return f.fail("bad %s header: %v", HeaderCursor, err)
@@ -408,6 +435,9 @@ func (f *Follower) applyBatch(resp *http.Response) time.Duration {
 	}
 	f.mu.Lock()
 	f.cursor = newCur
+	if reign > 0 {
+		f.sourceReign = reign
+	}
 	f.lagRecords = lag
 	f.caughtUp = full && lag == 0
 	if aerr == nil {
@@ -444,13 +474,19 @@ func (f *Follower) resync(primaryEpoch uint64, status int) time.Duration {
 	} else {
 		f.cfg.Logf("repl follower: cursor %s unusable (%d); snapshot resync", f.Cursor(), status)
 	}
-	cur, err := f.cfg.Resync(primaryEpoch)
+	cur, reign, err := f.cfg.Resync(primaryEpoch)
 	if err != nil {
 		return f.fail("snapshot resync: %v", err)
 	}
 	f.resyncs.Add(1)
 	f.mu.Lock()
 	f.cursor = cur
+	if reign > 0 {
+		// Learn the lineage at resync, not only at the first poll after it:
+		// a replica that resynced but lost the primary before polling must
+		// still be able to compare cursors when it stands or votes.
+		f.sourceReign = reign
+	}
 	f.needResync = false
 	f.caughtUp = false
 	f.lastErr = ""

@@ -329,14 +329,14 @@ func TestFollowerResyncsOnCompactedCursor(t *testing.T) {
 	f := NewFollower(FollowerConfig{
 		PrimaryURL: "http://primary", Doer: primary, PollInterval: time.Millisecond,
 		Node: NewNode(RoleReplica, 1), Apply: got.apply,
-		Resync: func(primaryEpoch uint64) (wal.Cursor, error) {
+		Resync: func(primaryEpoch uint64) (wal.Cursor, uint64, error) {
 			mu.Lock()
 			resyncs++
 			mu.Unlock()
 			if primaryEpoch != 2 {
-				return wal.Cursor{}, fmt.Errorf("resync saw epoch %d", primaryEpoch)
+				return wal.Cursor{}, 0, fmt.Errorf("resync saw epoch %d", primaryEpoch)
 			}
-			return wal.Cursor{Seg: boundary, Off: wal.SegmentDataStart}, nil
+			return wal.Cursor{Seg: boundary, Off: wal.SegmentDataStart}, 2, nil
 		},
 	}, wal.Cursor{}) // zero cursor: genesis is compacted, must resync
 	f.Start()
@@ -379,15 +379,15 @@ func TestFollowerResyncOnStart(t *testing.T) {
 		PrimaryURL: "http://primary", Doer: primary, PollInterval: time.Millisecond,
 		Node: NewNode(RoleReplica, 1), Apply: got.apply,
 		ResyncOnStart: true,
-		Resync: func(primaryEpoch uint64) (wal.Cursor, error) {
+		Resync: func(primaryEpoch uint64) (wal.Cursor, uint64, error) {
 			mu.Lock()
 			attempts++
 			n := attempts
 			mu.Unlock()
 			if n == 1 {
-				return wal.Cursor{}, fmt.Errorf("snapshot fetch: partitioned")
+				return wal.Cursor{}, 0, fmt.Errorf("snapshot fetch: partitioned")
 			}
-			return wal.Cursor{Seg: boundary, Off: wal.SegmentDataStart}, nil
+			return wal.Cursor{Seg: boundary, Off: wal.SegmentDataStart}, 2, nil
 		},
 	}, wal.Cursor{}) // zero cursor, but the host said local state exists
 	f.Start()

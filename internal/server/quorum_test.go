@@ -23,6 +23,7 @@ func TestQuorumAckTimeout(t *testing.T) {
 
 	pcfg := replConfig(t.TempDir(), clock)
 	pcfg.QuorumAcks = 1
+	pcfg.NodeID = "a" // quorum mode refuses the shared default id
 	// Wall-clock by design: quorum is a liveness SLA on real replicas, so
 	// it must not hang off the injected test clock.
 	pcfg.QuorumTimeout = 40 * time.Millisecond
@@ -61,6 +62,7 @@ func TestQuorumAckTimeout(t *testing.T) {
 	rcfg.PrimaryAddr = "http://a"
 	rcfg.ReplDoer = net
 	rcfg.ReplPollInterval = time.Millisecond
+	rcfg.NodeID = "r1"
 	r, err := New(rcfg)
 	if err != nil {
 		t.Fatal(err)
@@ -75,6 +77,26 @@ func TestQuorumAckTimeout(t *testing.T) {
 			strings.NewReader(fmt.Sprintf(`{"id":%d}`, id))))
 		return rec.Code == http.StatusCreated
 	})
+}
+
+// TestQuorumRequiresNodeIdentity pins the config guard: quorum-acked mode
+// with neither NodeID nor SelfAddr refuses to boot, because replicas
+// falling back to the shared "node" default collapse into one entry in
+// the coverage map and a K>=2 quorum then times out every write.
+func TestQuorumRequiresNodeIdentity(t *testing.T) {
+	cfg := replConfig(t.TempDir(), &fakeClock{t: t0})
+	cfg.QuorumAcks = 2
+	cfg.NodeID, cfg.SelfAddr = "", ""
+	if _, err := New(cfg); err == nil || !strings.Contains(err.Error(), "identity") {
+		t.Fatalf("quorum mode booted without a node identity: %v", err)
+	}
+	// Either identity field satisfies the guard (NodeID defaults to SelfAddr).
+	cfg.SelfAddr = "http://a"
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("SelfAddr alone refused: %v", err)
+	}
+	s.Close()
 }
 
 // TestReplStateLeaseRoundTrip pins the PRR1 lease field: a renewed lease
@@ -117,8 +139,9 @@ func TestReplStateLeaseRoundTrip(t *testing.T) {
 	var fenced int
 	var cur string
 	var leaseMs int64
-	if n, _ := fmt.Sscanf(string(data), "PRR1 %d %d %s %d", &epoch, &fenced, &cur, &leaseMs); n != 4 {
-		t.Fatalf("repl-state %q did not persist the lease field", data)
+	var lineage uint64
+	if n, _ := fmt.Sscanf(string(data), "PRR1 %d %d %s %d %d", &epoch, &fenced, &cur, &leaseMs, &lineage); n != 5 {
+		t.Fatalf("repl-state %q did not persist the lease and lineage fields", data)
 	}
 	if want := t0.Add(10 * time.Second).UnixMilli(); leaseMs != want {
 		t.Fatalf("persisted lease expiry %d, want %d", leaseMs, want)
@@ -151,6 +174,21 @@ func TestReplStateLeaseRoundTrip(t *testing.T) {
 		t.Fatalf("three-field boot: epoch=%d leaseExpired=%v", s3.Node().Epoch(), s3.lease.Expired(clock.Now()))
 	}
 	s3.Close()
+
+	// Files from before cursor lineages carry four: accepted, the lineage
+	// unknown (0) — the voter then abstains from cursor comparisons rather
+	// than guessing which reign its cursor came from.
+	if err := os.WriteFile(replStatePath(cfg.WALDir), []byte("PRR1 7 0 2:64 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s4, err := New(cfg)
+	if err != nil {
+		t.Fatalf("four-field repl-state refused: %v", err)
+	}
+	if cur4, lin4 := s4.votePosition(); lin4 != 0 || cur4.Seg != 2 {
+		t.Fatalf("four-field boot: cursor=%v lineage=%d, want 2:64 with lineage 0", cur4, lin4)
+	}
+	s4.Close()
 
 	// Guessing at fencing state is how split brain happens: malformed
 	// still refuses the boot.

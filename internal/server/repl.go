@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	iofs "io/fs"
+	"net"
 	"net/http"
 	"path/filepath"
 	"strconv"
@@ -102,13 +103,16 @@ func (s *Server) ReplicationLag() (records int64, seconds float64) {
 // ----- repl-state file ----------------------------------------------------
 
 // The repl-state file persists the node's epoch, fencing, stream cursor,
-// and lease expiry next to the journal, one line:
-// "PRR1 <epoch> <fenced> <cursor> <leaseUnixMilli>". Epoch and fencing
-// changes are fsynced (a fence that evaporates in a crash is split brain);
-// cursor-only progress is best-effort, since a stale cursor merely
-// re-streams idempotent records. The lease field makes reboots respect an
-// unexpired lease instead of instantly campaigning; files written before
-// leases existed carry three fields and load as lease-less.
+// lease expiry, and cursor lineage next to the journal, one line:
+// "PRR1 <epoch> <fenced> <cursor> <leaseUnixMilli> <lineage>". Epoch and
+// fencing changes are fsynced (a fence that evaporates in a crash is
+// split brain); cursor-only progress is best-effort, since a stale cursor
+// merely re-streams idempotent records. The lease field makes reboots
+// respect an unexpired lease instead of instantly campaigning; the
+// lineage field is the reign epoch of the journal the cursor indexes, so
+// a rebooted node never compares its cursor against another reign's in a
+// vote. Files written before either field existed carry three or four
+// fields and load lease-less / lineage-unknown.
 const replStateFile = "repl-state"
 
 func replStatePath(walDir string) string {
@@ -121,39 +125,43 @@ func replStatePath(walDir string) string {
 // loadReplState reads the persisted node state. A missing file is a fresh
 // node; a malformed one refuses the boot — guessing at fencing state is
 // how split brain happens.
-func loadReplState(fsys faults.FS, path string) (epoch uint64, fenced bool, c wal.Cursor, leaseMs int64, err error) {
+func loadReplState(fsys faults.FS, path string) (epoch uint64, fenced bool, c wal.Cursor, leaseMs int64, lineage uint64, err error) {
 	if path == "" {
-		return 0, false, wal.Cursor{}, 0, nil
+		return 0, false, wal.Cursor{}, 0, 0, nil
 	}
 	f, err := fsys.Open(path)
 	if err != nil {
 		if errors.Is(err, iofs.ErrNotExist) {
-			return 0, false, wal.Cursor{}, 0, nil
+			return 0, false, wal.Cursor{}, 0, 0, nil
 		}
-		return 0, false, wal.Cursor{}, 0, err
+		return 0, false, wal.Cursor{}, 0, 0, err
 	}
 	data, err := io.ReadAll(f)
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
 	if err != nil {
-		return 0, false, wal.Cursor{}, 0, err
+		return 0, false, wal.Cursor{}, 0, 0, err
 	}
 	var fencedInt int
 	var curStr string
-	// Four fields since leases landed; a pre-lease file has three, which
-	// Sscanf reports as n=3 with an error — accept it as lease-less.
-	n, serr := fmt.Sscanf(string(data), "PRR1 %d %d %s %d", &epoch, &fencedInt, &curStr, &leaseMs)
+	// Five fields since lineages landed; files from before leases (three
+	// fields) or lineages (four) parse short with an error from Sscanf —
+	// accept them with the missing fields zeroed.
+	n, serr := fmt.Sscanf(string(data), "PRR1 %d %d %s %d %d", &epoch, &fencedInt, &curStr, &leaseMs, &lineage)
 	if n < 3 {
-		return 0, false, wal.Cursor{}, 0, fmt.Errorf("malformed repl state %q: %v", data, serr)
+		return 0, false, wal.Cursor{}, 0, 0, fmt.Errorf("malformed repl state %q: %v", data, serr)
 	}
 	if n < 4 {
 		leaseMs = 0
 	}
-	if c, err = wal.ParseCursor(curStr); err != nil {
-		return 0, false, wal.Cursor{}, 0, fmt.Errorf("malformed repl state cursor: %w", err)
+	if n < 5 {
+		lineage = 0
 	}
-	return epoch, fencedInt != 0, c, leaseMs, nil
+	if c, err = wal.ParseCursor(curStr); err != nil {
+		return 0, false, wal.Cursor{}, 0, 0, fmt.Errorf("malformed repl state cursor: %w", err)
+	}
+	return epoch, fencedInt != 0, c, leaseMs, lineage, nil
 }
 
 // persistReplState atomically rewrites the repl-state file; doSync forces
@@ -175,7 +183,15 @@ func (s *Server) persistReplState(epoch uint64, c wal.Cursor, doSync bool) error
 			leaseMs = u.UnixMilli()
 		}
 	}
-	line := fmt.Sprintf("PRR1 %d %d %s %d\n", epoch, fenced, c, leaseMs)
+	// The lineage rides along with every persist: a follower that learned
+	// its stream's reign from the poll headers makes it durable here, so a
+	// reboot still knows which journal its cursor indexes.
+	if f := s.followerRef(); f != nil {
+		if r := f.SourceReign(); r > 0 {
+			s.replLineage = r
+		}
+	}
+	line := fmt.Sprintf("PRR1 %d %d %s %d %d\n", epoch, fenced, c, leaseMs, s.replLineage)
 	dir, base := filepath.Dir(path), filepath.Base(path)
 	f, err := s.cfg.FS.CreateTemp(dir, base+".tmp-*")
 	if err != nil {
@@ -254,54 +270,56 @@ const maxSnapshotFetch = 1 << 30
 // reports the cursor unusable (compacted away, or ahead of its lineage):
 // fetch the primary's snapshot, swap the local fleet to it, persist the
 // adopted state locally, and return the snapshot's journal boundary as
-// the cursor to stream from.
-func (s *Server) replResync(primaryEpoch uint64) (wal.Cursor, error) {
+// the cursor to stream from, plus the reign epoch of the journal it
+// indexes (from the snapshot response's X-Repl-Reign header).
+func (s *Server) replResync(primaryEpoch uint64) (wal.Cursor, uint64, error) {
 	if s.store == nil {
 		// Without a local snapshot a crash after the swap would replay the
 		// pre-resync journal against a post-resync cursor and diverge.
-		return wal.Cursor{}, errors.New("snapshot resync requires SnapshotPath on the replica")
+		return wal.Cursor{}, 0, errors.New("snapshot resync requires SnapshotPath on the replica")
 	}
 	req, err := http.NewRequest(http.MethodGet, s.currentPrimary()+"/v1/repl/snapshot", nil)
 	if err != nil {
-		return wal.Cursor{}, err
+		return wal.Cursor{}, 0, err
 	}
 	req.Header.Set(repl.HeaderEpoch, strconv.FormatUint(s.node.Epoch(), 10))
 	resp, err := s.replDoer().Do(req)
 	if err != nil {
-		return wal.Cursor{}, fmt.Errorf("fetching snapshot: %w", err)
+		return wal.Cursor{}, 0, fmt.Errorf("fetching snapshot: %w", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return wal.Cursor{}, fmt.Errorf("snapshot fetch: primary said %d", resp.StatusCode)
+		return wal.Cursor{}, 0, fmt.Errorf("snapshot fetch: primary said %d", resp.StatusCode)
 	}
+	reign, _ := strconv.ParseUint(resp.Header.Get(repl.HeaderReign), 10, 64)
 	data, err := io.ReadAll(io.LimitReader(resp.Body, maxSnapshotFetch))
 	if err != nil {
-		return wal.Cursor{}, fmt.Errorf("reading snapshot: %w", err)
+		return wal.Cursor{}, 0, fmt.Errorf("reading snapshot: %w", err)
 	}
 	// The container checksum is the transport integrity check: a snapshot
 	// bit-flipped or cut in flight fails here and the resync is retried.
 	payload, boundary, err := verifyContainer(data)
 	if err != nil {
-		return wal.Cursor{}, fmt.Errorf("verifying snapshot: %w", err)
+		return wal.Cursor{}, 0, fmt.Errorf("verifying snapshot: %w", err)
 	}
 	if boundary == 0 {
-		return wal.Cursor{}, errors.New("snapshot carries no journal boundary: primary has no WAL to stream")
+		return wal.Cursor{}, 0, errors.New("snapshot carries no journal boundary: primary has no WAL to stream")
 	}
 	fleet, pending, err := prorp.RestoreShardedFleet(s.cfg.Options, s.cfg.Shards, bytes.NewReader(payload))
 	if err != nil {
-		return wal.Cursor{}, fmt.Errorf("decoding snapshot: %w", err)
+		return wal.Cursor{}, 0, fmt.Errorf("decoding snapshot: %w", err)
 	}
 	s.swapFleet(fleet, pending)
 	// Make the adoption locally durable before the cursor moves: the local
 	// snapshot re-serializes the adopted state and compacts the local
 	// journal below it, so a crash right now reboots into the new lineage.
 	if _, err := s.writeSnapshot(); err != nil {
-		return wal.Cursor{}, fmt.Errorf("persisting resynced state: %w", err)
+		return wal.Cursor{}, 0, fmt.Errorf("persisting resynced state: %w", err)
 	}
 	cur := wal.Cursor{Seg: boundary, Off: wal.SegmentDataStart}
-	s.logf("repl resync: adopted primary snapshot (%d databases, primary epoch %d), streaming from %s",
-		fleet.Size(), primaryEpoch, cur)
-	return cur, nil
+	s.logf("repl resync: adopted primary snapshot (%d databases, primary epoch %d, reign %d), streaming from %s",
+		fleet.Size(), primaryEpoch, reign, cur)
+	return cur, reign, nil
 }
 
 // swapFleet replaces the serving runtime after a snapshot resync: swap
@@ -346,6 +364,32 @@ func (s *Server) observePeerEpoch(r *http.Request) {
 	}
 }
 
+// notePeerID watches for two different remote hosts polling under the
+// same X-Repl-Node id — misconfigured replicas sharing a node id collapse
+// into ONE entry in the quorum coverage map, silently weakening K. The
+// config-time check in New catches the empty default; this catches two
+// nodes explicitly configured with the same id, which only the primary
+// can see. Log-only: refusing the poll would turn a labeling mistake into
+// an availability outage.
+func (s *Server) notePeerID(id, remoteAddr string) {
+	if id == "" || s.coverage == nil {
+		return
+	}
+	host, _, err := net.SplitHostPort(remoteAddr)
+	if err != nil || host == "" {
+		return // in-process transports carry no usable remote address
+	}
+	s.peerAddrMu.Lock()
+	defer s.peerAddrMu.Unlock()
+	if s.peerAddrs == nil {
+		s.peerAddrs = make(map[string]string)
+	}
+	if prev, ok := s.peerAddrs[id]; ok && prev != host {
+		s.logf("repl quorum: node id %q polled from %s and %s — duplicate ids collapse into one quorum peer; give each replica a distinct -repl-node", id, prev, host)
+	}
+	s.peerAddrs[id] = host
+}
+
 // handleReplStream serves one batch of WAL frames after a cursor. Only
 // records durable per the fsync policy are shipped — the stream can never
 // run ahead of what a crash would preserve — and the poisoned tail is
@@ -367,6 +411,14 @@ func (s *Server) handleReplStream(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		return
 	}
+	// The reign tags the journal being served — set even when fenced: a
+	// fenced ex-primary's epoch has moved on, but the journal it serves is
+	// still the old reign's cursor space, and that is what the follower's
+	// cursor will index.
+	if lin := s.lineage(); lin > 0 {
+		w.Header().Set(repl.HeaderReign, strconv.FormatUint(lin, 10))
+	}
+	s.notePeerID(r.Header.Get(repl.HeaderNode), r.RemoteAddr)
 	cur, err := wal.ParseCursor(r.URL.Query().Get("after"))
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
@@ -427,6 +479,9 @@ func (s *Server) handleReplSnapshot(w http.ResponseWriter, r *http.Request) {
 	if s.node.Role() != repl.RolePrimary || s.wal == nil {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		return
+	}
+	if lin := s.lineage(); lin > 0 {
+		w.Header().Set(repl.HeaderReign, strconv.FormatUint(lin, 10))
 	}
 	var payload bytes.Buffer
 	payload.Write(make([]byte, storeHeader2Size)) // container header headroom
@@ -498,6 +553,12 @@ func (s *Server) promoteTo(to uint64) (uint64, error) {
 		}
 		epoch = to
 	}
+	// Promotion starts a new reign: this node's journal is now the lineage
+	// every follower's cursor will be measured against. Set it before the
+	// persist below so it lands in the same durable write.
+	s.replMu.Lock()
+	s.replLineage = epoch
+	s.replMu.Unlock()
 	if err := s.persistReplState(epoch, cur, true); err != nil {
 		// Promoted in memory but not on disk: a crash now boots back into
 		// the old role. Surface it loudly instead of acking.
@@ -584,19 +645,34 @@ func (s *Server) ensureFollowing(addr string) {
 	s.logf("following %s (auto-demoted into a replica)", addr)
 }
 
-// voteCursor is this node's position for vote comparisons: the follower's
-// stream cursor when following, the journal's durable end when this node
-// is (or last was) the stream's source, the persisted cursor otherwise.
-func (s *Server) voteCursor() wal.Cursor {
+// votePosition is this node's position for vote comparisons — cursor plus
+// lineage, because a cursor is only comparable against cursors indexing
+// the same reign's journal. The follower's live position when following,
+// the journal's durable end (under this node's own reign) when this node
+// is or last was the stream's source, the persisted pair otherwise.
+func (s *Server) votePosition() (wal.Cursor, uint64) {
 	if f := s.followerRef(); f != nil {
-		return f.Cursor()
+		if r := f.SourceReign(); r > 0 {
+			return f.Cursor(), r
+		}
+		// The follower has not learned its stream's reign yet (it may not
+		// have resynced or polled): fall through to the persisted lineage
+		// rather than claiming reign 0 for a possibly non-zero cursor.
+		return f.Cursor(), s.lineage()
 	}
 	if s.wal != nil && s.node.Role() == repl.RolePrimary {
-		return s.wal.DurableCursor()
+		return s.wal.DurableCursor(), s.lineage()
 	}
 	s.replMu.Lock()
 	defer s.replMu.Unlock()
-	return s.replCursor
+	return s.replCursor, s.replLineage
+}
+
+// lineage is the reign epoch of the journal this node's cursor indexes.
+func (s *Server) lineage() uint64 {
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	return s.replLineage
 }
 
 // handleReplVote is the voter side of a replica-initiated election; the
@@ -648,7 +724,8 @@ func (s *Server) handleReplVote(w http.ResponseWriter, r *http.Request) {
 	if s.node.CanAcceptWrites() {
 		leader = s.cfg.SelfAddr
 	}
-	resp := repl.HandleVote(s.node, s.voteCursor(), leader, func() error {
+	cur, lin := s.votePosition()
+	resp := repl.HandleVote(s.node, cur, lin, leader, func() error {
 		return s.persistReplState(s.node.Epoch(), s.loadCursor(), true)
 	}, req)
 	if resp.Granted {

@@ -166,7 +166,10 @@ type Config struct {
 	// fan-out target.
 	ReplPeers map[string]string
 	// NodeID names this node in stream polls (the quorum-coverage key) and
-	// vote requests (default: SelfAddr, then "node").
+	// vote requests (default: SelfAddr, then "node"). Quorum-acked mode
+	// refuses to boot on the "node" fallback: replicas sharing the default
+	// id collapse into one entry in the primary's coverage map, and a K≥2
+	// quorum then times out every write even with enough live replicas.
 	NodeID string
 	// SelfAddr is this node's own base URL, announced to peers when it wins
 	// an election so they repoint their followers at it.
@@ -238,7 +241,17 @@ type Server struct {
 	followerP  atomic.Pointer[repl.Follower]
 	replMu     sync.Mutex
 	replCursor wal.Cursor
-	repl       replCounters
+	// replLineage is the reign epoch of the journal replCursor indexes —
+	// the vote-comparison guard (cursors from different reigns are
+	// incomparable). Set at promotion (own reign) or learned from the
+	// stream's X-Repl-Reign header; guarded by replMu.
+	replLineage uint64
+	repl        replCounters
+
+	// peerAddrs maps follower node ids to the last remote host each polled
+	// from, to log when two hosts share an id (see notePeerID).
+	peerAddrMu sync.Mutex
+	peerAddrs  map[string]string
 
 	// Self-healing failover (nil/zero unless Config.LeaseTTL is set):
 	// lease tracks primary liveness, elector campaigns when it lapses,
@@ -339,6 +352,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.QuorumAcks > 0 {
 		if cfg.WALDir == "" {
 			return nil, errors.New("server: QuorumAcks requires WALDir (quorum covers journal cursors)")
+		}
+		if cfg.NodeID == "" && cfg.SelfAddr == "" {
+			// The coverage map keys on node id: replicas falling back to the
+			// shared "node" default collapse into ONE peer, and a K≥2 quorum
+			// then 503s every write no matter how many replicas are caught up.
+			return nil, errors.New("server: QuorumAcks requires a distinct node identity: set NodeID (or SelfAddr)")
 		}
 		if cfg.QuorumTimeout <= 0 {
 			cfg.QuorumTimeout = 5 * time.Second
@@ -449,7 +468,7 @@ func New(cfg Config) (*Server, error) {
 	// it, and a reboot inside an unexpired lease must respect it rather
 	// than instantly campaign against a primary that was alive moments ago.
 	s.primaryAddr = cfg.PrimaryAddr
-	epoch, fenced, cursor, leaseMs, err := loadReplState(cfg.FS, replStatePath(cfg.WALDir))
+	epoch, fenced, cursor, leaseMs, lineage, err := loadReplState(cfg.FS, replStatePath(cfg.WALDir))
 	if err != nil {
 		fleet.Close()
 		if journal != nil {
@@ -459,6 +478,14 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.node = repl.RestoreNode(cfg.Role, epoch, fenced)
 	s.replCursor = cursor
+	s.replLineage = lineage
+	if lineage == 0 && cfg.Role == repl.RolePrimary && !fenced {
+		// A primary from before lineages were persisted (or a fresh one):
+		// its journal is its own reign. A fenced ex-primary gets no such
+		// default — its epoch has moved past its reign and guessing wrong
+		// would let its old cursor compare against the new reign's.
+		s.replLineage = s.node.Epoch()
+	}
 	if cfg.LeaseTTL > 0 {
 		s.lease = repl.NewLease(clock, cfg.LeaseTTL)
 		if leaseMs > 0 {
@@ -560,7 +587,7 @@ func New(cfg Config) (*Server, error) {
 			// fenced ex-primary that has not re-attached yet has nothing
 			// comparable to offer the electorate.
 			Eligible: func() bool { return !s.node.CanAcceptWrites() && s.followerRef() != nil },
-			Cursor:   s.loadCursor,
+			Cursor:   s.votePosition,
 			Persist: func() error {
 				return s.persistReplState(s.node.Epoch(), s.loadCursor(), true)
 			},
