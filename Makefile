@@ -16,7 +16,7 @@ GOVULNCHECK := golang.org/x/vuln/cmd/govulncheck@v1.1.3
 # 82.3; the gap absorbs run-to-run variance from timing-dependent tests.)
 COVER_BASELINE := 82.0
 
-.PHONY: ci fmt-check vet staticcheck govulncheck build test cover obs obs-bench chaos snap-chaos wal-chaos repl-chaos shard-chaos lease-chaos bench-record bench-check bench-short bench clean
+.PHONY: ci fmt-check vet staticcheck govulncheck build test cover obs obs-bench chaos snap-chaos wal-chaos repl-chaos shard-chaos lease-chaos overload-chaos bench-record bench-check bench-short bench clean
 
 ci: fmt-check vet staticcheck govulncheck build test cover obs bench-short
 
@@ -70,7 +70,7 @@ obs-bench:
 # The fault-injection chaos gate: every seeded suite under the race
 # detector, via non-overlapping sub-targets so CI can run (and report)
 # each family once instead of re-matching the same tests twice.
-chaos: snap-chaos wal-chaos repl-chaos shard-chaos lease-chaos
+chaos: snap-chaos wal-chaos repl-chaos shard-chaos lease-chaos overload-chaos
 
 # The snapshot half: seeded kill-and-restore through the pause/resume
 # archive path.
@@ -104,6 +104,15 @@ shard-chaos:
 # on-disk debris is copied to $$PRORP_CHAOS_DEBRIS for the CI artifact.
 lease-chaos:
 	$(GO) test -race -run TestChaosLeaseElection -count 1 ./internal/server
+
+# The overload half: 50 seeded open-loop floods of a 3-node cluster with
+# hung and partitioned peers, asserting that login (Decision-class) p99
+# stays bounded while lower classes shed with honest Retry-After headers,
+# that the inter-node circuit breakers trip during the fault window and
+# re-close after it, and that zero acknowledged writes are lost across a
+# kill-and-reboot of the flooded node.
+overload-chaos:
+	$(GO) test -race -run TestChaosOverload -count 1 ./internal/server
 
 # Refresh BENCH_router.json, the committed router-overhead record
 # (acceptance: router_overhead_pct <= 5 over the unrouted baseline).

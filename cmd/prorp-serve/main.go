@@ -127,6 +127,11 @@ func main() {
 		shardmapPath  = flag.String("shardmap", "", "PRM1 shard-map file: restored on boot, rewritten on every map adoption (empty = in-memory map)")
 		scatterTO     = flag.Duration("scatter-timeout", 0, "scatter-gather fan-out deadline for fleet-wide surfaces (0 = default 2s)")
 		routeRedirect = flag.Bool("route-redirect", false, "answer remote-owned requests with 307 + owner address instead of proxying server-side")
+		admitDelay    = flag.Duration("admission-target-delay", 0, "CoDel-style sojourn target for priority admission: when the oldest in-flight request exceeds it, low-priority classes shed with 429 (0 = default 200ms)")
+		admitInflight = flag.Int("admission-max-inflight", 0, "in-flight request depth backstop: classes below decision shed at this depth, decisions at twice it (0 = default 1024, negative = admission disabled)")
+		admitClasses  = flag.Int("admission-shed-classes", 0, "how many priority classes, lowest first, sojourn shedding may refuse: 1 = background only, 2 = +writes, 3 = +reads; decisions never shed (0 = default 3)")
+		brkThreshold  = flag.Int("breaker-threshold", 0, "consecutive transport failures that open a per-peer circuit breaker on every inter-node path (0 = default 5, negative = breakers disabled)")
+		brkCooldown   = flag.Duration("breaker-cooldown", 0, "how long an open breaker refuses calls before admitting a single recovery probe (0 = default 2s)")
 	)
 	flag.Parse()
 
@@ -181,33 +186,38 @@ func main() {
 	}
 
 	srv, err := server.New(server.Config{
-		Options:           opts,
-		Shards:            *shards,
-		SnapshotPath:      *snapshotPath,
-		SnapshotEvery:     *snapshotEvery,
-		Backoff:           backoff,
-		DegradedAfter:     *degradedAfter,
-		WALDir:            *walDir,
-		WALFsync:          fsyncPolicy,
-		WALSegmentBytes:   *walSegBytes,
-		WALBatchInterval:  *walBatchEvery,
-		Role:              nodeRole,
-		PrimaryAddr:       *primaryAddr,
-		ReplPollInterval:  *replPoll,
-		ReplMaxBatchBytes: *replBatch,
-		LeaseTTL:          *leaseTTL,
-		ElectionTimeout:   *electionTO,
-		QuorumAcks:        *quorumAcks,
-		QuorumTimeout:     *quorumTO,
-		ReplPeers:         clusterPeers,
-		SelfAddr:          *replSelf,
-		NodeID:            *replNode,
-		Group:             *group,
-		GroupPeers:        peers,
-		ShardmapPath:      *shardmapPath,
-		ScatterTimeout:    *scatterTO,
-		RouterRedirect:    *routeRedirect,
-		Logf:              log.Printf,
+		Options:              opts,
+		Shards:               *shards,
+		SnapshotPath:         *snapshotPath,
+		SnapshotEvery:        *snapshotEvery,
+		Backoff:              backoff,
+		DegradedAfter:        *degradedAfter,
+		WALDir:               *walDir,
+		WALFsync:             fsyncPolicy,
+		WALSegmentBytes:      *walSegBytes,
+		WALBatchInterval:     *walBatchEvery,
+		Role:                 nodeRole,
+		PrimaryAddr:          *primaryAddr,
+		ReplPollInterval:     *replPoll,
+		ReplMaxBatchBytes:    *replBatch,
+		LeaseTTL:             *leaseTTL,
+		ElectionTimeout:      *electionTO,
+		QuorumAcks:           *quorumAcks,
+		QuorumTimeout:        *quorumTO,
+		ReplPeers:            clusterPeers,
+		SelfAddr:             *replSelf,
+		NodeID:               *replNode,
+		Group:                *group,
+		GroupPeers:           peers,
+		ShardmapPath:         *shardmapPath,
+		ScatterTimeout:       *scatterTO,
+		RouterRedirect:       *routeRedirect,
+		AdmissionTargetDelay: *admitDelay,
+		AdmissionMaxInflight: *admitInflight,
+		AdmissionShedClasses: *admitClasses,
+		BreakerThreshold:     *brkThreshold,
+		BreakerCooldown:      *brkCooldown,
+		Logf:                 log.Printf,
 	})
 	if err != nil {
 		log.Fatalf("prorp-serve: %v", err)

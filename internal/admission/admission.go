@@ -1,0 +1,364 @@
+// Package admission implements priority-classed admission control for
+// the serving path.
+//
+// The paper's whole value proposition is login QoS: a resume decision
+// must be cheap and fast even when the fleet is drowning in history
+// appends or background scatter traffic. Plain queue caps cannot
+// deliver that — they treat a login the same as the 10k history
+// appends queued in front of it. This package classifies every request
+// into a priority class (decisions/logins > reads > history writes >
+// background/scatter) and sheds load from the bottom of that order
+// using two signals:
+//
+//   - Sojourn time (CoDel-style): the controller tracks the admission
+//     time of every in-flight request. When the OLDEST in-flight
+//     request has been running longer than the target delay, the
+//     server is congested — queuing more work only adds latency — so
+//     low classes are refused. The shed floor escalates with the
+//     overload: > target sheds background, > 2× target also sheds
+//     writes, > 4× target also sheds reads. Decision traffic is never
+//     sojourn-shed (subject to SheddableClasses).
+//   - Depth: a hard in-flight cap sheds everything below decision
+//     class at MaxInflight, and decisions themselves at 2× MaxInflight
+//     — the memory backstop of last resort.
+//
+// A refusal is an ErrShedLoad, which the HTTP layer maps to 429 with a
+// Retry-After derived from the observed sojourn. Per-class admitted /
+// shed / in-flight counters feed the prorp_admission_* metrics.
+//
+// The package also provides RetryBudget, a token bucket (gRPC-style)
+// that caps client-side retries during overload: each first attempt
+// earns a fraction of a token, each retry spends a whole one, so
+// retries are bounded to a fraction of live traffic and cannot turn a
+// brownout into a retry storm.
+package admission
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrShedLoad is returned by Acquire when the controller refuses a
+// request to protect higher-priority traffic. The HTTP layer maps it
+// to 429 Too Many Requests with a Retry-After.
+var ErrShedLoad = errors.New("admission: load shed")
+
+// Class is a request's priority class. Lower values are MORE
+// important; shedding always starts from the bottom (Background).
+type Class int
+
+const (
+	// Decision: login/resume decisions and cluster control-plane
+	// liveness (votes, announces) — the traffic the system exists to
+	// protect. Shed only at the 2× MaxInflight backstop.
+	Decision Class = iota
+	// Read: state reads and KPI surfaces.
+	Read
+	// Write: history appends — logout events, database create/delete.
+	Write
+	// Background: snapshots, scatter fan-in, shard control, migration.
+	Background
+
+	numClasses
+)
+
+func (c Class) String() string {
+	switch c {
+	case Decision:
+		return "decision"
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case Background:
+		return "background"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Classes returns every class in priority order, for metric
+// registration loops.
+func Classes() []Class {
+	return []Class{Decision, Read, Write, Background}
+}
+
+// Defaults for zero-valued Config fields.
+const (
+	DefaultTargetDelay      = 200 * time.Millisecond
+	DefaultMaxInflight      = 1024
+	DefaultSheddableClasses = 3
+)
+
+// Config parameterizes a Controller.
+type Config struct {
+	// TargetDelay is the CoDel-style sojourn target: once the oldest
+	// in-flight request exceeds it, low classes are shed. 0 = default.
+	TargetDelay time.Duration
+	// MaxInflight is the depth cap: at MaxInflight in-flight requests
+	// everything below Decision is shed, at 2× even decisions are.
+	// 0 = default.
+	MaxInflight int
+	// SheddableClasses is how many classes, counted from the bottom
+	// (Background first), sojourn shedding may refuse. 3 (default)
+	// sheds background, writes, and reads but never decisions; 4 lets
+	// extreme sojourn shed decisions too; 1 sheds only background.
+	// 0 = default.
+	SheddableClasses int
+	// Now supplies time; nil = wall clock.
+	Now func() time.Time
+}
+
+// entry is one in-flight request in the admission-ordered intrusive
+// list. Admission order is time order, so the list head is always the
+// oldest in-flight request — sojourn reads are O(1).
+type entry struct {
+	at         time.Time
+	class      Class
+	prev, next *entry
+}
+
+// classStats are one class's counters, guarded by the controller mutex.
+type classStats struct {
+	admitted uint64
+	shed     uint64
+	inflight int
+}
+
+// Controller is the admission gate. One instance guards a server's
+// whole instrumented surface.
+type Controller struct {
+	mu       sync.Mutex
+	now      func() time.Time
+	target   time.Duration
+	maxIn    int
+	sheddble int
+
+	head, tail *entry
+	inflight   int
+	stats      [numClasses]classStats
+}
+
+// NewController builds a controller from cfg, applying defaults to
+// zero fields.
+func NewController(cfg Config) *Controller {
+	if cfg.TargetDelay <= 0 {
+		cfg.TargetDelay = DefaultTargetDelay
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = DefaultMaxInflight
+	}
+	if cfg.SheddableClasses <= 0 {
+		cfg.SheddableClasses = DefaultSheddableClasses
+	}
+	if cfg.SheddableClasses > int(numClasses) {
+		cfg.SheddableClasses = int(numClasses)
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Controller{
+		now:      cfg.Now,
+		target:   cfg.TargetDelay,
+		maxIn:    cfg.MaxInflight,
+		sheddble: cfg.SheddableClasses,
+	}
+}
+
+// TargetDelay returns the configured sojourn target — the natural
+// Retry-After floor for a shed response.
+func (c *Controller) TargetDelay() time.Duration { return c.target }
+
+// Acquire admits or refuses a request of the given class. On admission
+// it returns a release func the caller MUST invoke when the request
+// finishes (idempotent); on refusal it returns ErrShedLoad.
+func (c *Controller) Acquire(class Class) (func(), error) {
+	if class < 0 || class >= numClasses {
+		class = Background
+	}
+	c.mu.Lock()
+	now := c.now()
+	var sojourn time.Duration
+	if c.head != nil {
+		sojourn = now.Sub(c.head.at)
+	}
+	if int(class) >= c.shedFloor(sojourn) {
+		c.stats[class].shed++
+		inflight := c.inflight
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w (class %s, %d in flight, oldest %s)",
+			ErrShedLoad, class, inflight, sojourn.Round(time.Millisecond))
+	}
+	e := &entry{at: now, class: class}
+	if c.tail == nil {
+		c.head, c.tail = e, e
+	} else {
+		e.prev = c.tail
+		c.tail.next = e
+		c.tail = e
+	}
+	c.inflight++
+	c.stats[class].admitted++
+	c.stats[class].inflight++
+	c.mu.Unlock()
+
+	var once sync.Once
+	return func() { once.Do(func() { c.release(e) }) }, nil
+}
+
+// shedFloor computes the lowest class value currently refused: a
+// request is shed when int(class) >= floor. numClasses means nothing
+// is shed. Caller holds c.mu.
+func (c *Controller) shedFloor(sojourn time.Duration) int {
+	floor := int(numClasses)
+	switch {
+	case sojourn > 4*c.target:
+		floor = int(Read)
+	case sojourn > 2*c.target:
+		floor = int(Write)
+	case sojourn > c.target:
+		floor = int(Background)
+	}
+	// SheddableClasses bounds how deep sojourn shedding may reach.
+	if min := int(numClasses) - c.sheddble; floor < min {
+		floor = min
+	}
+	// Depth caps override: the backstop sheds below decision at
+	// MaxInflight and everything at 2× MaxInflight.
+	if c.inflight >= 2*c.maxIn {
+		floor = int(Decision)
+	} else if c.inflight >= c.maxIn && floor > int(Read) {
+		floor = int(Read)
+	}
+	return floor
+}
+
+// release unlinks an in-flight entry.
+func (c *Controller) release(e *entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	c.inflight--
+	c.stats[e.class].inflight--
+}
+
+// Pressure is a point-in-time congestion snapshot for health surfaces
+// and Retry-After computation.
+type Pressure struct {
+	Inflight      int
+	OldestSojourn time.Duration
+	// ShedFloor is the lowest class value currently refused;
+	// int(numClasses) (4) means none.
+	ShedFloor int
+}
+
+// Shedding reports whether any class is currently refused.
+func (p Pressure) Shedding() bool { return p.ShedFloor < int(numClasses) }
+
+// Pressure returns the controller's current congestion snapshot.
+func (c *Controller) Pressure() Pressure {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var sojourn time.Duration
+	if c.head != nil {
+		sojourn = c.now().Sub(c.head.at)
+	}
+	return Pressure{
+		Inflight:      c.inflight,
+		OldestSojourn: sojourn,
+		ShedFloor:     c.shedFloor(sojourn),
+	}
+}
+
+// ClassStats is one class's counters.
+type ClassStats struct {
+	Admitted uint64
+	Shed     uint64
+	Inflight int
+}
+
+// Stats returns the per-class counters.
+func (c *Controller) Stats(class Class) ClassStats {
+	if class < 0 || class >= numClasses {
+		return ClassStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats[class]
+	return ClassStats{Admitted: s.admitted, Shed: s.shed, Inflight: s.inflight}
+}
+
+// RetryBudget is a token bucket bounding client-side retries
+// (gRPC-style): each first attempt earns EarnRatio tokens (capped at
+// Max), each retry spends a whole token. During overload the bucket
+// drains and retries are refused, so the retry rate can never exceed
+// EarnRatio of the live request rate.
+type RetryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	max    float64
+	ratio  float64
+	denied uint64
+}
+
+// Defaults for zero-valued NewRetryBudget arguments.
+const (
+	DefaultRetryBudgetMax   = 10
+	DefaultRetryBudgetRatio = 0.1
+)
+
+// NewRetryBudget builds a budget with the given cap and earn ratio;
+// zero or negative arguments take the defaults. The bucket starts
+// full, so isolated failures always get their retry.
+func NewRetryBudget(max, ratio float64) *RetryBudget {
+	if max <= 0 {
+		max = DefaultRetryBudgetMax
+	}
+	if ratio <= 0 {
+		ratio = DefaultRetryBudgetRatio
+	}
+	return &RetryBudget{tokens: max, max: max, ratio: ratio}
+}
+
+// Earn credits the budget for one first attempt.
+func (b *RetryBudget) Earn() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tokens += b.ratio
+	if b.tokens > b.max {
+		b.tokens = b.max
+	}
+}
+
+// Spend consumes one retry token, reporting whether the retry is
+// allowed. A refusal means the caller should surface the original
+// failure instead of retrying.
+func (b *RetryBudget) Spend() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		b.denied++
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Denied returns how many retries the budget has refused.
+func (b *RetryBudget) Denied() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.denied
+}

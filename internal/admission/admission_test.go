@@ -1,0 +1,269 @@
+package admission
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+type manualClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newManualClock() *manualClock {
+	return &manualClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *manualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *manualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func mustAcquire(t *testing.T, c *Controller, class Class) func() {
+	t.Helper()
+	release, err := c.Acquire(class)
+	if err != nil {
+		t.Fatalf("Acquire(%v) = %v, want admitted", class, err)
+	}
+	return release
+}
+
+// TestSojournShedOrder tables the CoDel-style escalation: as the
+// oldest in-flight request's sojourn grows past the target, classes
+// are shed from the bottom of the priority order — background first,
+// then writes, then reads, never decisions (at default config).
+func TestSojournShedOrder(t *testing.T) {
+	const target = 100 * time.Millisecond
+	cases := []struct {
+		name    string
+		sojourn time.Duration
+		shed    []Class // refused at this sojourn
+		admit   []Class // still admitted
+	}{
+		{"at target nothing sheds", target,
+			nil, []Class{Decision, Read, Write, Background}},
+		{"past target background sheds", target + time.Millisecond,
+			[]Class{Background}, []Class{Decision, Read, Write}},
+		{"past 2x writes shed too", 2*target + time.Millisecond,
+			[]Class{Background, Write}, []Class{Decision, Read}},
+		{"past 4x reads shed too", 4*target + time.Millisecond,
+			[]Class{Background, Write, Read}, []Class{Decision}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			clock := newManualClock()
+			c := NewController(Config{TargetDelay: target, Now: clock.Now})
+			// One stuck decision-class request is the oldest in-flight.
+			release := mustAcquire(t, c, Decision)
+			defer release()
+			clock.Advance(tc.sojourn)
+			for _, class := range tc.shed {
+				if _, err := c.Acquire(class); !errors.Is(err, ErrShedLoad) {
+					t.Errorf("Acquire(%v) at sojourn %v = %v, want ErrShedLoad", class, tc.sojourn, err)
+				}
+				if got := c.Stats(class).Shed; got == 0 {
+					t.Errorf("class %v shed counter not incremented", class)
+				}
+			}
+			for _, class := range tc.admit {
+				mustAcquire(t, c, class)()
+			}
+		})
+	}
+}
+
+// TestSheddableClassesBound verifies the -admission-shed-classes knob:
+// with only 1 sheddable class, extreme sojourn still sheds nothing
+// above background; with 4, even decisions shed.
+func TestSheddableClassesBound(t *testing.T) {
+	const target = 100 * time.Millisecond
+	t.Run("one sheddable class protects writes and reads", func(t *testing.T) {
+		clock := newManualClock()
+		c := NewController(Config{TargetDelay: target, SheddableClasses: 1, Now: clock.Now})
+		release := mustAcquire(t, c, Decision)
+		defer release()
+		clock.Advance(10 * target)
+		if _, err := c.Acquire(Background); !errors.Is(err, ErrShedLoad) {
+			t.Fatalf("background = %v, want ErrShedLoad", err)
+		}
+		for _, class := range []Class{Decision, Read, Write} {
+			mustAcquire(t, c, class)()
+		}
+	})
+	t.Run("four sheddable classes shed decisions at extreme sojourn", func(t *testing.T) {
+		clock := newManualClock()
+		c := NewController(Config{TargetDelay: target, SheddableClasses: 4, Now: clock.Now})
+		release := mustAcquire(t, c, Decision)
+		defer release()
+		clock.Advance(10 * target)
+		if _, err := c.Acquire(Decision); err != nil {
+			// Sojourn floor reaches Read at 4x; decisions only shed via
+			// the depth backstop even with SheddableClasses=4.
+			t.Fatalf("decision = %v, want admitted (sojourn never sheds below Read)", err)
+		}
+	})
+}
+
+// TestDepthCaps verifies the in-flight backstops: MaxInflight sheds
+// everything below decision, 2x MaxInflight sheds decisions too, and
+// releases reopen admission.
+func TestDepthCaps(t *testing.T) {
+	clock := newManualClock()
+	c := NewController(Config{MaxInflight: 4, Now: clock.Now})
+	var releases []func()
+	for i := 0; i < 4; i++ {
+		releases = append(releases, mustAcquire(t, c, Decision))
+	}
+	// At the cap: non-decision classes shed, decisions still admitted.
+	for _, class := range []Class{Read, Write, Background} {
+		if _, err := c.Acquire(class); !errors.Is(err, ErrShedLoad) {
+			t.Fatalf("Acquire(%v) at cap = %v, want ErrShedLoad", class, err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		releases = append(releases, mustAcquire(t, c, Decision))
+	}
+	// At 2x the cap: even decisions shed.
+	if _, err := c.Acquire(Decision); !errors.Is(err, ErrShedLoad) {
+		t.Fatalf("Acquire(decision) at 2x cap = %v, want ErrShedLoad", err)
+	}
+	// Draining reopens admission, and release is idempotent.
+	for _, r := range releases {
+		r()
+		r()
+	}
+	if p := c.Pressure(); p.Inflight != 0 {
+		t.Fatalf("inflight after drain = %d, want 0", p.Inflight)
+	}
+	mustAcquire(t, c, Background)()
+}
+
+// TestOldestSojournTracking verifies the intrusive list keeps the
+// oldest in-flight request at the head across out-of-order releases.
+func TestOldestSojournTracking(t *testing.T) {
+	clock := newManualClock()
+	c := NewController(Config{TargetDelay: time.Second, Now: clock.Now})
+	r1 := mustAcquire(t, c, Read)
+	clock.Advance(100 * time.Millisecond)
+	r2 := mustAcquire(t, c, Read)
+	clock.Advance(100 * time.Millisecond)
+	r3 := mustAcquire(t, c, Read)
+
+	if got := c.Pressure().OldestSojourn; got != 200*time.Millisecond {
+		t.Fatalf("oldest sojourn = %v, want 200ms", got)
+	}
+	r2() // middle release must not disturb the head
+	if got := c.Pressure().OldestSojourn; got != 200*time.Millisecond {
+		t.Fatalf("oldest sojourn after middle release = %v, want 200ms", got)
+	}
+	r1() // head release promotes the next-oldest survivor (r3, just admitted)
+	if got := c.Pressure().OldestSojourn; got != 0 {
+		t.Fatalf("oldest sojourn after head release = %v, want 0", got)
+	}
+	clock.Advance(50 * time.Millisecond)
+	if got := c.Pressure().OldestSojourn; got != 50*time.Millisecond {
+		t.Fatalf("oldest sojourn = %v, want 50ms", got)
+	}
+	r3()
+	if got := c.Pressure().OldestSojourn; got != 0 {
+		t.Fatalf("oldest sojourn when idle = %v, want 0", got)
+	}
+	if c.Pressure().Shedding() {
+		t.Fatal("idle controller reports shedding")
+	}
+}
+
+// TestPressureSnapshot verifies the health-surface view during
+// congestion.
+func TestPressureSnapshot(t *testing.T) {
+	clock := newManualClock()
+	c := NewController(Config{TargetDelay: 100 * time.Millisecond, Now: clock.Now})
+	release := mustAcquire(t, c, Write)
+	defer release()
+	clock.Advance(150 * time.Millisecond)
+	p := c.Pressure()
+	if p.Inflight != 1 || p.OldestSojourn != 150*time.Millisecond {
+		t.Fatalf("pressure = %+v", p)
+	}
+	if !p.Shedding() || p.ShedFloor != int(Background) {
+		t.Fatalf("want shedding at background floor, got %+v", p)
+	}
+}
+
+// TestAcquireConcurrency hammers the controller under the race
+// detector: counters must balance and the list must end empty.
+func TestAcquireConcurrency(t *testing.T) {
+	c := NewController(Config{MaxInflight: 64})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				release, err := c.Acquire(Class(i % int(numClasses)))
+				if err != nil {
+					continue
+				}
+				release()
+			}
+		}(g)
+	}
+	wg.Wait()
+	p := c.Pressure()
+	if p.Inflight != 0 || p.OldestSojourn != 0 {
+		t.Fatalf("pressure after drain = %+v", p)
+	}
+	var admitted uint64
+	for _, class := range Classes() {
+		st := c.Stats(class)
+		if st.Inflight != 0 {
+			t.Fatalf("class %v inflight = %d, want 0", class, st.Inflight)
+		}
+		admitted += st.Admitted
+	}
+	if admitted == 0 {
+		t.Fatal("nothing admitted")
+	}
+}
+
+// TestRetryBudget verifies the token bucket: starts full, drains one
+// token per retry, earns back a fraction per first attempt, and
+// refuses when empty.
+func TestRetryBudget(t *testing.T) {
+	b := NewRetryBudget(2, 0.5)
+	if !b.Spend() || !b.Spend() {
+		t.Fatal("fresh budget must allow its full cap of retries")
+	}
+	if b.Spend() {
+		t.Fatal("empty budget allowed a retry")
+	}
+	if got := b.Denied(); got != 1 {
+		t.Fatalf("denied = %d, want 1", got)
+	}
+	b.Earn() // 0.5 tokens: still under one whole token
+	if b.Spend() {
+		t.Fatal("fractional token allowed a retry")
+	}
+	b.Earn() // 1.0 tokens
+	if !b.Spend() {
+		t.Fatal("earned token refused")
+	}
+	for i := 0; i < 100; i++ {
+		b.Earn()
+	}
+	if !b.Spend() || !b.Spend() {
+		t.Fatal("budget must refill to its cap")
+	}
+	if b.Spend() {
+		t.Fatal("budget exceeded its cap")
+	}
+}

@@ -190,10 +190,15 @@ type Elector struct {
 	done      chan struct{}
 }
 
+// defaultElectorClient bounds vote solicitations: a peer that hangs
+// mid-election must cost one timeout, not stall the candidacy forever
+// (http.DefaultClient would wait indefinitely).
+var defaultElectorClient = &http.Client{Timeout: 10 * time.Second}
+
 // NewElector builds an elector; Timeout must be positive.
 func NewElector(cfg ElectorConfig) *Elector {
 	if cfg.Doer == nil {
-		cfg.Doer = http.DefaultClient
+		cfg.Doer = defaultElectorClient
 	}
 	if cfg.Clock == nil {
 		cfg.Clock = faults.WallClock{}

@@ -124,10 +124,16 @@ type Follower struct {
 	done      chan struct{}
 }
 
+// defaultFollowerClient bounds every stream poll and snapshot fetch:
+// http.DefaultClient has no timeout, and a primary that accepts the
+// connection then hangs would wedge the poll loop forever — the follower
+// would neither stream nor notice the primary is gone.
+var defaultFollowerClient = &http.Client{Timeout: 30 * time.Second}
+
 // NewFollower builds a follower that will stream from cursor onward.
 func NewFollower(cfg FollowerConfig, cursor wal.Cursor) *Follower {
 	if cfg.Doer == nil {
-		cfg.Doer = http.DefaultClient
+		cfg.Doer = defaultFollowerClient
 	}
 	if cfg.Clock == nil {
 		cfg.Clock = faults.WallClock{}

@@ -8,8 +8,11 @@ import (
 	"net/http/httptest"
 	"os"
 	"runtime"
+	"sort"
 	"testing"
 	"time"
+
+	"prorp/internal/admission"
 )
 
 // measureRouterBench measures the router's cost on the per-database
@@ -31,6 +34,21 @@ func measureRouterBench(t *testing.T) map[string]float64 {
 		code, rep := call(t, s, "POST", "/v1/db", fmt.Sprintf(`{"id":%d}`, id))
 		wantStatus(t, code, http.StatusCreated, rep)
 	}
+	// The admission gate's cost is measured directly (one Acquire/release
+	// pair, what the middleware adds to every request) rather than by
+	// differencing two end-to-end timings: the pair costs well under a
+	// microsecond against a ~100µs request, so an A/B delta would be pure
+	// run-to-run noise.
+	gate := func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			release, err := solo.admission.Acquire(admission.Read)
+			if err != nil {
+				b.Fatal(err)
+			}
+			release()
+		}
+	}
 
 	get := func(s *Server, path string) func(b *testing.B) {
 		return func(b *testing.B) {
@@ -44,29 +62,62 @@ func measureRouterBench(t *testing.T) map[string]float64 {
 			}
 		}
 	}
-	// Best-of-3: the minimum ns/op over independent rounds. Scheduler and
-	// background-goroutine noise only ever adds time, so the min is the
-	// stable estimate — single rounds swing far more than the drift gate's
-	// slack on a loaded runner.
-	best := func(fn func(b *testing.B)) float64 {
-		min := math.Inf(1)
-		for i := 0; i < 3; i++ {
-			if v := float64(testing.Benchmark(fn).NsPerOp()); v < min {
-				min = v
+	// Best-of-5, rounds interleaved across the measured servers (and one
+	// unrecorded warm-up round first): scheduler and background-goroutine
+	// noise only ever adds time, so the per-server minimum is the stable
+	// estimate, and interleaving keeps slow drift — CPU frequency ramp,
+	// page-cache warm-up — from landing entirely on whichever server
+	// happened to be measured first and skewing the overhead ratios.
+	dbPath := fmt.Sprintf("/v1/db/%d", id)
+	cases := []struct {
+		key string
+		fn  func(b *testing.B)
+	}{
+		{"admission_gate_ns_op", gate},
+		{"db_get_router_off_ns_op", get(solo, dbPath)},
+		{"db_get_router_on_ns_op", get(g1, dbPath)},
+		{"scatter_kpi_3groups_ns_op", get(g1, "/v1/kpi")},
+	}
+	const rounds = 5
+	perRound := map[string][]float64{}
+	for _, c := range cases {
+		testing.Benchmark(c.fn) // warm-up, discarded
+	}
+	for i := 0; i < rounds; i++ {
+		for _, c := range cases {
+			perRound[c.key] = append(perRound[c.key], float64(testing.Benchmark(c.fn).NsPerOp()))
+		}
+	}
+	nums := map[string]float64{}
+	for key, vs := range perRound {
+		nums[key] = math.Inf(1)
+		for _, v := range vs {
+			if v < nums[key] {
+				nums[key] = v
 			}
 		}
-		return min
 	}
-	dbPath := fmt.Sprintf("/v1/db/%d", id)
-	offNs := best(get(solo, dbPath))
-	onNs := best(get(g1, dbPath))
-	scatterNs := best(get(g1, "/v1/kpi"))
-	return map[string]float64{
-		"db_get_router_off_ns_op":   offNs,
-		"db_get_router_on_ns_op":    onNs,
-		"router_overhead_pct":       (onNs - offNs) / offNs * 100,
-		"scatter_kpi_3groups_ns_op": scatterNs,
+	// The overhead percentages are ratios of two same-scale timings, so
+	// they are computed per round — both sides of a round ran back-to-back
+	// under the same machine load — and the median round is reported.
+	// Differencing the cross-round minima instead lets two rounds'
+	// unrelated load profiles masquerade as overhead.
+	medianRatio := func(f func(i int) float64) float64 {
+		rs := make([]float64, rounds)
+		for i := range rs {
+			rs[i] = f(i)
+		}
+		sort.Float64s(rs)
+		return rs[rounds/2]
 	}
+	nums["admission_overhead_pct"] = medianRatio(func(i int) float64 {
+		return perRound["admission_gate_ns_op"][i] / perRound["db_get_router_off_ns_op"][i] * 100
+	})
+	nums["router_overhead_pct"] = medianRatio(func(i int) float64 {
+		off := perRound["db_get_router_off_ns_op"][i]
+		return (perRound["db_get_router_on_ns_op"][i] - off) / off * 100
+	})
+	return nums
 }
 
 // writeBenchRecord serializes the measured numbers in the committed
@@ -99,7 +150,8 @@ func TestRecordRouterBench(t *testing.T) {
 	}
 	nums := measureRouterBench(t)
 	writeBenchRecord(t, out, nums)
-	t.Logf("router off %.0fns/op, on %.0fns/op (%.2f%% overhead), scatter KPI %.0fns/op — recorded to %s",
+	t.Logf("admission %.2f%% overhead, router off %.0fns/op, on %.0fns/op (%.2f%% overhead), scatter KPI %.0fns/op — recorded to %s",
+		nums["admission_overhead_pct"],
 		nums["db_get_router_off_ns_op"], nums["db_get_router_on_ns_op"],
 		nums["router_overhead_pct"], nums["scatter_kpi_3groups_ns_op"], out)
 }
@@ -143,7 +195,9 @@ func TestBenchDrift(t *testing.T) {
 			continue
 		}
 		limit := b * slack
-		if key == "router_overhead_pct" && limit < 5.0 {
+		// Both overhead percentages keep their absolute 5% acceptance
+		// floor: a near-zero baseline must not turn noise into failures.
+		if (key == "router_overhead_pct" || key == "admission_overhead_pct") && limit < 5.0 {
 			limit = 5.0
 		}
 		if fresh > limit {

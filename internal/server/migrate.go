@@ -212,14 +212,14 @@ func (s *Server) handleShardMigrate(w http.ResponseWriter, r *http.Request) {
 	s.walGate.Unlock()
 	if archiveErr != nil {
 		rt.migrationsFail.Add(1)
-		writeErr(w, archiveErr)
+		s.writeErr(w, archiveErr)
 		return
 	}
 
 	proposed, err := m.WithOwner(req.Slot, req.To)
 	if err != nil {
 		rt.migrationsFail.Add(1)
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	adopted, err := s.shipTransfer(addr, req.To, req.Slot, encodeTransfer(req.Slot, proposed, entries), proposed)
@@ -281,6 +281,12 @@ func (s *Server) shipTransfer(addr, to string, slot int, body []byte, proposed *
 	var lastErr error
 	for attempt := 0; attempt < attempts && !s.stopped(); attempt++ {
 		if attempt > 0 {
+			// Re-ships draw on the shared retry budget: during an outage the
+			// lost-ack probe below decides the migration's fate instead of a
+			// storm of doomed re-sends piling onto a struggling destination.
+			if !s.spendRetry() {
+				break
+			}
 			s.clock.Sleep(s.cfg.Backoff.Delay(attempt))
 		}
 		req, err := http.NewRequest(http.MethodPost, addr+"/v1/shard/adopt", bytes.NewReader(body))
@@ -293,6 +299,7 @@ func (s *Server) shipTransfer(addr, to string, slot int, body []byte, proposed *
 			lastErr = err
 			continue
 		}
+		s.earnRetry()
 		respBody, rerr := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 		resp.Body.Close()
 		switch {

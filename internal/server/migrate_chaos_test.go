@@ -102,8 +102,12 @@ func migrateChaosConfig(t *testing.T, dir, g string, peers map[string]string, cl
 		GroupPeers:      peers,
 		ShardmapPath:    filepath.Join(dir, "shard.map"),
 		RouterDoer:      doer,
-		Now:             clock.Now,
-		Sleep:           noSleep,
+		// This harness heals the transport instantly and expects the very
+		// next call to succeed; a breaker's cooldown memory would refuse it.
+		// Breaker recovery under faults is TestChaosOverload's job.
+		BreakerThreshold: -1,
+		Now:              clock.Now,
+		Sleep:            noSleep,
 		Backoff: faults.Backoff{Attempts: 4, Base: time.Millisecond,
 			Max: 4 * time.Millisecond, Factor: 2, Rand: inj.Rand()},
 		Logf: t.Logf,

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"prorp"
+	"prorp/internal/admission"
 	"prorp/internal/obs"
 )
 
@@ -57,11 +58,24 @@ func (s *Server) instrumented(method, route string, h http.HandlerFunc) http.Han
 			obs.L("route", route), obs.L("method", method), obs.L("status", status))
 	}
 	okHist := hist("ok")
+	class, gated := classifyRoute(method, route)
 	return func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
 		ctx, span := s.tracer.Start(r.Context(), method+" "+route)
 		sw := &statusWriter{ResponseWriter: w}
-		h(sw, r.WithContext(ctx))
+		// The admission gate sits inside the instrumentation so sheds are
+		// counted and traced like any other terminal status: a 429 storm
+		// must be visible in the same histograms the SLO reads from.
+		if s.admission == nil {
+			h(sw, r.WithContext(ctx))
+		} else if release, err := s.admission.Acquire(class); err != nil && gated {
+			s.writeErr(sw, err)
+		} else {
+			if err == nil {
+				defer release()
+			}
+			h(sw, r.WithContext(ctx))
+		}
 		span.End()
 		if sw.status == 0 {
 			sw.status = http.StatusOK
@@ -78,6 +92,111 @@ func (s *Server) instrumented(method, route string, h http.HandlerFunc) http.Han
 			"HTTP requests by route and status code.",
 			obs.L("route", route), obs.L("method", method),
 			obs.L("code", strconv.Itoa(sw.status))).Inc()
+	}
+}
+
+// classifyRoute maps one registered route onto its admission class,
+// implementing the overload contract: decision traffic (logins and the
+// control plane that keeps the cluster writable) is shed last, then reads,
+// then history writes, then background fan-out — so a login is never stuck
+// behind ten thousand history appends. /healthz is exempt (gated=false): an
+// overloaded node must keep answering its load balancer, and the answer is
+// where the pressure state is reported.
+func classifyRoute(method, route string) (admission.Class, bool) {
+	switch route {
+	case "/healthz":
+		return admission.Decision, false
+	case "/v1/db/{id}/login", "/v1/ops/resume",
+		"/v1/repl/promote", "/v1/repl/fence", "/v1/repl/vote", "/v1/repl/announce":
+		return admission.Decision, true
+	case "/v1/db/{id}":
+		if method == http.MethodGet {
+			return admission.Read, true
+		}
+		return admission.Write, true // DELETE
+	case "/v1/kpi", "/v1/shard/map":
+		return admission.Read, true
+	case "/v1/db", "/v1/db/{id}/logout":
+		return admission.Write, true
+	}
+	// Everything else — snapshots, migrations, reconciles — is background
+	// work: first to shed, because it retries on its own schedule.
+	return admission.Background, true
+}
+
+// registerOverloadMetrics exposes the admission controller's per-class
+// accounting and the circuit-breaker groups' lifecycle counters:
+//
+//	prorp_admission_requests_total{class}        admitted requests
+//	prorp_admission_shed_total{class}            requests shed with 429
+//	prorp_admission_inflight{class}              currently admitted
+//	prorp_admission_oldest_sojourn_seconds       age of the oldest in-flight request
+//	prorp_breaker_{trips,rejections,probes,recoveries}_total{path}
+//	prorp_breaker_open{path}                     breakers currently open
+//
+// The breaker path label is the doer group: "repl" (follower poll, resync,
+// election, announce) or "router" (proxy, scatter, migration ship).
+func (s *Server) registerOverloadMetrics() {
+	reg := s.reg
+	if s.admission == nil {
+		s.registerBreakerMetrics()
+		return
+	}
+	for _, class := range admission.Classes() {
+		class := class
+		l := obs.L("class", class.String())
+		reg.CounterFunc("prorp_admission_requests_total",
+			"Requests admitted, by priority class.",
+			func() uint64 { return s.admission.Stats(class).Admitted }, l)
+		reg.CounterFunc("prorp_admission_shed_total",
+			"Requests shed by priority admission, by class.",
+			func() uint64 { return s.admission.Stats(class).Shed }, l)
+		reg.GaugeFunc("prorp_admission_inflight",
+			"Requests currently admitted, by priority class.",
+			func() float64 { return float64(s.admission.Stats(class).Inflight) }, l)
+	}
+	reg.GaugeFunc("prorp_admission_oldest_sojourn_seconds",
+		"Age of the oldest request still in flight (the CoDel shed signal).",
+		func() float64 { return s.admission.Pressure().OldestSojourn.Seconds() })
+	s.registerBreakerMetrics()
+}
+
+// registerBreakerMetrics exposes the circuit-breaker groups' lifecycle
+// counters; split from registerOverloadMetrics so a server with the
+// admission gate disabled still reports its breakers.
+func (s *Server) registerBreakerMetrics() {
+	reg := s.reg
+	registerBreaker := func(path string, stats func() (trips, rejections, probes, recoveries, open uint64)) {
+		l := obs.L("path", path)
+		reg.CounterFunc("prorp_breaker_trips_total",
+			"Circuit breakers tripped open, by inter-node path.",
+			func() uint64 { t, _, _, _, _ := stats(); return t }, l)
+		reg.CounterFunc("prorp_breaker_rejections_total",
+			"Calls refused by an open breaker, by inter-node path.",
+			func() uint64 { _, r, _, _, _ := stats(); return r }, l)
+		reg.CounterFunc("prorp_breaker_probes_total",
+			"Half-open recovery probes admitted, by inter-node path.",
+			func() uint64 { _, _, p, _, _ := stats(); return p }, l)
+		reg.CounterFunc("prorp_breaker_recoveries_total",
+			"Breakers re-closed by a successful probe, by inter-node path.",
+			func() uint64 { _, _, _, rc, _ := stats(); return rc }, l)
+		reg.GaugeFunc("prorp_breaker_open",
+			"Breakers currently open, by inter-node path.",
+			func() float64 { _, _, _, _, o := stats(); return float64(o) }, l)
+	}
+	if s.replBreakers != nil {
+		g := s.replBreakers
+		registerBreaker("repl", func() (uint64, uint64, uint64, uint64, uint64) {
+			st := g.Stats()
+			return st.Trips, st.Rejections, st.Probes, st.Recoveries, st.Open
+		})
+	}
+	if s.router != nil && s.router.breakers != nil {
+		g := s.router.breakers
+		registerBreaker("router", func() (uint64, uint64, uint64, uint64, uint64) {
+			st := g.Stats()
+			return st.Trips, st.Rejections, st.Probes, st.Recoveries, st.Open
+		})
 	}
 }
 
@@ -182,6 +301,7 @@ func (s *Server) registerServerMetrics() {
 
 	s.registerReplMetrics()
 	s.registerRouterMetrics()
+	s.registerOverloadMetrics()
 }
 
 // registerRouterMetrics exposes the shard router's state and traffic

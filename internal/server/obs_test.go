@@ -391,3 +391,64 @@ func TestRouterStatusLabelSeries(t *testing.T) {
 		t.Fatalf("ok-series count = %v, want 0 — routing verdicts leaked into it", n)
 	}
 }
+
+// TestOverloadMetricsExposed checks the admission and breaker series on a
+// fully wired server: real traffic shows up in the per-class admission
+// counters, and the breaker families are registered (all zero while no
+// inter-node call has failed).
+func TestOverloadMetricsExposed(t *testing.T) {
+	clock := &fakeClock{t: t0.Add(9 * time.Hour)}
+	srv := newObsServer(t, clock)
+
+	code, out := call(t, srv, "POST", "/v1/db", `{"id":1}`)
+	wantStatus(t, code, http.StatusCreated, out)
+	code, out = call(t, srv, "GET", "/v1/db/1", "")
+	wantStatus(t, code, http.StatusOK, out)
+
+	samples := scrape(t, srv)
+	if n := sampleValue(t, samples, "prorp_admission_requests_total",
+		map[string]string{"class": "read"}); n < 1 {
+		t.Fatalf("read-class admitted = %v, want >= 1", n)
+	}
+	if n := sampleValue(t, samples, "prorp_admission_shed_total",
+		map[string]string{"class": "read"}); n != 0 {
+		t.Fatalf("read-class shed = %v, want 0", n)
+	}
+	if n := sampleValue(t, samples, "prorp_breaker_open",
+		map[string]string{"path": "repl"}); n != 0 {
+		t.Fatalf("open repl breakers = %v, want 0", n)
+	}
+}
+
+// TestAdmissionDisabled covers the negative-MaxInflight escape hatch (the
+// overhead benchmark's baseline and an operator's kill switch): the server
+// serves normally, /healthz drops the pressure fields, and no
+// prorp_admission series is registered.
+func TestAdmissionDisabled(t *testing.T) {
+	clock := &fakeClock{t: t0.Add(9 * time.Hour)}
+	srv, err := New(Config{Options: testOptions(), Shards: 4, Now: clock.Now,
+		AdmissionMaxInflight: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	code, out := call(t, srv, "POST", "/v1/db", `{"id":1}`)
+	wantStatus(t, code, http.StatusCreated, out)
+	code, out = call(t, srv, "GET", "/v1/db/1", "")
+	wantStatus(t, code, http.StatusOK, out)
+
+	code, health := call(t, srv, "GET", "/healthz", "")
+	wantStatus(t, code, http.StatusOK, health)
+	for _, key := range []string{"inflight", "oldest_sojourn_seconds", "shedding"} {
+		if _, ok := health[key]; ok {
+			t.Fatalf("healthz reports %q with admission disabled: %v", key, health)
+		}
+	}
+
+	for key := range scrape(t, srv) {
+		if strings.HasPrefix(key, "prorp_admission_") {
+			t.Fatalf("admission series %q registered with admission disabled", key)
+		}
+	}
+}

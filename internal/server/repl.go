@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"prorp"
+	"prorp/internal/breaker"
 	"prorp/internal/faults"
 	"prorp/internal/repl"
 	"prorp/internal/wal"
@@ -40,8 +41,7 @@ func (s *Server) rejectNonPrimary(w http.ResponseWriter) bool {
 		return false
 	}
 	s.repl.writesRejected.Add(1)
-	w.Header().Set("Retry-After", "1")
-	writeErr(w, errNotPrimary)
+	s.writeErr(w, errNotPrimary)
 	return true
 }
 
@@ -230,11 +230,19 @@ func (s *Server) loadCursor() wal.Cursor {
 // ----- replica hooks ------------------------------------------------------
 
 // replDoer is the HTTP client for the replication control and data plane.
+// Every path through it — follower poll, snapshot resync, election
+// solicitation, peer announce — shares one per-host breaker group, so a
+// hung peer costs its first callers the transport timeout and everyone
+// after an immediate refusal until the cooldown probe finds it healthy.
 func (s *Server) replDoer() faults.Doer {
+	inner := faults.Doer(defaultReplClient)
 	if s.cfg.ReplDoer != nil {
-		return s.cfg.ReplDoer
+		inner = s.cfg.ReplDoer
 	}
-	return defaultReplClient
+	if s.replBreakers != nil {
+		return breaker.Wrap(inner, s.replBreakers)
+	}
+	return inner
 }
 
 var defaultReplClient = &http.Client{Timeout: 30 * time.Second}

@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"prorp/internal/breaker"
 	"prorp/internal/faults"
 	"prorp/internal/shardmap"
 	"prorp/internal/wal"
@@ -61,7 +62,8 @@ type router struct {
 	peers    map[string]string // other groups -> base URL
 	redirect bool              // 307 instead of proxying
 	doer     faults.Doer
-	path     string // PRM1 persistence ("" = memory only)
+	breakers *breaker.Group // per-peer circuits around doer (nil = disabled)
+	path     string         // PRM1 persistence ("" = memory only)
 	fs       faults.FS
 	logf     func(string, ...any)
 
@@ -103,6 +105,13 @@ func newRouter(cfg Config) (*router, error) {
 	}
 	if rt.doer == nil {
 		rt.doer = &http.Client{Timeout: 10 * time.Second}
+	}
+	if cfg.BreakerThreshold >= 0 {
+		// One breaker per peer host around every inter-group call — proxy,
+		// scatter fan-out, migration ship, lost-ack probe — so a hung group
+		// degrades its own path in O(1) instead of O(timeout) per request.
+		rt.breakers = breaker.NewGroup(cfg.BreakerThreshold, cfg.BreakerCooldown, nil)
+		rt.doer = breaker.Wrap(rt.doer, rt.breakers)
 	}
 	var m *shardmap.Map
 	if rt.path != "" {
@@ -197,7 +206,7 @@ func (s *Server) routeDB(w http.ResponseWriter, r *http.Request, id int, body []
 	if v := r.Header.Get(HeaderShardmapVersion); v != "" {
 		if cv, err := strconv.ParseUint(v, 10, 64); err == nil && cv < m.Version() {
 			rt.misrouted.Add(1)
-			writeErr(w, &routeError{
+			s.writeErr(w, &routeError{
 				status: http.StatusMisdirectedRequest,
 				owner:  m.Owner(slot), m: m,
 				reason: fmt.Sprintf("stale shard map version %d (current %d)", cv, m.Version()),
@@ -208,7 +217,7 @@ func (s *Server) routeDB(w http.ResponseWriter, r *http.Request, id int, body []
 	if m.Owner(slot) == rt.group {
 		if mutation && rt.isFenced(slot) {
 			rt.fenceRejects.Add(1)
-			writeErr(w, errSlotFenced)
+			s.writeErr(w, errSlotFenced)
 			return true
 		}
 		rt.localRequests.Add(1)
@@ -218,7 +227,7 @@ func (s *Server) routeDB(w http.ResponseWriter, r *http.Request, id int, body []
 	// once must not hop again: two maps disagree, fail fast with ours.
 	if r.Header.Get(HeaderShardForwarded) != "" {
 		rt.misrouted.Add(1)
-		writeErr(w, &routeError{
+		s.writeErr(w, &routeError{
 			status: http.StatusMisdirectedRequest,
 			owner:  m.Owner(slot), m: m,
 			reason: fmt.Sprintf("group %q does not own database %d (slot %d)", rt.group, id, slot),
@@ -242,7 +251,7 @@ func (s *Server) proxyOrRedirect(w http.ResponseWriter, r *http.Request, id int,
 			// The adopted map moved the database to us after all.
 			if mutation && rt.isFenced(slot) {
 				rt.fenceRejects.Add(1)
-				writeErr(w, errSlotFenced)
+				s.writeErr(w, errSlotFenced)
 				return true
 			}
 			rt.localRequests.Add(1)
@@ -264,7 +273,7 @@ func (s *Server) proxyOrRedirect(w http.ResponseWriter, r *http.Request, id int,
 				// not a redirect — count it with the other misroutes.
 				rt.misrouted.Add(1)
 			}
-			writeErr(w, e)
+			s.writeErr(w, e)
 			return true
 		}
 		req, err := http.NewRequest(r.Method, addr+r.URL.RequestURI(), bytes.NewReader(body))
@@ -277,10 +286,17 @@ func (s *Server) proxyOrRedirect(w http.ResponseWriter, r *http.Request, id int,
 		req.Header.Set(HeaderShardmapVersion, strconv.FormatUint(m.Version(), 10))
 		resp, err := rt.doer.Do(req)
 		if err != nil {
+			if errors.Is(err, breaker.ErrOpen) {
+				// The owner's circuit is open: degrade in O(1) with a
+				// Retry-After derived from the cooldown, not a bare 502.
+				s.writeErr(w, fmt.Errorf("proxy to group %q: %w", owner, err))
+				return true
+			}
 			writeJSON(w, http.StatusBadGateway,
 				errorJSON{Error: fmt.Sprintf("proxy to group %q: %v", owner, err)})
 			return true
 		}
+		s.earnRetry()
 		respBody, rerr := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		if rerr != nil {
@@ -289,8 +305,12 @@ func (s *Server) proxyOrRedirect(w http.ResponseWriter, r *http.Request, id int,
 			return true
 		}
 		if resp.StatusCode == http.StatusMisdirectedRequest && attempt == 0 {
-			// The peer's map is newer than ours: adopt it and re-resolve.
-			if nm := mapFromErrorBody(respBody); nm != nil && rt.adopt(nm) {
+			// The peer's map is newer than ours: adopt it and re-resolve —
+			// but only while the retry budget has tokens. Under an outage a
+			// fleet of proxies each doubling its requests is how overload
+			// compounds; past the budget the client gets the 421 and retries
+			// on its own schedule.
+			if nm := mapFromErrorBody(respBody); nm != nil && rt.adopt(nm) && s.spendRetry() {
 				continue
 			}
 		}

@@ -57,6 +57,8 @@ import (
 	"time"
 
 	"prorp"
+	"prorp/internal/admission"
+	"prorp/internal/breaker"
 	"prorp/internal/faults"
 	"prorp/internal/obs"
 	"prorp/internal/repl"
@@ -196,6 +198,33 @@ type Config struct {
 	// ScatterTimeout bounds one scatter-gather fan-out (default 2s);
 	// groups that miss it are reported as partial results, not waited for.
 	ScatterTimeout time.Duration
+
+	// AdmissionTargetDelay is the priority admission controller's
+	// CoDel-style sojourn target (0 = 200ms): once the oldest in-flight
+	// request has been running longer than this, low-priority classes are
+	// shed with 429 — background first, then history writes, then reads,
+	// never login/decision traffic. Wall-clock by design, like the other
+	// liveness deadlines: sojourn measures real elapsed time.
+	AdmissionTargetDelay time.Duration
+	// AdmissionMaxInflight is the in-flight depth backstop (0 = 1024):
+	// everything below decision class sheds at this depth, decisions
+	// themselves at twice it. Negative disables the admission gate
+	// entirely (the overhead benchmark's unadmitted baseline).
+	AdmissionMaxInflight int
+	// AdmissionShedClasses bounds how many priority classes, counted from
+	// the bottom, sojourn shedding may refuse (0 = 3: background, writes,
+	// and reads shed; decisions never do).
+	AdmissionShedClasses int
+	// BreakerThreshold is the consecutive-transport-failure count that
+	// opens a per-host circuit breaker on every inter-node HTTP path —
+	// router proxy, scatter fan-out, replication polls, election
+	// solicitation, migration ships, announces (0 = 5; negative disables
+	// the breakers entirely).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker refuses calls before
+	// admitting a single recovery probe (0 = 2s). Wall-clock by design:
+	// recovery is a liveness deadline on real peers.
+	BreakerCooldown time.Duration
 }
 
 // opsCounters are the serving layer's resilience counters, surfaced
@@ -271,6 +300,18 @@ type Server struct {
 	// serializes slot migrations on both the source and destination side.
 	router    *router
 	migrateMu sync.Mutex
+
+	// Overload robustness: admission is the priority-classed gate in front
+	// of every instrumented route, replBreakers the per-host circuit
+	// breakers on the replication control paths (follower poll, snapshot
+	// resync, election solicitation, announce), retryBudget the shared
+	// token bucket that caps internally generated retries (proxy re-route
+	// after 421, migration re-ship) so retry amplification cannot pile on
+	// during an outage. replBreakers and retryBudget are nil when breakers
+	// are disabled (BreakerThreshold < 0).
+	admission    *admission.Controller
+	replBreakers *breaker.Group
+	retryBudget  *admission.RetryBudget
 
 	// Observability: the metric registry behind GET /metrics and the span
 	// tracer behind GET /v1/traces. Always on — the registry is atomic
@@ -461,6 +502,23 @@ func New(cfg Config) (*Server, error) {
 		tracer:  obs.NewTracer(0, 0),
 	}
 	s.fleetP.Store(fleet)
+
+	// Overload layer. The admission controller and the breakers run on the
+	// wall clock even when cfg.Now is a test clock: sojourn and cooldown
+	// are liveness SLAs over real elapsed time (exactly like QuorumTimeout
+	// and the scatter deadline), and a frozen test clock must not leave a
+	// tripped breaker open forever.
+	if cfg.AdmissionMaxInflight >= 0 {
+		s.admission = admission.NewController(admission.Config{
+			TargetDelay:      cfg.AdmissionTargetDelay,
+			MaxInflight:      cfg.AdmissionMaxInflight,
+			SheddableClasses: cfg.AdmissionShedClasses,
+		})
+	}
+	if cfg.BreakerThreshold >= 0 {
+		s.replBreakers = breaker.NewGroup(cfg.BreakerThreshold, cfg.BreakerCooldown, nil)
+		s.retryBudget = admission.NewRetryBudget(0, 0)
+	}
 
 	// Restore the replication node state (epoch, fencing, stream cursor,
 	// lease) from the repl-state file next to the journal; a demoted
@@ -1069,7 +1127,80 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// writeErr maps err to a response with a fixed one-second Retry-After on
+// retryable rejections. Handlers on a live *Server go through s.writeErr,
+// which derives the hint from current pressure and lease state instead.
 func writeErr(w http.ResponseWriter, err error) {
+	writeErrAfter(w, err, time.Second)
+}
+
+func (s *Server) writeErr(w http.ResponseWriter, err error) {
+	writeErrAfter(w, err, s.retryAfterFor(err))
+}
+
+// retryAfterFor computes the Retry-After hint for one retryable rejection
+// from live server state: a shed request waits out the measured congestion,
+// an open circuit waits out the breaker cooldown, a fenced or non-primary
+// write waits out the remaining lease (after which either the primary
+// renews or an election moves it).
+func (s *Server) retryAfterFor(err error) time.Duration {
+	switch {
+	case errors.Is(err, admission.ErrShedLoad):
+		if s.admission != nil {
+			d := s.admission.TargetDelay()
+			if p := s.admission.Pressure(); p.OldestSojourn > d {
+				d = p.OldestSojourn
+			}
+			return d
+		}
+	case errors.Is(err, breaker.ErrOpen):
+		if s.replBreakers != nil {
+			return s.replBreakers.Cooldown()
+		}
+	case errors.Is(err, shardedfleet.ErrBacklog):
+		if d := s.Fleet().QueueSojourn(); d > 0 {
+			return d
+		}
+	case errors.Is(err, errNotPrimary), errors.Is(err, errSlotFenced):
+		if s.lease != nil {
+			if d := s.lease.Remaining(s.now()); d > 0 {
+				return d
+			}
+		}
+	}
+	return time.Second
+}
+
+// earnRetry credits the retry budget for one completed upstream attempt;
+// spendRetry asks it for permission to issue an internally generated retry
+// (proxy re-route after 421, migration re-ship). The budget caps retry
+// amplification at its earn ratio fleet-wide: during an outage, past the
+// initial burst, at most one retry per ten successful calls. With breakers
+// disabled the budget is nil and retries are always allowed.
+func (s *Server) earnRetry() {
+	if s.retryBudget != nil {
+		s.retryBudget.Earn()
+	}
+}
+
+func (s *Server) spendRetry() bool {
+	return s.retryBudget == nil || s.retryBudget.Spend()
+}
+
+// routerBreakers returns the router-side breaker group, nil when the node
+// is unpartitioned or breakers are disabled.
+func (s *Server) routerBreakers() *breaker.Group {
+	if s.router == nil {
+		return nil
+	}
+	return s.router.breakers
+}
+
+// writeErrAfter renders err, attaching retryAfter (whole seconds, rounded
+// up, at least 1) as the Retry-After header on every 429/503 whose cause
+// is transient: shed load, open circuit, full queue, write fence, quorum
+// miss, or a node that is not the primary.
+func writeErrAfter(w http.ResponseWriter, err error, retryAfter time.Duration) {
 	// Routing verdicts carry their own status (307/421) plus the current
 	// map, so the client can fix its routing table instead of retrying a
 	// bare 404 forever.
@@ -1088,12 +1219,29 @@ func writeErr(w http.ResponseWriter, err error) {
 		})
 		return
 	}
+	retryHeader := func() {
+		secs := int64((retryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
 	status := http.StatusInternalServerError
 	switch {
+	case errors.Is(err, admission.ErrShedLoad):
+		// Priority admission shed the request before it ran; retry after
+		// the measured congestion drains (or never, for background work).
+		retryHeader()
+		status = http.StatusTooManyRequests
+	case errors.Is(err, breaker.ErrOpen):
+		// A peer's circuit is open; the path heals itself via the cooldown
+		// probe, so the client should wait that long, not hammer.
+		retryHeader()
+		status = http.StatusServiceUnavailable
 	case errors.Is(err, errSlotFenced):
 		// Mid-migration write fence: retry lands on whoever owns the slot
 		// when the cutover settles.
-		w.Header().Set("Retry-After", "1")
+		retryHeader()
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, shardedfleet.ErrUnknownDatabase):
 		status = http.StatusNotFound
@@ -1101,14 +1249,17 @@ func writeErr(w http.ResponseWriter, err error) {
 		status = http.StatusConflict
 	case errors.Is(err, shardedfleet.ErrBacklog):
 		// Shard queue full: shed load, tell the client to back off.
+		retryHeader()
 		status = http.StatusTooManyRequests
 	case errors.Is(err, errQuorumUnreached):
 		// The record is journaled locally and will replicate; the client's
 		// quorum contract was not met in time, so the write is unacked.
-		w.Header().Set("Retry-After", "1")
+		retryHeader()
 		status = http.StatusServiceUnavailable
-	case errors.Is(err, shardedfleet.ErrClosed), errors.Is(err, errJournalUnavailable),
-		errors.Is(err, errNotPrimary):
+	case errors.Is(err, errNotPrimary):
+		retryHeader()
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, shardedfleet.ErrClosed), errors.Is(err, errJournalUnavailable):
 		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, errorJSON{Error: err.Error()})
@@ -1204,7 +1355,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		err = s.waitQuorum(end)
 	}
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]any{
@@ -1240,7 +1391,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		err = s.waitQuorum(end)
 	}
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	s.wakes.schedule(id, time.Time{}) // cancel any pending wake
@@ -1286,7 +1437,7 @@ func (s *Server) handleEvent(w http.ResponseWriter, r *http.Request, typ wal.Rec
 		err = s.waitQuorum(end)
 	}
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	// The returned WakeAt is the complete desired timer state; reconcile.
@@ -1325,7 +1476,7 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	}
 	st, err := s.Fleet().State(id)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	_, pspan := s.tracer.Start(r.Context(), "fleet.explain_prediction")
@@ -1334,7 +1485,7 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	s.predHist.ObserveSince(t0)
 	pspan.End()
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	out := dbJSON{
@@ -1409,6 +1560,33 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.lease != nil {
 		body["lease_remaining_seconds"] = s.lease.Remaining(s.now()).Seconds()
+	}
+	// Pressure state: /healthz is exempt from admission, so this is the
+	// surface an operator (or load balancer) reads while everything else
+	// sheds. "shedding" flips when the sojourn floor has descended into
+	// the sheddable classes; open breakers are listed per peer host.
+	if s.admission != nil {
+		pressure := s.admission.Pressure()
+		body["inflight"] = pressure.Inflight
+		body["oldest_sojourn_seconds"] = pressure.OldestSojourn.Seconds()
+		body["shedding"] = pressure.Shedding()
+	}
+	if q := s.Fleet().QueueSojourn(); q > 0 {
+		body["queue_sojourn_seconds"] = q.Seconds()
+	}
+	openBreakers := map[string]string{}
+	for _, g := range []*breaker.Group{s.replBreakers, s.routerBreakers()} {
+		if g == nil {
+			continue
+		}
+		for host, st := range g.States() {
+			if st != "closed" {
+				openBreakers[host] = st
+			}
+		}
+	}
+	if len(openBreakers) > 0 {
+		body["breakers"] = openBreakers
 	}
 	status := http.StatusOK
 	if s.node.Fenced() {

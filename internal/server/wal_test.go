@@ -11,6 +11,8 @@ import (
 	"time"
 
 	"prorp"
+	"prorp/internal/admission"
+	"prorp/internal/breaker"
 	"prorp/internal/faults"
 	"prorp/internal/shardedfleet"
 )
@@ -239,6 +241,12 @@ func TestWriteErrStatusMapping(t *testing.T) {
 			reason: "stale shard map"}, http.StatusMisdirectedRequest},
 		{errSlotFenced, http.StatusServiceUnavailable},
 		{fmt.Errorf("migrate: %w", errSlotFenced), http.StatusServiceUnavailable},
+		{admission.ErrShedLoad, http.StatusTooManyRequests},
+		{fmt.Errorf("%w: class=background", admission.ErrShedLoad), http.StatusTooManyRequests},
+		{breaker.ErrOpen, http.StatusServiceUnavailable},
+		{fmt.Errorf("proxy to group %q: %w", "g2", breaker.ErrOpen), http.StatusServiceUnavailable},
+		{errNotPrimary, http.StatusServiceUnavailable},
+		{errQuorumUnreached, http.StatusServiceUnavailable},
 		{errors.New("anything else"), http.StatusInternalServerError},
 	}
 	for _, tc := range cases {
@@ -263,5 +271,35 @@ func TestWriteErrStatusMapping(t *testing.T) {
 	writeErr(rec, errSlotFenced)
 	if ra := rec.Header().Get("Retry-After"); ra != "1" {
 		t.Errorf("fence Retry-After = %q, want 1", ra)
+	}
+	// Every transient rejection carries a Retry-After; permanent verdicts
+	// must not (a 404 told to retry in a second would be a lie).
+	retryable := []error{admission.ErrShedLoad, breaker.ErrOpen, errSlotFenced,
+		shardedfleet.ErrBacklog, errQuorumUnreached, errNotPrimary}
+	for _, err := range retryable {
+		rec := httptest.NewRecorder()
+		writeErr(rec, err)
+		if rec.Header().Get("Retry-After") == "" {
+			t.Errorf("writeErr(%v): no Retry-After on a transient rejection", err)
+		}
+	}
+	for _, err := range []error{shardedfleet.ErrUnknownDatabase, shardedfleet.ErrDuplicateDatabase, errors.New("boom")} {
+		rec := httptest.NewRecorder()
+		writeErr(rec, err)
+		if ra := rec.Header().Get("Retry-After"); ra != "" {
+			t.Errorf("writeErr(%v): unexpected Retry-After %q", err, ra)
+		}
+	}
+	// writeErrAfter rounds the computed hint up to whole seconds, floor 1:
+	// a 2.5s breaker cooldown reads as 3, a 10ms sojourn as 1.
+	for _, tc := range []struct {
+		d    time.Duration
+		want string
+	}{{10 * time.Millisecond, "1"}, {time.Second, "1"}, {2500 * time.Millisecond, "3"}, {10 * time.Second, "10"}} {
+		rec := httptest.NewRecorder()
+		writeErrAfter(rec, breaker.ErrOpen, tc.d)
+		if ra := rec.Header().Get("Retry-After"); ra != tc.want {
+			t.Errorf("writeErrAfter(%v): Retry-After = %q, want %q", tc.d, ra, tc.want)
+		}
 	}
 }

@@ -54,6 +54,12 @@ func (rt *Runtime) Instrument(reg *obs.Registry) {
 	reg.GaugeFunc("prorp_fleet_backlog_events",
 		"Queued (not yet applied) events across all shards.",
 		func() float64 { return float64(rt.Backlog()) })
+	reg.GaugeFunc("prorp_fleet_queue_sojourn_seconds",
+		"Worst measured enqueue-to-apply delay across all shard queues.",
+		func() float64 { return rt.QueueSojourn().Seconds() })
+	reg.CounterFunc("prorp_fleet_queue_sheds_total",
+		"Sheddable submissions refused because the owning shard's queue was congested.",
+		func() uint64 { return rt.QueueSheds() })
 	rt.inst.Store(inst)
 }
 

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"prorp/internal/controlplane"
@@ -45,6 +46,10 @@ const (
 	// DefaultQueueDepth bounds each shard's asynchronous event queue when
 	// Config.QueueDepth is 0.
 	DefaultQueueDepth = 1024
+	// DefaultShedTargetDelay is the queue-sojourn target used when
+	// Config.ShedTargetDelay is 0: once a shard's events wait longer than
+	// this between enqueue and apply, sheddable submissions are refused.
+	DefaultShedTargetDelay = 200 * time.Millisecond
 )
 
 // The sentinel errors classify failures for errors.Is, so hosts (the HTTP
@@ -79,6 +84,14 @@ type Config struct {
 	// Control configures the Algorithm 5 proactive-resume operation. Only
 	// validated and used in proactive mode.
 	Control controlplane.Config
+	// ShedTargetDelay is the CoDel-style queue-sojourn target for
+	// TrySubmitSheddable (default DefaultShedTargetDelay): once events on a
+	// shard wait longer than this between enqueue and apply, low-priority
+	// submissions to that shard are refused with ErrBacklog so a login is
+	// never queued behind a pile of history appends.
+	ShedTargetDelay time.Duration
+	// Now supplies time for queue-sojourn measurement (default time.Now).
+	Now func() time.Time
 }
 
 // Validate checks the configuration.
@@ -88,6 +101,9 @@ func (c Config) Validate() error {
 	}
 	if c.QueueDepth < 0 {
 		return fmt.Errorf("shardedfleet: negative queue depth %d", c.QueueDepth)
+	}
+	if c.ShedTargetDelay < 0 {
+		return fmt.Errorf("shardedfleet: negative shed target delay %v", c.ShedTargetDelay)
 	}
 	if err := c.Policy.Validate(); err != nil {
 		return err
@@ -145,6 +161,10 @@ type Event struct {
 	// barrier is the internal drain marker; the worker closes it once every
 	// earlier event in the queue has been applied.
 	barrier chan struct{}
+
+	// enqueuedAt is stamped by Submit/TrySubmit/TrySubmitSheddable so the
+	// worker can measure the event's queue sojourn on dequeue.
+	enqueuedAt time.Time
 }
 
 // Result is the outcome of an applied event.
@@ -190,6 +210,12 @@ type shard struct {
 	meta   *controlplane.MetadataStore
 	kpi    Counters
 	events chan Event
+
+	// lastWaitNanos is the queue sojourn (enqueue → dequeue) of the most
+	// recently dequeued event — the CoDel congestion signal for this
+	// shard's queue. The worker resets it to zero whenever it drains the
+	// queue, so an idle shard reads as uncongested.
+	lastWaitNanos atomic.Int64
 }
 
 // Runtime is the sharded fleet engine. Safe for concurrent use.
@@ -206,6 +232,10 @@ type Runtime struct {
 	lifecycle sync.RWMutex
 	closed    bool
 	workers   sync.WaitGroup
+
+	// queueSheds counts sheddable submissions refused for queue
+	// congestion (depth or sojourn) rather than a hard-full queue.
+	queueSheds atomic.Uint64
 }
 
 // New builds a runtime and starts one worker goroutine per shard. Callers
@@ -216,6 +246,12 @@ func New(cfg Config) (*Runtime, error) {
 	}
 	if cfg.QueueDepth == 0 {
 		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.ShedTargetDelay == 0 {
+		cfg.ShedTargetDelay = DefaultShedTargetDelay
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -275,6 +311,14 @@ func (rt *Runtime) shardFor(id int) *shard { return rt.shards[rt.shardIndex(id)]
 func (rt *Runtime) worker(s *shard) {
 	defer rt.workers.Done()
 	for ev := range s.events {
+		if len(s.events) == 0 {
+			// The queue is drained behind this event: whatever
+			// congestion it saw is over, so the shard reads as
+			// uncongested again.
+			s.lastWaitNanos.Store(0)
+		} else if !ev.enqueuedAt.IsZero() {
+			s.lastWaitNanos.Store(int64(rt.cfg.Now().Sub(ev.enqueuedAt)))
+		}
 		if ev.barrier != nil {
 			close(ev.barrier)
 			continue
@@ -417,6 +461,7 @@ func (rt *Runtime) Submit(ev Event) error {
 	if rt.closed {
 		return ErrClosed
 	}
+	ev.enqueuedAt = rt.cfg.Now()
 	rt.shardFor(ev.DB).events <- ev
 	return nil
 }
@@ -429,6 +474,7 @@ func (rt *Runtime) TrySubmit(ev Event) error {
 	if rt.closed {
 		return ErrClosed
 	}
+	ev.enqueuedAt = rt.cfg.Now()
 	select {
 	case rt.shardFor(ev.DB).events <- ev:
 		return nil
@@ -436,6 +482,52 @@ func (rt *Runtime) TrySubmit(ev Event) error {
 		return ErrBacklog
 	}
 }
+
+// TrySubmitSheddable enqueues a LOW-priority event — a history append, a
+// background sweep — refusing with ErrBacklog not just when the owning
+// shard's queue is hard-full (like TrySubmit) but as soon as it is
+// CONGESTED: more than half full, or with a measured queue sojourn past
+// Config.ShedTargetDelay. High-priority events keep using Submit or
+// TrySubmit and therefore always see the full queue depth, so a login
+// submitted behind 10k sheddable appends still gets a slot — the appends
+// stopped being admitted long before the queue filled.
+func (rt *Runtime) TrySubmitSheddable(ev Event) error {
+	rt.lifecycle.RLock()
+	defer rt.lifecycle.RUnlock()
+	if rt.closed {
+		return ErrClosed
+	}
+	s := rt.shardFor(ev.DB)
+	if len(s.events) > cap(s.events)/2 ||
+		time.Duration(s.lastWaitNanos.Load()) > rt.cfg.ShedTargetDelay {
+		rt.queueSheds.Add(1)
+		return fmt.Errorf("%w (shard congested)", ErrBacklog)
+	}
+	ev.enqueuedAt = rt.cfg.Now()
+	select {
+	case s.events <- ev:
+		return nil
+	default:
+		return ErrBacklog
+	}
+}
+
+// QueueSojourn reports the worst measured queue sojourn (enqueue →
+// dequeue delay) across all shards — the fleet's queue-congestion
+// signal, folded into the server's pressure state.
+func (rt *Runtime) QueueSojourn() time.Duration {
+	var max time.Duration
+	for _, s := range rt.shards {
+		if d := time.Duration(s.lastWaitNanos.Load()); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// QueueSheds reports how many sheddable submissions were refused for
+// queue congestion.
+func (rt *Runtime) QueueSheds() uint64 { return rt.queueSheds.Load() }
 
 // Drain blocks until every event enqueued before the call has been applied,
 // by pushing a barrier through each shard queue.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"sync"
 	"testing"
+	"time"
 
 	"prorp/internal/controlplane"
 	"prorp/internal/policy"
@@ -291,6 +292,82 @@ func TestAsyncReplyAndBackpressure(t *testing.T) {
 	}
 	if !sawBacklog {
 		t.Fatal("TrySubmit never returned ErrBacklog with a stalled worker")
+	}
+	if err := rt.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTrySubmitSheddableDepth verifies the priority split on a congested
+// queue: once a shard's queue is more than half full, sheddable
+// submissions are refused with ErrBacklog while plain TrySubmit — the
+// high-priority path — still gets the remaining depth.
+func TestTrySubmitSheddableDepth(t *testing.T) {
+	cfg := cfg28(1) // one shard: every event shares the queue
+	cfg.QueueDepth = 8
+	rt := mustNew(t, cfg)
+	if err := rt.Create(1, t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.View(1, func(*policy.Machine) {
+		// The worker is stalled on the shard lock; fill past half depth.
+		// One event may be in the worker's hands, so queue depth+1 total.
+		for i := 0; i < cfg.QueueDepth/2+2; i++ {
+			if err := rt.TrySubmit(Event{Kind: KindLogout, DB: 1, At: t0 + 60}); err != nil {
+				t.Errorf("TrySubmit %d: %v", i, err)
+			}
+		}
+		if err := rt.TrySubmitSheddable(Event{Kind: KindLogout, DB: 1, At: t0 + 60}); !errors.Is(err, ErrBacklog) {
+			t.Errorf("sheddable submit on congested queue = %v, want ErrBacklog", err)
+		}
+		// High-priority path is unaffected by the half-depth shed line.
+		if err := rt.TrySubmit(Event{Kind: KindLogin, DB: 1, At: t0 + 120}); err != nil {
+			t.Errorf("TrySubmit above shed line = %v, want admitted", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.QueueSheds(); got != 1 {
+		t.Fatalf("QueueSheds = %d, want 1", got)
+	}
+	if err := rt.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTrySubmitSheddableSojourn verifies the CoDel-style signal: a shard
+// whose last dequeued event waited past ShedTargetDelay refuses
+// sheddable submissions even with a near-empty queue, and QueueSojourn
+// surfaces the measured delay.
+func TestTrySubmitSheddableSojourn(t *testing.T) {
+	cfg := cfg28(1)
+	cfg.ShedTargetDelay = 100 * time.Millisecond
+	rt := mustNew(t, cfg)
+	if err := rt.Create(1, t0); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the worker having measured a 300ms enqueue-to-apply delay.
+	rt.shards[0].lastWaitNanos.Store(int64(300 * time.Millisecond))
+	if got := rt.QueueSojourn(); got != 300*time.Millisecond {
+		t.Fatalf("QueueSojourn = %v, want 300ms", got)
+	}
+	if err := rt.TrySubmitSheddable(Event{Kind: KindLogout, DB: 1, At: t0 + 60}); !errors.Is(err, ErrBacklog) {
+		t.Fatalf("sheddable submit past sojourn target = %v, want ErrBacklog", err)
+	}
+	// The high-priority path still flows.
+	if err := rt.TrySubmit(Event{Kind: KindLogin, DB: 1, At: t0 + 120}); err != nil {
+		t.Fatalf("TrySubmit = %v", err)
+	}
+	// Draining the queue resets the congestion signal: the worker zeroes
+	// the sojourn when the queue empties behind an event.
+	if err := rt.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.QueueSojourn(); got != 0 {
+		t.Fatalf("QueueSojourn after drain = %v, want 0", got)
+	}
+	if err := rt.TrySubmitSheddable(Event{Kind: KindLogout, DB: 1, At: t0 + 180}); err != nil {
+		t.Fatalf("sheddable submit after drain = %v, want admitted", err)
 	}
 	if err := rt.Drain(); err != nil {
 		t.Fatal(err)

@@ -63,6 +63,15 @@ func (s *ShardedFleet) InstrumentObs(reg *obs.Registry) { s.rt.Instrument(reg) }
 // Shards reports the stripe count.
 func (s *ShardedFleet) Shards() int { return s.rt.NumShards() }
 
+// QueueSojourn reports the worst measured enqueue-to-apply delay across
+// the shard queues — the fleet's queue-congestion signal, folded into
+// the serving layer's overload pressure state.
+func (s *ShardedFleet) QueueSojourn() time.Duration { return s.rt.QueueSojourn() }
+
+// QueueSheds reports how many sheddable submissions the shard queues
+// refused for congestion (see internal/shardedfleet.TrySubmitSheddable).
+func (s *ShardedFleet) QueueSheds() uint64 { return s.rt.QueueSheds() }
+
 // Create adds a new database created at createdAt.
 func (s *ShardedFleet) Create(id int, createdAt time.Time) error {
 	return s.rt.Create(id, createdAt.Unix())
