@@ -16,7 +16,7 @@ GOVULNCHECK := golang.org/x/vuln/cmd/govulncheck@v1.1.3
 # 82.3; the gap absorbs run-to-run variance from timing-dependent tests.)
 COVER_BASELINE := 82.0
 
-.PHONY: ci fmt-check vet staticcheck govulncheck build test cover obs obs-bench chaos snap-chaos wal-chaos repl-chaos shard-chaos lease-chaos overload-chaos bench-record bench-check bench-short bench clean
+.PHONY: ci fmt-check vet staticcheck govulncheck build test cover obs obs-bench chaos snap-chaos wal-chaos repl-chaos shard-chaos lease-chaos overload-chaos bench-record bench-check bench-short bench loadgen-smoke loadgen-bench loadgen-check clean
 
 ci: fmt-check vet staticcheck govulncheck build test cover obs bench-short
 
@@ -127,6 +127,28 @@ bench-check:
 	PRORP_BENCH_RECORD=$(CURDIR)/BENCH_router.fresh.json \
 	$(GO) test -run TestBenchDrift -count 1 ./internal/server
 
+# End-to-end serving smoke: spawn real prorp-serve binaries (single node
+# and a 3-group routed cluster), drive a short seeded open-loop load with
+# internal/loadgen, and assert the report invariants (zero client-side
+# errors outside the shed classes, non-empty QoS denominator, COGS
+# samples, fleet-wide KPI merge).
+loadgen-smoke:
+	$(GO) test -run 'TestSmokeSingleNode|TestSmokeThreeGroupCluster' -count 1 -v ./internal/loadgen/harness
+
+# Refresh BENCH_serving.json, the committed serving-tier trajectory:
+# open-loop login/history latency quantiles, throughput, QoS and COGS for
+# a seeded load against a single node and a 3-group cluster.
+loadgen-bench:
+	PRORP_SERVING_BENCH_RECORD=$(CURDIR)/BENCH_serving.json $(GO) test -run TestRecordServingBench -count 1 -v ./internal/loadgen/harness
+
+# The serving-drift gate: re-run the seeded load and compare against the
+# committed BENCH_serving.json (direction-aware: _ms/_pct lower-or-band,
+# _rps higher). Also writes BENCH_serving.fresh.json for CI to attach.
+loadgen-check:
+	PRORP_SERVING_BENCH_BASELINE=$(CURDIR)/BENCH_serving.json \
+	PRORP_SERVING_BENCH_RECORD=$(CURDIR)/BENCH_serving.fresh.json \
+	$(GO) test -run TestServingBenchDrift -count 1 -v ./internal/loadgen/harness
+
 # One pass over the fleet-concurrency benchmark, as a smoke test.
 bench-short:
 	$(GO) test -run '^$$' -bench BenchmarkShardedVsSyncedFleet -benchtime 1x .
@@ -137,4 +159,4 @@ bench:
 
 clean:
 	$(GO) clean ./...
-	rm -f coverprofile BENCH_router.fresh.json
+	rm -f coverprofile BENCH_router.fresh.json BENCH_serving.fresh.json

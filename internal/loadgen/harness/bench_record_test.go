@@ -1,0 +1,184 @@
+package harness
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"prorp/internal/loadgen"
+)
+
+// measureServingBench runs the seeded smoke load against a freshly booted
+// single node and a 3-group cluster and distills the reports into the
+// keys of BENCH_serving.json — the serving-tier trajectory record, the
+// end-to-end companion to BENCH_router.json's in-process numbers.
+//
+// Each tier runs servingBenchRounds rounds against the same deployment
+// (databases created once, later rounds replay the schedule warm) and the
+// recorded latency is the per-key MINIMUM across rounds — the same
+// noise-floor discipline as the router bench's best-of-5: an 8-second
+// run's login p99 is only a handful of samples, so a single scheduler
+// hiccup would otherwise own the record. Throughput takes the round
+// maximum. The QoS/COGS percentages come from round 1 only: they are the
+// seeded policy outcome against a COLD server, and warm reruns answer a
+// different (easier) question.
+//
+// Key naming carries the drift direction: *_ms keys are lower-is-better,
+// *_rps keys are higher-is-better, *_pct keys are banded. The drift gate
+// below keys off the suffix.
+const servingBenchRounds = 3
+
+func measureServingBench(t *testing.T) map[string]float64 {
+	t.Helper()
+	nums := map[string]float64{}
+	for _, tier := range []struct {
+		prefix string
+		start  func(*testing.T) *Cluster
+	}{
+		{"single", StartSingle},
+		{"cluster3", StartCluster},
+	} {
+		c := tier.start(t)
+		low := func(key string, v float64) {
+			if cur, ok := nums[key]; !ok || v < cur {
+				nums[key] = v
+			}
+		}
+		for round := 0; round < servingBenchRounds; round++ {
+			cfg := smokeConfig(c.URLs(), t.Logf)
+			cfg.SkipCreate = round > 0
+			rep, err := loadgen.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.TotalErrors() > 0 {
+				t.Fatalf("%s round %d: %d client-side errors; not recording a broken run\n%s",
+					tier.prefix, round, rep.TotalErrors(), rep.Summary())
+			}
+			login := rep.Classes["login"]
+			history := rep.Classes["history"]
+			low(tier.prefix+"_login_p50_ms", login.P50Ms)
+			low(tier.prefix+"_login_p99_ms", login.P99Ms)
+			low(tier.prefix+"_history_p50_ms", history.P50Ms)
+			low(tier.prefix+"_history_p99_ms", history.P99Ms)
+			if key := tier.prefix + "_throughput_rps"; rep.ThroughputRPS > nums[key] {
+				nums[key] = rep.ThroughputRPS
+			}
+			if round == 0 {
+				nums[tier.prefix+"_qos_delayed_pct"] = rep.QoS.DelayedPct
+				nums[tier.prefix+"_cogs_saved_pct"] = rep.COGS.SavedPct
+			}
+		}
+	}
+	return nums
+}
+
+func writeServingRecord(t *testing.T, path string, nums map[string]float64) {
+	t.Helper()
+	record := map[string]any{
+		"go":         runtime.Version(),
+		"generated":  time.Now().UTC().Format(time.RFC3339),
+		"benchmarks": nums,
+	}
+	data, err := json.MarshalIndent(record, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecordServingBench records the serving numbers to the file named by
+// PRORP_SERVING_BENCH_RECORD (skipped otherwise). `make loadgen-bench`
+// runs it to refresh BENCH_serving.json.
+func TestRecordServingBench(t *testing.T) {
+	out := os.Getenv("PRORP_SERVING_BENCH_RECORD")
+	if out == "" {
+		t.Skip("set PRORP_SERVING_BENCH_RECORD=<path> to record BENCH_serving.json")
+	}
+	nums := measureServingBench(t)
+	writeServingRecord(t, out, nums)
+	t.Logf("recorded %d serving benchmarks to %s", len(nums), out)
+}
+
+// TestServingBenchDrift is the serving drift gate behind `make
+// loadgen-check`: re-run the seeded load and compare against the
+// committed baseline (PRORP_SERVING_BENCH_BASELINE). End-to-end socket
+// numbers on shared runners are far noisier than the in-process router
+// bench, so the slack is wider (50%) and latency keys keep an absolute
+// floor below which drift is ignored. QoS/COGS percentages are
+// policy outcomes of a fixed seed — they get the slack but no floor
+// waiver, since a policy regression moves them structurally, not noisily.
+func TestServingBenchDrift(t *testing.T) {
+	basePath := os.Getenv("PRORP_SERVING_BENCH_BASELINE")
+	if basePath == "" {
+		t.Skip("set PRORP_SERVING_BENCH_BASELINE=<BENCH_serving.json> to gate serving drift")
+	}
+	data, err := os.ReadFile(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base struct {
+		Benchmarks map[string]float64 `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatalf("parsing %s: %v", basePath, err)
+	}
+	if len(base.Benchmarks) == 0 {
+		t.Fatalf("baseline %s has no benchmarks", basePath)
+	}
+
+	nums := measureServingBench(t)
+	if out := os.Getenv("PRORP_SERVING_BENCH_RECORD"); out != "" {
+		writeServingRecord(t, out, nums)
+	}
+
+	const slack = 1.50
+	// latencyFloorMs: below this, absolute differences are scheduler
+	// jitter, not regressions.
+	const latencyFloorMs = 5.0
+	for key, b := range base.Benchmarks {
+		fresh, ok := nums[key]
+		if !ok {
+			t.Errorf("baseline key %q is no longer measured", key)
+			continue
+		}
+		switch {
+		case strings.HasSuffix(key, "_rps"):
+			// Higher is better: fail when the fresh number loses more
+			// than the slack fraction of the baseline.
+			limit := b / slack
+			if fresh < limit {
+				t.Errorf("%s regressed: %.1f vs baseline %.1f (limit %.1f)", key, fresh, b, limit)
+			} else {
+				t.Logf("%s: %.1f (baseline %.1f, limit %.1f)", key, fresh, b, limit)
+			}
+		case strings.HasSuffix(key, "_ms"):
+			limit := b * slack
+			if limit < latencyFloorMs {
+				limit = latencyFloorMs
+			}
+			if fresh > limit {
+				t.Errorf("%s regressed: %.2f vs baseline %.2f (limit %.2f)", key, fresh, b, limit)
+			} else {
+				t.Logf("%s: %.2f (baseline %.2f, limit %.2f)", key, fresh, b, limit)
+			}
+		default:
+			// Percentages (QoS delayed, COGS saved): lower-is-better for
+			// delayed, higher-is-better for saved — but both are seeded
+			// policy outcomes, so grade symmetric drift beyond slack.
+			limit := b * slack
+			floor := b / slack
+			if fresh > limit+1e-9 || fresh < floor-1e-9 {
+				t.Errorf("%s drifted: %.2f vs baseline %.2f (band [%.2f, %.2f])",
+					key, fresh, b, floor, limit)
+			} else {
+				t.Logf("%s: %.2f (baseline %.2f, band [%.2f, %.2f])", key, fresh, b, floor, limit)
+			}
+		}
+	}
+}

@@ -1,0 +1,224 @@
+// Package harness spawns real prorp-serve processes for hermetic
+// end-to-end load generation: build the binary once per test run, start a
+// single node or a 3-group routed cluster on loopback ports, wait for
+// health, drive a short seeded schedule with internal/loadgen, and tear
+// everything down with SIGTERM so graceful shutdown is exercised too.
+//
+// Everything is offline: the binary is built from the enclosing module
+// (no downloads — the module has no dependencies), listeners bind
+// 127.0.0.1, and options come from a generated opts.json with the pause
+// machinery compressed to seconds (LogicalPause 1s) so a dozen-second run
+// actually crosses logical-pause and reclaim boundaries.
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// FastOpts is the harness's opts.json: the Table 1 knobs a wall-clock
+// test can afford. LogicalPause 1s means a compressed overnight gap
+// (seconds of silence) really does pause and reclaim; ResumeOpPeriod 1s
+// keeps the proactive beat ticking several times per run. Everything else
+// keeps its default.
+const FastOpts = `{"logical_pause":"1s","resume_op_period":"1s"}`
+
+var (
+	buildOnce sync.Once
+	buildBin  string
+	buildErr  error
+)
+
+// Binary builds cmd/prorp-serve once per test process and returns its
+// path. The build is module-local and offline.
+func Binary(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "prorp-harness-*")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		buildBin = filepath.Join(dir, "prorp-serve")
+		cmd := exec.Command("go", "build", "-o", buildBin, "prorp/cmd/prorp-serve")
+		cmd.Dir = moduleRoot()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildErr = fmt.Errorf("building prorp-serve: %v\n%s", err, out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return buildBin
+}
+
+// moduleRoot finds the enclosing module's directory, so the harness works
+// regardless of the package the test runs from.
+func moduleRoot() string {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return "."
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "."
+	}
+	return filepath.Dir(gomod)
+}
+
+// freeAddr reserves a loopback port and releases it for the node to bind.
+// The race window between release and bind is real but harmless in CI:
+// nothing else binds ephemeral loopback ports between the two calls.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// Node is one running prorp-serve process.
+type Node struct {
+	// Group is the shard-group name ("" for a single-node deployment).
+	Group string
+	// URL is the node's base URL.
+	URL string
+
+	cmd *exec.Cmd
+	log *bytes.Buffer
+}
+
+// Cluster is a set of Nodes under one test's lifecycle.
+type Cluster struct {
+	Nodes []*Node
+}
+
+// URLs lists every node's base URL, in start order.
+func (c *Cluster) URLs() []string {
+	urls := make([]string, len(c.Nodes))
+	for i, n := range c.Nodes {
+		urls[i] = n.URL
+	}
+	return urls
+}
+
+// StartSingle boots one unpartitioned node with the fast options and
+// registers teardown with the test.
+func StartSingle(t *testing.T) *Cluster {
+	t.Helper()
+	addr := freeAddr(t)
+	n := startNode(t, "", addr, nil)
+	c := &Cluster{Nodes: []*Node{n}}
+	t.Cleanup(func() { c.stop(t) })
+	waitHealthy(t, c.URLs())
+	return c
+}
+
+// StartCluster boots a routed 3-group cluster (g1, g2, g3) with the fast
+// options. Each node learns the other two via -groups and they converge
+// on the identical round-robin shard map all groups derive from the
+// sorted group names.
+func StartCluster(t *testing.T) *Cluster {
+	t.Helper()
+	groups := []string{"g1", "g2", "g3"}
+	addrs := make(map[string]string, len(groups))
+	for _, g := range groups {
+		addrs[g] = freeAddr(t)
+	}
+	c := &Cluster{}
+	for _, g := range groups {
+		var peers []string
+		for _, p := range groups {
+			if p != g {
+				peers = append(peers, fmt.Sprintf("%s=http://%s", p, addrs[p]))
+			}
+		}
+		c.Nodes = append(c.Nodes, startNode(t, g, addrs[g], peers))
+	}
+	t.Cleanup(func() { c.stop(t) })
+	waitHealthy(t, c.URLs())
+	return c
+}
+
+// startNode launches one prorp-serve with the fast opts.json.
+func startNode(t *testing.T, group, addr string, peers []string) *Node {
+	t.Helper()
+	optsPath := filepath.Join(t.TempDir(), "opts.json")
+	if err := os.WriteFile(optsPath, []byte(FastOpts), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	args := []string{"-addr", addr, "-config", optsPath}
+	if group != "" {
+		args = append(args, "-group", group)
+		if len(peers) > 0 {
+			args = append(args, "-groups", strings.Join(peers, ","))
+		}
+	}
+	n := &Node{Group: group, URL: "http://" + addr, log: &bytes.Buffer{}}
+	n.cmd = exec.Command(Binary(t), args...)
+	n.cmd.Stdout = n.log
+	n.cmd.Stderr = n.log
+	if err := n.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// stop SIGTERMs every node and waits for the graceful shutdown path; a
+// node that ignores the signal is killed. Logs are dumped on failure.
+func (c *Cluster) stop(t *testing.T) {
+	for _, n := range c.Nodes {
+		if n.cmd.Process != nil {
+			n.cmd.Process.Signal(syscall.SIGTERM)
+		}
+	}
+	for _, n := range c.Nodes {
+		done := make(chan error, 1)
+		go func() { done <- n.cmd.Wait() }()
+		select {
+		case <-done:
+		case <-time.After(15 * time.Second):
+			n.cmd.Process.Kill()
+			<-done
+		}
+		if t.Failed() {
+			t.Logf("--- node %s (%s) log ---\n%s", n.Group, n.URL, n.log.String())
+		}
+	}
+}
+
+// waitHealthy polls every node's /healthz until it answers 200 or the
+// deadline passes.
+func waitHealthy(t *testing.T, urls []string) {
+	t.Helper()
+	client := &http.Client{Timeout: time.Second}
+	deadline := time.Now().Add(15 * time.Second)
+	for _, url := range urls {
+		for {
+			resp, err := client.Get(url + "/healthz")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("node %s never became healthy", url)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package harness
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"prorp/internal/loadgen"
+)
+
+// smokeConfig is the short seeded load the smoke tests drive: a dozen
+// databases of 48 simulated hours compressed onto 8 wall-clock seconds,
+// so overnight gaps become multi-second silences that cross the harness's
+// 1s logical pause, plus a modest Poisson read mix with a 2s ramp.
+func smokeConfig(urls []string, logf func(string, ...any)) loadgen.RunConfig {
+	return loadgen.RunConfig{
+		Schedule: loadgen.ScheduleConfig{
+			Seed:     7,
+			Region:   "EU1",
+			DBs:      12,
+			Horizon:  48 * time.Hour,
+			Duration: 8 * time.Second,
+			Rate:     40,
+			Ramp:     2 * time.Second,
+		},
+		Targets: urls,
+		// Only score first logins whose compressed idle gap could have
+		// crossed the 1s logical pause with margin.
+		MinIdle:     1500 * time.Millisecond,
+		SampleEvery: 250 * time.Millisecond,
+		Logf:        logf,
+	}
+}
+
+// checkSmokeReport asserts the invariants a healthy deployment must
+// satisfy under the seeded smoke load: every op lands (no errors outside
+// the shed classes), the QoS denominator is non-empty, latency quantiles
+// are ordered, and the COGS integral has real samples.
+func checkSmokeReport(t *testing.T, rep *loadgen.Report) {
+	t.Helper()
+	t.Logf("report:\n%s", rep.Summary())
+	if rep.CompletedOps == 0 {
+		t.Fatal("no ops completed")
+	}
+	if got := rep.TotalErrors(); got != 0 {
+		t.Errorf("client-side errors outside shed classes: %d", got)
+	}
+	if rep.QueueDropped != 0 {
+		t.Errorf("open-loop queue dropped %d ops", rep.QueueDropped)
+	}
+	login := rep.Classes["login"]
+	if login.OK == 0 {
+		t.Error("no logins succeeded")
+	}
+	if login.P50Ms <= 0 || login.P95Ms < login.P50Ms || login.P99Ms < login.P95Ms {
+		t.Errorf("login quantiles out of order: p50 %.2f p95 %.2f p99 %.2f",
+			login.P50Ms, login.P95Ms, login.P99Ms)
+	}
+	if rep.QoS.FirstLogins == 0 {
+		t.Error("QoS denominator empty: no scorable first logins")
+	}
+	if rep.QoS.DelayedPct < 0 || rep.QoS.DelayedPct > 100 {
+		t.Errorf("delayed pct out of range: %v", rep.QoS.DelayedPct)
+	}
+	if rep.COGS.Samples < 2 {
+		t.Errorf("COGS integral has %d samples, want >= 2", rep.COGS.Samples)
+	}
+	if rep.COGS.AlwaysOnDBSeconds <= 0 {
+		t.Error("always-on baseline is zero")
+	}
+	if rep.ThroughputRPS <= 0 {
+		t.Error("throughput not computed")
+	}
+	if rep.ServerKPI == nil {
+		t.Error("final server KPI scrape missing")
+	}
+}
+
+func TestSmokeSingleNode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second end-to-end smoke; skipped in -short")
+	}
+	c := StartSingle(t)
+	rep, err := loadgen.Run(smokeConfig(c.URLs(), t.Logf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSmokeReport(t, rep)
+
+	// Single node: the KPI scrape is the frozen single-group shape and
+	// must account for every database the run created.
+	var kpi struct {
+		Databases int `json:"databases"`
+		Logins    int `json:"logins"`
+	}
+	if err := json.Unmarshal(rep.ServerKPI, &kpi); err != nil {
+		t.Fatal(err)
+	}
+	if kpi.Databases != 12 {
+		t.Errorf("server sees %d databases, created 12", kpi.Databases)
+	}
+	if uint64(kpi.Logins) < rep.Classes["login"].OK {
+		t.Errorf("server logins %d < client login OKs %d", kpi.Logins, rep.Classes["login"].OK)
+	}
+}
+
+func TestSmokeThreeGroupCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second end-to-end smoke; skipped in -short")
+	}
+	c := StartCluster(t)
+	rep, err := loadgen.Run(smokeConfig(c.URLs(), t.Logf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSmokeReport(t, rep)
+
+	// Cluster: the final KPI must be the scatter-gathered fleet view —
+	// all three groups contributing, none partial, all six databases
+	// visible from one scrape.
+	var kpi struct {
+		Databases int  `json:"databases"`
+		Partial   bool `json:"partial"`
+		Groups    []struct {
+			Group string `json:"group"`
+			OK    bool   `json:"ok"`
+		} `json:"groups"`
+	}
+	if err := json.Unmarshal(rep.ServerKPI, &kpi); err != nil {
+		t.Fatal(err)
+	}
+	if kpi.Databases != 12 {
+		t.Errorf("fleet KPI sees %d databases, created 12", kpi.Databases)
+	}
+	if kpi.Partial {
+		t.Error("final KPI scatter was partial")
+	}
+	if len(kpi.Groups) != 3 {
+		t.Fatalf("KPI merged %d groups, want 3", len(kpi.Groups))
+	}
+	for _, g := range kpi.Groups {
+		if !g.OK {
+			t.Errorf("group %s did not contribute to the KPI merge", g.Group)
+		}
+	}
+}

@@ -1,0 +1,422 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prorp/internal/obs"
+)
+
+// RunConfig parameterizes one load-generation run.
+type RunConfig struct {
+	// Schedule is the run plan's parameters; the schedule itself is built
+	// (deterministically) inside Run.
+	Schedule ScheduleConfig
+	// Targets are the base URLs of the serving tier (e.g. one per group of
+	// a partitioned cluster). Requests round-robin across them — any group
+	// proxies to the owner, so aim matters only for load spreading.
+	Targets []string
+	// Workers is the HTTP worker pool size (default 16). Workers only
+	// bound concurrency of in-flight requests; they never pace arrivals —
+	// the dispatcher does, from the precomputed schedule.
+	Workers int
+	// Timeout bounds one HTTP request (default 10s).
+	Timeout time.Duration
+	// SampleEvery is the capacity-sampler period (default 500ms): each
+	// tick scrapes /v1/kpi and feeds the COGS integral. 0 = default;
+	// negative disables sampling.
+	SampleEvery time.Duration
+	// MinIdle is the idle-gap floor for QoS eligibility (see Scorer).
+	MinIdle time.Duration
+	// SkipCreate skips the setup phase that creates the schedule's
+	// databases — for reruns against a warm server.
+	SkipCreate bool
+	// Client overrides the HTTP client (tests inject httptest clients).
+	Client *http.Client
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (c *RunConfig) normalize() error {
+	if len(c.Targets) == 0 {
+		return fmt.Errorf("loadgen: no targets")
+	}
+	if c.Workers <= 0 {
+		c.Workers = 16
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 10 * time.Second
+	}
+	if c.SampleEvery == 0 {
+		c.SampleEvery = 500 * time.Millisecond
+	}
+	return nil
+}
+
+func (c *RunConfig) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// classStats accumulates one request class's client-side view. The
+// histogram is lock-free; the status map takes the mutex (cheap against
+// a network round-trip).
+type classStats struct {
+	hist     *obs.Histogram
+	requests atomic.Uint64
+	ok       atomic.Uint64
+	shed     atomic.Uint64 // 429/503 answers (the admission gate speaking)
+	errors   atomic.Uint64 // transport errors and timeouts
+
+	mu       sync.Mutex
+	statuses map[int]uint64
+}
+
+func newClassStats() *classStats {
+	return &classStats{hist: obs.NewHistogram(obs.LatencyBuckets), statuses: map[int]uint64{}}
+}
+
+func (c *classStats) status(code int) {
+	c.mu.Lock()
+	c.statuses[code]++
+	c.mu.Unlock()
+}
+
+// run owns one run's mutable state. Its queue is the open-loop boundary:
+// the dispatcher (and retry timers) push scheduled operations in, workers
+// drain as fast as the server lets them, and a slow server grows latency
+// — never back-pressure on the arrival process.
+type run struct {
+	cfg    RunConfig
+	client *http.Client
+	scorer *Scorer
+	stats  map[Kind]*classStats
+
+	queue  chan Op
+	opsWG  sync.WaitGroup // outstanding ops (incl. scheduled retries)
+	nextTg atomic.Uint64  // round-robin target cursor
+
+	mu     sync.Mutex
+	closed bool
+
+	start        time.Time
+	retries      atomic.Uint64 // shed ops re-enqueued after Retry-After
+	retryDropped atomic.Uint64 // retries that missed the run window
+	queueDropped atomic.Uint64 // enqueues refused on a full queue (bug guard)
+}
+
+// Run executes one load-generation run: build the schedule, create the
+// databases, dispatch the ops open-loop, sample capacity, and score.
+func Run(cfg RunConfig) (*Report, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	sched, err := BuildSchedule(cfg.Schedule)
+	if err != nil {
+		return nil, err
+	}
+	r := &run{
+		cfg:    cfg,
+		client: cfg.Client,
+		scorer: &Scorer{MinIdle: cfg.MinIdle},
+		stats:  map[Kind]*classStats{},
+		// Headroom beyond the schedule covers every op being retried once;
+		// the non-blocking enqueue below means a full queue drops (and
+		// counts) rather than stalling the arrival process.
+		queue: make(chan Op, 2*len(sched.Ops)+64),
+	}
+	if r.client == nil {
+		r.client = &http.Client{Timeout: cfg.Timeout}
+	}
+	for _, k := range Kinds() {
+		r.stats[k] = newClassStats()
+	}
+
+	if !cfg.SkipCreate {
+		if err := r.createDBs(cfg.Schedule.DBs); err != nil {
+			return nil, err
+		}
+	}
+
+	var workers sync.WaitGroup
+	for i := 0; i < cfg.Workers; i++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			for op := range r.queue {
+				r.do(op)
+				r.opsWG.Done()
+			}
+		}()
+	}
+
+	stopSampler := make(chan struct{})
+	var sampler sync.WaitGroup
+	if cfg.SampleEvery > 0 {
+		sampler.Add(1)
+		go r.sampleCapacity(stopSampler, &sampler)
+	}
+
+	cfg.logf("loadgen: %d ops over %v against %d target(s), %d workers",
+		len(sched.Ops), cfg.Schedule.Duration, len(cfg.Targets), cfg.Workers)
+	r.start = time.Now()
+	r.dispatch(sched.Ops)
+
+	// The schedule is fully dispatched; wait for in-flight ops and pending
+	// retries, but never past one request-timeout of tail — an op stuck
+	// longer than that is the client timeout firing anyway.
+	done := make(chan struct{})
+	go func() { r.opsWG.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(cfg.Timeout + time.Second):
+		cfg.logf("loadgen: drain timed out after %v; reporting what completed", cfg.Timeout)
+	}
+	elapsed := time.Since(r.start)
+
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	close(r.queue)
+	workers.Wait()
+	close(stopSampler)
+	sampler.Wait()
+
+	// One final authoritative scrape for the report's server-side
+	// cross-check (and so even a very short run has two capacity samples).
+	finalKPI := r.scrapeKPI(true)
+
+	return r.report(sched, elapsed, finalKPI), nil
+}
+
+// target returns the next round-robin base URL.
+func (r *run) target() string {
+	n := r.nextTg.Add(1)
+	return r.cfg.Targets[int(n-1)%len(r.cfg.Targets)]
+}
+
+// createDBs provisions the schedule's databases before the measured run.
+// A freshly started cluster may still be electing or warming breakers, so
+// retryable statuses back off briefly instead of failing the run.
+func (r *run) createDBs(n int) error {
+	for id := 1; id <= n; id++ {
+		body := fmt.Sprintf(`{"id":%d}`, id)
+		var lastErr error
+		for attempt := 0; attempt < 40; attempt++ {
+			resp, err := r.client.Post(r.target()+"/v1/db", "application/json",
+				bytes.NewReader([]byte(body)))
+			if err != nil {
+				lastErr = err
+			} else {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch {
+				case resp.StatusCode == http.StatusCreated:
+					lastErr = nil
+				case resp.StatusCode == http.StatusConflict:
+					lastErr = nil // already exists: a rerun against a warm server
+				default:
+					lastErr = fmt.Errorf("create db %d: status %d", id, resp.StatusCode)
+					if resp.StatusCode == http.StatusTooManyRequests ||
+						resp.StatusCode >= http.StatusInternalServerError {
+						time.Sleep(100 * time.Millisecond)
+						continue
+					}
+				}
+			}
+			break
+		}
+		if lastErr != nil {
+			return lastErr
+		}
+	}
+	r.cfg.logf("loadgen: created %d databases", n)
+	return nil
+}
+
+// dispatch releases ops into the queue at their scheduled times. It
+// sleeps between releases and never waits on workers: the open-loop
+// contract lives here.
+func (r *run) dispatch(ops []Op) {
+	for _, op := range ops {
+		if d := time.Until(r.start.Add(op.At)); d > 0 {
+			time.Sleep(d)
+		}
+		r.opsWG.Add(1)
+		if !r.enqueue(op) {
+			r.opsWG.Done()
+		}
+	}
+}
+
+// enqueue pushes an op unless the run is over or the queue is full (both
+// counted, neither blocking).
+func (r *run) enqueue(op Op) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		r.retryDropped.Add(1)
+		return false
+	}
+	select {
+	case r.queue <- op:
+		return true
+	default:
+		r.queueDropped.Add(1)
+		return false
+	}
+}
+
+// do issues one op and folds the outcome into the stats and the scorer.
+func (r *run) do(op Op) {
+	st := r.stats[op.Kind]
+	st.requests.Add(1)
+	base := r.target()
+	var (
+		resp *http.Response
+		err  error
+	)
+	switch op.Kind {
+	case OpLogin:
+		resp, err = r.client.Post(base+fmt.Sprintf("/v1/db/%d/login", op.DB), "application/json", nil)
+	case OpLogout:
+		resp, err = r.client.Post(base+fmt.Sprintf("/v1/db/%d/logout", op.DB), "application/json", nil)
+	case OpHistory:
+		resp, err = r.client.Get(base + fmt.Sprintf("/v1/db/%d", op.DB))
+	case OpKPI:
+		resp, err = r.client.Get(base + "/v1/kpi")
+	}
+	// Latency is measured from the *scheduled* send time: queueing delay
+	// caused by a saturated server (or pool) is part of what the customer
+	// would have seen, so it belongs in the histogram.
+	latency := time.Since(r.start.Add(op.At))
+
+	if err != nil {
+		st.errors.Add(1)
+		r.scoreLogin(op, nil, true)
+		return
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	st.status(resp.StatusCode)
+
+	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+		st.shed.Add(1)
+		r.scheduleRetry(op, resp.Header.Get("Retry-After"))
+		r.scoreLogin(op, nil, true)
+		return
+	}
+	if resp.StatusCode != http.StatusOK {
+		st.errors.Add(1)
+		r.scoreLogin(op, nil, true)
+		return
+	}
+	st.ok.Add(1)
+	// Retried ops keep their class histogram out of the picture: their
+	// scheduled time has long passed, so the "latency" would really be
+	// the Retry-After delay, not the server's.
+	if !op.Retry {
+		st.hist.Observe(latency.Seconds())
+	}
+	if op.Kind == OpLogin {
+		var d struct {
+			Allocate    bool `json:"allocate"`
+			FromPrewarm bool `json:"from_prewarm"`
+		}
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&d); err != nil {
+			r.scoreLogin(op, nil, true)
+			return
+		}
+		r.scoreLogin(op, &d, false)
+	}
+}
+
+// scoreLogin feeds a first login's outcome to the scorer exactly once —
+// on the primary attempt. Retries never feed QoS (the schedule's ground
+// truth is about the scheduled instant, not a Retry-After later).
+func (r *run) scoreLogin(op Op, d *struct {
+	Allocate    bool `json:"allocate"`
+	FromPrewarm bool `json:"from_prewarm"`
+}, failed bool) {
+	if op.Kind != OpLogin || !op.FirstLogin || op.Retry {
+		return
+	}
+	out := LoginOutcome{FirstLogin: true, IdleGap: op.IdleGap, Failed: failed}
+	if d != nil {
+		out.Allocate, out.FromPrewarm = d.Allocate, d.FromPrewarm
+	}
+	r.scorer.ObserveLogin(out)
+}
+
+// scheduleRetry honors the admission gate's Retry-After: the shed op is
+// re-enqueued once, after the server-requested delay.
+func (r *run) scheduleRetry(op Op, retryAfter string) {
+	if op.Retry {
+		r.retryDropped.Add(1) // one retry per op: a twice-shed op stays shed
+		return
+	}
+	delay := 250 * time.Millisecond
+	if secs, err := strconv.Atoi(retryAfter); err == nil && secs > 0 {
+		delay = time.Duration(secs) * time.Second
+	}
+	op.Retry = true
+	r.retries.Add(1)
+	r.opsWG.Add(1)
+	time.AfterFunc(delay, func() {
+		if !r.enqueue(op) {
+			r.opsWG.Done()
+		}
+	})
+}
+
+// sampleCapacity periodically scrapes /v1/kpi and feeds the COGS
+// integral with the provisioned-database gauge.
+func (r *run) sampleCapacity(stop <-chan struct{}, wg *sync.WaitGroup) {
+	defer wg.Done()
+	tick := time.NewTicker(r.cfg.SampleEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			r.scrapeKPI(false)
+		}
+	}
+}
+
+// scrapeKPI fetches /v1/kpi, feeds the capacity sample, and (when asked)
+// returns the raw body for the report's server-side cross-check.
+func (r *run) scrapeKPI(keepBody bool) json.RawMessage {
+	resp, err := r.client.Get(r.target() + "/v1/kpi")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var kpi struct {
+		Databases        int `json:"databases"`
+		PhysicallyPaused int `json:"physically_paused"`
+	}
+	if err := json.Unmarshal(body, &kpi); err != nil {
+		return nil
+	}
+	r.scorer.ObserveCapacity(time.Now(), kpi.Databases-kpi.PhysicallyPaused, kpi.Databases)
+	if keepBody {
+		return json.RawMessage(body)
+	}
+	return nil
+}

@@ -1,0 +1,356 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func testScheduleConfig() ScheduleConfig {
+	return ScheduleConfig{
+		Seed:     42,
+		Region:   "EU1",
+		DBs:      4,
+		Horizon:  48 * time.Hour,
+		Duration: 2 * time.Second,
+		Rate:     50,
+	}
+}
+
+func TestBuildScheduleDeterministic(t *testing.T) {
+	a, err := BuildSchedule(testScheduleConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildSchedule(testScheduleConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Ops, b.Ops) {
+		t.Fatal("same config produced different schedules")
+	}
+	cfg := testScheduleConfig()
+	cfg.Seed = 43
+	c, err := BuildSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Ops, c.Ops) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestBuildScheduleShape(t *testing.T) {
+	sched, err := BuildSchedule(testScheduleConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Ops) == 0 {
+		t.Fatal("empty schedule")
+	}
+	if !sort.SliceIsSorted(sched.Ops, func(i, j int) bool {
+		return sched.Ops[i].At < sched.Ops[j].At
+	}) {
+		t.Fatal("ops not sorted by scheduled time")
+	}
+	counts := map[Kind]int{}
+	firsts := 0
+	for _, op := range sched.Ops {
+		counts[op.Kind]++
+		if op.At < 0 || op.At > 2*time.Second {
+			t.Fatalf("op scheduled outside run window: %v", op.At)
+		}
+		if op.FirstLogin {
+			firsts++
+			if op.Kind != OpLogin {
+				t.Fatalf("FirstLogin on a %v op", op.Kind)
+			}
+			if op.IdleGap <= 0 {
+				t.Fatalf("FirstLogin with non-positive idle gap %v", op.IdleGap)
+			}
+		}
+		if op.Retry {
+			t.Fatal("schedule contains a retry op")
+		}
+	}
+	if firsts != sched.FirstLogins {
+		t.Fatalf("FirstLogins = %d, counted %d", sched.FirstLogins, firsts)
+	}
+	if firsts == 0 {
+		t.Fatal("no first logins in schedule: QoS would have an empty denominator")
+	}
+	if counts[OpLogin] != counts[OpLogout] {
+		t.Fatalf("logins %d != logouts %d (every interval emits a pair)",
+			counts[OpLogin], counts[OpLogout])
+	}
+	// Poisson mix: ~Rate*Duration arrivals, split ~0.9/0.1.
+	mix := counts[OpHistory] + counts[OpKPI]
+	if mix < 60 || mix > 140 {
+		t.Fatalf("Poisson mix produced %d ops, want ~100", mix)
+	}
+	if counts[OpHistory] < 7*counts[OpKPI] {
+		t.Fatalf("history/kpi split off: %d history vs %d kpi, want ~9:1",
+			counts[OpHistory], counts[OpKPI])
+	}
+}
+
+func TestBuildScheduleRampThins(t *testing.T) {
+	base := testScheduleConfig()
+	base.Duration = 4 * time.Second
+	noRamp, err := BuildSchedule(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ramped := base
+	ramped.Ramp = 4 * time.Second
+	withRamp, err := BuildSchedule(ramped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	early := func(s *Schedule) (n int) {
+		for _, op := range s.Ops {
+			if (op.Kind == OpHistory || op.Kind == OpKPI) && op.At < time.Second {
+				n++
+			}
+		}
+		return n
+	}
+	if e, r := early(noRamp), early(withRamp); r >= e {
+		t.Fatalf("ramp did not thin early arrivals: %d with ramp vs %d without", r, e)
+	}
+}
+
+func TestScheduleConfigValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mut  func(*ScheduleConfig)
+	}{
+		{"zero dbs", func(c *ScheduleConfig) { c.DBs = 0 }},
+		{"zero duration", func(c *ScheduleConfig) { c.Duration = 0 }},
+		{"negative rate", func(c *ScheduleConfig) { c.Rate = -1 }},
+		{"ramp past duration", func(c *ScheduleConfig) { c.Ramp = time.Minute }},
+		{"negative weight", func(c *ScheduleConfig) { c.HistoryWeight = -1 }},
+		{"bad region", func(c *ScheduleConfig) { c.Region = "MARS" }},
+	} {
+		cfg := testScheduleConfig()
+		tc.mut(&cfg)
+		if _, err := BuildSchedule(cfg); err == nil {
+			t.Errorf("%s: want error, got none", tc.name)
+		}
+	}
+}
+
+// fakeServer is a minimal stand-in for prorp-serve's endpoint surface,
+// with injectable login behavior.
+type fakeServer struct {
+	mux      *http.ServeMux
+	logins   atomic.Uint64
+	allocate func(n uint64) (allocate, fromPrewarm bool)
+	shed     func(n uint64) (status int, retryAfter string, shed bool)
+}
+
+func newFakeServer() *fakeServer {
+	f := &fakeServer{
+		mux:      http.NewServeMux(),
+		allocate: func(uint64) (bool, bool) { return false, false },
+	}
+	f.mux.HandleFunc("POST /v1/db", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusCreated)
+		fmt.Fprint(w, `{}`)
+	})
+	f.mux.HandleFunc("POST /v1/db/{id}/login", func(w http.ResponseWriter, r *http.Request) {
+		n := f.logins.Add(1)
+		if f.shed != nil {
+			if status, ra, ok := f.shed(n); ok {
+				if ra != "" {
+					w.Header().Set("Retry-After", ra)
+				}
+				w.WriteHeader(status)
+				fmt.Fprint(w, `{"error":"shed load"}`)
+				return
+			}
+		}
+		alloc, pw := f.allocate(n)
+		json.NewEncoder(w).Encode(map[string]any{
+			"event": "login", "allocate": alloc, "from_prewarm": pw, "state": "resumed",
+		})
+	})
+	f.mux.HandleFunc("POST /v1/db/{id}/logout", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"event":"logout"}`)
+	})
+	f.mux.HandleFunc("GET /v1/db/{id}", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"state":"resumed"}`)
+	})
+	f.mux.HandleFunc("GET /v1/kpi", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"databases":4,"physically_paused":1}`)
+	})
+	return f
+}
+
+func testRunConfig(url string) RunConfig {
+	cfg := RunConfig{
+		Schedule:    testScheduleConfig(),
+		Targets:     []string{url},
+		Workers:     8,
+		Timeout:     5 * time.Second,
+		SampleEvery: 100 * time.Millisecond,
+	}
+	cfg.Schedule.Duration = 1 * time.Second
+	cfg.Schedule.Rate = 30
+	return cfg
+}
+
+func TestRunReportInvariants(t *testing.T) {
+	f := newFakeServer()
+	// Every login is a cold resume: the QoS floor case.
+	f.allocate = func(uint64) (bool, bool) { return true, false }
+	ts := httptest.NewServer(f.mux)
+	defer ts.Close()
+
+	rep, err := Run(testRunConfig(ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CompletedOps == 0 {
+		t.Fatal("no ops completed")
+	}
+	if got := rep.TotalErrors(); got != 0 {
+		t.Fatalf("errors against a healthy server: %d\n%s", got, rep.Summary())
+	}
+	if rep.TotalShed() != 0 || rep.Retries != 0 {
+		t.Fatalf("shed/retries against a non-shedding server: %d/%d", rep.TotalShed(), rep.Retries)
+	}
+	if rep.QueueDropped != 0 {
+		t.Fatalf("queue dropped %d ops", rep.QueueDropped)
+	}
+	login := rep.Classes["login"]
+	if login.OK == 0 || login.P50Ms <= 0 || login.P99Ms < login.P50Ms {
+		t.Fatalf("login latency breakdown implausible: %+v", login)
+	}
+	if rep.QoS.FirstLogins == 0 {
+		t.Fatal("no first logins scored")
+	}
+	if rep.QoS.DelayedPct != 100 || rep.QoS.QoSPct != 0 {
+		t.Fatalf("all-allocate server must score 100%% delayed, got %+v", rep.QoS)
+	}
+	// Constant 4 databases, 1 physically paused: the COGS integral is an
+	// exact quarter saved whatever the sample spacing.
+	if rep.COGS.Samples < 2 {
+		t.Fatalf("COGS needs >= 2 samples, got %d", rep.COGS.Samples)
+	}
+	if math.Abs(rep.COGS.SavedPct-25.0) > 0.01 {
+		t.Fatalf("COGS saved = %.3f%%, want 25%%", rep.COGS.SavedPct)
+	}
+	if rep.ServerKPI == nil {
+		t.Fatal("final server KPI scrape missing")
+	}
+	if rep.ThroughputRPS <= 0 {
+		t.Fatal("throughput not computed")
+	}
+}
+
+func TestRunScoresPrewarmHits(t *testing.T) {
+	f := newFakeServer()
+	f.allocate = func(uint64) (bool, bool) { return false, true }
+	ts := httptest.NewServer(f.mux)
+	defer ts.Close()
+
+	rep, err := Run(testRunConfig(ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.QoS.DelayedLogins != 0 || rep.QoS.QoSPct != 100 {
+		t.Fatalf("no-allocate server must score 0%% delayed: %+v", rep.QoS)
+	}
+	if rep.QoS.PrewarmHits != rep.QoS.FirstLogins {
+		t.Fatalf("prewarm hits %d != first logins %d", rep.QoS.PrewarmHits, rep.QoS.FirstLogins)
+	}
+}
+
+func TestRunHonorsRetryAfter(t *testing.T) {
+	f := newFakeServer()
+	// Shed every odd login attempt with 429 + Retry-After: 1s is too slow
+	// for a test, so leave the header unparseable and rely on the default
+	// 250ms backoff; the retried attempt (even counter) succeeds.
+	f.shed = func(n uint64) (int, string, bool) {
+		if n%2 == 1 {
+			return http.StatusTooManyRequests, "", true
+		}
+		return 0, "", false
+	}
+	ts := httptest.NewServer(f.mux)
+	defer ts.Close()
+
+	rep, err := Run(testRunConfig(ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	login := rep.Classes["login"]
+	if login.Shed == 0 {
+		t.Fatal("server shed but client recorded none")
+	}
+	if rep.Retries == 0 {
+		t.Fatal("sheds produced no retries")
+	}
+	// Every shed is either a retried primary attempt or a re-shed retry
+	// (which burns its one-retry budget and is counted dropped).
+	if rep.Retries+rep.RetriesDropped < login.Shed {
+		t.Fatalf("retries %d + dropped %d < sheds %d: some shed op was neither retried nor accounted",
+			rep.Retries, rep.RetriesDropped, login.Shed)
+	}
+	if login.Statuses["429"] == 0 {
+		t.Fatal("429s not in status breakdown")
+	}
+	if got := rep.TotalErrors(); got != 0 {
+		t.Fatalf("sheds must not count as errors, got %d errors", got)
+	}
+}
+
+func TestRunMinIdleFiltersShortGaps(t *testing.T) {
+	f := newFakeServer()
+	f.allocate = func(uint64) (bool, bool) { return true, false }
+	ts := httptest.NewServer(f.mux)
+	defer ts.Close()
+
+	cfg := testRunConfig(ts.URL)
+	cfg.MinIdle = time.Hour // nothing in a 1s run can clear this
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.QoS.FirstLogins != 0 {
+		t.Fatalf("MinIdle=1h still scored %d first logins", rep.QoS.FirstLogins)
+	}
+	if rep.QoS.SkippedShortIdle == 0 {
+		t.Fatal("short-idle logins were not counted as skipped")
+	}
+}
+
+func TestRunReportJSONRoundTrip(t *testing.T) {
+	f := newFakeServer()
+	ts := httptest.NewServer(f.mux)
+	defer ts.Close()
+
+	rep, err := Run(testRunConfig(ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.CompletedOps != rep.CompletedOps || len(back.Classes) != len(rep.Classes) {
+		t.Fatal("report did not survive a JSON round trip")
+	}
+}

@@ -1,0 +1,157 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// ClassReport is one request class's client-side breakdown.
+type ClassReport struct {
+	// Requests counts every attempt (including retries); OK, Shed and
+	// Errors partition the outcomes. Shed is 429/503 — the admission gate
+	// or a routing outage speaking, correlatable with the server's own
+	// shed counters in ServerKPI. Errors are transport failures and
+	// non-shed non-200 statuses.
+	Requests uint64 `json:"requests"`
+	OK       uint64 `json:"ok"`
+	Shed     uint64 `json:"shed"`
+	Errors   uint64 `json:"errors"`
+	// Statuses maps HTTP status code to count.
+	Statuses map[string]uint64 `json:"statuses,omitempty"`
+	// Open-loop latency quantiles in milliseconds, measured from each
+	// op's *scheduled* send time (retries excluded — their scheduled time
+	// predates the Retry-After delay by design).
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MeanMs float64 `json:"mean_ms"`
+}
+
+// Report is the JSON document one run produces.
+type Report struct {
+	// Echo of the run parameters, so a report is self-describing.
+	Seed            int64    `json:"seed"`
+	Region          string   `json:"region"`
+	DBs             int      `json:"dbs"`
+	Targets         []string `json:"targets"`
+	DurationSeconds float64  `json:"duration_seconds"`
+	ElapsedSeconds  float64  `json:"elapsed_seconds"`
+	RateRPS         float64  `json:"rate_rps"`
+
+	// Volume and pacing.
+	ScheduledOps   int     `json:"scheduled_ops"`
+	CompletedOps   uint64  `json:"completed_ops"`
+	ThroughputRPS  float64 `json:"throughput_rps"`
+	Retries        uint64  `json:"retries"`
+	RetriesDropped uint64  `json:"retries_dropped"`
+	QueueDropped   uint64  `json:"queue_dropped"`
+
+	// Per-class breakdowns, keyed by Kind.String().
+	Classes map[string]ClassReport `json:"classes"`
+
+	// The paper's two axes, scored client-side.
+	QoS  QoSReport  `json:"qos"`
+	COGS COGSReport `json:"cogs"`
+
+	// ServerKPI is the final /v1/kpi scrape verbatim — the server-side
+	// cross-check for the client-side numbers above (resume counters,
+	// qos_percent, admission shed accounting).
+	ServerKPI json.RawMessage `json:"server_kpi,omitempty"`
+}
+
+// report assembles the Report from the run's accumulated state.
+func (r *run) report(sched *Schedule, elapsed time.Duration, finalKPI json.RawMessage) *Report {
+	rep := &Report{
+		Seed:            r.cfg.Schedule.Seed,
+		Region:          r.cfg.Schedule.Region,
+		DBs:             r.cfg.Schedule.DBs,
+		Targets:         r.cfg.Targets,
+		DurationSeconds: r.cfg.Schedule.Duration.Seconds(),
+		ElapsedSeconds:  elapsed.Seconds(),
+		RateRPS:         r.cfg.Schedule.Rate,
+		ScheduledOps:    len(sched.Ops),
+		Retries:         r.retries.Load(),
+		RetriesDropped:  r.retryDropped.Load(),
+		QueueDropped:    r.queueDropped.Load(),
+		Classes:         map[string]ClassReport{},
+		QoS:             r.scorer.QoS(),
+		COGS:            r.scorer.COGS(),
+		ServerKPI:       finalKPI,
+	}
+	for _, k := range Kinds() {
+		st := r.stats[k]
+		cr := ClassReport{
+			Requests: st.requests.Load(),
+			OK:       st.ok.Load(),
+			Shed:     st.shed.Load(),
+			Errors:   st.errors.Load(),
+		}
+		st.mu.Lock()
+		if len(st.statuses) > 0 {
+			cr.Statuses = map[string]uint64{}
+			for code, n := range st.statuses {
+				cr.Statuses[fmt.Sprintf("%d", code)] = n
+			}
+		}
+		st.mu.Unlock()
+		if st.hist.Count() > 0 {
+			cr.P50Ms = st.hist.Quantile(0.50) * 1e3
+			cr.P95Ms = st.hist.Quantile(0.95) * 1e3
+			cr.P99Ms = st.hist.Quantile(0.99) * 1e3
+			cr.MeanMs = st.hist.Sum() / float64(st.hist.Count()) * 1e3
+		}
+		rep.Classes[k.String()] = cr
+		rep.CompletedOps += cr.OK
+	}
+	if elapsed > 0 {
+		rep.ThroughputRPS = float64(rep.CompletedOps) / elapsed.Seconds()
+	}
+	return rep
+}
+
+// TotalErrors sums non-shed failures across classes — the number the
+// smoke gate asserts is zero on a healthy deployment.
+func (rep *Report) TotalErrors() uint64 {
+	var n uint64
+	for _, c := range rep.Classes {
+		n += c.Errors
+	}
+	return n
+}
+
+// TotalShed sums shed answers across classes.
+func (rep *Report) TotalShed() uint64 {
+	var n uint64
+	for _, c := range rep.Classes {
+		n += c.Shed
+	}
+	return n
+}
+
+// Summary renders a terse human-readable digest (the CLI prints it to
+// stderr alongside the JSON report on stdout).
+func (rep *Report) Summary() string {
+	keys := make([]string, 0, len(rep.Classes))
+	for k := range rep.Classes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := fmt.Sprintf("%d/%d ops ok in %.1fs (%.0f req/s), %d shed, %d errors\n",
+		rep.CompletedOps, rep.ScheduledOps, rep.ElapsedSeconds, rep.ThroughputRPS,
+		rep.TotalShed(), rep.TotalErrors())
+	for _, k := range keys {
+		c := rep.Classes[k]
+		if c.Requests == 0 {
+			continue
+		}
+		out += fmt.Sprintf("  %-8s %6d ok  p50 %6.1fms  p95 %6.1fms  p99 %6.1fms\n",
+			k, c.OK, c.P50Ms, c.P95Ms, c.P99Ms)
+	}
+	out += fmt.Sprintf("  QoS: %d/%d first logins delayed (%.1f%% delayed, %d prewarm hits)\n",
+		rep.QoS.DelayedLogins, rep.QoS.FirstLogins, rep.QoS.DelayedPct, rep.QoS.PrewarmHits)
+	out += fmt.Sprintf("  COGS: %.0f provisioned DB-seconds vs %.0f always-on (%.1f%% saved, %d samples)",
+		rep.COGS.ProvisionedDBSeconds, rep.COGS.AlwaysOnDBSeconds, rep.COGS.SavedPct, rep.COGS.Samples)
+	return out
+}

@@ -1,0 +1,244 @@
+// Package loadgen is the client-side measurement subsystem: an open-loop
+// HTTP load generator that drives calibrated request mixes at a live
+// prorp-serve deployment and scores what came back against the workload's
+// ground truth.
+//
+// The generator is open-loop by construction — the entire request schedule
+// is computed up front from a seeded workload trace plus a seeded Poisson
+// process, every operation has a scheduled send time, and latency is
+// measured from that *scheduled* time, not from the moment a worker got
+// around to writing the request. A server that stalls therefore shows up
+// as growing latency on every queued operation (the load keeps arriving),
+// never as a mysteriously lower request count: the coordinated-omission
+// failure mode of closed-loop benchmarks cannot occur here.
+//
+// Three pieces:
+//
+//   - schedule.go: turns internal/workload activity traces (the calibrated
+//     Serverless-in-the-Wild-style archetypes) into a time-compressed
+//     login/logout schedule, interleaved with a Poisson-arrival mix of
+//     history reads and KPI probes, with an optional linear ramp.
+//   - loadgen.go: the runner — a dispatcher that releases operations at
+//     their scheduled times into a worker pool, client-side latency
+//     histograms (reusing internal/obs), Retry-After-honoring shed
+//     handling, and a provisioned-capacity sampler.
+//   - score.go / report.go: the scorer and the JSON report — the paper's
+//     QoS metric (fraction of first logins delayed by a cold resume) and
+//     its COGS proxy (provisioned database-seconds against an always-on
+//     baseline), cross-checked against one final server-side KPI scrape.
+//
+// Everything is driven by an explicit seed: the same seed, horizon, and
+// duration produce byte-identical schedules.
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"prorp/internal/workload"
+)
+
+// Kind is a scheduled operation's request class. The classes mirror what
+// the serving tier's admission controller distinguishes: logins are
+// decision traffic, logouts are history writes, history reads and KPI
+// probes are reads.
+type Kind int
+
+const (
+	// OpLogin is POST /v1/db/{id}/login — the decision-class request the
+	// whole system exists to serve fast.
+	OpLogin Kind = iota
+	// OpLogout is POST /v1/db/{id}/logout — a history append.
+	OpLogout
+	// OpHistory is GET /v1/db/{id} — a state + prediction read over the
+	// database's history.
+	OpHistory
+	// OpKPI is GET /v1/kpi — the fleet-wide KPI surface (scatter-gathered
+	// on a partitioned deployment).
+	OpKPI
+
+	numKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case OpLogin:
+		return "login"
+	case OpLogout:
+		return "logout"
+	case OpHistory:
+		return "history"
+	case OpKPI:
+		return "kpi"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Kinds lists every request class in schedule order, for report loops.
+func Kinds() []Kind { return []Kind{OpLogin, OpLogout, OpHistory, OpKPI} }
+
+// Op is one scheduled operation.
+type Op struct {
+	// At is the scheduled send offset from the start of the measured run.
+	// Latency is measured from this instant — the open-loop contract.
+	At time.Duration
+	// Kind is the request class.
+	Kind Kind
+	// DB is the target database id (unused for OpKPI).
+	DB int
+	// FirstLogin marks a login that begins a new activity interval after
+	// an idle gap — the population the paper's QoS metric is defined over.
+	FirstLogin bool
+	// IdleGap is the wall-clock idle time that preceded a FirstLogin,
+	// after compression. The scorer uses it to restrict the QoS
+	// denominator to logins whose gap was long enough for the server to
+	// have paused at all.
+	IdleGap time.Duration
+	// Retry marks an operation re-enqueued after a shed (429/503 with
+	// Retry-After); retries are reported separately and never feed QoS.
+	Retry bool
+}
+
+// ScheduleConfig parameterizes BuildSchedule.
+type ScheduleConfig struct {
+	// Seed drives both the workload generator and the Poisson mix.
+	Seed int64
+	// Region is the workload profile name (EU1, EU2, US1, US2).
+	Region string
+	// DBs is the number of databases (trace count).
+	DBs int
+	// Horizon is the simulated activity horizon the traces cover; it is
+	// compressed onto Duration. Longer horizons mean more daily structure
+	// per wall-clock second.
+	Horizon time.Duration
+	// Duration is the wall-clock length of the measured run.
+	Duration time.Duration
+	// Rate is the aggregate arrival rate (req/s) of the Poisson read mix
+	// laid over the trace-driven login/logout schedule. 0 disables it.
+	Rate float64
+	// HistoryWeight and KPIWeight split Rate between history reads and
+	// KPI probes. Both zero means 0.9/0.1.
+	HistoryWeight, KPIWeight float64
+	// Ramp linearly scales the Poisson arrival rate from zero to Rate
+	// over the first Ramp of the run (trace-driven ops are not ramped:
+	// the trace is the ground truth being scored). 0 = no ramp.
+	Ramp time.Duration
+}
+
+func (c *ScheduleConfig) normalize() error {
+	if c.DBs <= 0 {
+		return fmt.Errorf("loadgen: DBs = %d, want > 0", c.DBs)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("loadgen: Duration = %v, want > 0", c.Duration)
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 48 * time.Hour
+	}
+	if c.Region == "" {
+		c.Region = "EU1"
+	}
+	if c.HistoryWeight == 0 && c.KPIWeight == 0 {
+		c.HistoryWeight, c.KPIWeight = 0.9, 0.1
+	}
+	if c.HistoryWeight < 0 || c.KPIWeight < 0 {
+		return fmt.Errorf("loadgen: negative mix weight (history %v, kpi %v)",
+			c.HistoryWeight, c.KPIWeight)
+	}
+	if c.Rate < 0 {
+		return fmt.Errorf("loadgen: Rate = %v, want >= 0", c.Rate)
+	}
+	if c.Ramp < 0 || c.Ramp > c.Duration {
+		return fmt.Errorf("loadgen: Ramp = %v, want in [0, Duration]", c.Ramp)
+	}
+	return nil
+}
+
+// Schedule is the fully materialized run plan: operations sorted by
+// scheduled time, plus the trace ground truth the scorer needs.
+type Schedule struct {
+	Ops []Op
+	// FirstLogins is the number of QoS-eligible logins in the plan
+	// (before any IdleGap threshold the scorer applies).
+	FirstLogins int
+	// Traces is the ground truth the ops were derived from, in compressed
+	// wall-clock coordinates (seconds scaled onto Duration).
+	Traces []workload.Trace
+}
+
+// BuildSchedule materializes the run plan: one seeded workload trace per
+// database, compressed from Horizon onto Duration, plus the Poisson read
+// mix. Deterministic for a given config.
+func BuildSchedule(cfg ScheduleConfig) (*Schedule, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	profile, err := workload.Region(cfg.Region)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := workload.NewGenerator(cfg.Seed, profile)
+	if err != nil {
+		return nil, err
+	}
+	horizonSec := int64(cfg.Horizon / time.Second)
+	traces := gen.Generate(cfg.DBs, 0, horizonSec)
+
+	// compress maps a trace timestamp (seconds into the horizon) onto a
+	// wall-clock offset into the run.
+	compress := func(sec int64) time.Duration {
+		return time.Duration(float64(sec) / float64(horizonSec) * float64(cfg.Duration))
+	}
+
+	sched := &Schedule{Traces: traces}
+	for _, tr := range traces {
+		for i, iv := range tr.Intervals {
+			login := Op{At: compress(iv.Start), Kind: OpLogin, DB: dbID(tr.DB)}
+			if i > 0 {
+				login.FirstLogin = true
+				login.IdleGap = compress(iv.Start) - compress(tr.Intervals[i-1].End)
+				sched.FirstLogins++
+			}
+			sched.Ops = append(sched.Ops, login)
+			sched.Ops = append(sched.Ops, Op{
+				At: compress(iv.End), Kind: OpLogout, DB: dbID(tr.DB),
+			})
+		}
+	}
+
+	// The Poisson mix: exponential inter-arrivals at Rate, thinned during
+	// the ramp (classic non-homogeneous Poisson thinning — an arrival at
+	// time t survives with probability t/Ramp), each arrival classified
+	// history-vs-KPI by the mix weights and aimed at a uniform database.
+	if cfg.Rate > 0 {
+		rng := rand.New(rand.NewSource(cfg.Seed + 1))
+		histFrac := cfg.HistoryWeight / (cfg.HistoryWeight + cfg.KPIWeight)
+		t := time.Duration(0)
+		for {
+			t += time.Duration(rng.ExpFloat64() / cfg.Rate * float64(time.Second))
+			if t >= cfg.Duration {
+				break
+			}
+			if cfg.Ramp > 0 && t < cfg.Ramp {
+				if rng.Float64() >= float64(t)/float64(cfg.Ramp) {
+					continue
+				}
+			}
+			op := Op{At: t, Kind: OpKPI}
+			if rng.Float64() < histFrac {
+				op = Op{At: t, Kind: OpHistory, DB: dbID(rng.Intn(cfg.DBs))}
+			}
+			sched.Ops = append(sched.Ops, op)
+		}
+	}
+
+	sort.SliceStable(sched.Ops, func(i, j int) bool { return sched.Ops[i].At < sched.Ops[j].At })
+	return sched, nil
+}
+
+// dbID maps a trace index onto the database id the run creates for it.
+// Ids start at 1: id 0 reads like a zero value in debug output.
+func dbID(trace int) int { return trace + 1 }

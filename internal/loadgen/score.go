@@ -1,0 +1,172 @@
+package loadgen
+
+import (
+	"sync"
+	"time"
+)
+
+// Scorer folds request outcomes and capacity samples into the paper's two
+// evaluation axes:
+//
+//   - QoS: the fraction of first logins (per the trace ground truth) that
+//     the server answered with allocate=true — a cold resume, i.e. a
+//     customer who waited. The paper reports the complement as "QoS": the
+//     share of first logins that found resources available.
+//   - COGS: provisioned database-seconds, integrated from periodic fleet
+//     samples (databases minus physically-paused), against the always-on
+//     baseline of every database provisioned for the whole run. The saved
+//     fraction is the serverless value proposition.
+//
+// The scorer only counts a login toward the QoS denominator when its
+// preceding idle gap (compressed wall-clock) was at least MinIdle: a gap
+// shorter than the server's logical-pause delay cannot have deallocated
+// anything, so scoring it would dilute the metric with free warm hits.
+type Scorer struct {
+	// MinIdle is the idle-gap floor for QoS eligibility (0 = count every
+	// first login).
+	MinIdle time.Duration
+
+	mu sync.Mutex
+
+	// QoS counters.
+	firstLogins   int // QoS-eligible first logins observed
+	delayedLogins int // ...that came back allocate=true (cold resume)
+	prewarmHits   int // ...that came back from_prewarm=true (proactive win)
+	skippedShort  int // first logins below MinIdle, excluded
+	failedLogins  int // first logins that errored or were shed — unscorable
+
+	// COGS samples.
+	samples  []capacitySample
+	lastSeen time.Time
+}
+
+type capacitySample struct {
+	at          time.Time
+	provisioned int // databases with resources allocated (not physically paused)
+	total       int // databases in the fleet
+}
+
+// LoginOutcome is what one completed login tells the scorer.
+type LoginOutcome struct {
+	// FirstLogin and IdleGap come from the schedule's ground truth.
+	FirstLogin bool
+	IdleGap    time.Duration
+	// Allocate is the server's decision field: true means the login found
+	// resources reclaimed and had to wait for a resume — a delayed login.
+	Allocate bool
+	// FromPrewarm marks a warm hit attributable to a proactive resume.
+	FromPrewarm bool
+	// Failed marks a login that never produced a decision (transport
+	// error or terminal shed): it cannot be scored warm or cold.
+	Failed bool
+}
+
+// ObserveLogin folds one login outcome into the QoS counters.
+func (s *Scorer) ObserveLogin(o LoginOutcome) {
+	if !o.FirstLogin {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if o.IdleGap < s.MinIdle {
+		s.skippedShort++
+		return
+	}
+	if o.Failed {
+		s.failedLogins++
+		return
+	}
+	s.firstLogins++
+	if o.Allocate {
+		s.delayedLogins++
+	}
+	if o.FromPrewarm {
+		s.prewarmHits++
+	}
+}
+
+// ObserveCapacity folds one fleet sample into the COGS integral.
+func (s *Scorer) ObserveCapacity(at time.Time, provisioned, total int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.samples = append(s.samples, capacitySample{at: at, provisioned: provisioned, total: total})
+	s.lastSeen = at
+}
+
+// QoSReport is the scored QoS half of the run report.
+type QoSReport struct {
+	// FirstLogins is the QoS denominator: first logins after an idle gap
+	// of at least the configured floor, with a scorable decision.
+	FirstLogins int `json:"first_logins"`
+	// DelayedLogins came back allocate=true: the customer waited for a
+	// resume. DelayedPct is the paper's headline number (Figure 6 measures
+	// its trajectory; lower is better).
+	DelayedLogins int     `json:"delayed_logins"`
+	DelayedPct    float64 `json:"delayed_pct"`
+	// QoSPct is the complement — the share of first logins that found
+	// resources available — matching the server's own qos_percent.
+	QoSPct float64 `json:"qos_pct"`
+	// PrewarmHits are warm first logins the server attributed to a
+	// proactive resume (from_prewarm).
+	PrewarmHits int `json:"prewarm_hits"`
+	// SkippedShortIdle counts first logins excluded by the MinIdle floor;
+	// FailedLogins counts first logins with no scorable decision.
+	SkippedShortIdle int     `json:"skipped_short_idle"`
+	FailedLogins     int     `json:"failed_logins"`
+	MinIdleSeconds   float64 `json:"min_idle_seconds"`
+}
+
+// COGSReport is the provisioned-capacity half of the run report.
+type COGSReport struct {
+	// ProvisionedDBSeconds integrates provisioned databases over the run
+	// (trapezoid over the capacity samples).
+	ProvisionedDBSeconds float64 `json:"provisioned_db_seconds"`
+	// AlwaysOnDBSeconds is the baseline: every database provisioned for
+	// the whole sampled window.
+	AlwaysOnDBSeconds float64 `json:"always_on_db_seconds"`
+	// SavedPct is 100 * (1 - provisioned/always-on): the COGS the pause
+	// policy recovered relative to never pausing.
+	SavedPct float64 `json:"saved_pct"`
+	// Samples is how many capacity samples the integral is built from.
+	Samples int `json:"samples"`
+}
+
+// QoS computes the QoS report from the counters.
+func (s *Scorer) QoS() QoSReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep := QoSReport{
+		FirstLogins:      s.firstLogins,
+		DelayedLogins:    s.delayedLogins,
+		PrewarmHits:      s.prewarmHits,
+		SkippedShortIdle: s.skippedShort,
+		FailedLogins:     s.failedLogins,
+		MinIdleSeconds:   s.MinIdle.Seconds(),
+	}
+	if s.firstLogins > 0 {
+		rep.DelayedPct = 100 * float64(s.delayedLogins) / float64(s.firstLogins)
+		rep.QoSPct = 100 - rep.DelayedPct
+	}
+	return rep
+}
+
+// COGS integrates the capacity samples into the COGS report. With fewer
+// than two samples there is nothing to integrate and every field is zero.
+func (s *Scorer) COGS() COGSReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep := COGSReport{Samples: len(s.samples)}
+	for i := 1; i < len(s.samples); i++ {
+		a, b := s.samples[i-1], s.samples[i]
+		dt := b.at.Sub(a.at).Seconds()
+		if dt <= 0 {
+			continue
+		}
+		rep.ProvisionedDBSeconds += dt * float64(a.provisioned+b.provisioned) / 2
+		rep.AlwaysOnDBSeconds += dt * float64(a.total+b.total) / 2
+	}
+	if rep.AlwaysOnDBSeconds > 0 {
+		rep.SavedPct = 100 * (1 - rep.ProvisionedDBSeconds/rep.AlwaysOnDBSeconds)
+	}
+	return rep
+}

@@ -196,6 +196,7 @@ func TestKPIShapeFrozen(t *testing.T) {
 	}
 	sort.Strings(got)
 	want := []string{
+		"admission",
 		"cold_resumes", "creates", "databases", "deletes", "logical_pauses",
 		"logically_paused", "logins", "logouts", "now", "pending_wakes",
 		"physical_pauses", "physically_paused", "prewarm_failures",

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"prorp"
+	"prorp/internal/admission"
 	"prorp/internal/faults"
 	"prorp/internal/obs"
 )
@@ -140,7 +141,7 @@ func (s *Server) localKPI(now time.Time) kpiJSON {
 		kpi.WALTornSegments = s.ops.walTornSegments.Load()
 		kpi.WALTruncatedBytes = s.ops.walTruncatedBytes.Load()
 	}
-	return kpiJSON{
+	out := kpiJSON{
 		FleetKPI:      kpi,
 		QoSPercent:    kpi.QoSPercent(),
 		Shards:        s.Fleet().Shards(),
@@ -148,6 +149,31 @@ func (s *Server) localKPI(now time.Time) kpiJSON {
 		Now:           now.UTC(),
 		UptimeSeconds: int64(now.Sub(s.started) / time.Second),
 	}
+	if s.admission != nil {
+		out.Admission = make(map[string]admissionClassJSON, len(admission.Classes()))
+		for _, class := range admission.Classes() {
+			st := s.admission.Stats(class)
+			out.Admission[class.String()] = admissionClassJSON{
+				Admitted: st.Admitted, Shed: st.Shed, Inflight: st.Inflight,
+			}
+		}
+	}
+	addBreakers := func(path string, states map[string]string) {
+		if len(states) == 0 {
+			return
+		}
+		if out.Breakers == nil {
+			out.Breakers = map[string]map[string]string{}
+		}
+		out.Breakers[path] = states
+	}
+	if s.replBreakers != nil {
+		addBreakers("repl", s.replBreakers.States())
+	}
+	if s.router != nil && s.router.breakers != nil {
+		addBreakers("router", s.router.breakers.States())
+	}
+	return out
 }
 
 // addFleetKPI folds src's gauges and counters into dst, field by field.
@@ -222,6 +248,25 @@ func (s *Server) scatterKPI(now time.Time) scatterKPIJSON {
 				addFleetKPI(&merged.FleetKPI, peer.FleetKPI)
 				merged.Shards += peer.Shards
 				merged.PendingWakes += peer.PendingWakes
+				// Admission counters sum into fleet-wide totals; breaker
+				// states are per-observer, so peer paths keep their group
+				// name as a prefix instead of colliding with ours.
+				for class, st := range peer.Admission {
+					if merged.Admission == nil {
+						merged.Admission = map[string]admissionClassJSON{}
+					}
+					agg := merged.Admission[class]
+					agg.Admitted += st.Admitted
+					agg.Shed += st.Shed
+					agg.Inflight += st.Inflight
+					merged.Admission[class] = agg
+				}
+				for path, states := range peer.Breakers {
+					if merged.Breakers == nil {
+						merged.Breakers = map[string]map[string]string{}
+					}
+					merged.Breakers[rep.group+"/"+path] = states
+				}
 			}
 		} else {
 			gs.Error = rep.err.Error()

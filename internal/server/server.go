@@ -1510,6 +1510,16 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// admissionClassJSON is one priority class's admission accounting in
+// /v1/kpi — the same counters /metrics exposes, surfaced here so a load
+// generator can correlate its client-observed 429s with the server's shed
+// accounting from the one scrape it already takes.
+type admissionClassJSON struct {
+	Admitted uint64 `json:"admitted"`
+	Shed     uint64 `json:"shed"`
+	Inflight int    `json:"inflight"`
+}
+
 type kpiJSON struct {
 	prorp.FleetKPI
 	QoSPercent    float64   `json:"qos_percent"`
@@ -1517,6 +1527,14 @@ type kpiJSON struct {
 	PendingWakes  int       `json:"pending_wakes"`
 	Now           time.Time `json:"now"`
 	UptimeSeconds int64     `json:"uptime_seconds"`
+	// Admission is the priority gate's per-class accounting (absent when
+	// admission is disabled). In a scatter-merged report the counters are
+	// fleet-wide sums.
+	Admission map[string]admissionClassJSON `json:"admission,omitempty"`
+	// Breakers maps inter-node path -> host -> breaker state (closed,
+	// open, half-open) for every breaker group with traffic. A scatter
+	// merge prefixes peer paths with their group name ("g2/router").
+	Breakers map[string]map[string]string `json:"breakers,omitempty"`
 }
 
 func (s *Server) handleKPI(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"testing"
+)
+
+// figure3Gaps generates a seeded week of traces for every region and
+// returns the pooled idle-gap lengths in seconds.
+func figure3Gaps(t *testing.T, seed int64) []int64 {
+	t.Helper()
+	const week = 7 * 24 * 3600
+	var gaps []int64
+	for _, name := range RegionNames() {
+		profile, err := Region(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen, err := NewGenerator(seed, profile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tr := range gen.Generate(100, 0, week) {
+			for _, gap := range tr.IdleGaps() {
+				gaps = append(gaps, gap.End-gap.Start)
+			}
+		}
+	}
+	return gaps
+}
+
+// TestIdleGapsReproduceFigure3Shape is the arrival-realism property test:
+// the paper's Figure 3 shows that while *most* idle intervals are short
+// (minutes — intra-day breaks), almost all of the *idle time* is carried
+// by the long tail (overnight and multi-day gaps). A pause policy tuned
+// on gap counts alone would chase the wrong mass, which is exactly why
+// the paper separates the two views; the generator must preserve that
+// split or every downstream QoS/COGS number is calibrated on the wrong
+// workload.
+//
+// Thresholds are deliberately loose bands around the measured seeded
+// values, so the test pins the shape, not one RNG stream.
+func TestIdleGapsReproduceFigure3Shape(t *testing.T) {
+	gaps := figure3Gaps(t, 1)
+	if len(gaps) < 1000 {
+		t.Fatalf("only %d idle gaps; too few to test a distribution", len(gaps))
+	}
+
+	const (
+		hour = 3600
+		long = 7 * hour // past any intra-day break, into overnight territory
+	)
+	var (
+		shortCount, longCount      int
+		shortTime, longTime, total int64
+	)
+	for _, g := range gaps {
+		total += g
+		if g <= hour {
+			shortCount++
+			shortTime += g
+		}
+		if g > long {
+			longCount++
+			longTime += g
+		}
+	}
+	countShare := func(n int) float64 { return 100 * float64(n) / float64(len(gaps)) }
+	timeShare := func(s int64) float64 { return 100 * float64(s) / float64(total) }
+
+	t.Logf("%d gaps: <=1h %.1f%% of count carrying %.1f%% of idle time; >7h %.1f%% of count carrying %.1f%% of idle time",
+		len(gaps), countShare(shortCount), timeShare(shortTime),
+		countShare(longCount), timeShare(longTime))
+
+	// Most gaps are short...
+	if got := countShare(shortCount); got < 50 {
+		t.Errorf("gaps <= 1h are %.1f%% of all gaps, want >= 50%% (Figure 3: most idle intervals are short)", got)
+	}
+	// ...but they carry only a sliver of the idle time...
+	if got := timeShare(shortTime); got > 25 {
+		t.Errorf("gaps <= 1h carry %.1f%% of idle time, want <= 25%% (Figure 3: short gaps are cheap)", got)
+	}
+	// ...while the rare long gaps carry most of it — the COGS opportunity
+	// the whole pause policy exists for.
+	if got := countShare(longCount); got > 50 {
+		t.Errorf("gaps > 7h are %.1f%% of all gaps, want <= 50%% (they must be the minority)", got)
+	}
+	if got := timeShare(longTime); got < 50 {
+		t.Errorf("gaps > 7h carry %.1f%% of idle time, want >= 50%% (Figure 3: the tail carries the idle mass)", got)
+	}
+}
+
+// TestIdleGapDistributionDeterministic pins that the pooled gap
+// distribution is a pure function of the seed, so the Figure 3 assertions
+// above (and every loadgen schedule) are reproducible.
+func TestIdleGapDistributionDeterministic(t *testing.T) {
+	a := figure3Gaps(t, 9)
+	b := figure3Gaps(t, 9)
+	if len(a) != len(b) {
+		t.Fatalf("same seed produced %d vs %d gaps", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("gap %d differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := figure3Gaps(t, 10)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical gap streams")
+	}
+}
